@@ -1,0 +1,137 @@
+//! Analytic area model (paper Sec. 6.2).
+//!
+//! The paper's 64-RU / 32-SU / 32-PE configuration synthesizes to
+//! 8.38 mm² of SRAM and 7.19 mm² of combinational logic in 16 nm
+//! (53.8% / 46.2%). This model reproduces those numbers from per-unit
+//! constants and scales with the configuration, enabling the Fig. 14
+//! sensitivity sweeps to report area alongside performance.
+
+use crate::config::AcceleratorConfig;
+
+/// SRAM sizing of the global buffer (paper Sec. 6.2), bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramSizing {
+    /// Input Point Buffer (1.5 MB: ~130k points/frame).
+    pub input_point_buffer: usize,
+    /// Query Buffer (1.5 MB).
+    pub query_buffer: usize,
+    /// Query Stack Buffer (1.2 MB: max top-tree height 18).
+    pub query_stack_buffer: usize,
+    /// FE Query Queue (1.5 MB).
+    pub fe_query_queue: usize,
+    /// BE Query Buffer per SU (1 KB: 128 queries).
+    pub be_query_buffer_per_su: usize,
+    /// Node Cache (128 KB).
+    pub node_cache: usize,
+    /// Result Buffer (3 MB, double-buffered against DRAM).
+    pub result_buffer: usize,
+}
+
+impl Default for SramSizing {
+    fn default() -> Self {
+        const MB: usize = 1024 * 1024;
+        const KB: usize = 1024;
+        SramSizing {
+            input_point_buffer: 3 * MB / 2,
+            query_buffer: 3 * MB / 2,
+            query_stack_buffer: 6 * MB / 5,
+            fe_query_queue: 3 * MB / 2,
+            be_query_buffer_per_su: KB,
+            node_cache: 128 * KB,
+            result_buffer: 3 * MB,
+        }
+    }
+}
+
+impl SramSizing {
+    /// Total SRAM bytes for a configuration with `num_sus` SUs.
+    pub fn total_bytes(&self, num_sus: usize) -> usize {
+        self.input_point_buffer
+            + self.query_buffer
+            + self.query_stack_buffer
+            + self.fe_query_queue
+            + self.be_query_buffer_per_su * num_sus
+            + self.node_cache
+            + self.result_buffer
+    }
+}
+
+/// Area results, mm² in a 16 nm-class process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaReport {
+    /// SRAM area.
+    pub sram_mm2: f64,
+    /// Combinational-logic area (RUs + PEs + control).
+    pub logic_mm2: f64,
+}
+
+impl AreaReport {
+    /// Total area.
+    pub fn total_mm2(&self) -> f64 {
+        self.sram_mm2 + self.logic_mm2
+    }
+
+    /// SRAM share of total area.
+    pub fn sram_fraction(&self) -> f64 {
+        self.sram_mm2 / self.total_mm2()
+    }
+}
+
+/// SRAM density, mm² per byte. Calibrated so the paper's ~8.8 MB of
+/// buffers occupy 8.38 mm².
+const SRAM_MM2_PER_BYTE: f64 = 8.38 / (9_218_048.0);
+/// One PE's datapath (fp32 distance + compare + result insert), mm².
+const PE_MM2: f64 = 0.00615;
+/// One RU's datapath (six-stage pipeline, fp32 distance, stack logic), mm².
+const RU_MM2: f64 = 0.0130;
+/// Fixed control overhead (query distribution network, issue logic), mm².
+const CONTROL_MM2: f64 = 0.06;
+
+/// Computes the area of `cfg` with the given SRAM sizing.
+pub fn area_report(cfg: &AcceleratorConfig, sram: &SramSizing) -> AreaReport {
+    let sram_mm2 = sram.total_bytes(cfg.num_sus) as f64 * SRAM_MM2_PER_BYTE;
+    let logic_mm2 =
+        cfg.total_pes() as f64 * PE_MM2 + cfg.num_rus as f64 * RU_MM2 + CONTROL_MM2;
+    AreaReport { sram_mm2, logic_mm2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_published_area() {
+        let report = area_report(&AcceleratorConfig::paper(), &SramSizing::default());
+        // Paper: SRAM 8.38 mm², logic 7.19 mm², split 53.8% / 46.2%.
+        assert!((report.sram_mm2 - 8.38).abs() < 0.1, "sram = {}", report.sram_mm2);
+        assert!((report.logic_mm2 - 7.19).abs() < 0.15, "logic = {}", report.logic_mm2);
+        assert!((report.sram_fraction() - 0.538).abs() < 0.02);
+    }
+
+    #[test]
+    fn area_scales_with_units() {
+        let small = AcceleratorConfig { num_rus: 16, num_sus: 16, pes_per_su: 16, ..AcceleratorConfig::default() };
+        let big = AcceleratorConfig { num_rus: 128, num_sus: 128, pes_per_su: 128, ..AcceleratorConfig::default() };
+        let s = area_report(&small, &SramSizing::default());
+        let b = area_report(&big, &SramSizing::default());
+        assert!(b.logic_mm2 > s.logic_mm2 * 10.0);
+        assert!(b.sram_mm2 > s.sram_mm2, "BQBs scale with SU count");
+    }
+
+    #[test]
+    fn sram_sizing_totals() {
+        let s = SramSizing::default();
+        let t32 = s.total_bytes(32);
+        let t64 = s.total_bytes(64);
+        assert_eq!(t64 - t32, 32 * 1024);
+        // ~8.8 MB for the paper configuration.
+        assert!(t32 > 8 * 1024 * 1024 && t32 < 10 * 1024 * 1024);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let r = AreaReport { sram_mm2: 6.0, logic_mm2: 4.0 };
+        assert_eq!(r.total_mm2(), 10.0);
+        assert!((r.sram_fraction() - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,145 @@
+//! The node cache (paper Sec. 5.3, "Node Cache").
+//!
+//! Queries issued consecutively from the FE tend to target a small set of
+//! leaves; caching whole node-sets captures that locality and moves over
+//! half of the Points-Buffer traffic into a small memory. Entries are whole
+//! node-sets (the nodes within an entry stream as a FIFO); entry lookup is
+//! associative; replacement is LRU.
+
+use std::collections::VecDeque;
+
+/// A node cache holding whole leaf node-sets, capacity measured in points.
+#[derive(Debug, Clone)]
+pub struct NodeCache {
+    capacity_points: usize,
+    /// (leaf id, size in points), most-recently-used at the back.
+    entries: VecDeque<(u32, usize)>,
+    used_points: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl NodeCache {
+    /// Creates a cache with the given capacity in points; 0 disables it
+    /// (everything misses).
+    pub fn new(capacity_points: usize) -> Self {
+        NodeCache {
+            capacity_points,
+            entries: VecDeque::new(),
+            used_points: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up the node-set of `leaf` (`size` points), inserting it on
+    /// miss. Returns `true` on hit.
+    ///
+    /// Sets larger than the whole cache bypass it (never inserted).
+    pub fn access(&mut self, leaf: u32, size: usize) -> bool {
+        if self.capacity_points == 0 {
+            self.misses += 1;
+            return false;
+        }
+        if let Some(pos) = self.entries.iter().position(|&(l, _)| l == leaf) {
+            // LRU touch.
+            let e = self.entries.remove(pos).unwrap();
+            self.entries.push_back(e);
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if size > self.capacity_points {
+            return false;
+        }
+        while self.used_points + size > self.capacity_points {
+            let (_, evicted) = self.entries.pop_front().expect("used > 0 implies entries");
+            self.used_points -= evicted;
+        }
+        self.entries.push_back((leaf, size));
+        self.used_points += size;
+        false
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (0 when no accesses).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Points currently resident.
+    pub fn resident_points(&self) -> usize {
+        self.used_points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_cache_always_misses() {
+        let mut c = NodeCache::new(0);
+        assert!(!c.access(1, 10));
+        assert!(!c.access(1, 10));
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn repeat_access_hits() {
+        let mut c = NodeCache::new(100);
+        assert!(!c.access(1, 10));
+        assert!(c.access(1, 10));
+        assert!(c.access(1, 10));
+        assert_eq!(c.hits(), 2);
+        assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = NodeCache::new(30);
+        c.access(1, 10);
+        c.access(2, 10);
+        c.access(3, 10); // full: 1,2,3
+        c.access(1, 10); // touch 1 → LRU order 2,3,1
+        c.access(4, 10); // evicts 2
+        assert!(!c.access(2, 10), "2 must have been evicted");
+        // Re-inserting 2 (cap 30, resident was 3,1,4=30) evicts 3.
+        assert!(!c.access(3, 10));
+    }
+
+    #[test]
+    fn oversized_sets_bypass() {
+        let mut c = NodeCache::new(10);
+        assert!(!c.access(1, 50));
+        assert!(!c.access(1, 50), "oversized set must not be cached");
+        assert_eq!(c.resident_points(), 0);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = NodeCache::new(25);
+        c.access(1, 10);
+        c.access(2, 10);
+        c.access(3, 10); // evicts 1 (10+10+10 > 25)
+        assert!(c.resident_points() <= 25);
+        assert!(c.access(3, 10));
+        assert!(c.access(2, 10));
+        assert!(!c.access(1, 10));
+    }
+}

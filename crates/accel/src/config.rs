@@ -1,0 +1,177 @@
+//! Accelerator configuration (paper Sec. 6.2: 64 RUs, 32 SUs, 32 PEs/SU,
+//! 500 MHz, 16 nm).
+
+use tigris_core::ApproxConfig;
+
+/// Leaf-to-SU mapping policy of the Query Distribution Network.
+///
+/// The paper: "the overall performance is relatively insensitive to how
+/// exactly the leaf nodes are mapped to each SU. Thus, we use a simple
+/// policy that uses the low-order bits as the target SU ID." Both
+/// policies are modeled so that claim can be verified (ablation
+/// `mapping` in the figure harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingPolicy {
+    /// `leaf id mod SU count` (the paper's hard-wired choice).
+    LowOrderBits,
+    /// A multiplicative hash of the leaf id — decorrelates spatially
+    /// adjacent leaves from SU assignment.
+    Hash,
+}
+
+impl MappingPolicy {
+    /// The SU index for `leaf` under this policy.
+    pub fn su_for(self, leaf: u32, num_sus: usize) -> usize {
+        match self {
+            MappingPolicy::LowOrderBits => leaf as usize % num_sus,
+            MappingPolicy::Hash => {
+                // Fibonacci hashing: spreads consecutive ids uniformly.
+                let h = (leaf as u64).wrapping_mul(11400714819323198485);
+                (h >> 32) as usize % num_sus
+            }
+        }
+    }
+}
+
+/// Back-end query-issue policy (paper Sec. 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendPolicy {
+    /// Multiple Query Single NodeSet: all PEs of an SU process queries from
+    /// the *same* leaf, sharing one node-set stream (memory-efficient; the
+    /// adopted design).
+    Mqsn,
+    /// Multiple Query Multiple NodeSet: PEs process arbitrary queries, each
+    /// streaming its own node set (faster, ~4× the traffic/power).
+    Mqmn,
+}
+
+/// Full accelerator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Number of front-end Recursion Units (paper design point: 64).
+    pub num_rus: usize,
+    /// Number of back-end Search Units (paper: 32).
+    pub num_sus: usize,
+    /// Processing Elements per SU (paper: 32).
+    pub pes_per_su: usize,
+    /// Datapath clock, Hz (paper: 500 MHz in 16 nm).
+    pub clock_hz: f64,
+    /// RU node forwarding (PI→RN forward of the next node; eliminates the
+    /// remaining stall cycles).
+    pub forwarding: bool,
+    /// RU node bypassing (pruned nodes exit the pipeline early).
+    pub bypassing: bool,
+    /// Back-end issue policy.
+    pub backend: BackendPolicy,
+    /// Leaf-to-SU mapping of the query distribution network.
+    pub mapping: MappingPolicy,
+    /// Node cache capacity in *points* (paper: 128 KB ⇒ 8192 points at
+    /// 16 B/point). 0 disables the cache.
+    pub node_cache_points: usize,
+    /// MQSN associative-search window: how far into the BE Query Buffer the
+    /// issue logic looks for same-leaf queries (paper: groups of 32, BQB
+    /// holds 128).
+    pub issue_window: usize,
+    /// Approximate (Algorithm 1) search in the SUs; `None` = exact.
+    pub approx: Option<ApproxConfig>,
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        AcceleratorConfig {
+            num_rus: 64,
+            num_sus: 32,
+            pes_per_su: 32,
+            clock_hz: 500e6,
+            forwarding: true,
+            bypassing: true,
+            backend: BackendPolicy::Mqsn,
+            mapping: MappingPolicy::LowOrderBits,
+            node_cache_points: 8192,
+            issue_window: 128,
+            approx: None,
+        }
+    }
+}
+
+impl AcceleratorConfig {
+    /// The paper's evaluated design point (64/32/32, all optimizations on).
+    pub fn paper() -> Self {
+        AcceleratorConfig::default()
+    }
+
+    /// Baseline without RU optimizations or node cache (the "No-Opt" bar of
+    /// paper Fig. 12).
+    pub fn no_opt() -> Self {
+        AcceleratorConfig {
+            forwarding: false,
+            bypassing: false,
+            node_cache_points: 0,
+            ..AcceleratorConfig::default()
+        }
+    }
+
+    /// Seconds for `cycles` at the configured clock.
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz
+    }
+
+    /// Total PEs across the back-end.
+    pub fn total_pes(&self) -> usize {
+        self.num_sus * self.pes_per_su
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_6_2() {
+        let c = AcceleratorConfig::paper();
+        assert_eq!(c.num_rus, 64);
+        assert_eq!(c.num_sus, 32);
+        assert_eq!(c.pes_per_su, 32);
+        assert_eq!(c.total_pes(), 1024);
+        assert_eq!(c.clock_hz, 500e6);
+        assert_eq!(c.backend, BackendPolicy::Mqsn);
+        assert_eq!(c.mapping, MappingPolicy::LowOrderBits);
+        assert!(c.forwarding && c.bypassing);
+    }
+
+    #[test]
+    fn mapping_policies_stay_in_range_and_differ() {
+        let mut diff = 0;
+        for leaf in 0..256u32 {
+            let a = MappingPolicy::LowOrderBits.su_for(leaf, 32);
+            let b = MappingPolicy::Hash.su_for(leaf, 32);
+            assert!(a < 32 && b < 32);
+            if a != b {
+                diff += 1;
+            }
+        }
+        assert!(diff > 128, "hash should disagree with modulo most of the time");
+    }
+
+    #[test]
+    fn hash_mapping_spreads_consecutive_leaves() {
+        // Consecutive leaves should not all land on consecutive SUs.
+        use std::collections::HashSet;
+        let sus: HashSet<usize> = (0..16u32).map(|l| MappingPolicy::Hash.su_for(l, 32)).collect();
+        assert!(sus.len() > 8);
+    }
+
+    #[test]
+    fn no_opt_strips_optimizations() {
+        let c = AcceleratorConfig::no_opt();
+        assert!(!c.forwarding && !c.bypassing);
+        assert_eq!(c.node_cache_points, 0);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let c = AcceleratorConfig::default();
+        assert!((c.seconds(500_000_000) - 1.0).abs() < 1e-12);
+        assert_eq!(c.seconds(0), 0.0);
+    }
+}

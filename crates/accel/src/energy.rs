@@ -1,0 +1,172 @@
+//! Analytic energy model (substituting the paper's PrimeTime-PX +
+//! SRAM-compiler + Micron DDR4 flow; see DESIGN.md).
+//!
+//! Energy is events × per-event constants. The constants are calibrated so
+//! the breakdown on a representative dense workload reproduces the paper's
+//! Sec. 6.3 numbers — PE ≈ 53.7%, SRAM read ≈ 34.8%, SRAM write ≈ 8.0%,
+//! leakage ≈ 3.3%, DRAM ≈ 0.2% — and the absolute power lands in the
+//! 4–36 W envelope of Fig. 14a.
+
+use crate::memory::TrafficReport;
+
+/// Energy per category, joules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Distance-datapath (PE + RU compute) energy.
+    pub pe: f64,
+    /// SRAM read energy.
+    pub sram_read: f64,
+    /// SRAM write energy.
+    pub sram_write: f64,
+    /// Leakage energy (power × time).
+    pub leakage: f64,
+    /// DRAM energy.
+    pub dram: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy, joules.
+    pub fn total_joules(&self) -> f64 {
+        self.pe + self.sram_read + self.sram_write + self.leakage + self.dram
+    }
+
+    /// Fraction of total in each category: `(pe, sram_read, sram_write,
+    /// leakage, dram)`; zeros when total is zero.
+    pub fn fractions(&self) -> (f64, f64, f64, f64, f64) {
+        let t = self.total_joules();
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.pe / t,
+            self.sram_read / t,
+            self.sram_write / t,
+            self.leakage / t,
+            self.dram / t,
+        )
+    }
+}
+
+/// Per-event energy constants (16 nm class).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Joules per distance operation (one point through a PE / one RU CD).
+    pub per_distance_op: f64,
+    /// Joules per byte read from the large SRAM buffers.
+    pub per_sram_read_byte: f64,
+    /// Joules per byte written to SRAM.
+    pub per_sram_write_byte: f64,
+    /// Joules per byte of DRAM traffic.
+    pub per_dram_byte: f64,
+    /// Leakage power, watts.
+    pub leakage_watts: f64,
+    /// Fraction of each buffer's traffic that is writes (reads get the
+    /// rest): stacks see pushes, results see result stores; the rest of
+    /// the buffers are read-dominated.
+    pub stack_write_fraction: f64,
+    /// Write fraction of Result Buffer traffic.
+    pub result_write_fraction: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            per_distance_op: 20e-12,
+            per_sram_read_byte: 9.6e-12,
+            per_sram_write_byte: 6.0e-12,
+            per_dram_byte: 20e-12,
+            leakage_watts: 0.32,
+            stack_write_fraction: 2.0 / 3.0, // 2 pushes per pop
+            result_write_fraction: 0.8,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Computes the breakdown for `distance_ops` datapath operations, the
+    /// given memory traffic, and `seconds` of elapsed time.
+    pub fn compute(&self, distance_ops: u64, traffic: &TrafficReport, seconds: f64) -> EnergyBreakdown {
+        let read_bytes = (traffic.fe_query_queue / 2)
+            + traffic.query_buffer
+            + (traffic.query_stacks as f64 * (1.0 - self.stack_write_fraction)) as u64
+            + (traffic.result_buffer as f64 * (1.0 - self.result_write_fraction)) as u64
+            + traffic.be_query_buffer / 2
+            + traffic.node_cache
+            + traffic.points_buffer;
+        let write_bytes = traffic.total_sram() - read_bytes;
+
+        EnergyBreakdown {
+            pe: distance_ops as f64 * self.per_distance_op,
+            sram_read: read_bytes as f64 * self.per_sram_read_byte,
+            sram_write: write_bytes as f64 * self.per_sram_write_byte,
+            leakage: self.leakage_watts * seconds,
+            dram: traffic.dram as f64 * self.per_dram_byte,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_inputs_zero_energy() {
+        let m = EnergyModel::default();
+        let e = m.compute(0, &TrafficReport::default(), 0.0);
+        assert_eq!(e.total_joules(), 0.0);
+        assert_eq!(e.fractions(), (0.0, 0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn energy_scales_with_work() {
+        let m = EnergyModel::default();
+        let t = TrafficReport { points_buffer: 1000, ..Default::default() };
+        let a = m.compute(1000, &t, 1e-6);
+        let t2 = TrafficReport { points_buffer: 2000, ..Default::default() };
+        let b = m.compute(2000, &t2, 2e-6);
+        assert!((b.total_joules() - 2.0 * a.total_joules()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let m = EnergyModel::default();
+        let t = TrafficReport {
+            points_buffer: 5000,
+            query_stacks: 2000,
+            result_buffer: 500,
+            dram: 100,
+            ..Default::default()
+        };
+        let e = m.compute(10_000, &t, 1e-5);
+        let (a, b, c, d, f) = e.fractions();
+        assert!((a + b + c + d + f - 1.0).abs() < 1e-12);
+        assert!(a > 0.0 && b > 0.0 && c > 0.0 && d > 0.0 && f > 0.0);
+    }
+
+    #[test]
+    fn representative_workload_breakdown_shape() {
+        // A DP4-like dense workload: PE energy dominates, then SRAM reads,
+        // then writes; leakage small; DRAM tiny (paper Sec. 6.3).
+        let m = EnergyModel::default();
+        // 1024 PEs at ~50% utilization for 100 µs at 500 MHz ≈ 2.6e7 ops.
+        let ops = 26_000_000u64;
+        // Node streams shared ~16-wide: bytes ≈ ops/16 × 16 B ≈ 2.6e7.
+        let traffic = TrafficReport {
+            points_buffer: 20_000_000,
+            node_cache: 6_000_000,
+            query_stacks: 9_000_000,
+            query_buffer: 3_000_000,
+            fe_query_queue: 3_000_000,
+            be_query_buffer: 3_000_000,
+            result_buffer: 4_000_000,
+            dram: 100_000,
+        };
+        let e = m.compute(ops, &traffic, 100e-6);
+        let (pe, rd, wr, leak, dram) = e.fractions();
+        assert!(pe > 0.45 && pe < 0.65, "pe = {pe}");
+        assert!(rd > 0.2 && rd < 0.45, "sram read = {rd}");
+        assert!(wr > 0.03 && wr < 0.15, "sram write = {wr}");
+        assert!(leak > 0.01 && leak < 0.10, "leakage = {leak}");
+        assert!(dram < 0.01, "dram = {dram}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-buffer memory traffic accounting (paper Fig. 13).
+//!
+//! Data sizes follow the paper's global-buffer layout: points and queries
+//! are 16 B (four 32-bit floats: x, y, z, pad/index), stack entries and
+//! result records 8 B.
+
+/// Bytes per stored point / query.
+pub const POINT_BYTES: u64 = 16;
+/// Bytes per query-stack entry (node address + bound).
+pub const STACK_ENTRY_BYTES: u64 = 8;
+/// Bytes per result record (index + distance).
+pub const RESULT_BYTES: u64 = 8;
+
+/// Byte counts per buffer of the global memory system (read + write
+/// combined, like the paper's Fig. 13 distribution).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficReport {
+    /// FE Query Queue traffic.
+    pub fe_query_queue: u64,
+    /// Query Buffer traffic (query-point reads by RUs and PEs).
+    pub query_buffer: u64,
+    /// Query Stack Buffer traffic (pushes + pops).
+    pub query_stacks: u64,
+    /// Result Buffer traffic (result writes; follower reads).
+    pub result_buffer: u64,
+    /// BE Query Buffer traffic.
+    pub be_query_buffer: u64,
+    /// Node Cache traffic (hits served from the cache).
+    pub node_cache: u64,
+    /// Input Point Buffer traffic (top-tree node reads + node-set loads
+    /// that missed the cache).
+    pub points_buffer: u64,
+    /// DRAM traffic (result write-back through the double buffer).
+    pub dram: u64,
+}
+
+impl TrafficReport {
+    /// Total on-chip traffic (everything except DRAM).
+    pub fn total_sram(&self) -> u64 {
+        self.fe_query_queue
+            + self.query_buffer
+            + self.query_stacks
+            + self.result_buffer
+            + self.be_query_buffer
+            + self.node_cache
+            + self.points_buffer
+    }
+
+    /// Fraction of on-chip traffic hitting the Points Buffer — the quantity
+    /// the node cache reduces (paper: 53% → 35% in ACC-2SKD).
+    pub fn points_buffer_fraction(&self) -> f64 {
+        let total = self.total_sram();
+        if total == 0 {
+            0.0
+        } else {
+            self.points_buffer as f64 / total as f64
+        }
+    }
+
+    /// Named (label, bytes) rows for reporting, in the paper's Fig. 13
+    /// legend order.
+    pub fn rows(&self) -> [(&'static str, u64); 7] {
+        [
+            ("FE Query Q", self.fe_query_queue),
+            ("Query Buf", self.query_buffer),
+            ("Query Stacks", self.query_stacks),
+            ("Res. Buf", self.result_buffer),
+            ("BE Query Q", self.be_query_buffer),
+            ("Node Cache", self.node_cache),
+            ("Points Buf", self.points_buffer),
+        ]
+    }
+}
+
+impl std::ops::Add for TrafficReport {
+    type Output = TrafficReport;
+    fn add(self, o: TrafficReport) -> TrafficReport {
+        TrafficReport {
+            fe_query_queue: self.fe_query_queue + o.fe_query_queue,
+            query_buffer: self.query_buffer + o.query_buffer,
+            query_stacks: self.query_stacks + o.query_stacks,
+            result_buffer: self.result_buffer + o.result_buffer,
+            be_query_buffer: self.be_query_buffer + o.be_query_buffer,
+            node_cache: self.node_cache + o.node_cache,
+            points_buffer: self.points_buffer + o.points_buffer,
+            dram: self.dram + o.dram,
+        }
+    }
+}
+
+impl std::ops::AddAssign for TrafficReport {
+    fn add_assign(&mut self, o: TrafficReport) {
+        *self = *self + o;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let t = TrafficReport {
+            points_buffer: 50,
+            query_stacks: 30,
+            node_cache: 20,
+            ..Default::default()
+        };
+        assert_eq!(t.total_sram(), 100);
+        assert!((t.points_buffer_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report() {
+        let t = TrafficReport::default();
+        assert_eq!(t.total_sram(), 0);
+        assert_eq!(t.points_buffer_fraction(), 0.0);
+    }
+
+    #[test]
+    fn rows_cover_all_sram_buffers() {
+        let t = TrafficReport {
+            fe_query_queue: 1,
+            query_buffer: 2,
+            query_stacks: 3,
+            result_buffer: 4,
+            be_query_buffer: 5,
+            node_cache: 6,
+            points_buffer: 7,
+            dram: 100,
+        };
+        let sum: u64 = t.rows().iter().map(|(_, b)| b).sum();
+        assert_eq!(sum, t.total_sram());
+        assert_eq!(t.rows().len(), 7);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let a = TrafficReport { dram: 5, points_buffer: 10, ..Default::default() };
+        let mut b = a;
+        b += a;
+        assert_eq!(b.dram, 10);
+        assert_eq!(b.points_buffer, 20);
+        assert_eq!(b, a + a);
+    }
+}

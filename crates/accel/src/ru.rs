@@ -1,0 +1,137 @@
+//! Front-end recursion-unit timing model (paper Sec. 5.2, Fig. 9).
+//!
+//! An RU processes one query at a time, iteratively popping top-tree nodes
+//! from the query's stack through six stages — FQ (fetch query), RS (read
+//! stack), RN (read node), CD (compute distance), PI (push & insert), CL
+//! (cleanup/issue). The PI→RS dependency stalls the pipeline 3 cycles
+//! between consecutive nodes:
+//!
+//! * **No optimization** — every popped node occupies 1 + 3 stall cycles.
+//! * **Node bypassing** — a popped node whose recorded bound proves it
+//!   prunable exits after RN (1 cycle), skipping CD/PI.
+//! * **Node forwarding** — PI forwards the next node directly to RN, and
+//!   the push-order decision moves into CD, removing all remaining stalls:
+//!   expanded nodes take 1 cycle each.
+
+/// Per-node cycle cost of the RU under given optimization flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuCost {
+    /// Cycles per expanded (distance-computed) node.
+    pub per_expanded: u64,
+    /// Cycles per bypassed (popped-but-pruned) node.
+    pub per_bypassed: u64,
+    /// Fixed per-query overhead (FQ + CL).
+    pub per_query: u64,
+}
+
+impl RuCost {
+    /// Derives the per-node costs from the optimization flags.
+    pub fn from_flags(forwarding: bool, bypassing: bool) -> Self {
+        // Full iteration: RS RN CD PI = 4 cycles with the 3-cycle stall
+        // folded in (1 issue + 3 stall); forwarding collapses it to 1.
+        let per_expanded = if forwarding { 1 } else { 4 };
+        // A bypassed node is identified at RN; with bypassing it frees the
+        // pipeline immediately (1 cycle), otherwise it flows through like a
+        // normal node.
+        let per_bypassed = if bypassing { 1 } else { per_expanded };
+        RuCost { per_expanded, per_bypassed, per_query: 2 }
+    }
+
+    /// Cycles for one query that expanded `expanded` nodes and bypassed
+    /// `bypassed` nodes in the top-tree.
+    pub fn query_cycles(&self, expanded: u64, bypassed: u64) -> u64 {
+        self.per_query + expanded * self.per_expanded + bypassed * self.per_bypassed
+    }
+}
+
+/// Front-end makespan: schedules per-query cycle costs over `num_rus`
+/// units, each processing one query at a time, queries dispatched in order
+/// to the earliest-free RU (the FE Query Queue discipline).
+///
+/// # Panics
+///
+/// Panics when `num_rus == 0`.
+pub fn fe_makespan(query_costs: &[u64], num_rus: usize) -> u64 {
+    assert!(num_rus > 0, "need at least one RU");
+    let mut free_at = vec![0u64; num_rus.min(query_costs.len()).max(1)];
+    for &cost in query_costs {
+        // Earliest-free RU takes the next query.
+        let (idx, &t) = free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .unwrap();
+        let _ = t;
+        free_at[idx] += cost;
+    }
+    free_at.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_combinations_order_costs() {
+        let no_opt = RuCost::from_flags(false, false);
+        let bypass = RuCost::from_flags(false, true);
+        let both = RuCost::from_flags(true, true);
+        assert_eq!(no_opt.per_expanded, 4);
+        assert_eq!(no_opt.per_bypassed, 4);
+        assert_eq!(bypass.per_bypassed, 1);
+        assert_eq!(both.per_expanded, 1);
+        assert_eq!(both.per_bypassed, 1);
+
+        // For a mixed workload: no-opt ≥ bypass ≥ both.
+        let q = |c: RuCost| c.query_cycles(10, 5);
+        assert!(q(no_opt) > q(bypass));
+        assert!(q(bypass) > q(both));
+    }
+
+    #[test]
+    fn query_cycles_formula() {
+        let c = RuCost { per_expanded: 4, per_bypassed: 1, per_query: 2 };
+        assert_eq!(c.query_cycles(3, 2), 2 + 12 + 2);
+        assert_eq!(c.query_cycles(0, 0), 2);
+    }
+
+    #[test]
+    fn makespan_single_ru_is_sum() {
+        assert_eq!(fe_makespan(&[3, 4, 5], 1), 12);
+    }
+
+    #[test]
+    fn makespan_many_rus_is_max() {
+        assert_eq!(fe_makespan(&[3, 4, 5], 8), 5);
+    }
+
+    #[test]
+    fn makespan_balances_load() {
+        // Two RUs, costs 5,1,1,1,1,1 in order: RU0 gets 5; RU1 gets the 1s.
+        assert_eq!(fe_makespan(&[5, 1, 1, 1, 1, 1], 2), 5);
+        // Greedy in-order: 4,4,1,1 on 2 RUs → 4+1 = 5.
+        assert_eq!(fe_makespan(&[4, 4, 1, 1], 2), 5);
+    }
+
+    #[test]
+    fn makespan_empty() {
+        assert_eq!(fe_makespan(&[], 4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one RU")]
+    fn makespan_zero_rus_panics() {
+        fe_makespan(&[1], 0);
+    }
+
+    #[test]
+    fn more_rus_never_slower() {
+        let costs: Vec<u64> = (0..100).map(|i| (i % 17) + 1).collect();
+        let mut prev = u64::MAX;
+        for rus in [1, 2, 4, 8, 16, 32] {
+            let m = fe_makespan(&costs, rus);
+            assert!(m <= prev);
+            prev = m;
+        }
+    }
+}

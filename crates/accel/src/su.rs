@@ -1,0 +1,310 @@
+//! Back-end search-unit timing model (paper Sec. 5.3, Fig. 10).
+//!
+//! Each SU owns a BE Query Buffer, query-issue logic, and a 1D systolic
+//! array of PEs in a query-stationary dataflow: queries pin to PEs and the
+//! leaf's node-set streams through, one point per cycle, with no stalls
+//! (no inter-node dependencies). Leaf-to-SU mapping uses the leaf id's
+//! low-order bits (the paper finds performance insensitive to the policy).
+//!
+//! Under **MQSN** the issue logic gathers up to `pes_per_su` queries bound
+//! for the *same* leaf from a bounded window of the BQB, so one node-set
+//! stream feeds all PEs; under **MQMN** any query can issue to any free PE
+//! at the cost of a node-set stream per query (≈4× traffic).
+
+use crate::cache::NodeCache;
+use crate::config::{AcceleratorConfig, BackendPolicy};
+use crate::memory::{TrafficReport, POINT_BYTES};
+
+/// One unit of back-end work: a query scanning one leaf (exhaustively or
+/// via its leader's result set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafTask {
+    /// Query index (for bookkeeping).
+    pub query: u32,
+    /// Target leaf id.
+    pub leaf: u32,
+    /// Points the PE streams for this task: the leaf-set size on the
+    /// precise path, the leader's result count on the follower path.
+    pub scan_points: u32,
+    /// Leader-distance checks performed before the path decision
+    /// (Algorithm 1's `getMinDist`), executed on the PEs.
+    pub leader_checks: u32,
+    /// `true` when the scan streams from the Result Buffer (follower path)
+    /// instead of the Input Point Buffer.
+    pub follower: bool,
+}
+
+/// Back-end simulation outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BackendReport {
+    /// Back-end makespan in cycles (max over SUs).
+    pub cycles: u64,
+    /// PE-cycles actually spent streaming points.
+    pub pe_busy_cycles: u64,
+    /// PE-cycles available during the makespan (`total PEs × cycles`).
+    pub pe_capacity_cycles: u64,
+    /// Batches issued (MQSN) or tasks issued (MQMN).
+    pub batches: u64,
+    /// Node-cache hits (MQSN only).
+    pub cache_hits: u64,
+    /// Memory traffic attributable to the back-end.
+    pub traffic: TrafficReport,
+}
+
+impl BackendReport {
+    /// PE utilization in `[0, 1]`.
+    pub fn pe_utilization(&self) -> f64 {
+        if self.pe_capacity_cycles == 0 {
+            0.0
+        } else {
+            self.pe_busy_cycles as f64 / self.pe_capacity_cycles as f64
+        }
+    }
+}
+
+/// Pipeline fill/drain of the 3-stage PE datapath.
+const PIPE_FILL: u64 = 3;
+/// Amortized query-issue overhead per batch (the associative BQB search,
+/// performed 32 entries at a time, costs two orders of magnitude less than
+/// the scans it feeds — paper Sec. 5.3).
+const ISSUE_OVERHEAD: u64 = 2;
+
+/// Schedules `tasks` (in arrival order) over the back-end and returns the
+/// timing/traffic report. `leaf_sizes[leaf]` gives each leaf's node-set
+/// size (for cache accounting).
+pub fn run_backend(
+    tasks: &[LeafTask],
+    leaf_sizes: &[usize],
+    cfg: &AcceleratorConfig,
+    cache: &mut NodeCache,
+) -> BackendReport {
+    let mut report = BackendReport::default();
+    if tasks.is_empty() || cfg.num_sus == 0 || cfg.pes_per_su == 0 {
+        return report;
+    }
+
+    // Distribute to SUs per the configured mapping policy.
+    let mut per_su: Vec<Vec<LeafTask>> = vec![Vec::new(); cfg.num_sus];
+    for t in tasks {
+        per_su[cfg.mapping.su_for(t.leaf, cfg.num_sus)].push(*t);
+    }
+
+    let mut su_cycles = vec![0u64; cfg.num_sus];
+    for (su, queue) in per_su.iter().enumerate() {
+        match cfg.backend {
+            BackendPolicy::Mqsn => {
+                su_cycles[su] = run_su_mqsn(queue, leaf_sizes, cfg, cache, &mut report);
+            }
+            BackendPolicy::Mqmn => {
+                su_cycles[su] = run_su_mqmn(queue, leaf_sizes, cfg, &mut report);
+            }
+        }
+    }
+
+    report.cycles = su_cycles.into_iter().max().unwrap_or(0);
+    report.pe_capacity_cycles = report.cycles * cfg.total_pes() as u64;
+    report
+}
+
+/// MQSN: batch same-leaf queries from a bounded issue window; one node-set
+/// stream per batch feeds all batched PEs.
+fn run_su_mqsn(
+    queue: &[LeafTask],
+    leaf_sizes: &[usize],
+    cfg: &AcceleratorConfig,
+    cache: &mut NodeCache,
+    report: &mut BackendReport,
+) -> u64 {
+    let mut cycles = 0u64;
+    let mut pending: std::collections::VecDeque<LeafTask> = queue.iter().copied().collect();
+    while let Some(head) = pending.pop_front() {
+        // Gather same-leaf, same-path companions from the issue window.
+        let mut batch = vec![head];
+        let window = cfg.issue_window.min(pending.len());
+        let mut kept: Vec<LeafTask> = Vec::with_capacity(pending.len());
+        for (scanned, t) in pending.drain(..).enumerate() {
+            if scanned < window
+                && batch.len() < cfg.pes_per_su
+                && t.leaf == head.leaf
+                && t.follower == head.follower
+                && t.scan_points == head.scan_points
+            {
+                batch.push(t);
+            } else {
+                kept.push(t);
+            }
+        }
+        pending = kept.into();
+
+        let leader_checks = batch.iter().map(|t| t.leader_checks as u64).max().unwrap_or(0);
+        let scan = head.scan_points as u64;
+        let batch_cycles = ISSUE_OVERHEAD + PIPE_FILL + leader_checks + scan;
+        cycles += batch_cycles;
+        report.batches += 1;
+        for t in &batch {
+            report.pe_busy_cycles += t.scan_points as u64 + t.leader_checks as u64;
+            // Per-task bookkeeping traffic: BQB write+read, query-point read.
+            report.traffic.be_query_buffer += 2 * POINT_BYTES;
+            report.traffic.query_buffer += POINT_BYTES;
+        }
+        // One node-set stream per batch.
+        let bytes = scan * POINT_BYTES;
+        if head.follower {
+            // Follower scans stream from the Result Buffer.
+            report.traffic.result_buffer += bytes;
+        } else {
+            let size = leaf_sizes.get(head.leaf as usize).copied().unwrap_or(scan as usize);
+            if cache.access(head.leaf, size) {
+                report.cache_hits += 1;
+                report.traffic.node_cache += bytes;
+            } else {
+                report.traffic.points_buffer += bytes;
+            }
+        }
+    }
+    cycles
+}
+
+/// MQMN: every task issues independently to the next free PE; each task
+/// streams its own node set (no sharing, no node cache benefit).
+fn run_su_mqmn(
+    queue: &[LeafTask],
+    leaf_sizes: &[usize],
+    cfg: &AcceleratorConfig,
+    report: &mut BackendReport,
+) -> u64 {
+    let _ = leaf_sizes;
+    let mut pe_free = vec![0u64; cfg.pes_per_su];
+    for t in queue {
+        let (idx, &at) = pe_free.iter().enumerate().min_by_key(|(_, &v)| v).unwrap();
+        let cost = ISSUE_OVERHEAD + PIPE_FILL + t.leader_checks as u64 + t.scan_points as u64;
+        pe_free[idx] = at + cost;
+        report.batches += 1;
+        report.pe_busy_cycles += t.scan_points as u64 + t.leader_checks as u64;
+        report.traffic.be_query_buffer += 2 * POINT_BYTES;
+        report.traffic.query_buffer += POINT_BYTES;
+        let bytes = t.scan_points as u64 * POINT_BYTES;
+        if t.follower {
+            report.traffic.result_buffer += bytes;
+        } else {
+            report.traffic.points_buffer += bytes;
+        }
+    }
+    pe_free.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(query: u32, leaf: u32, scan: u32) -> LeafTask {
+        LeafTask { query, leaf, scan_points: scan, leader_checks: 0, follower: false }
+    }
+
+    fn cfg(sus: usize, pes: usize, backend: BackendPolicy) -> AcceleratorConfig {
+        AcceleratorConfig {
+            num_sus: sus,
+            pes_per_su: pes,
+            backend,
+            node_cache_points: 0,
+            ..AcceleratorConfig::default()
+        }
+    }
+
+    #[test]
+    fn empty_tasks() {
+        let mut cache = NodeCache::new(0);
+        let r = run_backend(&[], &[], &cfg(4, 4, BackendPolicy::Mqsn), &mut cache);
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.pe_utilization(), 0.0);
+    }
+
+    #[test]
+    fn mqsn_batches_same_leaf_queries() {
+        // 4 queries to the same leaf, 4 PEs: one batch.
+        let tasks: Vec<LeafTask> = (0..4).map(|q| task(q, 0, 100)).collect();
+        let mut cache = NodeCache::new(0);
+        let r = run_backend(&tasks, &[100], &cfg(1, 4, BackendPolicy::Mqsn), &mut cache);
+        assert_eq!(r.batches, 1);
+        assert_eq!(r.cycles, ISSUE_OVERHEAD + PIPE_FILL + 100);
+        assert_eq!(r.pe_busy_cycles, 400);
+        // One stream of the node set.
+        assert_eq!(r.traffic.points_buffer, 100 * POINT_BYTES);
+    }
+
+    #[test]
+    fn mqsn_splits_batches_beyond_pe_count() {
+        let tasks: Vec<LeafTask> = (0..6).map(|q| task(q, 0, 50)).collect();
+        let mut cache = NodeCache::new(0);
+        let r = run_backend(&tasks, &[50], &cfg(1, 4, BackendPolicy::Mqsn), &mut cache);
+        assert_eq!(r.batches, 2, "6 same-leaf queries on 4 PEs = 2 batches");
+        assert_eq!(r.traffic.points_buffer, 2 * 50 * POINT_BYTES);
+    }
+
+    #[test]
+    fn mqsn_different_leaves_do_not_batch() {
+        let tasks = vec![task(0, 0, 50), task(1, 2, 50)]; // both map to SU 0 of 2 SUs
+        let mut cache = NodeCache::new(0);
+        let r = run_backend(&tasks, &[50, 50, 50], &cfg(2, 4, BackendPolicy::Mqsn), &mut cache);
+        assert_eq!(r.batches, 2);
+    }
+
+    #[test]
+    fn mqmn_is_faster_but_streams_more() {
+        // Many distinct leaves: MQSN can't batch; MQMN runs them in
+        // parallel on separate PEs.
+        let tasks: Vec<LeafTask> = (0..8).map(|q| task(q, q * 2, 100)).collect(); // all even leaves → SU 0 of 2? leaf%2==0 → SU0.
+        let leaf_sizes = vec![100; 16];
+        let mut c1 = NodeCache::new(0);
+        let mqsn = run_backend(&tasks, &leaf_sizes, &cfg(2, 8, BackendPolicy::Mqsn), &mut c1);
+        let mut c2 = NodeCache::new(0);
+        let mqmn = run_backend(&tasks, &leaf_sizes, &cfg(2, 8, BackendPolicy::Mqmn), &mut c2);
+        assert!(mqmn.cycles < mqsn.cycles, "mqmn {} !< mqsn {}", mqmn.cycles, mqsn.cycles);
+        // Same number of node-set streams here (MQSN couldn't share), but
+        // with shared leaves MQSN wins on traffic:
+        let shared: Vec<LeafTask> = (0..8).map(|q| task(q, 0, 100)).collect();
+        let mut c3 = NodeCache::new(0);
+        let mqsn_shared = run_backend(&shared, &leaf_sizes, &cfg(2, 8, BackendPolicy::Mqsn), &mut c3);
+        let mut c4 = NodeCache::new(0);
+        let mqmn_shared = run_backend(&shared, &leaf_sizes, &cfg(2, 8, BackendPolicy::Mqmn), &mut c4);
+        assert!(mqsn_shared.traffic.points_buffer < mqmn_shared.traffic.points_buffer);
+    }
+
+    #[test]
+    fn node_cache_redirects_traffic() {
+        let tasks = vec![task(0, 0, 100), task(1, 4, 100), task(2, 0, 100), task(3, 4, 100)];
+        // Force separate batches (different arrival interleaving, same SU).
+        let leaf_sizes = vec![100; 8];
+        let mut cache = NodeCache::new(1000);
+        let c = AcceleratorConfig {
+            num_sus: 4,
+            pes_per_su: 1, // one task per batch
+            backend: BackendPolicy::Mqsn,
+            ..AcceleratorConfig::default()
+        };
+        let r = run_backend(&tasks, &leaf_sizes, &c, &mut cache);
+        assert_eq!(r.cache_hits, 2, "second visit to each leaf hits");
+        assert_eq!(r.traffic.node_cache, 2 * 100 * POINT_BYTES);
+        assert_eq!(r.traffic.points_buffer, 2 * 100 * POINT_BYTES);
+    }
+
+    #[test]
+    fn follower_tasks_read_result_buffer() {
+        let t = LeafTask { query: 0, leaf: 0, scan_points: 8, leader_checks: 3, follower: true };
+        let mut cache = NodeCache::new(1000);
+        let r = run_backend(&[t], &[100], &cfg(1, 4, BackendPolicy::Mqsn), &mut cache);
+        assert_eq!(r.traffic.result_buffer, 8 * POINT_BYTES);
+        assert_eq!(r.traffic.points_buffer, 0);
+        assert_eq!(r.cycles, ISSUE_OVERHEAD + PIPE_FILL + 3 + 8);
+    }
+
+    #[test]
+    fn utilization_bounded_by_one() {
+        let tasks: Vec<LeafTask> = (0..64).map(|q| task(q, q % 8, 64)).collect();
+        let leaf_sizes = vec![64; 8];
+        let mut cache = NodeCache::new(0);
+        let r = run_backend(&tasks, &leaf_sizes, &cfg(8, 8, BackendPolicy::Mqsn), &mut cache);
+        let u = r.pe_utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    }
+}

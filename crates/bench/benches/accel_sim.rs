@@ -1,0 +1,62 @@
+//! Accelerator-simulator benchmarks: how fast the cycle model itself runs
+//! (simulation throughput, not simulated time), across the Fig. 12
+//! ablation variants and both back-end policies.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tigris_accel::{AcceleratorConfig, AcceleratorSim, BackendPolicy, SearchKind};
+use tigris_bench::workload::{dense_frame_pair, height_for_leaf_size};
+use tigris_core::{ApproxConfig, TwoStageKdTree};
+use tigris_geom::Vec3;
+
+fn bench_sim(c: &mut Criterion) {
+    let (points, queries) = dense_frame_pair(42);
+    let queries: Vec<Vec3> = queries.into_iter().step_by(16).collect();
+    let h = height_for_leaf_size(points.len(), 128);
+    let tree = TwoStageKdTree::build(&points, h);
+
+    let mut group = c.benchmark_group("accel_sim");
+    group.sample_size(10);
+
+    group.bench_function("nn_exact_mqsn", |b| {
+        b.iter(|| {
+            let mut sim = AcceleratorSim::new(&tree, AcceleratorConfig::paper());
+            black_box(sim.run(&queries, SearchKind::Nn).cycles)
+        });
+    });
+    group.bench_function("nn_no_opt", |b| {
+        b.iter(|| {
+            let mut sim = AcceleratorSim::new(&tree, AcceleratorConfig::no_opt());
+            black_box(sim.run(&queries, SearchKind::Nn).cycles)
+        });
+    });
+    group.bench_function("nn_mqmn", |b| {
+        b.iter(|| {
+            let cfg = AcceleratorConfig {
+                backend: BackendPolicy::Mqmn,
+                ..AcceleratorConfig::paper()
+            };
+            let mut sim = AcceleratorSim::new(&tree, cfg);
+            black_box(sim.run(&queries, SearchKind::Nn).cycles)
+        });
+    });
+    group.bench_function("nn_approx", |b| {
+        b.iter(|| {
+            let cfg = AcceleratorConfig {
+                approx: Some(ApproxConfig::default()),
+                ..AcceleratorConfig::paper()
+            };
+            let mut sim = AcceleratorSim::new(&tree, cfg);
+            black_box(sim.run(&queries, SearchKind::Nn).cycles)
+        });
+    });
+    group.bench_function("radius_exact", |b| {
+        b.iter(|| {
+            let mut sim = AcceleratorSim::new(&tree, AcceleratorConfig::paper());
+            black_box(sim.run(&queries, SearchKind::Radius(0.6)).cycles)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

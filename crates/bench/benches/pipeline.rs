@@ -1,0 +1,53 @@
+//! End-to-end registration benchmarks: one frame pair at the
+//! performance-oriented (DP4) and accuracy-oriented (DP7) design points,
+//! plus the individual front-end stages at the default configuration.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tigris_bench::workload::frame_pair;
+use tigris_geom::PointCloud;
+use tigris_pipeline::keypoint::detect_keypoints;
+use tigris_pipeline::normal::estimate_normals;
+use tigris_pipeline::{register, DesignPoint, RegistrationConfig, Searcher3};
+
+fn bench_register(c: &mut Criterion) {
+    let (source, target, _) = frame_pair(42);
+    let source = PointCloud::from_points(source);
+    let target = PointCloud::from_points(target);
+
+    let mut group = c.benchmark_group("register");
+    group.sample_size(10);
+    for dp in [DesignPoint::Dp4, DesignPoint::Dp7] {
+        group.bench_function(dp.name(), |b| {
+            let cfg = dp.config();
+            b.iter(|| black_box(register(&source, &target, &cfg).unwrap().icp_iterations));
+        });
+    }
+    group.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let (_, target, _) = frame_pair(42);
+    let cfg = RegistrationConfig::default();
+    let cloud = PointCloud::from_points(target).voxel_downsample(cfg.voxel_size);
+
+    let mut group = c.benchmark_group("stages");
+    group.sample_size(10);
+    group.bench_function("normal_estimation", |b| {
+        b.iter(|| {
+            let mut s = Searcher3::classic(cloud.points());
+            black_box(estimate_normals(&mut s, cfg.normal_radius, cfg.normal_algorithm).len())
+        });
+    });
+    group.bench_function("keypoint_detection", |b| {
+        let mut s = Searcher3::classic(cloud.points());
+        let normals = estimate_normals(&mut s, cfg.normal_radius, cfg.normal_algorithm);
+        b.iter(|| {
+            let mut s = Searcher3::classic(cloud.points());
+            black_box(detect_keypoints(&mut s, &normals, cfg.keypoint).len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_register, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,221 @@
+//! Scratch harness for tuning registration quality on synthetic frames.
+
+use tigris_bench::workload::frame_pair;
+use tigris_geom::{PointCloud, RigidTransform};
+use tigris_pipeline::{
+    register, ErrorMetric, KeypointAlgorithm, RegistrationConfig, SolverAlgorithm,
+};
+
+/// Step through the initial-estimation phase and report the quality of
+/// each stage's output against ground truth.
+fn diagnose_frontend(
+    source: &PointCloud,
+    target: &PointCloud,
+    gt: &RigidTransform,
+    cfg: &RegistrationConfig,
+) {
+    use tigris_pipeline::correspond::kpce;
+    use tigris_pipeline::descriptor::compute_descriptors;
+    use tigris_pipeline::keypoint::detect_keypoints;
+    use tigris_pipeline::normal::estimate_normals;
+    use tigris_pipeline::Searcher3;
+    let src = source.voxel_downsample(cfg.voxel_size);
+    let tgt = target.voxel_downsample(cfg.voxel_size);
+    let mut ss = Searcher3::classic(src.points());
+    let mut ts = Searcher3::classic(tgt.points());
+    let sn = estimate_normals(&mut ss, cfg.normal_radius, cfg.normal_algorithm);
+    let tn = estimate_normals(&mut ts, cfg.normal_radius, cfg.normal_algorithm);
+    let sk = detect_keypoints(&mut ss, &sn, cfg.keypoint);
+    let tk = detect_keypoints(&mut ts, &tn, cfg.keypoint);
+    println!("keypoints: {} src, {} tgt", sk.len(), tk.len());
+    let ranges: Vec<f64> = sk.iter().map(|&i| src.points()[i].norm()).collect();
+    let mut sorted = ranges.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "keypoint range: min {:.1} med {:.1} max {:.1} m; first 5: {:?}",
+        sorted[0],
+        sorted[sorted.len() / 2],
+        sorted[sorted.len() - 1],
+        &sk[..5.min(sk.len())]
+            .iter()
+            .map(|&i| src.points()[i])
+            .collect::<Vec<_>>()
+    );
+
+    // How repeatable are the key-points? For each source key-point, is
+    // there a target key-point within 0.4 m after the GT transform?
+    let tk_pts: Vec<_> = tk.iter().map(|&i| tgt.points()[i]).collect();
+    let repeat = sk
+        .iter()
+        .filter(|&&i| {
+            let p = gt.apply(src.points()[i]);
+            tk_pts.iter().any(|&t| t.distance(p) < 0.4)
+        })
+        .count();
+    println!("keypoint repeatability: {repeat}/{} within 0.4 m", sk.len());
+
+    let sd = compute_descriptors(&mut ss, &sn, &sk, cfg.descriptor);
+    let td = compute_descriptors(&mut ts, &tn, &tk, cfg.descriptor);
+    for recip in [false, true] {
+        let matches = kpce(&sd, &td, recip, None);
+        let good = matches
+            .iter()
+            .filter(|m| {
+                gt.apply(src.points()[sk[m.source]])
+                    .distance(tgt.points()[tk[m.target]])
+                    < 0.5
+            })
+            .count();
+        println!(
+            "kpce(reciprocal={recip}): {} matches, {} geometrically correct",
+            matches.len(),
+            good
+        );
+    }
+}
+
+/// Control experiment: descriptors on a rigidly transformed copy of the
+/// same cloud (no resampling). If matching fails here the descriptor
+/// implementation is broken; if it succeeds, the pipeline's difficulty is
+/// resampling sensitivity.
+fn control_same_cloud(target: &PointCloud) {
+    use tigris_pipeline::correspond::kpce;
+    use tigris_pipeline::descriptor::compute_descriptors;
+    use tigris_pipeline::keypoint::detect_keypoints;
+    use tigris_pipeline::normal::estimate_normals;
+    use tigris_pipeline::Searcher3;
+
+    let cfg = RegistrationConfig::default();
+    let gt = RigidTransform::from_axis_angle(
+        tigris_geom::Vec3::Z,
+        0.3,
+        tigris_geom::Vec3::new(5.0, 2.0, 0.0),
+    );
+    let tgt = target.voxel_downsample(cfg.voxel_size);
+    let src = tgt.transformed(&gt.inverse());
+    let mut ss = Searcher3::classic(src.points());
+    let mut ts = Searcher3::classic(tgt.points());
+    let sn = estimate_normals(&mut ss, cfg.normal_radius, cfg.normal_algorithm);
+    let tn = estimate_normals(&mut ts, cfg.normal_radius, cfg.normal_algorithm);
+    let sk = detect_keypoints(&mut ss, &sn, cfg.keypoint);
+    let tk = detect_keypoints(&mut ts, &tn, cfg.keypoint);
+    let sd = compute_descriptors(&mut ss, &sn, &sk, cfg.descriptor);
+    let td = compute_descriptors(&mut ts, &tn, &tk, cfg.descriptor);
+    let matches = kpce(&sd, &td, false, None);
+    let good = matches
+        .iter()
+        .filter(|m| {
+            gt.apply(src.points()[sk[m.source]]).distance(tgt.points()[tk[m.target]]) < 0.5
+        })
+        .count();
+    println!(
+        "CONTROL same-cloud rigid: {} kp, {} matches, {} correct",
+        sk.len(),
+        matches.len(),
+        good
+    );
+}
+
+fn main() {
+    let (source, target, gt) = frame_pair(42);
+    let source = PointCloud::from_points(source);
+    let target = PointCloud::from_points(target);
+    println!("gt: {gt}");
+
+    control_same_cloud(&target);
+
+    for (vox, kp_r, d_r) in [
+        (0.3, 1.0, 1.0),
+        (0.3, 1.0, 1.8),
+        (0.25, 0.8, 1.8),
+        (0.2, 0.8, 1.5),
+        (0.3, 1.5, 2.5),
+    ] {
+        println!("\n--- voxel {vox}, ISS r {kp_r}, FPFH r {d_r} ---");
+        let cfg = RegistrationConfig {
+            voxel_size: vox,
+            keypoint: KeypointAlgorithm::Iss { radius: kp_r },
+            descriptor: tigris_pipeline::DescriptorAlgorithm::Fpfh { radius: d_r },
+            ..RegistrationConfig::default()
+        };
+        diagnose_frontend(&source, &target, &gt, &cfg);
+    }
+
+    let variants: Vec<(&str, RegistrationConfig)> = vec![
+        ("default", RegistrationConfig::default()),
+        (
+            "p2plane",
+            RegistrationConfig {
+                error_metric: ErrorMetric::PointToPlane,
+                ..RegistrationConfig::default()
+            },
+        ),
+        (
+            "p2plane-more-iters",
+            RegistrationConfig {
+                error_metric: ErrorMetric::PointToPlane,
+                convergence: tigris_pipeline::ConvergenceCriteria {
+                    max_iterations: 60,
+                    mse_relative_epsilon: 1e-6,
+                    ..Default::default()
+                },
+                ..RegistrationConfig::default()
+            },
+        ),
+        (
+            "bigger-corr-dist",
+            RegistrationConfig {
+                max_correspondence_distance: 3.0,
+                error_metric: ErrorMetric::PointToPlane,
+                convergence: tigris_pipeline::ConvergenceCriteria {
+                    max_iterations: 60,
+                    mse_relative_epsilon: 1e-6,
+                    ..Default::default()
+                },
+                ..RegistrationConfig::default()
+            },
+        ),
+        (
+            "harris-keypoints",
+            RegistrationConfig {
+                keypoint: KeypointAlgorithm::Harris { radius: 1.0 },
+                error_metric: ErrorMetric::PointToPlane,
+                ..RegistrationConfig::default()
+            },
+        ),
+        (
+            "lm",
+            RegistrationConfig {
+                error_metric: ErrorMetric::PointToPlane,
+                solver: SolverAlgorithm::LevenbergMarquardt,
+                convergence: tigris_pipeline::ConvergenceCriteria {
+                    max_iterations: 60,
+                    mse_relative_epsilon: 1e-6,
+                    ..Default::default()
+                },
+                ..RegistrationConfig::default()
+            },
+        ),
+    ];
+
+    for (name, cfg) in variants {
+        match register(&source, &target, &cfg) {
+            Ok(r) => {
+                let residual = gt.inverse() * r.transform;
+                let init_residual = gt.inverse() * r.initial_transform;
+                println!(
+                    "{name:20} t-err {:.3} m  r-err {:.3}°  init-t-err {:.2} m  init-angle {:.1}°  kp {}/{} inliers {}  iters {}",
+                    residual.translation_norm(),
+                    residual.rotation_angle().to_degrees(),
+                    init_residual.translation_norm(),
+                    r.initial_transform.rotation_angle().to_degrees(),
+                    r.keypoints.0,
+                    r.keypoints.1,
+                    r.inlier_correspondences,
+                    r.icp_iterations
+                );
+            }
+            Err(e) => println!("{name:20} FAILED: {e}"),
+        }
+    }
+}

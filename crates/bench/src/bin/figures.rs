@@ -1,0 +1,66 @@
+//! CLI regenerating the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p tigris-bench --release --bin figures -- <experiment id>|all [--seed N]
+//! ```
+//!
+//! Experiment ids: fig3, fig4, fig6, fig7, area, fig11, approx, fig12,
+//! fig13, fig14, fig15, end2end.
+
+use tigris_bench::figures::{run_experiment, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 42u64;
+    let mut svg_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--seed" {
+            seed = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                });
+        } else if a == "--svg" {
+            svg_dir = Some(it.next().unwrap_or_else(|| {
+                eprintln!("--svg needs a directory");
+                std::process::exit(2);
+            }));
+        } else {
+            ids.push(a);
+        }
+    }
+
+    if let Some(dir) = svg_dir {
+        let written = tigris_bench::figures::render_svgs(std::path::Path::new(&dir), seed);
+        for p in &written {
+            println!("wrote {}", p.display());
+        }
+        if ids.is_empty() {
+            return;
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: figures <experiment id>|all [--seed N]");
+        eprintln!("experiments: {} end2end", ALL_EXPERIMENTS.join(" "));
+        std::process::exit(2);
+    }
+
+    for id in ids {
+        if id == "all" {
+            for exp in ALL_EXPERIMENTS {
+                println!();
+                run_experiment(exp, seed);
+            }
+            continue;
+        }
+        println!();
+        if !run_experiment(&id, seed) {
+            eprintln!("unknown experiment '{id}'; known: {} end2end", ALL_EXPERIMENTS.join(" "));
+            std::process::exit(2);
+        }
+    }
+}

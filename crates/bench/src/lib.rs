@@ -1,0 +1,19 @@
+//! Benchmark harness for the Tigris reproduction.
+//!
+//! [`workload`] builds the shared synthetic workloads (dense LiDAR frames,
+//! query streams); [`figures`] regenerates every table and figure of the
+//! paper's evaluation as text tables. The `figures` binary dispatches by
+//! experiment id:
+//!
+//! ```text
+//! cargo run -p tigris-bench --release --bin figures -- fig11
+//! cargo run -p tigris-bench --release --bin figures -- all
+//! ```
+//!
+//! Criterion benches under `benches/` measure the real-host software
+//! kernels (KD-tree build/search, the registration pipeline, and the
+//! simulator itself).
+
+pub mod figures;
+pub mod plot;
+pub mod workload;

@@ -1,0 +1,340 @@
+//! Minimal SVG plotting for the figure harness: scatter, line and bar
+//! charts rendered without any external dependency, so `figures --svg`
+//! can emit the paper's plots as actual graphics next to the text tables.
+
+use std::fmt::Write as _;
+
+/// One named data series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// (x, y) samples.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+}
+
+/// Chart flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChartKind {
+    /// Markers only (DSE tradeoff clouds).
+    Scatter,
+    /// Markers joined by polylines (sweeps).
+    Line,
+    /// Vertical bars, one group per x (distributions, ablations).
+    Bar,
+}
+
+/// A chart under construction.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    kind: ChartKind,
+    series: Vec<Series>,
+    log_y: bool,
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+const PALETTE: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b"];
+
+impl Chart {
+    /// Starts a chart.
+    pub fn new(kind: ChartKind, title: impl Into<String>) -> Self {
+        Chart {
+            title: title.into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            kind,
+            series: Vec::new(),
+            log_y: false,
+        }
+    }
+
+    /// Sets the axis labels.
+    pub fn axes(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Plots y on a log₁₀ scale (values must be positive; non-positive
+    /// samples are dropped).
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a data series.
+    pub fn series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    ///
+    /// Returns a minimal empty chart when no finite data is present.
+    pub fn to_svg(&self) -> String {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let y = if self.log_y {
+                    if y <= 0.0 {
+                        continue;
+                    }
+                    y.log10()
+                } else {
+                    y
+                };
+                if x.is_finite() && y.is_finite() {
+                    xs.push(x);
+                    ys.push(y);
+                }
+            }
+        }
+        let (x_min, x_max) = bounds(&xs);
+        let (y_min, y_max) = bounds(&ys);
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let sx = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min).max(1e-300) * plot_w;
+        let sy = |y: f64| {
+            let y = if self.log_y { y.log10() } else { y };
+            MARGIN_T + plot_h - (y - y_min) / (y_max - y_min).max(1e-300) * plot_h
+        };
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">"#
+        );
+        let _ = writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
+        // Frame.
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#333"/>"##
+        );
+        // Title + axis labels.
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.0}" y="24" text-anchor="middle" font-family="sans-serif" font-size="15" font-weight="bold">{}</text>"#,
+            WIDTH / 2.0,
+            escape(&self.title)
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.0}" y="{:.0}" text-anchor="middle" font-family="sans-serif" font-size="12">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 12.0,
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="16" y="{:.0}" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 16 {:.0})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+
+        // Ticks (4 per axis).
+        for i in 0..=4 {
+            let fx = x_min + (x_max - x_min) * i as f64 / 4.0;
+            let px = sx(fx);
+            let _ = writeln!(
+                svg,
+                r#"<text x="{px:.0}" y="{:.0}" text-anchor="middle" font-family="sans-serif" font-size="10">{}</text>"#,
+                MARGIN_T + plot_h + 16.0,
+                tick_label(fx)
+            );
+            let fy_plot = y_min + (y_max - y_min) * i as f64 / 4.0;
+            let py = MARGIN_T + plot_h - plot_h * i as f64 / 4.0;
+            let shown = if self.log_y { 10f64.powf(fy_plot) } else { fy_plot };
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.0}" y="{py:.0}" text-anchor="end" font-family="sans-serif" font-size="10">{}</text>"#,
+                MARGIN_L - 6.0,
+                tick_label(shown)
+            );
+        }
+
+        // Series.
+        let n_series = self.series.len().max(1);
+        for (si, s) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            match self.kind {
+                ChartKind::Bar => {
+                    let group_w = plot_w / s.points.len().max(1) as f64;
+                    let bar_w = (group_w / n_series as f64 * 0.8).max(1.0);
+                    for (pi, &(_, y)) in s.points.iter().enumerate() {
+                        let x0 = MARGIN_L
+                            + pi as f64 * group_w
+                            + si as f64 * bar_w
+                            + group_w * 0.1;
+                        let y_px = sy(if self.log_y { y.max(1e-12) } else { y });
+                        let base = sy(if self.log_y { 10f64.powf(y_min) } else { y_min.min(0.0).max(y_min) });
+                        let (top, h) = if y_px <= base {
+                            (y_px, base - y_px)
+                        } else {
+                            (base, y_px - base)
+                        };
+                        let _ = writeln!(
+                            svg,
+                            r#"<rect x="{x0:.1}" y="{top:.1}" width="{bar_w:.1}" height="{h:.1}" fill="{color}" opacity="0.85"/>"#
+                        );
+                    }
+                }
+                ChartKind::Line | ChartKind::Scatter => {
+                    if self.kind == ChartKind::Line && s.points.len() > 1 {
+                        let path: Vec<String> = s
+                            .points
+                            .iter()
+                            .filter(|(x, y)| x.is_finite() && (!self.log_y || *y > 0.0))
+                            .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                            .collect();
+                        let _ = writeln!(
+                            svg,
+                            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.5"/>"#,
+                            path.join(" ")
+                        );
+                    }
+                    for &(x, y) in &s.points {
+                        if !x.is_finite() || (self.log_y && y <= 0.0) {
+                            continue;
+                        }
+                        let _ = writeln!(
+                            svg,
+                            r#"<circle cx="{:.1}" cy="{:.1}" r="3.2" fill="{color}"/>"#,
+                            sx(x),
+                            sy(y)
+                        );
+                    }
+                }
+            }
+            // Legend.
+            let lx = MARGIN_L + 10.0;
+            let ly = MARGIN_T + 14.0 + si as f64 * 16.0;
+            let _ = writeln!(
+                svg,
+                r#"<rect x="{lx:.0}" y="{:.0}" width="10" height="10" fill="{color}"/><text x="{:.0}" y="{ly:.0}" font-family="sans-serif" font-size="11">{}</text>"#,
+                ly - 9.0,
+                lx + 14.0,
+                escape(&s.label)
+            );
+        }
+
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    /// Writes the SVG to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.to_svg())
+    }
+}
+
+fn bounds(vals: &[f64]) -> (f64, f64) {
+    if vals.is_empty() {
+        return (0.0, 1.0);
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in vals {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if (hi - lo).abs() < 1e-12 {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        let pad = (hi - lo) * 0.05;
+        (lo - pad, hi + pad)
+    }
+}
+
+fn tick_label(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.01 {
+        format!("{v:.1e}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chart(kind: ChartKind) -> Chart {
+        Chart::new(kind, "test chart")
+            .axes("x", "y")
+            .series(Series::new("a", vec![(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)]))
+            .series(Series::new("b", vec![(0.0, 3.0), (1.0, 0.5)]))
+    }
+
+    #[test]
+    fn svg_is_well_formed_ish() {
+        for kind in [ChartKind::Scatter, ChartKind::Line, ChartKind::Bar] {
+            let svg = sample_chart(kind).to_svg();
+            assert!(svg.starts_with("<svg"));
+            assert!(svg.trim_end().ends_with("</svg>"));
+            assert_eq!(svg.matches("<svg").count(), 1);
+            assert!(svg.contains("test chart"));
+            assert!(svg.contains("polyline") == (kind == ChartKind::Line));
+            assert!(svg.contains("<rect") || kind != ChartKind::Bar);
+        }
+    }
+
+    #[test]
+    fn log_scale_drops_nonpositive() {
+        let svg = Chart::new(ChartKind::Line, "log")
+            .log_y()
+            .series(Series::new("s", vec![(0.0, 0.0), (1.0, 10.0), (2.0, 100.0)]))
+            .to_svg();
+        // Two valid points → two circles.
+        assert_eq!(svg.matches("<circle").count(), 2);
+    }
+
+    #[test]
+    fn empty_chart_does_not_panic() {
+        let svg = Chart::new(ChartKind::Scatter, "empty").to_svg();
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let svg = Chart::new(ChartKind::Scatter, "a < b & c").to_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let path = std::env::temp_dir().join(format!("tigris_plot_{}.svg", std::process::id()));
+        sample_chart(ChartKind::Line).save(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("</svg>"));
+        std::fs::remove_file(path).unwrap();
+    }
+}

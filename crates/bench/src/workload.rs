@@ -1,0 +1,101 @@
+//! Shared synthetic workloads for figures and benches.
+
+use tigris_data::{Lidar, LidarConfig, Scene, SceneConfig, Sequence, SequenceConfig};
+use tigris_geom::{RigidTransform, Vec3};
+
+/// A dense single LiDAR frame (points in the sensor frame), the substrate
+/// for KD-tree–level experiments. ~30–45k points with the default scanner.
+pub fn dense_frame(seed: u64) -> Vec<Vec3> {
+    let scene = Scene::generate(&SceneConfig::default(), seed);
+    let mut lidar = Lidar::new(LidarConfig::default(), seed ^ 0x11da5);
+    let pose = RigidTransform::from_translation(Vec3::new(60.0, 0.0, 0.0));
+    lidar.scan(&scene, &pose).points().to_vec()
+}
+
+/// Two dense scans of the *same* scene from nearby poses: `(target,
+/// queries)`. This is the realistic KD-search workload — RPCE queries the
+/// previous frame's tree with the next frame's points, which land close to
+/// (but not exactly on) indexed points.
+pub fn dense_frame_pair(seed: u64) -> (Vec<Vec3>, Vec<Vec3>) {
+    let scene = Scene::generate(&SceneConfig::default(), seed);
+    let mut lidar = Lidar::new(LidarConfig::default(), seed ^ 0x11da5);
+    let target = lidar
+        .scan(&scene, &RigidTransform::from_translation(Vec3::new(60.0, 0.0, 0.0)))
+        .points()
+        .to_vec();
+    let queries = lidar
+        .scan(&scene, &RigidTransform::from_translation(Vec3::new(61.0, 0.0, 0.0)))
+        .points()
+        .to_vec();
+    (target, queries)
+}
+
+/// A consecutive frame pair with ground truth, for registration-level
+/// experiments: `(source, target, gt)` where `gt` maps source → target.
+pub fn frame_pair(seed: u64) -> (Vec<Vec3>, Vec<Vec3>, RigidTransform) {
+    let mut cfg = SequenceConfig::medium();
+    cfg.frames = 2;
+    let seq = Sequence::generate(&cfg, seed);
+    (
+        seq.frame(1).points().to_vec(),
+        seq.frame(0).points().to_vec(),
+        seq.ground_truth_relative(0),
+    )
+}
+
+/// A short sequence for DSE / odometry experiments.
+pub fn short_sequence(frames: usize, seed: u64) -> Sequence {
+    let mut cfg = SequenceConfig::medium();
+    cfg.frames = frames;
+    Sequence::generate(&cfg, seed)
+}
+
+/// NN queries modeled on the RPCE workload: the next frame's points,
+/// truncated to `n`.
+pub fn nn_queries(n: usize, seed: u64) -> Vec<Vec3> {
+    let (source, _, _) = frame_pair(seed);
+    source.into_iter().take(n).collect()
+}
+
+/// The top-tree height giving a target mean leaf-set size for `n` points
+/// (paper: ~130k points + height 10 ⇒ leaf sets of ~128).
+pub fn height_for_leaf_size(n_points: usize, leaf_size: usize) -> usize {
+    if n_points == 0 || leaf_size == 0 {
+        return 0;
+    }
+    let leaves = (n_points as f64 / leaf_size as f64).max(1.0);
+    leaves.log2().round().max(0.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_frame_is_dense() {
+        let f = dense_frame(1);
+        assert!(f.len() > 10_000, "only {} points", f.len());
+    }
+
+    #[test]
+    fn frame_pair_has_kitti_scale_motion() {
+        let (_, _, gt) = frame_pair(2);
+        let d = gt.translation_norm();
+        assert!(d > 0.5 && d < 2.0, "motion {d} m");
+    }
+
+    #[test]
+    fn height_for_leaf_size_inverts() {
+        // 131072 points, leaf 128 → 1024 leaves → height 10 (the paper's
+        // configuration).
+        assert_eq!(height_for_leaf_size(131_072, 128), 10);
+        assert_eq!(height_for_leaf_size(1024, 1), 10);
+        assert_eq!(height_for_leaf_size(0, 8), 0);
+        assert_eq!(height_for_leaf_size(100, 0), 0);
+    }
+
+    #[test]
+    fn nn_queries_truncate() {
+        assert_eq!(nn_queries(100, 3).len(), 100);
+    }
+}

@@ -1,0 +1,459 @@
+//! Approximate KD-tree search — Algorithm 1 of the paper (Sec. 4.3).
+//!
+//! Queries delivered to the same top-tree leaf are spatially close, so
+//! their results are similar. Each leaf keeps a *leader* book: the first
+//! queries to arrive (up to the Leader Buffer capacity, farther than `thd`
+//! from every existing leader) run the full, exact search and record their
+//! results; a later query landing within `thd` of a leader becomes a
+//! *follower* — its entire search is served by brute-forcing the leader's
+//! recorded result set, skipping both the exhaustive leaf scan *and* all
+//! backtracking.
+//!
+//! The paper's cost model: a follower compares against `L + R` points
+//! (leaders plus the chosen leader's results) instead of the leaf's `N`
+//! children, with `L + R ≪ N`.
+//!
+//! Once a leaf's leader book is full, later non-follower queries take the
+//! precise path without being recorded — which, as the paper notes, only
+//! *improves* accuracy.
+
+use crate::{Neighbor, SearchStats, TwoStageKdTree};
+use tigris_geom::Vec3;
+
+/// Configuration of the approximate search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxConfig {
+    /// Distance threshold `thd` for NN queries (meters). The paper uses
+    /// 1.2 m on KITTI.
+    pub nn_threshold: f64,
+    /// Threshold for radius queries, as a fraction of the search radius.
+    /// The paper uses 40% of the original radius.
+    pub radius_threshold_frac: f64,
+    /// Leader Buffer capacity per leaf (paper: 16).
+    pub leader_cap: usize,
+}
+
+impl Default for ApproxConfig {
+    fn default() -> Self {
+        ApproxConfig {
+            nn_threshold: 1.2,
+            radius_threshold_frac: 0.4,
+            leader_cap: 16,
+        }
+    }
+}
+
+/// A recorded leader: its query point and its complete search results.
+#[derive(Debug, Clone)]
+struct Leader {
+    query: Vec3,
+    /// Point indices of the leader's full (multi-leaf) search result.
+    results: Vec<u32>,
+}
+
+/// Stateful approximate searcher over a [`TwoStageKdTree`].
+///
+/// Leaders accumulate per leaf as queries stream through, mirroring the
+/// accelerator's per-leaf Leader Buffers; they persist across calls (e.g.
+/// across ICP iterations) until [`ApproxSearcher::reset`] clears them
+/// (between frames).
+///
+/// NN and radius queries maintain *separate* leader books: their result
+/// sets are not interchangeable.
+///
+/// # Example
+///
+/// ```
+/// use tigris_core::{ApproxConfig, ApproxSearcher, TwoStageKdTree};
+/// use tigris_geom::Vec3;
+///
+/// let pts: Vec<Vec3> = (0..256)
+///     .map(|i| Vec3::new((i % 16) as f64, (i / 16) as f64, 0.0))
+///     .collect();
+/// let tree = TwoStageKdTree::build(&pts, 4);
+/// let mut searcher = ApproxSearcher::new(&tree, ApproxConfig::default());
+/// let exact = tree.nn(Vec3::new(3.2, 8.1, 0.0)).unwrap();
+/// let approx = searcher.nn(Vec3::new(3.2, 8.1, 0.0)).unwrap();
+/// // The first query to a leaf is always a leader, hence exact.
+/// assert_eq!(exact.index, approx.index);
+/// ```
+#[derive(Debug)]
+pub struct ApproxSearcher<'t> {
+    tree: &'t TwoStageKdTree,
+    cfg: ApproxConfig,
+    nn_leaders: Vec<Vec<Leader>>,
+    radius_leaders: Vec<Vec<Leader>>,
+}
+
+impl<'t> ApproxSearcher<'t> {
+    /// Creates a searcher with empty leader books.
+    pub fn new(tree: &'t TwoStageKdTree, cfg: ApproxConfig) -> Self {
+        ApproxSearcher {
+            tree,
+            cfg,
+            nn_leaders: vec![Vec::new(); tree.leaves().len()],
+            radius_leaders: vec![Vec::new(); tree.leaves().len()],
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ApproxConfig {
+        &self.cfg
+    }
+
+    /// Clears all leader books (call between frames).
+    pub fn reset(&mut self) {
+        for l in &mut self.nn_leaders {
+            l.clear();
+        }
+        for l in &mut self.radius_leaders {
+            l.clear();
+        }
+    }
+
+    /// Total leaders currently recorded across all leaves (both books).
+    pub fn leader_count(&self) -> usize {
+        self.nn_leaders.iter().map(Vec::len).sum::<usize>()
+            + self.radius_leaders.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Finds the closest leader to `q` in `book[leaf]`, counting the
+    /// distance checks; returns `(index, distance)`.
+    fn closest_leader(
+        book: &[Vec<Leader>],
+        leaf: usize,
+        q: Vec3,
+        stats: &mut SearchStats,
+    ) -> Option<(usize, f64)> {
+        let leaders = &book[leaf];
+        stats.leader_checks += leaders.len() as u64;
+        leaders
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                q.distance_squared(a.query)
+                    .partial_cmp(&q.distance_squared(b.query))
+                    .unwrap()
+            })
+            .map(|(i, l)| (i, q.distance(l.query)))
+    }
+
+    /// Approximate nearest-neighbor search.
+    pub fn nn(&mut self, query: Vec3) -> Option<Neighbor> {
+        let mut stats = SearchStats::new();
+        self.nn_with_stats(query, &mut stats)
+    }
+
+    /// Approximate NN with visit accounting.
+    pub fn nn_with_stats(&mut self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
+        if self.tree.is_empty() {
+            return None;
+        }
+        let primary = self.tree.primary_leaf(query);
+
+        // Follower path: inherit the closest leader's result.
+        if let Some(leaf) = primary {
+            stats.queries += 1;
+            if let Some((li, dist)) = Self::closest_leader(&self.nn_leaders, leaf, query, stats) {
+                if dist < self.cfg.nn_threshold {
+                    let leader = &self.nn_leaders[leaf][li];
+                    stats.follower_hits += 1;
+                    stats.leader_result_points_scanned += leader.results.len() as u64;
+                    let mut best = Neighbor::new(usize::MAX, f64::INFINITY);
+                    for &i in &leader.results {
+                        let d2 = query.distance_squared(self.tree.points()[i as usize]);
+                        if d2 < best.distance_squared {
+                            best = Neighbor::new(i as usize, d2);
+                        }
+                    }
+                    return (best.index != usize::MAX).then_some(best);
+                }
+            }
+            // Precise path: the stats from the full search below also bump
+            // `queries`; compensate so each logical query counts once.
+            stats.queries -= 1;
+        }
+
+        let result = self.tree.nn_with_stats(query, stats);
+        if let (Some(leaf), Some(best)) = (primary, result) {
+            if self.nn_leaders[leaf].len() < self.cfg.leader_cap {
+                stats.leader_promotions += 1;
+                self.nn_leaders[leaf].push(Leader { query, results: vec![best.index as u32] });
+            }
+        }
+        result
+    }
+
+    /// Approximate radius search. Results are sorted ascending by distance.
+    ///
+    /// Followers filter their leader's results by their own radius, so
+    /// returned points are always genuinely within `radius`; the
+    /// approximation can only *miss* points (the crescent outside the
+    /// leader's ball).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `radius` is negative.
+    pub fn radius(&mut self, query: Vec3, radius: f64) -> Vec<Neighbor> {
+        let mut stats = SearchStats::new();
+        self.radius_with_stats(query, radius, &mut stats)
+    }
+
+    /// Approximate radius search with visit accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `radius` is negative.
+    pub fn radius_with_stats(
+        &mut self,
+        query: Vec3,
+        radius: f64,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        if self.tree.is_empty() {
+            return Vec::new();
+        }
+        let primary = self.tree.primary_leaf(query);
+
+        if let Some(leaf) = primary {
+            stats.queries += 1;
+            if let Some((li, dist)) =
+                Self::closest_leader(&self.radius_leaders, leaf, query, stats)
+            {
+                if dist < self.cfg.radius_threshold_frac * radius {
+                    let leader = &self.radius_leaders[leaf][li];
+                    stats.follower_hits += 1;
+                    stats.leader_result_points_scanned += leader.results.len() as u64;
+                    let r2 = radius * radius;
+                    let mut out: Vec<Neighbor> = leader
+                        .results
+                        .iter()
+                        .filter_map(|&i| {
+                            let d2 = query.distance_squared(self.tree.points()[i as usize]);
+                            (d2 <= r2).then(|| Neighbor::new(i as usize, d2))
+                        })
+                        .collect();
+                    out.sort();
+                    return out;
+                }
+            }
+            stats.queries -= 1;
+        }
+
+        let result = self.tree.radius_with_stats(query, radius, stats);
+        if let Some(leaf) = primary {
+            if self.radius_leaders[leaf].len() < self.cfg.leader_cap {
+                stats.leader_promotions += 1;
+                self.radius_leaders[leaf].push(Leader {
+                    query,
+                    results: result.iter().map(|n| n.index as u32).collect(),
+                });
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_cloud(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 20.0 - 10.0
+        };
+        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+    }
+
+    #[test]
+    fn first_query_per_leaf_is_exact() {
+        let pts = lcg_cloud(1000, 1);
+        let tree = TwoStageKdTree::build(&pts, 4);
+        let mut s = ApproxSearcher::new(&tree, ApproxConfig::default());
+        let q = Vec3::new(0.0, 0.0, 0.0);
+        let exact = tree.nn(q).unwrap();
+        let approx = s.nn(q).unwrap();
+        assert_eq!(exact.index, approx.index);
+    }
+
+    #[test]
+    fn followers_reduce_work() {
+        let pts = lcg_cloud(8000, 2);
+        let tree = TwoStageKdTree::build(&pts, 4);
+        let mut s = ApproxSearcher::new(&tree, ApproxConfig { nn_threshold: 5.0, ..Default::default() });
+        // A tight cluster of queries: after the first, the rest follow.
+        let queries: Vec<Vec3> = (0..50)
+            .map(|i| Vec3::new(1.0 + 0.01 * i as f64, 2.0, 3.0))
+            .collect();
+
+        let mut approx_stats = SearchStats::new();
+        for &q in &queries {
+            s.nn_with_stats(q, &mut approx_stats);
+        }
+        let mut exact_stats = SearchStats::new();
+        for &q in &queries {
+            tree.nn_with_stats(q, &mut exact_stats);
+        }
+        assert!(approx_stats.follower_hits > 0, "no followers at all");
+        assert!(
+            approx_stats.total_nodes_visited() < exact_stats.total_nodes_visited() / 4,
+            "approx {} should be far below exact {}",
+            approx_stats.total_nodes_visited(),
+            exact_stats.total_nodes_visited()
+        );
+        assert_eq!(approx_stats.queries, 50);
+    }
+
+    #[test]
+    fn follower_error_is_bounded_by_threshold_geometry() {
+        // Triangle inequality: the follower inherits its leader's NN, which
+        // is at most d(f, leader) + d(leader, leader's NN) away, so the
+        // reported distance exceeds the true NN distance by at most 2·thd.
+        let pts = lcg_cloud(5000, 3);
+        let tree = TwoStageKdTree::build(&pts, 5);
+        let thd = 1.2;
+        let mut s = ApproxSearcher::new(&tree, ApproxConfig { nn_threshold: thd, ..Default::default() });
+        for q in lcg_cloud(300, 4) {
+            let approx = s.nn(q).unwrap();
+            let exact = tree.nn(q).unwrap();
+            assert!(
+                approx.distance() <= exact.distance() + 2.0 * thd + 1e-9,
+                "approx {} exact {}",
+                approx.distance(),
+                exact.distance()
+            );
+        }
+    }
+
+    #[test]
+    fn radius_followers_return_sound_sorted_results() {
+        let pts = lcg_cloud(4000, 7);
+        let tree = TwoStageKdTree::build(&pts, 4);
+        let r = 2.0;
+        let mut s = ApproxSearcher::new(&tree, ApproxConfig::default());
+        for q in lcg_cloud(100, 8) {
+            let res = s.radius(q, r);
+            for n in &res {
+                assert!(n.distance_squared <= r * r + 1e-12);
+            }
+            for w in res.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn radius_followers_keep_high_recall() {
+        // A follower at distance ≤ thd = 0.4 r from its leader inherits the
+        // leader's r-ball, which covers most of its own.
+        let pts = lcg_cloud(4000, 9);
+        let tree = TwoStageKdTree::build(&pts, 4);
+        let r = 2.0;
+        let mut s = ApproxSearcher::new(&tree, ApproxConfig::default());
+        let mut total_exact = 0usize;
+        let mut total_approx = 0usize;
+        for q in lcg_cloud(200, 10) {
+            total_exact += tree.radius(q, r).len();
+            total_approx += s.radius(q, r).len();
+        }
+        let recall = total_approx as f64 / total_exact.max(1) as f64;
+        assert!(recall > 0.6, "recall = {recall}");
+        assert!(recall <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn leader_cap_is_respected() {
+        let pts = lcg_cloud(2000, 11);
+        let tree = TwoStageKdTree::build(&pts, 1); // 2 leaves → heavy reuse
+        let cap = 4;
+        let mut s = ApproxSearcher::new(
+            &tree,
+            ApproxConfig { leader_cap: cap, nn_threshold: 1e-9, ..Default::default() },
+        );
+        // Tiny threshold: every query wants to become a leader.
+        for q in lcg_cloud(100, 12) {
+            s.nn(q);
+        }
+        assert!(s.leader_count() <= cap * tree.leaves().len());
+    }
+
+    #[test]
+    fn reset_clears_leaders() {
+        let pts = lcg_cloud(500, 13);
+        let tree = TwoStageKdTree::build(&pts, 2);
+        let mut s = ApproxSearcher::new(&tree, ApproxConfig::default());
+        for q in lcg_cloud(20, 14) {
+            s.nn(q);
+        }
+        assert!(s.leader_count() > 0);
+        s.reset();
+        assert_eq!(s.leader_count(), 0);
+    }
+
+    #[test]
+    fn zero_threshold_never_follows() {
+        let pts = lcg_cloud(1000, 15);
+        let tree = TwoStageKdTree::build(&pts, 3);
+        let mut s = ApproxSearcher::new(
+            &tree,
+            ApproxConfig { nn_threshold: 0.0, radius_threshold_frac: 0.0, ..Default::default() },
+        );
+        let mut stats = SearchStats::new();
+        for q in lcg_cloud(50, 16) {
+            let approx = s.nn_with_stats(q, &mut stats).unwrap();
+            let exact = tree.nn(q).unwrap();
+            assert_eq!(approx.index, exact.index, "thd=0 must stay exact");
+        }
+        assert_eq!(stats.follower_hits, 0);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = TwoStageKdTree::build(&[], 3);
+        let mut s = ApproxSearcher::new(&tree, ApproxConfig::default());
+        assert!(s.nn(Vec3::ZERO).is_none());
+        assert!(s.radius(Vec3::ZERO, 1.0).is_empty());
+    }
+
+    #[test]
+    fn nn_and_radius_books_are_independent() {
+        let pts = lcg_cloud(1000, 17);
+        let tree = TwoStageKdTree::build(&pts, 2);
+        let mut s = ApproxSearcher::new(&tree, ApproxConfig::default());
+        let before = s.leader_count();
+        s.nn(Vec3::ZERO);
+        let after_nn = s.leader_count();
+        s.radius(Vec3::ZERO, 1.0);
+        let after_radius = s.leader_count();
+        assert!(after_nn > before);
+        assert!(after_radius > after_nn, "radius query must add its own leaders");
+    }
+
+    #[test]
+    fn repeated_iterations_go_full_follower() {
+        // The RPCE pattern: the same query set re-issued across ICP
+        // iterations. Iteration 1 builds leaders; iterations 2+ follow.
+        let pts = lcg_cloud(4000, 19);
+        let tree = TwoStageKdTree::build(&pts, 4);
+        let mut s = ApproxSearcher::new(&tree, ApproxConfig::default());
+        let queries = lcg_cloud(64, 20);
+        let mut stats = SearchStats::new();
+        for &q in &queries {
+            s.nn_with_stats(q, &mut stats);
+        }
+        let first_pass_followers = stats.follower_hits;
+        for &q in &queries {
+            // Slightly moved, well within thd.
+            s.nn_with_stats(q + Vec3::new(0.01, 0.0, 0.0), &mut stats);
+        }
+        let second_pass_followers = stats.follower_hits - first_pass_followers;
+        assert!(
+            second_pass_followers as usize > queries.len() * 8 / 10,
+            "second pass should be ≥80% followers, got {second_pass_followers}/{}",
+            queries.len()
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Brute-force reference searches.
+//!
+//! These are both the correctness oracle for every tree search in the test
+//! suite and the primitive the two-stage KD-tree applies inside a leaf's
+//! unordered set (paper Sec. 4.1: "the two-stage KD-tree enables exhaustive
+//! searches in certain sub-trees").
+
+use crate::Neighbor;
+use tigris_geom::Vec3;
+
+/// Exhaustive nearest-neighbor search over `points`, or `None` when empty.
+///
+/// Ties are broken toward the smaller index, matching the tree searches.
+///
+/// # Example
+///
+/// ```
+/// use tigris_core::nn_brute_force;
+/// use tigris_geom::Vec3;
+/// let pts = [Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0)];
+/// let n = nn_brute_force(&pts, Vec3::new(0.4, 0.0, 0.0)).unwrap();
+/// assert_eq!(n.index, 0);
+/// ```
+pub fn nn_brute_force(points: &[Vec3], query: Vec3) -> Option<Neighbor> {
+    let mut best: Option<Neighbor> = None;
+    for (i, &p) in points.iter().enumerate() {
+        let d2 = query.distance_squared(p);
+        match best {
+            Some(b) if d2 >= b.distance_squared => {}
+            _ => best = Some(Neighbor::new(i, d2)),
+        }
+    }
+    best
+}
+
+/// Exhaustive radius search: all points with distance ≤ `radius` from
+/// `query`, sorted ascending by distance (ties by index).
+///
+/// # Panics
+///
+/// Panics when `radius` is negative.
+pub fn radius_brute_force(points: &[Vec3], query: Vec3, radius: f64) -> Vec<Neighbor> {
+    assert!(radius >= 0.0, "radius must be non-negative");
+    let r2 = radius * radius;
+    let mut out: Vec<Neighbor> = points
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &p)| {
+            let d2 = query.distance_squared(p);
+            (d2 <= r2).then(|| Neighbor::new(i, d2))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Exhaustive k-nearest-neighbors, sorted ascending by distance.
+///
+/// Returns fewer than `k` results when `points` has fewer than `k` entries.
+pub fn knn_brute_force(points: &[Vec3], query: Vec3, k: usize) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = points
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| Neighbor::new(i, query.distance_squared(p)))
+        .collect();
+    all.sort();
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<Vec3> {
+        (0..27)
+            .map(|i| Vec3::new((i % 3) as f64, ((i / 3) % 3) as f64, (i / 9) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn nn_finds_closest() {
+        let pts = grid();
+        let n = nn_brute_force(&pts, Vec3::new(1.1, 0.9, 0.1)).unwrap();
+        assert_eq!(pts[n.index], Vec3::new(1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn nn_empty_is_none() {
+        assert!(nn_brute_force(&[], Vec3::ZERO).is_none());
+    }
+
+    #[test]
+    fn nn_tie_breaks_to_lower_index() {
+        let pts = [Vec3::X, Vec3::X];
+        assert_eq!(nn_brute_force(&pts, Vec3::ZERO).unwrap().index, 0);
+    }
+
+    #[test]
+    fn radius_is_sound_and_complete() {
+        let pts = grid();
+        let r = 1.25;
+        let res = radius_brute_force(&pts, Vec3::ZERO, r);
+        // Sound: all results within radius.
+        for n in &res {
+            assert!(n.distance_squared <= r * r);
+        }
+        // Complete: 4 points within 1.25 of origin: (0,0,0),(1,0,0),(0,1,0),(0,0,1).
+        assert_eq!(res.len(), 4);
+        // Sorted ascending.
+        for w in res.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn radius_zero_matches_exact_points() {
+        let pts = grid();
+        let res = radius_brute_force(&pts, Vec3::new(1.0, 1.0, 1.0), 0.0);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].distance_squared, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn radius_negative_panics() {
+        radius_brute_force(&[], Vec3::ZERO, -1.0);
+    }
+
+    #[test]
+    fn knn_returns_k_sorted() {
+        let pts = grid();
+        let res = knn_brute_force(&pts, Vec3::ZERO, 5);
+        assert_eq!(res.len(), 5);
+        for w in res.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(res[0].distance_squared, 0.0);
+    }
+
+    #[test]
+    fn knn_with_small_set() {
+        let pts = [Vec3::X];
+        assert_eq!(knn_brute_force(&pts, Vec3::ZERO, 10).len(), 1);
+        assert!(knn_brute_force(&[], Vec3::ZERO, 3).is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Error injection into KD-tree search (paper Sec. 4.2, Fig. 7).
+//!
+//! To quantify how tolerant end-to-end registration is to inexact search,
+//! the paper replaces:
+//!
+//! * the NN result with the **k-th** nearest neighbor ([`kth_nn`]), and
+//! * the radius-`r` ball with a **spherical shell** `<r1, r2>`
+//!   (`r1 < r < r2`) ([`shell_radius`]).
+//!
+//! The pipeline crate threads these through the Normal Estimation, KPCE
+//! and RPCE stages to regenerate Fig. 7.
+
+use crate::{KdTree, Neighbor};
+use tigris_geom::Vec3;
+
+/// Returns the `k`-th nearest neighbor of `query` (1-based: `k = 1` is the
+/// true nearest neighbor), or `None` when the tree has fewer than `k`
+/// points.
+///
+/// # Panics
+///
+/// Panics when `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use tigris_core::inject::kth_nn;
+/// use tigris_core::KdTree;
+/// use tigris_geom::Vec3;
+///
+/// let pts: Vec<Vec3> = (0..5).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+/// let tree = KdTree::build(&pts);
+/// assert_eq!(kth_nn(&tree, Vec3::ZERO, 1).unwrap().index, 0);
+/// assert_eq!(kth_nn(&tree, Vec3::ZERO, 3).unwrap().index, 2);
+/// ```
+pub fn kth_nn(tree: &KdTree, query: Vec3, k: usize) -> Option<Neighbor> {
+    assert!(k >= 1, "k is 1-based; k = 0 is meaningless");
+    let knn = tree.knn(query, k);
+    (knn.len() == k).then(|| knn[k - 1])
+}
+
+/// Returns all points in the spherical shell `r1 ≤ d ≤ r2` around `query`,
+/// sorted ascending by distance.
+///
+/// Injecting `<r1, r2>` in place of a radius-`r` search (with
+/// `r1 < r < r2`) both *drops* near points (d < r1) and *adds* far points
+/// (r < d ≤ r2), the two error modes of paper Fig. 7b.
+///
+/// # Panics
+///
+/// Panics when `r1 > r2` or `r1 < 0`.
+pub fn shell_radius(tree: &KdTree, query: Vec3, r1: f64, r2: f64) -> Vec<Neighbor> {
+    assert!(r1 >= 0.0, "inner radius must be non-negative");
+    assert!(r1 <= r2, "inner radius must not exceed outer radius");
+    let r1_sq = r1 * r1;
+    tree.radius(query, r2)
+        .into_iter()
+        .filter(|n| n.distance_squared >= r1_sq)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_points(n: usize) -> Vec<Vec3> {
+        (0..n).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn kth_nn_walks_outward() {
+        let tree = KdTree::build(&line_points(10));
+        for k in 1..=10 {
+            let n = kth_nn(&tree, Vec3::new(-0.5, 0.0, 0.0), k).unwrap();
+            assert_eq!(n.index, k - 1, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn kth_nn_beyond_size_is_none() {
+        let tree = KdTree::build(&line_points(3));
+        assert!(kth_nn(&tree, Vec3::ZERO, 4).is_none());
+        assert!(kth_nn(&tree, Vec3::ZERO, 3).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn kth_nn_zero_panics() {
+        kth_nn(&KdTree::build(&line_points(3)), Vec3::ZERO, 0);
+    }
+
+    #[test]
+    fn shell_includes_only_annulus() {
+        let tree = KdTree::build(&line_points(20));
+        let res = shell_radius(&tree, Vec3::ZERO, 3.0, 6.0);
+        let xs: Vec<f64> = res
+            .iter()
+            .map(|n| tree.points()[n.index].x)
+            .collect();
+        assert_eq!(xs, vec![3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn shell_with_r1_zero_is_plain_radius() {
+        let tree = KdTree::build(&line_points(20));
+        let shell = shell_radius(&tree, Vec3::ZERO, 0.0, 4.0);
+        let ball = tree.radius(Vec3::ZERO, 4.0);
+        assert_eq!(shell.len(), ball.len());
+    }
+
+    #[test]
+    fn shell_boundary_inclusive() {
+        let tree = KdTree::build(&line_points(10));
+        let res = shell_radius(&tree, Vec3::ZERO, 2.0, 2.0);
+        assert_eq!(res.len(), 1);
+        assert_eq!(tree.points()[res[0].index].x, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn shell_rejects_inverted_radii() {
+        shell_radius(&KdTree::build(&line_points(3)), Vec3::ZERO, 2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn shell_rejects_negative_inner() {
+        shell_radius(&KdTree::build(&line_points(3)), Vec3::ZERO, -1.0, 1.0);
+    }
+
+    #[test]
+    fn shell_results_sorted() {
+        let tree = KdTree::build(&line_points(30));
+        let res = shell_radius(&tree, Vec3::new(14.3, 0.0, 0.0), 2.0, 9.0);
+        for w in res.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(!res.is_empty());
+    }
+}

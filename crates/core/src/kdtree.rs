@@ -1,0 +1,476 @@
+//! The canonical KD-tree (paper Fig. 5a).
+//!
+//! Every node stores one point; the point's coordinate along the node's
+//! split axis defines a hyperplane partitioning the node's children. Median
+//! splits keep the tree balanced, giving `O(log n)` expected search. Search
+//! prunes any sub-tree whose half-space cannot contain a result closer than
+//! the current best — the pruning that makes KD-trees efficient but also
+//! *serializes* the search, which is the paper's motivation for the
+//! two-stage variant.
+
+use std::collections::BinaryHeap;
+
+use crate::{Neighbor, SearchStats};
+use tigris_geom::Vec3;
+
+const NONE: u32 = u32::MAX;
+
+/// One tree node: a point index, a split axis, and two optional children.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    /// Index into the tree's point array.
+    point: u32,
+    /// Split axis: 0, 1 or 2.
+    axis: u8,
+    /// Left child node index, or `NONE`.
+    left: u32,
+    /// Right child node index, or `NONE`.
+    right: u32,
+}
+
+/// A canonical 3D KD-tree over a point set.
+///
+/// The tree owns a copy of the points; all results refer to indices in the
+/// original input slice.
+///
+/// # Example
+///
+/// ```
+/// use tigris_core::KdTree;
+/// use tigris_geom::Vec3;
+///
+/// let pts = vec![Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::new(5.0, 5.0, 5.0)];
+/// let tree = KdTree::build(&pts);
+/// assert_eq!(tree.nn(Vec3::new(0.9, 0.1, 0.0)).unwrap().index, 1);
+/// assert_eq!(tree.radius(Vec3::ZERO, 1.5).len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    points: Vec<Vec3>,
+    nodes: Vec<Node>,
+    root: u32,
+    height: usize,
+}
+
+impl KdTree {
+    /// Builds a balanced KD-tree by recursive median splits.
+    ///
+    /// The split axis at each node is the axis of largest extent of the
+    /// node's point subset (the classic surface-area heuristic simplified
+    /// for points). Construction is `O(n log² n)`.
+    pub fn build(points: &[Vec3]) -> Self {
+        let mut indices: Vec<u32> = (0..points.len() as u32).collect();
+        let mut nodes = Vec::with_capacity(points.len());
+        let root = build_recursive(points, &mut indices[..], &mut nodes, 0);
+        let height = if nodes.is_empty() { 0 } else { subtree_height(&nodes, root) };
+        KdTree { points: points.to_vec(), nodes, root, height }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the tree indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Height of the tree (number of levels; 0 for an empty tree).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The indexed points.
+    pub fn points(&self) -> &[Vec3] {
+        &self.points
+    }
+
+    /// Nearest neighbor of `query`, or `None` for an empty tree.
+    pub fn nn(&self, query: Vec3) -> Option<Neighbor> {
+        let mut stats = SearchStats::new();
+        self.nn_with_stats(query, &mut stats)
+    }
+
+    /// Nearest neighbor, accumulating visit counters into `stats`.
+    pub fn nn_with_stats(&self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        stats.queries += 1;
+        let mut best = Neighbor::new(usize::MAX, f64::INFINITY);
+        self.nn_recurse(self.root, query, &mut best, stats);
+        (best.index != usize::MAX).then_some(best)
+    }
+
+    fn nn_recurse(&self, node_idx: u32, query: Vec3, best: &mut Neighbor, stats: &mut SearchStats) {
+        let node = &self.nodes[node_idx as usize];
+        let p = self.points[node.point as usize];
+        stats.tree_nodes_visited += 1;
+        let d2 = query.distance_squared(p);
+        if d2 < best.distance_squared
+            || (d2 == best.distance_squared && (node.point as usize) < best.index)
+        {
+            *best = Neighbor::new(node.point as usize, d2);
+        }
+
+        let axis = node.axis as usize;
+        let delta = query.axis(axis) - p.axis(axis);
+        let (near, far) = if delta < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+
+        if near != NONE {
+            self.nn_recurse(near, query, best, stats);
+        }
+        if far != NONE {
+            // The far half-space can only contain a better result when the
+            // sphere around the query with the current best radius crosses
+            // the splitting plane.
+            if delta * delta <= best.distance_squared {
+                self.nn_recurse(far, query, best, stats);
+            } else {
+                stats.subtrees_pruned += 1;
+            }
+        }
+    }
+
+    /// The `k` nearest neighbors of `query`, sorted ascending by distance.
+    ///
+    /// Returns fewer than `k` results when the tree holds fewer points.
+    pub fn knn(&self, query: Vec3, k: usize) -> Vec<Neighbor> {
+        let mut stats = SearchStats::new();
+        self.knn_with_stats(query, k, &mut stats)
+    }
+
+    /// k-NN with visit accounting.
+    pub fn knn_with_stats(&self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        if self.nodes.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        stats.queries += 1;
+        // Max-heap on distance keeps the current k best; the root is the
+        // worst of the k and is the pruning bound.
+        let mut heap: BinaryHeap<Neighbor> = BinaryHeap::with_capacity(k + 1);
+        self.knn_recurse(self.root, query, k, &mut heap, stats);
+        let mut out = heap.into_sorted_vec();
+        out.truncate(k);
+        out
+    }
+
+    fn knn_recurse(
+        &self,
+        node_idx: u32,
+        query: Vec3,
+        k: usize,
+        heap: &mut BinaryHeap<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        let node = &self.nodes[node_idx as usize];
+        let p = self.points[node.point as usize];
+        stats.tree_nodes_visited += 1;
+        let d2 = query.distance_squared(p);
+        if heap.len() < k {
+            heap.push(Neighbor::new(node.point as usize, d2));
+        } else if let Some(worst) = heap.peek() {
+            if d2 < worst.distance_squared {
+                heap.pop();
+                heap.push(Neighbor::new(node.point as usize, d2));
+            }
+        }
+
+        let axis = node.axis as usize;
+        let delta = query.axis(axis) - p.axis(axis);
+        let (near, far) = if delta < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if near != NONE {
+            self.knn_recurse(near, query, k, heap, stats);
+        }
+        if far != NONE {
+            let bound = if heap.len() < k {
+                f64::INFINITY
+            } else {
+                heap.peek().map_or(f64::INFINITY, |w| w.distance_squared)
+            };
+            if delta * delta <= bound {
+                self.knn_recurse(far, query, k, heap, stats);
+            } else {
+                stats.subtrees_pruned += 1;
+            }
+        }
+    }
+
+    /// All points within `radius` of `query`, sorted ascending by distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `radius` is negative.
+    pub fn radius(&self, query: Vec3, radius: f64) -> Vec<Neighbor> {
+        let mut stats = SearchStats::new();
+        self.radius_with_stats(query, radius, &mut stats)
+    }
+
+    /// Radius search with visit accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `radius` is negative.
+    pub fn radius_with_stats(
+        &self,
+        query: Vec3,
+        radius: f64,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let mut out = Vec::new();
+        if self.nodes.is_empty() {
+            return out;
+        }
+        stats.queries += 1;
+        self.radius_recurse(self.root, query, radius * radius, radius, &mut out, stats);
+        out.sort();
+        out
+    }
+
+    fn radius_recurse(
+        &self,
+        node_idx: u32,
+        query: Vec3,
+        r2: f64,
+        r: f64,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        let node = &self.nodes[node_idx as usize];
+        let p = self.points[node.point as usize];
+        stats.tree_nodes_visited += 1;
+        let d2 = query.distance_squared(p);
+        if d2 <= r2 {
+            out.push(Neighbor::new(node.point as usize, d2));
+        }
+
+        let axis = node.axis as usize;
+        let delta = query.axis(axis) - p.axis(axis);
+        let (near, far) = if delta < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if near != NONE {
+            self.radius_recurse(near, query, r2, r, out, stats);
+        }
+        if far != NONE {
+            if delta.abs() <= r {
+                self.radius_recurse(far, query, r2, r, out, stats);
+            } else {
+                stats.subtrees_pruned += 1;
+            }
+        }
+    }
+}
+
+/// Recursively builds the subtree over `indices`, appending nodes to
+/// `nodes` and returning the subtree root index (or `NONE` when empty).
+fn build_recursive(points: &[Vec3], indices: &mut [u32], nodes: &mut Vec<Node>, _depth: usize) -> u32 {
+    if indices.is_empty() {
+        return NONE;
+    }
+    // Split on the axis with the largest extent of this subset.
+    let mut lo = Vec3::splat(f64::INFINITY);
+    let mut hi = Vec3::splat(f64::NEG_INFINITY);
+    for &i in indices.iter() {
+        lo = lo.min(points[i as usize]);
+        hi = hi.max(points[i as usize]);
+    }
+    let ext = hi - lo;
+    let axis = if ext.x >= ext.y && ext.x >= ext.z {
+        0
+    } else if ext.y >= ext.z {
+        1
+    } else {
+        2
+    };
+
+    let mid = indices.len() / 2;
+    indices.select_nth_unstable_by(mid, |&a, &b| {
+        let va = points[a as usize].axis(axis);
+        let vb = points[b as usize].axis(axis);
+        va.partial_cmp(&vb).unwrap().then(a.cmp(&b))
+    });
+    let point = indices[mid];
+
+    let node_idx = nodes.len() as u32;
+    nodes.push(Node { point, axis: axis as u8, left: NONE, right: NONE });
+
+    // Split the slice around the median; recursion order fills `nodes`
+    // depth-first, which is also the layout the accelerator model assumes.
+    let (left_slice, rest) = indices.split_at_mut(mid);
+    let right_slice = &mut rest[1..];
+    let left = build_recursive(points, left_slice, nodes, _depth + 1);
+    let right = build_recursive(points, right_slice, nodes, _depth + 1);
+    nodes[node_idx as usize].left = left;
+    nodes[node_idx as usize].right = right;
+    node_idx
+}
+
+fn subtree_height(nodes: &[Node], root: u32) -> usize {
+    if root == NONE {
+        return 0;
+    }
+    let n = &nodes[root as usize];
+    1 + subtree_height(nodes, n.left).max(subtree_height(nodes, n.right))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::{knn_brute_force, nn_brute_force, radius_brute_force};
+
+    /// Deterministic pseudo-random cloud without pulling in `rand` here.
+    fn lcg_cloud(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 20.0 - 10.0
+        };
+        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+    }
+
+    #[test]
+    fn build_empty_and_singleton() {
+        let t = KdTree::build(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert!(t.nn(Vec3::ZERO).is_none());
+        assert!(t.radius(Vec3::ZERO, 1.0).is_empty());
+        assert!(t.knn(Vec3::ZERO, 3).is_empty());
+
+        let t = KdTree::build(&[Vec3::X]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.nn(Vec3::ZERO).unwrap().index, 0);
+    }
+
+    #[test]
+    fn height_is_logarithmic() {
+        let pts = lcg_cloud(1024, 7);
+        let t = KdTree::build(&pts);
+        // A median-split tree over 1024 points has height ≈ 10–11.
+        assert!(t.height() >= 10 && t.height() <= 12, "height = {}", t.height());
+    }
+
+    #[test]
+    fn nn_matches_brute_force() {
+        let pts = lcg_cloud(500, 42);
+        let tree = KdTree::build(&pts);
+        for (qi, q) in lcg_cloud(200, 1).into_iter().enumerate() {
+            let a = tree.nn(q).unwrap();
+            let b = nn_brute_force(&pts, q).unwrap();
+            assert_eq!(a.index, b.index, "query {qi}");
+            assert_eq!(a.distance_squared, b.distance_squared);
+        }
+    }
+
+    #[test]
+    fn nn_on_tree_points_is_exact() {
+        let pts = lcg_cloud(100, 3);
+        let tree = KdTree::build(&pts);
+        for (i, &p) in pts.iter().enumerate() {
+            let n = tree.nn(p).unwrap();
+            assert_eq!(n.distance_squared, 0.0);
+            assert_eq!(pts[n.index], pts[i]);
+        }
+    }
+
+    #[test]
+    fn radius_matches_brute_force() {
+        let pts = lcg_cloud(400, 9);
+        let tree = KdTree::build(&pts);
+        for q in lcg_cloud(50, 2) {
+            for r in [0.5, 2.0, 6.0] {
+                let a = tree.radius(q, r);
+                let b = radius_brute_force(&pts, q, r);
+                assert_eq!(a.len(), b.len(), "r = {r}");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.index, y.index);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_distances() {
+        let pts = lcg_cloud(300, 11);
+        let tree = KdTree::build(&pts);
+        for q in lcg_cloud(40, 5) {
+            for k in [1, 4, 17] {
+                let a = tree.knn(q, k);
+                let b = knn_brute_force(&pts, q, k);
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    assert!((x.distance_squared - y.distance_squared).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_k_larger_than_tree() {
+        let pts = lcg_cloud(5, 1);
+        let tree = KdTree::build(&pts);
+        assert_eq!(tree.knn(Vec3::ZERO, 50).len(), 5);
+        assert!(tree.knn(Vec3::ZERO, 0).is_empty());
+    }
+
+    #[test]
+    fn pruning_reduces_visits() {
+        let pts = lcg_cloud(4096, 13);
+        let tree = KdTree::build(&pts);
+        let mut stats = SearchStats::new();
+        tree.nn_with_stats(Vec3::new(0.1, 0.2, 0.3), &mut stats).unwrap();
+        // NN on a balanced 4096-point tree should visit far fewer than all
+        // nodes (typically a few dozen), and must prune something.
+        assert!(stats.tree_nodes_visited < 1000, "visited {}", stats.tree_nodes_visited);
+        assert!(stats.subtrees_pruned > 0);
+        assert_eq!(stats.queries, 1);
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let pts = vec![Vec3::X; 17];
+        let tree = KdTree::build(&pts);
+        let n = tree.nn(Vec3::X).unwrap();
+        assert_eq!(n.distance_squared, 0.0);
+        assert_eq!(tree.radius(Vec3::X, 0.1).len(), 17);
+    }
+
+    #[test]
+    fn collinear_points() {
+        let pts: Vec<Vec3> = (0..64).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+        let tree = KdTree::build(&pts);
+        let n = tree.nn(Vec3::new(31.4, 0.0, 0.0)).unwrap();
+        assert_eq!(pts[n.index].x, 31.0);
+        assert_eq!(tree.radius(Vec3::new(10.0, 0.0, 0.0), 2.5).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn radius_rejects_negative() {
+        KdTree::build(&[Vec3::ZERO]).radius(Vec3::ZERO, -0.1);
+    }
+
+    #[test]
+    fn radius_results_sorted() {
+        let pts = lcg_cloud(200, 21);
+        let tree = KdTree::build(&pts);
+        let res = tree.radius(Vec3::ZERO, 8.0);
+        for w in res.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+}

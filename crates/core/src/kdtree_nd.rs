@@ -1,0 +1,352 @@
+//! A k-dimensional KD-tree for feature-space search.
+//!
+//! The Key-Point Correspondence Estimation stage (paper Sec. 3.1, stage 4)
+//! matches key-points by nearest neighbor *in descriptor space* — ℝ³³ for
+//! FPFH, ℝ³⁵² for SHOT — so the 3D tree does not apply. This tree stores
+//! points of arbitrary fixed dimension in a flat array and supports NN and
+//! k-NN queries with the same median-split, prune-on-hyperplane algorithm.
+
+use crate::{Neighbor, SearchStats};
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    point: u32,
+    axis: u16,
+    left: u32,
+    right: u32,
+}
+
+/// A KD-tree over points in ℝᵈ, stored row-major in a flat buffer.
+///
+/// # Example
+///
+/// ```
+/// use tigris_core::KdTreeN;
+///
+/// // Four 4-dimensional descriptors.
+/// let data = vec![
+///     0.0, 0.0, 0.0, 0.0,
+///     1.0, 0.0, 0.0, 0.0,
+///     0.0, 1.0, 0.0, 1.0,
+///     5.0, 5.0, 5.0, 5.0,
+/// ];
+/// let tree = KdTreeN::build(&data, 4);
+/// let n = tree.nn(&[0.9, 0.1, 0.0, 0.0]).unwrap();
+/// assert_eq!(n.index, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KdTreeN {
+    data: Vec<f64>,
+    dim: usize,
+    nodes: Vec<Node>,
+    root: u32,
+}
+
+impl KdTreeN {
+    /// Builds a tree over `data.len() / dim` points of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim == 0` or `data.len()` is not a multiple of `dim`.
+    pub fn build(data: &[f64], dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "data length must be a multiple of dim");
+        let n = data.len() / dim;
+        let mut indices: Vec<u32> = (0..n as u32).collect();
+        let mut nodes = Vec::with_capacity(n);
+        let root = build_recursive(data, dim, &mut indices[..], &mut nodes);
+        KdTreeN { data: data.to_vec(), dim, nodes, root }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// `true` when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The dimension of the indexed points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Returns point `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Nearest neighbor of `query`, or `None` for an empty tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `query.len() != dim`.
+    pub fn nn(&self, query: &[f64]) -> Option<Neighbor> {
+        let mut stats = SearchStats::new();
+        self.nn_with_stats(query, &mut stats)
+    }
+
+    /// NN with visit accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `query.len() != dim`.
+    pub fn nn_with_stats(&self, query: &[f64], stats: &mut SearchStats) -> Option<Neighbor> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        if self.nodes.is_empty() {
+            return None;
+        }
+        stats.queries += 1;
+        let mut best = Neighbor::new(usize::MAX, f64::INFINITY);
+        self.nn_recurse(self.root, query, &mut best, stats);
+        (best.index != usize::MAX).then_some(best)
+    }
+
+    /// The two nearest neighbors, for Lowe-style ratio tests in
+    /// correspondence rejection. Returns 0, 1 or 2 results.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `query.len() != dim`.
+    pub fn nn2(&self, query: &[f64]) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        if self.nodes.is_empty() {
+            return Vec::new();
+        }
+        let mut best = [Neighbor::new(usize::MAX, f64::INFINITY); 2];
+        let mut stats = SearchStats::new();
+        self.nn2_recurse(self.root, query, &mut best, &mut stats);
+        best.iter().filter(|n| n.index != usize::MAX).copied().collect()
+    }
+
+    fn dist2(&self, i: usize, query: &[f64]) -> f64 {
+        let p = self.point(i);
+        p.iter()
+            .zip(query)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    fn nn_recurse(&self, node_idx: u32, query: &[f64], best: &mut Neighbor, stats: &mut SearchStats) {
+        let node = self.nodes[node_idx as usize];
+        stats.tree_nodes_visited += 1;
+        let d2 = self.dist2(node.point as usize, query);
+        if d2 < best.distance_squared
+            || (d2 == best.distance_squared && (node.point as usize) < best.index)
+        {
+            *best = Neighbor::new(node.point as usize, d2);
+        }
+        let axis = node.axis as usize;
+        let delta = query[axis] - self.point(node.point as usize)[axis];
+        let (near, far) = if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        if near != NONE {
+            self.nn_recurse(near, query, best, stats);
+        }
+        if far != NONE {
+            if delta * delta <= best.distance_squared {
+                self.nn_recurse(far, query, best, stats);
+            } else {
+                stats.subtrees_pruned += 1;
+            }
+        }
+    }
+
+    fn nn2_recurse(
+        &self,
+        node_idx: u32,
+        query: &[f64],
+        best: &mut [Neighbor; 2],
+        stats: &mut SearchStats,
+    ) {
+        let node = self.nodes[node_idx as usize];
+        stats.tree_nodes_visited += 1;
+        let d2 = self.dist2(node.point as usize, query);
+        let cand = Neighbor::new(node.point as usize, d2);
+        if cand < best[0] {
+            best[1] = best[0];
+            best[0] = cand;
+        } else if cand < best[1] {
+            best[1] = cand;
+        }
+        let axis = node.axis as usize;
+        let delta = query[axis] - self.point(node.point as usize)[axis];
+        let (near, far) = if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        if near != NONE {
+            self.nn2_recurse(near, query, best, stats);
+        }
+        if far != NONE {
+            if delta * delta <= best[1].distance_squared {
+                self.nn2_recurse(far, query, best, stats);
+            } else {
+                stats.subtrees_pruned += 1;
+            }
+        }
+    }
+}
+
+fn build_recursive(data: &[f64], dim: usize, indices: &mut [u32], nodes: &mut Vec<Node>) -> u32 {
+    if indices.is_empty() {
+        return NONE;
+    }
+    // Split axis: dimension with the widest spread over this subset.
+    let mut axis = 0usize;
+    let mut widest = f64::NEG_INFINITY;
+    for d in 0..dim {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &i in indices.iter() {
+            let v = data[i as usize * dim + d];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi - lo > widest {
+            widest = hi - lo;
+            axis = d;
+        }
+    }
+
+    let mid = indices.len() / 2;
+    indices.select_nth_unstable_by(mid, |&a, &b| {
+        let va = data[a as usize * dim + axis];
+        let vb = data[b as usize * dim + axis];
+        va.partial_cmp(&vb).unwrap().then(a.cmp(&b))
+    });
+    let point = indices[mid];
+    let node_idx = nodes.len() as u32;
+    nodes.push(Node { point, axis: axis as u16, left: NONE, right: NONE });
+
+    let (left_slice, rest) = indices.split_at_mut(mid);
+    let right_slice = &mut rest[1..];
+    let left = build_recursive(data, dim, left_slice, nodes);
+    let right = build_recursive(data, dim, right_slice, nodes);
+    nodes[node_idx as usize].left = left;
+    nodes[node_idx as usize].right = right;
+    node_idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random descriptors.
+    fn lcg_features(n: usize, dim: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        (0..n * dim).map(|_| next()).collect()
+    }
+
+    fn brute_nn(data: &[f64], dim: usize, q: &[f64]) -> usize {
+        (0..data.len() / dim)
+            .min_by(|&a, &b| {
+                let da: f64 = (0..dim).map(|d| (data[a * dim + d] - q[d]).powi(2)).sum();
+                let db: f64 = (0..dim).map(|d| (data[b * dim + d] - q[d]).powi(2)).sum();
+                da.partial_cmp(&db).unwrap()
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn nn_matches_brute_force_in_33_dims() {
+        // FPFH dimensionality.
+        let dim = 33;
+        let data = lcg_features(200, dim, 5);
+        let tree = KdTreeN::build(&data, dim);
+        let queries = lcg_features(25, dim, 99);
+        for qi in 0..25 {
+            let q = &queries[qi * dim..(qi + 1) * dim];
+            let a = tree.nn(q).unwrap();
+            let b = brute_nn(&data, dim, q);
+            assert_eq!(a.index, b, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn nn_in_low_dims() {
+        let data = vec![0.0, 0.0, 3.0, 0.0, 0.0, 3.0, 3.0, 3.0];
+        let tree = KdTreeN::build(&data, 2);
+        assert_eq!(tree.len(), 4);
+        assert_eq!(tree.nn(&[2.8, 0.1]).unwrap().index, 1);
+        assert_eq!(tree.nn(&[0.1, 2.9]).unwrap().index, 2);
+    }
+
+    #[test]
+    fn nn2_returns_two_closest() {
+        let data = vec![0.0, 1.0, 2.0, 10.0];
+        let tree = KdTreeN::build(&data, 1);
+        let two = tree.nn2(&[0.4]);
+        assert_eq!(two.len(), 2);
+        assert_eq!(two[0].index, 0);
+        assert_eq!(two[1].index, 1);
+        assert!(two[0].distance_squared <= two[1].distance_squared);
+    }
+
+    #[test]
+    fn nn2_on_singleton() {
+        let tree = KdTreeN::build(&[1.0, 2.0], 2);
+        assert_eq!(tree.nn2(&[0.0, 0.0]).len(), 1);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = KdTreeN::build(&[], 3);
+        assert!(tree.is_empty());
+        assert!(tree.nn(&[0.0, 0.0, 0.0]).is_none());
+        assert!(tree.nn2(&[0.0, 0.0, 0.0]).is_empty());
+    }
+
+    #[test]
+    fn exact_point_queries() {
+        let dim = 8;
+        let data = lcg_features(64, dim, 21);
+        let tree = KdTreeN::build(&data, dim);
+        for i in 0..64 {
+            let q: Vec<f64> = tree.point(i).to_vec();
+            let n = tree.nn(&q).unwrap();
+            assert!(n.distance_squared < 1e-24);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn query_dim_mismatch_panics() {
+        KdTreeN::build(&[0.0, 0.0], 2).nn(&[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn build_bad_length_panics() {
+        KdTreeN::build(&[0.0, 0.0, 0.0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn build_zero_dim_panics() {
+        KdTreeN::build(&[], 0);
+    }
+
+    #[test]
+    fn pruning_happens_in_moderate_dims() {
+        // In very high dimensions uniform data defeats hyperplane pruning
+        // (the curse of dimensionality); at d = 4 with a dense set pruning
+        // must occur.
+        let dim = 4;
+        let data = lcg_features(4000, dim, 77);
+        let tree = KdTreeN::build(&data, dim);
+        let q = vec![0.5; dim];
+        let mut stats = SearchStats::new();
+        tree.nn_with_stats(&q, &mut stats);
+        assert!(stats.subtrees_pruned > 0);
+        assert!(stats.tree_nodes_visited < 4000);
+    }
+}

@@ -1,0 +1,290 @@
+//! KITTI-format I/O.
+//!
+//! The reproduction generates synthetic data, but a downstream user will
+//! want to run the pipeline on real KITTI sequences. This module
+//! reads/writes the two formats the odometry benchmark uses:
+//!
+//! * **Velodyne scans** (`.bin`): little-endian `f32` quadruples
+//!   `x y z intensity`, one per point.
+//! * **Pose files** (`poses/NN.txt`): one pose per line as the first 3
+//!   rows of a 4×4 homogeneous matrix — 12 `f64` values, row-major.
+//!
+//! Plus a plain `.xyz` text format (one `x y z` per line) for quick
+//! interchange with other tools.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use tigris_geom::{Mat3, PointCloud, RigidTransform, Vec3};
+
+/// Reads a KITTI Velodyne `.bin` scan. Intensity is discarded (the
+/// registration pipeline is geometry-only, like the paper's).
+///
+/// # Errors
+///
+/// I/O errors, or [`io::ErrorKind::InvalidData`] when the file length is
+/// not a multiple of 16 bytes.
+pub fn read_velodyne_bin<P: AsRef<Path>>(path: P) -> io::Result<PointCloud> {
+    let mut file = File::open(path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    velodyne_from_bytes(&bytes)
+}
+
+/// Parses Velodyne `.bin` content from memory.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] when the length is not a multiple of 16.
+pub fn velodyne_from_bytes(bytes: &[u8]) -> io::Result<PointCloud> {
+    if bytes.len() % 16 != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("velodyne .bin length {} is not a multiple of 16", bytes.len()),
+        ));
+    }
+    let mut points = Vec::with_capacity(bytes.len() / 16);
+    for chunk in bytes.chunks_exact(16) {
+        let x = f32::from_le_bytes(chunk[0..4].try_into().unwrap());
+        let y = f32::from_le_bytes(chunk[4..8].try_into().unwrap());
+        let z = f32::from_le_bytes(chunk[8..12].try_into().unwrap());
+        points.push(Vec3::new(x as f64, y as f64, z as f64));
+    }
+    Ok(PointCloud::from_points(points))
+}
+
+/// Writes a cloud as a KITTI Velodyne `.bin` (intensity written as 0).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_velodyne_bin<P: AsRef<Path>>(path: P, cloud: &PointCloud) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for p in cloud.points() {
+        w.write_all(&(p.x as f32).to_le_bytes())?;
+        w.write_all(&(p.y as f32).to_le_bytes())?;
+        w.write_all(&(p.z as f32).to_le_bytes())?;
+        w.write_all(&0.0f32.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a KITTI pose file: one 3×4 row-major matrix per line.
+///
+/// # Errors
+///
+/// I/O errors, or [`io::ErrorKind::InvalidData`] for malformed lines.
+pub fn read_poses<P: AsRef<Path>>(path: P) -> io::Result<Vec<RigidTransform>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(pose_from_line(&line).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
+        })?);
+    }
+    Ok(out)
+}
+
+/// Parses one KITTI pose line (12 whitespace-separated floats).
+///
+/// # Errors
+///
+/// A description of the malformation.
+pub fn pose_from_line(line: &str) -> Result<RigidTransform, String> {
+    let vals: Result<Vec<f64>, _> = line.split_whitespace().map(str::parse).collect();
+    let vals = vals.map_err(|e| format!("parse error: {e}"))?;
+    if vals.len() != 12 {
+        return Err(format!("expected 12 values, got {}", vals.len()));
+    }
+    let rotation = Mat3::from_rows(
+        [vals[0], vals[1], vals[2]],
+        [vals[4], vals[5], vals[6]],
+        [vals[8], vals[9], vals[10]],
+    );
+    let translation = Vec3::new(vals[3], vals[7], vals[11]);
+    Ok(RigidTransform::new(rotation, translation))
+}
+
+/// Formats a pose as a KITTI pose line.
+pub fn pose_to_line(pose: &RigidTransform) -> String {
+    let r = &pose.rotation.m;
+    let t = pose.translation;
+    format!(
+        "{:e} {:e} {:e} {:e} {:e} {:e} {:e} {:e} {:e} {:e} {:e} {:e}",
+        r[0][0], r[0][1], r[0][2], t.x, r[1][0], r[1][1], r[1][2], t.y, r[2][0], r[2][1],
+        r[2][2], t.z
+    )
+}
+
+/// Writes poses in KITTI format, one per line.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_poses<P: AsRef<Path>>(path: P, poses: &[RigidTransform]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for pose in poses {
+        writeln!(w, "{}", pose_to_line(pose))?;
+    }
+    w.flush()
+}
+
+/// Writes a cloud as plain `.xyz` text (one `x y z` per line).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_xyz<P: AsRef<Path>>(path: P, cloud: &PointCloud) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for p in cloud.points() {
+        writeln!(w, "{} {} {}", p.x, p.y, p.z)?;
+    }
+    w.flush()
+}
+
+/// Reads a plain `.xyz` text cloud.
+///
+/// # Errors
+///
+/// I/O errors, or [`io::ErrorKind::InvalidData`] for malformed lines.
+pub fn read_xyz<P: AsRef<Path>>(path: P) -> io::Result<PointCloud> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut points = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let vals: Result<Vec<f64>, _> = trimmed.split_whitespace().map(str::parse).collect();
+        let vals = vals.map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
+        })?;
+        if vals.len() < 3 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: expected at least 3 values", lineno + 1),
+            ));
+        }
+        points.push(Vec3::new(vals[0], vals[1], vals[2]));
+    }
+    Ok(PointCloud::from_points(points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cloud() -> PointCloud {
+        PointCloud::from_points(vec![
+            Vec3::new(1.5, -2.25, 3.125),
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(-10.0, 20.0, -30.5),
+        ])
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tigris_io_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn velodyne_round_trip() {
+        let cloud = sample_cloud();
+        let path = tmp("scan.bin");
+        write_velodyne_bin(&path, &cloud).unwrap();
+        let back = read_velodyne_bin(&path).unwrap();
+        assert_eq!(back.len(), cloud.len());
+        for (a, b) in cloud.points().iter().zip(back.points()) {
+            // f32 round trip.
+            assert!((a.x - b.x).abs() < 1e-6);
+            assert!((a.z - b.z).abs() < 1e-6);
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn velodyne_from_bytes_validates_length() {
+        assert!(velodyne_from_bytes(&[0u8; 15]).is_err());
+        assert_eq!(velodyne_from_bytes(&[0u8; 32]).unwrap().len(), 2);
+        assert!(velodyne_from_bytes(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pose_line_round_trip() {
+        let pose = RigidTransform::from_axis_angle(
+            Vec3::new(0.2, 1.0, -0.4),
+            0.73,
+            Vec3::new(12.5, -3.25, 0.5),
+        );
+        let line = pose_to_line(&pose);
+        let back = pose_from_line(&line).unwrap();
+        assert!((back.translation - pose.translation).norm() < 1e-12);
+        assert!((back.rotation - pose.rotation).frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn pose_line_kitti_identity_convention() {
+        // The canonical first line of every KITTI pose file.
+        let line = "1 0 0 0 0 1 0 0 0 0 1 0";
+        let pose = pose_from_line(line).unwrap();
+        assert!(pose.is_identity(1e-12));
+    }
+
+    #[test]
+    fn pose_line_rejects_malformed() {
+        assert!(pose_from_line("1 2 3").is_err());
+        assert!(pose_from_line("a b c d e f g h i j k l").is_err());
+    }
+
+    #[test]
+    fn poses_file_round_trip() {
+        let poses: Vec<RigidTransform> = (0..5)
+            .map(|i| {
+                RigidTransform::from_axis_angle(
+                    Vec3::Z,
+                    0.1 * i as f64,
+                    Vec3::new(i as f64, 0.0, 0.0),
+                )
+            })
+            .collect();
+        let path = tmp("poses.txt");
+        write_poses(&path, &poses).unwrap();
+        let back = read_poses(&path).unwrap();
+        assert_eq!(back.len(), 5);
+        for (a, b) in poses.iter().zip(&back) {
+            assert!((a.translation - b.translation).norm() < 1e-12);
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn xyz_round_trip_with_comments() {
+        let cloud = sample_cloud();
+        let path = tmp("cloud.xyz");
+        write_xyz(&path, &cloud).unwrap();
+        // Prepend a comment and a blank line.
+        let contents = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, format!("# comment\n\n{contents}")).unwrap();
+        let back = read_xyz(&path).unwrap();
+        assert_eq!(back.len(), cloud.len());
+        assert_eq!(back.points()[0], cloud.points()[0]);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn xyz_rejects_malformed() {
+        let path = tmp("bad.xyz");
+        std::fs::write(&path, "1.0 2.0\n").unwrap();
+        assert!(read_xyz(&path).is_err());
+        std::fs::write(&path, "1.0 2.0 zebra\n").unwrap();
+        assert!(read_xyz(&path).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+}

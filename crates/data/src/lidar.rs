@@ -1,0 +1,215 @@
+//! A spinning multi-beam LiDAR model in the mold of the Velodyne HDL-64E
+//! that captured KITTI (64 beams, −24.8°…+2° vertical field of view,
+//! 360° sweep, ~120 m range).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr_normal::sample_normal;
+use tigris_geom::{PointCloud, RigidTransform, Vec3};
+
+use crate::scene::{Ray, Scene};
+
+/// Minimal Box–Muller normal sampler so we stay within the `rand` crate.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// One sample from N(0, sigma²).
+    pub fn sample_normal<R: Rng>(rng: &mut R, sigma: f64) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Scanner parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LidarConfig {
+    /// Number of laser beams (rings). HDL-64E: 64.
+    pub beams: usize,
+    /// Azimuth steps per revolution. HDL-64E at 10 Hz: ~1800–2000.
+    pub azimuth_steps: usize,
+    /// Topmost beam elevation, radians (HDL-64E: +2°).
+    pub elevation_max: f64,
+    /// Bottommost beam elevation, radians (HDL-64E: −24.8°).
+    pub elevation_min: f64,
+    /// Maximum usable range, meters.
+    pub max_range: f64,
+    /// 1-σ Gaussian range noise, meters (HDL-64E: ~2 cm).
+    pub range_noise_sigma: f64,
+    /// Probability a valid return is dropped (dust, absorption).
+    pub dropout: f64,
+    /// Sensor height above the vehicle origin, meters.
+    pub mount_height: f64,
+}
+
+impl Default for LidarConfig {
+    fn default() -> Self {
+        LidarConfig {
+            beams: 64,
+            azimuth_steps: 900,
+            elevation_max: 2.0_f64.to_radians(),
+            elevation_min: -24.8_f64.to_radians(),
+            max_range: 120.0,
+            range_noise_sigma: 0.02,
+            dropout: 0.005,
+            mount_height: 1.73,
+        }
+    }
+}
+
+impl LidarConfig {
+    /// A low-resolution scanner for fast tests (16 beams, 120 columns).
+    pub fn tiny() -> Self {
+        LidarConfig { beams: 16, azimuth_steps: 120, ..LidarConfig::default() }
+    }
+
+    /// Expected upper bound on returns per frame.
+    pub fn rays_per_frame(&self) -> usize {
+        self.beams * self.azimuth_steps
+    }
+}
+
+/// The scanner. Owns its noise RNG so consecutive frames see independent
+/// noise but the whole sequence stays reproducible from one seed.
+#[derive(Debug)]
+pub struct Lidar {
+    config: LidarConfig,
+    rng: StdRng,
+}
+
+impl Lidar {
+    /// Creates a scanner with the given configuration and noise seed.
+    pub fn new(config: LidarConfig, seed: u64) -> Self {
+        Lidar { config, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The scanner configuration.
+    pub fn config(&self) -> &LidarConfig {
+        &self.config
+    }
+
+    /// Scans `scene` from vehicle pose `pose` (vehicle frame: x forward,
+    /// z up; the sensor sits `mount_height` above the vehicle origin).
+    ///
+    /// Returns the point cloud in the *sensor* frame — the frame
+    /// registration operates in, exactly like a KITTI `.bin` scan.
+    pub fn scan(&mut self, scene: &Scene, pose: &RigidTransform) -> PointCloud {
+        let cfg = self.config;
+        let sensor_offset = Vec3::new(0.0, 0.0, cfg.mount_height);
+        let origin_world = pose.apply(sensor_offset);
+
+        let mut points = Vec::with_capacity(cfg.rays_per_frame() / 2);
+        for beam in 0..cfg.beams {
+            let frac = if cfg.beams > 1 {
+                beam as f64 / (cfg.beams - 1) as f64
+            } else {
+                0.5
+            };
+            let elevation = cfg.elevation_max + frac * (cfg.elevation_min - cfg.elevation_max);
+            let (sin_e, cos_e) = elevation.sin_cos();
+            for step in 0..cfg.azimuth_steps {
+                let azimuth = step as f64 / cfg.azimuth_steps as f64 * std::f64::consts::TAU;
+                let (sin_a, cos_a) = azimuth.sin_cos();
+                // Direction in the sensor frame.
+                let dir_sensor = Vec3::new(cos_e * cos_a, cos_e * sin_a, sin_e);
+                let dir_world = pose.apply_direction(dir_sensor);
+                let ray = Ray { origin: origin_world, dir: dir_world };
+                let Some(range) = scene.cast(&ray, cfg.max_range) else {
+                    continue;
+                };
+                if cfg.dropout > 0.0 && self.rng.gen_bool(cfg.dropout) {
+                    continue;
+                }
+                let noisy = (range + sample_normal(&mut self.rng, cfg.range_noise_sigma)).max(0.1);
+                points.push(dir_sensor * noisy);
+            }
+        }
+        PointCloud::from_points(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::SceneConfig;
+
+    fn scan_once(seed: u64) -> PointCloud {
+        let scene = Scene::generate(&SceneConfig::tiny(), 1);
+        let mut lidar = Lidar::new(LidarConfig::tiny(), seed);
+        lidar.scan(&scene, &RigidTransform::from_translation(Vec3::new(10.0, 0.0, 0.0)))
+    }
+
+    #[test]
+    fn scan_produces_points() {
+        let cloud = scan_once(3);
+        assert!(cloud.len() > 200, "only {} returns", cloud.len());
+        assert!(cloud.len() <= LidarConfig::tiny().rays_per_frame());
+    }
+
+    #[test]
+    fn points_are_within_range() {
+        let cfg = LidarConfig::tiny();
+        let cloud = scan_once(4);
+        for &p in cloud.points() {
+            let r = p.norm();
+            assert!(r <= cfg.max_range + 0.5, "range {r}");
+            assert!(r > 0.05);
+            assert!(p.is_finite());
+        }
+    }
+
+    #[test]
+    fn ground_points_lie_near_sensor_minus_mount_height() {
+        // In the sensor frame the ground shows up around z = -mount_height.
+        let cloud = scan_once(5);
+        let ground_points = cloud
+            .points()
+            .iter()
+            .filter(|p| p.z < -1.0)
+            .count();
+        assert!(ground_points > 50, "ground returns expected, got {ground_points}");
+        let min_z = cloud.points().iter().map(|p| p.z).fold(f64::INFINITY, f64::min);
+        assert!(min_z > -2.5, "nothing should be far below the ground plane, min_z = {min_z}");
+    }
+
+    #[test]
+    fn scans_are_reproducible_per_seed() {
+        let a = scan_once(7);
+        let b = scan_once(7);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.points()[0], b.points()[0]);
+        let c = scan_once(8);
+        // Different noise seed: same geometry, different jitter.
+        assert_eq!(a.len(), c.len());
+        assert_ne!(a.points()[0], c.points()[0]);
+    }
+
+    #[test]
+    fn dropout_removes_returns() {
+        let scene = Scene::generate(&SceneConfig::tiny(), 1);
+        let pose = RigidTransform::from_translation(Vec3::new(10.0, 0.0, 0.0));
+        let mut clean = Lidar::new(LidarConfig { dropout: 0.0, ..LidarConfig::tiny() }, 1);
+        let mut lossy = Lidar::new(LidarConfig { dropout: 0.5, ..LidarConfig::tiny() }, 1);
+        let n_clean = clean.scan(&scene, &pose).len();
+        let n_lossy = lossy.scan(&scene, &pose).len();
+        assert!(n_lossy < n_clean * 7 / 10, "{n_lossy} vs {n_clean}");
+    }
+
+    #[test]
+    fn pose_changes_the_view() {
+        let scene = Scene::generate(&SceneConfig::tiny(), 1);
+        let mut lidar = Lidar::new(LidarConfig { range_noise_sigma: 0.0, dropout: 0.0, ..LidarConfig::tiny() }, 1);
+        let a = lidar.scan(&scene, &RigidTransform::from_translation(Vec3::new(5.0, 0.0, 0.0)));
+        let b = lidar.scan(&scene, &RigidTransform::from_translation(Vec3::new(30.0, 0.0, 0.0)));
+        // Different vantage points see different numbers of returns.
+        assert_ne!(a.len(), b.len());
+    }
+
+    #[test]
+    fn default_config_is_hdl64_like() {
+        let cfg = LidarConfig::default();
+        assert_eq!(cfg.beams, 64);
+        assert!(cfg.elevation_max > 0.0 && cfg.elevation_min < 0.0);
+        assert!((cfg.mount_height - 1.73).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,183 @@
+//! KITTI-style odometry error metrics (paper Sec. 6.1: "The accuracy is
+//! measured using standard rotational and translational errors").
+//!
+//! Following the KITTI benchmark, errors are computed on *relative* pose
+//! estimates and normalized by traveled distance: translational error in
+//! percent of distance, rotational error in degrees per meter.
+
+use tigris_geom::RigidTransform;
+
+/// Aggregated odometry error over a sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OdometryError {
+    /// Mean translational error, percent of distance traveled.
+    pub translational_percent: f64,
+    /// Mean rotational error, degrees per meter traveled.
+    pub rotational_deg_per_m: f64,
+    /// Standard deviation of the per-frame translational percentages (the
+    /// error bars of paper Fig. 7).
+    pub translational_percent_std: f64,
+    /// Number of frame pairs aggregated.
+    pub pairs: usize,
+}
+
+impl std::fmt::Display for OdometryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "t_err = {:.3}% ± {:.3}, r_err = {:.5} °/m over {} pairs",
+            self.translational_percent,
+            self.translational_percent_std,
+            self.rotational_deg_per_m,
+            self.pairs
+        )
+    }
+}
+
+/// Error of one estimated relative pose against ground truth: returns
+/// `(translation_error_m, rotation_error_rad)` of the residual transform
+/// `gt⁻¹ ∘ est`.
+pub fn relative_pose_error(est: &RigidTransform, gt: &RigidTransform) -> (f64, f64) {
+    let residual = gt.inverse() * *est;
+    (residual.translation_norm(), residual.rotation_angle())
+}
+
+/// Aggregates KITTI-style errors over parallel slices of estimated and
+/// ground-truth *relative* transforms (one per consecutive frame pair).
+///
+/// Per pair, the translational error is the residual translation norm as a
+/// percentage of the ground-truth displacement; the rotational error is the
+/// residual angle (degrees) per meter of ground-truth displacement. Pairs
+/// with ground-truth displacement below 1 cm are skipped (the normalization
+/// would explode).
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths.
+pub fn sequence_error(est: &[RigidTransform], gt: &[RigidTransform]) -> OdometryError {
+    assert_eq!(est.len(), gt.len(), "estimate/ground-truth length mismatch");
+    let mut t_percents = Vec::with_capacity(est.len());
+    let mut r_deg_per_m = Vec::with_capacity(est.len());
+    for (e, g) in est.iter().zip(gt) {
+        let dist = g.translation_norm();
+        if dist < 0.01 {
+            continue;
+        }
+        let (t_err, r_err) = relative_pose_error(e, g);
+        t_percents.push(t_err / dist * 100.0);
+        r_deg_per_m.push(r_err.to_degrees() / dist);
+    }
+    let pairs = t_percents.len();
+    if pairs == 0 {
+        return OdometryError {
+            translational_percent: 0.0,
+            rotational_deg_per_m: 0.0,
+            translational_percent_std: 0.0,
+            pairs: 0,
+        };
+    }
+    let t_mean = t_percents.iter().sum::<f64>() / pairs as f64;
+    let r_mean = r_deg_per_m.iter().sum::<f64>() / pairs as f64;
+    let t_var = t_percents.iter().map(|v| (v - t_mean) * (v - t_mean)).sum::<f64>() / pairs as f64;
+    OdometryError {
+        translational_percent: t_mean,
+        rotational_deg_per_m: r_mean,
+        translational_percent_std: t_var.sqrt(),
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigris_geom::{Mat3, Vec3};
+
+    #[test]
+    fn perfect_estimates_have_zero_error() {
+        let gt: Vec<RigidTransform> = (0..5)
+            .map(|i| RigidTransform::from_axis_angle(Vec3::Z, 0.01 * i as f64, Vec3::new(1.0, 0.0, 0.0)))
+            .collect();
+        let err = sequence_error(&gt, &gt);
+        assert_eq!(err.pairs, 5);
+        assert!(err.translational_percent < 1e-9);
+        assert!(err.rotational_deg_per_m < 1e-9);
+        assert!(err.translational_percent_std < 1e-9);
+    }
+
+    #[test]
+    fn translation_error_is_percent_of_distance() {
+        // GT: 1 m forward. Estimate: 1.05 m forward → 5% error.
+        let gt = vec![RigidTransform::from_translation(Vec3::new(1.0, 0.0, 0.0))];
+        let est = vec![RigidTransform::from_translation(Vec3::new(1.05, 0.0, 0.0))];
+        let err = sequence_error(&est, &gt);
+        assert!((err.translational_percent - 5.0).abs() < 1e-9);
+        assert!(err.rotational_deg_per_m.abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_error_is_degrees_per_meter() {
+        // GT: 2 m forward, no rotation. Estimate adds a 0.02 rad yaw.
+        let gt = vec![RigidTransform::from_translation(Vec3::new(2.0, 0.0, 0.0))];
+        let est = vec![RigidTransform::new(
+            Mat3::rotation_z(0.02),
+            Vec3::new(2.0, 0.0, 0.0),
+        )];
+        let err = sequence_error(&est, &gt);
+        let expected = 0.02f64.to_degrees() / 2.0;
+        assert!((err.rotational_deg_per_m - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_pose_error_is_residual_magnitudes() {
+        let gt = RigidTransform::from_translation(Vec3::new(1.0, 0.0, 0.0));
+        let est = RigidTransform::from_axis_angle(Vec3::Z, 0.1, Vec3::new(1.0, 0.2, 0.0));
+        let (t, r) = relative_pose_error(&est, &gt);
+        assert!((r - 0.1).abs() < 1e-12);
+        assert!(t > 0.19 && t < 0.21);
+    }
+
+    #[test]
+    fn stationary_pairs_are_skipped() {
+        let gt = vec![
+            RigidTransform::IDENTITY,
+            RigidTransform::from_translation(Vec3::new(1.0, 0.0, 0.0)),
+        ];
+        let est = vec![
+            RigidTransform::from_translation(Vec3::new(0.5, 0.0, 0.0)), // would be ∞%
+            RigidTransform::from_translation(Vec3::new(1.0, 0.0, 0.0)),
+        ];
+        let err = sequence_error(&est, &gt);
+        assert_eq!(err.pairs, 1);
+        assert!(err.translational_percent < 1e-9);
+    }
+
+    #[test]
+    fn empty_input() {
+        let err = sequence_error(&[], &[]);
+        assert_eq!(err.pairs, 0);
+        assert_eq!(err.translational_percent, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        sequence_error(&[RigidTransform::IDENTITY], &[]);
+    }
+
+    #[test]
+    fn std_reflects_spread() {
+        let gt = vec![RigidTransform::from_translation(Vec3::new(1.0, 0.0, 0.0)); 2];
+        let est = vec![
+            RigidTransform::from_translation(Vec3::new(1.0, 0.0, 0.0)),
+            RigidTransform::from_translation(Vec3::new(1.1, 0.0, 0.0)),
+        ];
+        let err = sequence_error(&est, &gt);
+        assert!((err.translational_percent - 5.0).abs() < 1e-9);
+        assert!((err.translational_percent_std - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!sequence_error(&[], &[]).to_string().is_empty());
+    }
+}

@@ -1,0 +1,579 @@
+//! Procedural urban scenes for the synthetic LiDAR scanner.
+//!
+//! A scene is a set of analytic primitives with exact ray intersection: a
+//! ground plane, axis-aligned boxes (buildings, parked cars, clutter) and
+//! vertical cylinders (poles, trunks). The generator lays out a road
+//! corridor along +X with building façades on both sides — the geometry a
+//! KITTI residential/urban sequence presents to the scanner.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tigris_geom::Vec3;
+
+/// A ray with unit direction.
+#[derive(Debug, Clone, Copy)]
+pub struct Ray {
+    /// Ray origin (the sensor position).
+    pub origin: Vec3,
+    /// Unit direction.
+    pub dir: Vec3,
+}
+
+/// Scene primitives with analytic ray intersection.
+#[derive(Debug, Clone)]
+pub enum Primitive {
+    /// Horizontal ground plane at height `z`.
+    GroundPlane {
+        /// Plane height.
+        z: f64,
+    },
+    /// Axis-aligned box.
+    Box {
+        /// Minimum corner.
+        min: Vec3,
+        /// Maximum corner.
+        max: Vec3,
+    },
+    /// Vertical cylinder (axis parallel to Z).
+    Cylinder {
+        /// Axis location in the XY plane.
+        center_xy: (f64, f64),
+        /// Cylinder radius.
+        radius: f64,
+        /// Bottom height.
+        z_min: f64,
+        /// Top height.
+        z_max: f64,
+    },
+    /// A box rotated about the vertical axis — clutter (kiosks, dumpsters,
+    /// skewed parked cars) that breaks the axis-aligned monotony real
+    /// registration relies on.
+    RotatedBox {
+        /// Box centre.
+        center: Vec3,
+        /// Half-extents along the box's local axes.
+        half_extents: Vec3,
+        /// Yaw about +Z, radians.
+        yaw: f64,
+    },
+}
+
+impl Primitive {
+    /// Distance `t > 0` along `ray` to the first intersection, or `None`.
+    pub fn intersect(&self, ray: &Ray) -> Option<f64> {
+        match *self {
+            Primitive::GroundPlane { z } => {
+                if ray.dir.z.abs() < 1e-12 {
+                    return None;
+                }
+                let t = (z - ray.origin.z) / ray.dir.z;
+                (t > 1e-9).then_some(t)
+            }
+            Primitive::Box { min, max } => ray_box(ray, min, max),
+            Primitive::Cylinder { center_xy, radius, z_min, z_max } => {
+                ray_cylinder(ray, center_xy, radius, z_min, z_max)
+            }
+            Primitive::RotatedBox { center, half_extents, yaw } => {
+                // Transform the ray into the box frame and run the slab test.
+                let (s, c) = yaw.sin_cos();
+                let to_local = |v: Vec3| Vec3::new(c * v.x + s * v.y, -s * v.x + c * v.y, v.z);
+                let local = Ray {
+                    origin: to_local(ray.origin - center),
+                    dir: to_local(ray.dir),
+                };
+                ray_box(&local, -half_extents, half_extents)
+            }
+        }
+    }
+}
+
+/// Slab-method ray/AABB intersection; returns the entry distance.
+fn ray_box(ray: &Ray, min: Vec3, max: Vec3) -> Option<f64> {
+    let mut t_near = f64::NEG_INFINITY;
+    let mut t_far = f64::INFINITY;
+    for a in 0..3 {
+        let o = ray.origin.axis(a);
+        let d = ray.dir.axis(a);
+        let (lo, hi) = (min.axis(a), max.axis(a));
+        if d.abs() < 1e-12 {
+            if o < lo || o > hi {
+                return None;
+            }
+        } else {
+            let mut t0 = (lo - o) / d;
+            let mut t1 = (hi - o) / d;
+            if t0 > t1 {
+                std::mem::swap(&mut t0, &mut t1);
+            }
+            t_near = t_near.max(t0);
+            t_far = t_far.min(t1);
+            if t_near > t_far {
+                return None;
+            }
+        }
+    }
+    if t_far < 1e-9 {
+        return None;
+    }
+    // If the origin is inside, the first boundary hit is t_far.
+    Some(if t_near > 1e-9 { t_near } else { t_far })
+}
+
+/// Ray/vertical-cylinder intersection (finite height, no caps — LiDAR
+/// returns come from the lateral surface).
+fn ray_cylinder(ray: &Ray, (cx, cy): (f64, f64), r: f64, z_min: f64, z_max: f64) -> Option<f64> {
+    let ox = ray.origin.x - cx;
+    let oy = ray.origin.y - cy;
+    let dx = ray.dir.x;
+    let dy = ray.dir.y;
+    let a = dx * dx + dy * dy;
+    if a < 1e-15 {
+        return None;
+    }
+    let b = 2.0 * (ox * dx + oy * dy);
+    let c = ox * ox + oy * oy - r * r;
+    let disc = b * b - 4.0 * a * c;
+    if disc < 0.0 {
+        return None;
+    }
+    let sq = disc.sqrt();
+    for t in [(-b - sq) / (2.0 * a), (-b + sq) / (2.0 * a)] {
+        if t > 1e-9 {
+            let z = ray.origin.z + t * ray.dir.z;
+            if z >= z_min && z <= z_max {
+                return Some(t);
+            }
+        }
+    }
+    None
+}
+
+/// The kind of environment to generate (KITTI's sequences span both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SceneKind {
+    /// Dense urban corridor: building façades, poles, parked cars, clutter.
+    #[default]
+    Urban,
+    /// Highway: guardrails, gantries, sparse barriers and vehicles — far
+    /// less lateral structure, the harder case for registration.
+    Highway,
+}
+
+/// Parameters of the procedural scene generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SceneConfig {
+    /// Environment flavor.
+    pub kind: SceneKind,
+    /// Length of the road corridor along +X, in meters.
+    pub corridor_length: f64,
+    /// Half-width of the road (buildings start beyond this), meters.
+    pub road_half_width: f64,
+    /// Expected spacing between building façades along the road, meters.
+    pub building_spacing: f64,
+    /// Expected spacing between roadside poles, meters.
+    pub pole_spacing: f64,
+    /// Number of parked-car boxes per 100 m of road.
+    pub cars_per_100m: f64,
+}
+
+impl Default for SceneConfig {
+    fn default() -> Self {
+        SceneConfig {
+            kind: SceneKind::Urban,
+            corridor_length: 400.0,
+            road_half_width: 7.0,
+            building_spacing: 18.0,
+            pole_spacing: 25.0,
+            cars_per_100m: 4.0,
+        }
+    }
+}
+
+impl SceneConfig {
+    /// A short, sparse corridor for fast unit tests.
+    pub fn tiny() -> Self {
+        SceneConfig {
+            corridor_length: 80.0,
+            building_spacing: 25.0,
+            pole_spacing: 40.0,
+            cars_per_100m: 2.0,
+            ..SceneConfig::default()
+        }
+    }
+
+    /// A highway environment.
+    pub fn highway() -> Self {
+        SceneConfig {
+            kind: SceneKind::Highway,
+            road_half_width: 12.0,
+            ..SceneConfig::default()
+        }
+    }
+}
+
+/// A generated scene: primitives plus the config used to build it.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    primitives: Vec<Primitive>,
+    config: SceneConfig,
+}
+
+impl Scene {
+    /// Generates a deterministic scene from `seed`.
+    ///
+    /// Urban layout: ground plane at z = 0; two rows of buildings with
+    /// randomized setbacks, footprints and heights; roadside poles; façade
+    /// detail; clutter; parked cars; landmark towers. Highway layout:
+    /// guardrails, overhead gantries, sparse barriers and vehicles.
+    pub fn generate(config: &SceneConfig, seed: u64) -> Self {
+        match config.kind {
+            SceneKind::Urban => Self::generate_urban(config, seed),
+            SceneKind::Highway => Self::generate_highway(config, seed),
+        }
+    }
+
+    fn generate_urban(config: &SceneConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut prims = vec![Primitive::GroundPlane { z: 0.0 }];
+
+        // Buildings on both sides of the corridor. The two sides draw from
+        // different height/setback priors: real streets are not symmetric,
+        // and without this a 180°-rotated registration is a near-perfect
+        // geometric match (the front-end would alias).
+        for side in [-1.0, 1.0] {
+            let (h_lo, h_hi) = if side < 0.0 { (3.0, 9.0) } else { (10.0, 22.0) };
+            let mut x = -20.0;
+            while x < config.corridor_length {
+                let w = rng.gen_range(8.0..config.building_spacing.max(9.0));
+                let depth = rng.gen_range(8.0..20.0);
+                let height = rng.gen_range(h_lo..h_hi);
+                let setback = if side < 0.0 {
+                    rng.gen_range(0.0..2.0)
+                } else {
+                    rng.gen_range(2.0..6.0)
+                };
+                let y0 = side * (config.road_half_width + setback);
+                let (y_min, y_max) = if side < 0.0 { (y0 - depth, y0) } else { (y0, y0 + depth) };
+                prims.push(Primitive::Box {
+                    min: Vec3::new(x, y_min, 0.0),
+                    max: Vec3::new(x + w, y_max, height),
+                });
+                // Façade detail: protruding awnings/balconies/signage make
+                // each building front geometrically distinctive (a featureless
+                // box wall gives descriptor matching nothing to lock onto).
+                let facade_y = if side < 0.0 { y_max } else { y_min };
+                for _ in 0..rng.gen_range(1..4usize) {
+                    let fx = x + rng.gen_range(0.5..(w - 1.0).max(0.6));
+                    let fz = rng.gen_range(1.5..(height - 0.5).max(1.6));
+                    let fw = rng.gen_range(0.6..2.5);
+                    let fd = rng.gen_range(0.3..1.2);
+                    let fh = rng.gen_range(0.3..1.0);
+                    let (fy_min, fy_max) = if side < 0.0 {
+                        (facade_y, facade_y + fd)
+                    } else {
+                        (facade_y - fd, facade_y)
+                    };
+                    prims.push(Primitive::Box {
+                        min: Vec3::new(fx, fy_min, fz),
+                        max: Vec3::new(fx + fw, fy_max, fz + fh),
+                    });
+                }
+                x += w + rng.gen_range(1.0..6.0);
+            }
+        }
+
+        // Street clutter: kiosks, dumpsters and skewed cars at random yaw
+        // near the curb — distinctive corners at ground level.
+        let n_clutter = (config.corridor_length / 12.0) as usize;
+        for _ in 0..n_clutter {
+            let x = rng.gen_range(0.0..config.corridor_length);
+            let side = if rng.gen_bool(0.5) { -1.0 } else { 1.0 };
+            let y = side * (config.road_half_width + rng.gen_range(-2.5..2.0));
+            let hx = rng.gen_range(0.4..1.6);
+            let hy = rng.gen_range(0.3..1.1);
+            let hz = rng.gen_range(0.4..1.2);
+            prims.push(Primitive::RotatedBox {
+                center: Vec3::new(x, y, hz),
+                half_extents: Vec3::new(hx, hy, hz),
+                yaw: rng.gen_range(0.0..std::f64::consts::PI),
+            });
+        }
+
+        // Roadside poles.
+        for side in [-1.0, 1.0] {
+            let mut x = rng.gen_range(0.0..config.pole_spacing);
+            while x < config.corridor_length {
+                let y = side * (config.road_half_width - rng.gen_range(0.5..1.5));
+                prims.push(Primitive::Cylinder {
+                    center_xy: (x, y),
+                    radius: rng.gen_range(0.1..0.25),
+                    z_min: 0.0,
+                    z_max: rng.gen_range(4.0..8.0),
+                });
+                x += config.pole_spacing * rng.gen_range(0.7..1.3);
+            }
+        }
+
+        // Distinctive landmarks: occasional large towers that anchor the
+        // registration longitudinally (water towers, silos — common urban
+        // oddities that break translational/rotational aliasing).
+        let n_landmarks = (config.corridor_length / 120.0).ceil() as usize + 1;
+        for _ in 0..n_landmarks {
+            let x = rng.gen_range(0.0..config.corridor_length);
+            let side = if rng.gen_bool(0.5) { -1.0 } else { 1.0 };
+            let y = side * (config.road_half_width + rng.gen_range(1.0..5.0));
+            prims.push(Primitive::Cylinder {
+                center_xy: (x, y),
+                radius: rng.gen_range(1.0..2.5),
+                z_min: 0.0,
+                z_max: rng.gen_range(12.0..28.0),
+            });
+        }
+
+        // Parked cars: low boxes near the curb.
+        let n_cars = (config.corridor_length / 100.0 * config.cars_per_100m) as usize;
+        for _ in 0..n_cars {
+            let x = rng.gen_range(0.0..config.corridor_length);
+            let side = if rng.gen_bool(0.5) { -1.0 } else { 1.0 };
+            let y = side * (config.road_half_width - 2.2);
+            prims.push(Primitive::Box {
+                min: Vec3::new(x, y - 0.9, 0.0),
+                max: Vec3::new(x + rng.gen_range(3.5..5.0), y + 0.9, rng.gen_range(1.4..1.8)),
+            });
+        }
+
+        Scene { primitives: prims, config: *config }
+    }
+
+    fn generate_highway(config: &SceneConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut prims = vec![Primitive::GroundPlane { z: 0.0 }];
+        let w = config.road_half_width;
+
+        // Continuous guardrails along both shoulders: long, low boxes in
+        // segments (with small gaps, as real rails have posts and breaks).
+        for side in [-1.0, 1.0] {
+            let mut x = -30.0;
+            while x < config.corridor_length {
+                let len = rng.gen_range(15.0..40.0);
+                let y = side * (w + rng.gen_range(0.0..0.5));
+                prims.push(Primitive::Box {
+                    min: Vec3::new(x, y - 0.1, 0.4),
+                    max: Vec3::new(x + len, y + 0.1, 0.75),
+                });
+                x += len + rng.gen_range(0.5..2.0);
+            }
+        }
+
+        // Overhead sign gantries every ~120 m: two posts + a crossbeam.
+        let mut x = rng.gen_range(20.0..80.0);
+        while x < config.corridor_length {
+            for side in [-1.0, 1.0] {
+                prims.push(Primitive::Cylinder {
+                    center_xy: (x, side * (w + 1.0)),
+                    radius: 0.3,
+                    z_min: 0.0,
+                    z_max: 6.5,
+                });
+            }
+            prims.push(Primitive::Box {
+                min: Vec3::new(x - 0.4, -(w + 1.2), 5.6),
+                max: Vec3::new(x + 0.4, w + 1.2, 6.6),
+            });
+            // A sign panel at a random lateral position on the beam.
+            let sy = rng.gen_range(-w * 0.7..w * 0.7);
+            prims.push(Primitive::Box {
+                min: Vec3::new(x - 0.15, sy - 2.0, 3.8),
+                max: Vec3::new(x + 0.15, sy + 2.0, 5.6),
+            });
+            x += rng.gen_range(90.0..150.0);
+        }
+
+        // Sparse noise barriers on one side (randomized runs).
+        let mut x = rng.gen_range(0.0..60.0);
+        while x < config.corridor_length {
+            let len = rng.gen_range(30.0..80.0);
+            prims.push(Primitive::Box {
+                min: Vec3::new(x, w + 3.0, 0.0),
+                max: Vec3::new(x + len, w + 3.6, rng.gen_range(3.0..5.0)),
+            });
+            x += len + rng.gen_range(40.0..120.0);
+        }
+
+        // Other vehicles on the carriageway (skewed slightly in their lanes).
+        let n_vehicles = (config.corridor_length / 100.0 * config.cars_per_100m) as usize;
+        for _ in 0..n_vehicles {
+            let x = rng.gen_range(0.0..config.corridor_length);
+            let lane = rng.gen_range(-0.8..0.8) * w * 0.7;
+            let truck = rng.gen_bool(0.3);
+            let (hl, hw2, hh) = if truck { (5.0, 1.25, 1.8) } else { (2.2, 0.9, 0.75) };
+            prims.push(Primitive::RotatedBox {
+                center: Vec3::new(x, lane, hh),
+                half_extents: Vec3::new(hl, hw2, hh),
+                yaw: rng.gen_range(-0.05..0.05),
+            });
+        }
+
+        Scene { primitives: prims, config: *config }
+    }
+
+    /// The scene's primitives.
+    pub fn primitives(&self) -> &[Primitive] {
+        &self.primitives
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &SceneConfig {
+        &self.config
+    }
+
+    /// Casts `ray` against every primitive and returns the nearest hit
+    /// distance within `max_range`, or `None` (no return — sky, or too far).
+    pub fn cast(&self, ray: &Ray, max_range: f64) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for p in &self.primitives {
+            if let Some(t) = p.intersect(ray) {
+                if t <= max_range && best.map_or(true, |b| t < b) {
+                    best = Some(t);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn down_ray(from: Vec3) -> Ray {
+        Ray { origin: from, dir: -Vec3::Z }
+    }
+
+    #[test]
+    fn ground_plane_intersection() {
+        let p = Primitive::GroundPlane { z: 0.0 };
+        let t = p.intersect(&down_ray(Vec3::new(0.0, 0.0, 1.7))).unwrap();
+        assert!((t - 1.7).abs() < 1e-12);
+        // Parallel ray misses.
+        assert!(p.intersect(&Ray { origin: Vec3::new(0.0, 0.0, 1.0), dir: Vec3::X }).is_none());
+        // Looking up misses.
+        assert!(p.intersect(&Ray { origin: Vec3::new(0.0, 0.0, 1.0), dir: Vec3::Z }).is_none());
+    }
+
+    #[test]
+    fn box_intersection_from_outside() {
+        let b = Primitive::Box { min: Vec3::new(5.0, -1.0, 0.0), max: Vec3::new(7.0, 1.0, 3.0) };
+        let ray = Ray { origin: Vec3::new(0.0, 0.0, 1.0), dir: Vec3::X };
+        let t = b.intersect(&ray).unwrap();
+        assert!((t - 5.0).abs() < 1e-12);
+        // Ray pointing away misses.
+        let away = Ray { origin: Vec3::new(0.0, 0.0, 1.0), dir: -Vec3::X };
+        assert!(b.intersect(&away).is_none());
+        // Ray passing above misses.
+        let above = Ray { origin: Vec3::new(0.0, 0.0, 5.0), dir: Vec3::X };
+        assert!(b.intersect(&above).is_none());
+    }
+
+    #[test]
+    fn box_intersection_from_inside() {
+        let b = Primitive::Box { min: Vec3::splat(-1.0), max: Vec3::splat(1.0) };
+        let ray = Ray { origin: Vec3::ZERO, dir: Vec3::X };
+        let t = b.intersect(&ray).unwrap();
+        assert!((t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cylinder_intersection() {
+        let c = Primitive::Cylinder { center_xy: (10.0, 0.0), radius: 0.5, z_min: 0.0, z_max: 6.0 };
+        let ray = Ray { origin: Vec3::new(0.0, 0.0, 2.0), dir: Vec3::X };
+        let t = c.intersect(&ray).unwrap();
+        assert!((t - 9.5).abs() < 1e-12);
+        // Above the cylinder top: miss.
+        let high = Ray { origin: Vec3::new(0.0, 0.0, 7.0), dir: Vec3::X };
+        assert!(c.intersect(&high).is_none());
+        // Tangential offset larger than radius: miss.
+        let off = Ray { origin: Vec3::new(0.0, 1.0, 2.0), dir: Vec3::X };
+        assert!(c.intersect(&off).is_none());
+    }
+
+    #[test]
+    fn cylinder_vertical_ray_misses_lateral_surface() {
+        let c = Primitive::Cylinder { center_xy: (0.0, 0.0), radius: 1.0, z_min: 0.0, z_max: 5.0 };
+        let ray = Ray { origin: Vec3::new(0.0, 0.0, 10.0), dir: -Vec3::Z };
+        assert!(c.intersect(&ray).is_none());
+    }
+
+    #[test]
+    fn generated_scene_is_deterministic() {
+        let cfg = SceneConfig::tiny();
+        let a = Scene::generate(&cfg, 7);
+        let b = Scene::generate(&cfg, 7);
+        assert_eq!(a.primitives().len(), b.primitives().len());
+    }
+
+    #[test]
+    fn generated_scene_has_all_primitive_kinds() {
+        let scene = Scene::generate(&SceneConfig::default(), 3);
+        let has_ground = scene.primitives().iter().any(|p| matches!(p, Primitive::GroundPlane { .. }));
+        let has_box = scene.primitives().iter().any(|p| matches!(p, Primitive::Box { .. }));
+        let has_cyl = scene.primitives().iter().any(|p| matches!(p, Primitive::Cylinder { .. }));
+        assert!(has_ground && has_box && has_cyl);
+        assert!(scene.primitives().len() > 20);
+    }
+
+    #[test]
+    fn highway_scene_has_rails_and_gantries() {
+        let scene = Scene::generate(&SceneConfig::highway(), 4);
+        assert!(matches!(scene.config().kind, SceneKind::Highway));
+        let boxes = scene.primitives().iter().filter(|p| matches!(p, Primitive::Box { .. })).count();
+        let cyls = scene
+            .primitives()
+            .iter()
+            .filter(|p| matches!(p, Primitive::Cylinder { .. }))
+            .count();
+        assert!(boxes > 10, "{boxes} boxes");
+        assert!(cyls >= 2, "{cyls} gantry posts");
+        // Highway is sparser than urban.
+        let urban = Scene::generate(&SceneConfig::default(), 4);
+        assert!(scene.primitives().len() < urban.primitives().len());
+    }
+
+    #[test]
+    fn highway_guardrail_is_hit_laterally() {
+        let scene = Scene::generate(&SceneConfig::highway(), 7);
+        // A low lateral ray from mid-road should meet a guardrail within
+        // ~road half width + slack.
+        let ray = Ray {
+            origin: Vec3::new(100.0, 0.0, 0.55),
+            dir: Vec3::new(0.0, 1.0, 0.0),
+        };
+        if let Some(t) = scene.cast(&ray, 40.0) {
+            assert!(t > 5.0 && t < 20.0, "rail at {t} m");
+        }
+    }
+
+    #[test]
+    fn cast_returns_nearest() {
+        let scene = Scene::generate(&SceneConfig::tiny(), 1);
+        // From above the road looking straight down: must hit the ground at
+        // exactly the sensor height (nothing is between).
+        let ray = down_ray(Vec3::new(10.0, 0.0, 1.73));
+        let t = scene.cast(&ray, 120.0).unwrap();
+        assert!((t - 1.73).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cast_respects_max_range() {
+        let scene = Scene::generate(&SceneConfig::tiny(), 1);
+        let ray = down_ray(Vec3::new(10.0, 0.0, 1.73));
+        assert!(scene.cast(&ray, 1.0).is_none());
+    }
+
+    #[test]
+    fn sky_rays_miss() {
+        let scene = Scene::generate(&SceneConfig::tiny(), 1);
+        let ray = Ray { origin: Vec3::new(10.0, 0.0, 1.73), dir: Vec3::Z };
+        assert!(scene.cast(&ray, 120.0).is_none());
+    }
+}

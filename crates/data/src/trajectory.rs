@@ -1,0 +1,183 @@
+//! Ground-truth vehicle trajectories.
+//!
+//! A trajectory is a sequence of world-frame vehicle poses at the LiDAR
+//! frame rate. The generator drives along the +X road corridor with gentle
+//! speed variation and yaw wander — enough inter-frame motion (≈1 m at
+//! 10 m/s and 10 Hz, like KITTI) that registration has real work to do.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tigris_geom::{Mat3, RigidTransform, Vec3};
+
+/// Trajectory generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryConfig {
+    /// Number of poses to generate.
+    pub frames: usize,
+    /// Nominal vehicle speed, m/s (KITTI urban: ~8–14 m/s).
+    pub speed: f64,
+    /// Frame rate, Hz (KITTI: 10 Hz).
+    pub frame_rate: f64,
+    /// 1-σ per-frame yaw-rate perturbation, rad/s.
+    pub yaw_wander: f64,
+    /// 1-σ per-frame speed perturbation, m/s.
+    pub speed_wander: f64,
+}
+
+impl Default for TrajectoryConfig {
+    fn default() -> Self {
+        TrajectoryConfig {
+            frames: 50,
+            speed: 10.0,
+            frame_rate: 10.0,
+            yaw_wander: 0.02,
+            speed_wander: 0.4,
+        }
+    }
+}
+
+/// A generated trajectory: world-frame vehicle poses, one per frame.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    poses: Vec<RigidTransform>,
+}
+
+impl Trajectory {
+    /// Generates a deterministic trajectory from `seed`, starting at the
+    /// origin heading +X.
+    pub fn generate(config: &TrajectoryConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dt = 1.0 / config.frame_rate;
+        let mut poses = Vec::with_capacity(config.frames);
+        let mut position = Vec3::ZERO;
+        let mut yaw = 0.0f64;
+
+        for _ in 0..config.frames {
+            poses.push(RigidTransform::new(Mat3::rotation_z(yaw), position));
+            let speed = (config.speed + gauss(&mut rng, config.speed_wander)).max(0.0);
+            let yaw_rate = gauss(&mut rng, config.yaw_wander);
+            yaw += yaw_rate * dt;
+            let heading = Vec3::new(yaw.cos(), yaw.sin(), 0.0);
+            position += heading * (speed * dt);
+        }
+        Trajectory { poses }
+    }
+
+    /// The world-frame poses.
+    pub fn poses(&self) -> &[RigidTransform] {
+        &self.poses
+    }
+
+    /// Number of poses.
+    pub fn len(&self) -> usize {
+        self.poses.len()
+    }
+
+    /// `true` when no poses were generated.
+    pub fn is_empty(&self) -> bool {
+        self.poses.is_empty()
+    }
+
+    /// The ground-truth relative transform that maps frame `i + 1`'s sensor
+    /// coordinates into frame `i`'s sensor coordinates — exactly what
+    /// registering frame `i+1` (source) against frame `i` (target) should
+    /// estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i + 1` is out of range.
+    pub fn relative(&self, i: usize) -> RigidTransform {
+        self.poses[i].inverse() * self.poses[i + 1]
+    }
+
+    /// Total path length (sum of inter-pose translation norms).
+    pub fn path_length(&self) -> f64 {
+        self.poses
+            .windows(2)
+            .map(|w| (w[1].translation - w[0].translation).norm())
+            .sum()
+    }
+}
+
+fn gauss(rng: &mut StdRng, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return 0.0;
+    }
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_frames() {
+        let t = Trajectory::generate(&TrajectoryConfig { frames: 17, ..Default::default() }, 1);
+        assert_eq!(t.len(), 17);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn starts_at_origin_heading_x() {
+        let t = Trajectory::generate(&TrajectoryConfig::default(), 2);
+        assert!(t.poses()[0].is_identity(1e-12));
+    }
+
+    #[test]
+    fn moves_forward_at_roughly_speed_over_framerate() {
+        let cfg = TrajectoryConfig { frames: 20, speed_wander: 0.0, yaw_wander: 0.0, ..Default::default() };
+        let t = Trajectory::generate(&cfg, 3);
+        let step = (t.poses()[1].translation - t.poses()[0].translation).norm();
+        assert!((step - cfg.speed / cfg.frame_rate).abs() < 1e-9, "step = {step}");
+        // Straight line when wander is zero.
+        assert!(t.poses()[19].translation.y.abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_recovers_pose_chain() {
+        let t = Trajectory::generate(&TrajectoryConfig { frames: 10, ..Default::default() }, 4);
+        for i in 0..9 {
+            let rel = t.relative(i);
+            let recon = t.poses()[i] * rel;
+            assert!((recon.translation - t.poses()[i + 1].translation).norm() < 1e-9);
+            assert!((recon.rotation - t.poses()[i + 1].rotation).frobenius_norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn relative_magnitude_is_kitti_like() {
+        let t = Trajectory::generate(&TrajectoryConfig::default(), 5);
+        for i in 0..t.len() - 1 {
+            let rel = t.relative(i);
+            let d = rel.translation_norm();
+            assert!(d > 0.5 && d < 2.0, "inter-frame displacement {d} m");
+        }
+    }
+
+    #[test]
+    fn path_length_consistency() {
+        let cfg = TrajectoryConfig { frames: 11, speed_wander: 0.0, yaw_wander: 0.0, ..Default::default() };
+        let t = Trajectory::generate(&cfg, 6);
+        assert!((t.path_length() - 10.0 * cfg.speed / cfg.frame_rate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = TrajectoryConfig::default();
+        let a = Trajectory::generate(&cfg, 9);
+        let b = Trajectory::generate(&cfg, 9);
+        assert_eq!(a.poses()[9].translation, b.poses()[9].translation);
+        let c = Trajectory::generate(&cfg, 10);
+        assert_ne!(a.poses()[9].translation, c.poses()[9].translation);
+    }
+
+    #[test]
+    fn yaw_wander_bends_the_path() {
+        let cfg = TrajectoryConfig { frames: 200, yaw_wander: 0.3, ..Default::default() };
+        let t = Trajectory::generate(&cfg, 11);
+        let max_y = t.poses().iter().map(|p| p.translation.y.abs()).fold(0.0, f64::max);
+        assert!(max_y > 0.1, "path should bend, max |y| = {max_y}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the synthetic dataset substrate.
+
+use proptest::prelude::*;
+use tigris_data::kitti_io::{pose_from_line, pose_to_line, velodyne_from_bytes};
+use tigris_data::scene::{Primitive, Ray, Scene};
+use tigris_data::{
+    relative_pose_error, sequence_error, SceneConfig, Trajectory, TrajectoryConfig,
+};
+use tigris_geom::{RigidTransform, Vec3};
+
+fn point() -> impl Strategy<Value = Vec3> {
+    (-50.0f64..50.0, -50.0f64..50.0, 0.5f64..30.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn unit() -> impl Strategy<Value = Vec3> {
+    (point(), -1.0f64..1.0)
+        .prop_filter_map("unit", |(v, z)| Vec3::new(v.x, v.y, z * 10.0).normalized())
+}
+
+fn rigid() -> impl Strategy<Value = RigidTransform> {
+    (unit(), -3.0f64..3.0, point()).prop_map(|(a, ang, t)| RigidTransform::from_axis_angle(a, ang, t))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ray_hits_lie_on_primitives(origin in point(), dir in unit(), seed in 0u64..32) {
+        let scene = Scene::generate(&SceneConfig::tiny(), seed);
+        let ray = Ray { origin, dir };
+        if let Some(t) = scene.cast(&ray, 200.0) {
+            prop_assert!(t > 0.0 && t <= 200.0);
+            // The hit point must lie on (or extremely near) some primitive:
+            // re-casting from just before the hit finds it within epsilon.
+            let just_before = Ray { origin: origin + dir * (t - 1e-6), dir };
+            let rem = scene.cast(&just_before, 1.0);
+            prop_assert!(rem.is_some());
+            prop_assert!(rem.unwrap() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn nearest_hit_is_minimal(origin in point(), dir in unit(), seed in 0u64..16) {
+        let scene = Scene::generate(&SceneConfig::tiny(), seed);
+        let ray = Ray { origin, dir };
+        if let Some(t) = scene.cast(&ray, 150.0) {
+            for p in scene.primitives() {
+                if let Some(tp) = p.intersect(&ray) {
+                    prop_assert!(t <= tp + 1e-9, "cast {t} missed closer hit {tp}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ground_plane_distance_is_exact(x in -100.0f64..100.0, y in -100.0f64..100.0, h in 0.5f64..50.0) {
+        let p = Primitive::GroundPlane { z: 0.0 };
+        let ray = Ray { origin: Vec3::new(x, y, h), dir: -Vec3::Z };
+        prop_assert!((p.intersect(&ray).unwrap() - h).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pose_line_round_trips(t in rigid()) {
+        let back = pose_from_line(&pose_to_line(&t)).unwrap();
+        prop_assert!((back.translation - t.translation).norm() < 1e-9);
+        prop_assert!((back.rotation - t.rotation).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn velodyne_bytes_round_trip(pts in prop::collection::vec(point(), 0..64)) {
+        let mut bytes = Vec::new();
+        for p in &pts {
+            bytes.extend_from_slice(&(p.x as f32).to_le_bytes());
+            bytes.extend_from_slice(&(p.y as f32).to_le_bytes());
+            bytes.extend_from_slice(&(p.z as f32).to_le_bytes());
+            bytes.extend_from_slice(&1.0f32.to_le_bytes());
+        }
+        let cloud = velodyne_from_bytes(&bytes).unwrap();
+        prop_assert_eq!(cloud.len(), pts.len());
+        for (a, b) in pts.iter().zip(cloud.points()) {
+            prop_assert!((a.x - b.x).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn relative_pose_error_is_a_metric_zero(t in rigid()) {
+        let (dt, dr) = relative_pose_error(&t, &t);
+        prop_assert!(dt < 1e-9);
+        prop_assert!(dr < 1e-6);
+    }
+
+    #[test]
+    fn sequence_error_is_nonnegative_and_zero_on_truth(gts in prop::collection::vec(rigid(), 1..16)) {
+        let err = sequence_error(&gts, &gts);
+        prop_assert!(err.translational_percent.abs() < 1e-6);
+        prop_assert!(err.rotational_deg_per_m.abs() < 1e-4);
+        prop_assert!(err.pairs <= gts.len());
+    }
+
+    #[test]
+    fn trajectory_relative_chains_to_absolute(frames in 2usize..20, seed in 0u64..64) {
+        let t = Trajectory::generate(
+            &TrajectoryConfig { frames, ..TrajectoryConfig::default() },
+            seed,
+        );
+        let mut acc = t.poses()[0];
+        for i in 0..frames - 1 {
+            acc = acc * t.relative(i);
+        }
+        prop_assert!((acc.translation - t.poses()[frames - 1].translation).norm() < 1e-9);
+    }
+
+    #[test]
+    fn path_length_bounds_displacement(frames in 2usize..30, seed in 0u64..64) {
+        let t = Trajectory::generate(
+            &TrajectoryConfig { frames, ..TrajectoryConfig::default() },
+            seed,
+        );
+        let displacement = (t.poses()[frames - 1].translation - t.poses()[0].translation).norm();
+        prop_assert!(t.path_length() >= displacement - 1e-9);
+    }
+}

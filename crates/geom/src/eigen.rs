@@ -1,0 +1,205 @@
+//! Symmetric 3×3 eigen-decomposition via cyclic Jacobi rotations.
+//!
+//! Normal estimation (paper Sec. 3.1, stage 1) computes the covariance of a
+//! point's neighborhood and takes the eigenvector of the smallest eigenvalue
+//! as the surface normal; this module provides that decomposition.
+
+use crate::{Mat3, Vec3};
+
+/// The result of a symmetric 3×3 eigen-decomposition.
+///
+/// Eigenvalues are sorted ascending (`values[0]` smallest) and `vectors.col(i)`
+/// is the unit eigenvector for `values[i]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SymmetricEigen3 {
+    /// Eigenvalues in ascending order.
+    pub values: [f64; 3],
+    /// Matrix whose columns are the corresponding unit eigenvectors.
+    pub vectors: Mat3,
+}
+
+impl SymmetricEigen3 {
+    /// The eigenvector for the smallest eigenvalue — the surface-normal
+    /// direction when decomposing a neighborhood covariance.
+    pub fn smallest_vector(&self) -> Vec3 {
+        self.vectors.col(0)
+    }
+
+    /// Surface *curvature* estimate `λ₀ / (λ₀ + λ₁ + λ₂)`, used by
+    /// key-point detectors; 0 for a perfect plane.
+    pub fn curvature(&self) -> f64 {
+        let sum = self.values.iter().sum::<f64>();
+        if sum.abs() < 1e-30 {
+            0.0
+        } else {
+            self.values[0] / sum
+        }
+    }
+}
+
+/// Computes the eigen-decomposition of a symmetric 3×3 matrix using the
+/// cyclic Jacobi method.
+///
+/// Only the upper triangle of `a` is read; the matrix is assumed symmetric.
+/// Convergence for 3×3 symmetric matrices takes a handful of sweeps; we cap
+/// at 32 sweeps and stop once the off-diagonal norm falls below `1e-14`
+/// relative to the Frobenius norm.
+///
+/// # Example
+///
+/// ```
+/// use tigris_geom::{symmetric_eigen3, Mat3};
+/// let a = Mat3::from_rows([2.0, 0.0, 0.0], [0.0, 5.0, 0.0], [0.0, 0.0, 3.0]);
+/// let e = symmetric_eigen3(&a);
+/// assert!((e.values[0] - 2.0).abs() < 1e-12);
+/// assert!((e.values[2] - 5.0).abs() < 1e-12);
+/// ```
+pub fn symmetric_eigen3(a: &Mat3) -> SymmetricEigen3 {
+    let mut d = *a;
+    // Symmetrize defensively: callers build covariance matrices that are
+    // symmetric up to round-off.
+    for r in 0..3 {
+        for c in (r + 1)..3 {
+            let avg = 0.5 * (d.m[r][c] + d.m[c][r]);
+            d.m[r][c] = avg;
+            d.m[c][r] = avg;
+        }
+    }
+    let mut v = Mat3::IDENTITY;
+    let scale = d.frobenius_norm().max(1e-300);
+
+    for _sweep in 0..32 {
+        let off = (d.m[0][1] * d.m[0][1] + d.m[0][2] * d.m[0][2] + d.m[1][2] * d.m[1][2]).sqrt();
+        if off / scale < 1e-14 {
+            break;
+        }
+        for (p, q) in [(0usize, 1usize), (0, 2), (1, 2)] {
+            let apq = d.m[p][q];
+            if apq.abs() < 1e-300 {
+                continue;
+            }
+            let app = d.m[p][p];
+            let aqq = d.m[q][q];
+            // Classic Jacobi rotation that zeroes d[p][q].
+            let theta = (aqq - app) / (2.0 * apq);
+            let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+            let c = 1.0 / (t * t + 1.0).sqrt();
+            let s = t * c;
+
+            // Apply G(p,q,θ)ᵀ D G(p,q,θ) in place.
+            for k in 0..3 {
+                let dkp = d.m[k][p];
+                let dkq = d.m[k][q];
+                d.m[k][p] = c * dkp - s * dkq;
+                d.m[k][q] = s * dkp + c * dkq;
+            }
+            for k in 0..3 {
+                let dpk = d.m[p][k];
+                let dqk = d.m[q][k];
+                d.m[p][k] = c * dpk - s * dqk;
+                d.m[q][k] = s * dpk + c * dqk;
+            }
+            // Accumulate the rotation into the eigenvector matrix.
+            for k in 0..3 {
+                let vkp = v.m[k][p];
+                let vkq = v.m[k][q];
+                v.m[k][p] = c * vkp - s * vkq;
+                v.m[k][q] = s * vkp + c * vkq;
+            }
+        }
+    }
+
+    // Sort eigenvalues (with their vectors) ascending.
+    let mut order = [0usize, 1, 2];
+    order.sort_by(|&i, &j| d.m[i][i].partial_cmp(&d.m[j][j]).unwrap());
+    let values = [d.m[order[0]][order[0]], d.m[order[1]][order[1]], d.m[order[2]][order[2]]];
+    let vectors = Mat3::from_cols(v.col(order[0]), v.col(order[1]), v.col(order[2]));
+    SymmetricEigen3 { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_decomposition(a: &Mat3, tol: f64) {
+        let e = symmetric_eigen3(a);
+        assert!(e.values[0] <= e.values[1] && e.values[1] <= e.values[2]);
+        for i in 0..3 {
+            let v = e.vectors.col(i);
+            assert!((v.norm() - 1.0).abs() < tol, "eigenvector {i} not unit");
+            let av = *a * v;
+            let lv = v * e.values[i];
+            assert!((av - lv).norm() < tol * a.frobenius_norm().max(1.0), "A v != λ v for {i}");
+        }
+        // Eigenvectors are mutually orthogonal.
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert!(e.vectors.col(i).dot(e.vectors.col(j)).abs() < tol);
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Mat3::from_rows([2.0, 0.0, 0.0], [0.0, 5.0, 0.0], [0.0, 0.0, 3.0]);
+        let e = symmetric_eigen3(&a);
+        assert!((e.values[0] - 2.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+        assert!((e.values[2] - 5.0).abs() < 1e-12);
+        check_decomposition(&a, 1e-10);
+    }
+
+    #[test]
+    fn dense_symmetric_matrix() {
+        let a = Mat3::from_rows([4.0, 1.0, -2.0], [1.0, 3.0, 0.5], [-2.0, 0.5, 6.0]);
+        check_decomposition(&a, 1e-9);
+        // Trace and determinant are preserved by similarity.
+        let e = symmetric_eigen3(&a);
+        assert!((e.values.iter().sum::<f64>() - a.trace()).abs() < 1e-9);
+        assert!((e.values.iter().product::<f64>() - a.determinant()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn repeated_eigenvalues() {
+        let a = Mat3::IDENTITY.scale(3.0);
+        let e = symmetric_eigen3(&a);
+        for v in e.values {
+            assert!((v - 3.0).abs() < 1e-12);
+        }
+        check_decomposition(&a, 1e-10);
+    }
+
+    #[test]
+    fn rank_deficient_plane_covariance() {
+        // Covariance of points scattered on the z=0 plane: smallest
+        // eigenvector must be ±Z (the plane normal).
+        let a = Mat3::from_rows([2.0, 0.3, 0.0], [0.3, 1.5, 0.0], [0.0, 0.0, 1e-9]);
+        let e = symmetric_eigen3(&a);
+        let n = e.smallest_vector();
+        assert!(n.z.abs() > 0.999, "normal should align with z, got {n}");
+        assert!(e.curvature() < 1e-6);
+    }
+
+    #[test]
+    fn curvature_of_isotropic_spread() {
+        let a = Mat3::IDENTITY;
+        let e = symmetric_eigen3(&a);
+        assert!((e.curvature() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let e = symmetric_eigen3(&Mat3::ZERO);
+        assert_eq!(e.values, [0.0; 3]);
+        assert_eq!(e.curvature(), 0.0);
+    }
+
+    #[test]
+    fn negative_eigenvalues_sorted() {
+        let a = Mat3::from_rows([-5.0, 0.0, 0.0], [0.0, 2.0, 0.0], [0.0, 0.0, -1.0]);
+        let e = symmetric_eigen3(&a);
+        assert!((e.values[0] + 5.0).abs() < 1e-12);
+        assert!((e.values[1] + 1.0).abs() < 1e-12);
+        assert!((e.values[2] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,437 @@
+//! 3×3 matrices: rotations, covariance matrices and the cross-covariance
+//! accumulations used by the Kabsch transformation solver.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+use crate::Vec3;
+
+/// A 3×3 matrix of `f64`, stored row-major.
+///
+/// # Example
+///
+/// ```
+/// use tigris_geom::{Mat3, Vec3};
+/// let r = Mat3::rotation_z(std::f64::consts::FRAC_PI_2);
+/// let v = r * Vec3::X;
+/// assert!((v - Vec3::Y).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3 {
+    /// Rows of the matrix; `m[r][c]` addresses row `r`, column `c`.
+    pub m: [[f64; 3]; 3],
+}
+
+impl Mat3 {
+    /// The zero matrix.
+    pub const ZERO: Mat3 = Mat3 { m: [[0.0; 3]; 3] };
+
+    /// The identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// Creates a matrix from rows.
+    #[inline]
+    pub const fn from_rows(r0: [f64; 3], r1: [f64; 3], r2: [f64; 3]) -> Self {
+        Mat3 { m: [r0, r1, r2] }
+    }
+
+    /// Creates a matrix whose columns are the given vectors.
+    #[inline]
+    pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
+        Mat3 {
+            m: [
+                [c0.x, c1.x, c2.x],
+                [c0.y, c1.y, c2.y],
+                [c0.z, c1.z, c2.z],
+            ],
+        }
+    }
+
+    /// Returns column `c` as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= 3`.
+    #[inline]
+    pub fn col(&self, c: usize) -> Vec3 {
+        Vec3::new(self.m[0][c], self.m[1][c], self.m[2][c])
+    }
+
+    /// Returns row `r` as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= 3`.
+    #[inline]
+    pub fn row(&self, r: usize) -> Vec3 {
+        Vec3::new(self.m[r][0], self.m[r][1], self.m[r][2])
+    }
+
+    /// The outer product `a * bᵀ`, the building block of cross-covariance
+    /// accumulation in the Kabsch solver.
+    pub fn outer(a: Vec3, b: Vec3) -> Mat3 {
+        Mat3 {
+            m: [
+                [a.x * b.x, a.x * b.y, a.x * b.z],
+                [a.y * b.x, a.y * b.y, a.y * b.z],
+                [a.z * b.x, a.z * b.y, a.z * b.z],
+            ],
+        }
+    }
+
+    /// Rotation of `angle` radians about the X axis.
+    pub fn rotation_x(angle: f64) -> Mat3 {
+        let (s, c) = angle.sin_cos();
+        Mat3::from_rows([1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c])
+    }
+
+    /// Rotation of `angle` radians about the Y axis.
+    pub fn rotation_y(angle: f64) -> Mat3 {
+        let (s, c) = angle.sin_cos();
+        Mat3::from_rows([c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c])
+    }
+
+    /// Rotation of `angle` radians about the Z axis.
+    pub fn rotation_z(angle: f64) -> Mat3 {
+        let (s, c) = angle.sin_cos();
+        Mat3::from_rows([c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0])
+    }
+
+    /// Rotation of `angle` radians about an arbitrary `axis` (Rodrigues'
+    /// formula). The axis is normalized internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` has (near-)zero length.
+    pub fn from_axis_angle(axis: Vec3, angle: f64) -> Mat3 {
+        let u = axis
+            .normalized()
+            .expect("rotation axis must have non-zero length");
+        let (s, c) = angle.sin_cos();
+        let t = 1.0 - c;
+        Mat3::from_rows(
+            [
+                c + u.x * u.x * t,
+                u.x * u.y * t - u.z * s,
+                u.x * u.z * t + u.y * s,
+            ],
+            [
+                u.y * u.x * t + u.z * s,
+                c + u.y * u.y * t,
+                u.y * u.z * t - u.x * s,
+            ],
+            [
+                u.z * u.x * t - u.y * s,
+                u.z * u.y * t + u.x * s,
+                c + u.z * u.z * t,
+            ],
+        )
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Mat3 {
+        let m = &self.m;
+        Mat3::from_rows(
+            [m[0][0], m[1][0], m[2][0]],
+            [m[0][1], m[1][1], m[2][1]],
+            [m[0][2], m[1][2], m[2][2]],
+        )
+    }
+
+    /// Determinant.
+    pub fn determinant(&self) -> f64 {
+        let m = &self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// Trace (sum of diagonal entries).
+    pub fn trace(&self) -> f64 {
+        self.m[0][0] + self.m[1][1] + self.m[2][2]
+    }
+
+    /// Matrix inverse, or `None` if the determinant magnitude is below
+    /// `1e-12`.
+    pub fn inverse(&self) -> Option<Mat3> {
+        let det = self.determinant();
+        if det.abs() < 1e-12 {
+            return None;
+        }
+        let m = &self.m;
+        let inv_det = 1.0 / det;
+        // Adjugate / determinant.
+        Some(Mat3::from_rows(
+            [
+                (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_det,
+                (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_det,
+                (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_det,
+            ],
+            [
+                (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv_det,
+                (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_det,
+                (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv_det,
+            ],
+            [
+                (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_det,
+                (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_det,
+                (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_det,
+            ],
+        ))
+    }
+
+    /// Returns `true` when the matrix is a proper rotation: orthonormal with
+    /// determinant +1, within `tol`.
+    pub fn is_rotation(&self, tol: f64) -> bool {
+        let should_be_identity = *self * self.transpose();
+        let mut err: f64 = 0.0;
+        for r in 0..3 {
+            for c in 0..3 {
+                err = err.max((should_be_identity.m[r][c] - Mat3::IDENTITY.m[r][c]).abs());
+            }
+        }
+        err <= tol && (self.determinant() - 1.0).abs() <= tol
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.m
+            .iter()
+            .flatten()
+            .map(|v| v * v)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Scales every entry by `s`.
+    pub fn scale(&self, s: f64) -> Mat3 {
+        let mut out = *self;
+        for r in 0..3 {
+            for c in 0..3 {
+                out.m[r][c] *= s;
+            }
+        }
+        out
+    }
+
+    /// The rotation angle (radians, in `[0, π]`) of a rotation matrix.
+    ///
+    /// Used by the KITTI rotational-error metric. Clamps the trace to the
+    /// valid `acos` domain to be robust against round-off.
+    pub fn rotation_angle(&self) -> f64 {
+        (((self.trace() - 1.0) / 2.0).clamp(-1.0, 1.0)).acos()
+    }
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Mat3::IDENTITY
+    }
+}
+
+impl Index<(usize, usize)> for Mat3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.m[r][c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat3 {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.m[r][c]
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        Vec3::new(self.row(0).dot(v), self.row(1).dot(v), self.row(2).dot(v))
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Mat3;
+    fn mul(self, o: Mat3) -> Mat3 {
+        let mut out = Mat3::ZERO;
+        for r in 0..3 {
+            for c in 0..3 {
+                out.m[r][c] = (0..3).map(|k| self.m[r][k] * o.m[k][c]).sum();
+            }
+        }
+        out
+    }
+}
+
+impl Add for Mat3 {
+    type Output = Mat3;
+    fn add(self, o: Mat3) -> Mat3 {
+        let mut out = Mat3::ZERO;
+        for r in 0..3 {
+            for c in 0..3 {
+                out.m[r][c] = self.m[r][c] + o.m[r][c];
+            }
+        }
+        out
+    }
+}
+
+impl Sub for Mat3 {
+    type Output = Mat3;
+    fn sub(self, o: Mat3) -> Mat3 {
+        let mut out = Mat3::ZERO;
+        for r in 0..3 {
+            for c in 0..3 {
+                out.m[r][c] = self.m[r][c] - o.m[r][c];
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Mat3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..3 {
+            writeln!(
+                f,
+                "[{:.6} {:.6} {:.6}]",
+                self.m[r][0], self.m[r][1], self.m[r][2]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn assert_mat_close(a: Mat3, b: Mat3, tol: f64) {
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!(
+                    (a.m[r][c] - b.m[r][c]).abs() < tol,
+                    "mismatch at ({r},{c}): {} vs {}",
+                    a.m[r][c],
+                    b.m[r][c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_behaves() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Mat3::IDENTITY * v, v);
+        assert_eq!(Mat3::IDENTITY * Mat3::IDENTITY, Mat3::IDENTITY);
+        assert_eq!(Mat3::default(), Mat3::IDENTITY);
+        assert_eq!(Mat3::IDENTITY.determinant(), 1.0);
+        assert_eq!(Mat3::IDENTITY.trace(), 3.0);
+    }
+
+    #[test]
+    fn axis_rotations_rotate_basis_vectors() {
+        let quarter = std::f64::consts::FRAC_PI_2;
+        assert!((Mat3::rotation_z(quarter) * Vec3::X - Vec3::Y).norm() < EPS);
+        assert!((Mat3::rotation_x(quarter) * Vec3::Y - Vec3::Z).norm() < EPS);
+        assert!((Mat3::rotation_y(quarter) * Vec3::Z - Vec3::X).norm() < EPS);
+    }
+
+    #[test]
+    fn axis_angle_matches_dedicated_constructors() {
+        for angle in [-1.0, 0.2, 1.7] {
+            assert_mat_close(
+                Mat3::from_axis_angle(Vec3::Z, angle),
+                Mat3::rotation_z(angle),
+                EPS,
+            );
+            assert_mat_close(
+                Mat3::from_axis_angle(Vec3::X, angle),
+                Mat3::rotation_x(angle),
+                EPS,
+            );
+        }
+    }
+
+    #[test]
+    fn rotations_are_rotations() {
+        let r = Mat3::from_axis_angle(Vec3::new(1.0, 2.0, -0.5), 0.83);
+        assert!(r.is_rotation(1e-10));
+        assert!((r.determinant() - 1.0).abs() < 1e-10);
+        // Rotation preserves norms.
+        let v = Vec3::new(-2.0, 0.3, 4.0);
+        assert!(((r * v).norm() - v.norm()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rotation_angle_recovers_angle() {
+        for angle in [0.0, 0.3, 1.2, 3.0] {
+            let r = Mat3::from_axis_angle(Vec3::new(0.3, -1.0, 0.2), angle);
+            assert!((r.rotation_angle() - angle).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn inverse_of_rotation_is_transpose() {
+        let r = Mat3::from_axis_angle(Vec3::new(0.1, 0.5, 0.7), 1.1);
+        assert_mat_close(r.inverse().unwrap(), r.transpose(), 1e-10);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = Mat3::from_rows([2.0, 1.0, 0.0], [0.0, 3.0, 1.0], [1.0, 0.0, 2.0]);
+        let inv = a.inverse().unwrap();
+        assert_mat_close(a * inv, Mat3::IDENTITY, 1e-10);
+        assert_mat_close(inv * a, Mat3::IDENTITY, 1e-10);
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let a = Mat3::from_rows([1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 1.0, 0.0]);
+        assert!(a.inverse().is_none());
+    }
+
+    #[test]
+    fn outer_product() {
+        let m = Mat3::outer(Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0));
+        assert_eq!(m.m[0], [4.0, 5.0, 6.0]);
+        assert_eq!(m.m[1], [8.0, 10.0, 12.0]);
+        assert_eq!(m.m[2], [12.0, 15.0, 18.0]);
+    }
+
+    #[test]
+    fn rows_cols_and_construction() {
+        let m = Mat3::from_cols(Vec3::X, Vec3::Y, Vec3::Z);
+        assert_eq!(m, Mat3::IDENTITY);
+        let m = Mat3::from_rows([1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]);
+        assert_eq!(m.row(1), Vec3::new(4.0, 5.0, 6.0));
+        assert_eq!(m.col(2), Vec3::new(3.0, 6.0, 9.0));
+        assert_eq!(m[(2, 0)], 7.0);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Mat3::IDENTITY;
+        let b = a.scale(2.0);
+        assert_eq!((b - a), a);
+        assert_eq!((a + a), b);
+        assert!((b.frobenius_norm() - (12.0f64).sqrt()).abs() < EPS);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Mat3::from_rows([1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Mat3::IDENTITY).is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! Rigid-body transforms — the 4×4 `[R | t]` matrices that point cloud
+//! registration estimates (Eq. 1 of the paper).
+
+use std::fmt;
+use std::ops::Mul;
+
+use crate::{Mat3, Vec3};
+
+/// A rigid-body (SE(3)) transform: a rotation followed by a translation.
+///
+/// Registration's goal (paper Sec. 2.2) is to estimate the transform `M`
+/// that maps a source cloud onto a target cloud; `M` consists of a 3×3
+/// rotation `R` and a 3×1 translation `t`, acting on homogeneous points as
+/// `x' = R x + t`.
+///
+/// # Example
+///
+/// ```
+/// use tigris_geom::{RigidTransform, Vec3};
+///
+/// let m = RigidTransform::from_axis_angle(Vec3::Z, 0.1, Vec3::new(1.0, 0.0, 0.0));
+/// let composed = m * m.inverse();
+/// assert!(composed.is_identity(1e-12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RigidTransform {
+    /// The rotation component `R`.
+    pub rotation: Mat3,
+    /// The translation component `t`.
+    pub translation: Vec3,
+}
+
+impl RigidTransform {
+    /// The identity transform.
+    pub const IDENTITY: RigidTransform = RigidTransform {
+        rotation: Mat3::IDENTITY,
+        translation: Vec3::ZERO,
+    };
+
+    /// Creates a transform from a rotation and translation.
+    #[inline]
+    pub fn new(rotation: Mat3, translation: Vec3) -> Self {
+        RigidTransform { rotation, translation }
+    }
+
+    /// A pure translation.
+    #[inline]
+    pub fn from_translation(translation: Vec3) -> Self {
+        RigidTransform::new(Mat3::IDENTITY, translation)
+    }
+
+    /// A pure rotation.
+    #[inline]
+    pub fn from_rotation(rotation: Mat3) -> Self {
+        RigidTransform::new(rotation, Vec3::ZERO)
+    }
+
+    /// Rotation of `angle` radians about `axis`, followed by `translation`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` has (near-)zero length.
+    pub fn from_axis_angle(axis: Vec3, angle: f64, translation: Vec3) -> Self {
+        RigidTransform::new(Mat3::from_axis_angle(axis, angle), translation)
+    }
+
+    /// Builds a transform from small Euler angles and a translation, the
+    /// parameterization used by the point-to-plane and LM solvers
+    /// (`[α, β, γ, tx, ty, tz]`, rotations applied Z·Y·X).
+    pub fn from_euler_xyz(alpha: f64, beta: f64, gamma: f64, translation: Vec3) -> Self {
+        let rotation = Mat3::rotation_z(gamma) * Mat3::rotation_y(beta) * Mat3::rotation_x(alpha);
+        RigidTransform::new(rotation, translation)
+    }
+
+    /// Applies the transform to a point: `R p + t`.
+    #[inline]
+    pub fn apply(&self, p: Vec3) -> Vec3 {
+        self.rotation * p + self.translation
+    }
+
+    /// Applies only the rotation — correct for directions such as surface
+    /// normals, which must not be translated.
+    #[inline]
+    pub fn apply_direction(&self, d: Vec3) -> Vec3 {
+        self.rotation * d
+    }
+
+    /// The inverse transform.
+    ///
+    /// Because `R` is orthonormal the inverse is `Rᵀ (p - t)`.
+    pub fn inverse(&self) -> RigidTransform {
+        let rt = self.rotation.transpose();
+        RigidTransform::new(rt, -(rt * self.translation))
+    }
+
+    /// Returns this transform as a row-major 4×4 homogeneous matrix, the
+    /// paper's Eq. 1 representation.
+    pub fn to_matrix4(&self) -> [[f64; 4]; 4] {
+        let r = &self.rotation.m;
+        let t = self.translation;
+        [
+            [r[0][0], r[0][1], r[0][2], t.x],
+            [r[1][0], r[1][1], r[1][2], t.y],
+            [r[2][0], r[2][1], r[2][2], t.z],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    }
+
+    /// Returns `true` when rotation and translation are within `tol` of the
+    /// identity.
+    pub fn is_identity(&self, tol: f64) -> bool {
+        (self.rotation - Mat3::IDENTITY).frobenius_norm() <= tol
+            && self.translation.norm() <= tol
+    }
+
+    /// The rotation angle of the transform in radians (geodesic distance of
+    /// `R` from the identity).
+    pub fn rotation_angle(&self) -> f64 {
+        self.rotation.rotation_angle()
+    }
+
+    /// The translation magnitude of the transform.
+    pub fn translation_norm(&self) -> f64 {
+        self.translation.norm()
+    }
+
+    /// Relative transform taking `self` to `other`: `other ∘ self⁻¹`.
+    ///
+    /// Used by the KITTI metrics to compare an estimated pose change against
+    /// the ground-truth pose change.
+    pub fn delta_to(&self, other: &RigidTransform) -> RigidTransform {
+        *other * self.inverse()
+    }
+}
+
+impl Default for RigidTransform {
+    fn default() -> Self {
+        RigidTransform::IDENTITY
+    }
+}
+
+/// Composition: `(a * b).apply(p) == a.apply(b.apply(p))`.
+impl Mul for RigidTransform {
+    type Output = RigidTransform;
+    fn mul(self, o: RigidTransform) -> RigidTransform {
+        RigidTransform {
+            rotation: self.rotation * o.rotation,
+            translation: self.rotation * o.translation + self.translation,
+        }
+    }
+}
+
+impl fmt::Display for RigidTransform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RigidTransform {{ angle: {:.4} rad, t: {} }}",
+            self.rotation_angle(),
+            self.translation
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_application() {
+        let p = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(RigidTransform::IDENTITY.apply(p), p);
+        assert!(RigidTransform::default().is_identity(0.0));
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let a = RigidTransform::from_axis_angle(Vec3::Z, 0.3, Vec3::new(1.0, 0.0, 0.0));
+        let b = RigidTransform::from_axis_angle(Vec3::X, -0.7, Vec3::new(0.0, 2.0, 0.5));
+        let p = Vec3::new(0.4, 0.5, 0.6);
+        let via_compose = (a * b).apply(p);
+        let via_seq = a.apply(b.apply(p));
+        assert!((via_compose - via_seq).norm() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let t = RigidTransform::from_axis_angle(Vec3::new(1.0, 1.0, 0.2), 1.2, Vec3::new(3.0, -1.0, 0.5));
+        let p = Vec3::new(0.1, 0.2, 0.3);
+        assert!((t.inverse().apply(t.apply(p)) - p).norm() < 1e-12);
+        assert!((t * t.inverse()).is_identity(1e-12));
+        assert!((t.inverse() * t).is_identity(1e-12));
+    }
+
+    #[test]
+    fn preserves_distances() {
+        let t = RigidTransform::from_axis_angle(Vec3::new(0.3, 0.5, 1.0), 0.9, Vec3::new(5.0, 6.0, 7.0));
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        let q = Vec3::new(-1.0, 0.5, 2.0);
+        assert!((t.apply(p).distance(t.apply(q)) - p.distance(q)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direction_ignores_translation() {
+        let t = RigidTransform::from_translation(Vec3::new(10.0, 0.0, 0.0));
+        assert_eq!(t.apply_direction(Vec3::X), Vec3::X);
+        assert_eq!(t.apply(Vec3::X), Vec3::new(11.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn matrix4_layout() {
+        let t = RigidTransform::from_translation(Vec3::new(1.0, 2.0, 3.0));
+        let m = t.to_matrix4();
+        assert_eq!(m[0][3], 1.0);
+        assert_eq!(m[1][3], 2.0);
+        assert_eq!(m[2][3], 3.0);
+        assert_eq!(m[3], [0.0, 0.0, 0.0, 1.0]);
+        assert_eq!(m[0][0], 1.0);
+    }
+
+    #[test]
+    fn euler_small_angle_composition() {
+        let t = RigidTransform::from_euler_xyz(0.01, -0.02, 0.03, Vec3::ZERO);
+        assert!(t.rotation.is_rotation(1e-10));
+        // Small-angle rotation angle is close to the Euler vector magnitude.
+        let approx = (0.01f64.powi(2) + 0.02f64.powi(2) + 0.03f64.powi(2)).sqrt();
+        assert!((t.rotation_angle() - approx).abs() < 1e-3);
+    }
+
+    #[test]
+    fn delta_to_recovers_relative_motion() {
+        let a = RigidTransform::from_axis_angle(Vec3::Z, 0.2, Vec3::new(1.0, 0.0, 0.0));
+        let d = RigidTransform::from_axis_angle(Vec3::Y, 0.1, Vec3::new(0.0, 0.5, 0.0));
+        let b = d * a;
+        let rec = a.delta_to(&b);
+        assert!((rec.rotation - d.rotation).frobenius_norm() < 1e-12);
+        assert!((rec.translation - d.translation).norm() < 1e-12);
+    }
+
+    #[test]
+    fn magnitudes() {
+        let t = RigidTransform::from_axis_angle(Vec3::Z, 0.4, Vec3::new(3.0, 4.0, 0.0));
+        assert!((t.rotation_angle() - 0.4).abs() < 1e-12);
+        assert!((t.translation_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", RigidTransform::IDENTITY).is_empty());
+    }
+}

@@ -1,0 +1,253 @@
+//! Small dense linear solvers used by the transformation-estimation stage.
+//!
+//! The point-to-plane error metric linearizes to a 6×6 normal-equation system
+//! `(JᵀJ) x = Jᵀr`; Levenberg–Marquardt adds a damped diagonal. Both are
+//! solved here with an LDLᵀ factorization ([`solve_ldlt6`]). A general
+//! partial-pivoting Gaussian elimination ([`solve_dense`]) backs arbitrary
+//! sizes (e.g. validation and tests).
+
+/// Error returned when a linear system cannot be solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix is singular (a pivot magnitude fell below tolerance).
+    Singular,
+    /// Input dimensions disagree (matrix rows vs. rhs length).
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Singular => write!(f, "matrix is singular to working precision"),
+            SolveError::DimensionMismatch => write!(f, "matrix and right-hand side dimensions disagree"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solves the symmetric positive-(semi)definite 6×6 system `A x = b` via an
+/// LDLᵀ factorization without pivoting.
+///
+/// This is the solver behind the point-to-plane / LM Gauss-Newton step.
+/// Only the lower triangle of `a` is read.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Singular`] when a diagonal pivot falls below
+/// `1e-12` times the largest diagonal entry.
+///
+/// # Example
+///
+/// ```
+/// use tigris_geom::solve_ldlt6;
+/// let mut a = [[0.0; 6]; 6];
+/// for i in 0..6 { a[i][i] = (i + 1) as f64; }
+/// let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+/// let x = solve_ldlt6(&a, &b).unwrap();
+/// for v in x { assert!((v - 1.0).abs() < 1e-12); }
+/// ```
+pub fn solve_ldlt6(a: &[[f64; 6]; 6], b: &[f64; 6]) -> Result<[f64; 6], SolveError> {
+    let mut l = [[0.0f64; 6]; 6];
+    let mut d = [0.0f64; 6];
+    let max_diag = (0..6).map(|i| a[i][i].abs()).fold(0.0f64, f64::max).max(1e-300);
+
+    for j in 0..6 {
+        let mut dj = a[j][j];
+        for k in 0..j {
+            dj -= l[j][k] * l[j][k] * d[k];
+        }
+        if dj.abs() < 1e-12 * max_diag {
+            return Err(SolveError::Singular);
+        }
+        d[j] = dj;
+        l[j][j] = 1.0;
+        for i in (j + 1)..6 {
+            let mut v = a[i][j];
+            for k in 0..j {
+                v -= l[i][k] * l[j][k] * d[k];
+            }
+            l[i][j] = v / dj;
+        }
+    }
+
+    // Forward substitution: L y = b.
+    let mut y = *b;
+    for i in 0..6 {
+        for k in 0..i {
+            y[i] -= l[i][k] * y[k];
+        }
+    }
+    // Diagonal: D z = y.
+    for i in 0..6 {
+        y[i] /= d[i];
+    }
+    // Back substitution: Lᵀ x = z.
+    let mut x = y;
+    for i in (0..6).rev() {
+        for k in (i + 1)..6 {
+            x[i] -= l[k][i] * x[k];
+        }
+    }
+    Ok(x)
+}
+
+/// Solves a general `n×n` dense system `A x = b` with partial-pivoting
+/// Gaussian elimination.
+///
+/// `a` is row-major, `a.len() == n * n`, `b.len() == n`.
+///
+/// # Errors
+///
+/// [`SolveError::DimensionMismatch`] when shapes disagree;
+/// [`SolveError::Singular`] when elimination meets a vanishing pivot.
+pub fn solve_dense(a: &[f64], b: &[f64], n: usize) -> Result<Vec<f64>, SolveError> {
+    if a.len() != n * n || b.len() != n {
+        return Err(SolveError::DimensionMismatch);
+    }
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+    let scale = a.iter().fold(0.0f64, |acc, v| acc.max(v.abs())).max(1e-300);
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| m[i * n + col].abs().partial_cmp(&m[j * n + col].abs()).unwrap())
+            .unwrap();
+        if m[pivot_row * n + col].abs() < 1e-13 * scale {
+            return Err(SolveError::Singular);
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot_row * n + k);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        let pivot = m[col * n + col];
+        for row in (col + 1)..n {
+            let factor = m[row * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= factor * m[col * n + k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut v = rhs[row];
+        for k in (row + 1)..n {
+            v -= m[row * n + k] * x[k];
+        }
+        x[row] = v / m[row * n + row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat6_vec_mul(a: &[[f64; 6]; 6], x: &[f64; 6]) -> [f64; 6] {
+        let mut out = [0.0; 6];
+        for i in 0..6 {
+            for j in 0..6 {
+                out[i] += a[i][j] * x[j];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ldlt_diagonal_system() {
+        let mut a = [[0.0; 6]; 6];
+        for (i, row) in a.iter_mut().enumerate() {
+            row[i] = (i + 1) as f64;
+        }
+        let b = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0];
+        let x = solve_ldlt6(&a, &b).unwrap();
+        for v in x {
+            assert!((v - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ldlt_spd_system_round_trip() {
+        // Build an SPD matrix A = MᵀM + I.
+        let m: [[f64; 6]; 6] = [
+            [1.0, 2.0, 0.0, 1.0, 0.5, -1.0],
+            [0.0, 1.0, 3.0, 0.0, 1.0, 0.2],
+            [2.0, 0.0, 1.0, 1.0, 0.0, 0.0],
+            [0.5, 1.0, 0.0, 2.0, 1.0, 0.3],
+            [0.0, 0.0, 1.0, 0.0, 1.0, 1.0],
+            [1.0, 0.5, 0.0, 0.0, 2.0, 1.0],
+        ];
+        let mut a = [[0.0; 6]; 6];
+        for i in 0..6 {
+            for j in 0..6 {
+                for k in 0..6 {
+                    a[i][j] += m[k][i] * m[k][j];
+                }
+            }
+            a[i][i] += 1.0;
+        }
+        let x_true = [1.0, -2.0, 3.0, 0.5, -0.25, 2.0];
+        let b = mat6_vec_mul(&a, &x_true);
+        let x = solve_ldlt6(&a, &b).unwrap();
+        for i in 0..6 {
+            assert!((x[i] - x_true[i]).abs() < 1e-9, "x[{i}] = {}", x[i]);
+        }
+    }
+
+    #[test]
+    fn ldlt_rejects_singular() {
+        let a = [[0.0; 6]; 6];
+        let b = [1.0; 6];
+        assert_eq!(solve_ldlt6(&a, &b), Err(SolveError::Singular));
+    }
+
+    #[test]
+    fn dense_matches_known_solution() {
+        // 3x3 system with known solution (1, 2, 3).
+        let a = [2.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0];
+        let x_true = [1.0, 2.0, 3.0];
+        let b: Vec<f64> = (0..3)
+            .map(|i| (0..3).map(|j| a[i * 3 + j] * x_true[j]).sum())
+            .collect();
+        let x = solve_dense(&a, &b, 3).unwrap();
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dense_needs_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = [0.0, 1.0, 1.0, 0.0];
+        let b = [2.0, 3.0];
+        let x = solve_dense(&a, &b, 2).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_rejects_singular() {
+        let a = [1.0, 2.0, 2.0, 4.0];
+        assert_eq!(solve_dense(&a, &[1.0, 2.0], 2), Err(SolveError::Singular));
+    }
+
+    #[test]
+    fn dense_rejects_dimension_mismatch() {
+        assert_eq!(solve_dense(&[1.0, 2.0], &[1.0], 2), Err(SolveError::DimensionMismatch));
+        assert_eq!(solve_dense(&[1.0, 0.0, 0.0, 1.0], &[1.0], 2), Err(SolveError::DimensionMismatch));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!SolveError::Singular.to_string().is_empty());
+        assert!(!SolveError::DimensionMismatch.to_string().is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! Singular value decomposition of 3×3 matrices, the core of the Kabsch /
+//! Umeyama transformation solver (paper Tbl. 1, "Solver: SVD").
+//!
+//! Built on the symmetric Jacobi eigen-decomposition of `AᵀA`: if
+//! `AᵀA = V Σ² Vᵀ` then `A = U Σ Vᵀ` with `U = A V Σ⁻¹` (columns for
+//! near-zero singular values are completed via cross products).
+
+use crate::{symmetric_eigen3, Mat3, Vec3};
+
+/// The decomposition `A = U Σ Vᵀ` with `U`, `V` orthogonal and
+/// `Σ = diag(singular_values)`, singular values sorted descending.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Svd3 {
+    /// Left singular vectors (orthogonal).
+    pub u: Mat3,
+    /// Singular values, descending, all non-negative.
+    pub singular_values: [f64; 3],
+    /// Right singular vectors (orthogonal).
+    pub v: Mat3,
+}
+
+impl Svd3 {
+    /// Reconstructs `U Σ Vᵀ`; useful for validation.
+    pub fn reconstruct(&self) -> Mat3 {
+        let s = self.singular_values;
+        let sigma = Mat3::from_rows([s[0], 0.0, 0.0], [0.0, s[1], 0.0], [0.0, 0.0, s[2]]);
+        self.u * sigma * self.v.transpose()
+    }
+
+    /// The rotation `R = U D Vᵀ` that best aligns in the Kabsch sense, where
+    /// `D = diag(1, 1, det(U Vᵀ))` corrects an improper rotation
+    /// (reflection) into a proper one.
+    pub fn polar_rotation(&self) -> Mat3 {
+        let d = (self.u * self.v.transpose()).determinant();
+        let sign = if d < 0.0 { -1.0 } else { 1.0 };
+        let correction = Mat3::from_rows([1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, sign]);
+        self.u * correction * self.v.transpose()
+    }
+}
+
+/// Computes the SVD of an arbitrary 3×3 matrix.
+///
+/// Robust to rank-deficient inputs: missing singular directions are
+/// completed with cross products so `U` and `V` are always orthogonal.
+///
+/// # Example
+///
+/// ```
+/// use tigris_geom::{svd3, Mat3};
+/// let a = Mat3::from_rows([3.0, 1.0, 0.0], [1.0, 3.0, 0.0], [0.0, 0.0, 2.0]);
+/// let s = svd3(&a);
+/// assert!((s.reconstruct() - a).frobenius_norm() < 1e-9);
+/// ```
+pub fn svd3(a: &Mat3) -> Svd3 {
+    // Eigen-decompose AᵀA = V Σ² Vᵀ. Eigenvalues ascend, we want descending.
+    let ata = a.transpose() * *a;
+    let eig = symmetric_eigen3(&ata);
+    let order = [2usize, 1, 0];
+    let mut v_cols = [Vec3::ZERO; 3];
+    let mut s = [0.0f64; 3];
+    for (i, &src) in order.iter().enumerate() {
+        v_cols[i] = eig.vectors.col(src);
+        s[i] = eig.values[src].max(0.0).sqrt();
+    }
+
+    // Keep V right-handed so downstream determinant logic sees a rotation
+    // whenever possible.
+    if Mat3::from_cols(v_cols[0], v_cols[1], v_cols[2]).determinant() < 0.0 {
+        v_cols[2] = -v_cols[2];
+    }
+    let v = Mat3::from_cols(v_cols[0], v_cols[1], v_cols[2]);
+
+    // U columns: u_i = A v_i / σ_i where σ_i is well-conditioned. The
+    // eigen-decomposition resolves eigenvalues to ~1e-14 of the matrix
+    // scale, so singular values below ~1e-6 of σ₀ are indistinguishable
+    // from zero and their direction is noise — treat them as missing.
+    let scale = s[0].max(1e-300);
+    let mut u_cols = [Vec3::ZERO; 3];
+    let mut valid = [false; 3];
+    for i in 0..3 {
+        if s[i] / scale > 1e-6 {
+            let mut u = *a * v_cols[i] / s[i];
+            // Gram-Schmidt against previously accepted columns for numerical
+            // orthogonality.
+            for j in 0..i {
+                if valid[j] {
+                    u -= u_cols[j] * u.dot(u_cols[j]);
+                }
+            }
+            if let Some(u) = u.normalized() {
+                u_cols[i] = u;
+                valid[i] = true;
+            }
+        }
+    }
+    // Complete missing columns orthogonally.
+    complete_orthonormal(&mut u_cols, &valid);
+    let u = Mat3::from_cols(u_cols[0], u_cols[1], u_cols[2]);
+
+    Svd3 { u, singular_values: s, v }
+}
+
+/// Fills the columns flagged invalid so the triple is orthonormal.
+fn complete_orthonormal(cols: &mut [Vec3; 3], valid: &[bool; 3]) {
+    let n_valid = valid.iter().filter(|&&b| b).count();
+    match n_valid {
+        3 => {}
+        2 => {
+            let (a, b, missing) = if !valid[0] {
+                (cols[1], cols[2], 0)
+            } else if !valid[1] {
+                (cols[2], cols[0], 1)
+            } else {
+                (cols[0], cols[1], 2)
+            };
+            cols[missing] = a.cross(b).normalized().unwrap_or(Vec3::Z);
+        }
+        1 => {
+            let base_idx = valid.iter().position(|&b| b).unwrap();
+            let base = cols[base_idx];
+            // Any vector not parallel to base.
+            let helper = if base.x.abs() < 0.9 { Vec3::X } else { Vec3::Y };
+            let second = base.cross(helper).normalized().unwrap_or(Vec3::Y);
+            let third = base.cross(second);
+            let others: [usize; 2] = match base_idx {
+                0 => [1, 2],
+                1 => [2, 0],
+                _ => [0, 1],
+            };
+            cols[others[0]] = second;
+            cols[others[1]] = third;
+        }
+        _ => {
+            cols[0] = Vec3::X;
+            cols[1] = Vec3::Y;
+            cols[2] = Vec3::Z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_orthogonal(m: &Mat3, tol: f64) {
+        let i = *m * m.transpose();
+        assert!((i - Mat3::IDENTITY).frobenius_norm() < tol, "not orthogonal: {i}");
+    }
+
+    fn check_svd(a: &Mat3, tol: f64) {
+        let s = svd3(a);
+        assert_orthogonal(&s.u, tol);
+        assert_orthogonal(&s.v, tol);
+        assert!(s.singular_values[0] >= s.singular_values[1]);
+        assert!(s.singular_values[1] >= s.singular_values[2]);
+        assert!(s.singular_values[2] >= 0.0);
+        let err = (s.reconstruct() - *a).frobenius_norm();
+        assert!(err < tol * a.frobenius_norm().max(1.0), "reconstruction error {err}");
+    }
+
+    #[test]
+    fn identity() {
+        let s = svd3(&Mat3::IDENTITY);
+        for v in s.singular_values {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+        check_svd(&Mat3::IDENTITY, 1e-10);
+    }
+
+    #[test]
+    fn full_rank_matrix() {
+        let a = Mat3::from_rows([3.0, 1.0, -1.0], [0.5, 2.0, 0.2], [0.1, -0.4, 1.5]);
+        check_svd(&a, 1e-8);
+    }
+
+    #[test]
+    fn rotation_has_unit_singular_values() {
+        let r = Mat3::from_axis_angle(Vec3::new(1.0, 0.3, -0.7), 1.234);
+        let s = svd3(&r);
+        for v in s.singular_values {
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+        check_svd(&r, 1e-9);
+    }
+
+    #[test]
+    fn rank_two_matrix() {
+        // Third column = first + second → rank 2.
+        let a = Mat3::from_cols(
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(1.0, 1.0, 0.0),
+        );
+        let s = svd3(&a);
+        // Near-zero singular values are accurate to sqrt(eigen tolerance),
+        // so compare relative to the dominant singular value.
+        assert!(s.singular_values[2] < 1e-5 * s.singular_values[0]);
+        check_svd(&a, 1e-8);
+    }
+
+    #[test]
+    fn rank_one_matrix() {
+        let a = Mat3::outer(Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0));
+        let s = svd3(&a);
+        assert!(s.singular_values[1] < 1e-5 * s.singular_values[0]);
+        assert!(s.singular_values[2] < 1e-5 * s.singular_values[0]);
+        check_svd(&a, 1e-8);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let s = svd3(&Mat3::ZERO);
+        assert_eq!(s.singular_values, [0.0; 3]);
+        assert_orthogonal(&s.u, 1e-12);
+        assert_orthogonal(&s.v, 1e-12);
+    }
+
+    #[test]
+    fn polar_rotation_of_rotation_is_itself() {
+        let r = Mat3::from_axis_angle(Vec3::new(0.2, 1.0, 0.5), 0.7);
+        let s = svd3(&r);
+        assert!((s.polar_rotation() - r).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn polar_rotation_fixes_reflection() {
+        // A pure reflection must still yield a proper rotation.
+        let refl = Mat3::from_rows([1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, -1.0]);
+        let s = svd3(&refl);
+        let r = s.polar_rotation();
+        assert!(r.is_rotation(1e-9));
+    }
+
+    #[test]
+    fn scaled_matrix_scales_singular_values() {
+        let a = Mat3::from_rows([1.0, 2.0, 0.0], [0.0, 1.0, 1.0], [1.0, 0.0, 1.0]);
+        let s1 = svd3(&a);
+        let s2 = svd3(&a.scale(3.0));
+        for i in 0..3 {
+            assert!((s2.singular_values[i] - 3.0 * s1.singular_values[i]).abs() < 1e-8);
+        }
+    }
+}

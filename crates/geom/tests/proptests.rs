@@ -1,0 +1,161 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use tigris_geom::{solve_ldlt6, svd3, symmetric_eigen3, Aabb, Mat3, RigidTransform, Vec3};
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    -100.0f64..100.0
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (finite_coord(), finite_coord(), finite_coord()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn unit_vec3() -> impl Strategy<Value = Vec3> {
+    vec3().prop_filter_map("non-degenerate axis", |v| v.normalized())
+}
+
+fn rigid() -> impl Strategy<Value = RigidTransform> {
+    (unit_vec3(), -3.0f64..3.0, vec3())
+        .prop_map(|(axis, angle, t)| RigidTransform::from_axis_angle(axis, angle, t))
+}
+
+proptest! {
+    #[test]
+    fn cross_is_perpendicular(a in vec3(), b in vec3()) {
+        let c = a.cross(b);
+        let scale = a.norm() * b.norm();
+        prop_assert!(c.dot(a).abs() <= 1e-9 * scale.max(1.0) * a.norm().max(1.0));
+        prop_assert!(c.dot(b).abs() <= 1e-9 * scale.max(1.0) * b.norm().max(1.0));
+    }
+
+    #[test]
+    fn triangle_inequality(a in vec3(), b in vec3(), c in vec3()) {
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+    }
+
+    #[test]
+    fn rigid_transform_preserves_distances(t in rigid(), p in vec3(), q in vec3()) {
+        let d0 = p.distance(q);
+        let d1 = t.apply(p).distance(t.apply(q));
+        prop_assert!((d0 - d1).abs() < 1e-8 * d0.max(1.0));
+    }
+
+    #[test]
+    fn rigid_inverse_round_trips(t in rigid(), p in vec3()) {
+        let back = t.inverse().apply(t.apply(p));
+        prop_assert!((back - p).norm() < 1e-8 * p.norm().max(1.0));
+    }
+
+    #[test]
+    fn rigid_composition_associates(a in rigid(), b in rigid(), c in rigid(), p in vec3()) {
+        let lhs = ((a * b) * c).apply(p);
+        let rhs = (a * (b * c)).apply(p);
+        prop_assert!((lhs - rhs).norm() < 1e-6 * p.norm().max(1.0));
+    }
+
+    #[test]
+    fn rotations_stay_rotations(axis in unit_vec3(), angle in -6.0f64..6.0) {
+        let r = Mat3::from_axis_angle(axis, angle);
+        prop_assert!(r.is_rotation(1e-9));
+    }
+
+    #[test]
+    fn eigen_reconstructs(
+        a in finite_coord(), b in finite_coord(), c in finite_coord(),
+        d in finite_coord(), e in finite_coord(), f in finite_coord(),
+    ) {
+        // Random symmetric matrix from 6 free entries.
+        let m = Mat3::from_rows([a, b, c], [b, d, e], [c, e, f]);
+        let eig = symmetric_eigen3(&m);
+        let scale = m.frobenius_norm().max(1.0);
+        for i in 0..3 {
+            let v = eig.vectors.col(i);
+            let residual = (m * v - v * eig.values[i]).norm();
+            prop_assert!(residual < 1e-9 * scale, "residual {residual} at {i}");
+        }
+        // Eigenvalues ordered.
+        prop_assert!(eig.values[0] <= eig.values[1] && eig.values[1] <= eig.values[2]);
+    }
+
+    #[test]
+    fn svd_reconstructs_and_is_orthogonal(
+        r0 in vec3(), r1 in vec3(), r2 in vec3(),
+    ) {
+        let a = Mat3::from_rows(r0.to_array(), r1.to_array(), r2.to_array());
+        let s = svd3(&a);
+        let scale = a.frobenius_norm().max(1.0);
+        prop_assert!((s.reconstruct() - a).frobenius_norm() < 1e-7 * scale);
+        prop_assert!((s.u * s.u.transpose() - Mat3::IDENTITY).frobenius_norm() < 1e-8);
+        prop_assert!((s.v * s.v.transpose() - Mat3::IDENTITY).frobenius_norm() < 1e-8);
+        prop_assert!(s.singular_values[0] >= s.singular_values[1]);
+        prop_assert!(s.singular_values[1] >= s.singular_values[2]);
+        prop_assert!(s.singular_values[2] >= 0.0);
+    }
+
+    #[test]
+    fn polar_rotation_is_proper(r0 in vec3(), r1 in vec3(), r2 in vec3()) {
+        let a = Mat3::from_rows(r0.to_array(), r1.to_array(), r2.to_array());
+        let r = svd3(&a).polar_rotation();
+        prop_assert!(r.is_rotation(1e-7));
+    }
+
+    #[test]
+    fn aabb_distance_is_lower_bound(points in prop::collection::vec(vec3(), 1..32), q in vec3()) {
+        let b = Aabb::from_points(points.iter().copied()).unwrap();
+        let box_d2 = b.distance_squared_to(q);
+        for &p in &points {
+            prop_assert!(box_d2 <= q.distance_squared(p) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn ldlt_solves_spd_systems(
+        rows in prop::collection::vec(prop::collection::vec(-2.0f64..2.0, 6), 6),
+        x_true in prop::collection::vec(-5.0f64..5.0, 6),
+    ) {
+        // A = MᵀM + I is always SPD.
+        let mut a = [[0.0f64; 6]; 6];
+        for i in 0..6 {
+            for j in 0..6 {
+                for k in 0..6 {
+                    a[i][j] += rows[k][i] * rows[k][j];
+                }
+            }
+            a[i][i] += 1.0;
+        }
+        let mut b = [0.0f64; 6];
+        for i in 0..6 {
+            for j in 0..6 {
+                b[i] += a[i][j] * x_true[j];
+            }
+        }
+        let x = solve_ldlt6(&a, &b).unwrap();
+        for i in 0..6 {
+            prop_assert!((x[i] - x_true[i]).abs() < 1e-6, "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn kabsch_recovers_known_rotation(t in rigid(), pts in prop::collection::vec(vec3(), 4..16)) {
+        // Degenerate (collinear/coplanar-with-small-spread) sets are fine:
+        // Kabsch still returns *a* rotation mapping src to dst; we check the
+        // alignment residual instead of the matrix itself.
+        let src_centroid = pts.iter().fold(Vec3::ZERO, |a, &p| a + p) / pts.len() as f64;
+        let dst: Vec<Vec3> = pts.iter().map(|&p| t.apply(p)).collect();
+        let dst_centroid = dst.iter().fold(Vec3::ZERO, |a, &p| a + p) / pts.len() as f64;
+        let mut h = Mat3::ZERO;
+        for (s, d) in pts.iter().zip(&dst) {
+            h = h + Mat3::outer(*s - src_centroid, *d - dst_centroid);
+        }
+        // H = Σ (s-s̄)(d-d̄)ᵀ = U Σ Vᵀ  ⇒  R = V D Uᵀ, which equals the
+        // polar rotation of Hᵀ = V Σ Uᵀ.
+        let r = svd3(&h.transpose()).polar_rotation();
+        // r maps centered src onto centered dst... verify alignment.
+        for (s, d) in pts.iter().zip(&dst) {
+            let aligned = r * (*s - src_centroid) + dst_centroid;
+            let spread = pts.iter().map(|p| (*p - src_centroid).norm()).fold(0.0, f64::max);
+            prop_assert!((aligned - *d).norm() < 1e-6 * spread.max(1.0) + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! Pipeline configuration: every algorithmic and parametric knob of the
+//! paper's Tbl. 1, plus the Pareto design points DP1–DP8 used throughout
+//! the evaluation.
+
+use tigris_core::ApproxConfig;
+
+use crate::search::Injection;
+
+/// Normal-estimation algorithm (Tbl. 1 row 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalAlgorithm {
+    /// Total-least-squares plane fit via covariance eigen-decomposition.
+    PlaneSvd,
+    /// Area-weighted average of fan-triangle normals.
+    AreaWeighted,
+}
+
+/// Key-point detection algorithm (Tbl. 1 row 2).
+///
+/// The paper explores SIFT, NARF and HARRIS. We implement SIFT-3D
+/// (difference-of-curvature across scales) and Harris-3D faithfully, and
+/// substitute ISS (Intrinsic Shape Signatures) for NARF — both are
+/// geometric-saliency detectors, and NARF's range-image machinery is
+/// orthogonal to the paper's claims (see DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeypointAlgorithm {
+    /// SIFT-3D-style: local extrema of curvature difference across two
+    /// neighborhood scales.
+    Sift {
+        /// Base scale (neighborhood radius), meters.
+        scale: f64,
+    },
+    /// Harris-3D: corner response from the covariance of neighborhood
+    /// normals.
+    Harris {
+        /// Neighborhood radius, meters.
+        radius: f64,
+    },
+    /// Intrinsic Shape Signatures (NARF substitute): eigenvalue-ratio
+    /// saliency.
+    Iss {
+        /// Salient-region radius, meters.
+        radius: f64,
+    },
+    /// Uniform voxel sub-sampling (the cheap baseline).
+    Uniform {
+        /// Voxel edge, meters.
+        voxel: f64,
+    },
+}
+
+/// Feature-descriptor algorithm (Tbl. 1 row 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DescriptorAlgorithm {
+    /// Fast Point Feature Histograms (33-D).
+    Fpfh {
+        /// Descriptor neighborhood radius, meters.
+        radius: f64,
+    },
+    /// Signature of Histograms of Orientations (simplified spatial-angular
+    /// signature; see `descriptor` module docs).
+    Shot {
+        /// Descriptor neighborhood radius, meters.
+        radius: f64,
+    },
+    /// 3D Shape Context (log-radial shells × azimuth × elevation).
+    Sc3d {
+        /// Descriptor neighborhood radius, meters.
+        radius: f64,
+    },
+}
+
+impl DescriptorAlgorithm {
+    /// Descriptor search radius, whatever the algorithm.
+    pub fn radius(&self) -> f64 {
+        match *self {
+            DescriptorAlgorithm::Fpfh { radius }
+            | DescriptorAlgorithm::Shot { radius }
+            | DescriptorAlgorithm::Sc3d { radius } => radius,
+        }
+    }
+}
+
+/// Correspondence-rejection algorithm (Tbl. 1 row 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RejectionAlgorithm {
+    /// Keep correspondences whose feature distance is below `factor` times
+    /// the median feature distance.
+    Threshold {
+        /// Multiple of the median feature distance to keep.
+        factor: f64,
+    },
+    /// RANSAC over rigid transforms: keep the largest consensus set.
+    Ransac {
+        /// Iterations (random minimal samples drawn).
+        iterations: usize,
+        /// Inlier threshold on 3D alignment error, meters.
+        inlier_threshold: f64,
+    },
+}
+
+/// Error metric minimized by the fine-tuning solver (Tbl. 1 row 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorMetric {
+    /// Mean-square point-to-point distance.
+    PointToPoint,
+    /// Point-to-plane distance (needs target normals).
+    PointToPlane,
+}
+
+/// Optimization solver (Tbl. 1 row 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverAlgorithm {
+    /// Closed-form SVD (Kabsch/Umeyama) — point-to-point only; for
+    /// point-to-plane the linearized Gauss-Newton step is used.
+    Svd,
+    /// Levenberg–Marquardt damped iterations.
+    LevenbergMarquardt,
+}
+
+/// ICP convergence criteria (Tbl. 1 "Convergence criteria").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceCriteria {
+    /// Maximum fine-tuning iterations.
+    pub max_iterations: usize,
+    /// Stop when the transform update's translation falls below this (m)…
+    pub translation_epsilon: f64,
+    /// …and its rotation below this (radians).
+    pub rotation_epsilon: f64,
+    /// Stop when the relative mean-square-error improvement falls below this.
+    pub mse_relative_epsilon: f64,
+}
+
+impl Default for ConvergenceCriteria {
+    fn default() -> Self {
+        ConvergenceCriteria {
+            max_iterations: 30,
+            translation_epsilon: 1e-4,
+            rotation_epsilon: 1e-5,
+            mse_relative_epsilon: 1e-4,
+        }
+    }
+}
+
+/// KD-tree backend selection for the dense (3D) searches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SearchBackendConfig {
+    /// Canonical KD-tree.
+    Classic,
+    /// Two-stage KD-tree with the given top-tree height.
+    TwoStage {
+        /// Top-tree height.
+        top_height: usize,
+    },
+    /// Two-stage + approximate (Algorithm 1) search.
+    TwoStageApprox {
+        /// Top-tree height.
+        top_height: usize,
+        /// Leader/follower parameters.
+        approx: ApproxConfig,
+    },
+}
+
+/// The full pipeline configuration (paper Fig. 2 + Tbl. 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistrationConfig {
+    /// Voxel size for pre-downsampling each frame (0 disables). KITTI-scale
+    /// frames are typically downsampled to ~0.2–0.4 m for the front-end.
+    pub voxel_size: f64,
+    /// Normal-estimation algorithm.
+    pub normal_algorithm: NormalAlgorithm,
+    /// Normal-estimation search radius (Tbl. 1 "Search radius"), meters.
+    pub normal_radius: f64,
+    /// Key-point detector and its scale/range parameter.
+    pub keypoint: KeypointAlgorithm,
+    /// Feature descriptor and its search radius.
+    pub descriptor: DescriptorAlgorithm,
+    /// Whether KPCE requires reciprocal (mutual) nearest neighbors.
+    pub kpce_reciprocal: bool,
+    /// Lowe ratio test for KPCE (Tbl. 1 "Ratio threshold"): keep a match
+    /// only when nearest/second-nearest feature distance ≤ this. `None`
+    /// disables; when set, it replaces plain nearest-neighbor matching
+    /// (reciprocity still applies on top if enabled).
+    pub kpce_ratio: Option<f64>,
+    /// Correspondence rejection.
+    pub rejection: RejectionAlgorithm,
+    /// Error metric for fine-tuning.
+    pub error_metric: ErrorMetric,
+    /// Solver for fine-tuning.
+    pub solver: SolverAlgorithm,
+    /// RPCE: drop correspondences farther than this (meters).
+    pub max_correspondence_distance: f64,
+    /// RPCE reciprocity (Tbl. 1): keep only mutually-nearest dense pairs.
+    /// Robust to partial overlap at roughly double the per-iteration search
+    /// cost (plus a source-tree rebuild each iteration).
+    pub rpce_reciprocal: bool,
+    /// ICP convergence criteria.
+    pub convergence: ConvergenceCriteria,
+    /// Dense-search backend.
+    pub backend: SearchBackendConfig,
+    /// Error injection into the Normal Estimation stage's radius searches
+    /// (Fig. 7b), if any.
+    pub inject_ne: Option<Injection>,
+    /// Error injection into RPCE's NN searches (Fig. 7a, dense curve).
+    pub inject_rpce: Option<Injection>,
+    /// Error injection into KPCE's feature-space NN (Fig. 7a, sparse
+    /// curve): return the k-th nearest feature instead.
+    pub inject_kpce_kth: Option<usize>,
+    /// Motion-prior gate on the initial estimate: when the front-end's
+    /// transform rotates more than this (radians), it is discarded and
+    /// fine-tuning starts from identity. Consecutive LiDAR frames (10 Hz)
+    /// cannot rotate this much; the gate rejects symmetric-scene flips
+    /// (e.g. a road corridor matched 180° reversed). `f64::INFINITY`
+    /// disables it.
+    pub max_initial_rotation: f64,
+    /// Motion-prior gate on the initial estimate's translation (meters);
+    /// see [`RegistrationConfig::max_initial_rotation`].
+    pub max_initial_translation: f64,
+}
+
+impl Default for RegistrationConfig {
+    fn default() -> Self {
+        RegistrationConfig {
+            voxel_size: 0.25,
+            normal_algorithm: NormalAlgorithm::PlaneSvd,
+            normal_radius: 0.6,
+            keypoint: KeypointAlgorithm::Iss { radius: 0.8 },
+            descriptor: DescriptorAlgorithm::Fpfh { radius: 1.8 },
+            kpce_reciprocal: true,
+            kpce_ratio: None,
+            rejection: RejectionAlgorithm::Ransac { iterations: 400, inlier_threshold: 0.5 },
+            // Point-to-plane converges where point-to-point slides along
+            // corridor structure (the aperture problem on walls/ground).
+            error_metric: ErrorMetric::PointToPlane,
+            solver: SolverAlgorithm::Svd,
+            max_correspondence_distance: 2.0,
+            rpce_reciprocal: false,
+            convergence: ConvergenceCriteria::default(),
+            backend: SearchBackendConfig::Classic,
+            inject_ne: None,
+            inject_rpce: None,
+            inject_kpce_kth: None,
+            max_initial_rotation: 60.0_f64.to_radians(),
+            max_initial_translation: 10.0,
+        }
+    }
+}
+
+/// The eight Pareto-optimal design points of paper Fig. 3/Fig. 4.
+///
+/// The paper does not tabulate the DPs' exact knob settings; these presets
+/// recreate the *spread* the paper describes — DP1/DP2 descriptor-heavy and
+/// accurate, DP4 performance-oriented (tight radii, cheap stages), DP7
+/// accuracy-oriented (relaxed radii, reciprocal matching, RANSAC), DP8
+/// normal-estimation-dominated — so the Fig. 3/4 analyses reproduce in
+/// shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignPoint {
+    /// Descriptor-heavy, accurate, slow.
+    Dp1,
+    /// Descriptor-heavy with SHOT.
+    Dp2,
+    /// Balanced, Harris key-points.
+    Dp3,
+    /// **Performance-oriented** (paper's perf DP): tight radii, cheap
+    /// detector, threshold rejection, early convergence.
+    Dp4,
+    /// Balanced, SIFT key-points.
+    Dp5,
+    /// Relaxed ICP with point-to-plane.
+    Dp6,
+    /// **Accuracy-oriented** (paper's accuracy DP): relaxed radii, FPFH,
+    /// reciprocal KPCE, RANSAC, point-to-plane LM.
+    Dp7,
+    /// Very large normal radius: NE-dominated (paper: NE ≈ 80% of time).
+    Dp8,
+}
+
+impl DesignPoint {
+    /// All eight design points in order.
+    pub const ALL: [DesignPoint; 8] = [
+        DesignPoint::Dp1,
+        DesignPoint::Dp2,
+        DesignPoint::Dp3,
+        DesignPoint::Dp4,
+        DesignPoint::Dp5,
+        DesignPoint::Dp6,
+        DesignPoint::Dp7,
+        DesignPoint::Dp8,
+    ];
+
+    /// The registration configuration of this design point.
+    pub fn config(self) -> RegistrationConfig {
+        let base = RegistrationConfig::default();
+        match self {
+            DesignPoint::Dp1 => RegistrationConfig {
+                normal_radius: 0.6,
+                keypoint: KeypointAlgorithm::Iss { radius: 0.8 },
+                descriptor: DescriptorAlgorithm::Fpfh { radius: 1.6 },
+                kpce_reciprocal: true,
+                rejection: RejectionAlgorithm::Ransac { iterations: 600, inlier_threshold: 0.4 },
+                convergence: ConvergenceCriteria { max_iterations: 40, ..Default::default() },
+                ..base
+            },
+            DesignPoint::Dp2 => RegistrationConfig {
+                normal_radius: 0.6,
+                keypoint: KeypointAlgorithm::Iss { radius: 0.8 },
+                descriptor: DescriptorAlgorithm::Shot { radius: 1.4 },
+                kpce_reciprocal: false,
+                kpce_ratio: Some(0.9),
+                rejection: RejectionAlgorithm::Ransac { iterations: 400, inlier_threshold: 0.4 },
+                ..base
+            },
+            DesignPoint::Dp3 => RegistrationConfig {
+                normal_radius: 0.5,
+                keypoint: KeypointAlgorithm::Harris { radius: 0.8 },
+                descriptor: DescriptorAlgorithm::Fpfh { radius: 1.0 },
+                kpce_reciprocal: false,
+                rejection: RejectionAlgorithm::Threshold { factor: 1.0 },
+                ..base
+            },
+            DesignPoint::Dp4 => RegistrationConfig {
+                voxel_size: 0.4,
+                normal_radius: 0.30,
+                keypoint: KeypointAlgorithm::Uniform { voxel: 1.5 },
+                descriptor: DescriptorAlgorithm::Fpfh { radius: 0.6 },
+                kpce_reciprocal: false,
+                rejection: RejectionAlgorithm::Threshold { factor: 1.2 },
+                error_metric: ErrorMetric::PointToPlane,
+                solver: SolverAlgorithm::Svd,
+                convergence: ConvergenceCriteria {
+                    max_iterations: 15,
+                    mse_relative_epsilon: 1e-3,
+                    ..Default::default()
+                },
+                ..base
+            },
+            DesignPoint::Dp5 => RegistrationConfig {
+                normal_radius: 0.5,
+                keypoint: KeypointAlgorithm::Sift { scale: 0.6 },
+                descriptor: DescriptorAlgorithm::Fpfh { radius: 1.0 },
+                kpce_reciprocal: false,
+                rejection: RejectionAlgorithm::Threshold { factor: 1.0 },
+                ..base
+            },
+            DesignPoint::Dp6 => RegistrationConfig {
+                normal_radius: 0.5,
+                keypoint: KeypointAlgorithm::Iss { radius: 1.0 },
+                descriptor: DescriptorAlgorithm::Fpfh { radius: 0.9 },
+                error_metric: ErrorMetric::PointToPlane,
+                solver: SolverAlgorithm::Svd,
+                ..base
+            },
+            DesignPoint::Dp7 => RegistrationConfig {
+                voxel_size: 0.25,
+                normal_radius: 0.75,
+                keypoint: KeypointAlgorithm::Iss { radius: 0.9 },
+                descriptor: DescriptorAlgorithm::Fpfh { radius: 1.5 },
+                kpce_reciprocal: true,
+                rejection: RejectionAlgorithm::Ransac { iterations: 800, inlier_threshold: 0.3 },
+                error_metric: ErrorMetric::PointToPlane,
+                solver: SolverAlgorithm::LevenbergMarquardt,
+                convergence: ConvergenceCriteria { max_iterations: 50, ..Default::default() },
+                ..base
+            },
+            DesignPoint::Dp8 => RegistrationConfig {
+                normal_radius: 1.5,
+                keypoint: KeypointAlgorithm::Uniform { voxel: 2.0 },
+                descriptor: DescriptorAlgorithm::Fpfh { radius: 0.8 },
+                kpce_reciprocal: false,
+                rejection: RejectionAlgorithm::Threshold { factor: 1.2 },
+                convergence: ConvergenceCriteria { max_iterations: 10, ..Default::default() },
+                ..base
+            },
+        }
+    }
+
+    /// Display name ("DP1" … "DP8").
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignPoint::Dp1 => "DP1",
+            DesignPoint::Dp2 => "DP2",
+            DesignPoint::Dp3 => "DP3",
+            DesignPoint::Dp4 => "DP4",
+            DesignPoint::Dp5 => "DP5",
+            DesignPoint::Dp6 => "DP6",
+            DesignPoint::Dp7 => "DP7",
+            DesignPoint::Dp8 => "DP8",
+        }
+    }
+}
+
+impl std::fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = RegistrationConfig::default();
+        assert!(c.normal_radius > 0.0);
+        assert!(c.max_correspondence_distance > 0.0);
+        assert!(c.convergence.max_iterations > 0);
+        assert!(c.inject_ne.is_none() && c.inject_rpce.is_none());
+    }
+
+    #[test]
+    fn all_design_points_have_configs() {
+        for dp in DesignPoint::ALL {
+            let c = dp.config();
+            assert!(c.normal_radius > 0.0, "{dp}");
+            assert!(c.descriptor.radius() > 0.0, "{dp}");
+        }
+    }
+
+    #[test]
+    fn dp4_is_cheaper_than_dp7() {
+        // The performance DP must use tighter radii and fewer iterations
+        // than the accuracy DP (paper Sec. 6.3: NE radius 0.30 vs 0.75).
+        let dp4 = DesignPoint::Dp4.config();
+        let dp7 = DesignPoint::Dp7.config();
+        assert!(dp4.normal_radius < dp7.normal_radius);
+        assert!((dp4.normal_radius - 0.30).abs() < 1e-12);
+        assert!((dp7.normal_radius - 0.75).abs() < 1e-12);
+        assert!(dp4.convergence.max_iterations < dp7.convergence.max_iterations);
+    }
+
+    #[test]
+    fn dp8_is_normal_estimation_heavy() {
+        let dp8 = DesignPoint::Dp8.config();
+        for dp in DesignPoint::ALL {
+            assert!(dp8.normal_radius >= dp.config().normal_radius, "{dp}");
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for (i, dp) in DesignPoint::ALL.iter().enumerate() {
+            assert_eq!(dp.name(), format!("DP{}", i + 1));
+            assert_eq!(dp.to_string(), dp.name());
+        }
+    }
+
+    #[test]
+    fn descriptor_radius_accessor() {
+        assert_eq!(DescriptorAlgorithm::Fpfh { radius: 1.5 }.radius(), 1.5);
+        assert_eq!(DescriptorAlgorithm::Shot { radius: 2.0 }.radius(), 2.0);
+        assert_eq!(DescriptorAlgorithm::Sc3d { radius: 0.5 }.radius(), 0.5);
+    }
+}

@@ -1,0 +1,349 @@
+//! Correspondence estimation: KPCE in feature space (paper Fig. 2, stage
+//! 4) and RPCE in 3D space (fine-tuning stage 1).
+
+use tigris_core::KdTreeN;
+use tigris_geom::Vec3;
+
+use crate::descriptor::Descriptors;
+use crate::search::Searcher3;
+
+/// A match between a source item and a target item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Correspondence {
+    /// Index on the source side (key-point index for KPCE, point index for
+    /// RPCE).
+    pub source: usize,
+    /// Index on the target side.
+    pub target: usize,
+    /// Squared distance in the space the match was made in (feature space
+    /// for KPCE, 3D for RPCE).
+    pub distance_squared: f64,
+}
+
+/// Key-Point Correspondence Estimation: for each source descriptor, the
+/// nearest target descriptor. With `reciprocal`, a match `(s, t)` is kept
+/// only when `s` is in turn `t`'s nearest source descriptor (Tbl. 1 knob
+/// "Reciprocity"). With `kth` set, the k-th nearest feature is returned
+/// instead of the nearest (Fig. 7a error injection on sparse data).
+///
+/// # Panics
+///
+/// Panics when the descriptor dimensions disagree.
+pub fn kpce(
+    source: &Descriptors,
+    target: &Descriptors,
+    reciprocal: bool,
+    kth: Option<usize>,
+) -> Vec<Correspondence> {
+    assert_eq!(source.dim, target.dim, "descriptor dimensions disagree");
+    if source.is_empty() || target.is_empty() {
+        return Vec::new();
+    }
+    let target_tree = KdTreeN::build(&target.data, target.dim);
+    let source_tree = if reciprocal {
+        Some(KdTreeN::build(&source.data, source.dim))
+    } else {
+        None
+    };
+
+    let mut out = Vec::new();
+    for s in 0..source.len() {
+        let q = source.row(s);
+        let found = match kth {
+            Some(k) if k > 1 => kth_feature_nn(&target.data, target.dim, q, k),
+            _ => target_tree.nn(q),
+        };
+        let Some(n) = found else { continue };
+        if let Some(src_tree) = &source_tree {
+            // Reciprocity check is performed with exact NN regardless of
+            // injection (the paper injects errors into the forward search).
+            let back = src_tree.nn(target.row(n.index));
+            if back.map(|b| b.index) != Some(s) {
+                continue;
+            }
+        }
+        out.push(Correspondence { source: s, target: n.index, distance_squared: n.distance_squared });
+    }
+    out
+}
+
+/// KPCE with Lowe's ratio test: a source descriptor's match is kept only
+/// when its nearest target descriptor is clearly better than the second
+/// nearest (`d1/d2 ≤ max_ratio`, distances non-squared). This is the
+/// "Ratio threshold" knob of the paper's Tbl. 1 — it suppresses matches in
+/// repetitive structure where the descriptor is ambiguous.
+///
+/// # Panics
+///
+/// Panics when descriptor dimensions disagree or `max_ratio` is not in
+/// `(0, 1]`.
+pub fn kpce_ratio(
+    source: &Descriptors,
+    target: &Descriptors,
+    max_ratio: f64,
+) -> Vec<Correspondence> {
+    assert_eq!(source.dim, target.dim, "descriptor dimensions disagree");
+    assert!(
+        max_ratio > 0.0 && max_ratio <= 1.0,
+        "ratio must be in (0, 1], got {max_ratio}"
+    );
+    if source.is_empty() || target.is_empty() {
+        return Vec::new();
+    }
+    let target_tree = KdTreeN::build(&target.data, target.dim);
+    let mut out = Vec::new();
+    for s in 0..source.len() {
+        let two = target_tree.nn2(source.row(s));
+        match two.as_slice() {
+            [best, second] => {
+                let d1 = best.distance_squared.sqrt();
+                let d2 = second.distance_squared.sqrt();
+                if d2 <= 0.0 || d1 / d2 <= max_ratio {
+                    out.push(Correspondence {
+                        source: s,
+                        target: best.index,
+                        distance_squared: best.distance_squared,
+                    });
+                }
+            }
+            [only] => out.push(Correspondence {
+                source: s,
+                target: only.index,
+                distance_squared: only.distance_squared,
+            }),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Exhaustive k-th nearest feature (1-based), used only under injection.
+fn kth_feature_nn(data: &[f64], dim: usize, q: &[f64], k: usize) -> Option<tigris_core::Neighbor> {
+    let n = data.len() / dim;
+    if n < k {
+        return None;
+    }
+    let mut all: Vec<tigris_core::Neighbor> = (0..n)
+        .map(|i| {
+            let d2 = data[i * dim..(i + 1) * dim]
+                .iter()
+                .zip(q)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            tigris_core::Neighbor::new(i, d2)
+        })
+        .collect();
+    all.sort();
+    Some(all[k - 1])
+}
+
+/// Raw-Point Correspondence Estimation: for every source point, the nearest
+/// target point in 3D, dropping pairs farther than `max_distance`.
+///
+/// This is the fine-tuning phase's KD-tree consumer: one NN query per
+/// source point per ICP iteration.
+pub fn rpce(
+    source_points: &[Vec3],
+    target_searcher: &mut Searcher3,
+    max_distance: f64,
+) -> Vec<Correspondence> {
+    let max_d2 = max_distance * max_distance;
+    let mut out = Vec::with_capacity(source_points.len());
+    for (i, &p) in source_points.iter().enumerate() {
+        if let Some(n) = target_searcher.nn(p) {
+            if n.distance_squared <= max_d2 {
+                out.push(Correspondence {
+                    source: i,
+                    target: n.index,
+                    distance_squared: n.distance_squared,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Reciprocal RPCE (Tbl. 1's "Reciprocity" knob on the fine-tuning side):
+/// keep `(s, t)` only when `s` is in turn `t`'s nearest source point.
+/// Doubles the NN queries but discards one-sided matches from partially
+/// overlapping frames (points visible in only one scan).
+pub fn rpce_reciprocal(
+    source_points: &[Vec3],
+    source_searcher: &mut Searcher3,
+    target_searcher: &mut Searcher3,
+    max_distance: f64,
+) -> Vec<Correspondence> {
+    let forward = rpce(source_points, target_searcher, max_distance);
+    let target_points: Vec<Vec3> = target_searcher.points().to_vec();
+    forward
+        .into_iter()
+        .filter(|c| {
+            source_searcher
+                .nn(target_points[c.target])
+                .map(|back| back.index == c.source)
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(rows: &[&[f64]]) -> Descriptors {
+        let dim = rows[0].len();
+        let mut data = Vec::new();
+        for r in rows {
+            assert_eq!(r.len(), dim);
+            data.extend_from_slice(r);
+        }
+        Descriptors { dim, data }
+    }
+
+    #[test]
+    fn kpce_matches_nearest_features() {
+        let src = desc(&[&[0.0, 0.0], &[10.0, 10.0]]);
+        let tgt = desc(&[&[9.5, 9.9], &[0.2, 0.1]]);
+        let c = kpce(&src, &tgt, false, None);
+        assert_eq!(c.len(), 2);
+        assert_eq!((c[0].source, c[0].target), (0, 1));
+        assert_eq!((c[1].source, c[1].target), (1, 0));
+    }
+
+    #[test]
+    fn kpce_reciprocal_filters_asymmetric_matches() {
+        // Two source points both nearest to target 0; target 0's nearest
+        // source is source 0 → only (0,0) survives reciprocity.
+        let src = desc(&[&[0.0], &[0.4]]);
+        let tgt = desc(&[&[0.1], &[5.0]]);
+        let plain = kpce(&src, &tgt, false, None);
+        assert_eq!(plain.len(), 2);
+        let recip = kpce(&src, &tgt, true, None);
+        assert_eq!(recip.len(), 1);
+        assert_eq!((recip[0].source, recip[0].target), (0, 0));
+    }
+
+    #[test]
+    fn kpce_kth_injection_degrades_matches() {
+        let src = desc(&[&[0.0]]);
+        let tgt = desc(&[&[0.1], &[1.0], &[2.0]]);
+        let exact = kpce(&src, &tgt, false, None);
+        assert_eq!(exact[0].target, 0);
+        let injected = kpce(&src, &tgt, false, Some(2));
+        assert_eq!(injected[0].target, 1);
+    }
+
+    #[test]
+    fn kpce_empty_inputs() {
+        let empty = Descriptors { dim: 3, data: vec![] };
+        let other = desc(&[&[1.0, 2.0, 3.0]]);
+        assert!(kpce(&empty, &other, false, None).is_empty());
+        assert!(kpce(&other, &empty, true, None).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions disagree")]
+    fn kpce_dim_mismatch_panics() {
+        let a = desc(&[&[0.0, 0.0]]);
+        let b = desc(&[&[0.0]]);
+        kpce(&a, &b, false, None);
+    }
+
+    #[test]
+    fn ratio_test_suppresses_ambiguous_matches() {
+        // Source 0 is close to two nearly identical targets (ambiguous);
+        // source 1 has one clear match.
+        let src = desc(&[&[0.0], &[10.0]]);
+        let tgt = desc(&[&[0.4], &[-0.41], &[10.1]]);
+        let strict = kpce_ratio(&src, &tgt, 0.8);
+        // Source 0's two candidates are at distance 0.4 vs 0.41: ratio
+        // 0.97 > 0.8 → suppressed. Source 1: 0.1 vs 9.7-ish → kept.
+        assert_eq!(strict.len(), 1);
+        assert_eq!(strict[0].source, 1);
+        assert_eq!(strict[0].target, 2);
+        // A permissive ratio keeps both.
+        let permissive = kpce_ratio(&src, &tgt, 1.0);
+        assert_eq!(permissive.len(), 2);
+    }
+
+    #[test]
+    fn ratio_test_single_target_always_matches() {
+        let src = desc(&[&[0.0]]);
+        let tgt = desc(&[&[5.0]]);
+        let m = kpce_ratio(&src, &tgt, 0.5);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in")]
+    fn ratio_test_rejects_bad_ratio() {
+        let d = desc(&[&[0.0]]);
+        kpce_ratio(&d, &d, 1.5);
+    }
+
+    #[test]
+    fn rpce_finds_nearest_within_max_distance() {
+        let target: Vec<Vec3> = (0..10).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+        let mut s = Searcher3::classic(&target);
+        let source = vec![Vec3::new(2.2, 0.0, 0.0), Vec3::new(50.0, 0.0, 0.0)];
+        let c = rpce(&source, &mut s, 2.0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].source, 0);
+        assert_eq!(c[0].target, 2);
+    }
+
+    #[test]
+    fn rpce_empty_source() {
+        let target = vec![Vec3::ZERO];
+        let mut s = Searcher3::classic(&target);
+        assert!(rpce(&[], &mut s, 1.0).is_empty());
+    }
+
+    #[test]
+    fn rpce_reciprocal_drops_one_sided_matches() {
+        // Target has an extra cluster source can't see; source points near
+        // it map forward onto it, but the cluster's nearest source is a
+        // single frontier point → one-sided matches die.
+        let target = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(2.0, 0.0, 0.0),
+        ];
+        let source = vec![
+            Vec3::new(0.1, 0.0, 0.0),
+            Vec3::new(1.4, 0.0, 0.0), // nearest target = 1, but target 1's
+                                       // nearest source is also this → kept
+            Vec3::new(1.45, 0.0, 0.0), // nearest target = 1 too → dropped
+        ];
+        let mut ts = Searcher3::classic(&target);
+        let forward = rpce(&source, &mut ts, 2.0);
+        assert_eq!(forward.len(), 3);
+        let mut ss = Searcher3::classic(&source);
+        let mut ts = Searcher3::classic(&target);
+        let recip = rpce_reciprocal(&source, &mut ss, &mut ts, 2.0);
+        assert!(recip.len() < forward.len());
+        // Every surviving pair is mutually nearest.
+        for c in &recip {
+            let back = tigris_core::nn_brute_force(&source, target[c.target]).unwrap();
+            assert_eq!(back.index, c.source);
+        }
+    }
+
+    #[test]
+    fn rpce_reciprocal_identity_clouds_keep_everything() {
+        let pts: Vec<Vec3> = (0..20).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+        let mut ss = Searcher3::classic(&pts);
+        let mut ts = Searcher3::classic(&pts);
+        let recip = rpce_reciprocal(&pts, &mut ss, &mut ts, 0.5);
+        assert_eq!(recip.len(), pts.len());
+    }
+
+    #[test]
+    fn rpce_attributes_search_time() {
+        let target: Vec<Vec3> = (0..100).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+        let mut s = Searcher3::classic(&target);
+        let source: Vec<Vec3> = (0..50).map(|i| Vec3::new(i as f64 + 0.3, 0.0, 0.0)).collect();
+        rpce(&source, &mut s, 5.0);
+        assert_eq!(s.stats().queries, 50);
+    }
+}

@@ -1,0 +1,196 @@
+//! Design-space exploration (paper Sec. 3.2, Fig. 3): sweep the pipeline's
+//! algorithmic and parametric knobs, measure accuracy vs. time, and
+//! extract the Pareto frontier.
+
+use std::time::Duration;
+
+use tigris_geom::{PointCloud, RigidTransform};
+
+use crate::config::{DesignPoint, RegistrationConfig};
+use crate::pipeline::register;
+use crate::profile::StageProfile;
+
+/// One evaluated design point: its config label, accuracy and cost.
+#[derive(Debug, Clone)]
+pub struct DsePoint {
+    /// Label (e.g. "DP4" or a knob summary).
+    pub label: String,
+    /// Mean translational error, percent (KITTI metric).
+    pub translational_percent: f64,
+    /// Mean rotational error, degrees per meter.
+    pub rotational_deg_per_m: f64,
+    /// Mean wall-clock per frame pair.
+    pub time_per_pair: Duration,
+    /// Merged profile across all pairs.
+    pub profile: StageProfile,
+    /// Frame pairs successfully registered.
+    pub pairs: usize,
+}
+
+/// Runs `config` over consecutive frame pairs and aggregates accuracy and
+/// time. `frames` and `ground_truth_relative` come from a dataset sequence
+/// (`tigris-data`'s [`Sequence`](https://docs.rs) or equivalent).
+///
+/// Pairs that fail to register are skipped (counted out of `pairs`).
+pub fn evaluate_config(
+    label: &str,
+    config: &RegistrationConfig,
+    frames: &[PointCloud],
+    ground_truth_relative: &[RigidTransform],
+) -> DsePoint {
+    assert_eq!(
+        frames.len().saturating_sub(1),
+        ground_truth_relative.len(),
+        "need one GT relative transform per consecutive frame pair"
+    );
+    let mut estimates = Vec::new();
+    let mut gts = Vec::new();
+    let mut profile = StageProfile::new();
+    let mut total_time = Duration::ZERO;
+
+    for i in 0..frames.len().saturating_sub(1) {
+        let t0 = std::time::Instant::now();
+        // Source = frame i+1, target = frame i: the estimate maps i+1 → i.
+        let Ok(result) = register(&frames[i + 1], &frames[i], config) else {
+            continue;
+        };
+        total_time += t0.elapsed();
+        profile.merge(&result.profile);
+        estimates.push(result.transform);
+        gts.push(ground_truth_relative[i]);
+    }
+
+    let pairs = estimates.len();
+    let (t_err, r_err) = if pairs == 0 {
+        (f64::NAN, f64::NAN)
+    } else {
+        let mut t_sum = 0.0;
+        let mut r_sum = 0.0;
+        for (e, g) in estimates.iter().zip(&gts) {
+            let residual = g.inverse() * *e;
+            let dist = g.translation_norm().max(0.01);
+            t_sum += residual.translation_norm() / dist * 100.0;
+            r_sum += residual.rotation_angle().to_degrees() / dist;
+        }
+        (t_sum / pairs as f64, r_sum / pairs as f64)
+    };
+
+    DsePoint {
+        label: label.to_string(),
+        translational_percent: t_err,
+        rotational_deg_per_m: r_err,
+        time_per_pair: if pairs == 0 { Duration::ZERO } else { total_time / pairs as u32 },
+        profile,
+        pairs,
+    }
+}
+
+/// Evaluates all eight paper design points (DP1–DP8) on a sequence.
+pub fn evaluate_design_points(
+    frames: &[PointCloud],
+    ground_truth_relative: &[RigidTransform],
+) -> Vec<DsePoint> {
+    DesignPoint::ALL
+        .iter()
+        .map(|dp| evaluate_config(dp.name(), &dp.config(), frames, ground_truth_relative))
+        .collect()
+}
+
+/// Indices of the Pareto-optimal points minimizing `(error, time)`.
+///
+/// A point is Pareto-optimal when no other point is at least as good on
+/// both axes and strictly better on one.
+pub fn pareto_frontier(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut out = Vec::new();
+    'outer: for (i, &(e_i, t_i)) in points.iter().enumerate() {
+        if !e_i.is_finite() || !t_i.is_finite() {
+            continue;
+        }
+        for (j, &(e_j, t_j)) in points.iter().enumerate() {
+            if i == j || !e_j.is_finite() || !t_j.is_finite() {
+                continue;
+            }
+            let as_good = e_j <= e_i && t_j <= t_i;
+            let strictly_better = e_j < e_i || t_j < t_i;
+            if as_good && strictly_better {
+                continue 'outer;
+            }
+        }
+        out.push(i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigris_geom::Vec3;
+
+    #[test]
+    fn pareto_extracts_lower_left_envelope() {
+        let pts = vec![
+            (1.0, 10.0), // optimal (lowest error)
+            (2.0, 5.0),  // optimal (tradeoff)
+            (3.0, 2.0),  // optimal (fastest)
+            (3.0, 6.0),  // dominated by (2.0, 5.0)
+            (5.0, 5.0),  // dominated
+        ];
+        let frontier = pareto_frontier(&pts);
+        assert_eq!(frontier, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pareto_handles_duplicates_and_nan() {
+        let pts = vec![(1.0, 1.0), (1.0, 1.0), (f64::NAN, 0.5), (2.0, 2.0)];
+        let frontier = pareto_frontier(&pts);
+        // Duplicates are mutually non-dominating; NaN is excluded.
+        assert_eq!(frontier, vec![0, 1]);
+    }
+
+    #[test]
+    fn pareto_single_point() {
+        assert_eq!(pareto_frontier(&[(1.0, 1.0)]), vec![0]);
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+
+    #[test]
+    fn evaluate_config_runs_a_tiny_sweep() {
+        // Build two tiny structured frames with a known relative transform.
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                pts.push(Vec3::new(i as f64 * 0.2, j as f64 * 0.2, 0.0));
+                if i == 0 {
+                    pts.push(Vec3::new(0.0, j as f64 * 0.2, i as f64 * 0.1 + 0.3));
+                }
+            }
+        }
+        for k in 1..20 {
+            for j in 0..20 {
+                pts.push(Vec3::new(2.0, j as f64 * 0.2, k as f64 * 0.2));
+            }
+        }
+        let target = PointCloud::from_points(pts);
+        let gt = RigidTransform::from_translation(Vec3::new(0.15, 0.05, 0.0));
+        let source = target.transformed(&gt.inverse());
+        let frames = vec![target, source];
+        let gts = vec![gt];
+
+        let cfg = RegistrationConfig {
+            voxel_size: 0.0,
+            keypoint: crate::config::KeypointAlgorithm::Uniform { voxel: 0.8 },
+            ..RegistrationConfig::default()
+        };
+        let point = evaluate_config("test", &cfg, &frames, &gts);
+        assert_eq!(point.pairs, 1);
+        assert!(point.translational_percent < 30.0, "err = {}%", point.translational_percent);
+        assert!(point.time_per_pair > Duration::ZERO);
+        assert_eq!(point.label, "test");
+    }
+
+    #[test]
+    #[should_panic(expected = "per consecutive frame pair")]
+    fn evaluate_config_validates_lengths() {
+        evaluate_config("x", &RegistrationConfig::default(), &[], &[RigidTransform::IDENTITY]);
+    }
+}

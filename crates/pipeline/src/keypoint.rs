@@ -1,0 +1,325 @@
+//! Key-point detection (paper Fig. 2, stage 2; Tbl. 1 SIFT / NARF /
+//! HARRIS, parameters scale and range).
+//!
+//! Key-points are the salient subset of a frame on which the expensive
+//! descriptor and matching stages operate. Implemented detectors:
+//!
+//! * **SIFT-3D** — difference of curvature across two neighborhood scales;
+//!   local extrema above a contrast threshold are key-points (the 3D
+//!   adaptation of Lowe's DoG used by PCL on geometry).
+//! * **Harris-3D** — corner response `det(C) − k·tr(C)²` on the covariance
+//!   of neighborhood *normals* (Sipiran & Bustos).
+//! * **ISS** — eigenvalue-ratio saliency (our NARF substitute; both select
+//!   boundary-like geometrically stable points; see DESIGN.md).
+//! * **Uniform** — voxel-grid sub-sampling, the cheap baseline.
+//!
+//! All detectors end with non-maximum suppression over the detection
+//! radius so key-points are well spread.
+
+use tigris_geom::{symmetric_eigen3, Mat3, Vec3};
+
+use crate::config::KeypointAlgorithm;
+use crate::search::Searcher3;
+
+/// Detects key-points in `searcher`'s cloud; returns indices into the
+/// cloud's point array, sorted ascending.
+///
+/// `normals` must be parallel to the cloud (used by Harris). An empty cloud
+/// yields no key-points.
+pub fn detect_keypoints(
+    searcher: &mut Searcher3,
+    normals: &[Vec3],
+    algorithm: KeypointAlgorithm,
+) -> Vec<usize> {
+    match algorithm {
+        KeypointAlgorithm::Sift { scale } => sift3d(searcher, scale),
+        KeypointAlgorithm::Harris { radius } => harris3d(searcher, normals, radius),
+        KeypointAlgorithm::Iss { radius } => iss(searcher, radius),
+        KeypointAlgorithm::Uniform { voxel } => uniform(searcher, voxel),
+    }
+}
+
+/// Curvature (λ₀ / Σλ) of the neighborhood of point `i` at `radius`.
+fn curvature_at(searcher: &mut Searcher3, p: Vec3, radius: f64) -> f64 {
+    let neighbors = searcher.radius(p, radius);
+    if neighbors.len() < 3 {
+        return 0.0;
+    }
+    let pts = searcher.points();
+    let mut centroid = Vec3::ZERO;
+    for n in &neighbors {
+        centroid += pts[n.index];
+    }
+    centroid = centroid / neighbors.len() as f64;
+    let mut cov = Mat3::ZERO;
+    for n in &neighbors {
+        let d = pts[n.index] - centroid;
+        cov = cov + Mat3::outer(d, d);
+    }
+    symmetric_eigen3(&cov).curvature()
+}
+
+fn sift3d(searcher: &mut Searcher3, scale: f64) -> Vec<usize> {
+    let n = searcher.len();
+    // Difference of curvature between two octave-separated scales.
+    let mut response = vec![0.0f64; n];
+    let points: Vec<Vec3> = searcher.points().to_vec();
+    for (i, &p) in points.iter().enumerate() {
+        let c1 = curvature_at(searcher, p, scale);
+        let c2 = curvature_at(searcher, p, scale * 2.0);
+        response[i] = (c2 - c1).abs();
+    }
+    non_max_suppress(searcher, &response, scale * 2.0, 0.005)
+}
+
+fn harris3d(searcher: &mut Searcher3, normals: &[Vec3], radius: f64) -> Vec<usize> {
+    assert_eq!(
+        normals.len(),
+        searcher.len(),
+        "Harris needs normals parallel to the cloud"
+    );
+    let points: Vec<Vec3> = searcher.points().to_vec();
+    let mut response = vec![0.0f64; points.len()];
+    // Harris k. Note the covariance of *unit* normals has trace 1 and
+    // det ≤ 1/27 ≈ 0.037, so the image-domain default k = 0.04 would
+    // suppress every response; 0.02 keeps genuine 3-plane corners positive
+    // while rejecting planes and 2-plane edges (det = 0).
+    const K: f64 = 0.02;
+    for (i, &p) in points.iter().enumerate() {
+        let neighbors = searcher.radius(p, radius);
+        if neighbors.len() < 5 {
+            continue;
+        }
+        let mut cov = Mat3::ZERO;
+        for nb in &neighbors {
+            let nrm = normals[nb.index];
+            cov = cov + Mat3::outer(nrm, nrm);
+        }
+        cov = cov.scale(1.0 / neighbors.len() as f64);
+        response[i] = cov.determinant() - K * cov.trace() * cov.trace();
+    }
+    non_max_suppress(searcher, &response, radius, 1e-6)
+}
+
+fn iss(searcher: &mut Searcher3, radius: f64) -> Vec<usize> {
+    // ISS thresholds from Zhong 2009: γ21 = γ32 = 0.975 are the defaults in
+    // PCL; saliency is the smallest eigenvalue.
+    const GAMMA_21: f64 = 0.975;
+    const GAMMA_32: f64 = 0.975;
+    // Minimum saliency (λ₃, m²). Spinning-LiDAR ground returns form
+    // concentric ring arcs whose covariance passes the ratio tests with
+    // λ₃ ≈ range-noise² (~4e-4 m²) — viewpoint-dependent sampling
+    // artifacts, not structure. Genuine corners/edges at meter-scale radii
+    // have λ₃ ≳ 1e-2 m². The floor rejects the artifacts.
+    const MIN_SALIENCY: f64 = 3e-3;
+    let points: Vec<Vec3> = searcher.points().to_vec();
+    let mut response = vec![0.0f64; points.len()];
+    for (i, &p) in points.iter().enumerate() {
+        let neighbors = searcher.radius(p, radius);
+        if neighbors.len() < 8 {
+            continue;
+        }
+        let pts = searcher.points();
+        let mut centroid = Vec3::ZERO;
+        for n in &neighbors {
+            centroid += pts[n.index];
+        }
+        centroid = centroid / neighbors.len() as f64;
+        let mut cov = Mat3::ZERO;
+        for n in &neighbors {
+            let d = pts[n.index] - centroid;
+            cov = cov + Mat3::outer(d, d);
+        }
+        cov = cov.scale(1.0 / neighbors.len() as f64);
+        let eig = symmetric_eigen3(&cov);
+        // eig.values ascending: λ₀ ≤ λ₁ ≤ λ₂  (paper notation λ₃ ≤ λ₂ ≤ λ₁).
+        let (l3, l2, l1) = (eig.values[0], eig.values[1], eig.values[2]);
+        if l1 <= 0.0 {
+            continue;
+        }
+        if l2 / l1 < GAMMA_21 && l3 / l2.max(1e-30) < GAMMA_32 {
+            response[i] = l3;
+        }
+    }
+    non_max_suppress(searcher, &response, radius, MIN_SALIENCY)
+}
+
+fn uniform(searcher: &mut Searcher3, voxel: f64) -> Vec<usize> {
+    assert!(voxel > 0.0, "voxel size must be positive");
+    use std::collections::HashMap;
+    let points = searcher.points();
+    // Keep, per voxel, the point closest to the voxel center.
+    let mut cells: HashMap<(i64, i64, i64), (usize, f64)> = HashMap::new();
+    for (i, &p) in points.iter().enumerate() {
+        let kx = (p.x / voxel).floor();
+        let ky = (p.y / voxel).floor();
+        let kz = (p.z / voxel).floor();
+        let center = Vec3::new((kx + 0.5) * voxel, (ky + 0.5) * voxel, (kz + 0.5) * voxel);
+        let d = p.distance_squared(center);
+        let key = (kx as i64, ky as i64, kz as i64);
+        match cells.get(&key) {
+            Some(&(_, best)) if best <= d => {}
+            _ => {
+                cells.insert(key, (i, d));
+            }
+        }
+    }
+    let mut out: Vec<usize> = cells.into_values().map(|(i, _)| i).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Keeps indices whose response strictly dominates every neighbor within
+/// `radius` and exceeds `threshold`. Returns sorted indices.
+fn non_max_suppress(
+    searcher: &mut Searcher3,
+    response: &[f64],
+    radius: f64,
+    threshold: f64,
+) -> Vec<usize> {
+    let points: Vec<Vec3> = searcher.points().to_vec();
+    let mut out = Vec::new();
+    for (i, &p) in points.iter().enumerate() {
+        let r = response[i];
+        if r <= threshold {
+            continue;
+        }
+        let neighbors = searcher.radius(p, radius);
+        let is_max = neighbors
+            .iter()
+            .all(|n| n.index == i || response[n.index] < r || (response[n.index] == r && n.index > i));
+        if is_max {
+            out.push(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NormalAlgorithm;
+    use crate::normal::estimate_normals;
+
+    /// An L-shaped wall corner on a ground patch: the corner edge should
+    /// attract geometric detectors.
+    fn corner_scene() -> Vec<Vec3> {
+        let mut pts = Vec::new();
+        let step = 0.1;
+        // Ground plane 4×4 m.
+        for i in 0..40 {
+            for j in 0..40 {
+                pts.push(Vec3::new(i as f64 * step, j as f64 * step, 0.0));
+            }
+        }
+        // Wall along x at y = 2.
+        for i in 0..40 {
+            for k in 1..20 {
+                pts.push(Vec3::new(i as f64 * step, 2.0, k as f64 * step));
+            }
+        }
+        // Wall along y at x = 2.
+        for j in 0..40 {
+            for k in 1..20 {
+                pts.push(Vec3::new(2.0, j as f64 * step, k as f64 * step));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn uniform_spreads_keypoints() {
+        let pts = corner_scene();
+        let mut s = Searcher3::classic(&pts);
+        let kps = detect_keypoints(&mut s, &[], KeypointAlgorithm::Uniform { voxel: 1.0 });
+        assert!(!kps.is_empty());
+        assert!(kps.len() < pts.len() / 10);
+        // One key-point per occupied voxel: pairwise distance ≥ small bound.
+        for (ai, &a) in kps.iter().enumerate() {
+            for &b in &kps[ai + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Sorted.
+        for w in kps.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn iss_prefers_corners_over_planes() {
+        let pts = corner_scene();
+        let mut s = Searcher3::classic(&pts);
+        let kps = detect_keypoints(&mut s, &[], KeypointAlgorithm::Iss { radius: 0.4 });
+        assert!(!kps.is_empty(), "ISS found nothing");
+        // Key-points should lie near the corner/edge structures (y≈2, x≈2,
+        // or wall/ground junctions), not in the middle of the ground plane.
+        let mut near_structure = 0;
+        for &k in &kps {
+            let p = pts[k];
+            let near_wall = (p.y - 2.0).abs() < 0.35 || (p.x - 2.0).abs() < 0.35;
+            let near_ground_junction = p.z < 0.35 && near_wall;
+            if near_wall || near_ground_junction {
+                near_structure += 1;
+            }
+        }
+        assert!(
+            near_structure * 2 >= kps.len(),
+            "{near_structure}/{} keypoints near structure",
+            kps.len()
+        );
+    }
+
+    #[test]
+    fn harris_runs_with_normals() {
+        let pts = corner_scene();
+        let mut s = Searcher3::classic(&pts);
+        let normals = estimate_normals(&mut s, 0.3, NormalAlgorithm::PlaneSvd);
+        let kps = detect_keypoints(&mut s, &normals, KeypointAlgorithm::Harris { radius: 0.4 });
+        assert!(!kps.is_empty());
+        assert!(kps.len() < pts.len() / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn harris_requires_normals() {
+        let pts = corner_scene();
+        let mut s = Searcher3::classic(&pts);
+        detect_keypoints(&mut s, &[], KeypointAlgorithm::Harris { radius: 0.4 });
+    }
+
+    #[test]
+    fn sift_finds_scale_extrema() {
+        let pts = corner_scene();
+        let mut s = Searcher3::classic(&pts);
+        let kps = detect_keypoints(&mut s, &[], KeypointAlgorithm::Sift { scale: 0.25 });
+        assert!(!kps.is_empty());
+        assert!(kps.len() < pts.len() / 4);
+    }
+
+    #[test]
+    fn flat_plane_produces_no_saliency() {
+        // A pure plane has no ISS/SIFT key-points (curvature ≈ 0 everywhere).
+        let mut pts = Vec::new();
+        for i in 0..30 {
+            for j in 0..30 {
+                pts.push(Vec3::new(i as f64 * 0.1, j as f64 * 0.1, 0.0));
+            }
+        }
+        let mut s = Searcher3::classic(&pts);
+        let sift = detect_keypoints(&mut s, &[], KeypointAlgorithm::Sift { scale: 0.3 });
+        assert!(sift.len() < 8, "plane should be featureless, got {}", sift.len());
+    }
+
+    #[test]
+    fn empty_cloud_no_keypoints() {
+        let mut s = Searcher3::classic(&[]);
+        for alg in [
+            KeypointAlgorithm::Sift { scale: 0.3 },
+            KeypointAlgorithm::Iss { radius: 0.3 },
+            KeypointAlgorithm::Uniform { voxel: 0.5 },
+        ] {
+            assert!(detect_keypoints(&mut s, &[], alg).is_empty());
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! The configurable point-cloud registration pipeline (paper Sec. 3,
+//! Fig. 2, Tbl. 1).
+//!
+//! The pipeline has two phases. **Initial estimation** matches sparse
+//! salient points: normal estimation → key-point detection → descriptor
+//! calculation → key-point correspondence estimation (KPCE) →
+//! correspondence rejection → initial transform. **Fine-tuning** runs
+//! Iterative Closest Point over the dense clouds: raw-point correspondence
+//! estimation (RPCE) → transformation estimation, iterated to convergence.
+//!
+//! Every algorithmic and parametric knob of the paper's Tbl. 1 is exposed
+//! through [`RegistrationConfig`]; the design-space exploration of Fig. 3
+//! sweeps them via [`dse`].
+//!
+//! All neighbor searches go through [`search::Searcher3`], which meters
+//! KD-tree time and node visits (Fig. 4) and can inject errors (Fig. 7) or
+//! run the two-stage / approximate structures of `tigris-core`.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use tigris_pipeline::{register, RegistrationConfig};
+//! use tigris_data::{Sequence, SequenceConfig};
+//!
+//! let seq = Sequence::generate(&SequenceConfig::tiny(), 1);
+//! let cfg = RegistrationConfig::default();
+//! let result = register(seq.frame(1), seq.frame(0), &cfg).unwrap();
+//! println!("estimated transform: {}", result.transform);
+//! ```
+
+pub mod config;
+pub mod correspond;
+pub mod descriptor;
+pub mod dse;
+pub mod icp;
+pub mod keypoint;
+pub mod normal;
+pub mod odometry;
+pub mod pipeline;
+pub mod profile;
+pub mod reject;
+pub mod search;
+pub mod transform;
+
+pub use config::{
+    ConvergenceCriteria, DescriptorAlgorithm, DesignPoint, ErrorMetric, KeypointAlgorithm,
+    NormalAlgorithm, RegistrationConfig, RejectionAlgorithm, SolverAlgorithm,
+};
+pub use correspond::Correspondence;
+pub use icp::IcpResult;
+pub use pipeline::{register, register_with_searchers, RegistrationError, RegistrationResult};
+pub use profile::{Stage, StageProfile};
+pub use odometry::{Odometer, OdometryStep};
+pub use search::{Injection, Searcher3};

@@ -1,0 +1,228 @@
+//! Normal estimation (paper Fig. 2, stage 1; Tbl. 1 algorithms PlaneSVD
+//! and AreaWeighted; key parameter: search radius).
+//!
+//! A point's normal is the direction perpendicular to the local tangent
+//! plane, estimated from the point's neighborhood (a radius search — the
+//! dominant KD-tree consumer of the front-end).
+
+use tigris_geom::{symmetric_eigen3, Mat3, Vec3};
+
+use crate::config::NormalAlgorithm;
+use crate::search::Searcher3;
+
+/// Estimates per-point surface normals for every point in `searcher`'s
+/// cloud, using neighborhoods of `radius`.
+///
+/// Points whose neighborhood is too small to define a plane (fewer than 3
+/// points including the point itself) get the up vector `+Z` — LiDAR
+/// ground-heavy scenes make this the least-wrong default.
+///
+/// Normals are consistently oriented toward the sensor origin (the
+/// viewpoint), the standard disambiguation for LiDAR frames centered on the
+/// scanner.
+///
+/// # Panics
+///
+/// Panics when `radius` is not strictly positive.
+pub fn estimate_normals(
+    searcher: &mut Searcher3,
+    radius: f64,
+    algorithm: NormalAlgorithm,
+) -> Vec<Vec3> {
+    assert!(radius > 0.0, "normal-estimation radius must be positive");
+    let points: Vec<Vec3> = searcher.points().to_vec();
+    let mut normals = Vec::with_capacity(points.len());
+    for &p in &points {
+        let neighbors = searcher.radius(p, radius);
+        let normal = match algorithm {
+            NormalAlgorithm::PlaneSvd => plane_svd_normal(&points, &neighbors, p),
+            NormalAlgorithm::AreaWeighted => area_weighted_normal(&points, &neighbors, p),
+        };
+        // Orient toward the viewpoint (sensor at the origin).
+        let oriented = if normal.dot(-p) < 0.0 { -normal } else { normal };
+        normals.push(oriented);
+    }
+    normals
+}
+
+/// PlaneSVD: the eigenvector of the smallest eigenvalue of the neighborhood
+/// covariance (total least squares plane fit).
+fn plane_svd_normal(
+    points: &[Vec3],
+    neighbors: &[tigris_core::Neighbor],
+    fallback_at: Vec3,
+) -> Vec3 {
+    if neighbors.len() < 3 {
+        return fallback_normal(fallback_at);
+    }
+    let mut centroid = Vec3::ZERO;
+    for n in neighbors {
+        centroid += points[n.index];
+    }
+    centroid = centroid / neighbors.len() as f64;
+    let mut cov = Mat3::ZERO;
+    for n in neighbors {
+        let d = points[n.index] - centroid;
+        cov = cov + Mat3::outer(d, d);
+    }
+    let eig = symmetric_eigen3(&cov);
+    eig.smallest_vector().normalized().unwrap_or(Vec3::Z)
+}
+
+/// AreaWeighted: average of the normals of triangles formed by the query
+/// point and consecutive neighbor pairs, each weighted by triangle area
+/// (Klasing et al.'s AreaWeighted variant).
+fn area_weighted_normal(
+    points: &[Vec3],
+    neighbors: &[tigris_core::Neighbor],
+    at: Vec3,
+) -> Vec3 {
+    if neighbors.len() < 3 {
+        return fallback_normal(at);
+    }
+    // Order neighbors by angle in the tangent plane of a rough PlaneSVD
+    // estimate so consecutive pairs form a fan around the point.
+    let rough = plane_svd_normal(points, neighbors, at);
+    let u = pick_perpendicular(rough);
+    let v = rough.cross(u);
+    let mut ordered: Vec<Vec3> = neighbors.iter().map(|n| points[n.index]).collect();
+    ordered.sort_by(|a, b| {
+        let da = *a - at;
+        let db = *b - at;
+        let ang_a = da.dot(v).atan2(da.dot(u));
+        let ang_b = db.dot(v).atan2(db.dot(u));
+        ang_a.partial_cmp(&ang_b).unwrap()
+    });
+
+    let mut acc = Vec3::ZERO;
+    for i in 0..ordered.len() {
+        let a = ordered[i] - at;
+        let b = ordered[(i + 1) % ordered.len()] - at;
+        // Cross product magnitude = 2 × triangle area: weighting is built in.
+        let n = a.cross(b);
+        // Keep the fan consistent with the rough normal's hemisphere.
+        acc += if n.dot(rough) < 0.0 { -n } else { n };
+    }
+    acc.normalized().unwrap_or(rough)
+}
+
+fn fallback_normal(_at: Vec3) -> Vec3 {
+    Vec3::Z
+}
+
+/// Any unit vector perpendicular to `n`.
+fn pick_perpendicular(n: Vec3) -> Vec3 {
+    let helper = if n.x.abs() < 0.9 { Vec3::X } else { Vec3::Y };
+    n.cross(helper).normalized().unwrap_or(Vec3::X)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A flat grid on z = 5 (away from origin so viewpoint orientation is
+    /// meaningful).
+    fn plane_cloud() -> Vec<Vec3> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                pts.push(Vec3::new(i as f64 * 0.1, j as f64 * 0.1, 5.0));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn plane_svd_recovers_plane_normal() {
+        let pts = plane_cloud();
+        let mut s = Searcher3::classic(&pts);
+        let normals = estimate_normals(&mut s, 0.35, NormalAlgorithm::PlaneSvd);
+        assert_eq!(normals.len(), pts.len());
+        for n in &normals {
+            assert!(n.z.abs() > 0.99, "normal {n} should be ±Z");
+            assert!((n.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn normals_point_toward_sensor() {
+        // Plane at z = 5, sensor at origin: normals must have negative z.
+        let pts = plane_cloud();
+        let mut s = Searcher3::classic(&pts);
+        let normals = estimate_normals(&mut s, 0.35, NormalAlgorithm::PlaneSvd);
+        for n in &normals {
+            assert!(n.z < 0.0, "normal should face the origin, got {n}");
+        }
+    }
+
+    #[test]
+    fn area_weighted_agrees_on_planes() {
+        let pts = plane_cloud();
+        let mut s = Searcher3::classic(&pts);
+        let a = estimate_normals(&mut s, 0.35, NormalAlgorithm::PlaneSvd);
+        let mut s2 = Searcher3::classic(&pts);
+        let b = estimate_normals(&mut s2, 0.35, NormalAlgorithm::AreaWeighted);
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x.dot(*y) > 0.95, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn sphere_normals_are_radial() {
+        // Points on a sphere of radius 3 centered at (10, 0, 0).
+        let center = Vec3::new(10.0, 0.0, 0.0);
+        let mut pts = Vec::new();
+        let n_lat = 24;
+        let n_lon = 48;
+        for i in 1..n_lat {
+            let theta = std::f64::consts::PI * i as f64 / n_lat as f64;
+            for j in 0..n_lon {
+                let phi = std::f64::consts::TAU * j as f64 / n_lon as f64;
+                pts.push(
+                    center
+                        + Vec3::new(
+                            3.0 * theta.sin() * phi.cos(),
+                            3.0 * theta.sin() * phi.sin(),
+                            3.0 * theta.cos(),
+                        ),
+                );
+            }
+        }
+        let mut s = Searcher3::classic(&pts);
+        let normals = estimate_normals(&mut s, 0.8, NormalAlgorithm::PlaneSvd);
+        let mut good = 0;
+        for (p, n) in pts.iter().zip(&normals) {
+            let radial = (*p - center).normalized().unwrap();
+            if n.dot(radial).abs() > 0.9 {
+                good += 1;
+            }
+        }
+        assert!(good as f64 / pts.len() as f64 > 0.9, "only {good}/{} radial", pts.len());
+    }
+
+    #[test]
+    fn isolated_points_get_fallback() {
+        let pts = vec![Vec3::new(0.0, 0.0, 1.0), Vec3::new(100.0, 0.0, 1.0)];
+        let mut s = Searcher3::classic(&pts);
+        let normals = estimate_normals(&mut s, 0.5, NormalAlgorithm::PlaneSvd);
+        // Fallback is ±Z (possibly flipped toward the sensor).
+        assert!(normals[0].z.abs() > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_radius_panics() {
+        let pts = plane_cloud();
+        let mut s = Searcher3::classic(&pts);
+        estimate_normals(&mut s, 0.0, NormalAlgorithm::PlaneSvd);
+    }
+
+    #[test]
+    fn search_time_is_attributed() {
+        let pts = plane_cloud();
+        let mut s = Searcher3::classic(&pts);
+        estimate_normals(&mut s, 0.35, NormalAlgorithm::PlaneSvd);
+        assert!(s.search_time() > std::time::Duration::ZERO);
+        assert_eq!(s.stats().queries as usize, pts.len());
+    }
+}

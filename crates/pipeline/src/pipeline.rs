@@ -1,0 +1,391 @@
+//! End-to-end registration: the full two-phase pipeline of paper Fig. 2.
+
+use std::time::Instant;
+
+use tigris_geom::{PointCloud, RigidTransform, Vec3};
+
+use crate::config::{RegistrationConfig, SearchBackendConfig};
+use crate::correspond::kpce;
+use crate::descriptor::compute_descriptors;
+use crate::icp::IcpTermination;
+use crate::keypoint::detect_keypoints;
+use crate::normal::estimate_normals;
+use crate::profile::{Stage, StageProfile};
+use crate::reject::reject_correspondences;
+use crate::search::Searcher3;
+use crate::transform::estimate_svd;
+
+/// Registration failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistrationError {
+    /// A frame was empty (or became empty after downsampling).
+    EmptyCloud,
+    /// The fine-tuning phase ran out of correspondences entirely.
+    IcpStarved,
+}
+
+impl std::fmt::Display for RegistrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistrationError::EmptyCloud => write!(f, "a frame holds no points"),
+            RegistrationError::IcpStarved => {
+                write!(f, "fine-tuning found no correspondences; clouds may not overlap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistrationError {}
+
+/// The output of end-to-end registration.
+#[derive(Debug, Clone)]
+pub struct RegistrationResult {
+    /// The estimated transform mapping source coordinates into target
+    /// coordinates (the paper's matrix `M`, Eq. 1).
+    pub transform: RigidTransform,
+    /// The initial-estimation phase's transform, before fine-tuning.
+    pub initial_transform: RigidTransform,
+    /// Per-stage and per-kernel timing plus KD-tree statistics.
+    pub profile: StageProfile,
+    /// Key-point counts (source, target).
+    pub keypoints: (usize, usize),
+    /// Correspondences surviving rejection.
+    pub inlier_correspondences: usize,
+    /// ICP iterations run.
+    pub icp_iterations: usize,
+}
+
+fn build_searcher(points: &[Vec3], cfg: &RegistrationConfig) -> Searcher3 {
+    match cfg.backend {
+        SearchBackendConfig::Classic => Searcher3::classic(points),
+        SearchBackendConfig::TwoStage { top_height } => Searcher3::two_stage(points, top_height),
+        SearchBackendConfig::TwoStageApprox { top_height, approx } => {
+            Searcher3::two_stage_approx(points, top_height, approx)
+        }
+    }
+}
+
+/// Registers `source` onto `target` with the given configuration,
+/// returning the transform that maps source coordinates into the target
+/// frame.
+///
+/// # Errors
+///
+/// [`RegistrationError::EmptyCloud`] when either frame is empty;
+/// [`RegistrationError::IcpStarved`] when fine-tuning cannot find any
+/// overlap.
+///
+/// # Example
+///
+/// ```no_run
+/// use tigris_pipeline::{register, RegistrationConfig};
+/// use tigris_data::{Sequence, SequenceConfig};
+///
+/// let seq = Sequence::generate(&SequenceConfig::tiny(), 7);
+/// let result = register(seq.frame(1), seq.frame(0), &RegistrationConfig::default()).unwrap();
+/// let gt = seq.ground_truth_relative(0);
+/// assert!((result.transform.translation - gt.translation).norm() < 0.5);
+/// ```
+pub fn register(
+    source: &PointCloud,
+    target: &PointCloud,
+    cfg: &RegistrationConfig,
+) -> Result<RegistrationResult, RegistrationError> {
+    // Downsample; build the metered searchers once per frame.
+    let (src_pts, tgt_pts) = if cfg.voxel_size > 0.0 {
+        (
+            source.voxel_downsample(cfg.voxel_size).points().to_vec(),
+            target.voxel_downsample(cfg.voxel_size).points().to_vec(),
+        )
+    } else {
+        (source.points().to_vec(), target.points().to_vec())
+    };
+    if src_pts.is_empty() || tgt_pts.is_empty() {
+        return Err(RegistrationError::EmptyCloud);
+    }
+    let mut src_searcher = build_searcher(&src_pts, cfg);
+    let mut tgt_searcher = build_searcher(&tgt_pts, cfg);
+    register_with_searchers(&mut src_searcher, &mut tgt_searcher, cfg)
+}
+
+/// Registration over caller-provided searchers — the entry point for
+/// experiments that need custom backends (two-stage heights, approximate
+/// search, injections on specific stages).
+pub fn register_with_searchers(
+    src_searcher: &mut Searcher3,
+    tgt_searcher: &mut Searcher3,
+    cfg: &RegistrationConfig,
+) -> Result<RegistrationResult, RegistrationError> {
+    if src_searcher.is_empty() || tgt_searcher.is_empty() {
+        return Err(RegistrationError::EmptyCloud);
+    }
+    let mut profile = StageProfile::new();
+    profile.kd_build_time += src_searcher.build_time() + tgt_searcher.build_time();
+
+    let src_pts: Vec<Vec3> = src_searcher.points().to_vec();
+    let tgt_pts: Vec<Vec3> = tgt_searcher.points().to_vec();
+
+    // ---- Stage 1: Normal Estimation (both frames) ----------------------
+    let t0 = Instant::now();
+    src_searcher.set_injection(cfg.inject_ne);
+    tgt_searcher.set_injection(cfg.inject_ne);
+    let src_normals = estimate_normals(src_searcher, cfg.normal_radius, cfg.normal_algorithm);
+    let tgt_normals = estimate_normals(tgt_searcher, cfg.normal_radius, cfg.normal_algorithm);
+    src_searcher.set_injection(None);
+    tgt_searcher.set_injection(None);
+    profile.add(Stage::NormalEstimation, t0.elapsed());
+
+    // ---- Stage 2: Key-point Detection -----------------------------------
+    let t0 = Instant::now();
+    let src_kp = detect_keypoints(src_searcher, &src_normals, cfg.keypoint);
+    let tgt_kp = detect_keypoints(tgt_searcher, &tgt_normals, cfg.keypoint);
+    profile.add(Stage::KeypointDetection, t0.elapsed());
+
+    // ---- Stage 3: Descriptor Calculation ---------------------------------
+    let t0 = Instant::now();
+    let src_desc = compute_descriptors(src_searcher, &src_normals, &src_kp, cfg.descriptor);
+    let tgt_desc = compute_descriptors(tgt_searcher, &tgt_normals, &tgt_kp, cfg.descriptor);
+    profile.add(Stage::DescriptorCalculation, t0.elapsed());
+
+    // ---- Stage 4: KPCE ----------------------------------------------------
+    let t0 = Instant::now();
+    let matches = match cfg.kpce_ratio {
+        // The ratio test replaces plain NN matching (injection is an
+        // NN-path experiment and does not combine with it).
+        Some(ratio) if cfg.inject_kpce_kth.is_none() => {
+            crate::correspond::kpce_ratio(&src_desc, &tgt_desc, ratio)
+        }
+        _ => kpce(&src_desc, &tgt_desc, cfg.kpce_reciprocal, cfg.inject_kpce_kth),
+    };
+    profile.add(Stage::Kpce, t0.elapsed());
+
+    // ---- Stage 5: Correspondence Rejection --------------------------------
+    let t0 = Instant::now();
+    let src_kp_pts: Vec<Vec3> = src_kp.iter().map(|&i| src_pts[i]).collect();
+    let tgt_kp_pts: Vec<Vec3> = tgt_kp.iter().map(|&i| tgt_pts[i]).collect();
+    let inliers = reject_correspondences(&matches, &src_kp_pts, &tgt_kp_pts, cfg.rejection, 0x7161);
+    profile.add(Stage::CorrespondenceRejection, t0.elapsed());
+
+    // ---- Initial transform -------------------------------------------------
+    let mut initial = estimate_svd(&src_kp_pts, &tgt_kp_pts, &inliers)
+        .unwrap_or(RigidTransform::IDENTITY);
+    // Motion-prior gate: consecutive frames cannot move this much; a
+    // violating estimate is a symmetric-scene mismatch (see config docs).
+    if initial.rotation_angle() > cfg.max_initial_rotation
+        || initial.translation_norm() > cfg.max_initial_translation
+    {
+        initial = RigidTransform::IDENTITY;
+    }
+
+    // ---- Fine-tuning: ICP ---------------------------------------------------
+    tgt_searcher.set_injection(cfg.inject_rpce);
+    let icp_result = crate::icp::icp_with_options(
+        &src_pts,
+        tgt_searcher,
+        &tgt_normals,
+        initial,
+        cfg.error_metric,
+        cfg.solver,
+        cfg.max_correspondence_distance,
+        cfg.rpce_reciprocal,
+        &cfg.convergence,
+        &mut profile,
+    );
+    tgt_searcher.set_injection(None);
+
+    if icp_result.termination == IcpTermination::Starved && icp_result.iterations <= 1 {
+        return Err(RegistrationError::IcpStarved);
+    }
+
+    // Fold searcher meters into the profile.
+    profile.kd_search_time += src_searcher.search_time() + tgt_searcher.search_time();
+    profile.search_stats += *src_searcher.stats();
+    profile.search_stats += *tgt_searcher.stats();
+
+    Ok(RegistrationResult {
+        transform: icp_result.transform,
+        initial_transform: initial,
+        profile,
+        keypoints: (src_kp.len(), tgt_kp.len()),
+        inlier_correspondences: inliers.len(),
+        icp_iterations: icp_result.iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{KeypointAlgorithm, RegistrationConfig};
+
+    /// A structured synthetic "urban corner" scene, denser than the ICP
+    /// unit-test cloud, with distinctive geometry for the front-end.
+    fn scene_cloud() -> PointCloud {
+        let mut pts = Vec::new();
+        let step = 0.15;
+        for i in 0..40 {
+            for j in 0..40 {
+                pts.push(Vec3::new(i as f64 * step, j as f64 * step, 0.0));
+            }
+        }
+        for i in 0..40 {
+            for k in 1..15 {
+                pts.push(Vec3::new(i as f64 * step, 6.0, k as f64 * step));
+            }
+        }
+        for j in 0..20 {
+            for k in 1..15 {
+                pts.push(Vec3::new(6.0, j as f64 * step, k as f64 * step));
+            }
+        }
+        // A "car" box for asymmetry.
+        for i in 0..12 {
+            for k in 0..6 {
+                pts.push(Vec3::new(2.0 + i as f64 * 0.1, 3.0, k as f64 * 0.15));
+                pts.push(Vec3::new(2.0 + i as f64 * 0.1, 3.8, k as f64 * 0.15));
+            }
+        }
+        PointCloud::from_points(pts)
+    }
+
+    fn fast_config() -> RegistrationConfig {
+        RegistrationConfig {
+            voxel_size: 0.0,
+            normal_radius: 0.5,
+            keypoint: KeypointAlgorithm::Uniform { voxel: 1.0 },
+            max_correspondence_distance: 1.5,
+            ..RegistrationConfig::default()
+        }
+    }
+
+    #[test]
+    fn registers_a_known_transform() {
+        let target = scene_cloud();
+        let gt = RigidTransform::from_axis_angle(Vec3::Z, 0.04, Vec3::new(0.3, -0.15, 0.02));
+        let source = target.transformed(&gt.inverse());
+        let result = register(&source, &target, &fast_config()).unwrap();
+        assert!(
+            (result.transform.translation - gt.translation).norm() < 0.05,
+            "t = {} vs {}",
+            result.transform.translation,
+            gt.translation
+        );
+        assert!((result.transform.rotation - gt.rotation).frobenius_norm() < 0.05);
+        assert!(result.icp_iterations >= 1);
+        assert!(result.keypoints.0 > 0 && result.keypoints.1 > 0);
+    }
+
+    #[test]
+    fn profile_covers_all_stages() {
+        let target = scene_cloud();
+        let source = target.transformed(&RigidTransform::from_translation(Vec3::new(0.2, 0.0, 0.0)).inverse());
+        let result = register(&source, &target, &fast_config()).unwrap();
+        let p = &result.profile;
+        for stage in Stage::ALL {
+            assert!(
+                p.time(stage) > std::time::Duration::ZERO,
+                "stage {stage} has zero time"
+            );
+        }
+        assert!(p.kd_search_time > std::time::Duration::ZERO);
+        assert!(p.kd_build_time > std::time::Duration::ZERO);
+        assert!(p.search_stats.queries > 0);
+    }
+
+    #[test]
+    fn kd_search_dominates() {
+        // The paper's headline: KD-tree search is >50% of registration time.
+        // At our small test scale the exact fraction varies, but search must
+        // be a major component.
+        let target = scene_cloud();
+        let source = target.transformed(&RigidTransform::from_translation(Vec3::new(0.2, 0.1, 0.0)));
+        let result = register(&source, &target, &fast_config()).unwrap();
+        assert!(
+            result.profile.kd_search_fraction() > 0.2,
+            "kd fraction = {}",
+            result.profile.kd_search_fraction()
+        );
+    }
+
+    #[test]
+    fn empty_cloud_is_an_error() {
+        let empty = PointCloud::new();
+        let full = scene_cloud();
+        assert_eq!(
+            register(&empty, &full, &fast_config()).unwrap_err(),
+            RegistrationError::EmptyCloud
+        );
+        assert_eq!(
+            register(&full, &empty, &fast_config()).unwrap_err(),
+            RegistrationError::EmptyCloud
+        );
+    }
+
+    #[test]
+    fn disjoint_featureless_clouds_starve() {
+        // Featureless planes 500 m apart: ISS finds no key-points, so the
+        // initial estimate stays identity, and RPCE finds nothing within the
+        // correspondence distance → ICP starves. (A *translated copy* of a
+        // featured scene would register fine — descriptors are translation
+        // invariant — so this is the honest starvation case.)
+        let mut src_pts = Vec::new();
+        let mut tgt_pts = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                tgt_pts.push(Vec3::new(i as f64 * 0.2, j as f64 * 0.2, 0.0));
+                src_pts.push(Vec3::new(i as f64 * 0.2 + 500.0, j as f64 * 0.2, 0.0));
+            }
+        }
+        let mut cfg = fast_config();
+        cfg.keypoint = KeypointAlgorithm::Iss { radius: 0.6 };
+        let err = register(
+            &PointCloud::from_points(src_pts),
+            &PointCloud::from_points(tgt_pts),
+            &cfg,
+        )
+        .unwrap_err();
+        assert_eq!(err, RegistrationError::IcpStarved);
+    }
+
+    #[test]
+    fn two_stage_backend_matches_classic_quality() {
+        let target = scene_cloud();
+        let gt = RigidTransform::from_translation(Vec3::new(0.25, -0.1, 0.0));
+        let source = target.transformed(&gt.inverse());
+
+        let classic = register(&source, &target, &fast_config()).unwrap();
+        let mut cfg = fast_config();
+        cfg.backend = SearchBackendConfig::TwoStage { top_height: 6 };
+        let two_stage = register(&source, &target, &cfg).unwrap();
+        // Exact two-stage search: same answers, same quality.
+        assert!(
+            (classic.transform.translation - two_stage.transform.translation).norm() < 1e-6,
+            "{} vs {}",
+            classic.transform.translation,
+            two_stage.transform.translation
+        );
+    }
+
+    #[test]
+    fn voxel_downsampling_reduces_work() {
+        let target = scene_cloud();
+        let source = target.transformed(&RigidTransform::from_translation(Vec3::new(0.2, 0.0, 0.0)).inverse());
+        let mut dense_cfg = fast_config();
+        dense_cfg.voxel_size = 0.0;
+        let mut coarse_cfg = fast_config();
+        coarse_cfg.voxel_size = 0.5;
+        let dense = register(&source, &target, &dense_cfg).unwrap();
+        let coarse = register(&source, &target, &coarse_cfg).unwrap();
+        assert!(
+            coarse.profile.search_stats.queries < dense.profile.search_stats.queries,
+            "coarse {} !< dense {}",
+            coarse.profile.search_stats.queries,
+            dense.profile.search_stats.queries
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!RegistrationError::EmptyCloud.to_string().is_empty());
+        assert!(!RegistrationError::IcpStarved.to_string().is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! Correspondence rejection (paper Fig. 2, stage 5; Tbl. 1 Thresholding /
+//! RANSAC \[19\]).
+//!
+//! KPCE's raw matches contain outliers — feature collisions between
+//! unrelated geometry. Rejection keeps a consistent subset from which the
+//! initial transform is estimated.
+
+use rand_lite::Lcg;
+use tigris_geom::Vec3;
+
+use crate::config::RejectionAlgorithm;
+use crate::correspond::Correspondence;
+use crate::transform::estimate_svd;
+
+/// A tiny deterministic LCG so the rejection stage doesn't pull `rand`
+/// into the pipeline crate's public dependency set.
+mod rand_lite {
+    /// Linear congruential generator (Numerical Recipes constants).
+    #[derive(Debug, Clone)]
+    pub struct Lcg(u64);
+
+    impl Lcg {
+        pub fn new(seed: u64) -> Self {
+            Lcg(seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+
+        /// Uniform index in `0..n`.
+        pub fn index(&mut self, n: usize) -> usize {
+            (self.next_u64() >> 33) as usize % n
+        }
+    }
+}
+
+/// Applies the configured rejector to `correspondences`, returning the
+/// surviving subset (order preserved).
+///
+/// `source_keypoints` and `target_keypoints` are the 3D positions the
+/// correspondences index into (needed by RANSAC's geometric consensus).
+pub fn reject_correspondences(
+    correspondences: &[Correspondence],
+    source_keypoints: &[Vec3],
+    target_keypoints: &[Vec3],
+    algorithm: RejectionAlgorithm,
+    seed: u64,
+) -> Vec<Correspondence> {
+    match algorithm {
+        RejectionAlgorithm::Threshold { factor } => threshold_reject(correspondences, factor),
+        RejectionAlgorithm::Ransac { iterations, inlier_threshold } => ransac_reject(
+            correspondences,
+            source_keypoints,
+            target_keypoints,
+            iterations,
+            inlier_threshold,
+            seed,
+        ),
+    }
+}
+
+/// Keeps correspondences whose feature distance is at most `factor` times
+/// the median feature distance.
+fn threshold_reject(correspondences: &[Correspondence], factor: f64) -> Vec<Correspondence> {
+    if correspondences.is_empty() {
+        return Vec::new();
+    }
+    let mut dists: Vec<f64> = correspondences.iter().map(|c| c.distance_squared).collect();
+    dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = dists[dists.len() / 2];
+    let cutoff = median * factor * factor;
+    correspondences
+        .iter()
+        .filter(|c| c.distance_squared <= cutoff)
+        .copied()
+        .collect()
+}
+
+/// Classic RANSAC over rigid transforms: repeatedly fit a transform to a
+/// random 3-correspondence sample and keep the largest set of
+/// correspondences whose aligned 3D error is below `inlier_threshold`.
+fn ransac_reject(
+    correspondences: &[Correspondence],
+    source_keypoints: &[Vec3],
+    target_keypoints: &[Vec3],
+    iterations: usize,
+    inlier_threshold: f64,
+    seed: u64,
+) -> Vec<Correspondence> {
+    if correspondences.len() < 3 {
+        return correspondences.to_vec();
+    }
+    let mut rng = Lcg::new(seed);
+    let thr2 = inlier_threshold * inlier_threshold;
+    let mut best_inliers: Vec<usize> = Vec::new();
+
+    for _ in 0..iterations {
+        // Draw 3 distinct correspondences.
+        let a = rng.index(correspondences.len());
+        let mut b = rng.index(correspondences.len());
+        let mut c = rng.index(correspondences.len());
+        if a == b || b == c || a == c {
+            b = (a + 1) % correspondences.len();
+            c = (a + 2) % correspondences.len();
+        }
+        let sample = [correspondences[a], correspondences[b], correspondences[c]];
+        let Ok(t) = estimate_svd(source_keypoints, target_keypoints, &sample) else {
+            continue;
+        };
+        let inliers: Vec<usize> = correspondences
+            .iter()
+            .enumerate()
+            .filter(|(_, cr)| {
+                t.apply(source_keypoints[cr.source])
+                    .distance_squared(target_keypoints[cr.target])
+                    <= thr2
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if inliers.len() > best_inliers.len() {
+            best_inliers = inliers;
+            // Early exit when almost everything is an inlier.
+            if best_inliers.len() * 10 >= correspondences.len() * 9 {
+                break;
+            }
+        }
+    }
+
+    if best_inliers.len() < 3 {
+        // Consensus failed; fall back to the raw set rather than nothing.
+        return correspondences.to_vec();
+    }
+    best_inliers.into_iter().map(|i| correspondences[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigris_geom::RigidTransform;
+
+    fn corr(source: usize, target: usize, d2: f64) -> Correspondence {
+        Correspondence { source, target, distance_squared: d2 }
+    }
+
+    #[test]
+    fn threshold_keeps_below_median_factor() {
+        let cs = vec![corr(0, 0, 1.0), corr(1, 1, 1.0), corr(2, 2, 100.0)];
+        let kept = threshold_reject(&cs, 1.5);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().all(|c| c.distance_squared <= 2.25));
+    }
+
+    #[test]
+    fn threshold_empty() {
+        assert!(threshold_reject(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn ransac_rejects_planted_outliers() {
+        // 20 inliers under a known rigid transform + 8 gross outliers.
+        let gt = RigidTransform::from_axis_angle(Vec3::Z, 0.3, Vec3::new(1.0, 0.5, 0.0));
+        let mut src = Vec::new();
+        let mut tgt = Vec::new();
+        let mut cs = Vec::new();
+        for i in 0..20 {
+            let p = Vec3::new((i % 5) as f64, (i / 5) as f64, (i % 3) as f64);
+            src.push(p);
+            tgt.push(gt.apply(p));
+            cs.push(corr(i, i, 0.1));
+        }
+        for i in 20..28 {
+            let p = Vec3::new(i as f64, -3.0, 2.0);
+            src.push(p);
+            tgt.push(Vec3::new(-5.0, i as f64, 7.0)); // garbage match
+            cs.push(corr(i, i, 0.1));
+        }
+        let kept = reject_correspondences(
+            &cs,
+            &src,
+            &tgt,
+            RejectionAlgorithm::Ransac { iterations: 300, inlier_threshold: 0.2 },
+            42,
+        );
+        assert_eq!(kept.len(), 20, "kept {} of 28", kept.len());
+        assert!(kept.iter().all(|c| c.source < 20));
+    }
+
+    #[test]
+    fn ransac_small_input_passthrough() {
+        let cs = vec![corr(0, 0, 1.0), corr(1, 1, 1.0)];
+        let kept = ransac_reject(&cs, &[Vec3::ZERO, Vec3::X], &[Vec3::ZERO, Vec3::X], 10, 0.1, 1);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn ransac_is_deterministic_per_seed() {
+        let gt = RigidTransform::from_translation(Vec3::X);
+        let src: Vec<Vec3> = (0..15).map(|i| Vec3::new(i as f64, (i * i % 7) as f64, 0.0)).collect();
+        let tgt: Vec<Vec3> = src.iter().map(|&p| gt.apply(p)).collect();
+        let cs: Vec<Correspondence> = (0..15).map(|i| corr(i, i, 0.1)).collect();
+        let a = ransac_reject(&cs, &src, &tgt, 50, 0.1, 7);
+        let b = ransac_reject(&cs, &src, &tgt, 50, 0.1, 7);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn ransac_all_inliers_keeps_everything() {
+        let gt = RigidTransform::from_axis_angle(Vec3::Y, 0.2, Vec3::new(0.0, 1.0, 0.0));
+        let src: Vec<Vec3> = (0..12)
+            .map(|i| Vec3::new(i as f64 * 0.5, (i % 4) as f64, (i % 3) as f64))
+            .collect();
+        let tgt: Vec<Vec3> = src.iter().map(|&p| gt.apply(p)).collect();
+        let cs: Vec<Correspondence> = (0..12).map(|i| corr(i, i, 0.0)).collect();
+        let kept = ransac_reject(&cs, &src, &tgt, 200, 0.1, 3);
+        assert_eq!(kept.len(), 12);
+    }
+}

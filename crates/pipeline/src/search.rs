@@ -1,0 +1,418 @@
+//! Metered 3D neighbor search for the pipeline.
+//!
+//! Every stage that needs neighbors (Normal Estimation, descriptor
+//! calculation, RPCE) goes through a [`Searcher3`], which:
+//!
+//! * runs the selected backend (canonical KD-tree, two-stage KD-tree, or
+//!   two-stage + approximate leader/follower search),
+//! * accumulates wall-clock time spent in KD-tree build and search — the
+//!   quantities behind the paper's Fig. 4b kernel breakdown, and
+//! * optionally injects errors (k-th NN, `<r1,r2>` shell) per Sec. 4.2.
+
+use std::time::{Duration, Instant};
+
+use tigris_core::inject::{kth_nn, shell_radius};
+use tigris_core::{
+    ApproxConfig, ApproxSearcher, KdTree, Neighbor, QueryRecord, SearchStats, TwoStageKdTree,
+};
+use tigris_geom::Vec3;
+
+/// Error injected into searches (paper Sec. 4.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Injection {
+    /// NN search returns the k-th nearest neighbor instead (1-based; 1 is
+    /// exact). Fig. 7a sweeps k.
+    NnKth(usize),
+    /// Radius-`r` search returns the shell `<r1, r2>` instead, with
+    /// `r1 = inner_frac · r` and `r2 = outer_frac · r`. Fig. 7b sweeps the
+    /// inner radius with the outer fixed above `r`.
+    RadiusShell {
+        /// Inner radius as a fraction of the requested radius.
+        inner_frac: f64,
+        /// Outer radius as a fraction of the requested radius.
+        outer_frac: f64,
+    },
+}
+
+/// Which index structure serves the searches.
+enum Backend {
+    Classic(KdTree),
+    TwoStage(Box<TwoStageKdTree>),
+    /// Two-stage tree + Algorithm-1 approximate search. The searcher is
+    /// self-referential in spirit (it borrows the tree), so we keep the
+    /// tree behind a stable heap allocation and the searcher alongside.
+    Approx {
+        /// Lazily built leader books. Declared before `tree` so it drops
+        /// first and never outlives the tree it borrows.
+        searcher: Option<ApproxSearcher<'static>>,
+        tree: Box<TwoStageKdTree>,
+        cfg: ApproxConfig,
+    },
+}
+
+/// A metered 3D searcher over one point cloud.
+///
+/// # Example
+///
+/// ```
+/// use tigris_pipeline::Searcher3;
+/// use tigris_geom::Vec3;
+///
+/// let pts: Vec<Vec3> = (0..100).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+/// let mut s = Searcher3::classic(&pts);
+/// let n = s.nn(Vec3::new(41.3, 0.0, 0.0)).unwrap();
+/// assert_eq!(pts[n.index].x, 41.0);
+/// assert!(s.search_time() > std::time::Duration::ZERO);
+/// ```
+pub struct Searcher3 {
+    backend: Backend,
+    injection: Option<Injection>,
+    build_time: Duration,
+    search_time: Duration,
+    stats: SearchStats,
+    /// When `Some`, every query is appended (for accelerator replay).
+    query_log: Option<Vec<QueryRecord>>,
+}
+
+impl std::fmt::Debug for Searcher3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self.backend {
+            Backend::Classic(_) => "classic",
+            Backend::TwoStage(_) => "two-stage",
+            Backend::Approx { .. } => "two-stage+approx",
+        };
+        f.debug_struct("Searcher3")
+            .field("backend", &name)
+            .field("injection", &self.injection)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Searcher3 {
+    /// Builds a canonical KD-tree backend.
+    pub fn classic(points: &[Vec3]) -> Self {
+        let t0 = Instant::now();
+        let tree = KdTree::build(points);
+        Searcher3 {
+            backend: Backend::Classic(tree),
+            injection: None,
+            build_time: t0.elapsed(),
+            search_time: Duration::ZERO,
+            stats: SearchStats::new(),
+            query_log: None,
+        }
+    }
+
+    /// Builds a two-stage KD-tree backend with the given top-tree height.
+    pub fn two_stage(points: &[Vec3], top_height: usize) -> Self {
+        let t0 = Instant::now();
+        let tree = Box::new(TwoStageKdTree::build(points, top_height));
+        Searcher3 {
+            backend: Backend::TwoStage(tree),
+            injection: None,
+            build_time: t0.elapsed(),
+            search_time: Duration::ZERO,
+            stats: SearchStats::new(),
+            query_log: None,
+        }
+    }
+
+    /// Builds a two-stage KD-tree with approximate (Algorithm 1) search.
+    pub fn two_stage_approx(points: &[Vec3], top_height: usize, cfg: ApproxConfig) -> Self {
+        let t0 = Instant::now();
+        let tree = Box::new(TwoStageKdTree::build(points, top_height));
+        Searcher3 {
+            backend: Backend::Approx { searcher: None, tree, cfg },
+            injection: None,
+            build_time: t0.elapsed(),
+            search_time: Duration::ZERO,
+            stats: SearchStats::new(),
+            query_log: None,
+        }
+    }
+
+    /// Enables error injection on subsequent searches.
+    pub fn set_injection(&mut self, injection: Option<Injection>) {
+        self.injection = injection;
+    }
+
+    /// Starts logging every query (for accelerator replay via
+    /// `tigris-accel`'s `AcceleratorSim::replay`). Idempotent.
+    pub fn enable_query_logging(&mut self) {
+        if self.query_log.is_none() {
+            self.query_log = Some(Vec::new());
+        }
+    }
+
+    /// Takes the accumulated query log (logging stays enabled, restarting
+    /// empty); `None` when logging was never enabled.
+    pub fn take_query_log(&mut self) -> Option<Vec<QueryRecord>> {
+        self.query_log.as_mut().map(std::mem::take)
+    }
+
+    /// Time spent building the index.
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Accumulated time spent inside searches.
+    pub fn search_time(&self) -> Duration {
+        self.search_time
+    }
+
+    /// Accumulated node-visit statistics.
+    pub fn stats(&self) -> &SearchStats {
+        &self.stats
+    }
+
+    /// The indexed points.
+    pub fn points(&self) -> &[Vec3] {
+        match &self.backend {
+            Backend::Classic(t) => t.points(),
+            Backend::TwoStage(t) => t.points(),
+            Backend::Approx { tree, .. } => tree.points(),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points().len()
+    }
+
+    /// `true` when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.points().is_empty()
+    }
+
+    fn approx_searcher(&mut self) -> Option<&mut ApproxSearcher<'static>> {
+        if let Backend::Approx { searcher, tree, cfg } = &mut self.backend {
+            if searcher.is_none() {
+                // SAFETY: the tree lives in a Box owned by `self` and is
+                // never moved or dropped while `searcher` exists; `searcher`
+                // is dropped before (or together with) the Box. We only hand
+                // out borrows tied to `&mut self`.
+                let tree_ref: &'static TwoStageKdTree =
+                    unsafe { &*(tree.as_ref() as *const TwoStageKdTree) };
+                *searcher = Some(ApproxSearcher::new(tree_ref, *cfg));
+            }
+            searcher.as_mut()
+        } else {
+            None
+        }
+    }
+
+    /// Nearest neighbor (respecting any configured injection).
+    pub fn nn(&mut self, query: Vec3) -> Option<Neighbor> {
+        if let Some(log) = &mut self.query_log {
+            log.push(QueryRecord::nn(query));
+        }
+        let t0 = Instant::now();
+        let result = match self.injection {
+            Some(Injection::NnKth(k)) if k > 1 => {
+                // Injection is defined on the classic structure; see Fig. 7a.
+                match &self.backend {
+                    Backend::Classic(t) => {
+                        self.stats.queries += 1;
+                        kth_nn(t, query, k)
+                    }
+                    Backend::TwoStage(t) | Backend::Approx { tree: t, .. } => {
+                        // Fall back to k-NN over a temporary classic view is
+                        // wasteful; instead emulate: collect k nearest via
+                        // radius growth. Simpler: build once is too costly,
+                        // so scan exact knn with brute force over the tree's
+                        // points. Injection experiments use the classic
+                        // backend in practice.
+                        let knn = tigris_core::bruteforce::knn_brute_force(t.points(), query, k);
+                        self.stats.queries += 1;
+                        (knn.len() == k).then(|| knn[k - 1])
+                    }
+                }
+            }
+            _ => match &mut self.backend {
+                Backend::Classic(t) => t.nn_with_stats(query, &mut self.stats),
+                Backend::TwoStage(t) => t.nn_with_stats(query, &mut self.stats),
+                Backend::Approx { .. } => {
+                    let mut stats = SearchStats::new();
+                    let r = self
+                        .approx_searcher()
+                        .expect("approx backend")
+                        .nn_with_stats(query, &mut stats);
+                    self.stats += stats;
+                    r
+                }
+            },
+        };
+        self.search_time += t0.elapsed();
+        result
+    }
+
+    /// All neighbors within `radius` (respecting any configured injection),
+    /// sorted ascending by distance.
+    pub fn radius(&mut self, query: Vec3, radius: f64) -> Vec<Neighbor> {
+        if let Some(log) = &mut self.query_log {
+            log.push(QueryRecord::radius(query, radius));
+        }
+        let t0 = Instant::now();
+        let result = match self.injection {
+            Some(Injection::RadiusShell { inner_frac, outer_frac }) => {
+                let r1 = inner_frac * radius;
+                let r2 = outer_frac * radius;
+                match &self.backend {
+                    Backend::Classic(t) => {
+                        self.stats.queries += 1;
+                        shell_radius(t, query, r1.min(r2), r1.max(r2))
+                    }
+                    Backend::TwoStage(t) | Backend::Approx { tree: t, .. } => {
+                        self.stats.queries += 1;
+                        let lo = r1.min(r2);
+                        let hi = r1.max(r2);
+                        t.radius(query, hi)
+                            .into_iter()
+                            .filter(|n| n.distance_squared >= lo * lo)
+                            .collect()
+                    }
+                }
+            }
+            _ => match &mut self.backend {
+                Backend::Classic(t) => t.radius_with_stats(query, radius, &mut self.stats),
+                Backend::TwoStage(t) => t.radius_with_stats(query, radius, &mut self.stats),
+                Backend::Approx { .. } => {
+                    let mut stats = SearchStats::new();
+                    let r = self
+                        .approx_searcher()
+                        .expect("approx backend")
+                        .radius_with_stats(query, radius, &mut stats);
+                    self.stats += stats;
+                    r
+                }
+            },
+        };
+        self.search_time += t0.elapsed();
+        result
+    }
+
+    /// The k nearest neighbors, sorted ascending.
+    pub fn knn(&mut self, query: Vec3, k: usize) -> Vec<Neighbor> {
+        if let Some(log) = &mut self.query_log {
+            log.push(QueryRecord::knn(query, k));
+        }
+        let t0 = Instant::now();
+        let result = match &self.backend {
+            Backend::Classic(t) => t.knn_with_stats(query, k, &mut self.stats),
+            Backend::TwoStage(t) | Backend::Approx { tree: t, .. } => {
+                t.knn_with_stats(query, k, &mut self.stats)
+            }
+        };
+        self.search_time += t0.elapsed();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud() -> Vec<Vec3> {
+        (0..500)
+            .map(|i| {
+                let f = i as f64;
+                Vec3::new(f % 10.0, (f / 10.0) % 10.0, f / 100.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn classic_backend_finds_exact_nn() {
+        let pts = cloud();
+        let mut s = Searcher3::classic(&pts);
+        let n = s.nn(Vec3::new(3.1, 4.2, 2.0)).unwrap();
+        let b = tigris_core::nn_brute_force(&pts, Vec3::new(3.1, 4.2, 2.0)).unwrap();
+        assert_eq!(n.index, b.index);
+        assert_eq!(s.stats().queries, 1);
+    }
+
+    #[test]
+    fn backends_agree_on_exact_search() {
+        let pts = cloud();
+        let mut classic = Searcher3::classic(&pts);
+        let mut two = Searcher3::two_stage(&pts, 5);
+        for q in [Vec3::new(1.0, 2.0, 3.0), Vec3::new(9.0, 0.5, 4.4)] {
+            assert_eq!(classic.nn(q).unwrap().index, two.nn(q).unwrap().index);
+            assert_eq!(classic.radius(q, 1.5).len(), two.radius(q, 1.5).len());
+        }
+    }
+
+    #[test]
+    fn approx_backend_returns_reasonable_results() {
+        let pts = cloud();
+        let mut s = Searcher3::two_stage_approx(&pts, 4, ApproxConfig::default());
+        let mut exact = Searcher3::classic(&pts);
+        for i in 0..50 {
+            let q = Vec3::new((i % 10) as f64 + 0.3, (i / 5) as f64 * 0.5, 1.0);
+            let a = s.nn(q).unwrap();
+            let e = exact.nn(q).unwrap();
+            assert!(a.distance() <= e.distance() + 2.0 * 1.2 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn injection_kth_nn_degrades_result() {
+        let pts: Vec<Vec3> = (0..20).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+        let mut s = Searcher3::classic(&pts);
+        s.set_injection(Some(Injection::NnKth(3)));
+        let n = s.nn(Vec3::new(-0.4, 0.0, 0.0)).unwrap();
+        assert_eq!(pts[n.index].x, 2.0); // 3rd nearest
+        s.set_injection(None);
+        let n = s.nn(Vec3::new(-0.4, 0.0, 0.0)).unwrap();
+        assert_eq!(pts[n.index].x, 0.0);
+    }
+
+    #[test]
+    fn injection_shell_drops_near_points() {
+        let pts: Vec<Vec3> = (0..20).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+        let mut s = Searcher3::classic(&pts);
+        s.set_injection(Some(Injection::RadiusShell { inner_frac: 0.5, outer_frac: 1.25 }));
+        // radius 4 → shell <2, 5>.
+        let res = s.radius(Vec3::ZERO, 4.0);
+        let xs: Vec<f64> = res.iter().map(|n| pts[n.index].x).collect();
+        assert_eq!(xs, vec![2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn timers_accumulate() {
+        let pts = cloud();
+        let mut s = Searcher3::two_stage(&pts, 4);
+        assert!(s.build_time() > Duration::ZERO);
+        let before = s.search_time();
+        for i in 0..100 {
+            s.nn(Vec3::new(i as f64 * 0.07, 1.0, 1.0));
+        }
+        assert!(s.search_time() > before);
+        assert_eq!(s.stats().queries, 100);
+    }
+
+    #[test]
+    fn knn_works_on_all_backends() {
+        let pts = cloud();
+        for mut s in [
+            Searcher3::classic(&pts),
+            Searcher3::two_stage(&pts, 3),
+            Searcher3::two_stage_approx(&pts, 3, ApproxConfig::default()),
+        ] {
+            let r = s.knn(Vec3::new(5.0, 5.0, 2.5), 7);
+            assert_eq!(r.len(), 7);
+            for w in r.windows(2) {
+                assert!(w[0].distance_squared <= w[1].distance_squared);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_cloud() {
+        let mut s = Searcher3::classic(&[]);
+        assert!(s.is_empty());
+        assert!(s.nn(Vec3::ZERO).is_none());
+        assert!(s.radius(Vec3::ZERO, 1.0).is_empty());
+    }
+}

@@ -1,0 +1,313 @@
+//! Transformation estimation (paper Fig. 2 "Error Minimization" /
+//! "Transformation Estimation"; Tbl. 1 error metrics point-to-point
+//! \[34\] / point-to-plane \[12\], solvers SVD \[25\] /
+//! Levenberg–Marquardt \[45\]).
+
+use tigris_geom::{solve_ldlt6, svd3, Mat3, RigidTransform, Vec3};
+
+use crate::correspond::Correspondence;
+
+/// Error returned when a transform cannot be estimated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateError {
+    /// Fewer correspondences than the minimum (3 for point-to-point, 6 for
+    /// point-to-plane).
+    TooFewCorrespondences,
+    /// The normal-equation system was singular (degenerate geometry).
+    Degenerate,
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateError::TooFewCorrespondences => write!(f, "too few correspondences"),
+            EstimateError::Degenerate => write!(f, "degenerate correspondence geometry"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+/// Closed-form point-to-point estimation (Kabsch/Umeyama via SVD): the
+/// rigid transform minimizing `Σ ‖T(src) − tgt‖²` over the given
+/// correspondences.
+///
+/// # Errors
+///
+/// [`EstimateError::TooFewCorrespondences`] with fewer than 3 pairs.
+pub fn estimate_svd(
+    source: &[Vec3],
+    target: &[Vec3],
+    correspondences: &[Correspondence],
+) -> Result<RigidTransform, EstimateError> {
+    if correspondences.len() < 3 {
+        return Err(EstimateError::TooFewCorrespondences);
+    }
+    let n = correspondences.len() as f64;
+    let mut src_c = Vec3::ZERO;
+    let mut tgt_c = Vec3::ZERO;
+    for c in correspondences {
+        src_c += source[c.source];
+        tgt_c += target[c.target];
+    }
+    src_c = src_c / n;
+    tgt_c = tgt_c / n;
+
+    // Cross-covariance H = Σ (s − s̄)(t − t̄)ᵀ; R = V D Uᵀ from H = U Σ Vᵀ,
+    // equivalently the polar rotation of Hᵀ.
+    let mut h = Mat3::ZERO;
+    for c in correspondences {
+        h = h + Mat3::outer(source[c.source] - src_c, target[c.target] - tgt_c);
+    }
+    let r = svd3(&h.transpose()).polar_rotation();
+    let t = tgt_c - r * src_c;
+    Ok(RigidTransform::new(r, t))
+}
+
+/// One linearized point-to-plane Gauss-Newton step: solves for the small
+/// twist `[α β γ tx ty tz]` minimizing `Σ (n·(R s + t − d))²` with the
+/// small-angle approximation, returning the incremental transform.
+///
+/// `target_normals` must be parallel to `target`.
+///
+/// # Errors
+///
+/// [`EstimateError::TooFewCorrespondences`] with fewer than 6 pairs;
+/// [`EstimateError::Degenerate`] when the 6×6 system is singular.
+pub fn estimate_point_to_plane(
+    source: &[Vec3],
+    target: &[Vec3],
+    target_normals: &[Vec3],
+    correspondences: &[Correspondence],
+) -> Result<RigidTransform, EstimateError> {
+    point_to_plane_damped(source, target, target_normals, correspondences, 0.0)
+}
+
+/// Point-to-plane step with Levenberg–Marquardt damping `lambda` on the
+/// normal equations (`lambda = 0` is plain Gauss-Newton).
+pub fn point_to_plane_damped(
+    source: &[Vec3],
+    target: &[Vec3],
+    target_normals: &[Vec3],
+    correspondences: &[Correspondence],
+    lambda: f64,
+) -> Result<RigidTransform, EstimateError> {
+    if correspondences.len() < 6 {
+        return Err(EstimateError::TooFewCorrespondences);
+    }
+    let mut ata = [[0.0f64; 6]; 6];
+    let mut atb = [0.0f64; 6];
+    for c in correspondences {
+        let s = source[c.source];
+        let d = target[c.target];
+        let n = target_normals[c.target];
+        // Residual r = n·(s − d); Jacobian row = [ (s × n)ᵀ, nᵀ ].
+        let cx = s.cross(n);
+        let row = [cx.x, cx.y, cx.z, n.x, n.y, n.z];
+        let r = n.dot(s - d);
+        for i in 0..6 {
+            for j in 0..6 {
+                ata[i][j] += row[i] * row[j];
+            }
+            atb[i] += row[i] * (-r);
+        }
+    }
+    if lambda > 0.0 {
+        for (i, row) in ata.iter_mut().enumerate() {
+            row[i] *= 1.0 + lambda;
+        }
+    }
+    let x = solve_ldlt6(&ata, &atb).map_err(|_| EstimateError::Degenerate)?;
+    Ok(RigidTransform::from_euler_xyz(
+        x[0],
+        x[1],
+        x[2],
+        Vec3::new(x[3], x[4], x[5]),
+    ))
+}
+
+/// Mean-square point-to-point error of the correspondences under transform
+/// `t` (the quantity the ICP convergence criterion monitors).
+pub fn mse_point_to_point(
+    source: &[Vec3],
+    target: &[Vec3],
+    correspondences: &[Correspondence],
+    t: &RigidTransform,
+) -> f64 {
+    if correspondences.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = correspondences
+        .iter()
+        .map(|c| t.apply(source[c.source]).distance_squared(target[c.target]))
+        .sum();
+    sum / correspondences.len() as f64
+}
+
+/// Mean-square point-to-plane error under transform `t`.
+pub fn mse_point_to_plane(
+    source: &[Vec3],
+    target: &[Vec3],
+    target_normals: &[Vec3],
+    correspondences: &[Correspondence],
+    t: &RigidTransform,
+) -> f64 {
+    if correspondences.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = correspondences
+        .iter()
+        .map(|c| {
+            let r = target_normals[c.target].dot(t.apply(source[c.source]) - target[c.target]);
+            r * r
+        })
+        .sum();
+    sum / correspondences.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_pairs(n: usize) -> Vec<Correspondence> {
+        (0..n)
+            .map(|i| Correspondence { source: i, target: i, distance_squared: 0.0 })
+            .collect()
+    }
+
+    fn sample_points() -> Vec<Vec3> {
+        vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(1.0, 1.0, 0.0),
+            Vec3::new(1.0, 0.0, 1.0),
+            Vec3::new(0.3, 0.7, 0.4),
+            Vec3::new(0.9, 0.2, 0.8),
+        ]
+    }
+
+    #[test]
+    fn svd_recovers_known_transform() {
+        let src = sample_points();
+        let gt = RigidTransform::from_axis_angle(Vec3::new(0.3, 1.0, -0.2), 0.7, Vec3::new(2.0, -1.0, 0.5));
+        let tgt: Vec<Vec3> = src.iter().map(|&p| gt.apply(p)).collect();
+        let est = estimate_svd(&src, &tgt, &make_pairs(src.len())).unwrap();
+        assert!((est.rotation - gt.rotation).frobenius_norm() < 1e-9);
+        assert!((est.translation - gt.translation).norm() < 1e-9);
+    }
+
+    #[test]
+    fn svd_requires_three_pairs() {
+        let src = sample_points();
+        assert_eq!(
+            estimate_svd(&src, &src, &make_pairs(2)),
+            Err(EstimateError::TooFewCorrespondences)
+        );
+        assert!(estimate_svd(&src, &src, &make_pairs(3)).is_ok());
+    }
+
+    #[test]
+    fn svd_identity_on_identical_clouds() {
+        let src = sample_points();
+        let est = estimate_svd(&src, &src, &make_pairs(src.len())).unwrap();
+        assert!(est.is_identity(1e-10));
+    }
+
+    #[test]
+    fn point_to_plane_recovers_small_transform() {
+        // Points on varied planes with proper normals; small motion so the
+        // linearization is accurate.
+        let src = sample_points();
+        let normals: Vec<Vec3> = vec![
+            Vec3::Z,
+            Vec3::X,
+            Vec3::Y,
+            Vec3::Z,
+            Vec3::new(0.7, 0.7, 0.0).normalized().unwrap(),
+            Vec3::new(0.0, 0.7, 0.7).normalized().unwrap(),
+            Vec3::new(0.6, 0.0, 0.8),
+            Vec3::new(0.8, 0.6, 0.0),
+        ];
+        let gt = RigidTransform::from_euler_xyz(0.01, -0.02, 0.015, Vec3::new(0.05, -0.03, 0.02));
+        // target = gt(src): solving for the transform mapping src onto target.
+        let tgt: Vec<Vec3> = src.iter().map(|&p| gt.apply(p)).collect();
+        let est = estimate_point_to_plane(&src, &tgt, &normals, &make_pairs(src.len())).unwrap();
+        assert!((est.translation - gt.translation).norm() < 5e-3, "t = {}", est.translation);
+        assert!((est.rotation - gt.rotation).frobenius_norm() < 5e-3);
+    }
+
+    #[test]
+    fn point_to_plane_needs_six_pairs() {
+        let src = sample_points();
+        let normals = vec![Vec3::Z; src.len()];
+        assert_eq!(
+            estimate_point_to_plane(&src, &src, &normals, &make_pairs(5)),
+            Err(EstimateError::TooFewCorrespondences)
+        );
+    }
+
+    #[test]
+    fn point_to_plane_degenerate_normals() {
+        // All normals identical: rotation about the normal and in-plane
+        // translation are unobservable → singular system.
+        let src = sample_points();
+        let normals = vec![Vec3::Z; src.len()];
+        let result = estimate_point_to_plane(&src, &src, &normals, &make_pairs(src.len()));
+        assert_eq!(result, Err(EstimateError::Degenerate));
+    }
+
+    #[test]
+    fn damping_shrinks_the_step() {
+        let src = sample_points();
+        // Well-spread normals so the undamped system is non-degenerate.
+        let normals: Vec<Vec3> = vec![
+            Vec3::Z,
+            Vec3::X,
+            Vec3::Y,
+            Vec3::new(0.7, 0.7, 0.0).normalized().unwrap(),
+            Vec3::new(0.0, 0.7, 0.7).normalized().unwrap(),
+            Vec3::new(0.7, 0.0, 0.7).normalized().unwrap(),
+            Vec3::new(0.6, 0.0, 0.8),
+            Vec3::new(0.8, 0.6, 0.0),
+        ];
+        let gt = RigidTransform::from_euler_xyz(0.05, 0.0, 0.0, Vec3::new(0.2, 0.0, 0.0));
+        let tgt: Vec<Vec3> = src.iter().map(|&p| gt.apply(p)).collect();
+        let pairs = make_pairs(src.len());
+        let free = point_to_plane_damped(&src, &tgt, &normals, &pairs, 0.0).unwrap();
+        let damped = point_to_plane_damped(&src, &tgt, &normals, &pairs, 10.0).unwrap();
+        assert!(damped.translation_norm() < free.translation_norm());
+        assert!(damped.rotation_angle() <= free.rotation_angle() + 1e-12);
+    }
+
+    #[test]
+    fn mse_zero_for_perfect_alignment() {
+        let src = sample_points();
+        let gt = RigidTransform::from_translation(Vec3::new(1.0, 2.0, 3.0));
+        let tgt: Vec<Vec3> = src.iter().map(|&p| gt.apply(p)).collect();
+        let pairs = make_pairs(src.len());
+        assert!(mse_point_to_point(&src, &tgt, &pairs, &gt) < 1e-18);
+        let normals = vec![Vec3::Z; src.len()];
+        assert!(mse_point_to_plane(&src, &tgt, &normals, &pairs, &gt) < 1e-18);
+        assert_eq!(mse_point_to_point(&src, &tgt, &[], &gt), 0.0);
+    }
+
+    #[test]
+    fn mse_grows_with_misalignment() {
+        let src = sample_points();
+        let pairs = make_pairs(src.len());
+        let near = RigidTransform::from_translation(Vec3::new(0.01, 0.0, 0.0));
+        let far = RigidTransform::from_translation(Vec3::new(1.0, 0.0, 0.0));
+        assert!(
+            mse_point_to_point(&src, &src, &pairs, &near)
+                < mse_point_to_point(&src, &src, &pairs, &far)
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!EstimateError::TooFewCorrespondences.to_string().is_empty());
+        assert!(!EstimateError::Degenerate.to_string().is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! The `tigris` command-line tool: run the registration pipeline on KITTI
+//! Velodyne scans (or synthetic data) without writing any code.
+//!
+//! ```text
+//! tigris register <source.bin> <target.bin>     # one pair → transform
+//! tigris odometry <scan dir> [--out poses.txt]  # whole sequence → poses
+//! tigris generate <out dir> --frames N          # synthetic scans + poses
+//! tigris info <scan.bin|scan.xyz>               # cloud statistics
+//! ```
+//!
+//! Scans may be KITTI `.bin` (f32 x y z intensity) or plain `.xyz` text.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tigris::data::{
+    read_velodyne_bin, read_xyz, write_poses, write_velodyne_bin, Sequence, SequenceConfig,
+};
+use tigris::geom::{PointCloud, RigidTransform};
+use tigris::pipeline::{DesignPoint, Odometer, RegistrationConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "register" => cmd_register(rest),
+        "odometry" => cmd_odometry(rest),
+        "generate" => cmd_generate(rest),
+        "info" => cmd_info(rest),
+        "-h" | "--help" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+const USAGE: &str = "tigris — point-cloud registration (Tigris reproduction)
+
+usage:
+  tigris register <source> <target> [--profile dp4|dp7|default]
+  tigris odometry <scan dir> [--out poses.txt] [--profile dp4|dp7|default]
+  tigris generate <out dir> [--frames N] [--seed N]
+  tigris info <scan>
+
+scans: KITTI .bin (f32 x y z intensity) or .xyz text";
+
+fn load_cloud(path: &Path) -> Result<PointCloud, String> {
+    let cloud = match path.extension().and_then(|e| e.to_str()) {
+        Some("bin") => read_velodyne_bin(path),
+        Some("xyz") | Some("txt") => read_xyz(path),
+        _ => return Err(format!("{}: unknown scan extension (want .bin or .xyz)", path.display())),
+    }
+    .map_err(|e| format!("{}: {e}", path.display()))?;
+    if cloud.is_empty() {
+        return Err(format!("{}: empty cloud", path.display()));
+    }
+    Ok(cloud)
+}
+
+fn parse_profile(args: &[String]) -> Result<RegistrationConfig, String> {
+    match flag_value(args, "--profile").unwrap_or("default") {
+        "default" => Ok(RegistrationConfig::default()),
+        "dp4" => Ok(DesignPoint::Dp4.config()),
+        "dp7" => Ok(DesignPoint::Dp7.config()),
+        other => Err(format!("unknown profile '{other}' (want dp4, dp7 or default)")),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn positional(args: &[String], n: usize) -> Option<&String> {
+    args.iter()
+        .scan(false, |skip, a| {
+            let keep = if *skip {
+                *skip = false;
+                false
+            } else if a.starts_with("--") {
+                *skip = true;
+                false
+            } else {
+                true
+            };
+            Some((keep, a))
+        })
+        .filter(|(keep, _)| *keep)
+        .map(|(_, a)| a)
+        .nth(n)
+}
+
+fn cmd_register(args: &[String]) -> Result<(), String> {
+    let src_path = positional(args, 0).ok_or("register needs <source> <target>")?;
+    let tgt_path = positional(args, 1).ok_or("register needs <source> <target>")?;
+    let cfg = parse_profile(args)?;
+    let source = load_cloud(Path::new(src_path))?;
+    let target = load_cloud(Path::new(tgt_path))?;
+    eprintln!("source: {} points, target: {} points", source.len(), target.len());
+
+    let result = tigris::pipeline::register(&source, &target, &cfg)
+        .map_err(|e| format!("registration failed: {e}"))?;
+    eprintln!(
+        "key-points {}/{}, {} inliers, {} ICP iterations, kd-search {:.0}%",
+        result.keypoints.0,
+        result.keypoints.1,
+        result.inlier_correspondences,
+        result.icp_iterations,
+        result.profile.kd_search_fraction() * 100.0
+    );
+    // Machine-readable result on stdout: one KITTI pose line.
+    println!("{}", tigris::data::kitti_io::pose_to_line(&result.transform));
+    Ok(())
+}
+
+fn cmd_odometry(args: &[String]) -> Result<(), String> {
+    let dir = positional(args, 0).ok_or("odometry needs <scan dir>")?;
+    let cfg = parse_profile(args)?;
+    let mut scans: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{dir}: {e}"))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            matches!(p.extension().and_then(|e| e.to_str()), Some("bin") | Some("xyz"))
+        })
+        .collect();
+    scans.sort();
+    if scans.len() < 2 {
+        return Err(format!("{dir}: need at least 2 scans, found {}", scans.len()));
+    }
+    eprintln!("{} scans", scans.len());
+
+    let mut odo = Odometer::new(cfg);
+    let mut poses = vec![RigidTransform::IDENTITY];
+    for (i, path) in scans.iter().enumerate() {
+        let cloud = load_cloud(path)?;
+        match odo.push(&cloud) {
+            Ok(None) => eprintln!("[{i}] {} (origin)", path.display()),
+            Ok(Some(step)) => {
+                eprintln!(
+                    "[{i}] {}: |t| = {:.3} m, {} iters",
+                    path.display(),
+                    step.relative.translation_norm(),
+                    step.registration.icp_iterations
+                );
+                poses.push(step.pose);
+            }
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    if let Some(out) = flag_value(args, "--out") {
+        write_poses(out, &poses).map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("poses written to {out}");
+    } else {
+        for pose in &poses {
+            println!("{}", tigris::data::kitti_io::pose_to_line(pose));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let dir = positional(args, 0).ok_or("generate needs <out dir>")?;
+    let frames: usize = flag_value(args, "--frames")
+        .map(|v| v.parse().map_err(|e| format!("--frames: {e}")))
+        .transpose()?
+        .unwrap_or(5);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+
+    let mut cfg = SequenceConfig::medium();
+    cfg.frames = frames;
+    eprintln!("generating {frames} synthetic frames (seed {seed})...");
+    let seq = Sequence::generate(&cfg, seed);
+    for i in 0..seq.len() {
+        let path = Path::new(dir).join(format!("{i:06}.bin"));
+        write_velodyne_bin(&path, seq.frame(i)).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    let poses_path = Path::new(dir).join("poses.txt");
+    write_poses(&poses_path, seq.poses()).map_err(|e| format!("{}: {e}", poses_path.display()))?;
+    eprintln!(
+        "wrote {} scans + ground-truth {}",
+        seq.len(),
+        poses_path.display()
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0).ok_or("info needs <scan>")?;
+    let cloud = load_cloud(Path::new(path))?;
+    let bbox = cloud.bounding_box().expect("non-empty");
+    let centroid = cloud.centroid().expect("non-empty");
+    println!("points:   {}", cloud.len());
+    println!("centroid: {centroid}");
+    println!("bbox min: {}", bbox.min);
+    println!("bbox max: {}", bbox.max);
+    let downsampled = cloud.voxel_downsample(0.25);
+    println!("voxel 0.25 m: {} points", downsampled.len());
+    Ok(())
+}

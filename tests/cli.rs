@@ -1,0 +1,107 @@
+//! Smoke tests for the `tigris` CLI binary: generate → info → register →
+//! odometry round trip on a temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tigris_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_tigris")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tigris_cli_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_and_unknown_command() {
+    let out = Command::new(tigris_bin()).arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
+
+    let out = Command::new(tigris_bin()).arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = Command::new(tigris_bin()).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn generate_info_register_odometry_round_trip() {
+    let dir = temp_dir("roundtrip");
+    // Generate a tiny sequence. (Frames are full 64-beam scans; keep it to 3.)
+    let out = Command::new(tigris_bin())
+        .args(["generate", dir.to_str().unwrap(), "--frames", "3", "--seed", "9"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("000000.bin").exists());
+    assert!(dir.join("000002.bin").exists());
+    assert!(dir.join("poses.txt").exists());
+
+    // Info on a generated scan.
+    let out = Command::new(tigris_bin())
+        .args(["info", dir.join("000000.bin").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("points:"));
+
+    // Register frame 1 onto frame 0: stdout is one KITTI pose line whose
+    // translation is ~1 m (the generator's vehicle speed / frame rate).
+    let out = Command::new(tigris_bin())
+        .args([
+            "register",
+            dir.join("000001.bin").to_str().unwrap(),
+            dir.join("000000.bin").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "register failed: {}", String::from_utf8_lossy(&out.stderr));
+    let line = String::from_utf8_lossy(&out.stdout);
+    let pose = tigris::data::kitti_io::pose_from_line(line.trim()).unwrap();
+    let t = pose.translation_norm();
+    assert!(t > 0.5 && t < 2.0, "|t| = {t}");
+
+    // Odometry over the directory, poses to a file.
+    let poses_out = dir.join("est_poses.txt");
+    let out = Command::new(tigris_bin())
+        .args([
+            "odometry",
+            dir.to_str().unwrap(),
+            "--out",
+            poses_out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "odometry failed: {}", String::from_utf8_lossy(&out.stderr));
+    let est = tigris::data::read_poses(&poses_out).unwrap();
+    let gt = tigris::data::read_poses(dir.join("poses.txt")).unwrap();
+    assert_eq!(est.len(), gt.len());
+    // End-pose agreement within 20 cm over ~2 m of travel.
+    let drift = (est.last().unwrap().translation - gt.last().unwrap().translation).norm();
+    assert!(drift < 0.2, "drift {drift} m");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn register_rejects_bad_paths() {
+    let out = Command::new(tigris_bin())
+        .args(["register", "/nonexistent/a.bin", "/nonexistent/b.bin"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let out = Command::new(tigris_bin())
+        .args(["register", "/tmp", "/tmp"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

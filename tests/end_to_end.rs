@@ -1,0 +1,148 @@
+//! Cross-crate integration tests: synthetic data → registration pipeline →
+//! KITTI metrics, exercising the full public API the way a downstream user
+//! would.
+
+use tigris::data::{relative_pose_error, sequence_error, Sequence, SequenceConfig};
+use tigris::geom::{RigidTransform, Vec3};
+use tigris::pipeline::{register, DesignPoint, RegistrationConfig};
+
+/// A small but realistic sequence (shared across tests to amortize the
+/// LiDAR ray casting).
+fn test_sequence() -> &'static Sequence {
+    use std::sync::OnceLock;
+    static SEQ: OnceLock<Sequence> = OnceLock::new();
+    SEQ.get_or_init(|| {
+        let mut cfg = SequenceConfig::medium();
+        cfg.frames = 3;
+        Sequence::generate(&cfg, 42)
+    })
+}
+
+#[test]
+fn registration_recovers_ground_truth_motion() {
+    let seq = test_sequence();
+    let result = register(seq.frame(1), seq.frame(0), &RegistrationConfig::default())
+        .expect("registration failed");
+    let gt = seq.ground_truth_relative(0);
+    let (t_err, r_err) = relative_pose_error(&result.transform, &gt);
+    assert!(t_err < 0.10, "translation error {t_err} m on ~1 m motion");
+    assert!(r_err.to_degrees() < 0.5, "rotation error {}°", r_err.to_degrees());
+}
+
+#[test]
+fn odometry_over_sequence_has_low_drift() {
+    let seq = test_sequence();
+    let cfg = RegistrationConfig::default();
+    let mut estimates = Vec::new();
+    let mut gts = Vec::new();
+    for i in 0..seq.len() - 1 {
+        let r = register(seq.frame(i + 1), seq.frame(i), &cfg).expect("pair failed");
+        estimates.push(r.transform);
+        gts.push(seq.ground_truth_relative(i));
+    }
+    let err = sequence_error(&estimates, &gts);
+    assert_eq!(err.pairs, 2);
+    assert!(
+        err.translational_percent < 10.0,
+        "translational error {}%",
+        err.translational_percent
+    );
+    assert!(
+        err.rotational_deg_per_m < 0.5,
+        "rotational error {} °/m",
+        err.rotational_deg_per_m
+    );
+}
+
+#[test]
+fn kd_search_dominates_registration_time() {
+    // The paper's central characterization claim (Fig. 4b): KD-tree search
+    // is 50-85% of registration time. Allow slack on the lower bound for
+    // host variance.
+    let seq = test_sequence();
+    let result = register(seq.frame(1), seq.frame(0), &RegistrationConfig::default())
+        .expect("registration failed");
+    let f = result.profile.kd_search_fraction();
+    assert!(f > 0.35, "kd search fraction {f}");
+    assert!(f < 1.0);
+}
+
+#[test]
+fn design_points_trade_accuracy_for_time() {
+    // DP4 (performance) must run fewer ICP iterations and search less than
+    // DP7 (accuracy).
+    let seq = test_sequence();
+    let dp4 = register(seq.frame(1), seq.frame(0), &DesignPoint::Dp4.config()).unwrap();
+    let dp7 = register(seq.frame(1), seq.frame(0), &DesignPoint::Dp7.config()).unwrap();
+    assert!(
+        dp4.profile.search_stats.total_nodes_visited()
+            < dp7.profile.search_stats.total_nodes_visited(),
+        "DP4 searched more than DP7"
+    );
+}
+
+#[test]
+fn two_stage_backend_preserves_registration_quality() {
+    use tigris::pipeline::config::SearchBackendConfig;
+    let seq = test_sequence();
+    let gt = seq.ground_truth_relative(0);
+
+    let classic = register(seq.frame(1), seq.frame(0), &RegistrationConfig::default()).unwrap();
+    let mut cfg = RegistrationConfig::default();
+    cfg.backend = SearchBackendConfig::TwoStage { top_height: 8 };
+    let two_stage = register(seq.frame(1), seq.frame(0), &cfg).unwrap();
+
+    let (t_classic, _) = relative_pose_error(&classic.transform, &gt);
+    let (t_two, _) = relative_pose_error(&two_stage.transform, &gt);
+    // Exact two-stage search: equal results up to float noise.
+    assert!(
+        (t_classic - t_two).abs() < 1e-6,
+        "classic {t_classic} vs two-stage {t_two}"
+    );
+}
+
+#[test]
+fn approximate_backend_keeps_error_small() {
+    use tigris::core::ApproxConfig;
+    use tigris::pipeline::config::SearchBackendConfig;
+    let seq = test_sequence();
+    let gt = seq.ground_truth_relative(0);
+
+    let mut cfg = RegistrationConfig::default();
+    cfg.backend = SearchBackendConfig::TwoStageApprox {
+        top_height: 8,
+        approx: ApproxConfig::default(),
+    };
+    let result = register(seq.frame(1), seq.frame(0), &cfg).unwrap();
+    let (t_err, r_err) = relative_pose_error(&result.transform, &gt);
+    // The paper: approximate search costs no translational accuracy and
+    // ≤0.05 °/m rotational. Allow a loose envelope.
+    assert!(t_err < 0.15, "translation error {t_err} m under approximation");
+    assert!(r_err.to_degrees() < 1.0);
+    assert!(
+        result.profile.search_stats.follower_hits > 0,
+        "approximation never engaged"
+    );
+}
+
+#[test]
+fn register_is_deterministic() {
+    let seq = test_sequence();
+    let cfg = RegistrationConfig::default();
+    let a = register(seq.frame(1), seq.frame(0), &cfg).unwrap();
+    let b = register(seq.frame(1), seq.frame(0), &cfg).unwrap();
+    assert_eq!(a.transform.translation, b.transform.translation);
+    assert_eq!(a.keypoints, b.keypoints);
+    assert_eq!(a.inlier_correspondences, b.inlier_correspondences);
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The facade crate's re-exports interoperate (types are the same).
+    let v = tigris::geom::Vec3::new(1.0, 0.0, 0.0);
+    let t = RigidTransform::from_translation(Vec3::Y);
+    let cloud = tigris::geom::PointCloud::from_points(vec![v]);
+    let moved = cloud.transformed(&t);
+    let tree = tigris::core::KdTree::build(moved.points());
+    assert_eq!(tree.nn(Vec3::new(1.0, 1.0, 0.0)).unwrap().distance_squared, 0.0);
+}
