@@ -57,6 +57,61 @@ pub fn nn_queries(n: usize, seed: u64) -> Vec<Vec3> {
     source.into_iter().take(n).collect()
 }
 
+/// A deterministic city-block scene of **at least** `min_points` points
+/// plus an RPCE-style query stream (every point perturbed by a ~0.5 m
+/// frame-to-frame motion), for scaling experiments that need more points
+/// than a single simulated LiDAR scan produces (~30–45k). Ground plane,
+/// building walls and scattered clutter give the KD-tree realistic
+/// non-uniform density.
+pub fn huge_frame_pair(min_points: usize, seed: u64) -> (Vec<Vec3>, Vec<Vec3>) {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut unit = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+
+    let mut points = Vec::with_capacity(min_points + min_points / 8);
+    // Scale the ground grid so the target is reached with ~60% ground,
+    // ~30% walls, ~10% clutter.
+    let ground = min_points * 6 / 10;
+    let side = (ground as f64).sqrt().ceil() as usize;
+    let step = 120.0 / side as f64;
+    for i in 0..side {
+        for j in 0..side {
+            points.push(Vec3::new(
+                i as f64 * step - 60.0 + (unit() - 0.5) * 0.05,
+                j as f64 * step - 60.0 + (unit() - 0.5) * 0.05,
+                (unit() - 0.5) * 0.04,
+            ));
+        }
+    }
+    let walls = min_points * 3 / 10;
+    let per_wall = walls / 8;
+    for w in 0..8 {
+        let x0 = -50.0 + 14.0 * w as f64;
+        for _ in 0..per_wall {
+            points.push(Vec3::new(
+                x0 + (unit() - 0.5) * 0.1,
+                (unit() - 0.5) * 100.0,
+                unit() * 8.0,
+            ));
+        }
+    }
+    while points.len() < min_points {
+        points.push(Vec3::new(
+            (unit() - 0.5) * 110.0,
+            (unit() - 0.5) * 110.0,
+            unit() * 5.0,
+        ));
+    }
+
+    let queries = points
+        .iter()
+        .map(|&p| p + Vec3::new(0.5 + (unit() - 0.5) * 0.2, (unit() - 0.5) * 0.2, 0.0))
+        .collect();
+    (points, queries)
+}
+
 /// The top-tree height giving a target mean leaf-set size for `n` points
 /// (paper: ~130k points + height 10 ⇒ leaf sets of ~128).
 pub fn height_for_leaf_size(n_points: usize, leaf_size: usize) -> usize {

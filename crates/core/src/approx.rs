@@ -45,10 +45,111 @@ impl Default for ApproxConfig {
 
 /// A recorded leader: its query point and its complete search results.
 #[derive(Debug, Clone)]
-struct Leader {
+pub(crate) struct Leader {
     query: Vec3,
     /// Point indices of the leader's full (multi-leaf) search result.
     results: Vec<u32>,
+}
+
+/// Finds the closest leader to `q` in `leaders`, counting the distance
+/// checks; returns `(index, distance)`.
+fn closest_leader(leaders: &[Leader], q: Vec3, stats: &mut SearchStats) -> Option<(usize, f64)> {
+    stats.leader_checks += leaders.len() as u64;
+    leaders
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            q.distance_squared(a.query)
+                .partial_cmp(&q.distance_squared(b.query))
+                .unwrap()
+        })
+        .map(|(i, l)| (i, q.distance(l.query)))
+}
+
+/// The NN kernel of Algorithm 1 against a *single leaf's* leader book.
+///
+/// All approximate-search state is per-leaf, so this kernel — shared by
+/// the serial [`ApproxSearcher`] entry points and the leaf-grouped batched
+/// execution in [`crate::batch`] — is the unit whose sequencing must be
+/// preserved for batched results to be bit-identical to serial ones.
+pub(crate) fn nn_in_book(
+    tree: &TwoStageKdTree,
+    cfg: &ApproxConfig,
+    book: &mut Vec<Leader>,
+    query: Vec3,
+    stats: &mut SearchStats,
+) -> Option<Neighbor> {
+    // Follower path: inherit the closest leader's result.
+    stats.queries += 1;
+    if let Some((li, dist)) = closest_leader(book, query, stats) {
+        if dist < cfg.nn_threshold {
+            let leader = &book[li];
+            stats.follower_hits += 1;
+            stats.leader_result_points_scanned += leader.results.len() as u64;
+            let mut best = Neighbor::new(usize::MAX, f64::INFINITY);
+            for &i in &leader.results {
+                let d2 = query.distance_squared(tree.points()[i as usize]);
+                if d2 < best.distance_squared {
+                    best = Neighbor::new(i as usize, d2);
+                }
+            }
+            return (best.index != usize::MAX).then_some(best);
+        }
+    }
+    // Precise path: the stats from the full search below also bump
+    // `queries`; compensate so each logical query counts once.
+    stats.queries -= 1;
+
+    let result = tree.nn_with_stats(query, stats);
+    if let Some(best) = result {
+        if book.len() < cfg.leader_cap {
+            stats.leader_promotions += 1;
+            book.push(Leader { query, results: vec![best.index as u32] });
+        }
+    }
+    result
+}
+
+/// The radius kernel of Algorithm 1 against a single leaf's leader book;
+/// see [`nn_in_book`].
+pub(crate) fn radius_in_book(
+    tree: &TwoStageKdTree,
+    cfg: &ApproxConfig,
+    book: &mut Vec<Leader>,
+    query: Vec3,
+    radius: f64,
+    stats: &mut SearchStats,
+) -> Vec<Neighbor> {
+    stats.queries += 1;
+    if let Some((li, dist)) = closest_leader(book, query, stats) {
+        if dist < cfg.radius_threshold_frac * radius {
+            let leader = &book[li];
+            stats.follower_hits += 1;
+            stats.leader_result_points_scanned += leader.results.len() as u64;
+            let r2 = radius * radius;
+            let mut out: Vec<Neighbor> = leader
+                .results
+                .iter()
+                .filter_map(|&i| {
+                    let d2 = query.distance_squared(tree.points()[i as usize]);
+                    (d2 <= r2).then(|| Neighbor::new(i as usize, d2))
+                })
+                .collect();
+            out.sort();
+            return out;
+        }
+    }
+    stats.queries -= 1;
+
+    let result = tree.radius_with_stats(query, radius, stats);
+    if book.len() < cfg.leader_cap {
+        stats.leader_promotions += 1;
+        book.push(Leader {
+            query,
+            results: result.iter().map(|n| n.index as u32).collect(),
+        });
+    }
+    result
 }
 
 /// Stateful approximate searcher over a [`TwoStageKdTree`].
@@ -117,25 +218,18 @@ impl<'t> ApproxSearcher<'t> {
             + self.radius_leaders.iter().map(Vec::len).sum::<usize>()
     }
 
-    /// Finds the closest leader to `q` in `book[leaf]`, counting the
-    /// distance checks; returns `(index, distance)`.
-    fn closest_leader(
-        book: &[Vec<Leader>],
-        leaf: usize,
-        q: Vec3,
-        stats: &mut SearchStats,
-    ) -> Option<(usize, f64)> {
-        let leaders = &book[leaf];
-        stats.leader_checks += leaders.len() as u64;
-        leaders
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                q.distance_squared(a.query)
-                    .partial_cmp(&q.distance_squared(b.query))
-                    .unwrap()
-            })
-            .map(|(i, l)| (i, q.distance(l.query)))
+    /// The indexed two-stage tree.
+    pub fn tree(&self) -> &'t TwoStageKdTree {
+        self.tree
+    }
+
+    /// Splits the searcher into the shared tree/config and the two
+    /// mutable leader books, for the leaf-grouped batched execution in
+    /// [`crate::batch`].
+    pub(crate) fn leaf_parts(
+        &mut self,
+    ) -> (&'t TwoStageKdTree, ApproxConfig, &mut [Vec<Leader>], &mut [Vec<Leader>]) {
+        (self.tree, self.cfg, &mut self.nn_leaders, &mut self.radius_leaders)
     }
 
     /// Approximate nearest-neighbor search.
@@ -149,39 +243,13 @@ impl<'t> ApproxSearcher<'t> {
         if self.tree.is_empty() {
             return None;
         }
-        let primary = self.tree.primary_leaf(query);
-
-        // Follower path: inherit the closest leader's result.
-        if let Some(leaf) = primary {
-            stats.queries += 1;
-            if let Some((li, dist)) = Self::closest_leader(&self.nn_leaders, leaf, query, stats) {
-                if dist < self.cfg.nn_threshold {
-                    let leader = &self.nn_leaders[leaf][li];
-                    stats.follower_hits += 1;
-                    stats.leader_result_points_scanned += leader.results.len() as u64;
-                    let mut best = Neighbor::new(usize::MAX, f64::INFINITY);
-                    for &i in &leader.results {
-                        let d2 = query.distance_squared(self.tree.points()[i as usize]);
-                        if d2 < best.distance_squared {
-                            best = Neighbor::new(i as usize, d2);
-                        }
-                    }
-                    return (best.index != usize::MAX).then_some(best);
-                }
+        match self.tree.primary_leaf(query) {
+            Some(leaf) => {
+                nn_in_book(self.tree, &self.cfg, &mut self.nn_leaders[leaf], query, stats)
             }
-            // Precise path: the stats from the full search below also bump
-            // `queries`; compensate so each logical query counts once.
-            stats.queries -= 1;
+            // Dead-end descent: no book to consult or extend; exact search.
+            None => self.tree.nn_with_stats(query, stats),
         }
-
-        let result = self.tree.nn_with_stats(query, stats);
-        if let (Some(leaf), Some(best)) = (primary, result) {
-            if self.nn_leaders[leaf].len() < self.cfg.leader_cap {
-                stats.leader_promotions += 1;
-                self.nn_leaders[leaf].push(Leader { query, results: vec![best.index as u32] });
-            }
-        }
-        result
     }
 
     /// Approximate radius search. Results are sorted ascending by distance.
@@ -214,44 +282,17 @@ impl<'t> ApproxSearcher<'t> {
         if self.tree.is_empty() {
             return Vec::new();
         }
-        let primary = self.tree.primary_leaf(query);
-
-        if let Some(leaf) = primary {
-            stats.queries += 1;
-            if let Some((li, dist)) =
-                Self::closest_leader(&self.radius_leaders, leaf, query, stats)
-            {
-                if dist < self.cfg.radius_threshold_frac * radius {
-                    let leader = &self.radius_leaders[leaf][li];
-                    stats.follower_hits += 1;
-                    stats.leader_result_points_scanned += leader.results.len() as u64;
-                    let r2 = radius * radius;
-                    let mut out: Vec<Neighbor> = leader
-                        .results
-                        .iter()
-                        .filter_map(|&i| {
-                            let d2 = query.distance_squared(self.tree.points()[i as usize]);
-                            (d2 <= r2).then(|| Neighbor::new(i as usize, d2))
-                        })
-                        .collect();
-                    out.sort();
-                    return out;
-                }
-            }
-            stats.queries -= 1;
+        match self.tree.primary_leaf(query) {
+            Some(leaf) => radius_in_book(
+                self.tree,
+                &self.cfg,
+                &mut self.radius_leaders[leaf],
+                query,
+                radius,
+                stats,
+            ),
+            None => self.tree.radius_with_stats(query, radius, stats),
         }
-
-        let result = self.tree.radius_with_stats(query, radius, stats);
-        if let Some(leaf) = primary {
-            if self.radius_leaders[leaf].len() < self.cfg.leader_cap {
-                stats.leader_promotions += 1;
-                self.radius_leaders[leaf].push(Leader {
-                    query,
-                    results: result.iter().map(|n| n.index as u32).collect(),
-                });
-            }
-        }
-        result
     }
 }
 

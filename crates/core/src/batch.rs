@@ -1,0 +1,778 @@
+//! Parallel batched neighbor search — the software realization of the
+//! query-level parallelism the paper's two-stage KD-tree exists to expose
+//! (Sec. 4.1: "the two-stage tree trades redundant work for parallelism").
+//!
+//! The registration pipeline issues neighbor queries in large, independent
+//! fan-outs: one radius query per point during normal estimation, one per
+//! key-point during descriptor calculation, one NN query per source point
+//! per ICP iteration. This module executes such batches across OS threads
+//! while keeping every observable output — results *and* [`SearchStats`]
+//! counters — bit-identical to the serial execution:
+//!
+//! * Stateless backends ([`KdTree`], [`TwoStageKdTree`], brute force) are
+//!   `Sync`; the batch is split into contiguous spans, one per worker, and
+//!   results are concatenated in span order.
+//! * The stateful [`ApproxSearcher`] (Algorithm 1) keeps *per-leaf* leader
+//!   books, so queries are grouped by their primary leaf and each worker
+//!   owns a contiguous range of leaves. Within a leaf, queries run in
+//!   arrival order — exactly the per-leaf history the serial searcher
+//!   produces, and the same scheme the hardware's per-SU leader buffers
+//!   implement (Sec. 5.4).
+//!
+//! Every worker accumulates into its own [`SearchStats`] and the
+//! per-thread counters are merged losslessly afterwards, so batched
+//! node-visit accounting equals the serial totals exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use tigris_core::batch::{BatchConfig, BatchSearcher};
+//! use tigris_core::{KdTree, SearchStats};
+//! use tigris_geom::Vec3;
+//!
+//! let pts: Vec<Vec3> = (0..2000)
+//!     .map(|i| Vec3::new((i % 50) as f64, (i / 50) as f64, 0.0))
+//!     .collect();
+//! let queries: Vec<Vec3> = (0..500).map(|i| Vec3::new(i as f64 * 0.1, 3.3, 0.2)).collect();
+//!
+//! let mut tree = KdTree::build(&pts);
+//! let cfg = BatchConfig { threads: 4, min_chunk: 16 };
+//! let mut stats = SearchStats::new();
+//! let batched = tree.nn_batch(&queries, &cfg, &mut stats);
+//!
+//! // Identical to the serial answers, with all queries accounted.
+//! assert_eq!(batched.len(), queries.len());
+//! assert_eq!(stats.queries, queries.len() as u64);
+//! assert_eq!(batched[7].unwrap().index, tree.nn(queries[7]).unwrap().index);
+//! ```
+
+use crate::approx::{nn_in_book, radius_in_book, Leader};
+use crate::{ApproxConfig, ApproxSearcher, KdTree, Neighbor, SearchStats, TwoStageKdTree};
+use tigris_geom::Vec3;
+
+/// Parallelism knobs for batched query execution.
+///
+/// The defaults are deliberately serial (`threads == 1`): callers opt in
+/// to parallelism explicitly, and every higher layer
+/// (`tigris-pipeline`'s `RegistrationConfig`) threads this through as a
+/// sweepable design knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Worker threads for batched queries. `0` means one per available
+    /// hardware thread; `1` runs inline on the calling thread.
+    pub threads: usize,
+    /// Minimum queries per worker. Batches smaller than
+    /// `threads × min_chunk` use fewer workers, so tiny batches never pay
+    /// thread-spawn overhead for nothing.
+    pub min_chunk: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig::serial()
+    }
+}
+
+impl BatchConfig {
+    /// Inline execution on the calling thread (the default).
+    pub fn serial() -> Self {
+        BatchConfig { threads: 1, min_chunk: 256 }
+    }
+
+    /// One worker per available hardware thread.
+    pub fn auto() -> Self {
+        BatchConfig { threads: 0, min_chunk: 256 }
+    }
+
+    /// Exactly `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        BatchConfig { threads, min_chunk: 256 }
+    }
+
+    /// The worker count this config resolves to for a batch of `items`.
+    pub fn resolve_threads(&self, items: usize) -> usize {
+        if items == 0 {
+            return 1;
+        }
+        let hw = if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        hw.min(items.div_ceil(self.min_chunk.max(1))).max(1)
+    }
+}
+
+/// Balanced contiguous spans `[lo, hi)` covering `0..n` across `t` workers.
+fn spans(n: usize, t: usize) -> Vec<(usize, usize)> {
+    let base = n / t;
+    let extra = n % t;
+    let mut out = Vec::with_capacity(t);
+    let mut lo = 0;
+    for i in 0..t {
+        let len = base + usize::from(i < extra);
+        out.push((lo, lo + len));
+        lo += len;
+    }
+    out
+}
+
+/// Runs `f` over every query, fanning contiguous spans out across the
+/// configured worker threads. Results come back in query order and every
+/// worker's [`SearchStats`] is merged into `stats`, so the outcome is
+/// indistinguishable from the serial loop.
+///
+/// This is the engine behind the stateless [`BatchSearcher`]
+/// implementations; it is public so other crates can parallelize their own
+/// `Sync` search closures (e.g. feature-space KPCE over a `KdTreeN`).
+pub fn parallel_queries<R, F>(
+    queries: &[Vec3],
+    cfg: &BatchConfig,
+    stats: &mut SearchStats,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Vec3, &mut SearchStats) -> R + Sync,
+{
+    let t = cfg.resolve_threads(queries.len());
+    if t <= 1 {
+        return queries.iter().map(|&q| f(q, stats)).collect();
+    }
+    let parts: Vec<(Vec<R>, SearchStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = spans(queries.len(), t)
+            .into_iter()
+            .map(|(lo, hi)| {
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local = SearchStats::new();
+                    let out: Vec<R> =
+                        queries[lo..hi].iter().map(|&q| f(q, &mut local)).collect();
+                    (out, local)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("batch worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(queries.len());
+    for (chunk, local) in parts {
+        out.extend(chunk);
+        *stats += local;
+    }
+    out
+}
+
+/// Order-preserving parallel map over arbitrary `Sync` items — the
+/// stats-free sibling of [`parallel_queries`], for the pure computation
+/// that surrounds searches (normal fitting, descriptor histograms, point
+/// transforms).
+pub fn parallel_map<T, R, F>(items: &[T], cfg: &BatchConfig, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let t = cfg.resolve_threads(items.len());
+    if t <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let parts: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = spans(items.len(), t)
+            .into_iter()
+            .map(|(lo, hi)| {
+                let f = &f;
+                scope.spawn(move || items[lo..hi].iter().map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("map worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in parts {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Order-preserving parallel map over the index range `0..n` — for the
+/// common case of combining several parallel arrays by position, where
+/// materializing an index `Vec` just to feed [`parallel_map`] would be a
+/// wasted allocation.
+pub fn parallel_map_indexed<R, F>(n: usize, cfg: &BatchConfig, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let t = cfg.resolve_threads(n);
+    if t <= 1 {
+        return (0..n).map(&f).collect();
+    }
+    let parts: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = spans(n, t)
+            .into_iter()
+            .map(|(lo, hi)| {
+                let f = &f;
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("map worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for chunk in parts {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Batched neighbor search over an index structure.
+///
+/// The `*_single` methods are the serial kernels; the `*_batch` methods
+/// execute a whole query set, parallelized per the [`BatchConfig`], with
+/// results in query order and per-thread stats merged losslessly into
+/// `stats`. Implementations guarantee batched output (results and stats)
+/// identical to running the `*_single` kernel over the queries in order.
+///
+/// Methods take `&mut self` so stateful searchers (the approximate
+/// leader/follower search, whose leader books grow as queries stream
+/// through) can implement the trait; stateless trees simply reborrow
+/// shared.
+pub trait BatchSearcher {
+    /// Nearest neighbor of one query.
+    fn nn_single(&mut self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor>;
+
+    /// The `k` nearest neighbors of one query, ascending by distance.
+    fn knn_single(&mut self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor>;
+
+    /// All neighbors of one query within `radius`, ascending by distance.
+    fn radius_single(&mut self, query: Vec3, radius: f64, stats: &mut SearchStats)
+        -> Vec<Neighbor>;
+
+    /// Nearest neighbor of every query.
+    fn nn_batch(
+        &mut self,
+        queries: &[Vec3],
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Option<Neighbor>> {
+        let _ = cfg;
+        queries.iter().map(|&q| self.nn_single(q, stats)).collect()
+    }
+
+    /// The `k` nearest neighbors of every query.
+    fn knn_batch(
+        &mut self,
+        queries: &[Vec3],
+        k: usize,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        let _ = cfg;
+        queries.iter().map(|&q| self.knn_single(q, k, stats)).collect()
+    }
+
+    /// All neighbors within `radius` of every query.
+    fn radius_batch(
+        &mut self,
+        queries: &[Vec3],
+        radius: f64,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        let _ = cfg;
+        queries.iter().map(|&q| self.radius_single(q, radius, stats)).collect()
+    }
+}
+
+impl BatchSearcher for KdTree {
+    fn nn_single(&mut self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
+        self.nn_with_stats(query, stats)
+    }
+
+    fn knn_single(&mut self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        self.knn_with_stats(query, k, stats)
+    }
+
+    fn radius_single(
+        &mut self,
+        query: Vec3,
+        radius: f64,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        self.radius_with_stats(query, radius, stats)
+    }
+
+    fn nn_batch(
+        &mut self,
+        queries: &[Vec3],
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Option<Neighbor>> {
+        let tree = &*self;
+        parallel_queries(queries, cfg, stats, |q, s| tree.nn_with_stats(q, s))
+    }
+
+    fn knn_batch(
+        &mut self,
+        queries: &[Vec3],
+        k: usize,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        let tree = &*self;
+        parallel_queries(queries, cfg, stats, |q, s| tree.knn_with_stats(q, k, s))
+    }
+
+    fn radius_batch(
+        &mut self,
+        queries: &[Vec3],
+        radius: f64,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        let tree = &*self;
+        parallel_queries(queries, cfg, stats, |q, s| tree.radius_with_stats(q, radius, s))
+    }
+}
+
+impl BatchSearcher for TwoStageKdTree {
+    fn nn_single(&mut self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
+        self.nn_with_stats(query, stats)
+    }
+
+    fn knn_single(&mut self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        self.knn_with_stats(query, k, stats)
+    }
+
+    fn radius_single(
+        &mut self,
+        query: Vec3,
+        radius: f64,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        self.radius_with_stats(query, radius, stats)
+    }
+
+    fn nn_batch(
+        &mut self,
+        queries: &[Vec3],
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Option<Neighbor>> {
+        let tree = &*self;
+        parallel_queries(queries, cfg, stats, |q, s| tree.nn_with_stats(q, s))
+    }
+
+    fn knn_batch(
+        &mut self,
+        queries: &[Vec3],
+        k: usize,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        let tree = &*self;
+        parallel_queries(queries, cfg, stats, |q, s| tree.knn_with_stats(q, k, s))
+    }
+
+    fn radius_batch(
+        &mut self,
+        queries: &[Vec3],
+        radius: f64,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        let tree = &*self;
+        parallel_queries(queries, cfg, stats, |q, s| tree.radius_with_stats(q, radius, s))
+    }
+}
+
+/// Brute force implements the trait directly on the point slice — the
+/// fourth backend, and the oracle the equivalence tests compare against.
+impl BatchSearcher for [Vec3] {
+    fn nn_single(&mut self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
+        crate::bruteforce::nn_brute_force_with_stats(self, query, stats)
+    }
+
+    fn knn_single(&mut self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        crate::bruteforce::knn_brute_force_with_stats(self, query, k, stats)
+    }
+
+    fn radius_single(
+        &mut self,
+        query: Vec3,
+        radius: f64,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        crate::bruteforce::radius_brute_force_with_stats(self, query, radius, stats)
+    }
+
+    fn nn_batch(
+        &mut self,
+        queries: &[Vec3],
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Option<Neighbor>> {
+        let pts = &*self;
+        parallel_queries(queries, cfg, stats, |q, s| {
+            crate::bruteforce::nn_brute_force_with_stats(pts, q, s)
+        })
+    }
+
+    fn knn_batch(
+        &mut self,
+        queries: &[Vec3],
+        k: usize,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        let pts = &*self;
+        parallel_queries(queries, cfg, stats, |q, s| {
+            crate::bruteforce::knn_brute_force_with_stats(pts, q, k, s)
+        })
+    }
+
+    fn radius_batch(
+        &mut self,
+        queries: &[Vec3],
+        radius: f64,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        let pts = &*self;
+        parallel_queries(queries, cfg, stats, |q, s| {
+            crate::bruteforce::radius_brute_force_with_stats(pts, q, radius, s)
+        })
+    }
+}
+
+/// Which of the approximate searcher's two leader books a batch touches.
+enum Book {
+    Nn,
+    Radius,
+}
+
+/// Leaf-grouped batched execution for the approximate searcher.
+///
+/// Queries are bucketed by primary leaf; workers own contiguous,
+/// disjoint leaf ranges (hence disjoint slices of the leader books), and
+/// within a leaf queries run in arrival order. Per-leaf state is all the
+/// state Algorithm 1 has, so this reproduces the serial searcher's
+/// results and stats exactly while scaling across cores.
+#[allow(clippy::too_many_arguments)]
+fn approx_batch<R: Send>(
+    searcher: &mut ApproxSearcher<'_>,
+    queries: &[Vec3],
+    cfg: &BatchConfig,
+    stats: &mut SearchStats,
+    book: Book,
+    kernel: impl Fn(&TwoStageKdTree, &ApproxConfig, &mut Vec<Leader>, Vec3, &mut SearchStats) -> R
+        + Sync,
+    fallback: impl Fn(&TwoStageKdTree, Vec3, &mut SearchStats) -> R + Sync,
+    empty: impl Fn() -> R,
+) -> Vec<R> {
+    let (tree, acfg, nn_books, radius_books) = searcher.leaf_parts();
+    if tree.is_empty() {
+        return queries.iter().map(|_| empty()).collect();
+    }
+    let books = match book {
+        Book::Nn => nn_books,
+        Book::Radius => radius_books,
+    };
+
+    let t = cfg.resolve_threads(queries.len());
+    if t <= 1 {
+        return queries
+            .iter()
+            .map(|&q| match tree.primary_leaf(q) {
+                Some(leaf) => kernel(tree, &acfg, &mut books[leaf], q, stats),
+                None => fallback(tree, q, stats),
+            })
+            .collect();
+    }
+
+    // Bucket query indices by primary leaf, preserving arrival order.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); books.len()];
+    let mut unrouted: Vec<u32> = Vec::new();
+    for (i, &q) in queries.iter().enumerate() {
+        match tree.primary_leaf(q) {
+            Some(leaf) => buckets[leaf].push(i as u32),
+            None => unrouted.push(i as u32),
+        }
+    }
+
+    // Partition the leaf space into `t` contiguous ranges with roughly
+    // equal query counts, so the book slices handed to workers are
+    // disjoint `split_at_mut` products.
+    let total_routed: usize = queries.len() - unrouted.len();
+    let target = total_routed.div_ceil(t).max(1);
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(t);
+    let mut lo = 0;
+    let mut acc = 0;
+    for (leaf, bucket) in buckets.iter().enumerate() {
+        acc += bucket.len();
+        if acc >= target && ranges.len() + 1 < t {
+            ranges.push((lo, leaf + 1));
+            lo = leaf + 1;
+            acc = 0;
+        }
+    }
+    ranges.push((lo, buckets.len()));
+
+    let mut slots: Vec<Option<R>> = queries.iter().map(|_| None).collect();
+    let mut merged = SearchStats::new();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        let mut rest: &mut [Vec<Leader>] = books;
+        let mut offset = 0;
+        for &(rlo, rhi) in &ranges {
+            let (_skip, tail) = rest.split_at_mut(rlo - offset);
+            let (slice, tail) = tail.split_at_mut(rhi - rlo);
+            rest = tail;
+            offset = rhi;
+            let buckets = &buckets;
+            let kernel = &kernel;
+            let acfg = &acfg;
+            handles.push(scope.spawn(move || {
+                let mut local = SearchStats::new();
+                let mut out: Vec<(u32, R)> = Vec::new();
+                for (book, bucket) in slice.iter_mut().zip(&buckets[rlo..rhi]) {
+                    for &qi in bucket {
+                        let r = kernel(tree, acfg, book, queries[qi as usize], &mut local);
+                        out.push((qi, r));
+                    }
+                }
+                (out, local)
+            }));
+        }
+
+        // Queries whose descent dead-ends touch no book; serve them here
+        // while the workers run.
+        let mut unrouted_stats = SearchStats::new();
+        let unrouted_results: Vec<(u32, R)> = unrouted
+            .iter()
+            .map(|&qi| (qi, fallback(tree, queries[qi as usize], &mut unrouted_stats)))
+            .collect();
+
+        for h in handles {
+            let (pairs, local) = h.join().expect("approx batch worker panicked");
+            merged += local;
+            for (qi, r) in pairs {
+                slots[qi as usize] = Some(r);
+            }
+        }
+        merged += unrouted_stats;
+        for (qi, r) in unrouted_results {
+            slots[qi as usize] = Some(r);
+        }
+    });
+
+    *stats += merged;
+    slots
+        .into_iter()
+        .map(|s| s.expect("every query routed to exactly one worker"))
+        .collect()
+}
+
+impl BatchSearcher for ApproxSearcher<'_> {
+    fn nn_single(&mut self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
+        self.nn_with_stats(query, stats)
+    }
+
+    /// k-NN has no approximate path (Algorithm 1 covers NN and radius);
+    /// served exactly by the underlying two-stage tree, like
+    /// `Searcher3::knn`.
+    fn knn_single(&mut self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        self.tree().knn_with_stats(query, k, stats)
+    }
+
+    fn radius_single(
+        &mut self,
+        query: Vec3,
+        radius: f64,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        self.radius_with_stats(query, radius, stats)
+    }
+
+    fn nn_batch(
+        &mut self,
+        queries: &[Vec3],
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Option<Neighbor>> {
+        approx_batch(
+            self,
+            queries,
+            cfg,
+            stats,
+            Book::Nn,
+            nn_in_book,
+            |tree, q, s| tree.nn_with_stats(q, s),
+            || None,
+        )
+    }
+
+    fn knn_batch(
+        &mut self,
+        queries: &[Vec3],
+        k: usize,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        let tree = self.tree();
+        parallel_queries(queries, cfg, stats, |q, s| tree.knn_with_stats(q, k, s))
+    }
+
+    fn radius_batch(
+        &mut self,
+        queries: &[Vec3],
+        radius: f64,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        approx_batch(
+            self,
+            queries,
+            cfg,
+            stats,
+            Book::Radius,
+            move |tree, acfg, book, q, s| radius_in_book(tree, acfg, book, q, radius, s),
+            move |tree, q, s| tree.radius_with_stats(q, radius, s),
+            Vec::new,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ApproxConfig;
+
+    fn lcg_cloud(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 20.0 - 10.0
+        };
+        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+    }
+
+    #[test]
+    fn spans_cover_everything_once() {
+        for n in [0usize, 1, 7, 64, 65] {
+            for t in [1usize, 2, 3, 8] {
+                let s = spans(n, t);
+                assert_eq!(s.len(), t);
+                assert_eq!(s[0].0, 0);
+                assert_eq!(s[t - 1].1, n);
+                for w in s.windows(2) {
+                    assert_eq!(w[0].1, w[1].0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_threads_honors_min_chunk() {
+        let cfg = BatchConfig { threads: 8, min_chunk: 100 };
+        assert_eq!(cfg.resolve_threads(0), 1);
+        assert_eq!(cfg.resolve_threads(99), 1);
+        assert_eq!(cfg.resolve_threads(250), 3);
+        assert_eq!(cfg.resolve_threads(10_000), 8);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let cfg = BatchConfig { threads: 4, min_chunk: 1 };
+        let doubled = parallel_map(&items, &cfg, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batched_kdtree_matches_serial_results_and_stats() {
+        let pts = lcg_cloud(3000, 1);
+        let queries = lcg_cloud(777, 2);
+        let mut tree = KdTree::build(&pts);
+        let cfg = BatchConfig { threads: 4, min_chunk: 8 };
+
+        let mut serial_stats = SearchStats::new();
+        let serial: Vec<_> =
+            queries.iter().map(|&q| tree.nn_with_stats(q, &mut serial_stats)).collect();
+
+        let mut batch_stats = SearchStats::new();
+        let batched = tree.nn_batch(&queries, &cfg, &mut batch_stats);
+
+        assert_eq!(serial, batched);
+        assert_eq!(serial_stats, batch_stats);
+    }
+
+    #[test]
+    fn batched_approx_matches_serial_results_and_stats() {
+        let pts = lcg_cloud(4000, 3);
+        let tree = TwoStageKdTree::build(&pts, 4);
+        let queries = lcg_cloud(500, 4);
+        let cfg = BatchConfig { threads: 4, min_chunk: 8 };
+
+        let mut serial = ApproxSearcher::new(&tree, ApproxConfig::default());
+        let mut serial_stats = SearchStats::new();
+        let serial_out: Vec<_> =
+            queries.iter().map(|&q| serial.nn_with_stats(q, &mut serial_stats)).collect();
+
+        let mut batched = ApproxSearcher::new(&tree, ApproxConfig::default());
+        let mut batch_stats = SearchStats::new();
+        let batch_out = batched.nn_batch(&queries, &cfg, &mut batch_stats);
+
+        assert_eq!(serial_out, batch_out);
+        assert_eq!(serial_stats, batch_stats);
+        assert_eq!(serial.leader_count(), batched.leader_count());
+        assert!(batch_stats.follower_hits > 0, "workload should produce followers");
+    }
+
+    #[test]
+    fn batched_approx_radius_matches_serial() {
+        let pts = lcg_cloud(2000, 5);
+        let tree = TwoStageKdTree::build(&pts, 3);
+        let queries = lcg_cloud(300, 6);
+        let cfg = BatchConfig { threads: 3, min_chunk: 4 };
+
+        let mut serial = ApproxSearcher::new(&tree, ApproxConfig::default());
+        let mut s_stats = SearchStats::new();
+        let s_out: Vec<_> =
+            queries.iter().map(|&q| serial.radius_with_stats(q, 2.0, &mut s_stats)).collect();
+
+        let mut batched = ApproxSearcher::new(&tree, ApproxConfig::default());
+        let mut b_stats = SearchStats::new();
+        let b_out = batched.radius_batch(&queries, 2.0, &cfg, &mut b_stats);
+
+        assert_eq!(s_out, b_out);
+        assert_eq!(s_stats, b_stats);
+    }
+
+    #[test]
+    fn brute_force_backend_counts_scans() {
+        let mut pts = lcg_cloud(100, 7);
+        let queries = lcg_cloud(10, 8);
+        let cfg = BatchConfig { threads: 2, min_chunk: 1 };
+        let mut stats = SearchStats::new();
+        let out = pts.as_mut_slice().nn_batch(&queries, &cfg, &mut stats);
+        assert_eq!(out.len(), 10);
+        assert_eq!(stats.queries, 10);
+        assert_eq!(stats.leaf_points_scanned, 1000);
+    }
+
+    #[test]
+    fn empty_queries_and_empty_trees() {
+        let mut tree = KdTree::build(&[]);
+        let cfg = BatchConfig::auto();
+        let mut stats = SearchStats::new();
+        assert!(tree.nn_batch(&[], &cfg, &mut stats).is_empty());
+        let qs = lcg_cloud(5, 9);
+        let out = tree.nn_batch(&qs, &cfg, &mut stats);
+        assert!(out.iter().all(Option::is_none));
+
+        let empty_tree = TwoStageKdTree::build(&[], 3);
+        let mut approx = ApproxSearcher::new(&empty_tree, ApproxConfig::default());
+        let out = approx.nn_batch(&qs, &cfg, &mut stats);
+        assert!(out.iter().all(Option::is_none));
+    }
+}

@@ -5,7 +5,7 @@
 //! unordered set (paper Sec. 4.1: "the two-stage KD-tree enables exhaustive
 //! searches in certain sub-trees").
 
-use crate::Neighbor;
+use crate::{Neighbor, SearchStats};
 use tigris_geom::Vec3;
 
 /// Exhaustive nearest-neighbor search over `points`, or `None` when empty.
@@ -52,6 +52,49 @@ pub fn radius_brute_force(points: &[Vec3], query: Vec3, radius: f64) -> Vec<Neig
         .collect();
     out.sort();
     out
+}
+
+/// [`nn_brute_force`] with visit accounting: the whole point set is an
+/// exhaustive scan, so every point counts toward
+/// [`SearchStats::leaf_points_scanned`].
+pub fn nn_brute_force_with_stats(
+    points: &[Vec3],
+    query: Vec3,
+    stats: &mut SearchStats,
+) -> Option<Neighbor> {
+    stats.queries += 1;
+    stats.leaf_points_scanned += points.len() as u64;
+    nn_brute_force(points, query)
+}
+
+/// [`radius_brute_force`] with visit accounting; see
+/// [`nn_brute_force_with_stats`].
+///
+/// # Panics
+///
+/// Panics when `radius` is negative.
+pub fn radius_brute_force_with_stats(
+    points: &[Vec3],
+    query: Vec3,
+    radius: f64,
+    stats: &mut SearchStats,
+) -> Vec<Neighbor> {
+    stats.queries += 1;
+    stats.leaf_points_scanned += points.len() as u64;
+    radius_brute_force(points, query, radius)
+}
+
+/// [`knn_brute_force`] with visit accounting; see
+/// [`nn_brute_force_with_stats`].
+pub fn knn_brute_force_with_stats(
+    points: &[Vec3],
+    query: Vec3,
+    k: usize,
+    stats: &mut SearchStats,
+) -> Vec<Neighbor> {
+    stats.queries += 1;
+    stats.leaf_points_scanned += points.len() as u64;
+    knn_brute_force(points, query, k)
 }
 
 /// Exhaustive k-nearest-neighbors, sorted ascending by distance.

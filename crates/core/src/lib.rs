@@ -41,7 +41,10 @@
 //! assert_eq!(a.index, b.index); // exact mode agrees with the classic tree
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod approx;
+pub mod batch;
 pub mod bruteforce;
 pub mod inject;
 pub mod kdtree;
@@ -51,6 +54,7 @@ pub mod stats;
 pub mod twostage;
 
 pub use approx::{ApproxConfig, ApproxSearcher};
+pub use batch::{BatchConfig, BatchSearcher};
 pub use bruteforce::{nn_brute_force, radius_brute_force};
 pub use kdtree::KdTree;
 pub use kdtree_nd::KdTreeN;

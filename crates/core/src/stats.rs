@@ -82,7 +82,25 @@ impl SearchStats {
             self.follower_hits as f64 / self.queries as f64
         }
     }
+
+    /// Folds another counter set into this one (named form of `+=`).
+    ///
+    /// Every field is a plain sum, so merging per-thread stats from a
+    /// batched search ([`crate::batch`]) in any order reproduces the
+    /// serial totals exactly — the merge is lossless and commutative.
+    /// `SearchStats` is `Copy + Send`, so workers move their local
+    /// counters out of `std::thread::scope` by value.
+    pub fn merge(&mut self, other: &SearchStats) {
+        *self += *other;
+    }
 }
+
+// Batched search relies on per-thread stats crossing thread boundaries;
+// keep that guaranteed at compile time.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SearchStats>();
+};
 
 impl Add for SearchStats {
     type Output = SearchStats;

@@ -38,7 +38,7 @@ pub fn read_velodyne_bin<P: AsRef<Path>>(path: P) -> io::Result<PointCloud> {
 ///
 /// [`io::ErrorKind::InvalidData`] when the length is not a multiple of 16.
 pub fn velodyne_from_bytes(bytes: &[u8]) -> io::Result<PointCloud> {
-    if bytes.len() % 16 != 0 {
+    if !bytes.len().is_multiple_of(16) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("velodyne .bin length {} is not a multiple of 16", bytes.len()),

@@ -433,7 +433,7 @@ impl Scene {
         let mut best: Option<f64> = None;
         for p in &self.primitives {
             if let Some(t) = p.intersect(ray) {
-                if t <= max_range && best.map_or(true, |b| t < b) {
+                if t <= max_range && best.is_none_or(|b| t < b) {
                     best = Some(t);
                 }
             }

@@ -188,8 +188,8 @@ mod tests {
         let mut a = [[0.0; 6]; 6];
         for i in 0..6 {
             for j in 0..6 {
-                for k in 0..6 {
-                    a[i][j] += m[k][i] * m[k][j];
+                for row in &m {
+                    a[i][j] += row[i] * row[j];
                 }
             }
             a[i][i] += 1.0;

@@ -118,8 +118,8 @@ proptest! {
         let mut a = [[0.0f64; 6]; 6];
         for i in 0..6 {
             for j in 0..6 {
-                for k in 0..6 {
-                    a[i][j] += rows[k][i] * rows[k][j];
+                for row in &rows {
+                    a[i][j] += row[i] * row[j];
                 }
             }
             a[i][i] += 1.0;

@@ -2,7 +2,7 @@
 //! paper's Tbl. 1, plus the Pareto design points DP1–DP8 used throughout
 //! the evaluation.
 
-use tigris_core::ApproxConfig;
+use tigris_core::{ApproxConfig, BatchConfig};
 
 use crate::search::Injection;
 
@@ -216,6 +216,12 @@ pub struct RegistrationConfig {
     /// Motion-prior gate on the initial estimate's translation (meters);
     /// see [`RegistrationConfig::max_initial_rotation`].
     pub max_initial_translation: f64,
+    /// Parallel batched-search execution: worker-thread count and minimum
+    /// chunk size for the query fan-outs (normal estimation, descriptors,
+    /// KPCE, RPCE). The default is serial; `BatchConfig::auto()` uses every
+    /// core. Results are identical at any setting — this knob trades
+    /// wall-clock for CPU, which is why [`crate::dse`] can sweep it.
+    pub parallel: BatchConfig,
 }
 
 impl Default for RegistrationConfig {
@@ -242,6 +248,7 @@ impl Default for RegistrationConfig {
             inject_kpce_kth: None,
             max_initial_rotation: 60.0_f64.to_radians(),
             max_initial_translation: 10.0,
+            parallel: BatchConfig::serial(),
         }
     }
 }

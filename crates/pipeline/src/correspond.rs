@@ -1,7 +1,13 @@
 //! Correspondence estimation: KPCE in feature space (paper Fig. 2, stage
 //! 4) and RPCE in 3D space (fine-tuning stage 1).
+//!
+//! Both stages are per-item-independent query fan-outs (one feature NN per
+//! source descriptor; one 3D NN per source point), so both run batched:
+//! RPCE through [`Searcher3`]'s batched entry points, KPCE through
+//! [`tigris_core::batch::parallel_map`] over the feature tree.
 
-use tigris_core::KdTreeN;
+use tigris_core::batch::parallel_map_indexed;
+use tigris_core::{BatchConfig, KdTreeN};
 use tigris_geom::Vec3;
 
 use crate::descriptor::Descriptors;
@@ -35,6 +41,23 @@ pub fn kpce(
     reciprocal: bool,
     kth: Option<usize>,
 ) -> Vec<Correspondence> {
+    kpce_batched(source, target, reciprocal, kth, &BatchConfig::serial())
+}
+
+/// [`kpce`] with the feature-space queries fanned out across worker
+/// threads per `parallel`. Matches come back in source order — identical
+/// to the serial result at any thread count.
+///
+/// # Panics
+///
+/// Panics when the descriptor dimensions disagree.
+pub fn kpce_batched(
+    source: &Descriptors,
+    target: &Descriptors,
+    reciprocal: bool,
+    kth: Option<usize>,
+    parallel: &BatchConfig,
+) -> Vec<Correspondence> {
     assert_eq!(source.dim, target.dim, "descriptor dimensions disagree");
     if source.is_empty() || target.is_empty() {
         return Vec::new();
@@ -46,25 +69,26 @@ pub fn kpce(
         None
     };
 
-    let mut out = Vec::new();
-    for s in 0..source.len() {
+    parallel_map_indexed(source.len(), parallel, |s| {
         let q = source.row(s);
         let found = match kth {
             Some(k) if k > 1 => kth_feature_nn(&target.data, target.dim, q, k),
             _ => target_tree.nn(q),
         };
-        let Some(n) = found else { continue };
+        let n = found?;
         if let Some(src_tree) = &source_tree {
             // Reciprocity check is performed with exact NN regardless of
             // injection (the paper injects errors into the forward search).
             let back = src_tree.nn(target.row(n.index));
             if back.map(|b| b.index) != Some(s) {
-                continue;
+                return None;
             }
         }
-        out.push(Correspondence { source: s, target: n.index, distance_squared: n.distance_squared });
-    }
-    out
+        Some(Correspondence { source: s, target: n.index, distance_squared: n.distance_squared })
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// KPCE with Lowe's ratio test: a source descriptor's match is kept only
@@ -82,6 +106,22 @@ pub fn kpce_ratio(
     target: &Descriptors,
     max_ratio: f64,
 ) -> Vec<Correspondence> {
+    kpce_ratio_batched(source, target, max_ratio, &BatchConfig::serial())
+}
+
+/// [`kpce_ratio`] with the feature-space queries fanned out across worker
+/// threads per `parallel`; see [`kpce_batched`].
+///
+/// # Panics
+///
+/// Panics when descriptor dimensions disagree or `max_ratio` is not in
+/// `(0, 1]`.
+pub fn kpce_ratio_batched(
+    source: &Descriptors,
+    target: &Descriptors,
+    max_ratio: f64,
+    parallel: &BatchConfig,
+) -> Vec<Correspondence> {
     assert_eq!(source.dim, target.dim, "descriptor dimensions disagree");
     assert!(
         max_ratio > 0.0 && max_ratio <= 1.0,
@@ -91,30 +131,29 @@ pub fn kpce_ratio(
         return Vec::new();
     }
     let target_tree = KdTreeN::build(&target.data, target.dim);
-    let mut out = Vec::new();
-    for s in 0..source.len() {
+    parallel_map_indexed(source.len(), parallel, |s| {
         let two = target_tree.nn2(source.row(s));
         match two.as_slice() {
             [best, second] => {
                 let d1 = best.distance_squared.sqrt();
                 let d2 = second.distance_squared.sqrt();
-                if d2 <= 0.0 || d1 / d2 <= max_ratio {
-                    out.push(Correspondence {
-                        source: s,
-                        target: best.index,
-                        distance_squared: best.distance_squared,
-                    });
-                }
+                (d2 <= 0.0 || d1 / d2 <= max_ratio).then_some(Correspondence {
+                    source: s,
+                    target: best.index,
+                    distance_squared: best.distance_squared,
+                })
             }
-            [only] => out.push(Correspondence {
+            [only] => Some(Correspondence {
                 source: s,
                 target: only.index,
                 distance_squared: only.distance_squared,
             }),
-            _ => {}
+            _ => None,
         }
-    }
-    out
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Exhaustive k-th nearest feature (1-based), used only under injection.
@@ -148,9 +187,12 @@ pub fn rpce(
     max_distance: f64,
 ) -> Vec<Correspondence> {
     let max_d2 = max_distance * max_distance;
+    // One NN per source point per ICP iteration — the fine-tuning phase's
+    // entire KD-tree bill, issued as a single batch.
+    let nearest = target_searcher.nn_batch(source_points);
     let mut out = Vec::with_capacity(source_points.len());
-    for (i, &p) in source_points.iter().enumerate() {
-        if let Some(n) = target_searcher.nn(p) {
+    for (i, n) in nearest.into_iter().enumerate() {
+        if let Some(n) = n {
             if n.distance_squared <= max_d2 {
                 out.push(Correspondence {
                     source: i,
@@ -174,15 +216,13 @@ pub fn rpce_reciprocal(
     max_distance: f64,
 ) -> Vec<Correspondence> {
     let forward = rpce(source_points, target_searcher, max_distance);
-    let target_points: Vec<Vec3> = target_searcher.points().to_vec();
+    let target_points = target_searcher.points();
+    let back_queries: Vec<Vec3> = forward.iter().map(|c| target_points[c.target]).collect();
+    let back = source_searcher.nn_batch(&back_queries);
     forward
         .into_iter()
-        .filter(|c| {
-            source_searcher
-                .nn(target_points[c.target])
-                .map(|back| back.index == c.source)
-                .unwrap_or(false)
-        })
+        .zip(back)
+        .filter_map(|(c, b)| (b.map(|b| b.index) == Some(c.source)).then_some(c))
         .collect()
 }
 

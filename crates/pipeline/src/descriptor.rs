@@ -32,11 +32,7 @@ pub struct Descriptors {
 impl Descriptors {
     /// Number of descriptors stored.
     pub fn len(&self) -> usize {
-        if self.dim == 0 {
-            0
-        } else {
-            self.data.len() / self.dim
-        }
+        self.data.len().checked_div(self.dim).unwrap_or(0)
     }
 
     /// `true` when no descriptors are stored.
@@ -152,32 +148,59 @@ fn fpfh(
     keypoints: &[usize],
     radius: f64,
 ) -> Descriptors {
-    use std::collections::HashMap;
+    use std::collections::{HashMap, HashSet};
     let points: Vec<Vec3> = searcher.points().to_vec();
+    let parallel = searcher.parallel();
 
-    // Memoized SPFHs: needed for each key-point and each of its neighbors.
-    let mut spfh_cache: HashMap<usize, ([f64; FPFH_DIM], Vec<usize>)> = HashMap::new();
-    let mut spfh_of = |s: &mut Searcher3, idx: usize| -> ([f64; FPFH_DIM], Vec<usize>) {
-        if let Some(v) = spfh_cache.get(&idx) {
-            return v.clone();
+    // Phase 1 — neighborhoods of the key-points, one batched fan-out.
+    let kp_pts: Vec<Vec3> = keypoints.iter().map(|&k| points[k]).collect();
+    let kp_neigh: Vec<Vec<usize>> = searcher
+        .radius_batch(&kp_pts, radius)
+        .into_iter()
+        .map(|ns| ns.into_iter().map(|n| n.index).collect())
+        .collect();
+
+    // Phase 2 — SPFH is needed at every key-point and every neighbor of
+    // one; fetch the not-yet-known neighborhoods as a second batch.
+    let mut needed: Vec<usize> = Vec::new();
+    let mut seen: HashSet<usize> = HashSet::new();
+    for (&k, neigh) in keypoints.iter().zip(&kp_neigh) {
+        if seen.insert(k) {
+            needed.push(k);
         }
-        let neigh: Vec<usize> = s
-            .radius(points[idx], radius)
-            .into_iter()
-            .map(|n| n.index)
-            .collect();
-        let h = spfh(&points, normals, idx, &neigh);
-        spfh_cache.insert(idx, (h, neigh.clone()));
-        (h, neigh)
-    };
+        for &j in neigh {
+            if seen.insert(j) {
+                needed.push(j);
+            }
+        }
+    }
+    let mut neigh_of: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (&k, neigh) in keypoints.iter().zip(&kp_neigh) {
+        neigh_of.entry(k).or_insert_with(|| neigh.clone());
+    }
+    let missing: Vec<usize> =
+        needed.iter().copied().filter(|i| !neigh_of.contains_key(i)).collect();
+    let missing_pts: Vec<Vec3> = missing.iter().map(|&i| points[i]).collect();
+    let missing_neigh = searcher.radius_batch(&missing_pts, radius);
+    for (&i, ns) in missing.iter().zip(missing_neigh) {
+        neigh_of.insert(i, ns.into_iter().map(|n| n.index).collect());
+    }
 
-    let mut data = Vec::with_capacity(keypoints.len() * FPFH_DIM);
-    for &k in keypoints {
-        let (own, neighbors) = spfh_of(searcher, k);
-        let mut out = own;
+    // Phase 3 — SPFH histograms, pure per-point math in parallel.
+    let spfh_rows = tigris_core::batch::parallel_map(&needed, &parallel, |&i| {
+        spfh(&points, normals, i, &neigh_of[&i])
+    });
+    let spfh_of: HashMap<usize, &[f64; FPFH_DIM]> =
+        needed.iter().zip(spfh_rows.iter()).map(|(&i, h)| (i, h)).collect();
+
+    // Phase 4 — distance-weighted combination per key-point, in parallel.
+    let rows = tigris_core::batch::parallel_map_indexed(keypoints.len(), &parallel, |ki| {
+        let k = keypoints[ki];
+        let neighbors = &kp_neigh[ki];
+        let mut out = *spfh_of[&k];
         let mut weight_total = 0.0;
         let mut acc = [0.0f64; FPFH_DIM];
-        for &j in &neighbors {
+        for &j in neighbors {
             if j == k {
                 continue;
             }
@@ -185,7 +208,7 @@ fn fpfh(
             if d < 1e-9 {
                 continue;
             }
-            let (h, _) = spfh_of(searcher, j);
+            let h = spfh_of[&j];
             let w = 1.0 / d;
             for (a, v) in acc.iter_mut().zip(h.iter()) {
                 *a += w * v;
@@ -197,7 +220,12 @@ fn fpfh(
                 *o += a / weight_total;
             }
         }
-        data.extend_from_slice(&out);
+        out
+    });
+
+    let mut data = Vec::with_capacity(keypoints.len() * FPFH_DIM);
+    for row in rows {
+        data.extend_from_slice(&row);
     }
     Descriptors { dim: FPFH_DIM, data }
 }
@@ -262,11 +290,14 @@ fn shot(
     radius: f64,
 ) -> Descriptors {
     let points: Vec<Vec3> = searcher.points().to_vec();
-    let mut data = Vec::with_capacity(keypoints.len() * SHOT_DIM);
-    for &k in keypoints {
-        let neighbors: Vec<usize> = searcher
-            .radius(points[k], radius)
-            .into_iter()
+    let parallel = searcher.parallel();
+    // One batched radius fan-out, then pure per-key-point histogram math.
+    let kp_pts: Vec<Vec3> = keypoints.iter().map(|&k| points[k]).collect();
+    let neighborhoods = searcher.radius_batch(&kp_pts, radius);
+    let rows = tigris_core::batch::parallel_map_indexed(keypoints.len(), &parallel, |ki| {
+        let k = keypoints[ki];
+        let neighbors: Vec<usize> = neighborhoods[ki]
+            .iter()
             .map(|n| n.index)
             .filter(|&j| j != k)
             .collect();
@@ -302,7 +333,11 @@ fn shot(
                 }
             }
         }
-        data.extend_from_slice(&hist);
+        hist
+    });
+    let mut data = Vec::with_capacity(keypoints.len() * SHOT_DIM);
+    for row in rows {
+        data.extend_from_slice(&row);
     }
     Descriptors { dim: SHOT_DIM, data }
 }
@@ -326,11 +361,13 @@ fn sc3d(
     let points: Vec<Vec3> = searcher.points().to_vec();
     let r_min: f64 = (radius * 0.05).max(1e-3);
     let log_span = (radius / r_min).ln();
-    let mut data = Vec::with_capacity(keypoints.len() * SC3D_DIM);
-    for &k in keypoints {
-        let neighbors: Vec<usize> = searcher
-            .radius(points[k], radius)
-            .into_iter()
+    let parallel = searcher.parallel();
+    let kp_pts: Vec<Vec3> = keypoints.iter().map(|&k| points[k]).collect();
+    let neighborhoods = searcher.radius_batch(&kp_pts, radius);
+    let rows = tigris_core::batch::parallel_map_indexed(keypoints.len(), &parallel, |ki| {
+        let k = keypoints[ki];
+        let neighbors: Vec<usize> = neighborhoods[ki]
+            .iter()
             .map(|n| n.index)
             .filter(|&j| j != k)
             .collect();
@@ -370,7 +407,11 @@ fn sc3d(
                 }
             }
         }
-        data.extend_from_slice(&hist);
+        hist
+    });
+    let mut data = Vec::with_capacity(keypoints.len() * SC3D_DIM);
+    for row in rows {
+        data.extend_from_slice(&row);
     }
     Descriptors { dim: SC3D_DIM, data }
 }

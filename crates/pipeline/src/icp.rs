@@ -121,9 +121,14 @@ pub fn icp_with_options(
 
         // --- RPCE: transform source by the current estimate, find dense NNs.
         let t0 = Instant::now();
-        let moved: Vec<Vec3> = source.iter().map(|&p| transform.apply(p)).collect();
+        let moved: Vec<Vec3> = tigris_core::batch::parallel_map(
+            source,
+            &target_searcher.parallel(),
+            |&p| transform.apply(p),
+        );
         let correspondences = if reciprocal {
             let mut moved_searcher = crate::search::Searcher3::classic(&moved);
+            moved_searcher.set_parallel(target_searcher.parallel());
             profile.kd_build_time += moved_searcher.build_time();
             let out = crate::correspond::rpce_reciprocal(
                 &moved,
@@ -302,7 +307,7 @@ mod tests {
             &ConvergenceCriteria { max_iterations: 50, ..Default::default() },
             &mut profile,
         );
-        (gt, result.transform.clone(), result)
+        (gt, result.transform, result)
     }
 
     #[test]

@@ -31,16 +31,36 @@ pub fn estimate_normals(
 ) -> Vec<Vec3> {
     assert!(radius > 0.0, "normal-estimation radius must be positive");
     let points: Vec<Vec3> = searcher.points().to_vec();
+    let parallel = searcher.parallel();
+    // One radius query per point — the front-end's dominant KD-tree
+    // fan-out, issued batched so the searcher's configured parallelism
+    // applies. Batches run per fixed-size chunk: dense scenes have
+    // hundreds of neighbors per point, and holding every neighborhood of
+    // a 100k-point frame at once would cost O(total neighbors) peak
+    // memory for no extra parallelism. The plane fits that follow are
+    // pure per-point math and parallelize with the same knob.
+    const CHUNK: usize = 16 * 1024;
     let mut normals = Vec::with_capacity(points.len());
-    for &p in &points {
-        let neighbors = searcher.radius(p, radius);
-        let normal = match algorithm {
-            NormalAlgorithm::PlaneSvd => plane_svd_normal(&points, &neighbors, p),
-            NormalAlgorithm::AreaWeighted => area_weighted_normal(&points, &neighbors, p),
-        };
-        // Orient toward the viewpoint (sensor at the origin).
-        let oriented = if normal.dot(-p) < 0.0 { -normal } else { normal };
-        normals.push(oriented);
+    for chunk in points.chunks(CHUNK) {
+        let neighborhoods = searcher.radius_batch(chunk, radius);
+        normals.extend(tigris_core::batch::parallel_map_indexed(
+            chunk.len(),
+            &parallel,
+            |i| {
+                let p = chunk[i];
+                let neighbors = &neighborhoods[i];
+                let normal = match algorithm {
+                    NormalAlgorithm::PlaneSvd => plane_svd_normal(&points, neighbors, p),
+                    NormalAlgorithm::AreaWeighted => area_weighted_normal(&points, neighbors, p),
+                };
+                // Orient toward the viewpoint (sensor at the origin).
+                if normal.dot(-p) < 0.0 {
+                    -normal
+                } else {
+                    normal
+                }
+            },
+        ));
     }
     normals
 }

@@ -5,7 +5,7 @@ use std::time::Instant;
 use tigris_geom::{PointCloud, RigidTransform, Vec3};
 
 use crate::config::{RegistrationConfig, SearchBackendConfig};
-use crate::correspond::kpce;
+use crate::correspond::{kpce_batched, kpce_ratio_batched};
 use crate::descriptor::compute_descriptors;
 use crate::icp::IcpTermination;
 use crate::keypoint::detect_keypoints;
@@ -119,6 +119,10 @@ pub fn register_with_searchers(
     if src_searcher.is_empty() || tgt_searcher.is_empty() {
         return Err(RegistrationError::EmptyCloud);
     }
+    // The config's parallelism knob governs every batched fan-out below,
+    // including searches through caller-provided searchers.
+    src_searcher.set_parallel(cfg.parallel);
+    tgt_searcher.set_parallel(cfg.parallel);
     let mut profile = StageProfile::new();
     profile.kd_build_time += src_searcher.build_time() + tgt_searcher.build_time();
 
@@ -153,9 +157,15 @@ pub fn register_with_searchers(
         // The ratio test replaces plain NN matching (injection is an
         // NN-path experiment and does not combine with it).
         Some(ratio) if cfg.inject_kpce_kth.is_none() => {
-            crate::correspond::kpce_ratio(&src_desc, &tgt_desc, ratio)
+            kpce_ratio_batched(&src_desc, &tgt_desc, ratio, &cfg.parallel)
         }
-        _ => kpce(&src_desc, &tgt_desc, cfg.kpce_reciprocal, cfg.inject_kpce_kth),
+        _ => kpce_batched(
+            &src_desc,
+            &tgt_desc,
+            cfg.kpce_reciprocal,
+            cfg.inject_kpce_kth,
+            &cfg.parallel,
+        ),
     };
     profile.add(Stage::Kpce, t0.elapsed());
 

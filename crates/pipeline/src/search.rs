@@ -11,9 +11,11 @@
 
 use std::time::{Duration, Instant};
 
+use tigris_core::batch::BatchSearcher;
 use tigris_core::inject::{kth_nn, shell_radius};
 use tigris_core::{
-    ApproxConfig, ApproxSearcher, KdTree, Neighbor, QueryRecord, SearchStats, TwoStageKdTree,
+    ApproxConfig, ApproxSearcher, BatchConfig, KdTree, Neighbor, QueryRecord, SearchStats,
+    TwoStageKdTree,
 };
 use tigris_geom::Vec3;
 
@@ -72,6 +74,8 @@ pub struct Searcher3 {
     stats: SearchStats,
     /// When `Some`, every query is appended (for accelerator replay).
     query_log: Option<Vec<QueryRecord>>,
+    /// Parallelism for the `*_batch` entry points (serial by default).
+    parallel: BatchConfig,
 }
 
 impl std::fmt::Debug for Searcher3 {
@@ -101,6 +105,7 @@ impl Searcher3 {
             search_time: Duration::ZERO,
             stats: SearchStats::new(),
             query_log: None,
+            parallel: BatchConfig::serial(),
         }
     }
 
@@ -115,6 +120,7 @@ impl Searcher3 {
             search_time: Duration::ZERO,
             stats: SearchStats::new(),
             query_log: None,
+            parallel: BatchConfig::serial(),
         }
     }
 
@@ -129,6 +135,7 @@ impl Searcher3 {
             search_time: Duration::ZERO,
             stats: SearchStats::new(),
             query_log: None,
+            parallel: BatchConfig::serial(),
         }
     }
 
@@ -304,6 +311,100 @@ impl Searcher3 {
                 t.knn_with_stats(query, k, &mut self.stats)
             }
         };
+        self.search_time += t0.elapsed();
+        result
+    }
+
+    // ---- Batched entry points -------------------------------------------
+    //
+    // Same results and stats as issuing the queries one by one through the
+    // serial methods above (bit-identical, including the approximate
+    // searcher's leader books — see `tigris_core::batch`), executed across
+    // the configured worker threads. `search_time` accounts the batch's
+    // wall-clock, so speedups from parallelism show up directly in the
+    // profile.
+
+    /// Sets the parallelism for subsequent `*_batch` calls.
+    pub fn set_parallel(&mut self, parallel: BatchConfig) {
+        self.parallel = parallel;
+    }
+
+    /// The parallelism configuration in effect.
+    pub fn parallel(&self) -> BatchConfig {
+        self.parallel
+    }
+
+    /// Nearest neighbor of every query (respecting any configured
+    /// injection; injected batches fall back to the serial path, whose
+    /// semantics error injection is defined on).
+    pub fn nn_batch(&mut self, queries: &[Vec3]) -> Vec<Option<Neighbor>> {
+        if self.injection.is_some() {
+            return queries.iter().map(|&q| self.nn(q)).collect();
+        }
+        if let Some(log) = &mut self.query_log {
+            log.extend(queries.iter().map(|&q| QueryRecord::nn(q)));
+        }
+        let t0 = Instant::now();
+        let cfg = self.parallel;
+        let mut stats = SearchStats::new();
+        let result = if matches!(self.backend, Backend::Approx { .. }) {
+            let searcher = self.approx_searcher().expect("approx backend");
+            searcher.nn_batch(queries, &cfg, &mut stats)
+        } else {
+            match &mut self.backend {
+                Backend::Classic(t) => t.nn_batch(queries, &cfg, &mut stats),
+                Backend::TwoStage(t) => t.as_mut().nn_batch(queries, &cfg, &mut stats),
+                Backend::Approx { .. } => unreachable!(),
+            }
+        };
+        self.stats += stats;
+        self.search_time += t0.elapsed();
+        result
+    }
+
+    /// All neighbors within `radius` of every query, each sorted ascending
+    /// by distance (respecting any configured injection; injected batches
+    /// fall back to the serial path).
+    pub fn radius_batch(&mut self, queries: &[Vec3], radius: f64) -> Vec<Vec<Neighbor>> {
+        if self.injection.is_some() {
+            return queries.iter().map(|&q| self.radius(q, radius)).collect();
+        }
+        if let Some(log) = &mut self.query_log {
+            log.extend(queries.iter().map(|&q| QueryRecord::radius(q, radius)));
+        }
+        let t0 = Instant::now();
+        let cfg = self.parallel;
+        let mut stats = SearchStats::new();
+        let result = if matches!(self.backend, Backend::Approx { .. }) {
+            let searcher = self.approx_searcher().expect("approx backend");
+            searcher.radius_batch(queries, radius, &cfg, &mut stats)
+        } else {
+            match &mut self.backend {
+                Backend::Classic(t) => t.radius_batch(queries, radius, &cfg, &mut stats),
+                Backend::TwoStage(t) => t.as_mut().radius_batch(queries, radius, &cfg, &mut stats),
+                Backend::Approx { .. } => unreachable!(),
+            }
+        };
+        self.stats += stats;
+        self.search_time += t0.elapsed();
+        result
+    }
+
+    /// The k nearest neighbors of every query, each sorted ascending.
+    pub fn knn_batch(&mut self, queries: &[Vec3], k: usize) -> Vec<Vec<Neighbor>> {
+        if let Some(log) = &mut self.query_log {
+            log.extend(queries.iter().map(|&q| QueryRecord::knn(q, k)));
+        }
+        let t0 = Instant::now();
+        let cfg = self.parallel;
+        let mut stats = SearchStats::new();
+        let result = match &mut self.backend {
+            Backend::Classic(t) => t.knn_batch(queries, k, &cfg, &mut stats),
+            Backend::TwoStage(t) | Backend::Approx { tree: t, .. } => {
+                t.as_mut().knn_batch(queries, k, &cfg, &mut stats)
+            }
+        };
+        self.stats += stats;
         self.search_time += t0.elapsed();
         result
     }

@@ -83,8 +83,21 @@ pub fn estimate_point_to_plane(
     point_to_plane_damped(source, target, target_normals, correspondences, 0.0)
 }
 
+/// Largest per-step rotation (radians) the small-angle linearization is
+/// trusted for. Steps beyond this are re-solved with escalating damping
+/// (a trust region): an ill-conditioned normal-equation system otherwise
+/// produces huge twists along near-null directions that the quadratic
+/// model says are free but that wreck the actual alignment.
+const MAX_STEP_ROTATION: f64 = 0.3;
+
 /// Point-to-plane step with Levenberg–Marquardt damping `lambda` on the
 /// normal equations (`lambda = 0` is plain Gauss-Newton).
+///
+/// When the solved step's rotation exceeds the linearization's validity
+/// range (~0.3 rad), the system is re-solved with
+/// progressively stronger damping until the step is trustworthy; a system
+/// so degenerate that even heavy damping cannot tame it is reported as
+/// [`EstimateError::Degenerate`].
 pub fn point_to_plane_damped(
     source: &[Vec3],
     target: &[Vec3],
@@ -112,18 +125,28 @@ pub fn point_to_plane_damped(
             atb[i] += row[i] * (-r);
         }
     }
-    if lambda > 0.0 {
-        for (i, row) in ata.iter_mut().enumerate() {
-            row[i] *= 1.0 + lambda;
+
+    let mut lam = lambda;
+    for _attempt in 0..8 {
+        let mut damped = ata;
+        if lam > 0.0 {
+            for (i, row) in damped.iter_mut().enumerate() {
+                row[i] *= 1.0 + lam;
+            }
         }
+        let x = solve_ldlt6(&damped, &atb).map_err(|_| EstimateError::Degenerate)?;
+        let rotation = Vec3::new(x[0], x[1], x[2]).norm();
+        if rotation <= MAX_STEP_ROTATION {
+            return Ok(RigidTransform::from_euler_xyz(
+                x[0],
+                x[1],
+                x[2],
+                Vec3::new(x[3], x[4], x[5]),
+            ));
+        }
+        lam = (lam * 10.0).max(1e-4);
     }
-    let x = solve_ldlt6(&ata, &atb).map_err(|_| EstimateError::Degenerate)?;
-    Ok(RigidTransform::from_euler_xyz(
-        x[0],
-        x[1],
-        x[2],
-        Vec3::new(x[3], x[4], x[5]),
-    ))
+    Err(EstimateError::Degenerate)
 }
 
 /// Mean-square point-to-point error of the correspondences under transform

@@ -7,7 +7,9 @@ use tigris_geom::{RigidTransform, Vec3};
 use tigris_pipeline::correspond::{kpce, kpce_ratio, rpce, Correspondence};
 use tigris_pipeline::descriptor::Descriptors;
 use tigris_pipeline::reject::reject_correspondences;
-use tigris_pipeline::transform::{estimate_svd, mse_point_to_point, point_to_plane_damped};
+use tigris_pipeline::transform::{
+    estimate_svd, mse_point_to_plane, mse_point_to_point, point_to_plane_damped,
+};
 use tigris_pipeline::{RejectionAlgorithm, Searcher3};
 
 fn point() -> impl Strategy<Value = Vec3> {
@@ -78,10 +80,14 @@ proptest! {
             .collect();
         let pairs = identity_pairs(pts.len());
         if let Ok(step) = point_to_plane_damped(&pts, &tgt, &normals, &pairs, 0.0) {
-            let before = mse_point_to_point(&pts, &tgt, &pairs, &RigidTransform::IDENTITY);
+            // Gauss-Newton minimizes the point-to-*plane* objective; with
+            // adversarial normals an ill-conditioned system legitimately
+            // moves points far along the planes (the point-to-point error
+            // is unconstrained there), so the non-blow-up guarantee is on
+            // the plane error.
+            let before = mse_point_to_plane(&pts, &tgt, &normals, &pairs, &RigidTransform::IDENTITY);
             let moved: Vec<Vec3> = pts.iter().map(|&p| step.apply(p)).collect();
-            let after = mse_point_to_point(&moved, &tgt, &pairs, &RigidTransform::IDENTITY);
-            // Gauss-Newton on a consistent system: error must not blow up.
+            let after = mse_point_to_plane(&moved, &tgt, &normals, &pairs, &RigidTransform::IDENTITY);
             prop_assert!(after <= before * 4.0 + 1e-9, "before {before} after {after}");
         }
     }

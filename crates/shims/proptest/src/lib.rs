@@ -1,0 +1,508 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the Tigris workspace's property tests use:
+//!
+//! * the [`proptest!`] macro, with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! * strategies: numeric ranges, tuples of strategies, [`Just`],
+//!   [`any`]`::<bool>()`, `prop::bool::ANY`, `prop::collection::vec`
+//!   (with a fixed size or a size range), and the [`Strategy::prop_map`] /
+//!   [`Strategy::prop_filter_map`] combinators,
+//! * [`prop_assert!`] / [`prop_assert_eq!`], with optional format messages.
+//!
+//! Differences from the real crate (intentional; this shim exists so the
+//! workspace builds without network access): no shrinking — a failing case
+//! is reported verbatim — and the RNG is the workspace's vendored `rand`
+//! shim, seeded deterministically from the test name, so failures
+//! reproduce across runs.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+/// How many consecutive generation rejections (`prop_filter_map` returning
+/// `None`) abort a test as over-constrained.
+const MAX_REJECTS: u32 = 10_000;
+
+/// A generator of test-case values.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a deterministic function of the RNG stream, and rejections
+/// (`None`) cause a retry with fresh randomness.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value, or `None` to reject this attempt.
+    fn try_generate(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Maps generated values through `f`, rejecting (and regenerating)
+    /// whenever `f` returns `None`. `reason` labels the rejection in the
+    /// over-constrained panic message.
+    fn prop_filter_map<O, F: Fn(Self::Value) -> Option<O>>(
+        self,
+        reason: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap { inner: self, reason, f }
+    }
+
+    /// Keeps only values for which `f` returns `true`.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, reason, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn try_generate(&self, rng: &mut StdRng) -> Option<O> {
+        self.inner.try_generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn try_generate(&self, rng: &mut StdRng) -> Option<O> {
+        self.inner.try_generate(rng).and_then(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn try_generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        self.inner.try_generate(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn try_generate(&self, _rng: &mut StdRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+impl<T: SampleRange> Strategy for Range<T> {
+    type Value = T;
+    fn try_generate(&self, rng: &mut StdRng) -> Option<T> {
+        Some(rng.gen_range(self.clone()))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn try_generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.try_generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// Types with a canonical "any value" strategy (`proptest::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(pub(crate) std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn try_generate(&self, rng: &mut StdRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Namespaced strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy};
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `size`
+        /// (a fixed `usize` or a `Range<usize>`).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        /// See [`vec()`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn try_generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                let n = if self.size.lo + 1 >= self.size.hi {
+                    self.size.lo
+                } else {
+                    rng.gen_range(self.size.lo..self.size.hi)
+                };
+                (0..n).map(|_| self.element.try_generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::Any;
+
+        /// Uniformly random booleans (`prop::bool::ANY`).
+        pub const ANY: Any<bool> = Any(std::marker::PhantomData);
+    }
+}
+
+/// Length specification for collection strategies: `n` (exact) or
+/// `lo..hi` (half-open).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Minimum length (inclusive).
+    pub lo: usize,
+    /// Maximum length (exclusive); `lo + 1` for exact sizes.
+    pub hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+/// Test-runner plumbing (`proptest::test_runner` subset).
+pub mod test_runner {
+    use super::{Debug, SeedableRng, StdRng, Strategy, MAX_REJECTS};
+
+    /// Runner configuration (`ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// A non-fatal test-case failure (what `prop_assert!` raises).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError { message: message.into() }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Generates `config.cases` values from `strategy` and applies `test`
+    /// to each, panicking (with the case's Debug form) on the first
+    /// failure. Seeded from `name` so failures reproduce.
+    pub fn run<S: Strategy>(
+        name: &str,
+        config: Config,
+        strategy: S,
+        test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+    ) where
+        S::Value: Debug + Clone,
+    {
+        // FNV-1a over the test name: stable, platform-independent seed.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        while case < config.cases {
+            let Some(value) = strategy.try_generate(&mut rng) else {
+                rejects += 1;
+                assert!(
+                    rejects < MAX_REJECTS,
+                    "proptest '{name}': {MAX_REJECTS} consecutive rejections — strategy over-constrained"
+                );
+                continue;
+            };
+            rejects = 0;
+            case += 1;
+            let shown = value.clone();
+            if let Err(e) = test(value) {
+                panic!(
+                    "proptest '{name}' failed at case {case}/{}: {e}\n    input: {shown:?}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use super::test_runner::Config as ProptestConfig;
+    pub use super::test_runner::TestCaseError;
+    pub use super::{any, prop, Any, Arbitrary, Just, Strategy};
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0.0f64..1.0, v in prop::collection::vec(0u64..9, 1..5)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let strategy = ( $( $strat, )+ );
+                $crate::test_runner::run(
+                    stringify!($name),
+                    config,
+                    strategy,
+                    |( $( $arg, )+ )| {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that reports the failing generated inputs. Supports an
+/// optional format message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        // `if cond {} else` rather than `if !cond` keeps clippy's
+        // neg_cmp_op_on_partial_ord lint quiet in caller crates when the
+        // condition is a float comparison.
+        if $cond {
+        } else {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if $cond {
+        } else {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports the failing generated inputs.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}` ({} != {})",
+                l, r, stringify!($left), stringify!($right)
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports the failing generated inputs.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}` ({} == {})",
+                l, r, stringify!($left), stringify!($right)
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps_compose(
+            x in -2.0f64..2.0,
+            n in 1usize..5,
+            v in prop::collection::vec(0u64..10, 2..6),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 10));
+            prop_assert!(flag == (flag as u8 == 1));
+        }
+
+        #[test]
+        fn filter_map_rejects_and_retries(
+            y in (0.0f64..1.0).prop_filter_map("upper half", |y| (y > 0.5).then_some(y)),
+        ) {
+            prop_assert!(y > 0.5, "got {y}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_input() {
+        crate::test_runner::run(
+            "always_fails",
+            ProptestConfig::with_cases(4),
+            (0u64..10,),
+            |(_x,)| {
+                prop_assert!(false);
+                Ok(())
+            },
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the subset the Tigris workspace uses: a seedable
+//! deterministic generator ([`rngs::StdRng`]), [`Rng::gen_range`] over
+//! float and integer ranges, and [`Rng::gen_bool`]. The generator is
+//! xoshiro256**-based (seeded through SplitMix64), not the real crate's
+//! ChaCha12 — streams differ from upstream `rand` for the same seed, but
+//! are stable across runs and platforms, which is all the workspace needs.
+
+use std::ops::Range;
+
+/// Types that can seed and construct an RNG.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed, expanding it with
+    /// SplitMix64 (the standard xoshiro seeding procedure).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface implemented by all generators in this shim.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (half-open, `low..high`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self.next_u64(), range)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        // 53 random bits → uniform in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Scalar types `Rng::gen_range` can sample.
+pub trait SampleRange: Copy + PartialOrd {
+    /// Maps 64 uniform bits onto `range`.
+    fn sample(bits: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(bits: u64, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range in gen_range");
+                let span = range.end.wrapping_sub(range.start) as u64;
+                range.start.wrapping_add((bits % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for f64 {
+    fn sample(bits: u64, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range in gen_range");
+        let unit = ((bits >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl SampleRange for f32 {
+    fn sample(bits: u64, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range in gen_range");
+        let unit = ((bits >> 40) as f32) * (1.0 / (1u64 << 24) as f32);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stand-in for the real crate's
+    /// ChaCha12-backed `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, per Blackman & Vigna.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-3.0..5.0);
+            assert!((-3.0..5.0).contains(&f));
+            let i = rng.gen_range(1..4usize);
+            assert!((1..4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1_500..3_500).contains(&hits), "0.25 bias wildly off: {hits}");
+    }
+}

@@ -88,8 +88,10 @@ fn two_stage_backend_preserves_registration_quality() {
     let gt = seq.ground_truth_relative(0);
 
     let classic = register(seq.frame(1), seq.frame(0), &RegistrationConfig::default()).unwrap();
-    let mut cfg = RegistrationConfig::default();
-    cfg.backend = SearchBackendConfig::TwoStage { top_height: 8 };
+    let cfg = RegistrationConfig {
+        backend: SearchBackendConfig::TwoStage { top_height: 8 },
+        ..RegistrationConfig::default()
+    };
     let two_stage = register(seq.frame(1), seq.frame(0), &cfg).unwrap();
 
     let (t_classic, _) = relative_pose_error(&classic.transform, &gt);
@@ -108,10 +110,12 @@ fn approximate_backend_keeps_error_small() {
     let seq = test_sequence();
     let gt = seq.ground_truth_relative(0);
 
-    let mut cfg = RegistrationConfig::default();
-    cfg.backend = SearchBackendConfig::TwoStageApprox {
-        top_height: 8,
-        approx: ApproxConfig::default(),
+    let cfg = RegistrationConfig {
+        backend: SearchBackendConfig::TwoStageApprox {
+            top_height: 8,
+            approx: ApproxConfig::default(),
+        },
+        ..RegistrationConfig::default()
     };
     let result = register(seq.frame(1), seq.frame(0), &cfg).unwrap();
     let (t_err, r_err) = relative_pose_error(&result.transform, &gt);
