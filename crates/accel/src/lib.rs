@@ -27,6 +27,11 @@
 //!   for the paper's synthesis flow (constants calibrated to the published
 //!   breakdowns; see DESIGN.md).
 //! * [`baseline`] — CPU/GPU cost models for the comparison systems.
+//! * [`backend`] — the accelerator as an **online** search backend:
+//!   [`AccelBackend`] implements `tigris_core::SearchIndex` and registers
+//!   as `"accelerator"`, so the registration pipeline, odometer and DSE
+//!   sweeps can run end-to-end *on* the simulated machine (not just replay
+//!   its logs), accumulating cycles/energy in an [`AccelMeter`].
 //!
 //! # Example
 //!
@@ -48,7 +53,10 @@
 //! assert_eq!(report.nn_results[0].unwrap().index, tree.nn(queries[0]).unwrap().index);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod area;
+pub mod backend;
 pub mod baseline;
 pub mod cache;
 pub mod config;
@@ -59,6 +67,9 @@ pub mod sim;
 pub mod su;
 
 pub use area::{area_report, AreaReport};
+pub use backend::{
+    register_accelerator_backend, register_accelerator_backend_as, AccelBackend, AccelMeter,
+};
 pub use baseline::{BaselineModel, BaselineReport};
 pub use config::{AcceleratorConfig, BackendPolicy, MappingPolicy};
 pub use energy::{EnergyBreakdown, EnergyModel};

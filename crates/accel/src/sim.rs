@@ -60,6 +60,11 @@ pub struct SimReport {
     pub nn_results: Vec<Option<Neighbor>>,
     /// Radius result counts (when [`SearchKind::Radius`]); one per query.
     pub radius_result_counts: Vec<usize>,
+    /// Full radius results, ascending by distance (when
+    /// [`SearchKind::Radius`] *and* result collection was requested — the
+    /// online `AccelBackend` path; empty for plain simulation runs, which
+    /// only need the counts).
+    pub radius_results: Vec<Vec<Neighbor>>,
 }
 
 impl SimReport {
@@ -80,6 +85,45 @@ struct Leader {
     results: Vec<u32>,
 }
 
+/// Per-leaf Leader Buffer contents for both query kinds, decoupled from
+/// tree ownership so the borrowing [`AcceleratorSim`] and the owning
+/// online backend (`crate::backend::AccelBackend`) share one engine.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LeaderBooks {
+    nn: Vec<Vec<Leader>>,
+    radius: Vec<Vec<Leader>>,
+}
+
+impl LeaderBooks {
+    pub(crate) fn new(n_leaves: usize) -> Self {
+        LeaderBooks { nn: vec![Vec::new(); n_leaves], radius: vec![Vec::new(); n_leaves] }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        for l in &mut self.nn {
+            l.clear();
+        }
+        for l in &mut self.radius {
+            l.clear();
+        }
+    }
+}
+
+/// The cycle-level execution engine: one batch of queries through the
+/// front-end and back-end models against caller-provided tree, config and
+/// leader state. [`AcceleratorSim`] (borrowed tree, offline runs/replay)
+/// and `AccelBackend` (owned tree, online pipeline backend) both drive
+/// this.
+pub(crate) struct Engine<'a> {
+    pub(crate) tree: &'a TwoStageKdTree,
+    pub(crate) config: &'a AcceleratorConfig,
+    pub(crate) energy_model: &'a EnergyModel,
+    pub(crate) books: &'a mut LeaderBooks,
+    /// Collect full radius results (index + distance) per query, not just
+    /// counts — required when the engine *serves* searches online.
+    pub(crate) collect_radius_results: bool,
+}
+
 /// The accelerator simulator. Holds per-leaf leader books across calls
 /// (reset per frame via [`AcceleratorSim::reset_leaders`]).
 #[derive(Debug)]
@@ -87,20 +131,17 @@ pub struct AcceleratorSim<'t> {
     tree: &'t TwoStageKdTree,
     config: AcceleratorConfig,
     energy_model: EnergyModel,
-    nn_leaders: Vec<Vec<Leader>>,
-    radius_leaders: Vec<Vec<Leader>>,
+    books: LeaderBooks,
 }
 
 impl<'t> AcceleratorSim<'t> {
     /// Creates a simulator over `tree` with the given configuration.
     pub fn new(tree: &'t TwoStageKdTree, config: AcceleratorConfig) -> Self {
-        let n_leaves = tree.leaves().len();
         AcceleratorSim {
             tree,
             config,
             energy_model: EnergyModel::default(),
-            nn_leaders: vec![Vec::new(); n_leaves],
-            radius_leaders: vec![Vec::new(); n_leaves],
+            books: LeaderBooks::new(tree.leaves().len()),
         }
     }
 
@@ -111,12 +152,7 @@ impl<'t> AcceleratorSim<'t> {
 
     /// Clears the leader buffers (between frames).
     pub fn reset_leaders(&mut self) {
-        for l in &mut self.nn_leaders {
-            l.clear();
-        }
-        for l in &mut self.radius_leaders {
-            l.clear();
-        }
+        self.books.reset();
     }
 
     /// Simulates a batch of NN queries.
@@ -161,6 +197,21 @@ impl<'t> AcceleratorSim<'t> {
 
     /// Simulates a batch of queries of the given kind.
     pub fn run(&mut self, queries: &[Vec3], kind: SearchKind) -> SimReport {
+        Engine {
+            tree: self.tree,
+            config: &self.config,
+            energy_model: &self.energy_model,
+            books: &mut self.books,
+            collect_radius_results: false,
+        }
+        .run(queries, kind)
+    }
+}
+
+impl Engine<'_> {
+    /// Executes a batch of queries of the given kind, exactly as the
+    /// hardware would, and reports cycles, traffic, energy and results.
+    pub(crate) fn run(&mut self, queries: &[Vec3], kind: SearchKind) -> SimReport {
         let mut traffic = TrafficReport::default();
         let mut tasks: Vec<LeafTask> = Vec::new();
         let mut fe_costs = Vec::with_capacity(queries.len());
@@ -171,9 +222,10 @@ impl<'t> AcceleratorSim<'t> {
         let mut follower_hits = 0u64;
         let mut nn_results = Vec::new();
         let mut radius_result_counts = Vec::new();
+        let mut radius_results = Vec::new();
 
         for (qi, &q) in queries.iter().enumerate() {
-            let trace = self.trace_query(qi as u32, q, kind, &mut tasks);
+            let mut trace = self.trace_query(qi as u32, q, kind, &mut tasks);
             nodes_expanded += trace.expanded;
             nodes_bypassed += trace.bypassed;
             follower_hits += trace.follower_hits;
@@ -198,6 +250,12 @@ impl<'t> AcceleratorSim<'t> {
                     traffic.result_buffer += n * RESULT_BYTES;
                     traffic.dram += n * RESULT_BYTES;
                     radius_result_counts.push(trace.radius_count);
+                    if self.collect_radius_results {
+                        // Match the software contract: ascending by
+                        // (distance, index).
+                        trace.radius_hits.sort();
+                        radius_results.push(std::mem::take(&mut trace.radius_hits));
+                    }
                 }
             }
         }
@@ -209,7 +267,7 @@ impl<'t> AcceleratorSim<'t> {
         let leaf_sizes: Vec<usize> =
             self.tree.leaves().iter().map(|l| l.points.len()).collect();
         let mut cache = NodeCache::new(self.config.node_cache_points);
-        let be = run_backend(&tasks, &leaf_sizes, &self.config, &mut cache);
+        let be = run_backend(&tasks, &leaf_sizes, self.config, &mut cache);
         traffic += be.traffic;
 
         // FE and BE overlap (queries stream through); the slower side
@@ -239,6 +297,7 @@ impl<'t> AcceleratorSim<'t> {
             energy,
             nn_results,
             radius_result_counts,
+            radius_results,
         }
     }
 
@@ -273,6 +332,7 @@ impl<'t> AcceleratorSim<'t> {
         };
         let r2 = r * r;
         let record_radius = self.config.approx.is_some() && matches!(kind, SearchKind::Radius(_));
+        let collect = self.collect_radius_results && matches!(kind, SearchKind::Radius(_));
         let mut primary_leaf: Option<usize> = None;
 
         // Explicit stack of (child, bound²): bound is the squared distance
@@ -310,6 +370,9 @@ impl<'t> AcceleratorSim<'t> {
                                 if record_radius {
                                     radius_results.push(node.point);
                                 }
+                                if collect {
+                                    trace.radius_hits.push(Neighbor::new(node.point as usize, d2));
+                                }
                             }
                         }
                     }
@@ -335,8 +398,8 @@ impl<'t> AcceleratorSim<'t> {
                         // Leader Check at the primary leaf only.
                         if let Some(cfg) = self.config.approx {
                             let book = match kind {
-                                SearchKind::Nn => &self.nn_leaders[leaf],
-                                SearchKind::Radius(_) => &self.radius_leaders[leaf],
+                                SearchKind::Nn => &self.books.nn[leaf],
+                                SearchKind::Radius(_) => &self.books.radius[leaf],
                             };
                             let leader_checks = book.len() as u32;
                             let threshold = match kind {
@@ -357,12 +420,13 @@ impl<'t> AcceleratorSim<'t> {
                                     // Follower: the whole search resolves
                                     // from the leader's recorded results.
                                     let leader = match kind {
-                                        SearchKind::Nn => &self.nn_leaders[leaf][li],
-                                        SearchKind::Radius(_) => &self.radius_leaders[leaf][li],
+                                        SearchKind::Nn => &self.books.nn[leaf][li],
+                                        SearchKind::Radius(_) => &self.books.radius[leaf][li],
                                     };
                                     trace.follower_hits += 1;
                                     best = Neighbor::new(usize::MAX, f64::INFINITY);
                                     radius_count = 0;
+                                    trace.radius_hits.clear();
                                     for &i in &leader.results {
                                         let d2 = q.distance_squared(points[i as usize]);
                                         match kind {
@@ -374,6 +438,11 @@ impl<'t> AcceleratorSim<'t> {
                                             SearchKind::Radius(_) => {
                                                 if d2 <= r2 {
                                                     radius_count += 1;
+                                                    if collect {
+                                                        trace
+                                                            .radius_hits
+                                                            .push(Neighbor::new(i as usize, d2));
+                                                    }
                                                 }
                                             }
                                         }
@@ -410,14 +479,17 @@ impl<'t> AcceleratorSim<'t> {
                                     if record_radius {
                                         radius_results.push(i);
                                     }
+                                    if collect {
+                                        trace.radius_hits.push(Neighbor::new(i as usize, d2));
+                                    }
                                 }
                             }
                         }
                     }
                     let leader_checks = if self.config.approx.is_some() && is_primary {
                         match kind {
-                            SearchKind::Nn => self.nn_leaders[leaf].len() as u32,
-                            SearchKind::Radius(_) => self.radius_leaders[leaf].len() as u32,
+                            SearchKind::Nn => self.books.nn[leaf].len() as u32,
+                            SearchKind::Radius(_) => self.books.radius[leaf].len() as u32,
                         }
                     } else {
                         0
@@ -439,15 +511,15 @@ impl<'t> AcceleratorSim<'t> {
             if trace.follower_hits == 0 {
                 match kind {
                     SearchKind::Nn => {
-                        if best.index != usize::MAX && self.nn_leaders[leaf].len() < cfg.leader_cap
+                        if best.index != usize::MAX && self.books.nn[leaf].len() < cfg.leader_cap
                         {
-                            self.nn_leaders[leaf]
+                            self.books.nn[leaf]
                                 .push(Leader { query: q, results: vec![best.index as u32] });
                         }
                     }
                     SearchKind::Radius(_) => {
-                        if self.radius_leaders[leaf].len() < cfg.leader_cap {
-                            self.radius_leaders[leaf]
+                        if self.books.radius[leaf].len() < cfg.leader_cap {
+                            self.books.radius[leaf]
                                 .push(Leader { query: q, results: radius_results });
                         }
                     }
@@ -481,6 +553,8 @@ fn merge_reports(a: SimReport, b: SimReport) -> SimReport {
     nn_results.extend(b.nn_results);
     let mut radius_result_counts = a.radius_result_counts;
     radius_result_counts.extend(b.radius_result_counts);
+    let mut radius_results = a.radius_results;
+    radius_results.extend(b.radius_results);
     SimReport {
         cycles,
         fe_cycles: a.fe_cycles + b.fe_cycles,
@@ -502,6 +576,7 @@ fn merge_reports(a: SimReport, b: SimReport) -> SimReport {
         },
         nn_results,
         radius_result_counts,
+        radius_results,
     }
 }
 
@@ -512,6 +587,8 @@ struct QueryTrace {
     follower_hits: u64,
     nn_best: Option<Neighbor>,
     radius_count: usize,
+    /// Full radius hits, populated only when the engine collects results.
+    radius_hits: Vec<Neighbor>,
 }
 
 #[cfg(test)]

@@ -152,7 +152,73 @@ pub(crate) fn radius_in_book(
     result
 }
 
-/// Stateful approximate searcher over a [`TwoStageKdTree`].
+/// The per-leaf leader books of Algorithm 1, decoupled from tree
+/// ownership so both the borrowing [`ApproxSearcher`] and the owning
+/// [`ApproxIndex`] share one implementation (and the leaf-grouped batched
+/// execution in [`crate::batch`] can split the books across workers).
+#[derive(Debug, Clone)]
+pub(crate) struct LeaderBooks {
+    pub(crate) cfg: ApproxConfig,
+    pub(crate) nn: Vec<Vec<Leader>>,
+    pub(crate) radius: Vec<Vec<Leader>>,
+}
+
+impl LeaderBooks {
+    pub(crate) fn new(cfg: ApproxConfig, n_leaves: usize) -> Self {
+        LeaderBooks { cfg, nn: vec![Vec::new(); n_leaves], radius: vec![Vec::new(); n_leaves] }
+    }
+
+    fn reset(&mut self) {
+        for l in &mut self.nn {
+            l.clear();
+        }
+        for l in &mut self.radius {
+            l.clear();
+        }
+    }
+
+    fn leader_count(&self) -> usize {
+        self.nn.iter().map(Vec::len).sum::<usize>()
+            + self.radius.iter().map(Vec::len).sum::<usize>()
+    }
+
+    fn nn_with_stats(
+        &mut self,
+        tree: &TwoStageKdTree,
+        query: Vec3,
+        stats: &mut SearchStats,
+    ) -> Option<Neighbor> {
+        if tree.is_empty() {
+            return None;
+        }
+        match tree.primary_leaf(query) {
+            Some(leaf) => nn_in_book(tree, &self.cfg, &mut self.nn[leaf], query, stats),
+            // Dead-end descent: no book to consult or extend; exact search.
+            None => tree.nn_with_stats(query, stats),
+        }
+    }
+
+    fn radius_with_stats(
+        &mut self,
+        tree: &TwoStageKdTree,
+        query: Vec3,
+        radius: f64,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        if tree.is_empty() {
+            return Vec::new();
+        }
+        match tree.primary_leaf(query) {
+            Some(leaf) => {
+                radius_in_book(tree, &self.cfg, &mut self.radius[leaf], query, radius, stats)
+            }
+            None => tree.radius_with_stats(query, radius, stats),
+        }
+    }
+}
+
+/// Stateful approximate searcher over a *borrowed* [`TwoStageKdTree`].
 ///
 /// Leaders accumulate per leaf as queries stream through, mirroring the
 /// accelerator's per-leaf Leader Buffers; they persist across calls (e.g.
@@ -161,6 +227,10 @@ pub(crate) fn radius_in_book(
 ///
 /// NN and radius queries maintain *separate* leader books: their result
 /// sets are not interchangeable.
+///
+/// When the tree and the books should live together as one unit — e.g.
+/// behind the [`crate::index::SearchIndex`] trait object the pipeline's
+/// searcher holds — use the owning [`ApproxIndex`] instead.
 ///
 /// # Example
 ///
@@ -181,41 +251,28 @@ pub(crate) fn radius_in_book(
 #[derive(Debug)]
 pub struct ApproxSearcher<'t> {
     tree: &'t TwoStageKdTree,
-    cfg: ApproxConfig,
-    nn_leaders: Vec<Vec<Leader>>,
-    radius_leaders: Vec<Vec<Leader>>,
+    books: LeaderBooks,
 }
 
 impl<'t> ApproxSearcher<'t> {
     /// Creates a searcher with empty leader books.
     pub fn new(tree: &'t TwoStageKdTree, cfg: ApproxConfig) -> Self {
-        ApproxSearcher {
-            tree,
-            cfg,
-            nn_leaders: vec![Vec::new(); tree.leaves().len()],
-            radius_leaders: vec![Vec::new(); tree.leaves().len()],
-        }
+        ApproxSearcher { tree, books: LeaderBooks::new(cfg, tree.leaves().len()) }
     }
 
     /// The configuration in effect.
     pub fn config(&self) -> &ApproxConfig {
-        &self.cfg
+        &self.books.cfg
     }
 
     /// Clears all leader books (call between frames).
     pub fn reset(&mut self) {
-        for l in &mut self.nn_leaders {
-            l.clear();
-        }
-        for l in &mut self.radius_leaders {
-            l.clear();
-        }
+        self.books.reset();
     }
 
     /// Total leaders currently recorded across all leaves (both books).
     pub fn leader_count(&self) -> usize {
-        self.nn_leaders.iter().map(Vec::len).sum::<usize>()
-            + self.radius_leaders.iter().map(Vec::len).sum::<usize>()
+        self.books.leader_count()
     }
 
     /// The indexed two-stage tree.
@@ -223,13 +280,10 @@ impl<'t> ApproxSearcher<'t> {
         self.tree
     }
 
-    /// Splits the searcher into the shared tree/config and the two
-    /// mutable leader books, for the leaf-grouped batched execution in
-    /// [`crate::batch`].
-    pub(crate) fn leaf_parts(
-        &mut self,
-    ) -> (&'t TwoStageKdTree, ApproxConfig, &mut [Vec<Leader>], &mut [Vec<Leader>]) {
-        (self.tree, self.cfg, &mut self.nn_leaders, &mut self.radius_leaders)
+    /// Splits the searcher into the shared tree and the mutable leader
+    /// books, for the leaf-grouped batched execution in [`crate::batch`].
+    pub(crate) fn leaf_parts(&mut self) -> (&'t TwoStageKdTree, &mut LeaderBooks) {
+        (self.tree, &mut self.books)
     }
 
     /// Approximate nearest-neighbor search.
@@ -240,16 +294,7 @@ impl<'t> ApproxSearcher<'t> {
 
     /// Approximate NN with visit accounting.
     pub fn nn_with_stats(&mut self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
-        if self.tree.is_empty() {
-            return None;
-        }
-        match self.tree.primary_leaf(query) {
-            Some(leaf) => {
-                nn_in_book(self.tree, &self.cfg, &mut self.nn_leaders[leaf], query, stats)
-            }
-            // Dead-end descent: no book to consult or extend; exact search.
-            None => self.tree.nn_with_stats(query, stats),
-        }
+        self.books.nn_with_stats(self.tree, query, stats)
     }
 
     /// Approximate radius search. Results are sorted ascending by distance.
@@ -278,21 +323,101 @@ impl<'t> ApproxSearcher<'t> {
         radius: f64,
         stats: &mut SearchStats,
     ) -> Vec<Neighbor> {
-        assert!(radius >= 0.0, "radius must be non-negative");
-        if self.tree.is_empty() {
-            return Vec::new();
-        }
-        match self.tree.primary_leaf(query) {
-            Some(leaf) => radius_in_book(
-                self.tree,
-                &self.cfg,
-                &mut self.radius_leaders[leaf],
-                query,
-                radius,
-                stats,
-            ),
-            None => self.tree.radius_with_stats(query, radius, stats),
-        }
+        self.books.radius_with_stats(self.tree, query, radius, stats)
+    }
+}
+
+/// Owning approximate-search backend: a [`TwoStageKdTree`] and its leader
+/// books absorbed into one self-contained unit.
+///
+/// [`ApproxSearcher`] borrows its tree, which forces any holder that owns
+/// both to become self-referential (the pipeline's searcher once pinned
+/// the tree behind a `Box` and transmuted the borrow to `'static`).
+/// `ApproxIndex` removes that problem: it owns the tree, and the
+/// Algorithm-1 kernels take the tree and the books as disjoint fields —
+/// no unsafe, no lifetime laundering. This is the type behind the
+/// `"two-stage-approx"` entry of the backend registry.
+///
+/// # Example
+///
+/// ```
+/// use tigris_core::index::SearchIndex;
+/// use tigris_core::{ApproxConfig, ApproxIndex, SearchStats};
+/// use tigris_geom::Vec3;
+///
+/// let pts: Vec<Vec3> = (0..256)
+///     .map(|i| Vec3::new((i % 16) as f64, (i / 16) as f64, 0.0))
+///     .collect();
+/// let mut index = ApproxIndex::build(&pts, 4, ApproxConfig::default());
+/// let mut stats = SearchStats::new();
+/// // First query to a leaf is a leader — exact by construction.
+/// let n = index.nn(Vec3::new(3.2, 8.1, 0.0), &mut stats).unwrap();
+/// assert_eq!(pts[n.index], Vec3::new(3.0, 8.0, 0.0));
+/// index.reset(); // clear leader books between frames
+/// ```
+#[derive(Debug)]
+pub struct ApproxIndex {
+    tree: TwoStageKdTree,
+    books: LeaderBooks,
+}
+
+impl ApproxIndex {
+    /// Builds a two-stage tree of the given top height over `points` and
+    /// wraps it with empty leader books.
+    pub fn build(points: &[Vec3], top_height: usize, cfg: ApproxConfig) -> Self {
+        ApproxIndex::from_tree(TwoStageKdTree::build(points, top_height), cfg)
+    }
+
+    /// Wraps an already-built tree, taking ownership.
+    pub fn from_tree(tree: TwoStageKdTree, cfg: ApproxConfig) -> Self {
+        let books = LeaderBooks::new(cfg, tree.leaves().len());
+        ApproxIndex { tree, books }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ApproxConfig {
+        &self.books.cfg
+    }
+
+    /// The owned two-stage tree.
+    pub fn tree(&self) -> &TwoStageKdTree {
+        &self.tree
+    }
+
+    /// Clears all leader books (call between frames).
+    pub fn reset(&mut self) {
+        self.books.reset();
+    }
+
+    /// Total leaders currently recorded across all leaves (both books).
+    pub fn leader_count(&self) -> usize {
+        self.books.leader_count()
+    }
+
+    /// Splits the index into the shared tree and the mutable leader
+    /// books, for the leaf-grouped batched execution in [`crate::batch`].
+    pub(crate) fn leaf_parts(&mut self) -> (&TwoStageKdTree, &mut LeaderBooks) {
+        (&self.tree, &mut self.books)
+    }
+
+    /// Approximate NN with visit accounting; see [`ApproxSearcher::nn`].
+    pub fn nn_with_stats(&mut self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
+        self.books.nn_with_stats(&self.tree, query, stats)
+    }
+
+    /// Approximate radius search with visit accounting; see
+    /// [`ApproxSearcher::radius`]. Results are sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `radius` is negative.
+    pub fn radius_with_stats(
+        &mut self,
+        query: Vec3,
+        radius: f64,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        self.books.radius_with_stats(&self.tree, query, radius, stats)
     }
 }
 

@@ -46,8 +46,8 @@
 //! assert_eq!(batched[7].unwrap().index, tree.nn(queries[7]).unwrap().index);
 //! ```
 
-use crate::approx::{nn_in_book, radius_in_book, Leader};
-use crate::{ApproxConfig, ApproxSearcher, KdTree, Neighbor, SearchStats, TwoStageKdTree};
+use crate::approx::{nn_in_book, radius_in_book, Leader, LeaderBooks};
+use crate::{ApproxConfig, ApproxIndex, ApproxSearcher, KdTree, Neighbor, SearchStats, TwoStageKdTree};
 use tigris_geom::Vec3;
 
 /// Parallelism knobs for batched query execution.
@@ -443,13 +443,63 @@ impl BatchSearcher for [Vec3] {
     }
 }
 
+/// The owning oracle delegates to the point-slice implementation above.
+impl BatchSearcher for crate::bruteforce::BruteForceIndex {
+    fn nn_single(&mut self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
+        self.points_mut().nn_single(query, stats)
+    }
+
+    fn knn_single(&mut self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        self.points_mut().knn_single(query, k, stats)
+    }
+
+    fn radius_single(
+        &mut self,
+        query: Vec3,
+        radius: f64,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        self.points_mut().radius_single(query, radius, stats)
+    }
+
+    fn nn_batch(
+        &mut self,
+        queries: &[Vec3],
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Option<Neighbor>> {
+        self.points_mut().nn_batch(queries, cfg, stats)
+    }
+
+    fn knn_batch(
+        &mut self,
+        queries: &[Vec3],
+        k: usize,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        self.points_mut().knn_batch(queries, k, cfg, stats)
+    }
+
+    fn radius_batch(
+        &mut self,
+        queries: &[Vec3],
+        radius: f64,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        self.points_mut().radius_batch(queries, radius, cfg, stats)
+    }
+}
+
 /// Which of the approximate searcher's two leader books a batch touches.
 enum Book {
     Nn,
     Radius,
 }
 
-/// Leaf-grouped batched execution for the approximate searcher.
+/// Leaf-grouped batched execution for the approximate searchers (both the
+/// borrowing [`ApproxSearcher`] and the owning [`ApproxIndex`]).
 ///
 /// Queries are bucketed by primary leaf; workers own contiguous,
 /// disjoint leaf ranges (hence disjoint slices of the leader books), and
@@ -458,7 +508,8 @@ enum Book {
 /// results and stats exactly while scaling across cores.
 #[allow(clippy::too_many_arguments)]
 fn approx_batch<R: Send>(
-    searcher: &mut ApproxSearcher<'_>,
+    tree: &TwoStageKdTree,
+    leader_books: &mut LeaderBooks,
     queries: &[Vec3],
     cfg: &BatchConfig,
     stats: &mut SearchStats,
@@ -468,13 +519,13 @@ fn approx_batch<R: Send>(
     fallback: impl Fn(&TwoStageKdTree, Vec3, &mut SearchStats) -> R + Sync,
     empty: impl Fn() -> R,
 ) -> Vec<R> {
-    let (tree, acfg, nn_books, radius_books) = searcher.leaf_parts();
     if tree.is_empty() {
         return queries.iter().map(|_| empty()).collect();
     }
-    let books = match book {
-        Book::Nn => nn_books,
-        Book::Radius => radius_books,
+    let acfg = leader_books.cfg;
+    let books: &mut [Vec<Leader>] = match book {
+        Book::Nn => &mut leader_books.nn,
+        Book::Radius => &mut leader_books.radius,
     };
 
     let t = cfg.resolve_threads(queries.len());
@@ -599,8 +650,10 @@ impl BatchSearcher for ApproxSearcher<'_> {
         cfg: &BatchConfig,
         stats: &mut SearchStats,
     ) -> Vec<Option<Neighbor>> {
+        let (tree, books) = self.leaf_parts();
         approx_batch(
-            self,
+            tree,
+            books,
             queries,
             cfg,
             stats,
@@ -629,8 +682,83 @@ impl BatchSearcher for ApproxSearcher<'_> {
         cfg: &BatchConfig,
         stats: &mut SearchStats,
     ) -> Vec<Vec<Neighbor>> {
+        let (tree, books) = self.leaf_parts();
         approx_batch(
-            self,
+            tree,
+            books,
+            queries,
+            cfg,
+            stats,
+            Book::Radius,
+            move |tree, acfg, book, q, s| radius_in_book(tree, acfg, book, q, radius, s),
+            move |tree, q, s| tree.radius_with_stats(q, radius, s),
+            Vec::new,
+        )
+    }
+}
+
+impl BatchSearcher for ApproxIndex {
+    fn nn_single(&mut self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
+        self.nn_with_stats(query, stats)
+    }
+
+    /// k-NN has no approximate path; served exactly by the owned
+    /// two-stage tree (see [`ApproxSearcher`]'s impl).
+    fn knn_single(&mut self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        self.tree().knn_with_stats(query, k, stats)
+    }
+
+    fn radius_single(
+        &mut self,
+        query: Vec3,
+        radius: f64,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        self.radius_with_stats(query, radius, stats)
+    }
+
+    fn nn_batch(
+        &mut self,
+        queries: &[Vec3],
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Option<Neighbor>> {
+        let (tree, books) = self.leaf_parts();
+        approx_batch(
+            tree,
+            books,
+            queries,
+            cfg,
+            stats,
+            Book::Nn,
+            nn_in_book,
+            |tree, q, s| tree.nn_with_stats(q, s),
+            || None,
+        )
+    }
+
+    fn knn_batch(
+        &mut self,
+        queries: &[Vec3],
+        k: usize,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        let tree = self.tree();
+        parallel_queries(queries, cfg, stats, |q, s| tree.knn_with_stats(q, k, s))
+    }
+
+    fn radius_batch(
+        &mut self,
+        queries: &[Vec3],
+        radius: f64,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        let (tree, books) = self.leaf_parts();
+        approx_batch(
+            tree,
+            books,
             queries,
             cfg,
             stats,

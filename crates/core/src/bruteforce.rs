@@ -97,6 +97,52 @@ pub fn knn_brute_force_with_stats(
     knn_brute_force(points, query, k)
 }
 
+/// An owning brute-force backend: the exhaustive-scan oracle as a
+/// selectable index structure.
+///
+/// Brute force is the ground truth every tree search is validated
+/// against; wrapping the point set in an owned type lets it plug into the
+/// [`crate::index::SearchIndex`] seam (and hence the full registration
+/// pipeline) like any other backend — the `"brute-force"` entry of the
+/// backend registry.
+///
+/// # Example
+///
+/// ```
+/// use tigris_core::index::SearchIndex;
+/// use tigris_core::{BruteForceIndex, SearchStats};
+/// use tigris_geom::Vec3;
+///
+/// let pts: Vec<Vec3> = (0..10).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+/// let mut index = BruteForceIndex::new(pts);
+/// let mut stats = SearchStats::new();
+/// let n = index.nn(Vec3::new(3.4, 0.0, 0.0), &mut stats).unwrap();
+/// assert_eq!(n.index, 3);
+/// assert_eq!(stats.leaf_points_scanned, 10); // every point scanned
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BruteForceIndex {
+    points: Vec<Vec3>,
+}
+
+impl BruteForceIndex {
+    /// Wraps a point set, taking ownership.
+    pub fn new(points: Vec<Vec3>) -> Self {
+        BruteForceIndex { points }
+    }
+
+    /// The indexed points.
+    pub fn points(&self) -> &[Vec3] {
+        &self.points
+    }
+
+    /// Mutable view, for the slice-level [`crate::batch::BatchSearcher`]
+    /// delegation.
+    pub(crate) fn points_mut(&mut self) -> &mut [Vec3] {
+        &mut self.points
+    }
+}
+
 /// Exhaustive k-nearest-neighbors, sorted ascending by distance.
 ///
 /// Returns fewer than `k` results when `points` has fewer than `k` entries.

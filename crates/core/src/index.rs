@@ -1,0 +1,554 @@
+//! The `SearchIndex` trait: the pluggable backend seam of the search
+//! engine.
+//!
+//! Tigris's central architectural claim (paper Sec. 4–5) is that the
+//! KD-tree search backend is *swappable* — canonical software tree,
+//! two-stage tree, approximate leader/follower search, or the simulated
+//! accelerator — while the registration pipeline above stays fixed. This
+//! module makes that seam a first-class public trait:
+//!
+//! * [`SearchIndex`] — build-from-points construction, `nn`/`knn`/`radius`
+//!   queries plus their `*_batch` forms, and size/name reporting. Every
+//!   backend (including stateful approximate ones) implements it, so the
+//!   pipeline's `Searcher3` can hold a `Box<dyn SearchIndex>` and new
+//!   backends plug in without touching the pipeline.
+//! * [`register_backend`]/[`build_backend`]/[`backend_names`] — a
+//!   process-wide registry of named backend factories. The four built-in
+//!   backends are pre-registered; external crates (e.g. `tigris-accel`'s
+//!   online accelerator backend) add their own.
+//!
+//! # Example
+//!
+//! ```
+//! use tigris_core::index::{build_backend, SearchIndex};
+//! use tigris_core::SearchStats;
+//! use tigris_geom::Vec3;
+//!
+//! let pts: Vec<Vec3> = (0..512)
+//!     .map(|i| Vec3::new((i % 16) as f64, (i / 16) as f64, 0.0))
+//!     .collect();
+//! // Any registered backend can serve the same queries.
+//! for name in ["classic", "two-stage", "brute-force"] {
+//!     let mut index = build_backend(name, &pts).unwrap();
+//!     let mut stats = SearchStats::new();
+//!     let n = index.nn(Vec3::new(3.2, 7.9, 0.1), &mut stats).unwrap();
+//!     assert_eq!(pts[n.index], Vec3::new(3.0, 8.0, 0.0));
+//!     assert_eq!(index.name(), name);
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::{OnceLock, RwLock};
+
+use crate::approx::ApproxIndex;
+use crate::batch::{BatchConfig, BatchSearcher};
+use crate::bruteforce::BruteForceIndex;
+use crate::twostage::default_top_height;
+use crate::{ApproxConfig, KdTree, Neighbor, SearchStats, TwoStageKdTree};
+use tigris_geom::Vec3;
+
+/// Structural size of an index, for memory/footprint reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexSize {
+    /// Points indexed.
+    pub points: usize,
+    /// Interior (recursively traversed) tree nodes.
+    pub interior_nodes: usize,
+    /// Unordered leaf sets (two-stage structures only).
+    pub leaf_sets: usize,
+}
+
+/// A neighbor-search backend over one 3D point cloud.
+///
+/// This is the boundary between the registration pipeline and the search
+/// engine: the pipeline issues `nn`/`knn`/`radius` queries (serial or
+/// batched) and never sees which structure serves them. Implementations:
+///
+/// | backend | type | exactness |
+/// |---|---|---|
+/// | `"classic"` | [`KdTree`] | exact |
+/// | `"two-stage"` | [`TwoStageKdTree`] | exact |
+/// | `"two-stage-approx"` | [`ApproxIndex`] | Algorithm-1 approximate |
+/// | `"brute-force"` | [`BruteForceIndex`] | exact (oracle) |
+/// | `"accelerator"` | `tigris-accel`'s `AccelBackend` | exact or approximate |
+///
+/// Methods take `&mut self` so stateful backends (approximate leader
+/// books, accelerator leader buffers) can evolve as queries stream
+/// through; stateless trees simply reborrow shared.
+///
+/// # Contract
+///
+/// Implementations must uphold (verified by `core/tests/index_contract.rs`):
+///
+/// * exact backends return results bit-identical to brute force
+///   (same indices, same squared distances, ties broken to the lower
+///   index, radius/knn results ascending by `(distance, index)`);
+/// * approximate backends stay within their configured bound (NN distance
+///   exceeds exact by at most `2·thd`; radius results are a sound subset);
+/// * every `*_batch` method returns exactly what the serial method would,
+///   in query order, with [`SearchStats`] merged losslessly.
+pub trait SearchIndex: Send {
+    /// Builds this backend over `points` with its default parameters.
+    ///
+    /// Parameterized backends expose richer constructors on the concrete
+    /// type (e.g. [`TwoStageKdTree::build`] takes a top height); this
+    /// entry point is what the registry's factories use.
+    fn from_points(points: &[Vec3]) -> Self
+    where
+        Self: Sized;
+
+    /// Stable backend identifier (`"classic"`, `"two-stage"`, …) — the
+    /// same string the backend is registered under, used for labels,
+    /// `Debug` output and registry lookups.
+    fn name(&self) -> &'static str;
+
+    /// The indexed points, in build order (result indices refer to this
+    /// slice).
+    fn points(&self) -> &[Vec3];
+
+    /// Structural size of the index.
+    fn size(&self) -> IndexSize;
+
+    /// Number of indexed points.
+    fn len(&self) -> usize {
+        self.points().len()
+    }
+
+    /// `true` when no points are indexed.
+    fn is_empty(&self) -> bool {
+        self.points().is_empty()
+    }
+
+    /// Nearest neighbor of `query`, or `None` on an empty index.
+    fn nn(&mut self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor>;
+
+    /// The `k` nearest neighbors of `query`, ascending by distance
+    /// (fewer when the index holds fewer than `k` points).
+    fn knn(&mut self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor>;
+
+    /// All neighbors within `radius` of `query`, ascending by distance.
+    fn radius(&mut self, query: Vec3, radius: f64, stats: &mut SearchStats) -> Vec<Neighbor>;
+
+    /// Nearest neighbor of every query; results in query order.
+    fn nn_batch(
+        &mut self,
+        queries: &[Vec3],
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Option<Neighbor>> {
+        let _ = cfg;
+        queries.iter().map(|&q| self.nn(q, stats)).collect()
+    }
+
+    /// The `k` nearest neighbors of every query; results in query order.
+    fn knn_batch(
+        &mut self,
+        queries: &[Vec3],
+        k: usize,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        let _ = cfg;
+        queries.iter().map(|&q| self.knn(q, k, stats)).collect()
+    }
+
+    /// All neighbors within `radius` of every query; results in query
+    /// order.
+    fn radius_batch(
+        &mut self,
+        queries: &[Vec3],
+        radius: f64,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        let _ = cfg;
+        queries.iter().map(|&q| self.radius(q, radius, stats)).collect()
+    }
+
+    /// Clears any approximation state accumulated across queries (leader
+    /// books, leader buffers) — call between frames. No-op for exact
+    /// backends.
+    fn reset(&mut self) {}
+}
+
+impl SearchIndex for KdTree {
+    fn from_points(points: &[Vec3]) -> Self {
+        KdTree::build(points)
+    }
+
+    fn name(&self) -> &'static str {
+        "classic"
+    }
+
+    fn points(&self) -> &[Vec3] {
+        KdTree::points(self)
+    }
+
+    fn size(&self) -> IndexSize {
+        IndexSize { points: KdTree::len(self), interior_nodes: KdTree::len(self), leaf_sets: 0 }
+    }
+
+    fn nn(&mut self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
+        self.nn_with_stats(query, stats)
+    }
+
+    fn knn(&mut self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        self.knn_with_stats(query, k, stats)
+    }
+
+    fn radius(&mut self, query: Vec3, radius: f64, stats: &mut SearchStats) -> Vec<Neighbor> {
+        self.radius_with_stats(query, radius, stats)
+    }
+
+    fn nn_batch(
+        &mut self,
+        queries: &[Vec3],
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Option<Neighbor>> {
+        BatchSearcher::nn_batch(self, queries, cfg, stats)
+    }
+
+    fn knn_batch(
+        &mut self,
+        queries: &[Vec3],
+        k: usize,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        BatchSearcher::knn_batch(self, queries, k, cfg, stats)
+    }
+
+    fn radius_batch(
+        &mut self,
+        queries: &[Vec3],
+        radius: f64,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        BatchSearcher::radius_batch(self, queries, radius, cfg, stats)
+    }
+}
+
+impl SearchIndex for TwoStageKdTree {
+    fn from_points(points: &[Vec3]) -> Self {
+        TwoStageKdTree::build(points, default_top_height(points.len()))
+    }
+
+    fn name(&self) -> &'static str {
+        "two-stage"
+    }
+
+    fn points(&self) -> &[Vec3] {
+        TwoStageKdTree::points(self)
+    }
+
+    fn size(&self) -> IndexSize {
+        IndexSize {
+            points: TwoStageKdTree::len(self),
+            interior_nodes: self.top_nodes().len(),
+            leaf_sets: self.leaves().len(),
+        }
+    }
+
+    fn nn(&mut self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
+        self.nn_with_stats(query, stats)
+    }
+
+    fn knn(&mut self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        self.knn_with_stats(query, k, stats)
+    }
+
+    fn radius(&mut self, query: Vec3, radius: f64, stats: &mut SearchStats) -> Vec<Neighbor> {
+        self.radius_with_stats(query, radius, stats)
+    }
+
+    fn nn_batch(
+        &mut self,
+        queries: &[Vec3],
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Option<Neighbor>> {
+        BatchSearcher::nn_batch(self, queries, cfg, stats)
+    }
+
+    fn knn_batch(
+        &mut self,
+        queries: &[Vec3],
+        k: usize,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        BatchSearcher::knn_batch(self, queries, k, cfg, stats)
+    }
+
+    fn radius_batch(
+        &mut self,
+        queries: &[Vec3],
+        radius: f64,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        BatchSearcher::radius_batch(self, queries, radius, cfg, stats)
+    }
+}
+
+impl SearchIndex for ApproxIndex {
+    fn from_points(points: &[Vec3]) -> Self {
+        ApproxIndex::build(points, default_top_height(points.len()), ApproxConfig::default())
+    }
+
+    fn name(&self) -> &'static str {
+        "two-stage-approx"
+    }
+
+    fn points(&self) -> &[Vec3] {
+        self.tree().points()
+    }
+
+    fn size(&self) -> IndexSize {
+        IndexSize {
+            points: self.tree().len(),
+            interior_nodes: self.tree().top_nodes().len(),
+            leaf_sets: self.tree().leaves().len(),
+        }
+    }
+
+    fn nn(&mut self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
+        self.nn_with_stats(query, stats)
+    }
+
+    /// k-NN has no approximate path (Algorithm 1 covers NN and radius);
+    /// served exactly by the underlying two-stage tree.
+    fn knn(&mut self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        self.tree().knn_with_stats(query, k, stats)
+    }
+
+    fn radius(&mut self, query: Vec3, radius: f64, stats: &mut SearchStats) -> Vec<Neighbor> {
+        self.radius_with_stats(query, radius, stats)
+    }
+
+    fn nn_batch(
+        &mut self,
+        queries: &[Vec3],
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Option<Neighbor>> {
+        BatchSearcher::nn_batch(self, queries, cfg, stats)
+    }
+
+    fn knn_batch(
+        &mut self,
+        queries: &[Vec3],
+        k: usize,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        BatchSearcher::knn_batch(self, queries, k, cfg, stats)
+    }
+
+    fn radius_batch(
+        &mut self,
+        queries: &[Vec3],
+        radius: f64,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        BatchSearcher::radius_batch(self, queries, radius, cfg, stats)
+    }
+
+    fn reset(&mut self) {
+        ApproxIndex::reset(self);
+    }
+}
+
+impl SearchIndex for BruteForceIndex {
+    fn from_points(points: &[Vec3]) -> Self {
+        BruteForceIndex::new(points.to_vec())
+    }
+
+    fn name(&self) -> &'static str {
+        "brute-force"
+    }
+
+    fn points(&self) -> &[Vec3] {
+        BruteForceIndex::points(self)
+    }
+
+    fn size(&self) -> IndexSize {
+        IndexSize { points: BruteForceIndex::points(self).len(), ..IndexSize::default() }
+    }
+
+    fn nn(&mut self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
+        crate::bruteforce::nn_brute_force_with_stats(BruteForceIndex::points(self), query, stats)
+    }
+
+    fn knn(&mut self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        crate::bruteforce::knn_brute_force_with_stats(BruteForceIndex::points(self), query, k, stats)
+    }
+
+    fn radius(&mut self, query: Vec3, radius: f64, stats: &mut SearchStats) -> Vec<Neighbor> {
+        crate::bruteforce::radius_brute_force_with_stats(
+            BruteForceIndex::points(self),
+            query,
+            radius,
+            stats,
+        )
+    }
+
+    fn nn_batch(
+        &mut self,
+        queries: &[Vec3],
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Option<Neighbor>> {
+        BatchSearcher::nn_batch(self, queries, cfg, stats)
+    }
+
+    fn knn_batch(
+        &mut self,
+        queries: &[Vec3],
+        k: usize,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        BatchSearcher::knn_batch(self, queries, k, cfg, stats)
+    }
+
+    fn radius_batch(
+        &mut self,
+        queries: &[Vec3],
+        radius: f64,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        BatchSearcher::radius_batch(self, queries, radius, cfg, stats)
+    }
+}
+
+// ---- Backend registry ----------------------------------------------------
+
+/// A named backend factory: builds an index over a point slice.
+pub type BackendFactory = Box<dyn Fn(&[Vec3]) -> Box<dyn SearchIndex> + Send + Sync>;
+
+fn registry() -> &'static RwLock<BTreeMap<String, BackendFactory>> {
+    static REGISTRY: OnceLock<RwLock<BTreeMap<String, BackendFactory>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut map: BTreeMap<String, BackendFactory> = BTreeMap::new();
+        map.insert("classic".into(), Box::new(|pts| Box::new(KdTree::from_points(pts))));
+        map.insert("two-stage".into(), Box::new(|pts| Box::new(TwoStageKdTree::from_points(pts))));
+        map.insert(
+            "two-stage-approx".into(),
+            Box::new(|pts| Box::new(ApproxIndex::from_points(pts))),
+        );
+        map.insert("brute-force".into(), Box::new(|pts| Box::new(BruteForceIndex::from_points(pts))));
+        RwLock::new(map)
+    })
+}
+
+/// Registers (or replaces) a named backend factory, making it selectable
+/// by name from any layer — `build_backend`, the pipeline's
+/// `SearchBackendConfig::Custom`, and the backend-matrix bench all resolve
+/// through this registry. Returns `true` when the name was new, `false`
+/// when an existing factory was replaced.
+///
+/// The four built-in backends (`"classic"`, `"two-stage"`,
+/// `"two-stage-approx"`, `"brute-force"`) are pre-registered;
+/// `tigris-accel` registers `"accelerator"` via
+/// `register_accelerator_backend()`.
+pub fn register_backend(
+    name: impl Into<String>,
+    factory: impl Fn(&[Vec3]) -> Box<dyn SearchIndex> + Send + Sync + 'static,
+) -> bool {
+    registry()
+        .write()
+        .expect("backend registry poisoned")
+        .insert(name.into(), Box::new(factory))
+        .is_none()
+}
+
+/// Builds the backend registered under `name` over `points`, or `None`
+/// when no such backend is registered.
+pub fn build_backend(name: &str, points: &[Vec3]) -> Option<Box<dyn SearchIndex>> {
+    registry().read().expect("backend registry poisoned").get(name).map(|f| f(points))
+}
+
+/// The names of all registered backends, sorted.
+pub fn backend_names() -> Vec<String> {
+    registry().read().expect("backend registry poisoned").keys().cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<Vec3> {
+        (0..n).map(|i| Vec3::new((i % 10) as f64, ((i / 10) % 10) as f64, (i / 100) as f64)).collect()
+    }
+
+    #[test]
+    fn builtins_are_registered() {
+        let names = backend_names();
+        for builtin in ["classic", "two-stage", "two-stage-approx", "brute-force"] {
+            assert!(names.iter().any(|n| n == builtin), "{builtin} missing from {names:?}");
+        }
+    }
+
+    #[test]
+    fn built_backends_report_their_registered_name() {
+        let pts = grid(200);
+        for name in ["classic", "two-stage", "two-stage-approx", "brute-force"] {
+            let index = build_backend(name, &pts).unwrap();
+            assert_eq!(index.name(), name);
+            assert_eq!(index.len(), 200);
+            assert!(!index.is_empty());
+            assert_eq!(index.size().points, 200);
+        }
+    }
+
+    #[test]
+    fn unknown_backend_is_none() {
+        assert!(build_backend("warp-drive", &grid(10)).is_none());
+    }
+
+    #[test]
+    fn custom_backend_round_trips() {
+        // Registering a wrapper under a new name makes it buildable.
+        let fresh = register_backend("classic-copy", |pts| Box::new(KdTree::build(pts)));
+        assert!(fresh);
+        let mut index = build_backend("classic-copy", &grid(50)).unwrap();
+        let mut stats = SearchStats::new();
+        assert!(index.nn(Vec3::ZERO, &mut stats).is_some());
+        // Re-registering the same name replaces, not duplicates.
+        assert!(!register_backend("classic-copy", |pts| Box::new(KdTree::build(pts))));
+    }
+
+    #[test]
+    fn trait_objects_serve_all_query_kinds() {
+        let pts = grid(300);
+        let mut index: Box<dyn SearchIndex> = build_backend("two-stage", &pts).unwrap();
+        let mut stats = SearchStats::new();
+        let q = Vec3::new(4.2, 5.1, 0.7);
+        let nn = index.nn(q, &mut stats).unwrap();
+        let knn = index.knn(q, 5, &mut stats);
+        let ball = index.radius(q, 2.0, &mut stats);
+        assert_eq!(knn[0].index, nn.index);
+        assert!(ball.iter().any(|n| n.index == nn.index));
+        assert_eq!(stats.queries, 3);
+    }
+
+    #[test]
+    fn default_batch_methods_match_serial() {
+        // BruteForceIndex routed through the trait's batch entry points.
+        let pts = grid(120);
+        let queries = grid(40);
+        let mut a: Box<dyn SearchIndex> = Box::new(BruteForceIndex::new(pts.clone()));
+        let mut b: Box<dyn SearchIndex> = Box::new(BruteForceIndex::new(pts));
+        let mut sa = SearchStats::new();
+        let mut sb = SearchStats::new();
+        let serial: Vec<_> = queries.iter().map(|&q| a.nn(q, &mut sa)).collect();
+        let batched = b.nn_batch(&queries, &BatchConfig::with_threads(3), &mut sb);
+        assert_eq!(serial, batched);
+        assert_eq!(sa, sb);
+    }
+}

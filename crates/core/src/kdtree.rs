@@ -172,12 +172,15 @@ impl KdTree {
         let p = self.points[node.point as usize];
         stats.tree_nodes_visited += 1;
         let d2 = query.distance_squared(p);
+        let cand = Neighbor::new(node.point as usize, d2);
         if heap.len() < k {
-            heap.push(Neighbor::new(node.point as usize, d2));
+            heap.push(cand);
         } else if let Some(worst) = heap.peek() {
-            if d2 < worst.distance_squared {
+            // Full (distance, index) order so boundary ties break to the
+            // lower index — the brute-force (and cross-backend) contract.
+            if cand < *worst {
                 heap.pop();
-                heap.push(Neighbor::new(node.point as usize, d2));
+                heap.push(cand);
             }
         }
 

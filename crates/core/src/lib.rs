@@ -22,6 +22,10 @@
 //!   matches FPFH/SHOT descriptors, which live in ℝ³³ and beyond).
 //! * [`SearchStats`] — node-visit accounting behind the redundancy and
 //!   traffic analyses.
+//! * [`index`] — the [`SearchIndex`] trait and backend registry: the
+//!   public seam through which *every* backend (the trees above, the
+//!   [`BruteForceIndex`] oracle, and `tigris-accel`'s online accelerator
+//!   model) plugs into the registration pipeline interchangeably.
 //!
 //! # Example
 //!
@@ -46,6 +50,7 @@
 pub mod approx;
 pub mod batch;
 pub mod bruteforce;
+pub mod index;
 pub mod inject;
 pub mod kdtree;
 pub mod kdtree_nd;
@@ -53,14 +58,15 @@ pub mod record;
 pub mod stats;
 pub mod twostage;
 
-pub use approx::{ApproxConfig, ApproxSearcher};
+pub use approx::{ApproxConfig, ApproxIndex, ApproxSearcher};
 pub use batch::{BatchConfig, BatchSearcher};
-pub use bruteforce::{nn_brute_force, radius_brute_force};
+pub use bruteforce::{knn_brute_force, nn_brute_force, radius_brute_force, BruteForceIndex};
+pub use index::{backend_names, build_backend, register_backend, IndexSize, SearchIndex};
 pub use kdtree::KdTree;
 pub use kdtree_nd::KdTreeN;
 pub use record::{segment_by_kind, QueryKind, QueryRecord};
 pub use stats::SearchStats;
-pub use twostage::{LeafSet, TopChild, TopNode, TwoStageKdTree};
+pub use twostage::{default_top_height, LeafSet, TopChild, TopNode, TwoStageKdTree};
 
 /// A search result: the index of a point in the indexed cloud and its
 /// squared distance to the query.

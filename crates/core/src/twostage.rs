@@ -17,6 +17,27 @@
 use crate::{Neighbor, SearchStats};
 use tigris_geom::Vec3;
 
+/// The default top-tree height for `n_points`: targets leaf sets of ~128
+/// points (the paper's configuration: ~130k points at height 10 ⇒
+/// 1024 leaves of ~128), clamped to `[1, 16]`.
+///
+/// Used wherever a two-stage structure must be built without an explicit
+/// height — the backend registry's `"two-stage"`/`"two-stage-approx"`
+/// factories and `tigris-accel`'s default accelerator backend.
+///
+/// ```
+/// use tigris_core::twostage::default_top_height;
+/// assert_eq!(default_top_height(131_072), 10);
+/// assert_eq!(default_top_height(100), 1); // tiny clouds: shallowest split
+/// ```
+pub fn default_top_height(n_points: usize) -> usize {
+    let mut h = 0usize;
+    while (n_points >> h) > 128 && h < 16 {
+        h += 1;
+    }
+    h.max(1)
+}
+
 /// A child link in the top-tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TopChild {
@@ -276,12 +297,17 @@ impl TwoStageKdTree {
         stats: &mut SearchStats,
     ) {
         let offer = |i: usize, d2: f64, heap: &mut std::collections::BinaryHeap<Neighbor>| {
+            let cand = Neighbor::new(i, d2);
             if heap.len() < k {
-                heap.push(Neighbor::new(i, d2));
+                heap.push(cand);
             } else if let Some(worst) = heap.peek() {
-                if d2 < worst.distance_squared {
+                // Full (distance, index) order so boundary ties break to
+                // the lower index — the brute-force contract; without it,
+                // trees of different heights could return different
+                // tie-sets at the k-th boundary.
+                if cand < *worst {
                     heap.pop();
-                    heap.push(Neighbor::new(i, d2));
+                    heap.push(cand);
                 }
             }
         };

@@ -1,0 +1,219 @@
+//! The `SearchIndex` trait contract, verified generically for every
+//! backend (see the contract section of `tigris_core::index::SearchIndex`):
+//!
+//! * exact backends agree with brute force **bit-for-bit** (indices and
+//!   squared distances, tie-break and ordering included);
+//! * the approximate backend stays within Algorithm 1's bound (NN distance
+//!   at most `2·thd` beyond exact; radius results a sound subset);
+//! * every `*_batch` entry point is equivalent to the serial loop —
+//!   results in query order and `SearchStats` merged losslessly;
+//! * the registry instantiates every built-in by name, and `name()`
+//!   round-trips.
+//!
+//! New backends registered from other crates (e.g. `tigris-accel`'s
+//! `"accelerator"`) are exercised by the same logic through the
+//! workspace-level tests.
+
+use tigris_core::index::{backend_names, build_backend, SearchIndex};
+use tigris_core::{
+    knn_brute_force, nn_brute_force, radius_brute_force, ApproxConfig, ApproxIndex, BatchConfig,
+    SearchStats,
+};
+use tigris_geom::Vec3;
+
+fn lcg_cloud(n: usize, seed: u64) -> Vec<Vec3> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) * 20.0 - 10.0
+    };
+    (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+}
+
+const EXACT_BACKENDS: [&str; 3] = ["classic", "two-stage", "brute-force"];
+const ALL_BACKENDS: [&str; 4] = ["classic", "two-stage", "two-stage-approx", "brute-force"];
+
+#[test]
+fn registry_instantiates_every_builtin() {
+    let names = backend_names();
+    let pts = lcg_cloud(100, 1);
+    for name in ALL_BACKENDS {
+        assert!(names.iter().any(|n| n == name), "{name} not registered");
+        let index = build_backend(name, &pts).expect(name);
+        assert_eq!(index.name(), name, "name() must match the registry key");
+        assert_eq!(index.len(), pts.len());
+        assert_eq!(index.size().points, pts.len());
+    }
+}
+
+#[test]
+fn exact_backends_agree_with_brute_force_bit_for_bit() {
+    let pts = lcg_cloud(1500, 2);
+    let queries = lcg_cloud(200, 3);
+    for name in EXACT_BACKENDS {
+        let mut index = build_backend(name, &pts).unwrap();
+        let mut stats = SearchStats::new();
+        for &q in &queries {
+            let nn = index.nn(q, &mut stats).unwrap();
+            let oracle = nn_brute_force(&pts, q).unwrap();
+            assert_eq!((nn.index, nn.distance_squared), (oracle.index, oracle.distance_squared),
+                "{name}: nn mismatch");
+
+            let knn = index.knn(q, 7, &mut stats);
+            assert_eq!(knn, knn_brute_force(&pts, q, 7), "{name}: knn mismatch");
+
+            let ball = index.radius(q, 2.5, &mut stats);
+            assert_eq!(ball, radius_brute_force(&pts, q, 2.5), "{name}: radius mismatch");
+        }
+        assert_eq!(stats.queries, 3 * queries.len() as u64, "{name}: query accounting");
+    }
+}
+
+#[test]
+fn knn_boundary_ties_break_to_lower_index_on_every_exact_backend() {
+    // A regular grid puts many points at identical distances; the k-th
+    // boundary then holds ties, and every exact backend must resolve them
+    // exactly like brute force (lower index wins).
+    let pts: Vec<Vec3> = (0..512)
+        .map(|i| Vec3::new((i % 8) as f64, ((i / 8) % 8) as f64, (i / 64) as f64))
+        .collect();
+    let queries: Vec<Vec3> =
+        (0..64).map(|i| Vec3::new((i % 8) as f64 + 0.5, (i / 8) as f64, 2.0)).collect();
+    for name in EXACT_BACKENDS {
+        let mut index = build_backend(name, &pts).unwrap();
+        let mut stats = SearchStats::new();
+        for &q in &queries {
+            for k in [1, 3, 6, 13] {
+                assert_eq!(
+                    index.knn(q, k, &mut stats),
+                    knn_brute_force(&pts, q, k),
+                    "{name}: knn tie-break mismatch at k={k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn approx_backend_stays_within_algorithm1_bound() {
+    let pts = lcg_cloud(4000, 4);
+    let queries = lcg_cloud(400, 5);
+    let cfg = ApproxConfig::default();
+    let mut index: Box<dyn SearchIndex> = Box::new(ApproxIndex::build(&pts, 5, cfg));
+    let mut stats = SearchStats::new();
+    for &q in &queries {
+        // NN: the follower inherits its leader's NN; triangle inequality
+        // bounds the reported distance by exact + 2·thd.
+        let approx = index.nn(q, &mut stats).unwrap();
+        let exact = nn_brute_force(&pts, q).unwrap();
+        assert!(
+            approx.distance() <= exact.distance() + 2.0 * cfg.nn_threshold + 1e-9,
+            "approx {} exceeds exact {} + 2·thd",
+            approx.distance(),
+            exact.distance()
+        );
+
+        // Radius: a follower filters the leader's ball by its own radius,
+        // so results are always sound (within r) and a subset of exact.
+        let r = 2.0;
+        let exact_ball = radius_brute_force(&pts, q, r);
+        let approx_ball = index.radius(q, r, &mut stats);
+        assert!(approx_ball.len() <= exact_ball.len(), "approx radius over-complete");
+        for n in &approx_ball {
+            assert!(n.distance_squared <= r * r + 1e-12, "unsound radius result");
+            assert!(exact_ball.iter().any(|e| e.index == n.index), "result not in exact ball");
+        }
+    }
+    assert!(stats.follower_hits > 0, "workload should exercise the follower path");
+}
+
+#[test]
+fn batched_equals_serial_for_every_backend() {
+    let pts = lcg_cloud(2500, 6);
+    let queries = lcg_cloud(333, 7);
+    let cfg = BatchConfig { threads: 4, min_chunk: 8 };
+    for name in ALL_BACKENDS {
+        // Fresh instances so stateful leader books start identical.
+        let mut serial = build_backend(name, &pts).unwrap();
+        let mut batched = build_backend(name, &pts).unwrap();
+        let mut s_stats = SearchStats::new();
+        let mut b_stats = SearchStats::new();
+
+        let s_nn: Vec<_> = queries.iter().map(|&q| serial.nn(q, &mut s_stats)).collect();
+        let b_nn = batched.nn_batch(&queries, &cfg, &mut b_stats);
+        assert_eq!(s_nn, b_nn, "{name}: batched nn differs from serial");
+
+        let s_knn: Vec<_> = queries.iter().map(|&q| serial.knn(q, 5, &mut s_stats)).collect();
+        let b_knn = batched.knn_batch(&queries, 5, &cfg, &mut b_stats);
+        assert_eq!(s_knn, b_knn, "{name}: batched knn differs from serial");
+
+        let s_rad: Vec<_> =
+            queries.iter().map(|&q| serial.radius(q, 1.5, &mut s_stats)).collect();
+        let b_rad = batched.radius_batch(&queries, 1.5, &cfg, &mut b_stats);
+        assert_eq!(s_rad, b_rad, "{name}: batched radius differs from serial");
+
+        // Lossless stats merge: per-worker counters must recombine into
+        // exactly the serial totals.
+        assert_eq!(s_stats, b_stats, "{name}: batched stats differ from serial");
+    }
+}
+
+#[test]
+fn stats_merge_is_lossless_across_chunked_runs() {
+    // Issuing the same stream in chunks with separately merged stats must
+    // reproduce the one-shot totals, for stateless and stateful backends.
+    let pts = lcg_cloud(1200, 8);
+    let queries = lcg_cloud(240, 9);
+    for name in ALL_BACKENDS {
+        let mut whole = build_backend(name, &pts).unwrap();
+        let mut whole_stats = SearchStats::new();
+        let whole_out: Vec<_> = queries.iter().map(|&q| whole.nn(q, &mut whole_stats)).collect();
+
+        let mut chunked = build_backend(name, &pts).unwrap();
+        let mut merged = SearchStats::new();
+        let mut chunked_out = Vec::new();
+        for chunk in queries.chunks(64) {
+            let mut local = SearchStats::new();
+            chunked_out.extend(chunk.iter().map(|&q| chunked.nn(q, &mut local)));
+            merged += local;
+        }
+        assert_eq!(whole_out, chunked_out, "{name}: chunked results differ");
+        assert_eq!(whole_stats, merged, "{name}: chunked stats merge is lossy");
+    }
+}
+
+#[test]
+fn reset_clears_approximation_state_only() {
+    let pts = lcg_cloud(800, 10);
+    let queries = lcg_cloud(50, 11);
+    for name in ALL_BACKENDS {
+        let mut index = build_backend(name, &pts).unwrap();
+        let mut stats = SearchStats::new();
+        for &q in &queries {
+            index.nn(q, &mut stats);
+        }
+        index.reset();
+        // After reset the first query is served fresh (for the approximate
+        // backend: as a leader, i.e. exactly).
+        let q = queries[0];
+        let mut post = SearchStats::new();
+        let n = index.nn(q, &mut post).unwrap();
+        let oracle = nn_brute_force(&pts, q).unwrap();
+        assert_eq!(n.index, oracle.index, "{name}: first query after reset must be exact");
+        assert_eq!(post.follower_hits, 0, "{name}: reset must clear follower state");
+    }
+}
+
+#[test]
+fn empty_index_behaves_uniformly() {
+    for name in ALL_BACKENDS {
+        let mut index = build_backend(name, &[]).unwrap();
+        let mut stats = SearchStats::new();
+        assert!(index.is_empty(), "{name}");
+        assert!(index.nn(Vec3::ZERO, &mut stats).is_none(), "{name}");
+        assert!(index.knn(Vec3::ZERO, 3, &mut stats).is_empty(), "{name}");
+        assert!(index.radius(Vec3::ZERO, 1.0, &mut stats).is_empty(), "{name}");
+        let out = index.nn_batch(&[Vec3::ZERO], &BatchConfig::serial(), &mut stats);
+        assert_eq!(out, vec![None], "{name}");
+    }
+}

@@ -142,7 +142,14 @@ impl Default for ConvergenceCriteria {
     }
 }
 
-/// KD-tree backend selection for the dense (3D) searches.
+/// Search-backend selection for the dense (3D) searches.
+///
+/// Every variant resolves to a `tigris_core::SearchIndex` implementation
+/// behind [`crate::Searcher3`]; the pipeline above is identical whichever
+/// backend serves the queries. `Custom` reaches through the process-wide
+/// backend registry (`tigris_core::index`), which is how out-of-crate
+/// backends — notably `tigris-accel`'s online `"accelerator"` model —
+/// plug into `register()`, the odometer and the DSE sweeps.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SearchBackendConfig {
     /// Canonical KD-tree.
@@ -159,7 +166,111 @@ pub enum SearchBackendConfig {
         /// Leader/follower parameters.
         approx: ApproxConfig,
     },
+    /// Exhaustive scan — the exact-search oracle, runnable through the
+    /// full pipeline for ground-truth accuracy checks (quadratic; intended
+    /// for small frames and validation sweeps).
+    BruteForce,
+    /// A backend registered by name in `tigris_core::index` (e.g.
+    /// `"accelerator"` after `tigris_accel::register_accelerator_backend()`).
+    ///
+    /// The name is `&'static str` to keep this config `Copy` (it is
+    /// embedded in every [`RegistrationConfig`] and cloned throughout the
+    /// sweeps). Backends whose names only exist at runtime (parsed from a
+    /// CLI flag or config file) don't need this variant at all: build the
+    /// index via `tigris_core::build_backend(name, points)` and hand it to
+    /// `Searcher3::from_index` /
+    /// [`crate::pipeline::register_with_searchers`].
+    Custom {
+        /// The registry name the backend was registered under.
+        name: &'static str,
+    },
 }
+
+impl SearchBackendConfig {
+    /// The registry/display name of the selected backend — matches what
+    /// the built index's `SearchIndex::name()` reports.
+    pub fn name(&self) -> &'static str {
+        match *self {
+            SearchBackendConfig::Classic => "classic",
+            SearchBackendConfig::TwoStage { .. } => "two-stage",
+            SearchBackendConfig::TwoStageApprox { .. } => "two-stage-approx",
+            SearchBackendConfig::BruteForce => "brute-force",
+            SearchBackendConfig::Custom { name } => name,
+        }
+    }
+}
+
+/// A rejected configuration knob, reported at *construction* time by
+/// [`RegistrationConfig::builder`] / [`RegistrationConfig::validate`]
+/// instead of surfacing as a panic or nonsense result deep inside a run.
+///
+/// Each variant names the offending knob with a stable dotted path (e.g.
+/// `"convergence.max_iterations"`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// The knob must be strictly positive (radii, distances, thresholds).
+    NonPositive {
+        /// Dotted path of the offending knob.
+        knob: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The knob must be non-negative (voxel sizes, gates, epsilons; zero
+    /// disables where documented).
+    Negative {
+        /// Dotted path of the offending knob.
+        knob: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A ratio knob left its valid range (`kpce_ratio` must be in `(0, 1]`,
+    /// `radius_threshold_frac` in `[0, 1]`).
+    RatioOutOfRange {
+        /// Dotted path of the offending knob.
+        knob: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// An integer count that must be at least 1 was 0 (iterations,
+    /// top-tree heights, leader capacities, injection ranks).
+    ZeroCount {
+        /// Dotted path of the offending knob.
+        knob: &'static str,
+    },
+    /// A knob was not a finite number.
+    NotFinite {
+        /// Dotted path of the offending knob.
+        knob: &'static str,
+    },
+    /// The `Custom` backend name is not present in the backend registry.
+    UnknownBackend {
+        /// The unresolvable registry name.
+        name: &'static str,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ConfigError::NonPositive { knob, value } => {
+                write!(f, "{knob} must be > 0, got {value}")
+            }
+            ConfigError::Negative { knob, value } => {
+                write!(f, "{knob} must be >= 0, got {value}")
+            }
+            ConfigError::RatioOutOfRange { knob, value } => {
+                write!(f, "{knob} is out of its valid ratio range, got {value}")
+            }
+            ConfigError::ZeroCount { knob } => write!(f, "{knob} must be at least 1"),
+            ConfigError::NotFinite { knob } => write!(f, "{knob} must be finite"),
+            ConfigError::UnknownBackend { name } => {
+                write!(f, "no search backend registered under {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// The full pipeline configuration (paper Fig. 2 + Tbl. 1).
 #[derive(Debug, Clone, PartialEq)]
@@ -222,6 +333,298 @@ pub struct RegistrationConfig {
     /// core. Results are identical at any setting — this knob trades
     /// wall-clock for CPU, which is why [`crate::dse`] can sweep it.
     pub parallel: BatchConfig,
+}
+
+impl RegistrationConfig {
+    /// Starts a validating builder seeded with the default configuration.
+    ///
+    /// Invalid knobs fail at [`RegistrationConfigBuilder::build`] with a
+    /// typed [`ConfigError`] instead of misbehaving deep inside a run.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tigris_pipeline::config::{RegistrationConfig, SearchBackendConfig};
+    ///
+    /// let cfg = RegistrationConfig::builder()
+    ///     .normal_radius(0.6)
+    ///     .backend(SearchBackendConfig::TwoStage { top_height: 8 })
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.normal_radius, 0.6);
+    ///
+    /// // Negative radii are rejected with a typed error:
+    /// let err = RegistrationConfig::builder().normal_radius(-1.0).build().unwrap_err();
+    /// assert!(matches!(
+    ///     err,
+    ///     tigris_pipeline::config::ConfigError::NonPositive { knob: "normal_radius", .. }
+    /// ));
+    /// ```
+    pub fn builder() -> RegistrationConfigBuilder {
+        RegistrationConfigBuilder { cfg: RegistrationConfig::default() }
+    }
+
+    /// Checks every knob, returning the first violation.
+    ///
+    /// All [`DesignPoint`] presets validate cleanly; this exists to catch
+    /// hand-rolled or swept configurations (negative radii, `kpce_ratio`
+    /// above 1, zero iteration budgets, …) at construction time.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn positive(knob: &'static str, value: f64) -> Result<(), ConfigError> {
+            if !value.is_finite() {
+                return Err(ConfigError::NotFinite { knob });
+            }
+            if value <= 0.0 {
+                return Err(ConfigError::NonPositive { knob, value });
+            }
+            Ok(())
+        }
+        fn non_negative(knob: &'static str, value: f64) -> Result<(), ConfigError> {
+            if value.is_nan() {
+                return Err(ConfigError::NotFinite { knob });
+            }
+            if value < 0.0 {
+                return Err(ConfigError::Negative { knob, value });
+            }
+            Ok(())
+        }
+
+        non_negative("voxel_size", self.voxel_size)?;
+        positive("normal_radius", self.normal_radius)?;
+        match self.keypoint {
+            KeypointAlgorithm::Sift { scale } => positive("keypoint.scale", scale)?,
+            KeypointAlgorithm::Harris { radius } | KeypointAlgorithm::Iss { radius } => {
+                positive("keypoint.radius", radius)?
+            }
+            KeypointAlgorithm::Uniform { voxel } => positive("keypoint.voxel", voxel)?,
+        }
+        positive("descriptor.radius", self.descriptor.radius())?;
+        if let Some(ratio) = self.kpce_ratio {
+            if !ratio.is_finite() {
+                return Err(ConfigError::NotFinite { knob: "kpce_ratio" });
+            }
+            if ratio <= 0.0 || ratio > 1.0 {
+                return Err(ConfigError::RatioOutOfRange { knob: "kpce_ratio", value: ratio });
+            }
+        }
+        match self.rejection {
+            RejectionAlgorithm::Threshold { factor } => positive("rejection.factor", factor)?,
+            RejectionAlgorithm::Ransac { iterations, inlier_threshold } => {
+                if iterations == 0 {
+                    return Err(ConfigError::ZeroCount { knob: "rejection.iterations" });
+                }
+                positive("rejection.inlier_threshold", inlier_threshold)?;
+            }
+        }
+        positive("max_correspondence_distance", self.max_correspondence_distance)?;
+        if self.convergence.max_iterations == 0 {
+            return Err(ConfigError::ZeroCount { knob: "convergence.max_iterations" });
+        }
+        non_negative("convergence.translation_epsilon", self.convergence.translation_epsilon)?;
+        non_negative("convergence.rotation_epsilon", self.convergence.rotation_epsilon)?;
+        non_negative("convergence.mse_relative_epsilon", self.convergence.mse_relative_epsilon)?;
+        match self.backend {
+            SearchBackendConfig::Classic
+            | SearchBackendConfig::BruteForce
+            | SearchBackendConfig::Custom { .. } => {}
+            SearchBackendConfig::TwoStage { top_height } => {
+                if top_height == 0 {
+                    return Err(ConfigError::ZeroCount { knob: "backend.top_height" });
+                }
+            }
+            SearchBackendConfig::TwoStageApprox { top_height, approx } => {
+                if top_height == 0 {
+                    return Err(ConfigError::ZeroCount { knob: "backend.top_height" });
+                }
+                non_negative("backend.approx.nn_threshold", approx.nn_threshold)?;
+                let frac = approx.radius_threshold_frac;
+                if frac.is_nan() {
+                    return Err(ConfigError::NotFinite {
+                        knob: "backend.approx.radius_threshold_frac",
+                    });
+                }
+                if !(0.0..=1.0).contains(&frac) {
+                    return Err(ConfigError::RatioOutOfRange {
+                        knob: "backend.approx.radius_threshold_frac",
+                        value: frac,
+                    });
+                }
+                if approx.leader_cap == 0 {
+                    return Err(ConfigError::ZeroCount { knob: "backend.approx.leader_cap" });
+                }
+            }
+        }
+        for (knob, injection) in
+            [("inject_ne", self.inject_ne), ("inject_rpce", self.inject_rpce)]
+        {
+            match injection {
+                Some(Injection::NnKth(0)) => return Err(ConfigError::ZeroCount { knob }),
+                Some(Injection::RadiusShell { inner_frac, outer_frac }) => {
+                    non_negative(knob, inner_frac)?;
+                    non_negative(knob, outer_frac)?;
+                }
+                _ => {}
+            }
+        }
+        if self.inject_kpce_kth == Some(0) {
+            return Err(ConfigError::ZeroCount { knob: "inject_kpce_kth" });
+        }
+        // The motion-prior gates may be infinite (disabled) but not negative.
+        if self.max_initial_rotation.is_nan() {
+            return Err(ConfigError::NotFinite { knob: "max_initial_rotation" });
+        }
+        non_negative("max_initial_rotation", self.max_initial_rotation)?;
+        if self.max_initial_translation.is_nan() {
+            return Err(ConfigError::NotFinite { knob: "max_initial_translation" });
+        }
+        non_negative("max_initial_translation", self.max_initial_translation)?;
+        Ok(())
+    }
+}
+
+/// Validating builder for [`RegistrationConfig`]; see
+/// [`RegistrationConfig::builder`].
+///
+/// Every setter overrides one knob of the default configuration;
+/// [`RegistrationConfigBuilder::build`] validates the result and returns a
+/// typed [`ConfigError`] on the first invalid knob.
+#[derive(Debug, Clone)]
+pub struct RegistrationConfigBuilder {
+    cfg: RegistrationConfig,
+}
+
+impl RegistrationConfigBuilder {
+    /// Voxel size for pre-downsampling (0 disables).
+    pub fn voxel_size(mut self, meters: f64) -> Self {
+        self.cfg.voxel_size = meters;
+        self
+    }
+
+    /// Normal-estimation algorithm.
+    pub fn normal_algorithm(mut self, algorithm: NormalAlgorithm) -> Self {
+        self.cfg.normal_algorithm = algorithm;
+        self
+    }
+
+    /// Normal-estimation search radius (meters).
+    pub fn normal_radius(mut self, meters: f64) -> Self {
+        self.cfg.normal_radius = meters;
+        self
+    }
+
+    /// Key-point detector.
+    pub fn keypoint(mut self, algorithm: KeypointAlgorithm) -> Self {
+        self.cfg.keypoint = algorithm;
+        self
+    }
+
+    /// Feature descriptor.
+    pub fn descriptor(mut self, algorithm: DescriptorAlgorithm) -> Self {
+        self.cfg.descriptor = algorithm;
+        self
+    }
+
+    /// Reciprocal (mutual) nearest-neighbor requirement for KPCE.
+    pub fn kpce_reciprocal(mut self, reciprocal: bool) -> Self {
+        self.cfg.kpce_reciprocal = reciprocal;
+        self
+    }
+
+    /// Lowe ratio test threshold for KPCE (must end up in `(0, 1]`).
+    pub fn kpce_ratio(mut self, ratio: f64) -> Self {
+        self.cfg.kpce_ratio = Some(ratio);
+        self
+    }
+
+    /// Correspondence rejection.
+    pub fn rejection(mut self, algorithm: RejectionAlgorithm) -> Self {
+        self.cfg.rejection = algorithm;
+        self
+    }
+
+    /// Fine-tuning error metric.
+    pub fn error_metric(mut self, metric: ErrorMetric) -> Self {
+        self.cfg.error_metric = metric;
+        self
+    }
+
+    /// Fine-tuning solver.
+    pub fn solver(mut self, solver: SolverAlgorithm) -> Self {
+        self.cfg.solver = solver;
+        self
+    }
+
+    /// RPCE correspondence-distance cutoff (meters).
+    pub fn max_correspondence_distance(mut self, meters: f64) -> Self {
+        self.cfg.max_correspondence_distance = meters;
+        self
+    }
+
+    /// RPCE reciprocity.
+    pub fn rpce_reciprocal(mut self, reciprocal: bool) -> Self {
+        self.cfg.rpce_reciprocal = reciprocal;
+        self
+    }
+
+    /// ICP convergence criteria.
+    pub fn convergence(mut self, criteria: ConvergenceCriteria) -> Self {
+        self.cfg.convergence = criteria;
+        self
+    }
+
+    /// Dense-search backend.
+    pub fn backend(mut self, backend: SearchBackendConfig) -> Self {
+        self.cfg.backend = backend;
+        self
+    }
+
+    /// Error injection into Normal Estimation's radius searches.
+    pub fn inject_ne(mut self, injection: Option<Injection>) -> Self {
+        self.cfg.inject_ne = injection;
+        self
+    }
+
+    /// Error injection into RPCE's NN searches.
+    pub fn inject_rpce(mut self, injection: Option<Injection>) -> Self {
+        self.cfg.inject_rpce = injection;
+        self
+    }
+
+    /// KPCE feature-space injection: return the k-th nearest feature.
+    pub fn inject_kpce_kth(mut self, k: Option<usize>) -> Self {
+        self.cfg.inject_kpce_kth = k;
+        self
+    }
+
+    /// Motion-prior gate on the initial estimate's rotation (radians;
+    /// infinity disables).
+    pub fn max_initial_rotation(mut self, radians: f64) -> Self {
+        self.cfg.max_initial_rotation = radians;
+        self
+    }
+
+    /// Motion-prior gate on the initial estimate's translation (meters;
+    /// infinity disables).
+    pub fn max_initial_translation(mut self, meters: f64) -> Self {
+        self.cfg.max_initial_translation = meters;
+        self
+    }
+
+    /// Parallel batched-search execution knobs.
+    pub fn parallel(mut self, parallel: BatchConfig) -> Self {
+        self.cfg.parallel = parallel;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConfigError`] found by [`RegistrationConfig::validate`].
+    pub fn build(self) -> Result<RegistrationConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
 }
 
 impl Default for RegistrationConfig {
@@ -458,5 +861,175 @@ mod tests {
         assert_eq!(DescriptorAlgorithm::Fpfh { radius: 1.5 }.radius(), 1.5);
         assert_eq!(DescriptorAlgorithm::Shot { radius: 2.0 }.radius(), 2.0);
         assert_eq!(DescriptorAlgorithm::Sc3d { radius: 0.5 }.radius(), 0.5);
+    }
+
+    #[test]
+    fn builder_accepts_valid_knobs() {
+        let cfg = RegistrationConfig::builder()
+            .normal_radius(0.6)
+            .backend(SearchBackendConfig::TwoStage { top_height: 8 })
+            .kpce_ratio(0.85)
+            .max_correspondence_distance(1.5)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.normal_radius, 0.6);
+        assert_eq!(cfg.backend, SearchBackendConfig::TwoStage { top_height: 8 });
+        assert_eq!(cfg.kpce_ratio, Some(0.85));
+    }
+
+    #[test]
+    fn builder_rejects_negative_radii() {
+        assert_eq!(
+            RegistrationConfig::builder().normal_radius(-0.5).build().unwrap_err(),
+            ConfigError::NonPositive { knob: "normal_radius", value: -0.5 }
+        );
+        assert_eq!(
+            RegistrationConfig::builder()
+                .descriptor(DescriptorAlgorithm::Fpfh { radius: 0.0 })
+                .build()
+                .unwrap_err(),
+            ConfigError::NonPositive { knob: "descriptor.radius", value: 0.0 }
+        );
+        assert_eq!(
+            RegistrationConfig::builder().voxel_size(-0.1).build().unwrap_err(),
+            ConfigError::Negative { knob: "voxel_size", value: -0.1 }
+        );
+        assert_eq!(
+            RegistrationConfig::builder()
+                .keypoint(KeypointAlgorithm::Iss { radius: -1.0 })
+                .build()
+                .unwrap_err(),
+            ConfigError::NonPositive { knob: "keypoint.radius", value: -1.0 }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_ratio_above_one() {
+        assert_eq!(
+            RegistrationConfig::builder().kpce_ratio(1.2).build().unwrap_err(),
+            ConfigError::RatioOutOfRange { knob: "kpce_ratio", value: 1.2 }
+        );
+        assert_eq!(
+            RegistrationConfig::builder().kpce_ratio(0.0).build().unwrap_err(),
+            ConfigError::RatioOutOfRange { knob: "kpce_ratio", value: 0.0 }
+        );
+        assert!(RegistrationConfig::builder().kpce_ratio(1.0).build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_zero_iterations() {
+        assert_eq!(
+            RegistrationConfig::builder()
+                .convergence(ConvergenceCriteria { max_iterations: 0, ..Default::default() })
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroCount { knob: "convergence.max_iterations" }
+        );
+        assert_eq!(
+            RegistrationConfig::builder()
+                .rejection(RejectionAlgorithm::Ransac { iterations: 0, inlier_threshold: 0.5 })
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroCount { knob: "rejection.iterations" }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_backends() {
+        assert_eq!(
+            RegistrationConfig::builder()
+                .backend(SearchBackendConfig::TwoStage { top_height: 0 })
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroCount { knob: "backend.top_height" }
+        );
+        let bad_approx = SearchBackendConfig::TwoStageApprox {
+            top_height: 5,
+            approx: ApproxConfig { radius_threshold_frac: 1.5, ..Default::default() },
+        };
+        assert_eq!(
+            RegistrationConfig::builder().backend(bad_approx).build().unwrap_err(),
+            ConfigError::RatioOutOfRange {
+                knob: "backend.approx.radius_threshold_frac",
+                value: 1.5
+            }
+        );
+        // Brute force and registered customs carry no knobs to reject.
+        assert!(RegistrationConfig::builder()
+            .backend(SearchBackendConfig::BruteForce)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_non_finite_knobs() {
+        assert_eq!(
+            RegistrationConfig::builder().normal_radius(f64::NAN).build().unwrap_err(),
+            ConfigError::NotFinite { knob: "normal_radius" }
+        );
+        // Infinity *is* valid for the motion-prior gates (disables them)…
+        assert!(RegistrationConfig::builder()
+            .max_initial_rotation(f64::INFINITY)
+            .build()
+            .is_ok());
+        // …but not for radii.
+        assert_eq!(
+            RegistrationConfig::builder()
+                .max_correspondence_distance(f64::INFINITY)
+                .build()
+                .unwrap_err(),
+            ConfigError::NotFinite { knob: "max_correspondence_distance" }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_injection_ranks() {
+        assert_eq!(
+            RegistrationConfig::builder()
+                .inject_rpce(Some(Injection::NnKth(0)))
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroCount { knob: "inject_rpce" }
+        );
+        assert_eq!(
+            RegistrationConfig::builder().inject_kpce_kth(Some(0)).build().unwrap_err(),
+            ConfigError::ZeroCount { knob: "inject_kpce_kth" }
+        );
+        assert!(RegistrationConfig::builder()
+            .inject_ne(Some(Injection::RadiusShell { inner_frac: 0.5, outer_frac: 1.25 }))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn all_design_points_pass_validation() {
+        for dp in DesignPoint::ALL {
+            assert_eq!(dp.config().validate(), Ok(()), "{dp} must validate");
+        }
+        assert_eq!(RegistrationConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(SearchBackendConfig::Classic.name(), "classic");
+        assert_eq!(SearchBackendConfig::TwoStage { top_height: 3 }.name(), "two-stage");
+        assert_eq!(
+            SearchBackendConfig::TwoStageApprox {
+                top_height: 3,
+                approx: ApproxConfig::default()
+            }
+            .name(),
+            "two-stage-approx"
+        );
+        assert_eq!(SearchBackendConfig::BruteForce.name(), "brute-force");
+        assert_eq!(SearchBackendConfig::Custom { name: "accelerator" }.name(), "accelerator");
+    }
+
+    #[test]
+    fn config_error_display_is_informative() {
+        let e = ConfigError::NonPositive { knob: "normal_radius", value: -1.0 };
+        assert!(e.to_string().contains("normal_radius"));
+        let e = ConfigError::UnknownBackend { name: "warp" };
+        assert!(e.to_string().contains("warp"));
     }
 }

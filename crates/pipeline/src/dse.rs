@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use tigris_geom::{PointCloud, RigidTransform};
 
-use crate::config::{DesignPoint, RegistrationConfig};
+use crate::config::{DesignPoint, RegistrationConfig, SearchBackendConfig};
 use crate::pipeline::register;
 use crate::profile::StageProfile;
 
@@ -124,6 +124,49 @@ pub fn sweep_parallel(
     out
 }
 
+/// Sweeps the *search backend* of `base` over the given configurations on
+/// the same frame pairs, labeling each point `"{label}/{backend_name}"`.
+///
+/// This is the Tigris thesis as an experiment: the pipeline above the
+/// `SearchIndex` seam is fixed while the backend swaps — classic vs.
+/// two-stage vs. approximate vs. the brute-force oracle vs. any registered
+/// custom backend (e.g. `"accelerator"`). Exact backends land on identical
+/// accuracy; what moves is time and the search-stats profile. Sweeping the
+/// brute-force oracle alongside gives the ground-truth accuracy anchor.
+///
+/// # Panics
+///
+/// Panics when a [`SearchBackendConfig::Custom`] name is not registered —
+/// an unresolvable backend would otherwise fail *every* pair and surface
+/// as an all-NaN data point indistinguishable from a measured one.
+/// Register the backend first (e.g. `register_accelerator_backend()`).
+pub fn sweep_backends(
+    label: &str,
+    base: &RegistrationConfig,
+    frames: &[PointCloud],
+    ground_truth_relative: &[RigidTransform],
+    backends: &[SearchBackendConfig],
+) -> Vec<DsePoint> {
+    for backend in backends {
+        if let SearchBackendConfig::Custom { name } = backend {
+            assert!(
+                tigris_core::backend_names().iter().any(|n| n == name),
+                "backend {name:?} is not registered; register it before sweeping \
+                 (e.g. tigris_accel::register_accelerator_backend())"
+            );
+        }
+    }
+    backends
+        .iter()
+        .map(|&backend| {
+            let mut cfg = base.clone();
+            cfg.backend = backend;
+            let point_label = format!("{label}/{}", backend.name());
+            evaluate_config(&point_label, &cfg, frames, ground_truth_relative)
+        })
+        .collect()
+}
+
 /// Indices of the Pareto-optimal points minimizing `(error, time)`.
 ///
 /// A point is Pareto-optimal when no other point is at least as good on
@@ -220,6 +263,68 @@ mod tests {
     #[should_panic(expected = "per consecutive frame pair")]
     fn evaluate_config_validates_lengths() {
         evaluate_config("x", &RegistrationConfig::default(), &[], &[RigidTransform::IDENTITY]);
+    }
+
+    #[test]
+    fn backend_sweep_keeps_exact_backends_on_oracle_accuracy() {
+        let target = PointCloud::from_points(
+            (0..900)
+                .map(|i| {
+                    Vec3::new(
+                        (i % 30) as f64 * 0.2,
+                        (i / 30) as f64 * 0.2,
+                        ((i % 7) as f64 * 0.1).sin() * 0.3,
+                    )
+                })
+                .collect(),
+        );
+        let gt = RigidTransform::from_translation(Vec3::new(0.1, 0.05, 0.0));
+        let source = target.transformed(&gt.inverse());
+        let frames = vec![target, source];
+        let gts = vec![gt];
+
+        let cfg = RegistrationConfig {
+            voxel_size: 0.0,
+            keypoint: crate::config::KeypointAlgorithm::Uniform { voxel: 0.8 },
+            ..RegistrationConfig::default()
+        };
+        let points = sweep_backends(
+            "bk",
+            &cfg,
+            &frames,
+            &gts,
+            &[
+                SearchBackendConfig::Classic,
+                SearchBackendConfig::TwoStage { top_height: 5 },
+                SearchBackendConfig::BruteForce,
+            ],
+        );
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].label, "bk/classic");
+        assert_eq!(points[1].label, "bk/two-stage");
+        assert_eq!(points[2].label, "bk/brute-force");
+        // Exact backends compute the same thing: identical accuracy, with
+        // brute force as the ground-truth anchor.
+        for p in &points[1..] {
+            assert_eq!(p.pairs, points[0].pairs, "{}", p.label);
+            assert_eq!(
+                p.translational_percent, points[0].translational_percent,
+                "{} accuracy drifted from classic",
+                p.label
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn backend_sweep_rejects_unregistered_custom_backends() {
+        sweep_backends(
+            "bad",
+            &RegistrationConfig::default(),
+            &[],
+            &[],
+            &[SearchBackendConfig::Custom { name: "definitely-not-registered" }],
+        );
     }
 
     #[test]

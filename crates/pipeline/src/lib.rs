@@ -12,9 +12,14 @@
 //! through [`RegistrationConfig`]; the design-space exploration of Fig. 3
 //! sweeps them via [`dse`].
 //!
-//! All neighbor searches go through [`search::Searcher3`], which meters
-//! KD-tree time and node visits (Fig. 4) and can inject errors (Fig. 7) or
-//! run the two-stage / approximate structures of `tigris-core`.
+//! All neighbor searches go through [`search::Searcher3`], a metering /
+//! injection / logging wrapper over the pluggable
+//! `tigris_core::SearchIndex` seam: the classic KD-tree, the two-stage
+//! tree, approximate leader/follower search, the brute-force oracle, and
+//! registry-resolved custom backends (e.g. `tigris-accel`'s online
+//! accelerator model) all serve the identical pipeline. Configurations are
+//! checked up front by [`RegistrationConfig::builder`], which rejects
+//! invalid knobs with a typed [`config::ConfigError`].
 //!
 //! # Example
 //!
@@ -27,6 +32,8 @@
 //! let result = register(seq.frame(1), seq.frame(0), &cfg).unwrap();
 //! println!("estimated transform: {}", result.transform);
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod config;
 pub mod correspond;
@@ -43,8 +50,9 @@ pub mod search;
 pub mod transform;
 
 pub use config::{
-    ConvergenceCriteria, DescriptorAlgorithm, DesignPoint, ErrorMetric, KeypointAlgorithm,
-    NormalAlgorithm, RegistrationConfig, RejectionAlgorithm, SolverAlgorithm,
+    ConfigError, ConvergenceCriteria, DescriptorAlgorithm, DesignPoint, ErrorMetric,
+    KeypointAlgorithm, NormalAlgorithm, RegistrationConfig, RegistrationConfigBuilder,
+    RejectionAlgorithm, SearchBackendConfig, SolverAlgorithm,
 };
 pub use correspond::Correspondence;
 pub use icp::IcpResult;

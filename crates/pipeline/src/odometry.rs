@@ -84,20 +84,16 @@ impl Odometer {
         &self.config
     }
 
-    fn build_searcher(&self, cloud: &PointCloud) -> Searcher3 {
-        use crate::config::SearchBackendConfig;
+    fn build_searcher(&self, cloud: &PointCloud) -> Result<Searcher3, RegistrationError> {
         let pts = if self.config.voxel_size > 0.0 {
             cloud.voxel_downsample(self.config.voxel_size).points().to_vec()
         } else {
             cloud.points().to_vec()
         };
-        match self.config.backend {
-            SearchBackendConfig::Classic => Searcher3::classic(&pts),
-            SearchBackendConfig::TwoStage { top_height } => Searcher3::two_stage(&pts, top_height),
-            SearchBackendConfig::TwoStageApprox { top_height, approx } => {
-                Searcher3::two_stage_approx(&pts, top_height, approx)
-            }
-        }
+        // The same seam `register()` uses: any backend config — including
+        // brute force and registry-resolved customs like the accelerator —
+        // serves the odometer.
+        crate::pipeline::build_searcher(&pts, &self.config.backend)
     }
 
     /// Consumes the next frame. Returns `Ok(None)` for the very first frame
@@ -110,10 +106,12 @@ impl Odometer {
     ///
     /// # Errors
     ///
-    /// Propagates [`RegistrationError`] from the pairwise registration.
+    /// Propagates [`RegistrationError`] from the pairwise registration,
+    /// including [`RegistrationError::UnknownBackend`] for an unresolvable
+    /// `Custom` backend.
     pub fn push(&mut self, frame: &PointCloud) -> Result<Option<OdometryStep>, RegistrationError> {
         self.frames_processed += 1;
-        let mut source = self.build_searcher(frame);
+        let mut source = self.build_searcher(frame)?;
         let Some(mut target) = self.prev.take() else {
             self.prev = Some(source);
             return Ok(None);
@@ -231,6 +229,22 @@ mod tests {
         let two = world.transformed(&(delta * delta).inverse());
         let s2 = odo.push(&two).unwrap().unwrap();
         assert!(s2.registration.icp_iterations <= s1.registration.icp_iterations + 2);
+    }
+
+    #[test]
+    fn odometer_runs_on_the_brute_force_oracle() {
+        let world = scene_cloud();
+        let mut cfg = fast_config();
+        cfg.backend = crate::config::SearchBackendConfig::BruteForce;
+        let delta = RigidTransform::from_translation(Vec3::new(0.05, 0.0, 0.0));
+        let mut odo = Odometer::new(cfg);
+        odo.push(&world).unwrap();
+        let step = odo.push(&world.transformed(&delta.inverse())).unwrap().unwrap();
+        assert!(
+            (step.relative.translation - delta.translation).norm() < 0.05,
+            "oracle odometry drifted: {}",
+            step.relative.translation
+        );
     }
 
     #[test]

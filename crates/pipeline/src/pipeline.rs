@@ -4,7 +4,7 @@ use std::time::Instant;
 
 use tigris_geom::{PointCloud, RigidTransform, Vec3};
 
-use crate::config::{RegistrationConfig, SearchBackendConfig};
+use crate::config::{ConfigError, RegistrationConfig, SearchBackendConfig};
 use crate::correspond::{kpce_batched, kpce_ratio_batched};
 use crate::descriptor::compute_descriptors;
 use crate::icp::IcpTermination;
@@ -22,6 +22,8 @@ pub enum RegistrationError {
     EmptyCloud,
     /// The fine-tuning phase ran out of correspondences entirely.
     IcpStarved,
+    /// The configured `Custom` search backend is not in the registry.
+    UnknownBackend(&'static str),
 }
 
 impl std::fmt::Display for RegistrationError {
@@ -30,6 +32,9 @@ impl std::fmt::Display for RegistrationError {
             RegistrationError::EmptyCloud => write!(f, "a frame holds no points"),
             RegistrationError::IcpStarved => {
                 write!(f, "fine-tuning found no correspondences; clouds may not overlap")
+            }
+            RegistrationError::UnknownBackend(name) => {
+                write!(f, "no search backend registered under {name:?}")
             }
         }
     }
@@ -55,14 +60,17 @@ pub struct RegistrationResult {
     pub icp_iterations: usize,
 }
 
-fn build_searcher(points: &[Vec3], cfg: &RegistrationConfig) -> Searcher3 {
-    match cfg.backend {
-        SearchBackendConfig::Classic => Searcher3::classic(points),
-        SearchBackendConfig::TwoStage { top_height } => Searcher3::two_stage(points, top_height),
-        SearchBackendConfig::TwoStageApprox { top_height, approx } => {
-            Searcher3::two_stage_approx(points, top_height, approx)
-        }
-    }
+/// Builds the metered searcher a backend config selects — the single
+/// construction path shared by [`register`], the odometer, and DSE.
+pub(crate) fn build_searcher(
+    points: &[Vec3],
+    backend: &SearchBackendConfig,
+) -> Result<Searcher3, RegistrationError> {
+    Searcher3::from_config(points, backend).map_err(|err| match err {
+        ConfigError::UnknownBackend { name } => RegistrationError::UnknownBackend(name),
+        // `from_config` can only fail on registry lookup.
+        _ => unreachable!("Searcher3::from_config fails only on unknown backends"),
+    })
 }
 
 /// Registers `source` onto `target` with the given configuration,
@@ -103,8 +111,8 @@ pub fn register(
     if src_pts.is_empty() || tgt_pts.is_empty() {
         return Err(RegistrationError::EmptyCloud);
     }
-    let mut src_searcher = build_searcher(&src_pts, cfg);
-    let mut tgt_searcher = build_searcher(&tgt_pts, cfg);
+    let mut src_searcher = build_searcher(&src_pts, &cfg.backend)?;
+    let mut tgt_searcher = build_searcher(&tgt_pts, &cfg.backend)?;
     register_with_searchers(&mut src_searcher, &mut tgt_searcher, cfg)
 }
 
@@ -394,8 +402,41 @@ mod tests {
     }
 
     #[test]
+    fn brute_force_backend_is_a_ground_truth_oracle() {
+        // The exhaustive oracle runs through the *whole* pipeline and, being
+        // exact, lands on the same transform as the classic KD-tree.
+        let target = scene_cloud();
+        let gt = RigidTransform::from_translation(Vec3::new(0.2, -0.05, 0.0));
+        let source = target.transformed(&gt.inverse());
+
+        let classic = register(&source, &target, &fast_config()).unwrap();
+        let mut cfg = fast_config();
+        cfg.backend = SearchBackendConfig::BruteForce;
+        let brute = register(&source, &target, &cfg).unwrap();
+        assert!(
+            (classic.transform.translation - brute.transform.translation).norm() < 1e-9,
+            "{} vs {}",
+            classic.transform.translation,
+            brute.transform.translation
+        );
+        assert_eq!(classic.icp_iterations, brute.icp_iterations);
+    }
+
+    #[test]
+    fn unknown_custom_backend_fails_cleanly() {
+        let target = scene_cloud();
+        let mut cfg = fast_config();
+        cfg.backend = SearchBackendConfig::Custom { name: "not-a-backend" };
+        assert_eq!(
+            register(&target, &target, &cfg).unwrap_err(),
+            RegistrationError::UnknownBackend("not-a-backend")
+        );
+    }
+
+    #[test]
     fn error_display() {
         assert!(!RegistrationError::EmptyCloud.to_string().is_empty());
         assert!(!RegistrationError::IcpStarved.to_string().is_empty());
+        assert!(RegistrationError::UnknownBackend("x").to_string().contains('x'));
     }
 }

@@ -1,23 +1,32 @@
 //! Metered 3D neighbor search for the pipeline.
 //!
 //! Every stage that needs neighbors (Normal Estimation, descriptor
-//! calculation, RPCE) goes through a [`Searcher3`], which:
+//! calculation, RPCE) goes through a [`Searcher3`] — a thin wrapper over a
+//! pluggable `tigris_core::SearchIndex` backend that:
 //!
-//! * runs the selected backend (canonical KD-tree, two-stage KD-tree, or
-//!   two-stage + approximate leader/follower search),
-//! * accumulates wall-clock time spent in KD-tree build and search — the
-//!   quantities behind the paper's Fig. 4b kernel breakdown, and
-//! * optionally injects errors (k-th NN, `<r1,r2>` shell) per Sec. 4.2.
+//! * runs whichever backend the [`SearchBackendConfig`] selected (the
+//!   canonical KD-tree, the two-stage tree, approximate leader/follower
+//!   search, the brute-force oracle, or any backend registered by name —
+//!   e.g. `tigris-accel`'s online accelerator model),
+//! * accumulates wall-clock time spent in index build and search — the
+//!   quantities behind the paper's Fig. 4b kernel breakdown,
+//! * optionally injects errors (k-th NN, `<r1,r2>` shell) per Sec. 4.2, and
+//! * optionally logs every query for accelerator replay.
+//!
+//! The pipeline above this seam never learns which structure served its
+//! queries; new backends plug in through the registry without touching
+//! this file.
 
 use std::time::{Duration, Instant};
 
-use tigris_core::batch::BatchSearcher;
-use tigris_core::inject::{kth_nn, shell_radius};
+use tigris_core::index::build_backend;
 use tigris_core::{
-    ApproxConfig, ApproxSearcher, BatchConfig, KdTree, Neighbor, QueryRecord, SearchStats,
-    TwoStageKdTree,
+    ApproxConfig, ApproxIndex, BatchConfig, BruteForceIndex, KdTree, Neighbor, QueryRecord,
+    SearchIndex, SearchStats, TwoStageKdTree,
 };
 use tigris_geom::Vec3;
+
+use crate::config::{ConfigError, SearchBackendConfig};
 
 /// Error injected into searches (paper Sec. 4.2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,22 +45,6 @@ pub enum Injection {
     },
 }
 
-/// Which index structure serves the searches.
-enum Backend {
-    Classic(KdTree),
-    TwoStage(Box<TwoStageKdTree>),
-    /// Two-stage tree + Algorithm-1 approximate search. The searcher is
-    /// self-referential in spirit (it borrows the tree), so we keep the
-    /// tree behind a stable heap allocation and the searcher alongside.
-    Approx {
-        /// Lazily built leader books. Declared before `tree` so it drops
-        /// first and never outlives the tree it borrows.
-        searcher: Option<ApproxSearcher<'static>>,
-        tree: Box<TwoStageKdTree>,
-        cfg: ApproxConfig,
-    },
-}
-
 /// A metered 3D searcher over one point cloud.
 ///
 /// # Example
@@ -64,10 +57,25 @@ enum Backend {
 /// let mut s = Searcher3::classic(&pts);
 /// let n = s.nn(Vec3::new(41.3, 0.0, 0.0)).unwrap();
 /// assert_eq!(pts[n.index].x, 41.0);
+/// assert_eq!(s.backend_name(), "classic");
 /// assert!(s.search_time() > std::time::Duration::ZERO);
 /// ```
+///
+/// Any backend — including ones registered from other crates — can serve
+/// the same pipeline through [`Searcher3::from_config`]:
+///
+/// ```
+/// use tigris_pipeline::config::SearchBackendConfig;
+/// use tigris_pipeline::Searcher3;
+/// use tigris_geom::Vec3;
+///
+/// let pts: Vec<Vec3> = (0..100).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+/// let mut s = Searcher3::from_config(&pts, &SearchBackendConfig::BruteForce).unwrap();
+/// assert_eq!(s.backend_name(), "brute-force");
+/// assert_eq!(s.nn(Vec3::ZERO).unwrap().index, 0);
+/// ```
 pub struct Searcher3 {
-    backend: Backend,
+    index: Box<dyn SearchIndex>,
     injection: Option<Injection>,
     build_time: Duration,
     search_time: Duration,
@@ -80,13 +88,9 @@ pub struct Searcher3 {
 
 impl std::fmt::Debug for Searcher3 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let name = match self.backend {
-            Backend::Classic(_) => "classic",
-            Backend::TwoStage(_) => "two-stage",
-            Backend::Approx { .. } => "two-stage+approx",
-        };
         f.debug_struct("Searcher3")
-            .field("backend", &name)
+            .field("backend", &self.index.name())
+            .field("points", &self.index.len())
             .field("injection", &self.injection)
             .field("stats", &self.stats)
             .finish()
@@ -94,49 +98,100 @@ impl std::fmt::Debug for Searcher3 {
 }
 
 impl Searcher3 {
-    /// Builds a canonical KD-tree backend.
+    /// Wraps an already-built backend, attributing `build_time` to its
+    /// construction. This is the open end of the seam: anything
+    /// implementing `SearchIndex` becomes a pipeline-ready searcher.
+    pub fn from_index(index: Box<dyn SearchIndex>, build_time: Duration) -> Self {
+        Searcher3 {
+            index,
+            injection: None,
+            build_time,
+            search_time: Duration::ZERO,
+            stats: SearchStats::new(),
+            query_log: None,
+            parallel: BatchConfig::serial(),
+        }
+    }
+
+    /// Builds the backend a [`SearchBackendConfig`] selects, metering the
+    /// build.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::UnknownBackend`] when a
+    /// [`SearchBackendConfig::Custom`] name has no registered factory.
+    pub fn from_config(
+        points: &[Vec3],
+        backend: &SearchBackendConfig,
+    ) -> Result<Self, ConfigError> {
+        let t0 = Instant::now();
+        let index: Box<dyn SearchIndex> = match *backend {
+            SearchBackendConfig::Classic => Box::new(KdTree::build(points)),
+            SearchBackendConfig::TwoStage { top_height } => {
+                Box::new(TwoStageKdTree::build(points, top_height))
+            }
+            SearchBackendConfig::TwoStageApprox { top_height, approx } => {
+                Box::new(ApproxIndex::build(points, top_height, approx))
+            }
+            SearchBackendConfig::BruteForce => Box::new(BruteForceIndex::new(points.to_vec())),
+            SearchBackendConfig::Custom { name } => {
+                build_backend(name, points).ok_or(ConfigError::UnknownBackend { name })?
+            }
+        };
+        Ok(Searcher3::from_index(index, t0.elapsed()))
+    }
+
+    /// Builds a canonical KD-tree backend (shorthand for
+    /// [`Searcher3::from_config`] with [`SearchBackendConfig::Classic`]).
     pub fn classic(points: &[Vec3]) -> Self {
         let t0 = Instant::now();
-        let tree = KdTree::build(points);
-        Searcher3 {
-            backend: Backend::Classic(tree),
-            injection: None,
-            build_time: t0.elapsed(),
-            search_time: Duration::ZERO,
-            stats: SearchStats::new(),
-            query_log: None,
-            parallel: BatchConfig::serial(),
-        }
+        let index = Box::new(KdTree::build(points));
+        Searcher3::from_index(index, t0.elapsed())
     }
 
-    /// Builds a two-stage KD-tree backend with the given top-tree height.
+    /// Builds a two-stage KD-tree backend with the given top-tree height
+    /// (shorthand for [`Searcher3::from_config`] with
+    /// [`SearchBackendConfig::TwoStage`]).
     pub fn two_stage(points: &[Vec3], top_height: usize) -> Self {
         let t0 = Instant::now();
-        let tree = Box::new(TwoStageKdTree::build(points, top_height));
-        Searcher3 {
-            backend: Backend::TwoStage(tree),
-            injection: None,
-            build_time: t0.elapsed(),
-            search_time: Duration::ZERO,
-            stats: SearchStats::new(),
-            query_log: None,
-            parallel: BatchConfig::serial(),
-        }
+        let index = Box::new(TwoStageKdTree::build(points, top_height));
+        Searcher3::from_index(index, t0.elapsed())
     }
 
-    /// Builds a two-stage KD-tree with approximate (Algorithm 1) search.
+    /// Builds a two-stage KD-tree with approximate (Algorithm 1) search
+    /// (shorthand for [`Searcher3::from_config`] with
+    /// [`SearchBackendConfig::TwoStageApprox`]).
     pub fn two_stage_approx(points: &[Vec3], top_height: usize, cfg: ApproxConfig) -> Self {
         let t0 = Instant::now();
-        let tree = Box::new(TwoStageKdTree::build(points, top_height));
-        Searcher3 {
-            backend: Backend::Approx { searcher: None, tree, cfg },
-            injection: None,
-            build_time: t0.elapsed(),
-            search_time: Duration::ZERO,
-            stats: SearchStats::new(),
-            query_log: None,
-            parallel: BatchConfig::serial(),
-        }
+        let index = Box::new(ApproxIndex::build(points, top_height, cfg));
+        Searcher3::from_index(index, t0.elapsed())
+    }
+
+    /// Builds the exhaustive brute-force oracle backend (shorthand for
+    /// [`Searcher3::from_config`] with [`SearchBackendConfig::BruteForce`]).
+    pub fn brute_force(points: &[Vec3]) -> Self {
+        let t0 = Instant::now();
+        let index = Box::new(BruteForceIndex::new(points.to_vec()));
+        Searcher3::from_index(index, t0.elapsed())
+    }
+
+    /// The backend's stable name (`"classic"`, `"two-stage"`, …), straight
+    /// from `SearchIndex::name()` — new backends can't print a stale
+    /// hand-maintained label.
+    pub fn backend_name(&self) -> &'static str {
+        self.index.name()
+    }
+
+    /// Direct access to the backend, for experiments that need
+    /// backend-specific state (e.g. draining an accelerator meter).
+    pub fn index_mut(&mut self) -> &mut dyn SearchIndex {
+        self.index.as_mut()
+    }
+
+    /// Clears any approximation state the backend accumulated (leader
+    /// books / leader buffers); exact backends are unaffected.
+    pub fn reset_index(&mut self) {
+        self.index.reset();
     }
 
     /// Enables error injection on subsequent searches.
@@ -175,38 +230,17 @@ impl Searcher3 {
 
     /// The indexed points.
     pub fn points(&self) -> &[Vec3] {
-        match &self.backend {
-            Backend::Classic(t) => t.points(),
-            Backend::TwoStage(t) => t.points(),
-            Backend::Approx { tree, .. } => tree.points(),
-        }
+        self.index.points()
     }
 
     /// Number of indexed points.
     pub fn len(&self) -> usize {
-        self.points().len()
+        self.index.len()
     }
 
     /// `true` when no points are indexed.
     pub fn is_empty(&self) -> bool {
-        self.points().is_empty()
-    }
-
-    fn approx_searcher(&mut self) -> Option<&mut ApproxSearcher<'static>> {
-        if let Backend::Approx { searcher, tree, cfg } = &mut self.backend {
-            if searcher.is_none() {
-                // SAFETY: the tree lives in a Box owned by `self` and is
-                // never moved or dropped while `searcher` exists; `searcher`
-                // is dropped before (or together with) the Box. We only hand
-                // out borrows tied to `&mut self`.
-                let tree_ref: &'static TwoStageKdTree =
-                    unsafe { &*(tree.as_ref() as *const TwoStageKdTree) };
-                *searcher = Some(ApproxSearcher::new(tree_ref, *cfg));
-            }
-            searcher.as_mut()
-        } else {
-            None
-        }
+        self.index.is_empty()
     }
 
     /// Nearest neighbor (respecting any configured injection).
@@ -217,38 +251,13 @@ impl Searcher3 {
         let t0 = Instant::now();
         let result = match self.injection {
             Some(Injection::NnKth(k)) if k > 1 => {
-                // Injection is defined on the classic structure; see Fig. 7a.
-                match &self.backend {
-                    Backend::Classic(t) => {
-                        self.stats.queries += 1;
-                        kth_nn(t, query, k)
-                    }
-                    Backend::TwoStage(t) | Backend::Approx { tree: t, .. } => {
-                        // Fall back to k-NN over a temporary classic view is
-                        // wasteful; instead emulate: collect k nearest via
-                        // radius growth. Simpler: build once is too costly,
-                        // so scan exact knn with brute force over the tree's
-                        // points. Injection experiments use the classic
-                        // backend in practice.
-                        let knn = tigris_core::bruteforce::knn_brute_force(t.points(), query, k);
-                        self.stats.queries += 1;
-                        (knn.len() == k).then(|| knn[k - 1])
-                    }
-                }
+                // The k-th NN is the last entry of an exact k-NN; every
+                // backend serves k-NN exactly (the approximate path covers
+                // only NN and radius), so injection semantics are uniform.
+                let knn = self.index.knn(query, k, &mut self.stats);
+                (knn.len() == k).then(|| knn[k - 1])
             }
-            _ => match &mut self.backend {
-                Backend::Classic(t) => t.nn_with_stats(query, &mut self.stats),
-                Backend::TwoStage(t) => t.nn_with_stats(query, &mut self.stats),
-                Backend::Approx { .. } => {
-                    let mut stats = SearchStats::new();
-                    let r = self
-                        .approx_searcher()
-                        .expect("approx backend")
-                        .nn_with_stats(query, &mut stats);
-                    self.stats += stats;
-                    r
-                }
-            },
+            _ => self.index.nn(query, &mut self.stats),
         };
         self.search_time += t0.elapsed();
         result
@@ -265,35 +274,12 @@ impl Searcher3 {
             Some(Injection::RadiusShell { inner_frac, outer_frac }) => {
                 let r1 = inner_frac * radius;
                 let r2 = outer_frac * radius;
-                match &self.backend {
-                    Backend::Classic(t) => {
-                        self.stats.queries += 1;
-                        shell_radius(t, query, r1.min(r2), r1.max(r2))
-                    }
-                    Backend::TwoStage(t) | Backend::Approx { tree: t, .. } => {
-                        self.stats.queries += 1;
-                        let lo = r1.min(r2);
-                        let hi = r1.max(r2);
-                        t.radius(query, hi)
-                            .into_iter()
-                            .filter(|n| n.distance_squared >= lo * lo)
-                            .collect()
-                    }
-                }
+                let (lo, hi) = (r1.min(r2), r1.max(r2));
+                let mut out = self.index.radius(query, hi, &mut self.stats);
+                out.retain(|n| n.distance_squared >= lo * lo);
+                out
             }
-            _ => match &mut self.backend {
-                Backend::Classic(t) => t.radius_with_stats(query, radius, &mut self.stats),
-                Backend::TwoStage(t) => t.radius_with_stats(query, radius, &mut self.stats),
-                Backend::Approx { .. } => {
-                    let mut stats = SearchStats::new();
-                    let r = self
-                        .approx_searcher()
-                        .expect("approx backend")
-                        .radius_with_stats(query, radius, &mut stats);
-                    self.stats += stats;
-                    r
-                }
-            },
+            _ => self.index.radius(query, radius, &mut self.stats),
         };
         self.search_time += t0.elapsed();
         result
@@ -305,12 +291,7 @@ impl Searcher3 {
             log.push(QueryRecord::knn(query, k));
         }
         let t0 = Instant::now();
-        let result = match &self.backend {
-            Backend::Classic(t) => t.knn_with_stats(query, k, &mut self.stats),
-            Backend::TwoStage(t) | Backend::Approx { tree: t, .. } => {
-                t.knn_with_stats(query, k, &mut self.stats)
-            }
-        };
+        let result = self.index.knn(query, k, &mut self.stats);
         self.search_time += t0.elapsed();
         result
     }
@@ -347,16 +328,7 @@ impl Searcher3 {
         let t0 = Instant::now();
         let cfg = self.parallel;
         let mut stats = SearchStats::new();
-        let result = if matches!(self.backend, Backend::Approx { .. }) {
-            let searcher = self.approx_searcher().expect("approx backend");
-            searcher.nn_batch(queries, &cfg, &mut stats)
-        } else {
-            match &mut self.backend {
-                Backend::Classic(t) => t.nn_batch(queries, &cfg, &mut stats),
-                Backend::TwoStage(t) => t.as_mut().nn_batch(queries, &cfg, &mut stats),
-                Backend::Approx { .. } => unreachable!(),
-            }
-        };
+        let result = self.index.nn_batch(queries, &cfg, &mut stats);
         self.stats += stats;
         self.search_time += t0.elapsed();
         result
@@ -375,16 +347,7 @@ impl Searcher3 {
         let t0 = Instant::now();
         let cfg = self.parallel;
         let mut stats = SearchStats::new();
-        let result = if matches!(self.backend, Backend::Approx { .. }) {
-            let searcher = self.approx_searcher().expect("approx backend");
-            searcher.radius_batch(queries, radius, &cfg, &mut stats)
-        } else {
-            match &mut self.backend {
-                Backend::Classic(t) => t.radius_batch(queries, radius, &cfg, &mut stats),
-                Backend::TwoStage(t) => t.as_mut().radius_batch(queries, radius, &cfg, &mut stats),
-                Backend::Approx { .. } => unreachable!(),
-            }
-        };
+        let result = self.index.radius_batch(queries, radius, &cfg, &mut stats);
         self.stats += stats;
         self.search_time += t0.elapsed();
         result
@@ -398,12 +361,7 @@ impl Searcher3 {
         let t0 = Instant::now();
         let cfg = self.parallel;
         let mut stats = SearchStats::new();
-        let result = match &mut self.backend {
-            Backend::Classic(t) => t.knn_batch(queries, k, &cfg, &mut stats),
-            Backend::TwoStage(t) | Backend::Approx { tree: t, .. } => {
-                t.as_mut().knn_batch(queries, k, &cfg, &mut stats)
-            }
-        };
+        let result = self.index.knn_batch(queries, k, &cfg, &mut stats);
         self.stats += stats;
         self.search_time += t0.elapsed();
         result
@@ -438,9 +396,12 @@ mod tests {
         let pts = cloud();
         let mut classic = Searcher3::classic(&pts);
         let mut two = Searcher3::two_stage(&pts, 5);
+        let mut brute = Searcher3::brute_force(&pts);
         for q in [Vec3::new(1.0, 2.0, 3.0), Vec3::new(9.0, 0.5, 4.4)] {
             assert_eq!(classic.nn(q).unwrap().index, two.nn(q).unwrap().index);
+            assert_eq!(classic.nn(q).unwrap().index, brute.nn(q).unwrap().index);
             assert_eq!(classic.radius(q, 1.5).len(), two.radius(q, 1.5).len());
+            assert_eq!(classic.radius(q, 1.5), brute.radius(q, 1.5));
         }
     }
 
@@ -458,6 +419,47 @@ mod tests {
     }
 
     #[test]
+    fn from_config_builds_every_variant() {
+        let pts = cloud();
+        let variants = [
+            (SearchBackendConfig::Classic, "classic"),
+            (SearchBackendConfig::TwoStage { top_height: 4 }, "two-stage"),
+            (
+                SearchBackendConfig::TwoStageApprox {
+                    top_height: 4,
+                    approx: ApproxConfig::default(),
+                },
+                "two-stage-approx",
+            ),
+            (SearchBackendConfig::BruteForce, "brute-force"),
+            (SearchBackendConfig::Custom { name: "classic" }, "classic"),
+        ];
+        for (backend, expected_name) in variants {
+            let mut s = Searcher3::from_config(&pts, &backend).unwrap();
+            assert_eq!(s.backend_name(), expected_name, "{backend:?}");
+            assert!(s.nn(Vec3::new(2.2, 3.1, 1.0)).is_some(), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn from_config_rejects_unknown_custom_backend() {
+        let err = Searcher3::from_config(&cloud(), &SearchBackendConfig::Custom {
+            name: "no-such-backend",
+        })
+        .unwrap_err();
+        assert_eq!(err, ConfigError::UnknownBackend { name: "no-such-backend" });
+    }
+
+    #[test]
+    fn debug_reports_trait_backend_name() {
+        let pts = cloud();
+        let repr = format!("{:?}", Searcher3::brute_force(&pts));
+        assert!(repr.contains("brute-force"), "{repr}");
+        let repr = format!("{:?}", Searcher3::two_stage_approx(&pts, 3, ApproxConfig::default()));
+        assert!(repr.contains("two-stage-approx"), "{repr}");
+    }
+
+    #[test]
     fn injection_kth_nn_degrades_result() {
         let pts: Vec<Vec3> = (0..20).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
         let mut s = Searcher3::classic(&pts);
@@ -467,6 +469,23 @@ mod tests {
         s.set_injection(None);
         let n = s.nn(Vec3::new(-0.4, 0.0, 0.0)).unwrap();
         assert_eq!(pts[n.index].x, 0.0);
+    }
+
+    #[test]
+    fn injection_applies_on_every_backend() {
+        // The injection seam sits above the trait, so all backends degrade
+        // identically under k-th-NN injection.
+        let pts: Vec<Vec3> = (0..20).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+        for backend in [
+            SearchBackendConfig::Classic,
+            SearchBackendConfig::TwoStage { top_height: 2 },
+            SearchBackendConfig::BruteForce,
+        ] {
+            let mut s = Searcher3::from_config(&pts, &backend).unwrap();
+            s.set_injection(Some(Injection::NnKth(4)));
+            let n = s.nn(Vec3::new(-0.4, 0.0, 0.0)).unwrap();
+            assert_eq!(pts[n.index].x, 3.0, "{backend:?}");
+        }
     }
 
     #[test]
@@ -500,6 +519,7 @@ mod tests {
             Searcher3::classic(&pts),
             Searcher3::two_stage(&pts, 3),
             Searcher3::two_stage_approx(&pts, 3, ApproxConfig::default()),
+            Searcher3::brute_force(&pts),
         ] {
             let r = s.knn(Vec3::new(5.0, 5.0, 2.5), 7);
             assert_eq!(r.len(), 7);
@@ -507,6 +527,24 @@ mod tests {
                 assert!(w[0].distance_squared <= w[1].distance_squared);
             }
         }
+    }
+
+    #[test]
+    fn reset_index_clears_leader_books() {
+        let pts = cloud();
+        let mut s = Searcher3::two_stage_approx(&pts, 3, ApproxConfig {
+            nn_threshold: 5.0,
+            ..Default::default()
+        });
+        for i in 0..50 {
+            s.nn(Vec3::new(1.0 + 0.01 * i as f64, 2.0, 3.0));
+        }
+        assert!(s.stats().follower_hits > 0);
+        let followers_before = s.stats().follower_hits;
+        s.reset_index();
+        s.nn(Vec3::new(1.0, 2.0, 3.0));
+        // First query after reset is a leader, not a follower.
+        assert_eq!(s.stats().follower_hits, followers_before);
     }
 
     #[test]

@@ -81,4 +81,29 @@ fn main() {
         "  energy: PE {:.1}% | SRAM read {:.1}% | SRAM write {:.1}% | leakage {:.1}% | DRAM {:.2}%",
         pe * 100.0, rd * 100.0, wr * 100.0, leak * 100.0, dram * 100.0
     );
+
+    // ---- Accelerator as a *backend*: the whole pipeline on the machine --
+    //
+    // Instead of replaying logs, register the accelerator as a search
+    // backend and run end-to-end registration "on the hardware". Exact
+    // mode: the estimated transform is bit-identical to software.
+    use tigris::pipeline::config::SearchBackendConfig;
+    use tigris::pipeline::{register, RegistrationConfig};
+
+    tigris::accel::register_accelerator_backend();
+    let reg_cfg = RegistrationConfig::builder()
+        .backend(SearchBackendConfig::Custom { name: "accelerator" })
+        .build()
+        .expect("valid config");
+    println!("\nend-to-end registration on the accelerator backend...");
+    match register(seq.frame(1), seq.frame(0), &reg_cfg) {
+        Ok(result) => {
+            let gt = seq.ground_truth_relative(0);
+            println!(
+                "  estimated {} vs ground truth {} ({} ICP iterations)",
+                result.transform.translation, gt.translation, result.icp_iterations
+            );
+        }
+        Err(e) => println!("  registration failed: {e}"),
+    }
 }

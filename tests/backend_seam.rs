@@ -1,0 +1,143 @@
+//! The `SearchIndex` seam, exercised end-to-end: `register()` must run
+//! with **every** `SearchBackendConfig` variant — including the
+//! brute-force oracle and the registry-resolved accelerator backend — and
+//! exact backends must land on bit-identical results, because the
+//! pipeline above the seam consumes only the (identical) search answers.
+
+use tigris::accel::register_accelerator_backend;
+use tigris::core::ApproxConfig;
+use tigris::geom::{PointCloud, RigidTransform, Vec3};
+use tigris::pipeline::config::SearchBackendConfig;
+use tigris::pipeline::odometry::Odometer;
+use tigris::pipeline::{register, KeypointAlgorithm, RegistrationConfig, Searcher3};
+
+/// A structured synthetic scene with distinctive geometry.
+fn scene_cloud() -> PointCloud {
+    let mut pts = Vec::new();
+    let step = 0.15;
+    for i in 0..40 {
+        for j in 0..40 {
+            pts.push(Vec3::new(i as f64 * step, j as f64 * step, 0.0));
+        }
+    }
+    for i in 0..40 {
+        for k in 1..15 {
+            pts.push(Vec3::new(i as f64 * step, 6.0, k as f64 * step));
+        }
+    }
+    for j in 0..20 {
+        for k in 1..15 {
+            pts.push(Vec3::new(6.0, j as f64 * step, k as f64 * step));
+        }
+    }
+    for i in 0..12 {
+        for k in 0..6 {
+            pts.push(Vec3::new(2.0 + i as f64 * 0.1, 3.0, k as f64 * 0.15));
+            pts.push(Vec3::new(2.0 + i as f64 * 0.1, 3.8, k as f64 * 0.15));
+        }
+    }
+    PointCloud::from_points(pts)
+}
+
+fn fast_config() -> RegistrationConfig {
+    RegistrationConfig {
+        voxel_size: 0.0,
+        normal_radius: 0.5,
+        keypoint: KeypointAlgorithm::Uniform { voxel: 1.0 },
+        max_correspondence_distance: 1.5,
+        ..RegistrationConfig::default()
+    }
+}
+
+#[test]
+fn register_runs_on_every_backend_variant() {
+    register_accelerator_backend();
+    let target = scene_cloud();
+    let gt = RigidTransform::from_axis_angle(Vec3::Z, 0.03, Vec3::new(0.25, -0.1, 0.02));
+    let source = target.transformed(&gt.inverse());
+
+    let backends = [
+        SearchBackendConfig::Classic,
+        SearchBackendConfig::TwoStage { top_height: 6 },
+        SearchBackendConfig::TwoStageApprox { top_height: 6, approx: ApproxConfig::default() },
+        SearchBackendConfig::BruteForce,
+        SearchBackendConfig::Custom { name: "accelerator" },
+    ];
+    for backend in backends {
+        let mut cfg = fast_config();
+        cfg.backend = backend;
+        let result = register(&source, &target, &cfg)
+            .unwrap_or_else(|e| panic!("register() failed on {backend:?}: {e}"));
+        assert!(
+            (result.transform.translation - gt.translation).norm() < 0.1,
+            "{backend:?} diverged: {} vs {}",
+            result.transform.translation,
+            gt.translation
+        );
+    }
+}
+
+#[test]
+fn accelerator_exact_mode_matches_two_stage_software_through_register() {
+    // Exact search answers are bit-identical across exact backends, and the
+    // pipeline is deterministic in its inputs — so the *entire registration
+    // output* must match bitwise between two-stage software and the
+    // accelerator serving the same pipeline.
+    register_accelerator_backend();
+    let target = scene_cloud();
+    let gt = RigidTransform::from_translation(Vec3::new(0.2, -0.08, 0.01));
+    let source = target.transformed(&gt.inverse());
+
+    let mut sw_cfg = fast_config();
+    sw_cfg.backend = SearchBackendConfig::TwoStage { top_height: 6 };
+    let sw = register(&source, &target, &sw_cfg).unwrap();
+
+    let mut hw_cfg = fast_config();
+    hw_cfg.backend = SearchBackendConfig::Custom { name: "accelerator" };
+    let hw = register(&source, &target, &hw_cfg).unwrap();
+
+    assert_eq!(
+        sw.transform.translation, hw.transform.translation,
+        "accelerator transform must be bit-identical to two-stage software"
+    );
+    assert_eq!(sw.transform.rotation, hw.transform.rotation);
+    assert_eq!(sw.initial_transform.translation, hw.initial_transform.translation);
+    assert_eq!(sw.icp_iterations, hw.icp_iterations);
+    assert_eq!(sw.keypoints, hw.keypoints);
+    assert_eq!(sw.inlier_correspondences, hw.inlier_correspondences);
+}
+
+#[test]
+fn accelerator_searcher_matches_two_stage_searcher_query_by_query() {
+    register_accelerator_backend();
+    let pts: Vec<Vec3> = scene_cloud().points().to_vec();
+    let mut hw =
+        Searcher3::from_config(&pts, &SearchBackendConfig::Custom { name: "accelerator" })
+            .unwrap();
+    let mut sw = Searcher3::two_stage(&pts, 6);
+    assert_eq!(hw.backend_name(), "accelerator");
+    for i in 0..60 {
+        let q = Vec3::new((i % 8) as f64 * 0.7 + 0.21, (i / 8) as f64 * 0.6, 0.4);
+        assert_eq!(hw.nn(q), sw.nn(q), "NN diverged at {q}");
+        assert_eq!(hw.radius(q, 1.2), sw.radius(q, 1.2), "radius diverged at {q}");
+        assert_eq!(hw.knn(q, 5), sw.knn(q, 5), "knn diverged at {q}");
+    }
+}
+
+#[test]
+fn odometer_runs_on_the_accelerator() {
+    register_accelerator_backend();
+    let world = scene_cloud();
+    let delta = RigidTransform::from_translation(Vec3::new(0.05, 0.02, 0.0));
+    let mut cfg = fast_config();
+    cfg.backend = SearchBackendConfig::Custom { name: "accelerator" };
+    let mut odo = Odometer::new(cfg);
+    odo.push(&world).unwrap();
+    let step =
+        odo.push(&world.transformed(&delta.inverse())).unwrap().expect("second frame steps");
+    assert!(
+        (step.relative.translation - delta.translation).norm() < 0.05,
+        "accelerator odometry drifted: {}",
+        step.relative.translation
+    );
+}

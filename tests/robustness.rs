@@ -63,6 +63,9 @@ fn single_point_and_two_point_clouds() {
         match register(a, b, &fast_config()) {
             Ok(r) => assert!(r.transform.translation.is_finite()),
             Err(RegistrationError::EmptyCloud | RegistrationError::IcpStarved) => {}
+            Err(e @ RegistrationError::UnknownBackend(_)) => {
+                panic!("built-in backend cannot be unknown: {e}")
+            }
         }
     }
 }
