@@ -1,0 +1,40 @@
+//! Streaming-odometry throughput: frames-per-second with `PreparedFrame`
+//! reuse on vs. off, on the default synthetic scene.
+//!
+//! Besides the human-readable comparison, the run emits a
+//! machine-readable baseline (`BENCH_odometry.json` by default, or the
+//! path in `$BENCH_ODOMETRY_JSON`) that CI archives per commit, so
+//! streaming-throughput regressions show up as a diffable number.
+//!
+//! ```text
+//! cargo bench -p tigris-bench --bench odometry
+//! TIGRIS_ODO_FRAMES=10 cargo bench -p tigris-bench --bench odometry
+//! ```
+
+use tigris_bench::odometry::run_streaming_comparison;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let frames = env_usize("TIGRIS_ODO_FRAMES", 6);
+    let runs = env_usize("TIGRIS_ODO_RUNS", 3);
+    println!("== streaming odometry: {frames} frames, best of {runs} runs ==");
+
+    let result = run_streaming_comparison(frames, 42, runs);
+    println!(
+        "frames/s with reuse    {:>8.3}  ({:?} total, {} preparations, {} reuses)",
+        result.reuse_fps, result.reuse_time, result.frames_prepared, result.frames_reused
+    );
+    println!(
+        "frames/s without reuse {:>8.3}  ({:?} total, front end recomputed per pair)",
+        result.no_reuse_fps, result.no_reuse_time
+    );
+    println!("speedup                {:>8.3}x", result.speedup);
+
+    let path = std::env::var("BENCH_ODOMETRY_JSON")
+        .unwrap_or_else(|_| "BENCH_odometry.json".to_string());
+    std::fs::write(&path, result.to_json()).expect("writing the JSON baseline failed");
+    println!("baseline written to {path}");
+}

@@ -15,5 +15,6 @@
 //! simulator itself).
 
 pub mod figures;
+pub mod odometry;
 pub mod plot;
 pub mod workload;

@@ -1,0 +1,150 @@
+//! Streaming-odometry throughput measurement: frames-per-second with the
+//! odometer's [`PreparedFrame`](tigris_pipeline::PreparedFrame) reuse
+//! against a recompute-everything baseline.
+//!
+//! The same logic backs `benches/odometry.rs` (which also emits the
+//! machine-readable `BENCH_odometry.json` baseline in CI) and the
+//! release-scale acceptance test `tests/odometry_speedup.rs` (reuse must
+//! deliver ≥1.3× frames-per-second on the default scene).
+
+use std::time::{Duration, Instant};
+
+use tigris_data::Sequence;
+use tigris_geom::RigidTransform;
+use tigris_pipeline::{
+    prepare_frame, register_prepared_with_prior, Odometer, RegistrationConfig,
+};
+
+use crate::workload::short_sequence;
+
+/// One reuse-on vs. reuse-off streaming comparison over the same frames.
+#[derive(Debug, Clone)]
+pub struct OdometryBenchResult {
+    /// Frames streamed per run.
+    pub frames: usize,
+    /// Mean raw points per frame (before downsampling).
+    pub mean_points_per_frame: f64,
+    /// Best-of-N wall-clock for the whole stream with preparation reuse.
+    pub reuse_time: Duration,
+    /// Best-of-N wall-clock recomputing every frame's front end per pair.
+    pub no_reuse_time: Duration,
+    /// Frames per second with reuse.
+    pub reuse_fps: f64,
+    /// Frames per second without reuse.
+    pub no_reuse_fps: f64,
+    /// `reuse_fps / no_reuse_fps`.
+    pub speedup: f64,
+    /// Front-end preparations billed across the reuse run (must equal
+    /// `frames`: each frame prepared exactly once).
+    pub frames_prepared: usize,
+    /// Preparations served from the carried frame (must equal
+    /// `frames - 2`).
+    pub frames_reused: usize,
+}
+
+impl OdometryBenchResult {
+    /// The machine-readable baseline emitted by CI (`BENCH_odometry.json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"odometry_streaming\",\n  \"frames\": {},\n  \
+             \"mean_points_per_frame\": {:.1},\n  \"reuse_seconds\": {:.6},\n  \
+             \"no_reuse_seconds\": {:.6},\n  \"reuse_fps\": {:.3},\n  \
+             \"no_reuse_fps\": {:.3},\n  \"speedup\": {:.3},\n  \
+             \"frames_prepared\": {},\n  \"frames_reused\": {}\n}}\n",
+            self.frames,
+            self.mean_points_per_frame,
+            self.reuse_time.as_secs_f64(),
+            self.no_reuse_time.as_secs_f64(),
+            self.reuse_fps,
+            self.no_reuse_fps,
+            self.speedup,
+            self.frames_prepared,
+            self.frames_reused,
+        )
+    }
+}
+
+/// Streams the sequence through an [`Odometer`] (preparation reuse on),
+/// returning elapsed time and the run's reuse counters.
+fn run_with_reuse(seq: &Sequence, cfg: &RegistrationConfig) -> (Duration, usize, usize) {
+    let mut odo = Odometer::new(cfg.clone());
+    let mut prepared = 0;
+    let mut reused = 0;
+    let t0 = Instant::now();
+    for i in 0..seq.len() {
+        if let Some(step) = odo.push(seq.frame(i)).expect("odometry step failed") {
+            prepared += step.registration.profile.frames_prepared;
+            reused += step.registration.profile.frames_reused;
+        }
+    }
+    (t0.elapsed(), prepared, reused)
+}
+
+/// Streams the same pairs with both frames' front ends recomputed per
+/// pair — identical matching logic (including the constant-velocity
+/// prior), zero reuse.
+fn run_without_reuse(seq: &Sequence, cfg: &RegistrationConfig) -> Duration {
+    let mut velocity: Option<RigidTransform> = None;
+    let t0 = Instant::now();
+    for i in 1..seq.len() {
+        let mut source = prepare_frame(seq.frame(i), cfg).expect("prepare failed");
+        let mut target = prepare_frame(seq.frame(i - 1), cfg).expect("prepare failed");
+        let result =
+            register_prepared_with_prior(&mut source, &mut target, cfg, velocity.as_ref())
+                .expect("registration failed");
+        velocity = Some(result.transform);
+    }
+    t0.elapsed()
+}
+
+/// Runs the reuse-on vs. reuse-off comparison on the default synthetic
+/// scene: `frames` streamed frames, best-of-`runs` timing per path.
+pub fn run_streaming_comparison(frames: usize, seed: u64, runs: usize) -> OdometryBenchResult {
+    assert!(frames >= 3, "need at least 3 frames for a reuse to happen");
+    assert!(runs >= 1);
+    let seq = short_sequence(frames, seed);
+    let cfg = RegistrationConfig::default();
+    let mean_points =
+        seq.frames().iter().map(|f| f.points().len()).sum::<usize>() as f64 / seq.len() as f64;
+
+    // Warm up both paths once (page in the scene, stabilize allocator),
+    // then take the best of `runs` for each.
+    let (_, prepared, reused) = run_with_reuse(&seq, &cfg);
+    run_without_reuse(&seq, &cfg);
+    let reuse_time =
+        (0..runs).map(|_| run_with_reuse(&seq, &cfg).0).min().expect("runs >= 1");
+    let no_reuse_time =
+        (0..runs).map(|_| run_without_reuse(&seq, &cfg)).min().expect("runs >= 1");
+
+    let reuse_fps = frames as f64 / reuse_time.as_secs_f64();
+    let no_reuse_fps = frames as f64 / no_reuse_time.as_secs_f64();
+    OdometryBenchResult {
+        frames,
+        mean_points_per_frame: mean_points,
+        reuse_time,
+        no_reuse_time,
+        reuse_fps,
+        no_reuse_fps,
+        speedup: reuse_fps / no_reuse_fps,
+        frames_prepared: prepared,
+        frames_reused: reused,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_comparison_runs_and_counts_reuse() {
+        // Small frame count; correctness of the counters, not timing.
+        let result = run_streaming_comparison(3, 11, 1);
+        assert_eq!(result.frames, 3);
+        assert_eq!(result.frames_prepared, 3);
+        assert_eq!(result.frames_reused, 1);
+        assert!(result.reuse_fps > 0.0 && result.no_reuse_fps > 0.0);
+        let json = result.to_json();
+        assert!(json.contains("\"speedup\""), "{json}");
+        assert!(json.contains("\"frames\": 3"), "{json}");
+    }
+}

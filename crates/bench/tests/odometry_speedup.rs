@@ -1,0 +1,34 @@
+//! Release-scale acceptance test for the prepare/match split: streaming
+//! odometry with `PreparedFrame` reuse must deliver ≥1.3× the
+//! frames-per-second of the recompute-everything path on the default
+//! scene. Unlike the batch-engine speedup, this holds on any host — the
+//! reuse path does strictly less work per frame, independent of core
+//! count.
+//!
+//! ```text
+//! cargo test -p tigris-bench --release --test odometry_speedup -- --ignored
+//! ```
+
+use tigris_bench::odometry::run_streaming_comparison;
+
+#[test]
+#[ignore = "release-scale workload"]
+fn streaming_reuse_delivers_1_3x_frames_per_second() {
+    let result = run_streaming_comparison(6, 42, 3);
+    eprintln!(
+        "reuse {:.3} fps ({:?}) vs no-reuse {:.3} fps ({:?}): {:.2}x",
+        result.reuse_fps, result.reuse_time, result.no_reuse_fps, result.no_reuse_time,
+        result.speedup
+    );
+    // Structural invariants first: the speedup must come from real reuse.
+    assert_eq!(result.frames_prepared, result.frames);
+    assert_eq!(result.frames_reused, result.frames - 2);
+    assert!(
+        result.speedup >= 1.3,
+        "streaming reuse speedup {:.2}x below the 1.3x acceptance floor \
+         (reuse {:?} vs no-reuse {:?})",
+        result.speedup,
+        result.reuse_time,
+        result.no_reuse_time
+    );
+}

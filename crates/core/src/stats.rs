@@ -6,7 +6,7 @@
 //! into a [`SearchStats`].
 
 use std::fmt;
-use std::ops::{Add, AddAssign};
+use std::ops::{Add, AddAssign, Sub};
 
 /// Counters accumulated over one or more KD-tree searches.
 ///
@@ -126,6 +126,30 @@ impl AddAssign for SearchStats {
     }
 }
 
+impl Sub for SearchStats {
+    type Output = SearchStats;
+
+    /// Field-wise difference between two snapshots of the same
+    /// monotonically-growing counter set — the delta accounting used to
+    /// attribute a reused searcher's work to the registration that caused
+    /// it. Saturates at zero so a stale snapshot can never underflow.
+    fn sub(self, o: SearchStats) -> SearchStats {
+        SearchStats {
+            queries: self.queries.saturating_sub(o.queries),
+            tree_nodes_visited: self.tree_nodes_visited.saturating_sub(o.tree_nodes_visited),
+            leaf_points_scanned: self.leaf_points_scanned.saturating_sub(o.leaf_points_scanned),
+            subtrees_pruned: self.subtrees_pruned.saturating_sub(o.subtrees_pruned),
+            leaves_scanned: self.leaves_scanned.saturating_sub(o.leaves_scanned),
+            leader_checks: self.leader_checks.saturating_sub(o.leader_checks),
+            follower_hits: self.follower_hits.saturating_sub(o.follower_hits),
+            leader_promotions: self.leader_promotions.saturating_sub(o.leader_promotions),
+            leader_result_points_scanned: self
+                .leader_result_points_scanned
+                .saturating_sub(o.leader_result_points_scanned),
+        }
+    }
+}
+
 impl fmt::Display for SearchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -188,6 +212,17 @@ mod tests {
         assert_eq!(b.queries, 2);
         assert_eq!(b.leader_result_points_scanned, 18);
         assert_eq!(b, a + a);
+    }
+
+    #[test]
+    fn sub_yields_snapshot_delta() {
+        let before = SearchStats { queries: 3, tree_nodes_visited: 10, ..SearchStats::default() };
+        let after = SearchStats { queries: 8, tree_nodes_visited: 25, ..SearchStats::default() };
+        let delta = after - before;
+        assert_eq!(delta.queries, 5);
+        assert_eq!(delta.tree_nodes_visited, 15);
+        // Saturation, never underflow.
+        assert_eq!((before - after).queries, 0);
     }
 
     #[test]

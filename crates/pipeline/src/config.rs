@@ -364,6 +364,27 @@ impl RegistrationConfig {
         RegistrationConfigBuilder { cfg: RegistrationConfig::default() }
     }
 
+    /// `true` when `other` shares every knob that shapes the
+    /// frame-preparation layer's *results* — downsampling, normal
+    /// estimation, key-point detection, descriptors, the search backend
+    /// and NE injection. Two configs that agree here produce
+    /// interchangeable [`crate::PreparedFrame`]s, so a sweep over the
+    /// remaining (matching/ICP) knobs can prepare each frame once and
+    /// reuse it across design points ([`crate::dse::sweep_matching`]).
+    ///
+    /// The `parallel` knob is deliberately excluded: batched search is
+    /// bit-identical to serial at any thread count, so parallelism never
+    /// affects what a preparation computes — only how fast.
+    pub fn same_front_end(&self, other: &Self) -> bool {
+        self.voxel_size == other.voxel_size
+            && self.normal_algorithm == other.normal_algorithm
+            && self.normal_radius == other.normal_radius
+            && self.keypoint == other.keypoint
+            && self.descriptor == other.descriptor
+            && self.backend == other.backend
+            && self.inject_ne == other.inject_ne
+    }
+
     /// Checks every knob, returning the first violation.
     ///
     /// All [`DesignPoint`] presets validate cleanly; this exists to catch
@@ -1007,6 +1028,31 @@ mod tests {
             assert_eq!(dp.config().validate(), Ok(()), "{dp} must validate");
         }
         assert_eq!(RegistrationConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn same_front_end_ignores_matching_knobs() {
+        let base = RegistrationConfig::default();
+        // Matching/ICP knobs don't affect front-end compatibility.
+        let mut matching = base.clone();
+        matching.kpce_reciprocal = !base.kpce_reciprocal;
+        matching.max_correspondence_distance = 1.0;
+        matching.convergence.max_iterations = 5;
+        matching.rejection = RejectionAlgorithm::Threshold { factor: 1.1 };
+        // Parallelism is a pure performance knob: batched ≡ serial
+        // bit-for-bit, so it never invalidates a preparation.
+        matching.parallel = tigris_core::BatchConfig { threads: 4, min_chunk: 32 };
+        assert!(base.same_front_end(&matching));
+        // Any preparation knob breaks it.
+        let mut prep = base.clone();
+        prep.normal_radius += 0.1;
+        assert!(!base.same_front_end(&prep));
+        let mut prep = base.clone();
+        prep.voxel_size = 0.0;
+        assert!(!base.same_front_end(&prep));
+        let mut prep = base.clone();
+        prep.backend = SearchBackendConfig::BruteForce;
+        assert!(!base.same_front_end(&prep));
     }
 
     #[test]

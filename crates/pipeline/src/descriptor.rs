@@ -149,11 +149,15 @@ fn fpfh(
     radius: f64,
 ) -> Descriptors {
     use std::collections::{HashMap, HashSet};
-    let points: Vec<Vec3> = searcher.points().to_vec();
     let parallel = searcher.parallel();
 
     // Phase 1 — neighborhoods of the key-points, one batched fan-out.
-    let kp_pts: Vec<Vec3> = keypoints.iter().map(|&k| points[k]).collect();
+    // (Only query points are copied out; the searcher is mutably borrowed
+    // while a batch runs, so the cloud itself is read in place later.)
+    let kp_pts: Vec<Vec3> = {
+        let pts = searcher.points();
+        keypoints.iter().map(|&k| pts[k]).collect()
+    };
     let kp_neigh: Vec<Vec<usize>> = searcher
         .radius_batch(&kp_pts, radius)
         .into_iter()
@@ -180,15 +184,19 @@ fn fpfh(
     }
     let missing: Vec<usize> =
         needed.iter().copied().filter(|i| !neigh_of.contains_key(i)).collect();
-    let missing_pts: Vec<Vec3> = missing.iter().map(|&i| points[i]).collect();
+    let missing_pts: Vec<Vec3> = {
+        let pts = searcher.points();
+        missing.iter().map(|&i| pts[i]).collect()
+    };
     let missing_neigh = searcher.radius_batch(&missing_pts, radius);
     for (&i, ns) in missing.iter().zip(missing_neigh) {
         neigh_of.insert(i, ns.into_iter().map(|n| n.index).collect());
     }
 
     // Phase 3 — SPFH histograms, pure per-point math in parallel.
+    let points = searcher.points();
     let spfh_rows = tigris_core::batch::parallel_map(&needed, &parallel, |&i| {
-        spfh(&points, normals, i, &neigh_of[&i])
+        spfh(points, normals, i, &neigh_of[&i])
     });
     let spfh_of: HashMap<usize, &[f64; FPFH_DIM]> =
         needed.iter().zip(spfh_rows.iter()).map(|(&i, h)| (i, h)).collect();
@@ -289,11 +297,16 @@ fn shot(
     keypoints: &[usize],
     radius: f64,
 ) -> Descriptors {
-    let points: Vec<Vec3> = searcher.points().to_vec();
     let parallel = searcher.parallel();
-    // One batched radius fan-out, then pure per-key-point histogram math.
-    let kp_pts: Vec<Vec3> = keypoints.iter().map(|&k| points[k]).collect();
+    // One batched radius fan-out, then pure per-key-point histogram math
+    // reading the cloud in place (only the key-points are copied out,
+    // since the searcher is mutably borrowed during the batch).
+    let kp_pts: Vec<Vec3> = {
+        let pts = searcher.points();
+        keypoints.iter().map(|&k| pts[k]).collect()
+    };
     let neighborhoods = searcher.radius_batch(&kp_pts, radius);
+    let points = searcher.points();
     let rows = tigris_core::batch::parallel_map_indexed(keypoints.len(), &parallel, |ki| {
         let k = keypoints[ki];
         let neighbors: Vec<usize> = neighborhoods[ki]
@@ -303,7 +316,7 @@ fn shot(
             .collect();
         let mut hist = vec![0.0f64; SHOT_DIM];
         if neighbors.len() >= 5 {
-            let lrf = local_reference_frame(&points, points[k], &neighbors, radius);
+            let lrf = local_reference_frame(points, points[k], &neighbors, radius);
             let zn = lrf.col(2);
             for &j in &neighbors {
                 let d = points[j] - points[k];
@@ -358,12 +371,15 @@ fn sc3d(
     keypoints: &[usize],
     radius: f64,
 ) -> Descriptors {
-    let points: Vec<Vec3> = searcher.points().to_vec();
     let r_min: f64 = (radius * 0.05).max(1e-3);
     let log_span = (radius / r_min).ln();
     let parallel = searcher.parallel();
-    let kp_pts: Vec<Vec3> = keypoints.iter().map(|&k| points[k]).collect();
+    let kp_pts: Vec<Vec3> = {
+        let pts = searcher.points();
+        keypoints.iter().map(|&k| pts[k]).collect()
+    };
     let neighborhoods = searcher.radius_batch(&kp_pts, radius);
+    let points = searcher.points();
     let rows = tigris_core::batch::parallel_map_indexed(keypoints.len(), &parallel, |ki| {
         let k = keypoints[ki];
         let neighbors: Vec<usize> = neighborhoods[ki]
@@ -375,7 +391,7 @@ fn sc3d(
         if neighbors.len() >= 5 {
             // North pole = the point's normal; azimuth fixed by the LRF.
             let north = normals[k];
-            let lrf = local_reference_frame(&points, points[k], &neighbors, radius);
+            let lrf = local_reference_frame(points, points[k], &neighbors, radius);
             let mut east = lrf.col(0) - north * lrf.col(0).dot(north);
             east = east.normalized().unwrap_or_else(|| {
                 // Degenerate LRF: pick any perpendicular.

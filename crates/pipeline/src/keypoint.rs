@@ -63,11 +63,11 @@ fn sift3d(searcher: &mut Searcher3, scale: f64) -> Vec<usize> {
     let n = searcher.len();
     // Difference of curvature between two octave-separated scales.
     let mut response = vec![0.0f64; n];
-    let points: Vec<Vec3> = searcher.points().to_vec();
-    for (i, &p) in points.iter().enumerate() {
+    for (i, r) in response.iter_mut().enumerate() {
+        let p = searcher.points()[i];
         let c1 = curvature_at(searcher, p, scale);
         let c2 = curvature_at(searcher, p, scale * 2.0);
-        response[i] = (c2 - c1).abs();
+        *r = (c2 - c1).abs();
     }
     non_max_suppress(searcher, &response, scale * 2.0, 0.005)
 }
@@ -78,14 +78,15 @@ fn harris3d(searcher: &mut Searcher3, normals: &[Vec3], radius: f64) -> Vec<usiz
         searcher.len(),
         "Harris needs normals parallel to the cloud"
     );
-    let points: Vec<Vec3> = searcher.points().to_vec();
-    let mut response = vec![0.0f64; points.len()];
+    let n = searcher.len();
+    let mut response = vec![0.0f64; n];
     // Harris k. Note the covariance of *unit* normals has trace 1 and
     // det ≤ 1/27 ≈ 0.037, so the image-domain default k = 0.04 would
     // suppress every response; 0.02 keeps genuine 3-plane corners positive
     // while rejecting planes and 2-plane edges (det = 0).
     const K: f64 = 0.02;
-    for (i, &p) in points.iter().enumerate() {
+    for (i, r) in response.iter_mut().enumerate() {
+        let p = searcher.points()[i];
         let neighbors = searcher.radius(p, radius);
         if neighbors.len() < 5 {
             continue;
@@ -96,7 +97,7 @@ fn harris3d(searcher: &mut Searcher3, normals: &[Vec3], radius: f64) -> Vec<usiz
             cov = cov + Mat3::outer(nrm, nrm);
         }
         cov = cov.scale(1.0 / neighbors.len() as f64);
-        response[i] = cov.determinant() - K * cov.trace() * cov.trace();
+        *r = cov.determinant() - K * cov.trace() * cov.trace();
     }
     non_max_suppress(searcher, &response, radius, 1e-6)
 }
@@ -112,9 +113,10 @@ fn iss(searcher: &mut Searcher3, radius: f64) -> Vec<usize> {
     // artifacts, not structure. Genuine corners/edges at meter-scale radii
     // have λ₃ ≳ 1e-2 m². The floor rejects the artifacts.
     const MIN_SALIENCY: f64 = 3e-3;
-    let points: Vec<Vec3> = searcher.points().to_vec();
-    let mut response = vec![0.0f64; points.len()];
-    for (i, &p) in points.iter().enumerate() {
+    let n = searcher.len();
+    let mut response = vec![0.0f64; n];
+    for (i, r) in response.iter_mut().enumerate() {
+        let p = searcher.points()[i];
         let neighbors = searcher.radius(p, radius);
         if neighbors.len() < 8 {
             continue;
@@ -138,7 +140,7 @@ fn iss(searcher: &mut Searcher3, radius: f64) -> Vec<usize> {
             continue;
         }
         if l2 / l1 < GAMMA_21 && l3 / l2.max(1e-30) < GAMMA_32 {
-            response[i] = l3;
+            *r = l3;
         }
     }
     non_max_suppress(searcher, &response, radius, MIN_SALIENCY)
@@ -177,13 +179,12 @@ fn non_max_suppress(
     radius: f64,
     threshold: f64,
 ) -> Vec<usize> {
-    let points: Vec<Vec3> = searcher.points().to_vec();
     let mut out = Vec::new();
-    for (i, &p) in points.iter().enumerate() {
-        let r = response[i];
+    for (i, &r) in response.iter().enumerate() {
         if r <= threshold {
             continue;
         }
+        let p = searcher.points()[i];
         let neighbors = searcher.radius(p, radius);
         let is_max = neighbors
             .iter()

@@ -8,6 +8,14 @@
 //! Iterative Closest Point over the dense clouds: raw-point correspondence
 //! estimation (RPCE) → transformation estimation, iterated to convergence.
 //!
+//! Execution is layered around per-frame artifacts: [`prepare_frame`]
+//! turns one cloud into a [`PreparedFrame`] (downsampled points behind an
+//! owned searcher, normals, key-points, descriptors) and
+//! [`register_prepared`] matches two prepared frames; [`register`] is
+//! exactly prepare + prepare + match. Streaming consumers — the
+//! [`Odometer`], matching-knob DSE sweeps ([`dse::sweep_matching`]) —
+//! reuse preparations so no frame's front end ever runs twice.
+//!
 //! Every algorithmic and parametric knob of the paper's Tbl. 1 is exposed
 //! through [`RegistrationConfig`]; the design-space exploration of Fig. 3
 //! sweeps them via [`dse`].
@@ -56,7 +64,11 @@ pub use config::{
 };
 pub use correspond::Correspondence;
 pub use icp::IcpResult;
-pub use pipeline::{register, register_with_searchers, RegistrationError, RegistrationResult};
+pub use pipeline::{
+    prepare_frame, prepare_frame_from_searcher, register, register_prepared,
+    register_prepared_with_prior, register_with_searchers, PreparedFrame, RegistrationError,
+    RegistrationResult, PRIOR_ROTATION_SLACK, PRIOR_TRANSLATION_SLACK,
+};
 pub use profile::{Stage, StageProfile};
 pub use odometry::{Odometer, OdometryStep};
 pub use search::{Injection, Searcher3};

@@ -30,19 +30,25 @@ pub fn estimate_normals(
     algorithm: NormalAlgorithm,
 ) -> Vec<Vec3> {
     assert!(radius > 0.0, "normal-estimation radius must be positive");
-    let points: Vec<Vec3> = searcher.points().to_vec();
+    let n = searcher.len();
     let parallel = searcher.parallel();
     // One radius query per point — the front-end's dominant KD-tree
     // fan-out, issued batched so the searcher's configured parallelism
     // applies. Batches run per fixed-size chunk: dense scenes have
     // hundreds of neighbors per point, and holding every neighborhood of
     // a 100k-point frame at once would cost O(total neighbors) peak
-    // memory for no extra parallelism. The plane fits that follow are
-    // pure per-point math and parallelize with the same knob.
+    // memory for no extra parallelism. Only the current chunk's queries
+    // are copied out (the searcher is mutably borrowed during the batch);
+    // the plane fits that follow read the cloud in place and parallelize
+    // with the same knob.
     const CHUNK: usize = 16 * 1024;
-    let mut normals = Vec::with_capacity(points.len());
-    for chunk in points.chunks(CHUNK) {
-        let neighborhoods = searcher.radius_batch(chunk, radius);
+    let mut normals = Vec::with_capacity(n);
+    let mut start = 0;
+    while start < n {
+        let end = (start + CHUNK).min(n);
+        let chunk: Vec<Vec3> = searcher.points()[start..end].to_vec();
+        let neighborhoods = searcher.radius_batch(&chunk, radius);
+        let points = searcher.points();
         normals.extend(tigris_core::batch::parallel_map_indexed(
             chunk.len(),
             &parallel,
@@ -50,8 +56,8 @@ pub fn estimate_normals(
                 let p = chunk[i];
                 let neighbors = &neighborhoods[i];
                 let normal = match algorithm {
-                    NormalAlgorithm::PlaneSvd => plane_svd_normal(&points, neighbors, p),
-                    NormalAlgorithm::AreaWeighted => area_weighted_normal(&points, neighbors, p),
+                    NormalAlgorithm::PlaneSvd => plane_svd_normal(points, neighbors, p),
+                    NormalAlgorithm::AreaWeighted => area_weighted_normal(points, neighbors, p),
                 };
                 // Orient toward the viewpoint (sensor at the origin).
                 if normal.dot(-p) < 0.0 {
@@ -61,6 +67,7 @@ pub fn estimate_normals(
                 }
             },
         ));
+        start = end;
     }
     normals
 }

@@ -9,12 +9,22 @@
 //! with the previous inter-frame motion — the standard odometry trick that
 //! both accelerates ICP convergence and suppresses symmetric-scene
 //! mismatches.
+//!
+//! Streaming is where the pipeline's prepare/match split pays off: every
+//! frame is first a registration *source* and one step later the
+//! *target*, so the odometer runs [`prepare_frame`] exactly once per
+//! frame and hands the [`PreparedFrame`] forward — normals, key-points,
+//! descriptors and the KD-tree are all computed once, and each step pays
+//! only one frame preparation plus the pairwise match
+//! (`profile.frames_reused` counts the savings).
 
 use tigris_geom::{PointCloud, RigidTransform};
 
 use crate::config::RegistrationConfig;
-use crate::pipeline::{register_with_searchers, RegistrationError, RegistrationResult};
-use crate::search::Searcher3;
+use crate::pipeline::{
+    prepare_frame, register_prepared_with_prior, PreparedFrame, RegistrationError,
+    RegistrationResult,
+};
 
 /// Per-frame odometry output.
 #[derive(Debug, Clone)]
@@ -47,10 +57,11 @@ pub struct OdometryStep {
 #[derive(Debug)]
 pub struct Odometer {
     config: RegistrationConfig,
-    /// Searcher over the previous (downsampled) frame — reused as the
-    /// target of the next registration so each frame's KD-tree is built
-    /// exactly once.
-    prev: Option<Searcher3>,
+    /// The previous frame's full preparation (downsampled points, index,
+    /// normals, key-points, descriptors) — reused as the target of the
+    /// next registration so each frame's entire front end runs exactly
+    /// once.
+    prev: Option<PreparedFrame>,
     pose: RigidTransform,
     /// Constant-velocity prior: the last estimated relative motion.
     velocity: Option<RigidTransform>,
@@ -84,48 +95,63 @@ impl Odometer {
         &self.config
     }
 
-    fn build_searcher(&self, cloud: &PointCloud) -> Result<Searcher3, RegistrationError> {
-        let pts = if self.config.voxel_size > 0.0 {
-            cloud.voxel_downsample(self.config.voxel_size).points().to_vec()
-        } else {
-            cloud.points().to_vec()
-        };
-        // The same seam `register()` uses: any backend config — including
-        // brute force and registry-resolved customs like the accelerator —
-        // serves the odometer.
-        crate::pipeline::build_searcher(&pts, &self.config.backend)
-    }
-
     /// Consumes the next frame. Returns `Ok(None)` for the very first frame
     /// (nothing to register against) and `Ok(Some(step))` afterwards.
     ///
-    /// The constant-velocity prior seeds fine-tuning: when the previous
-    /// step estimated motion `v`, the new registration starts from `v`
-    /// instead of the front-end estimate whenever the front-end estimate
-    /// disagrees wildly with `v` (beyond 2 m or 0.2 rad).
+    /// The frame is prepared exactly once (front end + index build) and
+    /// kept as the target of the *next* push; only the pairwise-matching
+    /// layer runs against the previous frame's retained preparation.
+    ///
+    /// The constant-velocity prior is passed straight to the matching
+    /// layer: when the previous step estimated motion `v`, the
+    /// initial-estimate gates tighten to `v`'s magnitude plus
+    /// [`crate::pipeline::PRIOR_TRANSLATION_SLACK`] /
+    /// [`crate::pipeline::PRIOR_ROTATION_SLACK`], discarding front-end
+    /// estimates that disagree wildly with the expected motion.
     ///
     /// # Errors
     ///
-    /// Propagates [`RegistrationError`] from the pairwise registration,
-    /// including [`RegistrationError::UnknownBackend`] for an unresolvable
-    /// `Custom` backend.
+    /// Propagates [`RegistrationError`] from frame preparation or pairwise
+    /// matching, including [`RegistrationError::UnknownBackend`] for an
+    /// unresolvable `Custom` backend. A frame that fails to prepare is
+    /// *not* counted in [`Odometer::frames_processed`]. When a prepared
+    /// frame fails to *match* its predecessor, the new frame replaces the
+    /// predecessor as the reference (so the stream keeps going, minus the
+    /// failed pair's motion) and the velocity prior resets. A reference
+    /// frame discarded this way without ever matching successfully keeps
+    /// its preparation cost out of every result profile, so summed
+    /// `frames_prepared` counts only hold exactly on failure-free
+    /// streams.
     pub fn push(&mut self, frame: &PointCloud) -> Result<Option<OdometryStep>, RegistrationError> {
+        let mut source = prepare_frame(frame, &self.config)?;
+        // Count the frame only once it actually prepared — an empty or
+        // backend-less frame must not inflate the processed tally.
         self.frames_processed += 1;
-        let mut source = self.build_searcher(frame)?;
         let Some(mut target) = self.prev.take() else {
             self.prev = Some(source);
             return Ok(None);
         };
 
-        let mut cfg = self.config.clone();
-        if let Some(v) = self.velocity {
-            // Tighten the motion-prior gate around the expected motion.
-            cfg.max_initial_translation = cfg
-                .max_initial_translation
-                .min(v.translation_norm() + 2.0);
-            cfg.max_initial_rotation = cfg.max_initial_rotation.min(v.rotation_angle() + 0.2);
-        }
-        let result = register_with_searchers(&mut source, &mut target, &cfg)?;
+        let matched = register_prepared_with_prior(
+            &mut source,
+            &mut target,
+            &self.config,
+            self.velocity.as_ref(),
+        );
+        let result = match matched {
+            Ok(result) => result,
+            Err(err) => {
+                // The pair failed to match (e.g. starved on a degraded
+                // frame), but the new frame prepared fine — keep it as
+                // the reference so the stream continues instead of
+                // silently resetting. The failed pair's motion is simply
+                // absent from the pose chain, and the now-unreliable
+                // velocity prior is dropped.
+                self.prev = Some(source);
+                self.velocity = None;
+                return Err(err);
+            }
+        };
 
         self.velocity = Some(result.transform);
         self.pose = self.pose * result.transform;
@@ -259,5 +285,81 @@ mod tests {
         // The pair's profile contains exactly the two trees' build time
         // (smoke check: nonzero but sane).
         assert!(step.registration.profile.kd_build_time > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn failed_frames_are_not_counted_as_processed() {
+        let mut odo = Odometer::new(fast_config());
+        assert_eq!(
+            odo.push(&PointCloud::new()).unwrap_err(),
+            RegistrationError::EmptyCloud
+        );
+        assert_eq!(odo.frames_processed(), 0);
+        // A good frame afterwards is counted normally.
+        odo.push(&scene_cloud()).unwrap();
+        assert_eq!(odo.frames_processed(), 1);
+    }
+
+    #[test]
+    fn matching_failure_keeps_the_new_frame_as_reference() {
+        let world = scene_cloud();
+        let mut odo = Odometer::new(fast_config());
+        odo.push(&world).unwrap();
+        // A translated copy 500 m away: descriptors match, but the gated
+        // initial estimate collapses to identity and RPCE finds nothing
+        // within range → the pair starves.
+        let far = world
+            .transformed(&RigidTransform::from_translation(Vec3::new(500.0, 0.0, 0.0)));
+        assert_eq!(odo.push(&far).unwrap_err(), RegistrationError::IcpStarved);
+        // The frame prepared fine, so it counts — and becomes the new
+        // reference instead of silently resetting the stream.
+        assert_eq!(odo.frames_processed(), 2);
+        let delta = RigidTransform::from_translation(Vec3::new(0.05, 0.0, 0.0));
+        let step = odo.push(&far.transformed(&delta.inverse())).unwrap().expect(
+            "the push after a failed pair must register against the retained frame",
+        );
+        assert!(
+            (step.relative.translation - delta.translation).norm() < 0.05,
+            "relative {} vs {}",
+            step.relative.translation,
+            delta.translation
+        );
+        // The retained frame's preparation was still unbilled (its first
+        // match failed), so this pair bills both preparations.
+        assert_eq!(step.registration.profile.frames_prepared, 2);
+    }
+
+    #[test]
+    fn streamed_frames_prepare_once_and_reuse_afterwards() {
+        let world = scene_cloud();
+        let delta = RigidTransform::from_translation(Vec3::new(0.04, 0.01, 0.0));
+        let mut odo = Odometer::new(fast_config());
+        let mut motion = RigidTransform::IDENTITY;
+        let mut prepared = 0;
+        let mut reused = 0;
+        let frames = 5;
+        for i in 0..frames {
+            if let Some(step) = odo.push(&world.transformed(&motion.inverse())).unwrap() {
+                let p = &step.registration.profile;
+                if i == 1 {
+                    // First pair bills both frames' preparations.
+                    assert_eq!(p.frames_prepared, 2, "step {i}");
+                    assert_eq!(p.frames_reused, 0, "step {i}");
+                } else {
+                    // Later steps prepare the new frame and reuse the old.
+                    assert_eq!(p.frames_prepared, 1, "step {i}");
+                    assert_eq!(p.frames_reused, 1, "step {i}");
+                    assert!(p.prepare_time > std::time::Duration::ZERO);
+                }
+                assert!(p.match_time > std::time::Duration::ZERO);
+                prepared += p.frames_prepared;
+                reused += p.frames_reused;
+            }
+            motion = motion * delta;
+        }
+        // Across the whole run: every frame's front end ran exactly once,
+        // and every interior frame served a second registration for free.
+        assert_eq!(prepared, frames);
+        assert_eq!(reused, frames - 2);
     }
 }

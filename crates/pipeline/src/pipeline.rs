@@ -1,4 +1,22 @@
-//! End-to-end registration: the full two-phase pipeline of paper Fig. 2.
+//! End-to-end registration: the full two-phase pipeline of paper Fig. 2,
+//! split into two composable layers.
+//!
+//! * **Frame preparation** ([`prepare_frame`]) turns one cloud into a
+//!   [`PreparedFrame`]: downsampled points behind an owned
+//!   [`Searcher3`], per-point normals, key-points and descriptors —
+//!   everything about a frame that does not depend on what it is matched
+//!   against, each stage timed into the frame's [`StageProfile`].
+//! * **Pairwise matching** ([`register_prepared`]) runs KPCE →
+//!   correspondence rejection → SVD initial estimate → ICP fine-tuning
+//!   over two prepared frames.
+//!
+//! [`register`] is exactly prepare + prepare + match. The split exists
+//! for streaming workloads: in LiDAR odometry (paper Sec. 2.2) every
+//! frame is first a registration *source* and one step later the
+//! *target*, so carrying the [`PreparedFrame`] forward halves front-end
+//! work per streamed frame (see [`crate::odometry::Odometer`]); DSE
+//! sweeps that vary only matching knobs reuse preparations the same way
+//! ([`crate::dse::sweep_matching`]).
 
 use std::time::Instant;
 
@@ -6,14 +24,23 @@ use tigris_geom::{PointCloud, RigidTransform, Vec3};
 
 use crate::config::{ConfigError, RegistrationConfig, SearchBackendConfig};
 use crate::correspond::{kpce_batched, kpce_ratio_batched};
-use crate::descriptor::compute_descriptors;
-use crate::icp::IcpTermination;
+use crate::descriptor::{compute_descriptors, Descriptors};
+use crate::icp::{IcpResult, IcpTermination};
 use crate::keypoint::detect_keypoints;
 use crate::normal::estimate_normals;
 use crate::profile::{Stage, StageProfile};
 use crate::reject::reject_correspondences;
 use crate::search::Searcher3;
 use crate::transform::estimate_svd;
+
+/// Slack added to a motion prior's translation norm when tightening the
+/// initial-estimate gate (meters): consecutive frames are not expected to
+/// move more than the previous step's motion plus this.
+pub const PRIOR_TRANSLATION_SLACK: f64 = 2.0;
+
+/// Slack added to a motion prior's rotation angle when tightening the
+/// initial-estimate gate (radians); see [`PRIOR_TRANSLATION_SLACK`].
+pub const PRIOR_ROTATION_SLACK: f64 = 0.2;
 
 /// Registration failure modes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +51,11 @@ pub enum RegistrationError {
     IcpStarved,
     /// The configured `Custom` search backend is not in the registry.
     UnknownBackend(&'static str),
+    /// A [`PreparedFrame`] handed to [`register_prepared`] was prepared
+    /// under different front-end knobs than the matching config (see
+    /// [`RegistrationConfig::same_front_end`]) — its artifacts would not
+    /// be the ones this configuration describes.
+    PreparationMismatch,
 }
 
 impl std::fmt::Display for RegistrationError {
@@ -36,6 +68,10 @@ impl std::fmt::Display for RegistrationError {
             RegistrationError::UnknownBackend(name) => {
                 write!(f, "no search backend registered under {name:?}")
             }
+            RegistrationError::PreparationMismatch => write!(
+                f,
+                "a prepared frame's front-end configuration disagrees with the matching config"
+            ),
         }
     }
 }
@@ -61,7 +97,7 @@ pub struct RegistrationResult {
 }
 
 /// Builds the metered searcher a backend config selects — the single
-/// construction path shared by [`register`], the odometer, and DSE.
+/// construction path shared by [`prepare_frame`], the odometer, and DSE.
 pub(crate) fn build_searcher(
     points: &[Vec3],
     backend: &SearchBackendConfig,
@@ -73,15 +109,391 @@ pub(crate) fn build_searcher(
     })
 }
 
+/// One frame's pair-independent registration artifacts: the outputs of
+/// the front-end stages, keyed by the (downsampled) cloud they were
+/// computed over.
+struct FrontEndArtifacts {
+    /// Per-point surface normals, parallel to the searcher's cloud.
+    normals: Vec<Vec3>,
+    /// Key-point indices into the searcher's cloud, sorted ascending.
+    keypoints: Vec<usize>,
+    /// The key-points' coordinates (precomputed once so the matching
+    /// layer never re-gathers them per pair).
+    keypoint_points: Vec<Vec3>,
+    /// One descriptor row per key-point.
+    descriptors: Descriptors,
+}
+
+/// A frame run through the preparation layer: downsampled points behind
+/// an owned metered [`Searcher3`], plus normals, key-points and
+/// descriptors.
+///
+/// A `PreparedFrame` is the unit of front-end reuse: it can serve as the
+/// source of one registration and the target of the next without
+/// recomputing anything (the [`crate::odometry::Odometer`]'s streaming
+/// pattern), or be matched against many counterparts under different
+/// matching knobs ([`crate::dse::sweep_matching`]). Both frames of a
+/// pair must have been prepared with the same front-end configuration
+/// (see [`RegistrationConfig::same_front_end`]).
+///
+/// # Example
+///
+/// ```no_run
+/// use tigris_pipeline::{prepare_frame, register_prepared, RegistrationConfig};
+/// use tigris_data::{Sequence, SequenceConfig};
+///
+/// let seq = Sequence::generate(&SequenceConfig::tiny(), 7);
+/// let cfg = RegistrationConfig::default();
+/// let mut target = prepare_frame(seq.frame(0), &cfg).unwrap();
+/// let mut source = prepare_frame(seq.frame(1), &cfg).unwrap();
+/// // Identical to register(seq.frame(1), seq.frame(0), &cfg) —
+/// // but `source` and `target` remain reusable afterwards.
+/// let result = register_prepared(&mut source, &mut target, &cfg).unwrap();
+/// println!("{}", result.transform);
+/// ```
+pub struct PreparedFrame {
+    searcher: Searcher3,
+    artifacts: FrontEndArtifacts,
+    /// The configuration the frame was prepared under; its front-end
+    /// knobs must agree with the matching config
+    /// ([`RegistrationError::PreparationMismatch`] otherwise).
+    config: RegistrationConfig,
+    /// Preparation cost: front-end stage times, index build time, and the
+    /// search time/stats the front end consumed.
+    profile: StageProfile,
+    /// Whether `profile` was already merged into a registration result;
+    /// later registrations count this frame as reused instead.
+    billed: bool,
+}
+
+impl std::fmt::Debug for PreparedFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedFrame")
+            .field("points", &self.searcher.len())
+            .field("backend", &self.searcher.backend_name())
+            .field("keypoints", &self.artifacts.keypoints.len())
+            .field("descriptor_dim", &self.artifacts.descriptors.dim)
+            .field("billed", &self.billed)
+            .finish()
+    }
+}
+
+impl PreparedFrame {
+    /// The prepared (downsampled) points the artifacts were computed over.
+    pub fn points(&self) -> &[Vec3] {
+        self.searcher.points()
+    }
+
+    /// Number of prepared points.
+    pub fn len(&self) -> usize {
+        self.searcher.len()
+    }
+
+    /// `true` when the frame holds no points (never true for frames built
+    /// by [`prepare_frame`], which rejects empty clouds).
+    pub fn is_empty(&self) -> bool {
+        self.searcher.is_empty()
+    }
+
+    /// Per-point surface normals, parallel to [`PreparedFrame::points`].
+    pub fn normals(&self) -> &[Vec3] {
+        &self.artifacts.normals
+    }
+
+    /// Key-point indices into [`PreparedFrame::points`], sorted ascending.
+    pub fn keypoints(&self) -> &[usize] {
+        &self.artifacts.keypoints
+    }
+
+    /// The key-points' coordinates, parallel to
+    /// [`PreparedFrame::keypoints`].
+    pub fn keypoint_points(&self) -> &[Vec3] {
+        &self.artifacts.keypoint_points
+    }
+
+    /// The key-points' feature descriptors.
+    pub fn descriptors(&self) -> &Descriptors {
+        &self.artifacts.descriptors
+    }
+
+    /// The search backend serving this frame's queries.
+    pub fn backend_name(&self) -> &'static str {
+        self.searcher.backend_name()
+    }
+
+    /// The configuration this frame was prepared under.
+    pub fn config(&self) -> &RegistrationConfig {
+        &self.config
+    }
+
+    /// The preparation cost (front-end stage times, index build, search
+    /// meters), whether or not it was billed to a result yet.
+    pub fn prepare_profile(&self) -> &StageProfile {
+        &self.profile
+    }
+
+    /// Direct access to the owned searcher, for experiments that need
+    /// backend-specific state (query logs, accelerator meters).
+    pub fn searcher_mut(&mut self) -> &mut Searcher3 {
+        &mut self.searcher
+    }
+
+    /// First call returns the preparation profile for billing into a
+    /// result; later calls return `None` (the frame is then a *reuse*).
+    pub(crate) fn consume_preparation(&mut self) -> Option<StageProfile> {
+        if self.billed {
+            None
+        } else {
+            self.billed = true;
+            Some(self.profile.clone())
+        }
+    }
+}
+
+/// Runs the front-end stages over an already-built searcher, metering
+/// each stage and the searcher's incremental search work into `profile`.
+fn run_front_end(
+    searcher: &mut Searcher3,
+    cfg: &RegistrationConfig,
+    profile: &mut StageProfile,
+) -> FrontEndArtifacts {
+    // The config's parallelism knob governs every batched fan-out below.
+    searcher.set_parallel(cfg.parallel);
+    let search_time0 = searcher.search_time();
+    let stats0 = *searcher.stats();
+
+    // ---- Stage 1: Normal Estimation --------------------------------------
+    let t0 = Instant::now();
+    searcher.set_injection(cfg.inject_ne);
+    let normals = estimate_normals(searcher, cfg.normal_radius, cfg.normal_algorithm);
+    searcher.set_injection(None);
+    profile.add(Stage::NormalEstimation, t0.elapsed());
+
+    // ---- Stage 2: Key-point Detection ------------------------------------
+    let t0 = Instant::now();
+    let keypoints = detect_keypoints(searcher, &normals, cfg.keypoint);
+    profile.add(Stage::KeypointDetection, t0.elapsed());
+
+    // ---- Stage 3: Descriptor Calculation ---------------------------------
+    let t0 = Instant::now();
+    let descriptors = compute_descriptors(searcher, &normals, &keypoints, cfg.descriptor);
+    profile.add(Stage::DescriptorCalculation, t0.elapsed());
+
+    let keypoint_points = {
+        let pts = searcher.points();
+        keypoints.iter().map(|&i| pts[i]).collect()
+    };
+
+    // Attribute exactly the search work the front end caused — deltas, so
+    // a searcher reused across registrations never double-bills.
+    profile.kd_search_time += searcher.search_time().saturating_sub(search_time0);
+    profile.search_stats += *searcher.stats() - stats0;
+
+    FrontEndArtifacts { normals, keypoints, keypoint_points, descriptors }
+}
+
+/// Prepares one frame for registration: voxel-downsamples (per
+/// `cfg.voxel_size`), builds the configured search backend over the
+/// points, and runs normal estimation, key-point detection and
+/// descriptor calculation — each timed into the frame's profile.
+///
+/// # Errors
+///
+/// [`RegistrationError::EmptyCloud`] when the cloud is empty (or becomes
+/// empty after downsampling); [`RegistrationError::UnknownBackend`] when
+/// a `Custom` backend name is not registered.
+pub fn prepare_frame(
+    cloud: &PointCloud,
+    cfg: &RegistrationConfig,
+) -> Result<PreparedFrame, RegistrationError> {
+    let t0 = Instant::now();
+    // Downsample when configured; otherwise index the cloud's points
+    // directly (no intermediate copy on the no-downsample path).
+    let searcher = if cfg.voxel_size > 0.0 {
+        let down = cloud.voxel_downsample(cfg.voxel_size);
+        if down.points().is_empty() {
+            return Err(RegistrationError::EmptyCloud);
+        }
+        build_searcher(down.points(), &cfg.backend)?
+    } else {
+        if cloud.points().is_empty() {
+            return Err(RegistrationError::EmptyCloud);
+        }
+        build_searcher(cloud.points(), &cfg.backend)?
+    };
+    finish_preparation(searcher, cfg, t0, std::time::Duration::ZERO)
+}
+
+/// Prepares a frame over a caller-built searcher — the entry point for
+/// experiments that need hand-constructed backends or query logging on a
+/// specific frame. The searcher's points are taken as already
+/// downsampled; its build time is billed to the preparation.
+///
+/// # Errors
+///
+/// [`RegistrationError::EmptyCloud`] when the searcher indexes no points.
+pub fn prepare_frame_from_searcher(
+    searcher: Searcher3,
+    cfg: &RegistrationConfig,
+) -> Result<PreparedFrame, RegistrationError> {
+    if searcher.is_empty() {
+        return Err(RegistrationError::EmptyCloud);
+    }
+    // The index was built before this call, so its build time is added to
+    // the layer total explicitly (prepare_frame's clock covers the build
+    // because it starts before construction).
+    let build_time = searcher.build_time();
+    finish_preparation(searcher, cfg, Instant::now(), build_time)
+}
+
+fn finish_preparation(
+    mut searcher: Searcher3,
+    cfg: &RegistrationConfig,
+    t0: Instant,
+    prior_prepare_time: std::time::Duration,
+) -> Result<PreparedFrame, RegistrationError> {
+    let mut profile = StageProfile::new();
+    profile.kd_build_time += searcher.build_time();
+    let artifacts = run_front_end(&mut searcher, cfg, &mut profile);
+    profile.frames_prepared = 1;
+    profile.prepare_time = prior_prepare_time + t0.elapsed();
+    Ok(PreparedFrame { searcher, artifacts, config: cfg.clone(), profile, billed: false })
+}
+
+/// What the matching layer determines about a pair (everything in a
+/// [`RegistrationResult`] except the profile).
+struct MatchSummary {
+    initial: RigidTransform,
+    icp: IcpResult,
+    keypoints: (usize, usize),
+    inliers: usize,
+}
+
+/// KPCE → rejection → gated SVD initial estimate → ICP, over two frames'
+/// artifacts. `prior` optionally tightens the initial-estimate gates
+/// around an expected motion (the odometer's constant-velocity prior).
+fn run_match(
+    src_searcher: &mut Searcher3,
+    src: &FrontEndArtifacts,
+    tgt_searcher: &mut Searcher3,
+    tgt: &FrontEndArtifacts,
+    cfg: &RegistrationConfig,
+    prior: Option<&RigidTransform>,
+    profile: &mut StageProfile,
+) -> Result<MatchSummary, RegistrationError> {
+    src_searcher.set_parallel(cfg.parallel);
+    tgt_searcher.set_parallel(cfg.parallel);
+    let src_search_time0 = src_searcher.search_time();
+    let src_stats0 = *src_searcher.stats();
+    let tgt_search_time0 = tgt_searcher.search_time();
+    let tgt_stats0 = *tgt_searcher.stats();
+
+    // ---- Stage 4: KPCE ----------------------------------------------------
+    let t0 = Instant::now();
+    let matches = match cfg.kpce_ratio {
+        // The ratio test replaces plain NN matching (injection is an
+        // NN-path experiment and does not combine with it).
+        Some(ratio) if cfg.inject_kpce_kth.is_none() => {
+            kpce_ratio_batched(&src.descriptors, &tgt.descriptors, ratio, &cfg.parallel)
+        }
+        _ => kpce_batched(
+            &src.descriptors,
+            &tgt.descriptors,
+            cfg.kpce_reciprocal,
+            cfg.inject_kpce_kth,
+            &cfg.parallel,
+        ),
+    };
+    profile.add(Stage::Kpce, t0.elapsed());
+
+    // ---- Stage 5: Correspondence Rejection --------------------------------
+    let t0 = Instant::now();
+    let inliers = reject_correspondences(
+        &matches,
+        &src.keypoint_points,
+        &tgt.keypoint_points,
+        cfg.rejection,
+        0x7161,
+    );
+    profile.add(Stage::CorrespondenceRejection, t0.elapsed());
+
+    // ---- Initial transform -------------------------------------------------
+    let mut initial = estimate_svd(&src.keypoint_points, &tgt.keypoint_points, &inliers)
+        .unwrap_or(RigidTransform::IDENTITY);
+    // Motion-prior gate: consecutive frames cannot move this much; a
+    // violating estimate is a symmetric-scene mismatch (see config docs).
+    // An explicit prior tightens both gates around the expected motion.
+    let (max_rotation, max_translation) = match prior {
+        Some(v) => (
+            cfg.max_initial_rotation.min(v.rotation_angle() + PRIOR_ROTATION_SLACK),
+            cfg.max_initial_translation.min(v.translation_norm() + PRIOR_TRANSLATION_SLACK),
+        ),
+        None => (cfg.max_initial_rotation, cfg.max_initial_translation),
+    };
+    if initial.rotation_angle() > max_rotation || initial.translation_norm() > max_translation {
+        initial = RigidTransform::IDENTITY;
+    }
+
+    // ---- Fine-tuning: ICP ---------------------------------------------------
+    tgt_searcher.set_injection(cfg.inject_rpce);
+    let icp_result = crate::icp::icp_with_options(
+        src_searcher.points(),
+        tgt_searcher,
+        &tgt.normals,
+        initial,
+        cfg.error_metric,
+        cfg.solver,
+        cfg.max_correspondence_distance,
+        cfg.rpce_reciprocal,
+        &cfg.convergence,
+        profile,
+    );
+    tgt_searcher.set_injection(None);
+
+    if icp_result.termination == IcpTermination::Starved && icp_result.iterations <= 1 {
+        return Err(RegistrationError::IcpStarved);
+    }
+
+    // Fold the search work this match caused into the profile (deltas:
+    // reused searchers carry meters from earlier registrations).
+    profile.kd_search_time += src_searcher.search_time().saturating_sub(src_search_time0)
+        + tgt_searcher.search_time().saturating_sub(tgt_search_time0);
+    profile.search_stats += *src_searcher.stats() - src_stats0;
+    profile.search_stats += *tgt_searcher.stats() - tgt_stats0;
+
+    Ok(MatchSummary {
+        initial,
+        icp: icp_result,
+        keypoints: (src.keypoints.len(), tgt.keypoints.len()),
+        inliers: inliers.len(),
+    })
+}
+
+fn assemble_result(summary: MatchSummary, profile: StageProfile) -> RegistrationResult {
+    RegistrationResult {
+        transform: summary.icp.transform,
+        initial_transform: summary.initial,
+        profile,
+        keypoints: summary.keypoints,
+        inlier_correspondences: summary.inliers,
+        icp_iterations: summary.icp.iterations,
+    }
+}
+
 /// Registers `source` onto `target` with the given configuration,
 /// returning the transform that maps source coordinates into the target
 /// frame.
+///
+/// This is exactly [`prepare_frame`] on each cloud followed by
+/// [`register_prepared`] — streaming callers that want to reuse a
+/// frame's preparation should call those layers directly.
 ///
 /// # Errors
 ///
 /// [`RegistrationError::EmptyCloud`] when either frame is empty;
 /// [`RegistrationError::IcpStarved`] when fine-tuning cannot find any
-/// overlap.
+/// overlap; [`RegistrationError::UnknownBackend`] when the config
+/// selects an unregistered `Custom` search backend.
 ///
 /// # Example
 ///
@@ -99,26 +511,95 @@ pub fn register(
     target: &PointCloud,
     cfg: &RegistrationConfig,
 ) -> Result<RegistrationResult, RegistrationError> {
-    // Downsample; build the metered searchers once per frame.
-    let (src_pts, tgt_pts) = if cfg.voxel_size > 0.0 {
-        (
-            source.voxel_downsample(cfg.voxel_size).points().to_vec(),
-            target.voxel_downsample(cfg.voxel_size).points().to_vec(),
-        )
-    } else {
-        (source.points().to_vec(), target.points().to_vec())
-    };
-    if src_pts.is_empty() || tgt_pts.is_empty() {
-        return Err(RegistrationError::EmptyCloud);
-    }
-    let mut src_searcher = build_searcher(&src_pts, &cfg.backend)?;
-    let mut tgt_searcher = build_searcher(&tgt_pts, &cfg.backend)?;
-    register_with_searchers(&mut src_searcher, &mut tgt_searcher, cfg)
+    let mut source = prepare_frame(source, cfg)?;
+    let mut target = prepare_frame(target, cfg)?;
+    register_prepared(&mut source, &mut target, cfg)
 }
 
-/// Registration over caller-provided searchers — the entry point for
-/// experiments that need custom backends (two-stage heights, approximate
-/// search, injections on specific stages).
+/// Registers two prepared frames: KPCE → correspondence rejection → SVD
+/// initial estimate → ICP fine-tuning. The frames' front ends are *not*
+/// recomputed — that is the point of the layer.
+///
+/// Each frame's preparation cost is merged into the first *successful*
+/// registration that consumes it (`profile.frames_prepared`);
+/// subsequent registrations count it in `profile.frames_reused`
+/// instead. A failed match leaves the bill pending on the frame — it is
+/// billed if (and only if) the frame later participates in a successful
+/// match; a frame dropped before that takes its preparation cost out of
+/// the accounting entirely. Both frames must have been prepared with
+/// the same front-end knobs ([`RegistrationConfig::same_front_end`]) as
+/// `cfg`.
+///
+/// # Errors
+///
+/// [`RegistrationError::IcpStarved`] when fine-tuning cannot find any
+/// overlap; [`RegistrationError::PreparationMismatch`] when either
+/// frame was prepared under different front-end knobs than `cfg`;
+/// [`RegistrationError::EmptyCloud`] for empty frames (only reachable
+/// with hand-built searchers via [`prepare_frame_from_searcher`], which
+/// itself rejects them).
+pub fn register_prepared(
+    source: &mut PreparedFrame,
+    target: &mut PreparedFrame,
+    cfg: &RegistrationConfig,
+) -> Result<RegistrationResult, RegistrationError> {
+    register_prepared_with_prior(source, target, cfg, None)
+}
+
+/// [`register_prepared`] with an explicit motion prior: the expected
+/// source→target motion (e.g. the odometer's previous step). When given,
+/// the initial-estimate gates tighten to the prior's magnitude plus
+/// [`PRIOR_TRANSLATION_SLACK`] / [`PRIOR_ROTATION_SLACK`], rejecting
+/// front-end estimates that disagree wildly with the expected motion.
+///
+/// # Errors
+///
+/// As [`register_prepared`].
+pub fn register_prepared_with_prior(
+    source: &mut PreparedFrame,
+    target: &mut PreparedFrame,
+    cfg: &RegistrationConfig,
+    prior: Option<&RigidTransform>,
+) -> Result<RegistrationResult, RegistrationError> {
+    if source.is_empty() || target.is_empty() {
+        return Err(RegistrationError::EmptyCloud);
+    }
+    // Mismatched front ends would feed this config artifacts it does not
+    // describe (different descriptors, radii, backends) — fail typed
+    // instead of panicking deep in KPCE or silently degrading.
+    if !source.config.same_front_end(cfg) || !target.config.same_front_end(cfg) {
+        return Err(RegistrationError::PreparationMismatch);
+    }
+    let mut profile = StageProfile::new();
+    let t0 = Instant::now();
+    let summary = run_match(
+        &mut source.searcher,
+        &source.artifacts,
+        &mut target.searcher,
+        &target.artifacts,
+        cfg,
+        prior,
+        &mut profile,
+    )?;
+    profile.match_time += t0.elapsed();
+    // Bill each frame's preparation to the first *successful* result that
+    // uses it (a failed match leaves the bill pending); afterwards the
+    // frame counts as a front-end reuse.
+    for frame in [&mut *source, &mut *target] {
+        match frame.consume_preparation() {
+            Some(prep) => profile.merge(&prep),
+            None => profile.frames_reused += 1,
+        }
+    }
+    Ok(assemble_result(summary, profile))
+}
+
+/// Registration over caller-provided searchers — the borrowed-searcher
+/// escape hatch for experiments that need query logging or
+/// backend-specific metering on both frames and the searchers back
+/// afterwards. Runs the same preparation and matching layers as
+/// [`register`], with both front ends computed fresh on every call; for
+/// streaming reuse hold [`PreparedFrame`]s instead.
 pub fn register_with_searchers(
     src_searcher: &mut Searcher3,
     tgt_searcher: &mut Searcher3,
@@ -127,107 +608,22 @@ pub fn register_with_searchers(
     if src_searcher.is_empty() || tgt_searcher.is_empty() {
         return Err(RegistrationError::EmptyCloud);
     }
-    // The config's parallelism knob governs every batched fan-out below,
-    // including searches through caller-provided searchers.
-    src_searcher.set_parallel(cfg.parallel);
-    tgt_searcher.set_parallel(cfg.parallel);
     let mut profile = StageProfile::new();
     profile.kd_build_time += src_searcher.build_time() + tgt_searcher.build_time();
 
-    let src_pts: Vec<Vec3> = src_searcher.points().to_vec();
-    let tgt_pts: Vec<Vec3> = tgt_searcher.points().to_vec();
-
-    // ---- Stage 1: Normal Estimation (both frames) ----------------------
     let t0 = Instant::now();
-    src_searcher.set_injection(cfg.inject_ne);
-    tgt_searcher.set_injection(cfg.inject_ne);
-    let src_normals = estimate_normals(src_searcher, cfg.normal_radius, cfg.normal_algorithm);
-    let tgt_normals = estimate_normals(tgt_searcher, cfg.normal_radius, cfg.normal_algorithm);
-    src_searcher.set_injection(None);
-    tgt_searcher.set_injection(None);
-    profile.add(Stage::NormalEstimation, t0.elapsed());
+    let src_art = run_front_end(src_searcher, cfg, &mut profile);
+    let tgt_art = run_front_end(tgt_searcher, cfg, &mut profile);
+    profile.frames_prepared += 2;
+    // Index builds happened before this call but belong to the
+    // preparation layer, same as on the PreparedFrame path.
+    profile.prepare_time += t0.elapsed() + profile.kd_build_time;
 
-    // ---- Stage 2: Key-point Detection -----------------------------------
     let t0 = Instant::now();
-    let src_kp = detect_keypoints(src_searcher, &src_normals, cfg.keypoint);
-    let tgt_kp = detect_keypoints(tgt_searcher, &tgt_normals, cfg.keypoint);
-    profile.add(Stage::KeypointDetection, t0.elapsed());
-
-    // ---- Stage 3: Descriptor Calculation ---------------------------------
-    let t0 = Instant::now();
-    let src_desc = compute_descriptors(src_searcher, &src_normals, &src_kp, cfg.descriptor);
-    let tgt_desc = compute_descriptors(tgt_searcher, &tgt_normals, &tgt_kp, cfg.descriptor);
-    profile.add(Stage::DescriptorCalculation, t0.elapsed());
-
-    // ---- Stage 4: KPCE ----------------------------------------------------
-    let t0 = Instant::now();
-    let matches = match cfg.kpce_ratio {
-        // The ratio test replaces plain NN matching (injection is an
-        // NN-path experiment and does not combine with it).
-        Some(ratio) if cfg.inject_kpce_kth.is_none() => {
-            kpce_ratio_batched(&src_desc, &tgt_desc, ratio, &cfg.parallel)
-        }
-        _ => kpce_batched(
-            &src_desc,
-            &tgt_desc,
-            cfg.kpce_reciprocal,
-            cfg.inject_kpce_kth,
-            &cfg.parallel,
-        ),
-    };
-    profile.add(Stage::Kpce, t0.elapsed());
-
-    // ---- Stage 5: Correspondence Rejection --------------------------------
-    let t0 = Instant::now();
-    let src_kp_pts: Vec<Vec3> = src_kp.iter().map(|&i| src_pts[i]).collect();
-    let tgt_kp_pts: Vec<Vec3> = tgt_kp.iter().map(|&i| tgt_pts[i]).collect();
-    let inliers = reject_correspondences(&matches, &src_kp_pts, &tgt_kp_pts, cfg.rejection, 0x7161);
-    profile.add(Stage::CorrespondenceRejection, t0.elapsed());
-
-    // ---- Initial transform -------------------------------------------------
-    let mut initial = estimate_svd(&src_kp_pts, &tgt_kp_pts, &inliers)
-        .unwrap_or(RigidTransform::IDENTITY);
-    // Motion-prior gate: consecutive frames cannot move this much; a
-    // violating estimate is a symmetric-scene mismatch (see config docs).
-    if initial.rotation_angle() > cfg.max_initial_rotation
-        || initial.translation_norm() > cfg.max_initial_translation
-    {
-        initial = RigidTransform::IDENTITY;
-    }
-
-    // ---- Fine-tuning: ICP ---------------------------------------------------
-    tgt_searcher.set_injection(cfg.inject_rpce);
-    let icp_result = crate::icp::icp_with_options(
-        &src_pts,
-        tgt_searcher,
-        &tgt_normals,
-        initial,
-        cfg.error_metric,
-        cfg.solver,
-        cfg.max_correspondence_distance,
-        cfg.rpce_reciprocal,
-        &cfg.convergence,
-        &mut profile,
-    );
-    tgt_searcher.set_injection(None);
-
-    if icp_result.termination == IcpTermination::Starved && icp_result.iterations <= 1 {
-        return Err(RegistrationError::IcpStarved);
-    }
-
-    // Fold searcher meters into the profile.
-    profile.kd_search_time += src_searcher.search_time() + tgt_searcher.search_time();
-    profile.search_stats += *src_searcher.stats();
-    profile.search_stats += *tgt_searcher.stats();
-
-    Ok(RegistrationResult {
-        transform: icp_result.transform,
-        initial_transform: initial,
-        profile,
-        keypoints: (src_kp.len(), tgt_kp.len()),
-        inlier_correspondences: inliers.len(),
-        icp_iterations: icp_result.iterations,
-    })
+    let summary =
+        run_match(src_searcher, &src_art, tgt_searcher, &tgt_art, cfg, None, &mut profile)?;
+    profile.match_time += t0.elapsed();
+    Ok(assemble_result(summary, profile))
 }
 
 #[cfg(test)]
@@ -438,5 +834,57 @@ mod tests {
         assert!(!RegistrationError::EmptyCloud.to_string().is_empty());
         assert!(!RegistrationError::IcpStarved.to_string().is_empty());
         assert!(RegistrationError::UnknownBackend("x").to_string().contains('x'));
+        assert!(!RegistrationError::PreparationMismatch.to_string().is_empty());
+    }
+
+    #[test]
+    fn mismatched_preparations_fail_typed() {
+        let cloud = scene_cloud();
+        let cfg = fast_config();
+        let mut other = fast_config();
+        other.normal_radius += 0.3;
+        let mut source = prepare_frame(&cloud, &cfg).unwrap();
+        let mut target = prepare_frame(&cloud, &other).unwrap();
+        // Frame prepared under different front-end knobs → typed error,
+        // whichever side mismatches the matching config.
+        assert_eq!(
+            register_prepared(&mut source, &mut target, &cfg).unwrap_err(),
+            RegistrationError::PreparationMismatch
+        );
+        assert_eq!(
+            register_prepared(&mut source, &mut target, &other).unwrap_err(),
+            RegistrationError::PreparationMismatch
+        );
+        // Matching-only knob changes are fine on compatible frames.
+        let mut target = prepare_frame(&cloud, &cfg).unwrap();
+        let mut matching_only = cfg.clone();
+        matching_only.max_correspondence_distance = 2.0;
+        assert!(register_prepared(&mut source, &mut target, &matching_only).is_ok());
+    }
+
+    #[test]
+    fn failed_match_leaves_preparations_billable() {
+        let target_cloud = scene_cloud();
+        let gt = RigidTransform::from_translation(Vec3::new(0.2, 0.0, 0.0));
+        let source_cloud = target_cloud.transformed(&gt.inverse());
+        let cfg = fast_config();
+        let mut source = prepare_frame(&source_cloud, &cfg).unwrap();
+        let mut target = prepare_frame(&target_cloud, &cfg).unwrap();
+
+        // A matching-only knob that guarantees starvation: RPCE can find
+        // nothing within a nanometer.
+        let mut starving = cfg.clone();
+        starving.max_correspondence_distance = 1e-9;
+        assert_eq!(
+            register_prepared(&mut source, &mut target, &starving).unwrap_err(),
+            RegistrationError::IcpStarved
+        );
+
+        // The failed attempt must not consume the preparation bills: the
+        // first successful match still accounts both front ends.
+        let result = register_prepared(&mut source, &mut target, &cfg).unwrap();
+        assert_eq!(result.profile.frames_prepared, 2);
+        assert_eq!(result.profile.frames_reused, 0);
+        assert!(result.profile.prepare_time > std::time::Duration::ZERO);
     }
 }

@@ -69,6 +69,22 @@ pub struct StageProfile {
     pub search_stats: SearchStats,
     /// ICP iterations executed.
     pub icp_iterations: usize,
+    /// Wall-clock spent in the frame-preparation layer (downsample,
+    /// index build, NE, key-points, descriptors) attributed to this
+    /// result. A reused [`crate::PreparedFrame`] contributes nothing
+    /// here — its preparation was billed to the result that first
+    /// consumed it.
+    pub prepare_time: Duration,
+    /// Wall-clock spent in the pairwise-matching layer (KPCE, rejection,
+    /// initial transform, ICP).
+    pub match_time: Duration,
+    /// Frames whose front end (NE / key-points / descriptors) was computed
+    /// as part of this result.
+    pub frames_prepared: usize,
+    /// Frames that entered the matching layer as already-prepared
+    /// artifacts, so their front end did **not** run again — the streaming
+    /// odometer's reuse counter.
+    pub frames_reused: usize,
 }
 
 impl StageProfile {
@@ -136,6 +152,23 @@ impl StageProfile {
         self.kd_build_time += other.kd_build_time;
         self.search_stats += other.search_stats;
         self.icp_iterations += other.icp_iterations;
+        self.prepare_time += other.prepare_time;
+        self.match_time += other.match_time;
+        self.frames_prepared += other.frames_prepared;
+        self.frames_reused += other.frames_reused;
+    }
+
+    /// Fraction of prepare + match wall-clock spent preparing frames
+    /// (0 when neither layer recorded time). With full reuse a streamed
+    /// frame pays one preparation instead of two, which is what pushes
+    /// this fraction — and the overall frame time — down.
+    pub fn prepare_fraction(&self) -> f64 {
+        let total = (self.prepare_time + self.match_time).as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.prepare_time.as_secs_f64() / total
+        }
     }
 }
 
@@ -159,6 +192,15 @@ impl fmt::Display for StageProfile {
             self.kd_build_time,
             self.kd_build_fraction() * 100.0,
             self.icp_iterations
+        )?;
+        writeln!(
+            f,
+            "  prepare {:?} ({:.1}%), match {:?}; frames prepared {}, reused {}",
+            self.prepare_time,
+            self.prepare_fraction() * 100.0,
+            self.match_time,
+            self.frames_prepared,
+            self.frames_reused
         )
     }
 }
@@ -212,14 +254,32 @@ mod tests {
         let mut a = StageProfile::new();
         a.add(Stage::Kpce, Duration::from_millis(5));
         a.icp_iterations = 3;
+        a.frames_prepared = 1;
         let mut b = StageProfile::new();
         b.add(Stage::Kpce, Duration::from_millis(7));
         b.kd_search_time = Duration::from_millis(2);
         b.icp_iterations = 4;
+        b.prepare_time = Duration::from_millis(9);
+        b.match_time = Duration::from_millis(3);
+        b.frames_prepared = 1;
+        b.frames_reused = 2;
         a.merge(&b);
         assert_eq!(a.time(Stage::Kpce), Duration::from_millis(12));
         assert_eq!(a.kd_search_time, Duration::from_millis(2));
         assert_eq!(a.icp_iterations, 7);
+        assert_eq!(a.prepare_time, Duration::from_millis(9));
+        assert_eq!(a.match_time, Duration::from_millis(3));
+        assert_eq!(a.frames_prepared, 2);
+        assert_eq!(a.frames_reused, 2);
+    }
+
+    #[test]
+    fn prepare_fraction_splits_the_two_layers() {
+        let mut p = StageProfile::new();
+        assert_eq!(p.prepare_fraction(), 0.0);
+        p.prepare_time = Duration::from_millis(30);
+        p.match_time = Duration::from_millis(70);
+        assert!((p.prepare_fraction() - 0.3).abs() < 1e-9);
     }
 
     #[test]

@@ -16,6 +16,15 @@
 //! The pipeline above this seam never learns which structure served its
 //! queries; new backends plug in through the registry without touching
 //! this file.
+//!
+//! In pipeline runs the searcher is owned by the
+//! [`crate::PreparedFrame`] built over its cloud, so a streamed frame's
+//! index (like the rest of its front end) is built exactly once and
+//! rides along as the frame moves from registration source to target.
+//! The meters accumulate monotonically across those uses — per-result
+//! attribution subtracts snapshots ([`Searcher3::search_time`],
+//! [`Searcher3::stats`]), which is why `tigris_core::SearchStats`
+//! implements `Sub`.
 
 use std::time::{Duration, Instant};
 

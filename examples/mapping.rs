@@ -12,7 +12,7 @@
 use tigris::core::KdTree;
 use tigris::data::{write_xyz, Sequence, SequenceConfig};
 use tigris::geom::{PointCloud, RigidTransform};
-use tigris::pipeline::{register, RegistrationConfig};
+use tigris::pipeline::{prepare_frame, register_prepared, RegistrationConfig};
 
 fn main() {
     let mut cfg = SequenceConfig::medium();
@@ -21,20 +21,28 @@ fn main() {
     let seq = Sequence::generate(&cfg, 99);
 
     // Chain pairwise registrations into world poses (frame 0 = world).
+    // Every frame is the source of one pair and the target of the next,
+    // so prepare each frame once and carry the preparation forward —
+    // identical results to register() per pair, at half the front-end
+    // work for every interior frame.
     let reg_cfg = RegistrationConfig::default();
     let mut poses = vec![RigidTransform::IDENTITY];
+    let mut prev = prepare_frame(seq.frame(0), &reg_cfg).expect("prepare failed");
     for i in 0..seq.len() - 1 {
+        let mut next = prepare_frame(seq.frame(i + 1), &reg_cfg).expect("prepare failed");
         let result =
-            register(seq.frame(i + 1), seq.frame(i), &reg_cfg).expect("registration failed");
+            register_prepared(&mut next, &mut prev, &reg_cfg).expect("registration failed");
         let pose = *poses.last().unwrap() * result.transform;
         println!(
-            "frame {} -> {}: |t| = {:.3} m, {} ICP iterations",
+            "frame {} -> {}: |t| = {:.3} m, {} ICP iterations, {} front end(s) reused",
             i + 1,
             i,
             result.transform.translation_norm(),
-            result.icp_iterations
+            result.icp_iterations,
+            result.profile.frames_reused
         );
         poses.push(pose);
+        prev = next;
     }
 
     // Merge all frames into one map, downsampled for compactness.

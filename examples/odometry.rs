@@ -2,8 +2,10 @@
 //! application (Sec. 2.2): estimate the vehicle's trajectory by
 //! registering consecutive frames, then score it with the KITTI metrics.
 //!
-//! Uses the [`Odometer`] API: frame-at-a-time consumption, one KD-tree
-//! build per frame, and a constant-velocity motion prior.
+//! Uses the [`Odometer`] API: frame-at-a-time consumption, one *frame
+//! preparation* (KD-tree build + normals + key-points + descriptors) per
+//! frame — each step reuses the previous frame's `PreparedFrame` instead
+//! of recomputing its front end — and a constant-velocity motion prior.
 //!
 //! Run with:
 //! ```text
@@ -33,13 +35,16 @@ fn main() {
             Some(step) => {
                 let gt = seq.ground_truth_relative(i - 1);
                 println!(
-                    "  {} → {}: est |t| = {:.3} m, gt |t| = {:.3} m, {} ICP iters, kd-search {:.0}%",
+                    "  {} → {}: est |t| = {:.3} m, gt |t| = {:.3} m, {} ICP iters, \
+                     kd-search {:.0}%, prepared {} frame(s) / reused {}",
                     i,
                     i - 1,
                     step.relative.translation_norm(),
                     gt.translation_norm(),
                     step.registration.icp_iterations,
-                    step.registration.profile.kd_search_fraction() * 100.0
+                    step.registration.profile.kd_search_fraction() * 100.0,
+                    step.registration.profile.frames_prepared,
+                    step.registration.profile.frames_reused
                 );
                 estimates.push(step.relative);
                 gts.push(gt);

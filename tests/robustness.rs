@@ -63,8 +63,13 @@ fn single_point_and_two_point_clouds() {
         match register(a, b, &fast_config()) {
             Ok(r) => assert!(r.transform.translation.is_finite()),
             Err(RegistrationError::EmptyCloud | RegistrationError::IcpStarved) => {}
-            Err(e @ RegistrationError::UnknownBackend(_)) => {
-                panic!("built-in backend cannot be unknown: {e}")
+            Err(
+                e @ (RegistrationError::UnknownBackend(_)
+                | RegistrationError::PreparationMismatch),
+            ) => {
+                // register() prepares both frames under the one config
+                // with a built-in backend; neither error is reachable.
+                panic!("impossible for register() with a built-in backend: {e}")
             }
         }
     }
