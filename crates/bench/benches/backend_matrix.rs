@@ -2,10 +2,10 @@
 //! `SearchIndex` registry makes possible without per-backend copy-paste.
 //!
 //! The same NN and radius query streams run against every backend the
-//! registry knows: the four built-ins (`classic`, `two-stage`,
-//! `two-stage-approx`, `brute-force`) plus the accelerator registered by
-//! `tigris-accel`. Adding a backend to the registry adds it to this matrix
-//! automatically.
+//! registry knows: the five built-ins (`classic`, `two-stage`,
+//! `two-stage-approx`, `brute-force`, `dynamic`) plus the accelerator
+//! registered by `tigris-accel`. Adding a backend to the registry adds it
+//! to this matrix automatically.
 //!
 //! ```text
 //! cargo bench -p tigris-bench --bench backend_matrix

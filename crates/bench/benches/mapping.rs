@@ -1,0 +1,40 @@
+//! Dynamic-map-index throughput: interleaved insert+query streams through
+//! `DynamicMapIndex` vs. the naive rebuild-per-insert baseline.
+//!
+//! Besides the human-readable comparison, the run emits a
+//! machine-readable baseline (`BENCH_mapping.json` by default, or the
+//! path in `$BENCH_MAPPING_JSON`) that CI archives per commit, so
+//! map-maintenance regressions show up as a diffable number.
+//!
+//! ```text
+//! cargo bench -p tigris-bench --bench mapping
+//! TIGRIS_MAP_POINTS=8000 cargo bench -p tigris-bench --bench mapping
+//! ```
+
+use tigris_bench::env_usize;
+use tigris_bench::mapping::run_insert_query_comparison;
+
+fn main() {
+    let points = env_usize("TIGRIS_MAP_POINTS", 4000);
+    let every = env_usize("TIGRIS_MAP_QUERY_EVERY", 8);
+    let runs = env_usize("TIGRIS_MAP_RUNS", 3);
+    println!(
+        "== dynamic map index: {points} single-point inserts, queries every {every}, best of {runs} =="
+    );
+
+    let result = run_insert_query_comparison(points, every, 42, runs);
+    println!(
+        "dynamic index   {:>12.0} ops/s  ({:?} total, {} merge rebuilds)",
+        result.dynamic_ops_per_s, result.dynamic_time, result.dynamic_rebuilds
+    );
+    println!(
+        "rebuild/insert  {:>12.0} ops/s  ({:?} total, {} full rebuilds)",
+        result.naive_ops_per_s, result.naive_time, result.points
+    );
+    println!("speedup         {:>12.3}x  (answers verified bit-identical)", result.speedup);
+
+    let path =
+        std::env::var("BENCH_MAPPING_JSON").unwrap_or_else(|_| "BENCH_mapping.json".to_string());
+    std::fs::write(&path, result.to_json()).expect("writing the JSON baseline failed");
+    println!("baseline written to {path}");
+}

@@ -11,11 +11,8 @@
 //! TIGRIS_ODO_FRAMES=10 cargo bench -p tigris-bench --bench odometry
 //! ```
 
+use tigris_bench::env_usize;
 use tigris_bench::odometry::run_streaming_comparison;
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
 
 fn main() {
     let frames = env_usize("TIGRIS_ODO_FRAMES", 6);

@@ -15,6 +15,14 @@
 //! simulator itself).
 
 pub mod figures;
+pub mod mapping;
 pub mod odometry;
 pub mod plot;
 pub mod workload;
+
+/// Reads a `usize` knob from the environment, falling back to `default`
+/// when unset or unparsable — the shared configuration hook of the bench
+/// binaries (`TIGRIS_ODO_FRAMES`, `TIGRIS_MAP_POINTS`, …).
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}

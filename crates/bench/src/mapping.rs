@@ -1,0 +1,168 @@
+//! Dynamic-map-index throughput measurement: interleaved insert+query
+//! streams through `tigris_core::DynamicMapIndex` against the naive
+//! rebuild-per-insert baseline a mapper without it would pay.
+//!
+//! The same logic backs `benches/mapping.rs` (which also emits the
+//! machine-readable `BENCH_mapping.json` baseline in CI) and the
+//! release-scale acceptance test `tests/mapping_speedup.rs` (the dynamic
+//! index must deliver ≥3× insert+query throughput).
+
+use std::time::{Duration, Instant};
+
+use tigris_core::{DynamicMapIndex, KdTree, Neighbor};
+use tigris_geom::Vec3;
+
+use crate::workload::huge_frame_pair;
+
+/// Radius used by the interleaved radius queries (meters; matches the
+/// pipeline's correspondence-distance scale).
+const QUERY_RADIUS: f64 = 1.5;
+
+/// One dynamic-vs-naive insert+query comparison over the same stream.
+#[derive(Debug, Clone)]
+pub struct MappingBenchResult {
+    /// Points inserted (one at a time, the mapping stream's shape).
+    pub points: usize,
+    /// Interleaved queries run (one NN + one radius each time).
+    pub queries: usize,
+    /// Best-of-N wall-clock for the dynamic index.
+    pub dynamic_time: Duration,
+    /// Best-of-N wall-clock rebuilding a KD-tree on every insert.
+    pub naive_time: Duration,
+    /// Insert+query operations per second, dynamic path.
+    pub dynamic_ops_per_s: f64,
+    /// Insert+query operations per second, naive path.
+    pub naive_ops_per_s: f64,
+    /// `dynamic_ops_per_s / naive_ops_per_s`.
+    pub speedup: f64,
+    /// Merge rebuilds the dynamic index performed (vs. `points` naive
+    /// rebuilds).
+    pub dynamic_rebuilds: usize,
+}
+
+impl MappingBenchResult {
+    /// The machine-readable baseline emitted by CI (`BENCH_mapping.json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"mapping_dynamic_index\",\n  \"points\": {},\n  \
+             \"queries\": {},\n  \"dynamic_seconds\": {:.6},\n  \
+             \"naive_seconds\": {:.6},\n  \"dynamic_ops_per_s\": {:.1},\n  \
+             \"naive_ops_per_s\": {:.1},\n  \"speedup\": {:.3},\n  \
+             \"dynamic_rebuilds\": {}\n}}\n",
+            self.points,
+            self.queries,
+            self.dynamic_time.as_secs_f64(),
+            self.naive_time.as_secs_f64(),
+            self.dynamic_ops_per_s,
+            self.naive_ops_per_s,
+            self.speedup,
+            self.dynamic_rebuilds,
+        )
+    }
+}
+
+/// Answers collected along a run, for the cross-path equivalence check.
+type Answers = (Vec<Option<Neighbor>>, Vec<usize>);
+
+fn run_dynamic(stream: &[Vec3], queries: &[Vec3], every: usize) -> (Duration, usize, Answers) {
+    let mut index = DynamicMapIndex::new();
+    let mut nn_out = Vec::new();
+    let mut radius_out = Vec::new();
+    let mut qi = 0usize;
+    let t0 = Instant::now();
+    for (i, &p) in stream.iter().enumerate() {
+        index.insert(p);
+        if (i + 1).is_multiple_of(every) {
+            let q = queries[qi % queries.len()];
+            qi += 1;
+            nn_out.push(index.nn_query(q));
+            radius_out.push(index.radius_query(q, QUERY_RADIUS).len());
+        }
+    }
+    (t0.elapsed(), index.rebuilds(), (nn_out, radius_out))
+}
+
+fn run_naive(stream: &[Vec3], queries: &[Vec3], every: usize) -> (Duration, Answers) {
+    let mut points: Vec<Vec3> = Vec::with_capacity(stream.len());
+    let mut nn_out = Vec::new();
+    let mut radius_out = Vec::new();
+    let mut qi = 0usize;
+    let t0 = Instant::now();
+    for (i, &p) in stream.iter().enumerate() {
+        points.push(p);
+        // The whole point of the dynamic index: without it, serving exact
+        // queries over a growing map means rebuilding the tree per insert.
+        let tree = KdTree::build(&points);
+        if (i + 1).is_multiple_of(every) {
+            let q = queries[qi % queries.len()];
+            qi += 1;
+            nn_out.push(tree.nn(q));
+            radius_out.push(tree.radius(q, QUERY_RADIUS).len());
+        }
+    }
+    (t0.elapsed(), (nn_out, radius_out))
+}
+
+/// Streams `points` single-point inserts (with one NN + one radius query
+/// every `queries_every` inserts) through the dynamic index and the
+/// rebuild-per-insert baseline, best-of-`runs` each, asserting the two
+/// paths answer every query bit-identically.
+pub fn run_insert_query_comparison(
+    points: usize,
+    queries_every: usize,
+    seed: u64,
+    runs: usize,
+) -> MappingBenchResult {
+    assert!(points > 0 && queries_every > 0 && runs >= 1);
+    let (stream, queries) = huge_frame_pair(points, seed);
+    let stream = &stream[..points];
+
+    // Warm-up + correctness: the dynamic index must answer exactly like
+    // the from-scratch rebuild at every interleaving point.
+    let (_, rebuilds, dynamic_answers) = run_dynamic(stream, &queries, queries_every);
+    let (_, naive_answers) = run_naive(stream, &queries, queries_every);
+    assert_eq!(
+        dynamic_answers, naive_answers,
+        "dynamic index diverged from the rebuild-per-insert oracle"
+    );
+
+    let dynamic_time = (0..runs)
+        .map(|_| run_dynamic(stream, &queries, queries_every).0)
+        .min()
+        .expect("runs >= 1");
+    let naive_time =
+        (0..runs).map(|_| run_naive(stream, &queries, queries_every).0).min().expect("runs >= 1");
+
+    let n_queries = dynamic_answers.0.len();
+    let ops = (points + n_queries) as f64;
+    let dynamic_ops_per_s = ops / dynamic_time.as_secs_f64();
+    let naive_ops_per_s = ops / naive_time.as_secs_f64();
+    MappingBenchResult {
+        points,
+        queries: n_queries,
+        dynamic_time,
+        naive_time,
+        dynamic_ops_per_s,
+        naive_ops_per_s,
+        speedup: dynamic_ops_per_s / naive_ops_per_s,
+        dynamic_rebuilds: rebuilds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_comparison_matches_and_reports() {
+        // Small scale: correctness of the equivalence check and counters,
+        // not timing.
+        let result = run_insert_query_comparison(600, 7, 11, 1);
+        assert_eq!(result.points, 600);
+        assert_eq!(result.queries, 600 / 7);
+        assert!(result.dynamic_ops_per_s > 0.0 && result.naive_ops_per_s > 0.0);
+        let json = result.to_json();
+        assert!(json.contains("\"speedup\""), "{json}");
+        assert!(json.contains("\"points\": 600"), "{json}");
+    }
+}

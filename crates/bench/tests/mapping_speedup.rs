@@ -1,0 +1,41 @@
+//! Release-scale acceptance test for the dynamic map index: interleaved
+//! insert+query throughput must be at least 3× the rebuild-per-insert
+//! baseline, with bit-identical answers. Holds on any host — the dynamic
+//! index does asymptotically less rebuild work per insert, independent of
+//! core count.
+//!
+//! ```text
+//! cargo test -p tigris-bench --release --test mapping_speedup -- --ignored
+//! ```
+
+use tigris_bench::mapping::run_insert_query_comparison;
+
+#[test]
+#[ignore = "release-scale workload"]
+fn dynamic_index_delivers_3x_insert_query_throughput() {
+    let result = run_insert_query_comparison(4000, 8, 42, 3);
+    eprintln!(
+        "dynamic {:.0} ops/s ({:?}, {} rebuilds) vs naive {:.0} ops/s ({:?}): {:.2}x",
+        result.dynamic_ops_per_s,
+        result.dynamic_time,
+        result.dynamic_rebuilds,
+        result.naive_ops_per_s,
+        result.naive_time,
+        result.speedup
+    );
+    // Structural sanity: buffering really did avoid most rebuilds.
+    assert!(
+        result.dynamic_rebuilds * 100 <= result.points,
+        "{} rebuilds for {} inserts — the fresh buffer is not amortizing",
+        result.dynamic_rebuilds,
+        result.points
+    );
+    assert!(
+        result.speedup >= 3.0,
+        "dynamic-index speedup {:.2}x below the 3x acceptance floor \
+         (dynamic {:?} vs naive {:?})",
+        result.speedup,
+        result.dynamic_time,
+        result.naive_time
+    );
+}

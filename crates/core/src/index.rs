@@ -13,7 +13,7 @@
 //!   pipeline's `Searcher3` can hold a `Box<dyn SearchIndex>` and new
 //!   backends plug in without touching the pipeline.
 //! * [`register_backend`]/[`build_backend`]/[`backend_names`] — a
-//!   process-wide registry of named backend factories. The four built-in
+//!   process-wide registry of named backend factories. The five built-in
 //!   backends are pre-registered; external crates (e.g. `tigris-accel`'s
 //!   online accelerator backend) add their own.
 //!
@@ -43,6 +43,7 @@ use std::sync::{OnceLock, RwLock};
 use crate::approx::ApproxIndex;
 use crate::batch::{BatchConfig, BatchSearcher};
 use crate::bruteforce::BruteForceIndex;
+use crate::dynamic::DynamicMapIndex;
 use crate::twostage::default_top_height;
 use crate::{ApproxConfig, KdTree, Neighbor, SearchStats, TwoStageKdTree};
 use tigris_geom::Vec3;
@@ -70,6 +71,7 @@ pub struct IndexSize {
 /// | `"two-stage"` | [`TwoStageKdTree`] | exact |
 /// | `"two-stage-approx"` | [`ApproxIndex`] | Algorithm-1 approximate |
 /// | `"brute-force"` | [`BruteForceIndex`] | exact (oracle) |
+/// | `"dynamic"` | [`DynamicMapIndex`] | exact, insertable |
 /// | `"accelerator"` | `tigris-accel`'s `AccelBackend` | exact or approximate |
 ///
 /// Methods take `&mut self` so stateful backends (approximate leader
@@ -442,6 +444,7 @@ fn registry() -> &'static RwLock<BTreeMap<String, BackendFactory>> {
             Box::new(|pts| Box::new(ApproxIndex::from_points(pts))),
         );
         map.insert("brute-force".into(), Box::new(|pts| Box::new(BruteForceIndex::from_points(pts))));
+        map.insert("dynamic".into(), Box::new(|pts| Box::new(DynamicMapIndex::from_points(pts))));
         RwLock::new(map)
     })
 }
@@ -452,8 +455,8 @@ fn registry() -> &'static RwLock<BTreeMap<String, BackendFactory>> {
 /// through this registry. Returns `true` when the name was new, `false`
 /// when an existing factory was replaced.
 ///
-/// The four built-in backends (`"classic"`, `"two-stage"`,
-/// `"two-stage-approx"`, `"brute-force"`) are pre-registered;
+/// The five built-in backends (`"classic"`, `"two-stage"`,
+/// `"two-stage-approx"`, `"brute-force"`, `"dynamic"`) are pre-registered;
 /// `tigris-accel` registers `"accelerator"` via
 /// `register_accelerator_backend()`.
 pub fn register_backend(
@@ -489,7 +492,7 @@ mod tests {
     #[test]
     fn builtins_are_registered() {
         let names = backend_names();
-        for builtin in ["classic", "two-stage", "two-stage-approx", "brute-force"] {
+        for builtin in ["classic", "two-stage", "two-stage-approx", "brute-force", "dynamic"] {
             assert!(names.iter().any(|n| n == builtin), "{builtin} missing from {names:?}");
         }
     }
@@ -497,7 +500,7 @@ mod tests {
     #[test]
     fn built_backends_report_their_registered_name() {
         let pts = grid(200);
-        for name in ["classic", "two-stage", "two-stage-approx", "brute-force"] {
+        for name in ["classic", "two-stage", "two-stage-approx", "brute-force", "dynamic"] {
             let index = build_backend(name, &pts).unwrap();
             assert_eq!(index.name(), name);
             assert_eq!(index.len(), 200);

@@ -18,6 +18,9 @@
 //! * [`inject`] — the error-injection instruments of Sec. 4.2 (return the
 //!   k-th nearest neighbor; return a `<r1, r2>` shell instead of a ball),
 //!   used to quantify the pipeline's tolerance to inexact search.
+//! * [`dynamic`] — the incrementally insertable [`DynamicMapIndex`] (static
+//!   tree + fresh-points buffer, merged by periodic rebuild) that mapping
+//!   workloads insert into as the map grows, registered as `"dynamic"`.
 //! * [`KdTreeN`] — a k-dimensional KD-tree for feature-space search (KPCE
 //!   matches FPFH/SHOT descriptors, which live in ℝ³³ and beyond).
 //! * [`SearchStats`] — node-visit accounting behind the redundancy and
@@ -50,6 +53,7 @@
 pub mod approx;
 pub mod batch;
 pub mod bruteforce;
+pub mod dynamic;
 pub mod index;
 pub mod inject;
 pub mod kdtree;
@@ -61,6 +65,7 @@ pub mod twostage;
 pub use approx::{ApproxConfig, ApproxIndex, ApproxSearcher};
 pub use batch::{BatchConfig, BatchSearcher};
 pub use bruteforce::{knn_brute_force, nn_brute_force, radius_brute_force, BruteForceIndex};
+pub use dynamic::DynamicMapIndex;
 pub use index::{backend_names, build_backend, register_backend, IndexSize, SearchIndex};
 pub use kdtree::KdTree;
 pub use kdtree_nd::KdTreeN;

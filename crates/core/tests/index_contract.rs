@@ -14,10 +14,11 @@
 //! `"accelerator"`) are exercised by the same logic through the
 //! workspace-level tests.
 
+use proptest::prelude::*;
 use tigris_core::index::{backend_names, build_backend, SearchIndex};
 use tigris_core::{
     knn_brute_force, nn_brute_force, radius_brute_force, ApproxConfig, ApproxIndex, BatchConfig,
-    SearchStats,
+    DynamicMapIndex, KdTree, SearchStats,
 };
 use tigris_geom::Vec3;
 
@@ -30,8 +31,9 @@ fn lcg_cloud(n: usize, seed: u64) -> Vec<Vec3> {
     (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
 }
 
-const EXACT_BACKENDS: [&str; 3] = ["classic", "two-stage", "brute-force"];
-const ALL_BACKENDS: [&str; 4] = ["classic", "two-stage", "two-stage-approx", "brute-force"];
+const EXACT_BACKENDS: [&str; 4] = ["classic", "two-stage", "brute-force", "dynamic"];
+const ALL_BACKENDS: [&str; 5] =
+    ["classic", "two-stage", "two-stage-approx", "brute-force", "dynamic"];
 
 #[test]
 fn registry_instantiates_every_builtin() {
@@ -215,5 +217,96 @@ fn empty_index_behaves_uniformly() {
         assert!(index.radius(Vec3::ZERO, 1.0, &mut stats).is_empty(), "{name}");
         let out = index.nn_batch(&[Vec3::ZERO], &BatchConfig::serial(), &mut stats);
         assert_eq!(out, vec![None], "{name}");
+    }
+}
+
+// ---- DynamicMapIndex: incremental inserts vs. from-scratch rebuild -------
+
+/// One step of an interleaved insert/query schedule.
+#[derive(Debug, Clone)]
+enum DynOp {
+    Insert(Vec3),
+    InsertBatch(Vec<Vec3>),
+    Nn(Vec3),
+    Knn(Vec3, usize),
+    Radius(Vec3, f64),
+}
+
+fn dyn_point() -> impl Strategy<Value = Vec3> {
+    (-30.0f64..30.0, -30.0f64..30.0, -30.0f64..30.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn dyn_op() -> impl Strategy<Value = DynOp> {
+    (0usize..5, dyn_point(), 1usize..12, 0.1f64..8.0, prop::collection::vec(dyn_point(), 1..40))
+        .prop_map(|(kind, p, k, r, batch)| match kind {
+            0 => DynOp::Insert(p),
+            1 => DynOp::InsertBatch(batch),
+            2 => DynOp::Nn(p),
+            3 => DynOp::Knn(p, k),
+            _ => DynOp::Radius(p, r),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// After ANY interleaving of single inserts, batch inserts and queries
+    /// — across rebuild boundaries (tiny fresh capacity) — every query
+    /// answers bit-identically to a KD-tree rebuilt from scratch over the
+    /// same points at that instant.
+    #[test]
+    fn dynamic_index_is_bit_identical_to_full_rebuild(
+        ops in prop::collection::vec(dyn_op(), 1..60),
+        cap in 1usize..48,
+    ) {
+        let mut index = DynamicMapIndex::with_fresh_capacity(cap);
+        let mut mirror: Vec<Vec3> = Vec::new();
+        for op in &ops {
+            match op {
+                DynOp::Insert(p) => {
+                    index.insert(*p);
+                    mirror.push(*p);
+                }
+                DynOp::InsertBatch(batch) => {
+                    index.extend(batch);
+                    mirror.extend_from_slice(batch);
+                }
+                DynOp::Nn(q) => {
+                    let rebuilt = KdTree::build(&mirror);
+                    prop_assert_eq!(index.nn_query(*q), rebuilt.nn(*q));
+                }
+                DynOp::Knn(q, k) => {
+                    let rebuilt = KdTree::build(&mirror);
+                    prop_assert_eq!(index.knn_query(*q, *k), rebuilt.knn(*q, *k));
+                }
+                DynOp::Radius(q, r) => {
+                    let rebuilt = KdTree::build(&mirror);
+                    prop_assert_eq!(index.radius_query(*q, *r), rebuilt.radius(*q, *r));
+                }
+            }
+            prop_assert_eq!(index.all_points(), &mirror[..]);
+            prop_assert!(index.fresh_len() < cap.max(1),
+                "fresh buffer {} must stay below its capacity {}", index.fresh_len(), cap);
+        }
+    }
+}
+
+#[test]
+fn dynamic_index_through_the_trait_matches_growing_brute_force() {
+    // The registry-built backend answers over its build-time points;
+    // inserts through the concrete type keep it exact afterwards.
+    let pts = lcg_cloud(400, 20);
+    let (initial, growth) = pts.split_at(150);
+    let mut index = DynamicMapIndex::with_fresh_capacity(37);
+    index.extend(initial);
+    let queries = lcg_cloud(40, 21);
+    for (i, grow) in growth.chunks(11).enumerate() {
+        index.extend(grow);
+        let have = &pts[..150 + (i * 11 + grow.len()).min(growth.len())];
+        let q = queries[i % queries.len()];
+        let mut stats = SearchStats::new();
+        let nn = SearchIndex::nn(&mut index, q, &mut stats).unwrap();
+        let oracle = nn_brute_force(have, q).unwrap();
+        assert_eq!((nn.index, nn.distance_squared), (oracle.index, oracle.distance_squared));
     }
 }

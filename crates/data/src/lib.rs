@@ -33,7 +33,7 @@ pub mod trajectory;
 
 pub use kitti_io::{read_poses, read_velodyne_bin, read_xyz, write_poses, write_velodyne_bin, write_xyz};
 pub use lidar::{Lidar, LidarConfig};
-pub use metrics::{relative_pose_error, sequence_error, OdometryError};
+pub use metrics::{absolute_trajectory_error, relative_pose_error, sequence_error, OdometryError};
 pub use scene::{Scene, SceneConfig, SceneKind};
 pub use sequence::{Sequence, SequenceConfig};
 pub use trajectory::{Trajectory, TrajectoryConfig};

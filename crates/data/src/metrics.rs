@@ -34,6 +34,32 @@ impl std::fmt::Display for OdometryError {
     }
 }
 
+/// Absolute trajectory error (ATE): the root-mean-square translation
+/// distance between estimated and ground-truth *absolute* poses, compared
+/// index by index with no alignment step (both trajectories are anchored
+/// at the same first pose, as the odometer's and mapper's are).
+///
+/// This is the mapping-layer complement of the KITTI relative metrics:
+/// relative errors measure per-pair registration quality, ATE measures the
+/// *accumulated* drift a loop closure's pose-graph optimization exists to
+/// redistribute. Returns 0 for empty input.
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths.
+pub fn absolute_trajectory_error(est: &[RigidTransform], gt: &[RigidTransform]) -> f64 {
+    assert_eq!(est.len(), gt.len(), "estimate/ground-truth length mismatch");
+    if est.is_empty() {
+        return 0.0;
+    }
+    let sum_sq: f64 = est
+        .iter()
+        .zip(gt)
+        .map(|(e, g)| (e.translation - g.translation).norm_squared())
+        .sum();
+    (sum_sq / est.len() as f64).sqrt()
+}
+
 /// Error of one estimated relative pose against ground truth: returns
 /// `(translation_error_m, rotation_error_rad)` of the residual transform
 /// `gt⁻¹ ∘ est`.
@@ -149,6 +175,31 @@ mod tests {
         let err = sequence_error(&est, &gt);
         assert_eq!(err.pairs, 1);
         assert!(err.translational_percent < 1e-9);
+    }
+
+    #[test]
+    fn ate_is_rms_translation_distance() {
+        let gt = vec![
+            RigidTransform::IDENTITY,
+            RigidTransform::from_translation(Vec3::new(1.0, 0.0, 0.0)),
+            RigidTransform::from_translation(Vec3::new(2.0, 0.0, 0.0)),
+        ];
+        assert_eq!(absolute_trajectory_error(&gt, &gt), 0.0);
+        let est = vec![
+            RigidTransform::IDENTITY,
+            RigidTransform::from_translation(Vec3::new(1.0, 3.0, 0.0)),
+            RigidTransform::from_translation(Vec3::new(2.0, 4.0, 0.0)),
+        ];
+        // RMS of [0, 3, 4] = sqrt(25/3).
+        let expected = (25.0f64 / 3.0).sqrt();
+        assert!((absolute_trajectory_error(&est, &gt) - expected).abs() < 1e-12);
+        assert_eq!(absolute_trajectory_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ate_rejects_mismatched_lengths() {
+        absolute_trajectory_error(&[RigidTransform::IDENTITY], &[]);
     }
 
     #[test]

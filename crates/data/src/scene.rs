@@ -157,6 +157,11 @@ pub enum SceneKind {
     /// Highway: guardrails, gantries, sparse barriers and vehicles — far
     /// less lateral structure, the harder case for registration.
     Highway,
+    /// Closed circuit: an urban ring road whose trajectory revisits its
+    /// start — the loop-closure fixture. `corridor_length` is read as the
+    /// ring's *circumference*; the road circles the center `(0, R)` with
+    /// `R = circumference / 2π`, buildings inside and outside the ring.
+    Loop,
 }
 
 /// Parameters of the procedural scene generator.
@@ -209,6 +214,15 @@ impl SceneConfig {
             ..SceneConfig::default()
         }
     }
+
+    /// A closed-circuit ring road of the given circumference (meters).
+    pub fn loop_circuit(circumference: f64) -> Self {
+        SceneConfig {
+            kind: SceneKind::Loop,
+            corridor_length: circumference,
+            ..SceneConfig::default()
+        }
+    }
 }
 
 /// A generated scene: primitives plus the config used to build it.
@@ -229,7 +243,126 @@ impl Scene {
         match config.kind {
             SceneKind::Urban => Self::generate_urban(config, seed),
             SceneKind::Highway => Self::generate_highway(config, seed),
+            SceneKind::Loop => Self::generate_loop(config, seed),
         }
+    }
+
+    /// Closed-circuit layout: an urban ring road of circumference
+    /// `corridor_length` around center `(0, R)`. Buildings line both the
+    /// inner and outer curb (tangent-aligned rotated boxes with different
+    /// height priors — the inner/outer asymmetry that keeps a mirrored
+    /// registration from aliasing), with poles, curbside clutter and
+    /// landmark towers scattered around the ring.
+    fn generate_loop(config: &SceneConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let radius = config.corridor_length / std::f64::consts::TAU;
+        let center = Vec3::new(0.0, radius, 0.0);
+        let mut prims = vec![Primitive::GroundPlane { z: 0.0 }];
+
+        // A point at trajectory angle `phi`, distance `rho` from the ring
+        // center; the road itself sits at rho = radius.
+        let at = |phi: f64, rho: f64, z: f64| {
+            Vec3::new(center.x + rho * phi.sin(), center.y - rho * phi.cos(), z)
+        };
+
+        // Buildings along both curbs, walking the ring in arc length. The
+        // outer ring draws taller and deeper than the inner (asymmetry),
+        // and widths/heights randomize per block so every sector of the
+        // circuit is geometrically distinctive.
+        for (outer, h_lo, h_hi) in [(true, 10.0, 22.0), (false, 3.0, 9.0)] {
+            let mut arc = 0.0;
+            while arc < config.corridor_length {
+                let w = rng.gen_range(8.0..config.building_spacing.max(9.0));
+                let depth = rng.gen_range(6.0..14.0);
+                let height = rng.gen_range(h_lo..h_hi);
+                let setback = rng.gen_range(1.0..4.0);
+                let rho = if outer {
+                    radius + config.road_half_width + setback + depth / 2.0
+                } else {
+                    radius - config.road_half_width - setback - depth / 2.0
+                };
+                // The inner ring may be too tight to hold a building.
+                if rho > depth / 2.0 + 0.5 {
+                    let phi = arc / radius;
+                    prims.push(Primitive::RotatedBox {
+                        center: at(phi, rho, height / 2.0),
+                        half_extents: Vec3::new(w / 2.0, depth / 2.0, height / 2.0),
+                        // Tangent direction at phi is (cos phi, sin phi).
+                        yaw: phi,
+                    });
+                    // Façade detail boxes protruding toward the road.
+                    for _ in 0..rng.gen_range(1..3usize) {
+                        let fz = rng.gen_range(1.5..(height - 0.5).max(1.6));
+                        let f_rho = if outer {
+                            rho - depth / 2.0 - rng.gen_range(0.2..0.7)
+                        } else {
+                            rho + depth / 2.0 + rng.gen_range(0.2..0.7)
+                        };
+                        let f_phi = phi + rng.gen_range(-0.4 * w..0.4 * w) / radius;
+                        prims.push(Primitive::RotatedBox {
+                            center: at(f_phi, f_rho, fz),
+                            half_extents: Vec3::new(
+                                rng.gen_range(0.3..1.2),
+                                rng.gen_range(0.2..0.6),
+                                rng.gen_range(0.2..0.5),
+                            ),
+                            yaw: f_phi,
+                        });
+                    }
+                }
+                arc += w + rng.gen_range(1.0..6.0);
+            }
+        }
+
+        // Curbside poles around the ring.
+        for outer in [true, false] {
+            let mut arc = rng.gen_range(0.0..config.pole_spacing);
+            while arc < config.corridor_length {
+                let rho_off = config.road_half_width - rng.gen_range(0.5..1.5);
+                let rho = if outer { radius + rho_off } else { (radius - rho_off).max(0.5) };
+                let p = at(arc / radius, rho, 0.0);
+                prims.push(Primitive::Cylinder {
+                    center_xy: (p.x, p.y),
+                    radius: rng.gen_range(0.1..0.25),
+                    z_min: 0.0,
+                    z_max: rng.gen_range(4.0..8.0),
+                });
+                arc += config.pole_spacing * rng.gen_range(0.7..1.3);
+            }
+        }
+
+        // Street clutter near the curbs: distinctive low corners.
+        let n_clutter = (config.corridor_length / 10.0) as usize;
+        for _ in 0..n_clutter {
+            let phi = rng.gen_range(0.0..std::f64::consts::TAU);
+            let rho = radius + rng.gen_range(-1.0..1.0) * (config.road_half_width + 1.5);
+            let hz = rng.gen_range(0.4..1.2);
+            prims.push(Primitive::RotatedBox {
+                center: at(phi, rho.max(0.5), hz),
+                half_extents: Vec3::new(
+                    rng.gen_range(0.4..1.6),
+                    rng.gen_range(0.3..1.1),
+                    hz,
+                ),
+                yaw: rng.gen_range(0.0..std::f64::consts::PI),
+            });
+        }
+
+        // Landmark towers anchoring the circuit angularly.
+        let n_landmarks = (config.corridor_length / 80.0).ceil() as usize + 1;
+        for _ in 0..n_landmarks {
+            let phi = rng.gen_range(0.0..std::f64::consts::TAU);
+            let rho = radius + config.road_half_width + rng.gen_range(1.0..5.0);
+            let p = at(phi, rho, 0.0);
+            prims.push(Primitive::Cylinder {
+                center_xy: (p.x, p.y),
+                radius: rng.gen_range(1.0..2.5),
+                z_min: 0.0,
+                z_max: rng.gen_range(12.0..28.0),
+            });
+        }
+
+        Scene { primitives: prims, config: *config }
     }
 
     fn generate_urban(config: &SceneConfig, seed: u64) -> Self {
@@ -551,6 +684,31 @@ mod tests {
         if let Some(t) = scene.cast(&ray, 40.0) {
             assert!(t > 5.0 && t < 20.0, "rail at {t} m");
         }
+    }
+
+    #[test]
+    fn loop_scene_rings_the_circuit() {
+        let circumference = 120.0;
+        let scene = Scene::generate(&SceneConfig::loop_circuit(circumference), 5);
+        assert!(matches!(scene.config().kind, SceneKind::Loop));
+        let radius = circumference / std::f64::consts::TAU;
+        // From several points on the ring road, a lateral (outward) ray at
+        // building height should hit structure within a couple of dozen
+        // meters — the circuit is walled the whole way around.
+        let mut hits = 0;
+        let probes = 8;
+        for i in 0..probes {
+            let phi = i as f64 / probes as f64 * std::f64::consts::TAU;
+            let origin = Vec3::new(radius * phi.sin(), radius - radius * phi.cos(), 2.0);
+            let outward = Vec3::new(phi.sin(), -phi.cos(), 0.0);
+            if scene.cast(&Ray { origin, dir: outward }, 60.0).is_some() {
+                hits += 1;
+            }
+        }
+        assert!(hits >= probes / 2, "only {hits}/{probes} outward probes hit the ring");
+        // Determinism, as for the other kinds.
+        let again = Scene::generate(&SceneConfig::loop_circuit(circumference), 5);
+        assert_eq!(scene.primitives().len(), again.primitives().len());
     }
 
     #[test]

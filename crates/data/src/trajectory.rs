@@ -63,6 +63,44 @@ impl Trajectory {
         Trajectory { poses }
     }
 
+    /// Generates a deterministic *closed-circuit* trajectory from `seed`:
+    /// the vehicle drives a circle of the given `circumference` (starting
+    /// at the origin heading +X, turning left around the center
+    /// `(0, R)`), so a trajectory long enough to cover the circumference
+    /// revisits its starting area — the fixture loop-closure needs.
+    ///
+    /// Speed wander perturbs progress along the circle exactly like the
+    /// straight generator; yaw wander perturbs the turn rate around the
+    /// nominal `speed / R`, so small wander keeps the circuit closing to
+    /// within a meter or two (genuine re-observation, not an exact
+    /// repeat).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `circumference` is not strictly positive.
+    pub fn generate_loop(config: &TrajectoryConfig, circumference: f64, seed: u64) -> Self {
+        assert!(
+            circumference > 0.0,
+            "loop circumference must be positive, got {circumference}"
+        );
+        let radius = circumference / std::f64::consts::TAU;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dt = 1.0 / config.frame_rate;
+        let mut poses = Vec::with_capacity(config.frames);
+        let mut position = Vec3::ZERO;
+        let mut yaw = 0.0f64;
+
+        for _ in 0..config.frames {
+            poses.push(RigidTransform::new(Mat3::rotation_z(yaw), position));
+            let speed = (config.speed + gauss(&mut rng, config.speed_wander)).max(0.0);
+            let yaw_rate = speed / radius + gauss(&mut rng, config.yaw_wander);
+            yaw += yaw_rate * dt;
+            let heading = Vec3::new(yaw.cos(), yaw.sin(), 0.0);
+            position += heading * (speed * dt);
+        }
+        Trajectory { poses }
+    }
+
     /// The world-frame poses.
     pub fn poses(&self) -> &[RigidTransform] {
         &self.poses
@@ -171,6 +209,51 @@ mod tests {
         assert_eq!(a.poses()[9].translation, b.poses()[9].translation);
         let c = Trajectory::generate(&cfg, 10);
         assert_ne!(a.poses()[9].translation, c.poses()[9].translation);
+    }
+
+    #[test]
+    fn loop_trajectory_revisits_its_start() {
+        // Enough frames to cover the full circumference: the last poses
+        // come back to the origin's neighborhood.
+        let circumference = 120.0;
+        let cfg = TrajectoryConfig {
+            frames: (120.0f64 / 1.0).ceil() as usize + 4,
+            speed_wander: 0.1,
+            yaw_wander: 0.002,
+            ..TrajectoryConfig::default()
+        };
+        let t = Trajectory::generate_loop(&cfg, circumference, 7);
+        assert!(t.poses()[0].is_identity(1e-12));
+        let end = t.poses().last().unwrap().translation;
+        assert!(end.norm() < 8.0, "loop end {end} should be near the start");
+        // Mid-loop the vehicle is far from the start (it's a circle, not
+        // jitter in place).
+        let mid = t.poses()[t.len() / 2].translation;
+        let radius = circumference / std::f64::consts::TAU;
+        assert!(mid.norm() > radius, "mid-loop {mid} should be across the circle");
+    }
+
+    #[test]
+    fn loop_trajectory_without_wander_closes_exactly() {
+        let circumference = 80.0;
+        let frames = 80; // 1 m steps cover the circumference exactly
+        let cfg = TrajectoryConfig {
+            frames: frames + 1,
+            speed_wander: 0.0,
+            yaw_wander: 0.0,
+            ..TrajectoryConfig::default()
+        };
+        let t = Trajectory::generate_loop(&cfg, circumference, 1);
+        let end = t.poses().last().unwrap().translation;
+        // The polygonal approximation of the circle closes to within the
+        // chord-vs-arc error.
+        assert!(end.norm() < 1.0, "noiseless circuit end {end}");
+    }
+
+    #[test]
+    #[should_panic(expected = "circumference")]
+    fn loop_trajectory_rejects_degenerate_circumference() {
+        Trajectory::generate_loop(&TrajectoryConfig::default(), 0.0, 1);
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! `[R | t]` matrices the paper estimates), axis-aligned bounding boxes used
 //! for KD-tree pruning, symmetric eigen-decomposition and SVD used by normal
 //! estimation and the Kabsch solver, a small dense linear solver used by the
-//! point-to-plane and Levenberg–Marquardt solvers, and the [`PointCloud`]
+//! point-to-plane and Levenberg–Marquardt solvers, the SE(3) twist
+//! parameterization ([`RigidTransform::log`]/[`RigidTransform::exp`]) with
+//! the Gauss–Newton pose-graph solver built on it ([`posegraph`], the
+//! mapping back end's drift redistribution), and the [`PointCloud`]
 //! container itself.
 //!
 //! Everything is implemented from scratch on `f64`; no external linear
@@ -29,6 +32,7 @@ pub mod aabb;
 pub mod eigen;
 pub mod mat3;
 pub mod pointcloud;
+pub mod posegraph;
 pub mod rigid;
 pub mod solve;
 pub mod svd3;
@@ -38,6 +42,7 @@ pub use aabb::Aabb;
 pub use eigen::{symmetric_eigen3, SymmetricEigen3};
 pub use mat3::Mat3;
 pub use pointcloud::PointCloud;
+pub use posegraph::{OptimizeReport, PoseGraph, PoseGraphEdge};
 pub use rigid::RigidTransform;
 pub use solve::{solve_dense, solve_ldlt6};
 pub use svd3::{svd3, Svd3};

@@ -1,0 +1,397 @@
+//! Gauss–Newton pose-graph optimization over SE(3).
+//!
+//! A pose graph holds one node per trajectory pose and one edge per
+//! relative-pose *measurement*: consecutive odometry estimates, plus the
+//! long-range constraints loop closure produces. When a loop closes, the
+//! accumulated drift concentrates in the single closing edge's residual;
+//! optimizing the graph redistributes it along the whole trajectory —
+//! the back-end half of the mapping subsystem (tigris-map).
+//!
+//! The solver is a damped Gauss–Newton iteration on the manifold: each
+//! edge `(i, j, z)` contributes the residual `r = log(z⁻¹ · Tᵢ⁻¹ · Tⱼ)`
+//! ([`RigidTransform::log`]), Jacobians are taken numerically by central
+//! differences in the right-multiplied tangent (`T · exp(δ)`), the normal
+//! equations are solved densely ([`crate::solve_dense`]) and updates
+//! re-enter SE(3) via [`RigidTransform::exp`]. Node 0 is held fixed as
+//! the gauge. Graph sizes here are trajectory-scale (tens to a few
+//! hundred nodes), where the dense solve and numeric differentiation are
+//! both comfortably cheap and free of hand-derived-Jacobian bugs.
+//!
+//! # Example
+//!
+//! ```
+//! use tigris_geom::posegraph::{PoseGraph, PoseGraphEdge};
+//! use tigris_geom::{RigidTransform, Vec3};
+//!
+//! // Three poses along +X, odometry overshooting by 10%…
+//! let step = RigidTransform::from_translation(Vec3::new(1.1, 0.0, 0.0));
+//! let nodes = vec![
+//!     RigidTransform::IDENTITY,
+//!     step,
+//!     step * step,
+//! ];
+//! let mut graph = PoseGraph::new(nodes);
+//! graph.add_edge(PoseGraphEdge::new(0, 1, step));
+//! graph.add_edge(PoseGraphEdge::new(1, 2, step));
+//! // …and a loop-closure style absolute constraint pinning node 2 at 2 m.
+//! graph.add_edge(PoseGraphEdge::new(
+//!     0, 2, RigidTransform::from_translation(Vec3::new(2.0, 0.0, 0.0))));
+//! let report = graph.optimize(20);
+//! assert!(report.final_error < report.initial_error);
+//! ```
+
+use crate::solve::solve_dense;
+use crate::RigidTransform;
+
+/// A relative-pose measurement between two nodes: `relative` is the
+/// expected value of `Tᵢ⁻¹ · Tⱼ` (node `to`'s pose expressed in node
+/// `from`'s frame) — the convention both the odometer's relative
+/// transforms and `register(source, target)` results follow directly.
+#[derive(Debug, Clone, Copy)]
+pub struct PoseGraphEdge {
+    /// Index of the reference node `i`.
+    pub from: usize,
+    /// Index of the constrained node `j`.
+    pub to: usize,
+    /// Measured `Tᵢ⁻¹ · Tⱼ`.
+    pub relative: RigidTransform,
+    /// Scalar information weight (1.0 = nominal; lower for weak priors).
+    pub weight: f64,
+}
+
+impl PoseGraphEdge {
+    /// An edge with nominal weight 1.
+    pub fn new(from: usize, to: usize, relative: RigidTransform) -> Self {
+        PoseGraphEdge { from, to, relative, weight: 1.0 }
+    }
+
+    /// An edge with an explicit information weight.
+    pub fn weighted(from: usize, to: usize, relative: RigidTransform, weight: f64) -> Self {
+        PoseGraphEdge { from, to, relative, weight }
+    }
+}
+
+/// What one [`PoseGraph::optimize`] call did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizeReport {
+    /// Gauss–Newton iterations actually run.
+    pub iterations: usize,
+    /// Total weighted squared residual before the first iteration.
+    pub initial_error: f64,
+    /// Total weighted squared residual after the last iteration.
+    pub final_error: f64,
+}
+
+/// A pose graph: SE(3) nodes plus relative-pose constraint edges.
+#[derive(Debug, Clone)]
+pub struct PoseGraph {
+    nodes: Vec<RigidTransform>,
+    edges: Vec<PoseGraphEdge>,
+}
+
+/// Half step used by the central-difference Jacobians.
+const JACOBIAN_EPS: f64 = 1e-6;
+
+/// Tikhonov damping added to the normal equations' diagonal — keeps the
+/// system solvable when a node participates in no (or degenerate) edges.
+const DAMPING: f64 = 1e-8;
+
+impl PoseGraph {
+    /// A graph over the given initial node poses, with no edges yet.
+    pub fn new(nodes: Vec<RigidTransform>) -> Self {
+        PoseGraph { nodes, edges: Vec::new() }
+    }
+
+    /// The current node poses.
+    pub fn nodes(&self) -> &[RigidTransform] {
+        &self.nodes
+    }
+
+    /// Consumes the graph, returning the node poses.
+    pub fn into_nodes(self) -> Vec<RigidTransform> {
+        self.nodes
+    }
+
+    /// The constraint edges.
+    pub fn edges(&self) -> &[PoseGraphEdge] {
+        &self.edges
+    }
+
+    /// Adds a constraint edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an endpoint is out of range, the endpoints coincide, or
+    /// the weight is not a positive finite number.
+    pub fn add_edge(&mut self, edge: PoseGraphEdge) {
+        assert!(
+            edge.from < self.nodes.len() && edge.to < self.nodes.len(),
+            "edge ({}, {}) references a node outside 0..{}",
+            edge.from,
+            edge.to,
+            self.nodes.len()
+        );
+        assert_ne!(edge.from, edge.to, "self-edges constrain nothing");
+        assert!(
+            edge.weight.is_finite() && edge.weight > 0.0,
+            "edge weight must be positive and finite, got {}",
+            edge.weight
+        );
+        self.edges.push(edge);
+    }
+
+    /// The residual twist of one edge under the current nodes:
+    /// `log(z⁻¹ · Tᵢ⁻¹ · Tⱼ)`.
+    fn residual(&self, edge: &PoseGraphEdge) -> [f64; 6] {
+        (edge.relative.inverse() * self.nodes[edge.from].inverse() * self.nodes[edge.to]).log()
+    }
+
+    /// Total weighted squared residual over all edges.
+    pub fn total_error(&self) -> f64 {
+        self.edges
+            .iter()
+            .map(|e| {
+                let r = self.residual(e);
+                e.weight * r.iter().map(|v| v * v).sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Runs up to `max_iterations` damped Gauss–Newton steps, holding node
+    /// 0 fixed as the gauge, and returns the error before/after.
+    ///
+    /// Iteration stops early when the error stops improving or the update
+    /// norm becomes negligible. With fewer than two nodes or no edges this
+    /// is a no-op.
+    pub fn optimize(&mut self, max_iterations: usize) -> OptimizeReport {
+        let initial_error = self.total_error();
+        let n_vars = 6 * self.nodes.len().saturating_sub(1);
+        if n_vars == 0 || self.edges.is_empty() || max_iterations == 0 {
+            return OptimizeReport { iterations: 0, initial_error, final_error: initial_error };
+        }
+
+        let mut error = initial_error;
+        let mut iterations = 0;
+        for _ in 0..max_iterations {
+            let Some(delta) = self.gauss_newton_step(n_vars) else {
+                break;
+            };
+            // Apply T ← T · exp(δ) per free node.
+            let mut candidate = self.clone();
+            let mut step_norm2 = 0.0;
+            for (i, node) in candidate.nodes.iter_mut().enumerate().skip(1) {
+                let mut xi = [0.0f64; 6];
+                xi.copy_from_slice(&delta[6 * (i - 1)..6 * i]);
+                step_norm2 += xi.iter().map(|v| v * v).sum::<f64>();
+                *node = *node * RigidTransform::exp(xi);
+            }
+            let new_error = candidate.total_error();
+            iterations += 1;
+            if new_error.is_finite() && new_error <= error {
+                self.nodes = candidate.nodes;
+                let improved = error - new_error;
+                error = new_error;
+                if improved <= 1e-14 * error.max(1.0) || step_norm2 < 1e-20 {
+                    break;
+                }
+            } else {
+                // A full Gauss–Newton step overshot; stop at the best
+                // iterate rather than oscillating.
+                break;
+            }
+        }
+        OptimizeReport { iterations, initial_error, final_error: error }
+    }
+
+    /// Builds and solves the damped normal equations `(H + λI) δ = −b` for
+    /// one Gauss–Newton step over the free nodes (all but node 0).
+    /// Returns `None` when the dense solve fails.
+    fn gauss_newton_step(&self, n_vars: usize) -> Option<Vec<f64>> {
+        let mut h = vec![0.0f64; n_vars * n_vars];
+        let mut b = vec![0.0f64; n_vars];
+
+        let mut scratch = self.clone();
+        for edge in &self.edges {
+            let r = self.residual(edge);
+            // Numeric Jacobian blocks for each free endpoint.
+            let endpoints = [edge.from, edge.to];
+            let mut jac: Vec<(usize, [[f64; 6]; 6])> = Vec::with_capacity(2);
+            for &node in &endpoints {
+                if node == 0 {
+                    continue;
+                }
+                let mut block = [[0.0f64; 6]; 6]; // block[row][var]
+                let base = self.nodes[node];
+                for var in 0..6 {
+                    let mut xi = [0.0f64; 6];
+                    xi[var] = JACOBIAN_EPS;
+                    scratch.nodes[node] = base * RigidTransform::exp(xi);
+                    let plus = scratch.residual(edge);
+                    xi[var] = -JACOBIAN_EPS;
+                    scratch.nodes[node] = base * RigidTransform::exp(xi);
+                    let minus = scratch.residual(edge);
+                    for row in 0..6 {
+                        block[row][var] = (plus[row] - minus[row]) / (2.0 * JACOBIAN_EPS);
+                    }
+                }
+                scratch.nodes[node] = base;
+                jac.push((node, block));
+            }
+
+            // Accumulate H += w·JᵀJ and b += w·Jᵀr over the edge's blocks.
+            for &(ni, ji) in &jac {
+                let oi = 6 * (ni - 1);
+                for vi in 0..6 {
+                    let mut bi = 0.0;
+                    for row in 0..6 {
+                        bi += ji[row][vi] * r[row];
+                    }
+                    b[oi + vi] += edge.weight * bi;
+                    for &(nj, jj) in &jac {
+                        let oj = 6 * (nj - 1);
+                        for vj in 0..6 {
+                            let mut hij = 0.0;
+                            for row in 0..6 {
+                                hij += ji[row][vi] * jj[row][vj];
+                            }
+                            h[(oi + vi) * n_vars + (oj + vj)] += edge.weight * hij;
+                        }
+                    }
+                }
+            }
+        }
+
+        let scale = h.iter().fold(0.0f64, |acc, v| acc.max(v.abs())).max(1.0);
+        for i in 0..n_vars {
+            h[i * n_vars + i] += DAMPING * scale;
+        }
+        let neg_b: Vec<f64> = b.iter().map(|v| -v).collect();
+        solve_dense(&h, &neg_b, n_vars).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vec3;
+
+    fn t(x: f64, y: f64) -> RigidTransform {
+        RigidTransform::from_translation(Vec3::new(x, y, 0.0))
+    }
+
+    #[test]
+    fn consistent_graph_has_zero_error_and_is_a_fixed_point() {
+        let step = RigidTransform::from_axis_angle(Vec3::Z, 0.1, Vec3::new(1.0, 0.0, 0.0));
+        let nodes = vec![RigidTransform::IDENTITY, step, step * step];
+        let mut g = PoseGraph::new(nodes.clone());
+        g.add_edge(PoseGraphEdge::new(0, 1, step));
+        g.add_edge(PoseGraphEdge::new(1, 2, step));
+        assert!(g.total_error() < 1e-20);
+        let report = g.optimize(5);
+        assert!(report.final_error < 1e-16);
+        for (a, b) in g.nodes().iter().zip(&nodes) {
+            assert!((a.translation - b.translation).norm() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn loop_closure_redistributes_drift() {
+        // A 4-step square whose odometry overshoots each side by 8%; the
+        // loop-closing edge says "you are back at the start".
+        let side = 5.0;
+        let drift = 1.08;
+        let turn = RigidTransform::from_axis_angle(Vec3::Z, std::f64::consts::FRAC_PI_2, Vec3::ZERO);
+        let odo_step = RigidTransform::from_translation(Vec3::new(side * drift, 0.0, 0.0)) * turn;
+        let gt_step = RigidTransform::from_translation(Vec3::new(side, 0.0, 0.0)) * turn;
+
+        // Integrate the drifted odometry into initial node guesses.
+        let mut nodes = vec![RigidTransform::IDENTITY];
+        for _ in 0..4 {
+            nodes.push(*nodes.last().unwrap() * odo_step);
+        }
+        let mut g = PoseGraph::new(nodes);
+        for i in 0..4 {
+            g.add_edge(PoseGraphEdge::new(i, i + 1, odo_step));
+        }
+        // Ground truth: after 4 sides the vehicle is back at the start.
+        g.add_edge(PoseGraphEdge::new(0, 4, RigidTransform::IDENTITY));
+
+        let before_end_error = g.nodes()[4].translation.norm();
+        let report = g.optimize(25);
+        assert!(report.iterations >= 1);
+        assert!(report.final_error < report.initial_error * 0.1,
+            "error {} -> {}", report.initial_error, report.final_error);
+        // The closing node lands (nearly) back at the origin…
+        let after_end_error = g.nodes()[4].translation.norm();
+        assert!(after_end_error < before_end_error * 0.2,
+            "end error {before_end_error} -> {after_end_error}");
+        // …and interior nodes move toward the true square's corners
+        // (drift redistributed, not dumped on the last node).
+        let mut gt_nodes = vec![RigidTransform::IDENTITY];
+        for _ in 0..4 {
+            gt_nodes.push(*gt_nodes.last().unwrap() * gt_step);
+        }
+        for (i, (est, gt)) in g.nodes().iter().zip(&gt_nodes).enumerate() {
+            let err = (est.translation - gt.translation).norm();
+            assert!(err < side * drift, "node {i}: {err}");
+        }
+    }
+
+    #[test]
+    fn gauge_node_never_moves() {
+        let mut g = PoseGraph::new(vec![t(0.0, 0.0), t(1.3, 0.0)]);
+        g.add_edge(PoseGraphEdge::new(0, 1, t(1.0, 0.0)));
+        g.optimize(10);
+        assert!(g.nodes()[0].is_identity(1e-12));
+        assert!((g.nodes()[1].translation.x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weights_bias_conflicting_constraints() {
+        // Two absolute constraints on the same node disagree; the heavier
+        // one wins proportionally.
+        let mut g = PoseGraph::new(vec![t(0.0, 0.0), t(1.5, 0.0)]);
+        g.add_edge(PoseGraphEdge::weighted(0, 1, t(1.0, 0.0), 9.0));
+        g.add_edge(PoseGraphEdge::weighted(0, 1, t(2.0, 0.0), 1.0));
+        g.optimize(20);
+        let x = g.nodes()[1].translation.x;
+        assert!((x - 1.1).abs() < 1e-3, "weighted mean should be 1.1, got {x}");
+    }
+
+    #[test]
+    fn empty_and_trivial_graphs_are_no_ops() {
+        let mut g = PoseGraph::new(vec![]);
+        let r = g.optimize(5);
+        assert_eq!(r.iterations, 0);
+        let mut g = PoseGraph::new(vec![t(0.0, 0.0), t(1.0, 0.0)]);
+        let r = g.optimize(5); // no edges
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.initial_error, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_edges_panic() {
+        let mut g = PoseGraph::new(vec![t(0.0, 0.0)]);
+        g.add_edge(PoseGraphEdge::new(0, 3, RigidTransform::IDENTITY));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-edges")]
+    fn self_edges_panic() {
+        let mut g = PoseGraph::new(vec![t(0.0, 0.0), t(1.0, 0.0)]);
+        g.add_edge(PoseGraphEdge::new(1, 1, RigidTransform::IDENTITY));
+    }
+
+    #[test]
+    fn report_and_accessors_expose_graph_state() {
+        let mut g = PoseGraph::new(vec![t(0.0, 0.0), t(1.0, 0.0)]);
+        g.add_edge(PoseGraphEdge::new(0, 1, t(1.0, 0.0)));
+        assert_eq!(g.edges().len(), 1);
+        assert_eq!(g.nodes().len(), 2);
+        let r = g.optimize(3);
+        assert!(r.final_error <= r.initial_error);
+        let nodes = g.into_nodes();
+        assert_eq!(nodes.len(), 2);
+    }
+}

@@ -131,6 +131,114 @@ impl RigidTransform {
     pub fn delta_to(&self, other: &RigidTransform) -> RigidTransform {
         *other * self.inverse()
     }
+
+    /// The SE(3) logarithm: the twist `ξ = [ω, ρ]` (rotation vector then
+    /// translation part, each 3 components) such that
+    /// [`RigidTransform::exp`]`(ξ)` recovers this transform.
+    ///
+    /// This is the minimal 6-DoF parameterization the pose-graph solver
+    /// ([`crate::posegraph`]) linearizes in: residuals between poses are
+    /// `log(expected⁻¹ · actual)`, and updates re-enter the manifold via
+    /// `exp`. The rotation branch handles the small-angle limit (first-order
+    /// skew extraction) and the near-π branch (axis from the symmetric
+    /// part) explicitly; at exactly π the sign of `ω` is an arbitrary but
+    /// deterministic choice (both are valid logarithms).
+    pub fn log(&self) -> [f64; 6] {
+        let omega = so3_log(&self.rotation);
+        let theta = omega.norm();
+        let hat = hat3(omega);
+        let hat2 = hat * hat;
+        // V⁻¹ = I − ½[ω]× + c·[ω]×², with the numerically stable
+        // c = (1 − A/(2B))/θ² (A = sinθ/θ, B = (1−cosθ)/θ²).
+        let c = if theta < 1e-4 {
+            1.0 / 12.0 + theta * theta / 720.0
+        } else {
+            let a = theta.sin() / theta;
+            let b = (1.0 - theta.cos()) / (theta * theta);
+            (1.0 - a / (2.0 * b)) / (theta * theta)
+        };
+        let v_inv = Mat3::IDENTITY - hat.scale(0.5) + hat2.scale(c);
+        let rho = v_inv * self.translation;
+        [omega.x, omega.y, omega.z, rho.x, rho.y, rho.z]
+    }
+
+    /// The SE(3) exponential: builds the transform whose logarithm is the
+    /// twist `ξ = [ω, ρ]`. Inverse of [`RigidTransform::log`]:
+    ///
+    /// ```
+    /// use tigris_geom::{RigidTransform, Vec3};
+    /// let t = RigidTransform::from_axis_angle(Vec3::Z, 0.7, Vec3::new(1.0, -2.0, 0.5));
+    /// let back = RigidTransform::exp(t.log());
+    /// assert!((back.translation - t.translation).norm() < 1e-12);
+    /// ```
+    pub fn exp(xi: [f64; 6]) -> RigidTransform {
+        let omega = Vec3::new(xi[0], xi[1], xi[2]);
+        let rho = Vec3::new(xi[3], xi[4], xi[5]);
+        let theta = omega.norm();
+        let hat = hat3(omega);
+        let hat2 = hat * hat;
+        // R = I + A[ω]× + B[ω]×², V = I + B[ω]× + C[ω]×².
+        let (a, b, c) = if theta < 1e-10 {
+            // Second-order Taylor around θ = 0.
+            (1.0, 0.5, 1.0 / 6.0)
+        } else {
+            let t2 = theta * theta;
+            (
+                theta.sin() / theta,
+                (1.0 - theta.cos()) / t2,
+                (theta - theta.sin()) / (t2 * theta),
+            )
+        };
+        let rotation = Mat3::IDENTITY + hat.scale(a) + hat2.scale(b);
+        let v = Mat3::IDENTITY + hat.scale(b) + hat2.scale(c);
+        RigidTransform::new(rotation, v * rho)
+    }
+}
+
+/// The skew-symmetric (cross-product) matrix of `w`: `hat3(w) * v == w × v`.
+fn hat3(w: Vec3) -> Mat3 {
+    Mat3::from_rows([0.0, -w.z, w.y], [w.z, 0.0, -w.x], [-w.y, w.x, 0.0])
+}
+
+/// SO(3) logarithm: the rotation vector (axis · angle) of `r`.
+fn so3_log(r: &Mat3) -> Vec3 {
+    let theta = r.rotation_angle();
+    // The skew part's vee: 2 sinθ · axis.
+    let vee = Vec3::new(
+        r.m[2][1] - r.m[1][2],
+        r.m[0][2] - r.m[2][0],
+        r.m[1][0] - r.m[0][1],
+    );
+    if theta < 1e-10 {
+        // First order: R ≈ I + [ω]×.
+        return vee * 0.5;
+    }
+    if theta < std::f64::consts::PI - 1e-6 {
+        return vee * (theta / (2.0 * theta.sin()));
+    }
+    // Near π the skew part vanishes; recover the axis from the symmetric
+    // part instead: R = cosθ·I + sinθ·[u]× + (1−cosθ)·uuᵀ, so the diagonal
+    // gives u_i² and row k gives the products u_k·u_j.
+    let cos = theta.cos();
+    let one_minus = 1.0 - cos;
+    let diag = [r.m[0][0], r.m[1][1], r.m[2][2]];
+    let k = (0..3).max_by(|&a, &b| diag[a].total_cmp(&diag[b])).unwrap();
+    let uk = (((diag[k] - cos) / one_minus).max(0.0)).sqrt().max(1e-12);
+    let mut u = [0.0f64; 3];
+    u[k] = uk;
+    for (j, uj) in u.iter_mut().enumerate() {
+        if j != k {
+            *uj = (r.m[k][j] + r.m[j][k]) / (2.0 * one_minus * uk);
+        }
+    }
+    let mut axis = Vec3::new(u[0], u[1], u[2]);
+    axis = axis.normalized().unwrap_or(Vec3::X);
+    // Disambiguate the sign with whatever skew part remains (below π the
+    // logarithm is unique); at exactly π either sign is a valid answer.
+    if vee.dot(axis) < 0.0 {
+        axis = -axis;
+    }
+    axis * theta
 }
 
 impl Default for RigidTransform {
@@ -246,5 +354,72 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!format!("{}", RigidTransform::IDENTITY).is_empty());
+    }
+
+    #[test]
+    fn log_exp_round_trips_generic_transforms() {
+        let cases = [
+            RigidTransform::IDENTITY,
+            RigidTransform::from_translation(Vec3::new(3.0, -1.0, 0.5)),
+            RigidTransform::from_axis_angle(Vec3::Z, 0.3, Vec3::new(1.0, 2.0, 3.0)),
+            RigidTransform::from_axis_angle(Vec3::new(1.0, -0.4, 0.7), 1.9, Vec3::new(-5.0, 0.1, 2.0)),
+            RigidTransform::from_axis_angle(Vec3::new(0.2, 1.0, 0.1), 3.0, Vec3::new(0.0, -2.0, 4.0)),
+        ];
+        for t in cases {
+            let back = RigidTransform::exp(t.log());
+            assert!(
+                (back.rotation - t.rotation).frobenius_norm() < 1e-9,
+                "rotation drifted: {t}"
+            );
+            assert!((back.translation - t.translation).norm() < 1e-9, "translation drifted: {t}");
+        }
+    }
+
+    #[test]
+    fn exp_log_round_trips_twists() {
+        let cases = [
+            [0.0; 6],
+            [0.01, -0.02, 0.03, 1.0, 2.0, 3.0],
+            [1.2, 0.4, -0.8, -3.0, 0.5, 10.0],
+            [0.0, 0.0, 2.8, 4.0, 4.0, 0.0],
+        ];
+        for xi in cases {
+            let back = RigidTransform::exp(xi).log();
+            for (a, b) in xi.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-9, "{xi:?} -> {back:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn log_handles_rotations_at_and_near_pi() {
+        use std::f64::consts::PI;
+        for angle in [PI - 1e-8, PI] {
+            let t = RigidTransform::from_axis_angle(Vec3::new(0.3, -1.0, 0.5), angle, Vec3::ZERO);
+            let xi = t.log();
+            let back = RigidTransform::exp(xi);
+            // At exactly π both ±ω are valid logs; the rotation must match
+            // either way.
+            assert!(
+                (back.rotation - t.rotation).frobenius_norm() < 1e-6,
+                "angle {angle}: frobenius {}",
+                (back.rotation - t.rotation).frobenius_norm()
+            );
+            let norm = (xi[0] * xi[0] + xi[1] * xi[1] + xi[2] * xi[2]).sqrt();
+            assert!((norm - angle).abs() < 1e-6, "rotation-vector norm {norm} vs {angle}");
+        }
+    }
+
+    #[test]
+    fn log_magnitude_matches_transform_magnitudes() {
+        let t = RigidTransform::from_axis_angle(Vec3::Z, 0.5, Vec3::ZERO);
+        let xi = t.log();
+        assert!((xi[2] - 0.5).abs() < 1e-12);
+        assert!(xi[3].abs() + xi[4].abs() + xi[5].abs() < 1e-12);
+        // Pure translations log to themselves.
+        let t = RigidTransform::from_translation(Vec3::new(1.0, 2.0, 3.0));
+        let xi = t.log();
+        assert_eq!(&xi[..3], &[0.0, 0.0, 0.0]);
+        assert!((xi[3] - 1.0).abs() < 1e-12 && (xi[5] - 3.0).abs() < 1e-12);
     }
 }

@@ -417,12 +417,14 @@ mod tests {
                 SearchBackendConfig::Classic,
                 SearchBackendConfig::TwoStage { top_height: 5 },
                 SearchBackendConfig::BruteForce,
+                SearchBackendConfig::Custom { name: "dynamic" },
             ],
         );
-        assert_eq!(points.len(), 3);
+        assert_eq!(points.len(), 4);
         assert_eq!(points[0].label, "bk/classic");
         assert_eq!(points[1].label, "bk/two-stage");
         assert_eq!(points[2].label, "bk/brute-force");
+        assert_eq!(points[3].label, "bk/dynamic");
         // Exact backends compute the same thing: identical accuracy, with
         // brute force as the ground-truth anchor.
         for p in &points[1..] {

@@ -95,6 +95,25 @@ impl Odometer {
         &self.config
     }
 
+    /// The retained reference frame — the preparation of the most recently
+    /// pushed frame, which the *next* push will register against. `None`
+    /// before the first successful preparation.
+    ///
+    /// Consumers layered on top of the odometer (the mapping subsystem's
+    /// `Mapper`) read the current frame's points, descriptors and key-points
+    /// from here instead of re-running any front-end stage.
+    pub fn reference_frame(&self) -> Option<&PreparedFrame> {
+        self.prev.as_ref()
+    }
+
+    /// Mutable access to the retained reference frame, for layered
+    /// consumers that need to *match against* it (loop-closure
+    /// verification registers the current frame against a stored keyframe
+    /// via `register_prepared`, which meters both searchers).
+    pub fn reference_frame_mut(&mut self) -> Option<&mut PreparedFrame> {
+        self.prev.as_mut()
+    }
+
     /// Consumes the next frame. Returns `Ok(None)` for the very first frame
     /// (nothing to register against) and `Ok(Some(step))` afterwards.
     ///
@@ -123,13 +142,37 @@ impl Odometer {
     /// `frames_prepared` counts only hold exactly on failure-free
     /// streams.
     pub fn push(&mut self, frame: &PointCloud) -> Result<Option<OdometryStep>, RegistrationError> {
+        self.push_retiring(frame).map(|(step, _retired)| step)
+    }
+
+    /// [`Odometer::push`], additionally handing back the *retired*
+    /// reference frame — the preparation the new frame displaced, whose
+    /// full front end (points, normals, key-points, descriptors, index)
+    /// remains valid and reusable.
+    ///
+    /// This is the hand-off the mapping subsystem builds on: each streamed
+    /// frame is prepared exactly once, serves as the odometer's reference
+    /// for one step, and is then surrendered to the caller (e.g. stored as
+    /// a submap keyframe for loop-closure verification) instead of being
+    /// dropped. The retired slot is `None` for the first frame (nothing
+    /// displaced) and on errors (a failed *match* keeps the old reference
+    /// handling of [`Odometer::push`]: the freshly prepared frame replaces
+    /// it, and the displaced frame is dropped with the error).
+    ///
+    /// # Errors
+    ///
+    /// As [`Odometer::push`].
+    pub fn push_retiring(
+        &mut self,
+        frame: &PointCloud,
+    ) -> Result<(Option<OdometryStep>, Option<PreparedFrame>), RegistrationError> {
         let mut source = prepare_frame(frame, &self.config)?;
         // Count the frame only once it actually prepared — an empty or
         // backend-less frame must not inflate the processed tally.
         self.frames_processed += 1;
         let Some(mut target) = self.prev.take() else {
             self.prev = Some(source);
-            return Ok(None);
+            return Ok((None, None));
         };
 
         let matched = register_prepared_with_prior(
@@ -156,11 +199,14 @@ impl Odometer {
         self.velocity = Some(result.transform);
         self.pose = self.pose * result.transform;
         self.prev = Some(source);
-        Ok(Some(OdometryStep {
-            relative: result.transform,
-            pose: self.pose,
-            registration: result,
-        }))
+        Ok((
+            Some(OdometryStep {
+                relative: result.transform,
+                pose: self.pose,
+                registration: result,
+            }),
+            Some(target),
+        ))
     }
 }
 
@@ -327,6 +373,28 @@ mod tests {
         // The retained frame's preparation was still unbilled (its first
         // match failed), so this pair bills both preparations.
         assert_eq!(step.registration.profile.frames_prepared, 2);
+    }
+
+    #[test]
+    fn push_retiring_hands_back_the_displaced_preparation() {
+        let world = scene_cloud();
+        let delta = RigidTransform::from_translation(Vec3::new(0.05, 0.0, 0.0));
+        let mut odo = Odometer::new(fast_config());
+        assert!(odo.reference_frame().is_none());
+        // First frame: nothing displaced, reference retained.
+        let (step, retired) = odo.push_retiring(&world).unwrap();
+        assert!(step.is_none() && retired.is_none());
+        let ref_len = odo.reference_frame().unwrap().len();
+        assert!(ref_len > 0);
+        // Second frame: the first frame's preparation is retired intact
+        // and already billed to the pair's result.
+        let (step, retired) = odo.push_retiring(&world.transformed(&delta.inverse())).unwrap();
+        assert!(step.is_some());
+        let retired = retired.expect("the first frame must be retired");
+        assert_eq!(retired.len(), ref_len);
+        assert!(!retired.descriptors().is_empty());
+        // The new reference is the just-pushed frame, mutably reachable.
+        assert!(odo.reference_frame_mut().is_some());
     }
 
     #[test]

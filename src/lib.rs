@@ -12,6 +12,10 @@
 //! * [`pipeline`] — the configurable two-phase registration pipeline
 //!   (Sec. 3): normal estimation → key-points → descriptors → KPCE →
 //!   rejection → ICP fine-tuning.
+//! * [`map`] — the incremental mapping subsystem (Sec. 2.2's 3D
+//!   reconstruction as a long-running service): dynamic map index,
+//!   pose-tagged submaps, descriptor-retrieved loop closure and
+//!   Gauss–Newton pose-graph optimization.
 //! * [`accel`] — the cycle-level accelerator model (Sec. 5): recursion-unit
 //!   front-end, search-unit back-end, node cache, energy and area models.
 //!
@@ -36,6 +40,7 @@ pub use tigris_accel as accel;
 pub use tigris_core as core;
 pub use tigris_data as data;
 pub use tigris_geom as geom;
+pub use tigris_map as map;
 pub use tigris_pipeline as pipeline;
 
 /// The workspace version.

@@ -61,6 +61,7 @@ fn register_runs_on_every_backend_variant() {
         SearchBackendConfig::TwoStage { top_height: 6 },
         SearchBackendConfig::TwoStageApprox { top_height: 6, approx: ApproxConfig::default() },
         SearchBackendConfig::BruteForce,
+        SearchBackendConfig::Custom { name: "dynamic" },
         SearchBackendConfig::Custom { name: "accelerator" },
     ];
     for backend in backends {

@@ -1,0 +1,91 @@
+//! End-to-end mapping acceptance: on a closed-circuit sequence the
+//! [`Mapper`] must detect the revisit, close the loop, and cut the
+//! absolute trajectory error well below raw odometry's — while running
+//! every streamed frame's front end exactly once.
+
+use tigris::data::{absolute_trajectory_error, LidarConfig, Sequence, SequenceConfig};
+use tigris::geom::Vec3;
+use tigris::map::{Mapper, MapperConfig};
+
+/// A closed loop small enough for debug-mode CI: ~66 frames of a 60 m
+/// circuit at the low-resolution scanner.
+fn loop_fixture() -> (Sequence, MapperConfig) {
+    let mut cfg = SequenceConfig::loop_circuit(60.0, 6);
+    cfg.lidar = LidarConfig::tiny();
+    let seq = Sequence::generate(&cfg, 7);
+    let mapper_cfg = MapperConfig::default();
+    (seq, mapper_cfg)
+}
+
+#[test]
+fn loop_closure_halves_the_trajectory_error() {
+    let (seq, cfg) = loop_fixture();
+    let mut mapper = Mapper::new(cfg);
+    for i in 0..seq.len() {
+        let step = mapper.push(seq.frame(i)).unwrap_or_else(|e| {
+            panic!("frame {i} failed: {e}");
+        });
+        if let Some(closure) = step.closure {
+            eprintln!(
+                "frame {i}: closed against submap {} (frame {}), {} inliers, error {:.3} -> {:.3}",
+                closure.submap,
+                closure.matched_frame,
+                closure.inliers,
+                closure.report.initial_error,
+                closure.report.final_error
+            );
+        }
+    }
+
+    let stats = *mapper.stats();
+    eprintln!("stats: {stats:?}");
+    // Every streamed frame's front end ran exactly once (failure-free
+    // stream: preparations billed == frames pushed).
+    assert_eq!(stats.frames, seq.len());
+    assert_eq!(stats.breaks, 0);
+    assert_eq!(stats.frames_prepared, seq.len(), "front end must run once per frame");
+
+    // The revisit must be detected.
+    assert!(
+        stats.closures_accepted >= 1,
+        "no loop closure detected ({} attempted)",
+        stats.closures_attempted
+    );
+
+    // Drift: the optimized trajectory must beat raw odometry by 2x ATE.
+    let gt = seq.poses();
+    let raw_ate = absolute_trajectory_error(mapper.raw_poses(), gt);
+    let opt_ate = absolute_trajectory_error(mapper.poses(), gt);
+    eprintln!("ATE raw {raw_ate:.3} m, optimized {opt_ate:.3} m");
+    assert!(raw_ate > 0.0, "raw odometry with zero drift is not a meaningful fixture");
+    assert!(
+        opt_ate <= 0.5 * raw_ate,
+        "post-optimization ATE {opt_ate:.3} m must be <= half of raw {raw_ate:.3} m"
+    );
+}
+
+#[test]
+fn mapper_query_serves_the_global_map() {
+    let (seq, cfg) = loop_fixture();
+    let mut mapper = Mapper::new(cfg);
+    // A prefix of the circuit is enough to exercise multi-submap queries.
+    for i in 0..20.min(seq.len()) {
+        mapper.push(seq.frame(i)).unwrap();
+    }
+    assert!(mapper.submaps().len() >= 2, "{} submaps", mapper.submaps().len());
+    assert!(mapper.total_points() > 1000);
+
+    // Query around an early pose: ground/wall structure must be there.
+    let probe = mapper.poses()[2].translation + Vec3::new(0.0, 0.0, -1.0);
+    let hits = mapper.query(probe, 2.0);
+    assert!(!hits.is_empty(), "no map points near an observed pose");
+    for pair in hits.windows(2) {
+        assert!(pair[0].distance_squared <= pair[1].distance_squared, "unsorted query result");
+    }
+    // Each hit's point really is within the radius.
+    for h in &hits {
+        assert!((h.point - probe).norm() <= 2.0 + 1e-9);
+    }
+    // The global cloud matches the per-submap sum.
+    assert_eq!(mapper.global_cloud().len(), mapper.total_points());
+}
