@@ -90,8 +90,7 @@ const CONTROL_MM2: f64 = 0.06;
 /// Computes the area of `cfg` with the given SRAM sizing.
 pub fn area_report(cfg: &AcceleratorConfig, sram: &SramSizing) -> AreaReport {
     let sram_mm2 = sram.total_bytes(cfg.num_sus) as f64 * SRAM_MM2_PER_BYTE;
-    let logic_mm2 =
-        cfg.total_pes() as f64 * PE_MM2 + cfg.num_rus as f64 * RU_MM2 + CONTROL_MM2;
+    let logic_mm2 = cfg.total_pes() as f64 * PE_MM2 + cfg.num_rus as f64 * RU_MM2 + CONTROL_MM2;
     AreaReport { sram_mm2, logic_mm2 }
 }
 
@@ -110,8 +109,18 @@ mod tests {
 
     #[test]
     fn area_scales_with_units() {
-        let small = AcceleratorConfig { num_rus: 16, num_sus: 16, pes_per_su: 16, ..AcceleratorConfig::default() };
-        let big = AcceleratorConfig { num_rus: 128, num_sus: 128, pes_per_su: 128, ..AcceleratorConfig::default() };
+        let small = AcceleratorConfig {
+            num_rus: 16,
+            num_sus: 16,
+            pes_per_su: 16,
+            ..AcceleratorConfig::default()
+        };
+        let big = AcceleratorConfig {
+            num_rus: 128,
+            num_sus: 128,
+            pes_per_su: 128,
+            ..AcceleratorConfig::default()
+        };
         let s = area_report(&small, &SramSizing::default());
         let b = area_report(&big, &SramSizing::default());
         assert!(b.logic_mm2 > s.logic_mm2 * 10.0);

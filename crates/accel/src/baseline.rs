@@ -130,11 +130,7 @@ mod tests {
     /// A two-stage workload: short traversal + coalesced leaf scans
     /// (~120 points scanned per query at leaf-set ≈ 128).
     fn two_stage_workload() -> Workload {
-        Workload {
-            tree_node_visits: 1_500_000,
-            leaf_points_scanned: 12_000_000,
-            queries: 100_000,
-        }
+        Workload { tree_node_visits: 1_500_000, leaf_points_scanned: 12_000_000, queries: 100_000 }
     }
 
     #[test]

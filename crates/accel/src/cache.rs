@@ -23,13 +23,7 @@ impl NodeCache {
     /// Creates a cache with the given capacity in points; 0 disables it
     /// (everything misses).
     pub fn new(capacity_points: usize) -> Self {
-        NodeCache {
-            capacity_points,
-            entries: VecDeque::new(),
-            used_points: 0,
-            hits: 0,
-            misses: 0,
-        }
+        NodeCache { capacity_points, entries: VecDeque::new(), used_points: 0, hits: 0, misses: 0 }
     }
 
     /// Looks up the node-set of `leaf` (`size` points), inserting it on

@@ -37,13 +37,7 @@ impl EnergyBreakdown {
         if t == 0.0 {
             return (0.0, 0.0, 0.0, 0.0, 0.0);
         }
-        (
-            self.pe / t,
-            self.sram_read / t,
-            self.sram_write / t,
-            self.leakage / t,
-            self.dram / t,
-        )
+        (self.pe / t, self.sram_read / t, self.sram_write / t, self.leakage / t, self.dram / t)
     }
 }
 
@@ -85,7 +79,12 @@ impl Default for EnergyModel {
 impl EnergyModel {
     /// Computes the breakdown for `distance_ops` datapath operations, the
     /// given memory traffic, and `seconds` of elapsed time.
-    pub fn compute(&self, distance_ops: u64, traffic: &TrafficReport, seconds: f64) -> EnergyBreakdown {
+    pub fn compute(
+        &self,
+        distance_ops: u64,
+        traffic: &TrafficReport,
+        seconds: f64,
+    ) -> EnergyBreakdown {
         let read_bytes = (traffic.fe_query_queue / 2)
             + traffic.query_buffer
             + (traffic.query_stacks as f64 * (1.0 - self.stack_write_fraction)) as u64

@@ -56,11 +56,7 @@ pub fn fe_makespan(query_costs: &[u64], num_rus: usize) -> u64 {
     let mut free_at = vec![0u64; num_rus.min(query_costs.len()).max(1)];
     for &cost in query_costs {
         // Earliest-free RU takes the next query.
-        let (idx, &t) = free_at
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &t)| t)
-            .unwrap();
+        let (idx, &t) = free_at.iter().enumerate().min_by_key(|(_, &t)| t).unwrap();
         let _ = t;
         free_at[idx] += cost;
     }

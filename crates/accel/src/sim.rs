@@ -234,8 +234,7 @@ impl Engine<'_> {
             // FE traffic: query fetch + enqueue, stack pops/pushes, node reads.
             traffic.fe_query_queue += 2 * POINT_BYTES;
             traffic.query_buffer += POINT_BYTES;
-            traffic.query_stacks +=
-                (trace.expanded + trace.bypassed) * STACK_ENTRY_BYTES // pops
+            traffic.query_stacks += (trace.expanded + trace.bypassed) * STACK_ENTRY_BYTES // pops
                 + 2 * trace.expanded * STACK_ENTRY_BYTES; // pushes
             traffic.points_buffer += trace.expanded * POINT_BYTES;
 
@@ -264,8 +263,7 @@ impl Engine<'_> {
         let fe_cycles = fe_makespan(&fe_costs, self.config.num_rus);
 
         // Back-end makespan.
-        let leaf_sizes: Vec<usize> =
-            self.tree.leaves().iter().map(|l| l.points.len()).collect();
+        let leaf_sizes: Vec<usize> = self.tree.leaves().iter().map(|l| l.points.len()).collect();
         let mut cache = NodeCache::new(self.config.node_cache_points);
         let be = run_backend(&tasks, &leaf_sizes, self.config, &mut cache);
         traffic += be.traffic;
@@ -377,11 +375,8 @@ impl Engine<'_> {
                         }
                     }
                     let delta = q.axis(node.axis as usize) - node.split;
-                    let (near, far) = if delta < 0.0 {
-                        (node.left, node.right)
-                    } else {
-                        (node.right, node.left)
-                    };
+                    let (near, far) =
+                        if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
                     // Far first so near pops next (DFS order).
                     if far != TopChild::None {
                         stack.push((far, delta * delta));
@@ -467,8 +462,7 @@ impl Engine<'_> {
                         match kind {
                             SearchKind::Nn => {
                                 if d2 < best.distance_squared
-                                    || (d2 == best.distance_squared
-                                        && (i as usize) < best.index)
+                                    || (d2 == best.distance_squared && (i as usize) < best.index)
                                 {
                                     best = Neighbor::new(i as usize, d2);
                                 }
@@ -511,8 +505,7 @@ impl Engine<'_> {
             if trace.follower_hits == 0 {
                 match kind {
                     SearchKind::Nn => {
-                        if best.index != usize::MAX && self.books.nn[leaf].len() < cfg.leader_cap
-                        {
+                        if best.index != usize::MAX && self.books.nn[leaf].len() < cfg.leader_cap {
                             self.books.nn[leaf]
                                 .push(Leader { query: q, results: vec![best.index as u32] });
                         }
@@ -606,12 +599,7 @@ mod tests {
     }
 
     fn small_config() -> AcceleratorConfig {
-        AcceleratorConfig {
-            num_rus: 8,
-            num_sus: 4,
-            pes_per_su: 8,
-            ..AcceleratorConfig::default()
-        }
+        AcceleratorConfig { num_rus: 8, num_sus: 4, pes_per_su: 8, ..AcceleratorConfig::default() }
     }
 
     #[test]
@@ -662,11 +650,7 @@ mod tests {
         let queries = lcg_cloud(400, 8);
 
         let run_with = |fwd: bool, byp: bool| {
-            let cfg = AcceleratorConfig {
-                forwarding: fwd,
-                bypassing: byp,
-                ..small_config()
-            };
+            let cfg = AcceleratorConfig { forwarding: fwd, bypassing: byp, ..small_config() };
             let mut sim = AcceleratorSim::new(&tree, cfg);
             sim.run_nn(&queries).fe_cycles
         };
@@ -732,9 +716,8 @@ mod tests {
         let pts = lcg_cloud(4000, 13);
         let tree = TwoStageKdTree::build(&pts, 4);
         // Clustered queries → same-leaf batching is possible.
-        let queries: Vec<Vec3> = (0..200)
-            .map(|i| Vec3::new((i % 20) as f64 * 0.1, 0.5, 0.5))
-            .collect();
+        let queries: Vec<Vec3> =
+            (0..200).map(|i| Vec3::new((i % 20) as f64 * 0.1, 0.5, 0.5)).collect();
         let mqsn_cfg = AcceleratorConfig { node_cache_points: 0, ..small_config() };
         let mut s1 = AcceleratorSim::new(&tree, mqsn_cfg);
         let mqsn = s1.run_nn(&queries);
@@ -758,9 +741,8 @@ mod tests {
     fn node_cache_moves_traffic_off_points_buffer() {
         let pts = lcg_cloud(4000, 15);
         let tree = TwoStageKdTree::build(&pts, 4);
-        let queries: Vec<Vec3> = (0..300)
-            .map(|i| Vec3::new((i % 3) as f64, (i % 7) as f64, 0.0))
-            .collect();
+        let queries: Vec<Vec3> =
+            (0..300).map(|i| Vec3::new((i % 3) as f64, (i % 7) as f64, 0.0)).collect();
         let no_cache = AcceleratorConfig { node_cache_points: 0, pes_per_su: 1, ..small_config() };
         let mut s1 = AcceleratorSim::new(&tree, no_cache);
         let cold = s1.run_nn(&queries);
@@ -829,10 +811,12 @@ mod tests {
         assert_eq!(replayed.nodes_expanded, nn.nodes_expanded + rad.nodes_expanded);
         assert_eq!(replayed.nn_results.len(), 50);
         assert_eq!(replayed.radius_result_counts.len(), 30);
-        assert!((replayed.energy.total_joules()
-            - (nn.energy.total_joules() + rad.energy.total_joules()))
-        .abs()
-            < 1e-15);
+        assert!(
+            (replayed.energy.total_joules()
+                - (nn.energy.total_joules() + rad.energy.total_joules()))
+            .abs()
+                < 1e-15
+        );
     }
 
     #[test]

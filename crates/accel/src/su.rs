@@ -264,9 +264,11 @@ mod tests {
         // with shared leaves MQSN wins on traffic:
         let shared: Vec<LeafTask> = (0..8).map(|q| task(q, 0, 100)).collect();
         let mut c3 = NodeCache::new(0);
-        let mqsn_shared = run_backend(&shared, &leaf_sizes, &cfg(2, 8, BackendPolicy::Mqsn), &mut c3);
+        let mqsn_shared =
+            run_backend(&shared, &leaf_sizes, &cfg(2, 8, BackendPolicy::Mqsn), &mut c3);
         let mut c4 = NodeCache::new(0);
-        let mqmn_shared = run_backend(&shared, &leaf_sizes, &cfg(2, 8, BackendPolicy::Mqmn), &mut c4);
+        let mqmn_shared =
+            run_backend(&shared, &leaf_sizes, &cfg(2, 8, BackendPolicy::Mqmn), &mut c4);
         assert!(mqsn_shared.traffic.points_buffer < mqmn_shared.traffic.points_buffer);
     }
 

@@ -31,10 +31,8 @@ fn bench_sim(c: &mut Criterion) {
     });
     group.bench_function("nn_mqmn", |b| {
         b.iter(|| {
-            let cfg = AcceleratorConfig {
-                backend: BackendPolicy::Mqmn,
-                ..AcceleratorConfig::paper()
-            };
+            let cfg =
+                AcceleratorConfig { backend: BackendPolicy::Mqmn, ..AcceleratorConfig::paper() };
             let mut sim = AcceleratorSim::new(&tree, cfg);
             black_box(sim.run(&queries, SearchKind::Nn).cycles)
         });

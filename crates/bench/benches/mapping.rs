@@ -33,8 +33,6 @@ fn main() {
     );
     println!("speedup         {:>12.3}x  (answers verified bit-identical)", result.speedup);
 
-    let path =
-        std::env::var("BENCH_MAPPING_JSON").unwrap_or_else(|_| "BENCH_mapping.json".to_string());
-    std::fs::write(&path, result.to_json()).expect("writing the JSON baseline failed");
-    println!("baseline written to {path}");
+    let path = result.report().write_env("BENCH_MAPPING_JSON", "BENCH_mapping.json");
+    println!("baseline written to {}", path.display());
 }

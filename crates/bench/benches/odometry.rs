@@ -30,8 +30,6 @@ fn main() {
     );
     println!("speedup                {:>8.3}x", result.speedup);
 
-    let path = std::env::var("BENCH_ODOMETRY_JSON")
-        .unwrap_or_else(|_| "BENCH_odometry.json".to_string());
-    std::fs::write(&path, result.to_json()).expect("writing the JSON baseline failed");
-    println!("baseline written to {path}");
+    let path = result.report().write_env("BENCH_ODOMETRY_JSON", "BENCH_odometry.json");
+    println!("baseline written to {}", path.display());
 }

@@ -1,0 +1,35 @@
+//! Shared-map serving: one frozen snapshot serving every session vs.
+//! each session rebuilding the map for itself.
+//!
+//! Besides the human-readable comparison, the run emits a
+//! machine-readable baseline (`BENCH_serve.json` by default, or the path
+//! in `$BENCH_SERVE_JSON`) that CI archives per commit, so serving-layer
+//! regressions show up as a diffable number.
+//!
+//! ```text
+//! cargo bench -p tigris-bench --bench serve
+//! TIGRIS_SERVE_SESSIONS=8 cargo bench -p tigris-bench --bench serve
+//! ```
+
+use tigris_bench::env_usize;
+use tigris_bench::serve::run_shared_vs_rebuild_comparison;
+
+fn main() {
+    let sessions = env_usize("TIGRIS_SERVE_SESSIONS", 4);
+    let runs = env_usize("TIGRIS_SERVE_RUNS", 1);
+    println!("== shared-map serving: {sessions} sessions, best of {runs} runs ==");
+
+    let result = run_shared_vs_rebuild_comparison(sessions, 7, runs);
+    println!(
+        "shared snapshot   {:>8.3} frames/s  ({:?} total: 1 map build + {} sessions)",
+        result.shared_fps, result.shared_time, result.sessions
+    );
+    println!(
+        "rebuild/session   {:>8.3} frames/s  ({:?} total: {} map builds)",
+        result.rebuild_fps, result.rebuild_time, result.sessions
+    );
+    println!("speedup           {:>8.3}x  (poses verified bit-identical)", result.speedup);
+
+    let path = result.report().write_env("BENCH_SERVE_JSON", "BENCH_serve.json");
+    println!("baseline written to {}", path.display());
+}

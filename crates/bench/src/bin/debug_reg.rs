@@ -36,10 +36,7 @@ fn diagnose_frontend(
         sorted[0],
         sorted[sorted.len() / 2],
         sorted[sorted.len() - 1],
-        &sk[..5.min(sk.len())]
-            .iter()
-            .map(|&i| src.points()[i])
-            .collect::<Vec<_>>()
+        &sk[..5.min(sk.len())].iter().map(|&i| src.points()[i]).collect::<Vec<_>>()
     );
 
     // How repeatable are the key-points? For each source key-point, is
@@ -61,9 +58,7 @@ fn diagnose_frontend(
         let good = matches
             .iter()
             .filter(|m| {
-                gt.apply(src.points()[sk[m.source]])
-                    .distance(tgt.points()[tk[m.target]])
-                    < 0.5
+                gt.apply(src.points()[sk[m.source]]).distance(tgt.points()[tk[m.target]]) < 0.5
             })
             .count();
         println!(
@@ -104,9 +99,7 @@ fn control_same_cloud(target: &PointCloud) {
     let matches = kpce(&sd, &td, false, None);
     let good = matches
         .iter()
-        .filter(|m| {
-            gt.apply(src.points()[sk[m.source]]).distance(tgt.points()[tk[m.target]]) < 0.5
-        })
+        .filter(|m| gt.apply(src.points()[sk[m.source]]).distance(tgt.points()[tk[m.target]]) < 0.5)
         .count();
     println!(
         "CONTROL same-cloud rigid: {} kp, {} matches, {} correct",
@@ -124,13 +117,9 @@ fn main() {
 
     control_same_cloud(&target);
 
-    for (vox, kp_r, d_r) in [
-        (0.3, 1.0, 1.0),
-        (0.3, 1.0, 1.8),
-        (0.25, 0.8, 1.8),
-        (0.2, 0.8, 1.5),
-        (0.3, 1.5, 2.5),
-    ] {
+    for (vox, kp_r, d_r) in
+        [(0.3, 1.0, 1.0), (0.3, 1.0, 1.8), (0.25, 0.8, 1.8), (0.2, 0.8, 1.5), (0.3, 1.5, 2.5)]
+    {
         println!("\n--- voxel {vox}, ISS r {kp_r}, FPFH r {d_r} ---");
         let cfg = RegistrationConfig {
             voxel_size: vox,

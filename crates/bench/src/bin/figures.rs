@@ -17,13 +17,10 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--seed" {
-            seed = it
-                .next()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or_else(|| {
-                    eprintln!("--seed needs an integer");
-                    std::process::exit(2);
-                });
+            seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--seed needs an integer");
+                std::process::exit(2);
+            });
         } else if a == "--svg" {
             svg_dir = Some(it.next().unwrap_or_else(|| {
                 eprintln!("--svg needs a directory");

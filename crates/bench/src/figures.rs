@@ -31,14 +31,15 @@ pub fn fig3(frames: usize, seed: u64) -> (Vec<DsePoint>, Vec<usize>) {
         (0..seq.len() - 1).map(|i| seq.ground_truth_relative(i)).collect();
     let points = evaluate_design_points(seq.frames(), &gts);
 
-    let tradeoff: Vec<(f64, f64)> = points
-        .iter()
-        .map(|p| (p.translational_percent, p.time_per_pair.as_secs_f64()))
-        .collect();
+    let tradeoff: Vec<(f64, f64)> =
+        points.iter().map(|p| (p.translational_percent, p.time_per_pair.as_secs_f64())).collect();
     let pareto = pareto_frontier(&tradeoff);
 
     println!("== Fig. 3: accuracy vs. time (DP1-DP8) ==");
-    println!("{:<6} {:>11} {:>13} {:>11} {:>7}", "DP", "t-err (%)", "r-err (°/m)", "time (ms)", "Pareto");
+    println!(
+        "{:<6} {:>11} {:>13} {:>11} {:>7}",
+        "DP", "t-err (%)", "r-err (°/m)", "time (ms)", "Pareto"
+    );
     for (i, p) in points.iter().enumerate() {
         println!(
             "{:<6} {:>11.2} {:>13.4} {:>11.1} {:>7}",
@@ -144,7 +145,11 @@ pub fn fig6(seed: u64) -> Vec<Fig6Row> {
         classic.radius_with_stats(q, radius, &mut base_radius);
     }
 
-    println!("== Fig. 6: two-stage KD-tree redundancy (n = {}, {} queries) ==", points.len(), queries.len());
+    println!(
+        "== Fig. 6: two-stage KD-tree redundancy (n = {}, {} queries) ==",
+        points.len(),
+        queries.len()
+    );
     println!(
         "{:>9} {:>7} {:>12} {:>12} {:>14} {:>14}",
         "leaf-set", "height", "NN redund.", "rad redund.", "NN nodes", "rad nodes"
@@ -171,8 +176,12 @@ pub fn fig6(seed: u64) -> Vec<Fig6Row> {
         };
         println!(
             "{:>9} {:>7} {:>11.1}x {:>11.1}x {:>14} {:>14}",
-            row.leaf_size, row.top_height, row.nn_redundancy, row.radius_redundancy,
-            row.nn_nodes, row.radius_nodes
+            row.leaf_size,
+            row.top_height,
+            row.nn_redundancy,
+            row.radius_redundancy,
+            row.nn_nodes,
+            row.radius_nodes
         );
         rows.push(row);
     }
@@ -223,7 +232,10 @@ pub fn fig7(seed: u64) -> Vec<Fig7Row> {
     println!("== Fig. 7a: k-th-NN injection (RPCE dense vs. KPCE sparse) ==");
     println!(
         "{:>3} {:>16} {:>16}   (KPCE column = initial-estimate error: our ICP\n{:>41}",
-        "k", "RPCE t-err (%)", "KPCE t-err (%)", "often rescues a bad init that the paper's cannot)"
+        "k",
+        "RPCE t-err (%)",
+        "KPCE t-err (%)",
+        "often rescues a bad init that the paper's cannot)"
     );
     for k in [1usize, 2, 3, 5, 7, 9] {
         let mut rpce_cfg = base_cfg.clone();
@@ -237,11 +249,22 @@ pub fn fig7(seed: u64) -> Vec<Fig7Row> {
         kpce_cfg.max_initial_translation = f64::INFINITY;
         let (_, kpce_err) = eval(&kpce_cfg);
         println!("{:>3} {:>16.2} {:>16.2}", k, rpce_err, kpce_err);
-        rows.push(Fig7Row { curve: "RPCE (dense)", parameter: k as f64, translational_percent: rpce_err });
-        rows.push(Fig7Row { curve: "KPCE (sparse)", parameter: k as f64, translational_percent: kpce_err });
+        rows.push(Fig7Row {
+            curve: "RPCE (dense)",
+            parameter: k as f64,
+            translational_percent: rpce_err,
+        });
+        rows.push(Fig7Row {
+            curve: "KPCE (sparse)",
+            parameter: k as f64,
+            translational_percent: kpce_err,
+        });
     }
 
-    println!("\n== Fig. 7b: <r1, r2> shell injection into NE (r = {:.2} m) ==", base_cfg.normal_radius);
+    println!(
+        "\n== Fig. 7b: <r1, r2> shell injection into NE (r = {:.2} m) ==",
+        base_cfg.normal_radius
+    );
     println!("{:>10} {:>16}", "r1 (m)", "NE t-err (%)");
     // Outer radius fixed at 1.25 r, inner swept upward (paper sweeps r1
     // with r2 above r).
@@ -268,8 +291,15 @@ pub fn area() -> (f64, f64) {
     let report = area_report(&AcceleratorConfig::paper(), &SramSizing::default());
     println!("== Sec. 6.2: area (64 RU / 32 SU / 32 PE per SU, 16 nm) ==");
     println!("SRAM:  {:>6.2} mm²  ({:.1}%)", report.sram_mm2, report.sram_fraction() * 100.0);
-    println!("Logic: {:>6.2} mm²  ({:.1}%)", report.logic_mm2, (1.0 - report.sram_fraction()) * 100.0);
-    println!("Total: {:>6.2} mm²   (paper: 8.38 SRAM / 7.19 logic, 53.8%/46.2%)", report.total_mm2());
+    println!(
+        "Logic: {:>6.2} mm²  ({:.1}%)",
+        report.logic_mm2,
+        (1.0 - report.sram_fraction()) * 100.0
+    );
+    println!(
+        "Total: {:>6.2} mm²   (paper: 8.38 SRAM / 7.19 logic, 53.8%/46.2%)",
+        report.total_mm2()
+    );
     (report.sram_mm2, report.logic_mm2)
 }
 
@@ -422,7 +452,10 @@ pub fn fig11_for(dp: DesignPoint, seed: u64) -> Vec<Fig11Row> {
         dp.name(),
         if dp == DesignPoint::Dp7 { "accuracy-oriented" } else { "performance-oriented" }
     );
-    println!("{:<10} {:>12} {:>10} {:>10} {:>12}", "system", "time (ms)", "speedup", "power (W)", "power red.");
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>12}",
+        "system", "time (ms)", "speedup", "power (W)", "power red."
+    );
     for r in &rows {
         println!(
             "{:<10} {:>12.3} {:>9.1}x {:>10.1} {:>11.1}x",
@@ -473,10 +506,8 @@ pub fn approx(seed: u64) -> ApproxRow {
     exact_sim.reset_leaders();
     let exact_rad = exact_sim.run(&w.radius_queries, SearchKind::Radius(w.radius));
 
-    let approx_cfg = AcceleratorConfig {
-        approx: Some(ApproxConfig::default()),
-        ..AcceleratorConfig::paper()
-    };
+    let approx_cfg =
+        AcceleratorConfig { approx: Some(ApproxConfig::default()), ..AcceleratorConfig::paper() };
     let mut approx_sim = AcceleratorSim::new(&tree, approx_cfg);
     let approx_nn = approx_sim.run(&w.nn_queries, SearchKind::Nn);
     approx_sim.reset_leaders();
@@ -511,7 +542,10 @@ pub fn approx(seed: u64) -> ApproxRow {
 
     println!("== Sec. 6.3: approximate KD-tree search (thd = 1.2 m NN / 40% radius) ==");
     println!("speedup over exact Acc-2SKD:   {:.1}x   (paper: ~11.1x)", row.speedup);
-    println!("node-visit reduction:          {:.1}%  (paper: 72.8%)", row.node_visit_reduction * 100.0);
+    println!(
+        "node-visit reduction:          {:.1}%  (paper: 72.8%)",
+        row.node_visit_reduction * 100.0
+    );
     println!("follower rate:                 {:.1}%", row.follower_rate * 100.0);
     println!("mean NN distance inflation:    {:.4} m", row.mean_distance_inflation);
     row
@@ -551,8 +585,14 @@ pub fn fig12(seed: u64) -> Vec<Fig12Row> {
     let base = BaselineModel::default().gpu(&Workload::from_stats(&stats));
 
     let variants: [(&'static str, AcceleratorConfig); 4] = [
-        ("No-Opt", AcceleratorConfig { forwarding: false, bypassing: false, ..AcceleratorConfig::paper() }),
-        ("Bypass", AcceleratorConfig { forwarding: false, bypassing: true, ..AcceleratorConfig::paper() }),
+        (
+            "No-Opt",
+            AcceleratorConfig { forwarding: false, bypassing: false, ..AcceleratorConfig::paper() },
+        ),
+        (
+            "Bypass",
+            AcceleratorConfig { forwarding: false, bypassing: true, ..AcceleratorConfig::paper() },
+        ),
         ("+Forward", AcceleratorConfig::paper()),
         ("MQMN", AcceleratorConfig { backend: BackendPolicy::Mqmn, ..AcceleratorConfig::paper() }),
     ];
@@ -605,11 +645,8 @@ pub fn fig13(seed: u64) -> Vec<Fig13Row> {
         let rad = sim.run(&w.radius_queries, SearchKind::Radius(w.radius));
         let traffic = nn.traffic + rad.traffic;
         let total = traffic.total_sram().max(1) as f64;
-        let fractions: Vec<(&'static str, f64)> = traffic
-            .rows()
-            .iter()
-            .map(|&(name, bytes)| (name, bytes as f64 / total))
-            .collect();
+        let fractions: Vec<(&'static str, f64)> =
+            traffic.rows().iter().map(|&(name, bytes)| (name, bytes as f64 / total)).collect();
         println!("{label}:");
         for (name, f) in &fractions {
             println!("  {:<14} {:>6.1}%", name, f * 100.0);
@@ -760,8 +797,7 @@ pub fn end_to_end(seed: u64) -> (f64, f64) {
         let kd_acc = src_sim.replay(&src_log).seconds + tgt_sim.replay(&tgt_log).seconds;
 
         // GPU baseline on the same measured workload.
-        let gpu = BaselineModel::default()
-            .gpu(&Workload::from_stats(&result.profile.search_stats));
+        let gpu = BaselineModel::default().gpu(&Workload::from_stats(&result.profile.search_stats));
         let kd_gpu = gpu.seconds;
 
         let improvement = 1.0 - (other + kd_acc) / (other + kd_gpu);
@@ -873,7 +909,11 @@ pub struct AblationRow {
     pub metric: f64,
 }
 
-fn run_dp7_sim(cfg: AcceleratorConfig, w: &DpSearchWorkload, tree: &TwoStageKdTree) -> (f64, crate::figures::SimPair) {
+fn run_dp7_sim(
+    cfg: AcceleratorConfig,
+    w: &DpSearchWorkload,
+    tree: &TwoStageKdTree,
+) -> (f64, crate::figures::SimPair) {
     let mut sim = AcceleratorSim::new(tree, cfg);
     let nn = sim.run(&w.nn_queries, SearchKind::Nn);
     sim.reset_leaders();
@@ -926,11 +966,8 @@ pub fn ablation_node_cache(seed: u64) -> Vec<AblationRow> {
         let (time_ms, pair) = run_dp7_sim(cfg, &w, &tree);
         let traffic = pair.nn.traffic + pair.rad.traffic;
         let node_bytes = traffic.node_cache + traffic.points_buffer;
-        let hit_rate = if node_bytes == 0 {
-            0.0
-        } else {
-            traffic.node_cache as f64 / node_bytes as f64
-        };
+        let hit_rate =
+            if node_bytes == 0 { 0.0 } else { traffic.node_cache as f64 / node_bytes as f64 };
         println!(
             "{:>9} {:>12.3} {:>11.1}% {:>16}",
             points,
@@ -970,12 +1007,18 @@ pub fn ablation_mapping(seed: u64) -> (f64, f64) {
     let tree = TwoStageKdTree::build(&w.points, h);
     println!("== Ablation: leaf-to-SU mapping policy ==");
     let (low, _) = run_dp7_sim(
-        AcceleratorConfig { mapping: tigris_accel::MappingPolicy::LowOrderBits, ..AcceleratorConfig::paper() },
+        AcceleratorConfig {
+            mapping: tigris_accel::MappingPolicy::LowOrderBits,
+            ..AcceleratorConfig::paper()
+        },
         &w,
         &tree,
     );
     let (hash, _) = run_dp7_sim(
-        AcceleratorConfig { mapping: tigris_accel::MappingPolicy::Hash, ..AcceleratorConfig::paper() },
+        AcceleratorConfig {
+            mapping: tigris_accel::MappingPolicy::Hash,
+            ..AcceleratorConfig::paper()
+        },
         &w,
         &tree,
     );
@@ -1255,6 +1298,16 @@ pub fn run_experiment(id: &str, seed: u64) -> bool {
 
 /// All experiment ids in paper order (plus the repo's extra ablations).
 pub const ALL_EXPERIMENTS: [&str; 12] = [
-    "fig3", "fig4", "fig6", "fig7", "area", "fig11", "approx", "fig12", "fig13", "fig14", "fig15",
+    "fig3",
+    "fig4",
+    "fig6",
+    "fig7",
+    "area",
+    "fig11",
+    "approx",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
     "ablations",
 ];

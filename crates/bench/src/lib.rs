@@ -18,6 +18,8 @@ pub mod figures;
 pub mod mapping;
 pub mod odometry;
 pub mod plot;
+pub mod report;
+pub mod serve;
 pub mod workload;
 
 /// Reads a `usize` knob from the environment, falling back to `default`

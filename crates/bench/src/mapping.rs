@@ -12,6 +12,7 @@ use std::time::{Duration, Instant};
 use tigris_core::{DynamicMapIndex, KdTree, Neighbor};
 use tigris_geom::Vec3;
 
+use crate::report::BenchReport;
 use crate::workload::huge_frame_pair;
 
 /// Radius used by the interleaved radius queries (meters; matches the
@@ -29,6 +30,10 @@ pub struct MappingBenchResult {
     pub dynamic_time: Duration,
     /// Best-of-N wall-clock rebuilding a KD-tree on every insert.
     pub naive_time: Duration,
+    /// Per-run wall-clock samples (seconds) for the dynamic index.
+    pub dynamic_samples: Vec<f64>,
+    /// Per-run wall-clock samples (seconds) for the naive path.
+    pub naive_samples: Vec<f64>,
     /// Insert+query operations per second, dynamic path.
     pub dynamic_ops_per_s: f64,
     /// Insert+query operations per second, naive path.
@@ -41,23 +46,20 @@ pub struct MappingBenchResult {
 }
 
 impl MappingBenchResult {
-    /// The machine-readable baseline emitted by CI (`BENCH_mapping.json`).
-    pub fn to_json(&self) -> String {
-        format!(
-            "{{\n  \"bench\": \"mapping_dynamic_index\",\n  \"points\": {},\n  \
-             \"queries\": {},\n  \"dynamic_seconds\": {:.6},\n  \
-             \"naive_seconds\": {:.6},\n  \"dynamic_ops_per_s\": {:.1},\n  \
-             \"naive_ops_per_s\": {:.1},\n  \"speedup\": {:.3},\n  \
-             \"dynamic_rebuilds\": {}\n}}\n",
-            self.points,
-            self.queries,
-            self.dynamic_time.as_secs_f64(),
-            self.naive_time.as_secs_f64(),
-            self.dynamic_ops_per_s,
-            self.naive_ops_per_s,
-            self.speedup,
-            self.dynamic_rebuilds,
-        )
+    /// The machine-readable baseline emitted by CI (`BENCH_mapping.json`),
+    /// in the shared [`BenchReport`] schema.
+    pub fn report(&self) -> BenchReport {
+        BenchReport::new("mapping_dynamic_index")
+            .config_int("points", self.points)
+            .config_int("queries", self.queries)
+            .samples("dynamic_seconds", &self.dynamic_samples)
+            .samples("naive_seconds", &self.naive_samples)
+            .derived_f64("dynamic_seconds_best", self.dynamic_time.as_secs_f64())
+            .derived_f64("naive_seconds_best", self.naive_time.as_secs_f64())
+            .derived_f64("dynamic_ops_per_s", self.dynamic_ops_per_s)
+            .derived_f64("naive_ops_per_s", self.naive_ops_per_s)
+            .derived_f64("speedup", self.speedup)
+            .derived_int("dynamic_rebuilds", self.dynamic_rebuilds)
     }
 }
 
@@ -126,12 +128,12 @@ pub fn run_insert_query_comparison(
         "dynamic index diverged from the rebuild-per-insert oracle"
     );
 
-    let dynamic_time = (0..runs)
-        .map(|_| run_dynamic(stream, &queries, queries_every).0)
-        .min()
-        .expect("runs >= 1");
-    let naive_time =
-        (0..runs).map(|_| run_naive(stream, &queries, queries_every).0).min().expect("runs >= 1");
+    let dynamic_runs: Vec<Duration> =
+        (0..runs).map(|_| run_dynamic(stream, &queries, queries_every).0).collect();
+    let naive_runs: Vec<Duration> =
+        (0..runs).map(|_| run_naive(stream, &queries, queries_every).0).collect();
+    let dynamic_time = *dynamic_runs.iter().min().expect("runs >= 1");
+    let naive_time = *naive_runs.iter().min().expect("runs >= 1");
 
     let n_queries = dynamic_answers.0.len();
     let ops = (points + n_queries) as f64;
@@ -142,6 +144,8 @@ pub fn run_insert_query_comparison(
         queries: n_queries,
         dynamic_time,
         naive_time,
+        dynamic_samples: dynamic_runs.iter().map(Duration::as_secs_f64).collect(),
+        naive_samples: naive_runs.iter().map(Duration::as_secs_f64).collect(),
         dynamic_ops_per_s,
         naive_ops_per_s,
         speedup: dynamic_ops_per_s / naive_ops_per_s,
@@ -161,8 +165,10 @@ mod tests {
         assert_eq!(result.points, 600);
         assert_eq!(result.queries, 600 / 7);
         assert!(result.dynamic_ops_per_s > 0.0 && result.naive_ops_per_s > 0.0);
-        let json = result.to_json();
+        let json = result.report().to_json();
+        assert!(json.contains("\"bench\": \"mapping_dynamic_index\""), "{json}");
         assert!(json.contains("\"speedup\""), "{json}");
         assert!(json.contains("\"points\": 600"), "{json}");
+        assert_eq!(result.dynamic_samples.len(), 1);
     }
 }

@@ -11,10 +11,9 @@ use std::time::{Duration, Instant};
 
 use tigris_data::Sequence;
 use tigris_geom::RigidTransform;
-use tigris_pipeline::{
-    prepare_frame, register_prepared_with_prior, Odometer, RegistrationConfig,
-};
+use tigris_pipeline::{prepare_frame, register_prepared_with_prior, Odometer, RegistrationConfig};
 
+use crate::report::BenchReport;
 use crate::workload::short_sequence;
 
 /// One reuse-on vs. reuse-off streaming comparison over the same frames.
@@ -28,6 +27,10 @@ pub struct OdometryBenchResult {
     pub reuse_time: Duration,
     /// Best-of-N wall-clock recomputing every frame's front end per pair.
     pub no_reuse_time: Duration,
+    /// Per-run wall-clock samples (seconds) for the reuse path.
+    pub reuse_samples: Vec<f64>,
+    /// Per-run wall-clock samples (seconds) for the recompute path.
+    pub no_reuse_samples: Vec<f64>,
     /// Frames per second with reuse.
     pub reuse_fps: f64,
     /// Frames per second without reuse.
@@ -43,24 +46,21 @@ pub struct OdometryBenchResult {
 }
 
 impl OdometryBenchResult {
-    /// The machine-readable baseline emitted by CI (`BENCH_odometry.json`).
-    pub fn to_json(&self) -> String {
-        format!(
-            "{{\n  \"bench\": \"odometry_streaming\",\n  \"frames\": {},\n  \
-             \"mean_points_per_frame\": {:.1},\n  \"reuse_seconds\": {:.6},\n  \
-             \"no_reuse_seconds\": {:.6},\n  \"reuse_fps\": {:.3},\n  \
-             \"no_reuse_fps\": {:.3},\n  \"speedup\": {:.3},\n  \
-             \"frames_prepared\": {},\n  \"frames_reused\": {}\n}}\n",
-            self.frames,
-            self.mean_points_per_frame,
-            self.reuse_time.as_secs_f64(),
-            self.no_reuse_time.as_secs_f64(),
-            self.reuse_fps,
-            self.no_reuse_fps,
-            self.speedup,
-            self.frames_prepared,
-            self.frames_reused,
-        )
+    /// The machine-readable baseline emitted by CI (`BENCH_odometry.json`),
+    /// in the shared [`BenchReport`] schema.
+    pub fn report(&self) -> BenchReport {
+        BenchReport::new("odometry_streaming")
+            .config_int("frames", self.frames)
+            .config_int("mean_points_per_frame", self.mean_points_per_frame as usize)
+            .samples("reuse_seconds", &self.reuse_samples)
+            .samples("no_reuse_seconds", &self.no_reuse_samples)
+            .derived_f64("reuse_seconds_best", self.reuse_time.as_secs_f64())
+            .derived_f64("no_reuse_seconds_best", self.no_reuse_time.as_secs_f64())
+            .derived_f64("reuse_fps", self.reuse_fps)
+            .derived_f64("no_reuse_fps", self.no_reuse_fps)
+            .derived_f64("speedup", self.speedup)
+            .derived_int("frames_prepared", self.frames_prepared)
+            .derived_int("frames_reused", self.frames_reused)
     }
 }
 
@@ -89,9 +89,8 @@ fn run_without_reuse(seq: &Sequence, cfg: &RegistrationConfig) -> Duration {
     for i in 1..seq.len() {
         let mut source = prepare_frame(seq.frame(i), cfg).expect("prepare failed");
         let mut target = prepare_frame(seq.frame(i - 1), cfg).expect("prepare failed");
-        let result =
-            register_prepared_with_prior(&mut source, &mut target, cfg, velocity.as_ref())
-                .expect("registration failed");
+        let result = register_prepared_with_prior(&mut source, &mut target, cfg, velocity.as_ref())
+            .expect("registration failed");
         velocity = Some(result.transform);
     }
     t0.elapsed()
@@ -111,10 +110,10 @@ pub fn run_streaming_comparison(frames: usize, seed: u64, runs: usize) -> Odomet
     // then take the best of `runs` for each.
     let (_, prepared, reused) = run_with_reuse(&seq, &cfg);
     run_without_reuse(&seq, &cfg);
-    let reuse_time =
-        (0..runs).map(|_| run_with_reuse(&seq, &cfg).0).min().expect("runs >= 1");
-    let no_reuse_time =
-        (0..runs).map(|_| run_without_reuse(&seq, &cfg)).min().expect("runs >= 1");
+    let reuse_runs: Vec<Duration> = (0..runs).map(|_| run_with_reuse(&seq, &cfg).0).collect();
+    let no_reuse_runs: Vec<Duration> = (0..runs).map(|_| run_without_reuse(&seq, &cfg)).collect();
+    let reuse_time = *reuse_runs.iter().min().expect("runs >= 1");
+    let no_reuse_time = *no_reuse_runs.iter().min().expect("runs >= 1");
 
     let reuse_fps = frames as f64 / reuse_time.as_secs_f64();
     let no_reuse_fps = frames as f64 / no_reuse_time.as_secs_f64();
@@ -123,6 +122,8 @@ pub fn run_streaming_comparison(frames: usize, seed: u64, runs: usize) -> Odomet
         mean_points_per_frame: mean_points,
         reuse_time,
         no_reuse_time,
+        reuse_samples: reuse_runs.iter().map(Duration::as_secs_f64).collect(),
+        no_reuse_samples: no_reuse_runs.iter().map(Duration::as_secs_f64).collect(),
         reuse_fps,
         no_reuse_fps,
         speedup: reuse_fps / no_reuse_fps,
@@ -143,8 +144,10 @@ mod tests {
         assert_eq!(result.frames_prepared, 3);
         assert_eq!(result.frames_reused, 1);
         assert!(result.reuse_fps > 0.0 && result.no_reuse_fps > 0.0);
-        let json = result.to_json();
+        let json = result.report().to_json();
+        assert!(json.contains("\"bench\": \"odometry_streaming\""), "{json}");
         assert!(json.contains("\"speedup\""), "{json}");
         assert!(json.contains("\"frames\": 3"), "{json}");
+        assert_eq!(result.reuse_samples.len(), 1);
     }
 }

@@ -178,17 +178,15 @@ impl Chart {
                     let group_w = plot_w / s.points.len().max(1) as f64;
                     let bar_w = (group_w / n_series as f64 * 0.8).max(1.0);
                     for (pi, &(_, y)) in s.points.iter().enumerate() {
-                        let x0 = MARGIN_L
-                            + pi as f64 * group_w
-                            + si as f64 * bar_w
-                            + group_w * 0.1;
+                        let x0 = MARGIN_L + pi as f64 * group_w + si as f64 * bar_w + group_w * 0.1;
                         let y_px = sy(if self.log_y { y.max(1e-12) } else { y });
-                        let base = sy(if self.log_y { 10f64.powf(y_min) } else { y_min.min(0.0).max(y_min) });
-                        let (top, h) = if y_px <= base {
-                            (y_px, base - y_px)
+                        let base = sy(if self.log_y {
+                            10f64.powf(y_min)
                         } else {
-                            (base, y_px - base)
-                        };
+                            y_min.min(0.0).max(y_min)
+                        });
+                        let (top, h) =
+                            if y_px <= base { (y_px, base - y_px) } else { (base, y_px - base) };
                         let _ = writeln!(
                             svg,
                             r#"<rect x="{x0:.1}" y="{top:.1}" width="{bar_w:.1}" height="{h:.1}" fill="{color}" opacity="0.85"/>"#

@@ -1,0 +1,198 @@
+//! The one machine-readable baseline writer every `BENCH_*.json` emitter
+//! shares.
+//!
+//! Each throughput bench (`benches/odometry.rs`, `benches/mapping.rs`,
+//! `benches/serve.rs`, …) archives a JSON baseline per CI run so
+//! regressions show up as diffable numbers. Before this module each
+//! bench hand-formatted its own flat JSON; now they all emit the same
+//! four-part schema:
+//!
+//! ```json
+//! {
+//!   "bench": "<name>",
+//!   "config": { "<knob>": <value>, ... },
+//!   "samples": { "<series>": [<per-run seconds>, ...], ... },
+//!   "derived": { "<stat>": <value>, ... }
+//! }
+//! ```
+//!
+//! `config` holds the workload knobs the run was shaped by, `samples`
+//! the raw per-run measurements (so a reader can recompute any
+//! statistic), and `derived` the headline numbers (throughput, speedup)
+//! the acceptance tests gate on. Keys keep insertion order; the writer
+//! is `std`-only (the workspace builds offline, so no serde).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// One bench run's machine-readable baseline; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    name: String,
+    config: Vec<(String, JsonValue)>,
+    samples: Vec<(String, Vec<f64>)>,
+    derived: Vec<(String, JsonValue)>,
+}
+
+/// The scalar value kinds a report field can hold.
+#[derive(Debug, Clone)]
+enum JsonValue {
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl JsonValue {
+    fn render(&self, out: &mut String) {
+        match self {
+            JsonValue::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            // Finite floats only (asserted on insert); fixed notation
+            // keeps diffs readable.
+            JsonValue::Float(v) => {
+                let _ = write!(out, "{v:.6}");
+            }
+            JsonValue::Str(v) => {
+                let _ = write!(out, "\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""));
+            }
+        }
+    }
+}
+
+impl BenchReport {
+    /// A new, empty report for the bench `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchReport {
+            name: name.into(),
+            config: Vec::new(),
+            samples: Vec::new(),
+            derived: Vec::new(),
+        }
+    }
+
+    /// Records an integer workload knob.
+    pub fn config_int(mut self, key: impl Into<String>, value: usize) -> Self {
+        self.config.push((key.into(), JsonValue::Int(value as i64)));
+        self
+    }
+
+    /// Records a textual workload knob.
+    pub fn config_str(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.config.push((key.into(), JsonValue::Str(value.into())));
+        self
+    }
+
+    /// Records one measurement series (raw per-run values, e.g. seconds
+    /// per run).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a value is not finite.
+    pub fn samples(mut self, key: impl Into<String>, values: &[f64]) -> Self {
+        assert!(values.iter().all(|v| v.is_finite()), "samples must be finite");
+        self.samples.push((key.into(), values.to_vec()));
+        self
+    }
+
+    /// Records a derived headline statistic (throughput, speedup, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value is not finite.
+    pub fn derived_f64(mut self, key: impl Into<String>, value: f64) -> Self {
+        assert!(value.is_finite(), "derived stat {value} must be finite");
+        self.derived.push((key.into(), JsonValue::Float(value)));
+        self
+    }
+
+    /// Records a derived integer statistic.
+    pub fn derived_int(mut self, key: impl Into<String>, value: usize) -> Self {
+        self.derived.push((key.into(), JsonValue::Int(value as i64)));
+        self
+    }
+
+    /// The report as pretty-printed JSON (trailing newline included).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = write!(out, "  \"bench\": ");
+        JsonValue::Str(self.name.clone()).render(&mut out);
+        out.push_str(",\n  \"config\": {");
+        for (i, (key, value)) in self.config.iter().enumerate() {
+            let _ = write!(out, "{}\n    \"{key}\": ", if i > 0 { "," } else { "" });
+            value.render(&mut out);
+        }
+        out.push_str("\n  },\n  \"samples\": {");
+        for (i, (key, values)) in self.samples.iter().enumerate() {
+            let _ = write!(out, "{}\n    \"{key}\": [", if i > 0 { "," } else { "" });
+            for (j, v) in values.iter().enumerate() {
+                let _ = write!(out, "{}{v:.6}", if j > 0 { ", " } else { "" });
+            }
+            out.push(']');
+        }
+        out.push_str("\n  },\n  \"derived\": {");
+        for (i, (key, value)) in self.derived.iter().enumerate() {
+            let _ = write!(out, "{}\n    \"{key}\": ", if i > 0 { "," } else { "" });
+            value.render(&mut out);
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Writes the report where CI expects it: the path in `$env_var`
+    /// when set, else `default_path`. Returns the path written.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the file cannot be written (a bench baseline that
+    /// silently fails to archive is worse than a loud failure).
+    pub fn write_env(&self, env_var: &str, default_path: &str) -> PathBuf {
+        let path = PathBuf::from(std::env::var(env_var).unwrap_or_else(|_| default_path.into()));
+        std::fs::write(&path, self.to_json()).unwrap_or_else(|e| {
+            panic!("writing the JSON baseline to {} failed: {e}", path.display())
+        });
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_renders_all_four_parts_in_order() {
+        let json = BenchReport::new("probe")
+            .config_int("items", 42)
+            .config_str("mode", "fast \"quoted\"")
+            .samples("elapsed_seconds", &[0.25, 0.5])
+            .derived_f64("speedup", 2.0)
+            .derived_int("rebuilds", 3)
+            .to_json();
+        let bench_at = json.find("\"bench\": \"probe\"").expect("bench name");
+        let config_at = json.find("\"config\"").expect("config part");
+        let samples_at = json.find("\"samples\"").expect("samples part");
+        let derived_at = json.find("\"derived\"").expect("derived part");
+        assert!(bench_at < config_at && config_at < samples_at && samples_at < derived_at);
+        assert!(json.contains("\"items\": 42"));
+        assert!(json.contains("\"mode\": \"fast \\\"quoted\\\"\""));
+        assert!(json.contains("\"elapsed_seconds\": [0.250000, 0.500000]"));
+        assert!(json.contains("\"speedup\": 2.000000"));
+        assert!(json.contains("\"rebuilds\": 3"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_parts_render_as_empty_objects() {
+        let json = BenchReport::new("empty").to_json();
+        assert!(json.contains("\"config\": {\n  }"));
+        assert!(json.contains("\"samples\": {\n  }"));
+        assert!(json.contains("\"derived\": {\n  }"));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_samples_are_rejected() {
+        let _ = BenchReport::new("bad").samples("x", &[f64::NAN]);
+    }
+}

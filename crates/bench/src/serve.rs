@@ -1,0 +1,189 @@
+//! Shared-map serving throughput: one frozen [`MapSnapshot`] serving
+//! every session vs. each session rebuilding the map for itself.
+//!
+//! The comparison answers the serving layer's existence question: what
+//! does freezing + sharing buy over the naive architecture where every
+//! localization client constructs its own `Mapper` from the same
+//! recorded sequence before it can answer "where am I"? Both paths run
+//! the exact same localization scripts and must produce bit-identical
+//! poses (the shared snapshot and each rebuilt map are deterministic
+//! images of the same stream); only the map-construction work differs.
+//!
+//! The same logic backs `benches/serve.rs` (which also emits the
+//! machine-readable `BENCH_serve.json` baseline in CI) and the
+//! release-scale acceptance test `tests/serve_speedup.rs` (snapshot
+//! sharing must deliver ≥3× over per-session rebuild at 4 sessions).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tigris_data::{LidarConfig, Sequence, SequenceConfig};
+use tigris_geom::RigidTransform;
+use tigris_map::{Mapper, MapperConfig};
+use tigris_serve::{LocalizationService, MapSnapshot, ServeConfig};
+
+use crate::report::BenchReport;
+
+/// Cold-start frames proven to verify on the benchmark fixture (the
+/// serving integration test's script heads), cycled across sessions.
+const COLD_STARTS: [usize; 4] = [2, 58, 61, 63];
+
+/// Tracked frames following each session's cold start.
+const TRACK_STEPS: usize = 2;
+
+/// One shared-snapshot vs. rebuild-per-session comparison.
+#[derive(Debug, Clone)]
+pub struct ServeBenchResult {
+    /// Concurrent localization sessions served.
+    pub sessions: usize,
+    /// Frames localized per session (1 cold start + tracked frames).
+    pub queries_per_session: usize,
+    /// Frames in the mapping sequence each map build consumes.
+    pub map_frames: usize,
+    /// Best-of-N wall-clock for build-once + freeze + serve-everyone.
+    pub shared_time: Duration,
+    /// Best-of-N wall-clock for rebuild-the-map-per-session + serve.
+    pub rebuild_time: Duration,
+    /// Per-run wall-clock samples (seconds), shared path.
+    pub shared_samples: Vec<f64>,
+    /// Per-run wall-clock samples (seconds), rebuild path.
+    pub rebuild_samples: Vec<f64>,
+    /// Localized frames per second, shared path (whole workload).
+    pub shared_fps: f64,
+    /// Localized frames per second, rebuild path.
+    pub rebuild_fps: f64,
+    /// `rebuild_time / shared_time`.
+    pub speedup: f64,
+}
+
+impl ServeBenchResult {
+    /// The machine-readable baseline emitted by CI (`BENCH_serve.json`),
+    /// in the shared [`BenchReport`] schema.
+    pub fn report(&self) -> BenchReport {
+        BenchReport::new("serve_shared_snapshot")
+            .config_int("sessions", self.sessions)
+            .config_int("queries_per_session", self.queries_per_session)
+            .config_int("map_frames", self.map_frames)
+            .samples("shared_seconds", &self.shared_samples)
+            .samples("rebuild_seconds", &self.rebuild_samples)
+            .derived_f64("shared_seconds_best", self.shared_time.as_secs_f64())
+            .derived_f64("rebuild_seconds_best", self.rebuild_time.as_secs_f64())
+            .derived_f64("shared_fps", self.shared_fps)
+            .derived_f64("rebuild_fps", self.rebuild_fps)
+            .derived_f64("speedup", self.speedup)
+    }
+}
+
+/// The benchmark fixture: the serving integration test's 60 m closed
+/// circuit at the low-resolution scanner.
+fn fixture_config() -> SequenceConfig {
+    let mut cfg = SequenceConfig::loop_circuit(60.0, 6);
+    cfg.lidar = LidarConfig::tiny();
+    cfg
+}
+
+/// Per-session localization scripts: session `s` cold-starts at a proven
+/// seam frame and tracks the next frames.
+fn scripts(sessions: usize) -> Vec<Vec<usize>> {
+    (0..sessions)
+        .map(|s| {
+            let start = COLD_STARTS[s % COLD_STARTS.len()];
+            (start..=start + TRACK_STEPS).collect()
+        })
+        .collect()
+}
+
+/// Builds the map from the sequence (the expensive write side).
+fn build_mapper(seq: &Sequence) -> Mapper {
+    let mut mapper = Mapper::new(MapperConfig::serving());
+    for i in 0..seq.len() {
+        mapper.push(seq.frame(i)).expect("mapping frame failed");
+    }
+    mapper
+}
+
+/// Serves every script against one snapshot, returning the localized
+/// poses in script order.
+fn serve_scripts(
+    snapshot: &Arc<MapSnapshot>,
+    seq: &Sequence,
+    scripts: &[Vec<usize>],
+) -> Vec<RigidTransform> {
+    let service = LocalizationService::new(Arc::clone(snapshot), ServeConfig::default());
+    let mut poses = Vec::new();
+    for script in scripts {
+        let mut session = service.open_session().expect("session admission");
+        for &frame in script {
+            let step = session.localize(seq.frame(frame)).expect("localization failed");
+            poses.push(step.pose);
+        }
+    }
+    poses
+}
+
+/// Shared path: build the map once, freeze once, serve every session
+/// from the `Arc`-shared snapshot.
+fn run_shared(seq: &Sequence, scripts: &[Vec<usize>]) -> (Duration, Vec<RigidTransform>) {
+    let t0 = Instant::now();
+    let snapshot = Arc::new(MapSnapshot::freeze(build_mapper(seq)).expect("freeze failed"));
+    let poses = serve_scripts(&snapshot, seq, scripts);
+    (t0.elapsed(), poses)
+}
+
+/// Rebuild path: every session constructs its own map from the same
+/// sequence before localizing — the architecture the snapshot replaces.
+fn run_rebuild(seq: &Sequence, scripts: &[Vec<usize>]) -> (Duration, Vec<RigidTransform>) {
+    let t0 = Instant::now();
+    let mut poses = Vec::new();
+    for script in scripts {
+        let snapshot = Arc::new(MapSnapshot::freeze(build_mapper(seq)).expect("freeze failed"));
+        poses.extend(serve_scripts(&snapshot, seq, std::slice::from_ref(script)));
+    }
+    (t0.elapsed(), poses)
+}
+
+/// Runs the comparison: `sessions` scripts served both ways,
+/// best-of-`runs` timing per path, poses asserted bit-identical across
+/// paths.
+pub fn run_shared_vs_rebuild_comparison(
+    sessions: usize,
+    seed: u64,
+    runs: usize,
+) -> ServeBenchResult {
+    assert!(sessions >= 1 && runs >= 1);
+    let seq = Sequence::generate(&fixture_config(), seed);
+    let scripts = scripts(sessions);
+    let queries_per_session = TRACK_STEPS + 1;
+
+    // Correctness first: the shared snapshot and every per-session
+    // rebuild are deterministic images of the same stream, so both
+    // paths must localize every frame to the bit-identical pose.
+    let (_, shared_poses) = run_shared(&seq, &scripts);
+    let (_, rebuild_poses) = run_rebuild(&seq, &scripts);
+    assert_eq!(shared_poses.len(), rebuild_poses.len());
+    for (i, (a, b)) in shared_poses.iter().zip(&rebuild_poses).enumerate() {
+        assert!(
+            a.translation == b.translation && a.rotation == b.rotation,
+            "pose {i} diverged between shared and rebuild paths"
+        );
+    }
+
+    let shared_runs: Vec<Duration> = (0..runs).map(|_| run_shared(&seq, &scripts).0).collect();
+    let rebuild_runs: Vec<Duration> = (0..runs).map(|_| run_rebuild(&seq, &scripts).0).collect();
+    let shared_time = *shared_runs.iter().min().expect("runs >= 1");
+    let rebuild_time = *rebuild_runs.iter().min().expect("runs >= 1");
+
+    let total_queries = (sessions * queries_per_session) as f64;
+    ServeBenchResult {
+        sessions,
+        queries_per_session,
+        map_frames: seq.len(),
+        shared_time,
+        rebuild_time,
+        shared_samples: shared_runs.iter().map(Duration::as_secs_f64).collect(),
+        rebuild_samples: rebuild_runs.iter().map(Duration::as_secs_f64).collect(),
+        shared_fps: total_queries / shared_time.as_secs_f64(),
+        rebuild_fps: total_queries / rebuild_time.as_secs_f64(),
+        speedup: rebuild_time.as_secs_f64() / shared_time.as_secs_f64(),
+    }
+}

@@ -36,11 +36,7 @@ pub fn frame_pair(seed: u64) -> (Vec<Vec3>, Vec<Vec3>, RigidTransform) {
     let mut cfg = SequenceConfig::medium();
     cfg.frames = 2;
     let seq = Sequence::generate(&cfg, seed);
-    (
-        seq.frame(1).points().to_vec(),
-        seq.frame(0).points().to_vec(),
-        seq.ground_truth_relative(0),
-    )
+    (seq.frame(1).points().to_vec(), seq.frame(0).points().to_vec(), seq.ground_truth_relative(0))
 }
 
 /// A short sequence for DSE / odometry experiments.
@@ -90,19 +86,11 @@ pub fn huge_frame_pair(min_points: usize, seed: u64) -> (Vec<Vec3>, Vec<Vec3>) {
     for w in 0..8 {
         let x0 = -50.0 + 14.0 * w as f64;
         for _ in 0..per_wall {
-            points.push(Vec3::new(
-                x0 + (unit() - 0.5) * 0.1,
-                (unit() - 0.5) * 100.0,
-                unit() * 8.0,
-            ));
+            points.push(Vec3::new(x0 + (unit() - 0.5) * 0.1, (unit() - 0.5) * 100.0, unit() * 8.0));
         }
     }
     while points.len() < min_points {
-        points.push(Vec3::new(
-            (unit() - 0.5) * 110.0,
-            (unit() - 0.5) * 110.0,
-            unit() * 5.0,
-        ));
+        points.push(Vec3::new((unit() - 0.5) * 110.0, (unit() - 0.5) * 110.0, unit() * 5.0));
     }
 
     let queries = points

@@ -17,7 +17,10 @@ fn streaming_reuse_delivers_1_3x_frames_per_second() {
     let result = run_streaming_comparison(6, 42, 3);
     eprintln!(
         "reuse {:.3} fps ({:?}) vs no-reuse {:.3} fps ({:?}): {:.2}x",
-        result.reuse_fps, result.reuse_time, result.no_reuse_fps, result.no_reuse_time,
+        result.reuse_fps,
+        result.reuse_time,
+        result.no_reuse_fps,
+        result.no_reuse_time,
         result.speedup
     );
     // Structural invariants first: the speedup must come from real reuse.

@@ -92,9 +92,8 @@ fn fig13_cache_absorbs_node_traffic() {
     let rows = figures::fig13(42);
     let acc_2skd = &rows[0];
     let acc_kd = &rows[1];
-    let frac = |r: &figures::Fig13Row, name: &str| {
-        r.fractions.iter().find(|(n, _)| *n == name).unwrap().1
-    };
+    let frac =
+        |r: &figures::Fig13Row, name: &str| r.fractions.iter().find(|(n, _)| *n == name).unwrap().1;
     // The two-stage configuration has node-cache traffic; the classic one
     // has none (no exhaustive scans to cache).
     assert!(frac(acc_2skd, "Node Cache") > 0.05);
@@ -107,10 +106,7 @@ fn fig13_cache_absorbs_node_traffic() {
 fn fig14_front_end_saturation() {
     let rows = figures::fig14(42);
     let time = |rus: usize, sus: usize, pes: usize| {
-        rows.iter()
-            .find(|r| r.rus == rus && r.sus == sus && r.pes == pes)
-            .unwrap()
-            .time_ms
+        rows.iter().find(|r| r.rus == rus && r.sus == sus && r.pes == pes).unwrap().time_ms
     };
     // With few RUs, scaling the back-end barely helps (front-end-bound).
     let small_gain = time(16, 16, 16) / time(16, 128, 128);
@@ -126,10 +122,7 @@ fn fig14_front_end_saturation() {
 #[ignore = "release-scale workload"]
 fn fig15_has_interior_optimum() {
     let rows = figures::fig15(42);
-    let best = rows
-        .iter()
-        .min_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).unwrap())
-        .unwrap();
+    let best = rows.iter().min_by(|a, b| a.time_ms.partial_cmp(&b.time_ms).unwrap()).unwrap();
     let first = rows.first().unwrap();
     let last = rows.last().unwrap();
     // The optimum is strictly inside the sweep: both extremes are worse.
@@ -143,9 +136,8 @@ fn fig15_has_interior_optimum() {
 fn ablations_support_paper_design_choices() {
     // Leader cap: diminishing returns beyond the paper's 16.
     let caps = figures::ablation_leader_cap(42);
-    let at = |v: f64, rows: &[figures::AblationRow]| {
-        rows.iter().find(|r| r.value == v).unwrap().metric
-    };
+    let at =
+        |v: f64, rows: &[figures::AblationRow]| rows.iter().find(|r| r.value == v).unwrap().metric;
     assert!(at(16.0, &caps) > 0.8 * at(64.0, &caps));
     assert!(at(16.0, &caps) > 1.5 * at(1.0, &caps));
 

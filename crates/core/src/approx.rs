@@ -35,11 +35,7 @@ pub struct ApproxConfig {
 
 impl Default for ApproxConfig {
     fn default() -> Self {
-        ApproxConfig {
-            nn_threshold: 1.2,
-            radius_threshold_frac: 0.4,
-            leader_cap: 16,
-        }
+        ApproxConfig { nn_threshold: 1.2, radius_threshold_frac: 0.4, leader_cap: 16 }
     }
 }
 
@@ -59,9 +55,7 @@ fn closest_leader(leaders: &[Leader], q: Vec3, stats: &mut SearchStats) -> Optio
         .iter()
         .enumerate()
         .min_by(|(_, a), (_, b)| {
-            q.distance_squared(a.query)
-                .partial_cmp(&q.distance_squared(b.query))
-                .unwrap()
+            q.distance_squared(a.query).partial_cmp(&q.distance_squared(b.query)).unwrap()
         })
         .map(|(i, l)| (i, q.distance(l.query)))
 }
@@ -144,10 +138,7 @@ pub(crate) fn radius_in_book(
     let result = tree.radius_with_stats(query, radius, stats);
     if book.len() < cfg.leader_cap {
         stats.leader_promotions += 1;
-        book.push(Leader {
-            query,
-            results: result.iter().map(|n| n.index as u32).collect(),
-        });
+        book.push(Leader { query, results: result.iter().map(|n| n.index as u32).collect() });
     }
     result
 }
@@ -449,11 +440,11 @@ mod tests {
     fn followers_reduce_work() {
         let pts = lcg_cloud(8000, 2);
         let tree = TwoStageKdTree::build(&pts, 4);
-        let mut s = ApproxSearcher::new(&tree, ApproxConfig { nn_threshold: 5.0, ..Default::default() });
+        let mut s =
+            ApproxSearcher::new(&tree, ApproxConfig { nn_threshold: 5.0, ..Default::default() });
         // A tight cluster of queries: after the first, the rest follow.
-        let queries: Vec<Vec3> = (0..50)
-            .map(|i| Vec3::new(1.0 + 0.01 * i as f64, 2.0, 3.0))
-            .collect();
+        let queries: Vec<Vec3> =
+            (0..50).map(|i| Vec3::new(1.0 + 0.01 * i as f64, 2.0, 3.0)).collect();
 
         let mut approx_stats = SearchStats::new();
         for &q in &queries {
@@ -481,7 +472,8 @@ mod tests {
         let pts = lcg_cloud(5000, 3);
         let tree = TwoStageKdTree::build(&pts, 5);
         let thd = 1.2;
-        let mut s = ApproxSearcher::new(&tree, ApproxConfig { nn_threshold: thd, ..Default::default() });
+        let mut s =
+            ApproxSearcher::new(&tree, ApproxConfig { nn_threshold: thd, ..Default::default() });
         for q in lcg_cloud(300, 4) {
             let approx = s.nn(q).unwrap();
             let exact = tree.nn(q).unwrap();

@@ -47,7 +47,9 @@
 //! ```
 
 use crate::approx::{nn_in_book, radius_in_book, Leader, LeaderBooks};
-use crate::{ApproxConfig, ApproxIndex, ApproxSearcher, KdTree, Neighbor, SearchStats, TwoStageKdTree};
+use crate::{
+    ApproxConfig, ApproxIndex, ApproxSearcher, KdTree, Neighbor, SearchStats, TwoStageKdTree,
+};
 use tigris_geom::Vec3;
 
 /// Parallelism knobs for batched query execution.
@@ -146,8 +148,7 @@ where
                 let f = &f;
                 scope.spawn(move || {
                     let mut local = SearchStats::new();
-                    let out: Vec<R> =
-                        queries[lo..hi].iter().map(|&q| f(q, &mut local)).collect();
+                    let out: Vec<R> = queries[lo..hi].iter().map(|&q| f(q, &mut local)).collect();
                     (out, local)
                 })
             })
@@ -617,10 +618,7 @@ fn approx_batch<R: Send>(
     });
 
     *stats += merged;
-    slots
-        .into_iter()
-        .map(|s| s.expect("every query routed to exactly one worker"))
-        .collect()
+    slots.into_iter().map(|s| s.expect("every query routed to exactly one worker")).collect()
 }
 
 impl BatchSearcher for ApproxSearcher<'_> {

@@ -162,9 +162,7 @@ mod tests {
     use super::*;
 
     fn grid() -> Vec<Vec3> {
-        (0..27)
-            .map(|i| Vec3::new((i % 3) as f64, ((i / 3) % 3) as f64, (i / 9) as f64))
-            .collect()
+        (0..27).map(|i| Vec3::new((i % 3) as f64, ((i / 3) % 3) as f64, (i / 9) as f64)).collect()
     }
 
     #[test]

@@ -174,11 +174,7 @@ impl DynamicMapIndex {
     }
 
     /// [`DynamicMapIndex::nn_query`] with visit accounting.
-    pub fn nn_query_with_stats(
-        &self,
-        query: Vec3,
-        stats: &mut SearchStats,
-    ) -> Option<Neighbor> {
+    pub fn nn_query_with_stats(&self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
         if self.points.is_empty() {
             return None;
         }
@@ -266,6 +262,50 @@ impl DynamicMapIndex {
         merged.sort();
         merged
     }
+
+    // ---- Shared read-only batch path ----------------------------------
+
+    /// Batched [`DynamicMapIndex::nn_query`] through `&self` — the shared
+    /// read-only entry point for `Arc`-shared frozen maps (the serving
+    /// layer), where many sessions query one index concurrently and no
+    /// `&mut` exists. Answers and merged `stats` are bit-identical to
+    /// running the serial query per element in order.
+    pub fn nn_batch_shared(
+        &self,
+        queries: &[Vec3],
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Option<Neighbor>> {
+        parallel_queries(queries, cfg, stats, |q, s| self.nn_query_with_stats(q, s))
+    }
+
+    /// Batched [`DynamicMapIndex::knn_query`] through `&self`; see
+    /// [`DynamicMapIndex::nn_batch_shared`].
+    pub fn knn_batch_shared(
+        &self,
+        queries: &[Vec3],
+        k: usize,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        parallel_queries(queries, cfg, stats, |q, s| self.knn_query_with_stats(q, k, s))
+    }
+
+    /// Batched [`DynamicMapIndex::radius_query`] through `&self`; see
+    /// [`DynamicMapIndex::nn_batch_shared`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `radius` is negative.
+    pub fn radius_batch_shared(
+        &self,
+        queries: &[Vec3],
+        radius: f64,
+        cfg: &BatchConfig,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Neighbor>> {
+        parallel_queries(queries, cfg, stats, |q, s| self.radius_query_with_stats(q, radius, s))
+    }
 }
 
 /// Queries borrow the index shared (the buffer only grows on insert), so
@@ -294,8 +334,7 @@ impl BatchSearcher for DynamicMapIndex {
         cfg: &BatchConfig,
         stats: &mut SearchStats,
     ) -> Vec<Option<Neighbor>> {
-        let index = &*self;
-        parallel_queries(queries, cfg, stats, |q, s| index.nn_query_with_stats(q, s))
+        self.nn_batch_shared(queries, cfg, stats)
     }
 
     fn knn_batch(
@@ -305,8 +344,7 @@ impl BatchSearcher for DynamicMapIndex {
         cfg: &BatchConfig,
         stats: &mut SearchStats,
     ) -> Vec<Vec<Neighbor>> {
-        let index = &*self;
-        parallel_queries(queries, cfg, stats, |q, s| index.knn_query_with_stats(q, k, s))
+        self.knn_batch_shared(queries, k, cfg, stats)
     }
 
     fn radius_batch(
@@ -316,10 +354,7 @@ impl BatchSearcher for DynamicMapIndex {
         cfg: &BatchConfig,
         stats: &mut SearchStats,
     ) -> Vec<Vec<Neighbor>> {
-        let index = &*self;
-        parallel_queries(queries, cfg, stats, |q, s| {
-            index.radius_query_with_stats(q, radius, s)
-        })
+        self.radius_batch_shared(queries, radius, cfg, stats)
     }
 }
 
@@ -477,6 +512,38 @@ mod tests {
         assert_eq!(stats.queries, 3);
         assert_eq!(stats.leaf_points_scanned, 3, "one fresh point per query");
         assert!(stats.tree_nodes_visited > 0);
+    }
+
+    #[test]
+    fn shared_batches_match_serial_queries_bitwise() {
+        // The &self batch path (what Arc-shared snapshots use) must answer
+        // and meter exactly like serial queries, at any thread count.
+        let mut idx = DynamicMapIndex::with_fresh_capacity(32);
+        idx.extend(&lcg_points(300, 11));
+        idx.insert(Vec3::new(0.1, 0.2, 0.3)); // leave a fresh point in play
+        let queries = lcg_points(64, 12);
+        for cfg in [BatchConfig::serial(), BatchConfig::with_threads(4)] {
+            let mut serial_stats = SearchStats::new();
+            let nn_serial: Vec<_> =
+                queries.iter().map(|&q| idx.nn_query_with_stats(q, &mut serial_stats)).collect();
+            let knn_serial: Vec<_> = queries
+                .iter()
+                .map(|&q| idx.knn_query_with_stats(q, 5, &mut serial_stats))
+                .collect();
+            let radius_serial: Vec<_> = queries
+                .iter()
+                .map(|&q| idx.radius_query_with_stats(q, 3.0, &mut serial_stats))
+                .collect();
+
+            let mut batch_stats = SearchStats::new();
+            assert_eq!(idx.nn_batch_shared(&queries, &cfg, &mut batch_stats), nn_serial);
+            assert_eq!(idx.knn_batch_shared(&queries, 5, &cfg, &mut batch_stats), knn_serial);
+            assert_eq!(
+                idx.radius_batch_shared(&queries, 3.0, &cfg, &mut batch_stats),
+                radius_serial
+            );
+            assert_eq!(batch_stats, serial_stats, "stats must merge losslessly");
+        }
     }
 
     #[test]

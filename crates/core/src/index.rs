@@ -78,6 +78,12 @@ pub struct IndexSize {
 /// books, accelerator leader buffers) can evolve as queries stream
 /// through; stateless trees simply reborrow shared.
 ///
+/// Implementations must be `Send + Sync`: a built index may be moved
+/// into — and shared behind — structures served to many threads at once
+/// (the serving layer's `Arc`-shared frozen maps). No builtin uses
+/// interior mutability, so `Sync` is automatic; a custom backend that
+/// wants query-time interior state must synchronize it itself.
+///
 /// # Contract
 ///
 /// Implementations must uphold (verified by `core/tests/index_contract.rs`):
@@ -89,7 +95,7 @@ pub struct IndexSize {
 ///   exceeds exact by at most `2·thd`; radius results are a sound subset);
 /// * every `*_batch` method returns exactly what the serial method would,
 ///   in query order, with [`SearchStats`] merged losslessly.
-pub trait SearchIndex: Send {
+pub trait SearchIndex: Send + Sync {
     /// Builds this backend over `points` with its default parameters.
     ///
     /// Parameterized backends expose richer constructors on the concrete
@@ -386,7 +392,12 @@ impl SearchIndex for BruteForceIndex {
     }
 
     fn knn(&mut self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
-        crate::bruteforce::knn_brute_force_with_stats(BruteForceIndex::points(self), query, k, stats)
+        crate::bruteforce::knn_brute_force_with_stats(
+            BruteForceIndex::points(self),
+            query,
+            k,
+            stats,
+        )
     }
 
     fn radius(&mut self, query: Vec3, radius: f64, stats: &mut SearchStats) -> Vec<Neighbor> {
@@ -443,7 +454,10 @@ fn registry() -> &'static RwLock<BTreeMap<String, BackendFactory>> {
             "two-stage-approx".into(),
             Box::new(|pts| Box::new(ApproxIndex::from_points(pts))),
         );
-        map.insert("brute-force".into(), Box::new(|pts| Box::new(BruteForceIndex::from_points(pts))));
+        map.insert(
+            "brute-force".into(),
+            Box::new(|pts| Box::new(BruteForceIndex::from_points(pts))),
+        );
         map.insert("dynamic".into(), Box::new(|pts| Box::new(DynamicMapIndex::from_points(pts))));
         RwLock::new(map)
     })
@@ -476,9 +490,20 @@ pub fn build_backend(name: &str, points: &[Vec3]) -> Option<Box<dyn SearchIndex>
     registry().read().expect("backend registry poisoned").get(name).map(|f| f(points))
 }
 
-/// The names of all registered backends, sorted.
+/// The names of all registered backends, in ascending lexicographic
+/// order.
+///
+/// The ordering is a documented guarantee, not an accident of the
+/// registry's storage: sweeps, benches and logs iterate this list, and a
+/// registration-order- or hash-dependent sequence would make their
+/// output differ run to run (and machine to machine) for no semantic
+/// reason. The explicit sort keeps the guarantee independent of the
+/// backing container.
 pub fn backend_names() -> Vec<String> {
-    registry().read().expect("backend registry poisoned").keys().cloned().collect()
+    let mut names: Vec<String> =
+        registry().read().expect("backend registry poisoned").keys().cloned().collect();
+    names.sort();
+    names
 }
 
 #[cfg(test)]
@@ -486,7 +511,9 @@ mod tests {
     use super::*;
 
     fn grid(n: usize) -> Vec<Vec3> {
-        (0..n).map(|i| Vec3::new((i % 10) as f64, ((i / 10) % 10) as f64, (i / 100) as f64)).collect()
+        (0..n)
+            .map(|i| Vec3::new((i % 10) as f64, ((i / 10) % 10) as f64, (i / 100) as f64))
+            .collect()
     }
 
     #[test]
@@ -512,6 +539,26 @@ mod tests {
     #[test]
     fn unknown_backend_is_none() {
         assert!(build_backend("warp-drive", &grid(10)).is_none());
+    }
+
+    #[test]
+    fn backend_names_are_deterministically_sorted() {
+        // The listing order is a documented guarantee (sweeps, benches
+        // and logs iterate it): ascending lexicographic, stable across
+        // calls, registration order irrelevant.
+        let names = backend_names();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "backend_names() must come back sorted");
+        assert_eq!(names, backend_names(), "repeat calls must agree exactly");
+        // A name registered "out of order" (lexicographically early,
+        // registered late) still lands in its sorted position.
+        register_backend("aaa-sort-probe", |pts| Box::new(KdTree::build(pts)));
+        let with_probe = backend_names();
+        assert_eq!(with_probe.first().map(String::as_str), Some("aaa-sort-probe"));
+        let mut resorted = with_probe.clone();
+        resorted.sort();
+        assert_eq!(with_probe, resorted);
     }
 
     #[test]

@@ -53,10 +53,7 @@ pub fn shell_radius(tree: &KdTree, query: Vec3, r1: f64, r2: f64) -> Vec<Neighbo
     assert!(r1 >= 0.0, "inner radius must be non-negative");
     assert!(r1 <= r2, "inner radius must not exceed outer radius");
     let r1_sq = r1 * r1;
-    tree.radius(query, r2)
-        .into_iter()
-        .filter(|n| n.distance_squared >= r1_sq)
-        .collect()
+    tree.radius(query, r2).into_iter().filter(|n| n.distance_squared >= r1_sq).collect()
 }
 
 #[cfg(test)]
@@ -93,10 +90,7 @@ mod tests {
     fn shell_includes_only_annulus() {
         let tree = KdTree::build(&line_points(20));
         let res = shell_radius(&tree, Vec3::ZERO, 3.0, 6.0);
-        let xs: Vec<f64> = res
-            .iter()
-            .map(|n| tree.points()[n.index].x)
-            .collect();
+        let xs: Vec<f64> = res.iter().map(|n| tree.points()[n.index].x).collect();
         assert_eq!(xs, vec![3.0, 4.0, 5.0, 6.0]);
     }
 

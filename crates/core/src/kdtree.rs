@@ -116,11 +116,8 @@ impl KdTree {
 
         let axis = node.axis as usize;
         let delta = query.axis(axis) - p.axis(axis);
-        let (near, far) = if delta < 0.0 {
-            (node.left, node.right)
-        } else {
-            (node.right, node.left)
-        };
+        let (near, far) =
+            if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
 
         if near != NONE {
             self.nn_recurse(near, query, best, stats);
@@ -186,11 +183,8 @@ impl KdTree {
 
         let axis = node.axis as usize;
         let delta = query.axis(axis) - p.axis(axis);
-        let (near, far) = if delta < 0.0 {
-            (node.left, node.right)
-        } else {
-            (node.right, node.left)
-        };
+        let (near, far) =
+            if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
         if near != NONE {
             self.knn_recurse(near, query, k, heap, stats);
         }
@@ -259,11 +253,8 @@ impl KdTree {
 
         let axis = node.axis as usize;
         let delta = query.axis(axis) - p.axis(axis);
-        let (near, far) = if delta < 0.0 {
-            (node.left, node.right)
-        } else {
-            (node.right, node.left)
-        };
+        let (near, far) =
+            if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
         if near != NONE {
             self.radius_recurse(near, query, r2, r, out, stats);
         }
@@ -279,7 +270,12 @@ impl KdTree {
 
 /// Recursively builds the subtree over `indices`, appending nodes to
 /// `nodes` and returning the subtree root index (or `NONE` when empty).
-fn build_recursive(points: &[Vec3], indices: &mut [u32], nodes: &mut Vec<Node>, _depth: usize) -> u32 {
+fn build_recursive(
+    points: &[Vec3],
+    indices: &mut [u32],
+    nodes: &mut Vec<Node>,
+    _depth: usize,
+) -> u32 {
     if indices.is_empty() {
         return NONE;
     }

@@ -129,13 +129,16 @@ impl KdTreeN {
 
     fn dist2(&self, i: usize, query: &[f64]) -> f64 {
         let p = self.point(i);
-        p.iter()
-            .zip(query)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum()
+        p.iter().zip(query).map(|(a, b)| (a - b) * (a - b)).sum()
     }
 
-    fn nn_recurse(&self, node_idx: u32, query: &[f64], best: &mut Neighbor, stats: &mut SearchStats) {
+    fn nn_recurse(
+        &self,
+        node_idx: u32,
+        query: &[f64],
+        best: &mut Neighbor,
+        stats: &mut SearchStats,
+    ) {
         let node = self.nodes[node_idx as usize];
         stats.tree_nodes_visited += 1;
         let d2 = self.dist2(node.point as usize, query);
@@ -146,7 +149,8 @@ impl KdTreeN {
         }
         let axis = node.axis as usize;
         let delta = query[axis] - self.point(node.point as usize)[axis];
-        let (near, far) = if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        let (near, far) =
+            if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
         if near != NONE {
             self.nn_recurse(near, query, best, stats);
         }
@@ -178,7 +182,8 @@ impl KdTreeN {
         }
         let axis = node.axis as usize;
         let delta = query[axis] - self.point(node.point as usize)[axis];
-        let (near, far) = if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        let (near, far) =
+            if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
         if near != NONE {
             self.nn2_recurse(near, query, best, stats);
         }

@@ -111,13 +111,7 @@ impl TwoStageKdTree {
         let mut top_nodes = Vec::new();
         let mut leaves = Vec::new();
         let root = build_top(points, &mut indices[..], top_height, &mut top_nodes, &mut leaves);
-        TwoStageKdTree {
-            points: points.to_vec(),
-            top_nodes,
-            leaves,
-            root,
-            top_height,
-        }
+        TwoStageKdTree { points: points.to_vec(), top_nodes, leaves, root, top_height }
     }
 
     /// Number of indexed points.
@@ -226,11 +220,8 @@ impl TwoStageKdTree {
                     *best = Neighbor::new(node.point as usize, d2);
                 }
                 let delta = query.axis(node.axis as usize) - node.split;
-                let (near, far) = if delta < 0.0 {
-                    (node.left, node.right)
-                } else {
-                    (node.right, node.left)
-                };
+                let (near, far) =
+                    if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
                 self.nn_child(near, query, best, stats);
                 if far != TopChild::None {
                     if delta * delta <= best.distance_squared {
@@ -328,11 +319,8 @@ impl TwoStageKdTree {
                 stats.tree_nodes_visited += 1;
                 offer(node.point as usize, query.distance_squared(p), heap);
                 let delta = query.axis(node.axis as usize) - node.split;
-                let (near, far) = if delta < 0.0 {
-                    (node.left, node.right)
-                } else {
-                    (node.right, node.left)
-                };
+                let (near, far) =
+                    if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
                 self.knn_child(near, query, k, heap, stats);
                 if far != TopChild::None {
                     let bound = if heap.len() < k {
@@ -402,11 +390,8 @@ impl TwoStageKdTree {
                     *best = Neighbor::new(node.point as usize, d2);
                 }
                 let delta = query.axis(node.axis as usize) - node.split;
-                let (near, far) = if delta < 0.0 {
-                    (node.left, node.right)
-                } else {
-                    (node.right, node.left)
-                };
+                let (near, far) =
+                    if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
                 self.collect_leaves_nn(near, query, best, leaves, stats);
                 if far != TopChild::None {
                     if delta * delta <= best.distance_squared {
@@ -474,11 +459,8 @@ impl TwoStageKdTree {
                     out.push(Neighbor::new(node.point as usize, d2));
                 }
                 let delta = query.axis(node.axis as usize) - node.split;
-                let (near, far) = if delta < 0.0 {
-                    (node.left, node.right)
-                } else {
-                    (node.right, node.left)
-                };
+                let (near, far) =
+                    if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
                 self.radius_child(near, query, r, r2, out, stats);
                 if far != TopChild::None {
                     if delta.abs() <= r {
@@ -610,7 +592,8 @@ mod tests {
         assert_eq!(t5.leaves().len(), 32);
         assert!(t3.mean_leaf_size() > t5.mean_leaf_size());
         // All points accounted for: top nodes + leaf points == total.
-        let total3 = t3.top_nodes().len() + t3.leaves().iter().map(|l| l.points.len()).sum::<usize>();
+        let total3 =
+            t3.top_nodes().len() + t3.leaves().iter().map(|l| l.points.len()).sum::<usize>();
         assert_eq!(total3, 1024);
     }
 

@@ -32,10 +32,8 @@ macro_rules! assert_batch_equals_serial {
     ($make:expr, $queries:expr, $cfg:expr, $serial:expr, $batched:expr) => {{
         let mut serial_backend = $make;
         let mut serial_stats = SearchStats::new();
-        let serial_out: Vec<_> = $queries
-            .iter()
-            .map(|&q| $serial(&mut serial_backend, q, &mut serial_stats))
-            .collect();
+        let serial_out: Vec<_> =
+            $queries.iter().map(|&q| $serial(&mut serial_backend, q, &mut serial_stats)).collect();
 
         let mut batch_backend = $make;
         let mut batch_stats = SearchStats::new();

@@ -58,8 +58,11 @@ fn exact_backends_agree_with_brute_force_bit_for_bit() {
         for &q in &queries {
             let nn = index.nn(q, &mut stats).unwrap();
             let oracle = nn_brute_force(&pts, q).unwrap();
-            assert_eq!((nn.index, nn.distance_squared), (oracle.index, oracle.distance_squared),
-                "{name}: nn mismatch");
+            assert_eq!(
+                (nn.index, nn.distance_squared),
+                (oracle.index, oracle.distance_squared),
+                "{name}: nn mismatch"
+            );
 
             let knn = index.knn(q, 7, &mut stats);
             assert_eq!(knn, knn_brute_force(&pts, q, 7), "{name}: knn mismatch");
@@ -149,8 +152,7 @@ fn batched_equals_serial_for_every_backend() {
         let b_knn = batched.knn_batch(&queries, 5, &cfg, &mut b_stats);
         assert_eq!(s_knn, b_knn, "{name}: batched knn differs from serial");
 
-        let s_rad: Vec<_> =
-            queries.iter().map(|&q| serial.radius(q, 1.5, &mut s_stats)).collect();
+        let s_rad: Vec<_> = queries.iter().map(|&q| serial.radius(q, 1.5, &mut s_stats)).collect();
         let b_rad = batched.radius_batch(&queries, 1.5, &cfg, &mut b_stats);
         assert_eq!(s_rad, b_rad, "{name}: batched radius differs from serial");
 

@@ -116,8 +116,18 @@ pub fn pose_to_line(pose: &RigidTransform) -> String {
     let t = pose.translation;
     format!(
         "{:e} {:e} {:e} {:e} {:e} {:e} {:e} {:e} {:e} {:e} {:e} {:e}",
-        r[0][0], r[0][1], r[0][2], t.x, r[1][0], r[1][1], r[1][2], t.y, r[2][0], r[2][1],
-        r[2][2], t.z
+        r[0][0],
+        r[0][1],
+        r[0][2],
+        t.x,
+        r[1][0],
+        r[1][1],
+        r[1][2],
+        t.y,
+        r[2][0],
+        r[2][1],
+        r[2][2],
+        t.z
     )
 }
 

@@ -31,7 +31,9 @@ pub mod scene;
 pub mod sequence;
 pub mod trajectory;
 
-pub use kitti_io::{read_poses, read_velodyne_bin, read_xyz, write_poses, write_velodyne_bin, write_xyz};
+pub use kitti_io::{
+    read_poses, read_velodyne_bin, read_xyz, write_poses, write_velodyne_bin, write_xyz,
+};
 pub use lidar::{Lidar, LidarConfig};
 pub use metrics::{absolute_trajectory_error, relative_pose_error, sequence_error, OdometryError};
 pub use scene::{Scene, SceneConfig, SceneKind};

@@ -100,11 +100,7 @@ impl Lidar {
 
         let mut points = Vec::with_capacity(cfg.rays_per_frame() / 2);
         for beam in 0..cfg.beams {
-            let frac = if cfg.beams > 1 {
-                beam as f64 / (cfg.beams - 1) as f64
-            } else {
-                0.5
-            };
+            let frac = if cfg.beams > 1 { beam as f64 / (cfg.beams - 1) as f64 } else { 0.5 };
             let elevation = cfg.elevation_max + frac * (cfg.elevation_min - cfg.elevation_max);
             let (sin_e, cos_e) = elevation.sin_cos();
             for step in 0..cfg.azimuth_steps {
@@ -162,11 +158,7 @@ mod tests {
     fn ground_points_lie_near_sensor_minus_mount_height() {
         // In the sensor frame the ground shows up around z = -mount_height.
         let cloud = scan_once(5);
-        let ground_points = cloud
-            .points()
-            .iter()
-            .filter(|p| p.z < -1.0)
-            .count();
+        let ground_points = cloud.points().iter().filter(|p| p.z < -1.0).count();
         assert!(ground_points > 50, "ground returns expected, got {ground_points}");
         let min_z = cloud.points().iter().map(|p| p.z).fold(f64::INFINITY, f64::min);
         assert!(min_z > -2.5, "nothing should be far below the ground plane, min_z = {min_z}");
@@ -198,7 +190,10 @@ mod tests {
     #[test]
     fn pose_changes_the_view() {
         let scene = Scene::generate(&SceneConfig::tiny(), 1);
-        let mut lidar = Lidar::new(LidarConfig { range_noise_sigma: 0.0, dropout: 0.0, ..LidarConfig::tiny() }, 1);
+        let mut lidar = Lidar::new(
+            LidarConfig { range_noise_sigma: 0.0, dropout: 0.0, ..LidarConfig::tiny() },
+            1,
+        );
         let a = lidar.scan(&scene, &RigidTransform::from_translation(Vec3::new(5.0, 0.0, 0.0)));
         let b = lidar.scan(&scene, &RigidTransform::from_translation(Vec3::new(30.0, 0.0, 0.0)));
         // Different vantage points see different numbers of returns.

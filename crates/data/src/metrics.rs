@@ -52,11 +52,8 @@ pub fn absolute_trajectory_error(est: &[RigidTransform], gt: &[RigidTransform]) 
     if est.is_empty() {
         return 0.0;
     }
-    let sum_sq: f64 = est
-        .iter()
-        .zip(gt)
-        .map(|(e, g)| (e.translation - g.translation).norm_squared())
-        .sum();
+    let sum_sq: f64 =
+        est.iter().zip(gt).map(|(e, g)| (e.translation - g.translation).norm_squared()).sum();
     (sum_sq / est.len() as f64).sqrt()
 }
 
@@ -121,7 +118,9 @@ mod tests {
     #[test]
     fn perfect_estimates_have_zero_error() {
         let gt: Vec<RigidTransform> = (0..5)
-            .map(|i| RigidTransform::from_axis_angle(Vec3::Z, 0.01 * i as f64, Vec3::new(1.0, 0.0, 0.0)))
+            .map(|i| {
+                RigidTransform::from_axis_angle(Vec3::Z, 0.01 * i as f64, Vec3::new(1.0, 0.0, 0.0))
+            })
             .collect();
         let err = sequence_error(&gt, &gt);
         assert_eq!(err.pairs, 5);
@@ -144,10 +143,7 @@ mod tests {
     fn rotation_error_is_degrees_per_meter() {
         // GT: 2 m forward, no rotation. Estimate adds a 0.02 rad yaw.
         let gt = vec![RigidTransform::from_translation(Vec3::new(2.0, 0.0, 0.0))];
-        let est = vec![RigidTransform::new(
-            Mat3::rotation_z(0.02),
-            Vec3::new(2.0, 0.0, 0.0),
-        )];
+        let est = vec![RigidTransform::new(Mat3::rotation_z(0.02), Vec3::new(2.0, 0.0, 0.0))];
         let err = sequence_error(&est, &gt);
         let expected = 0.02f64.to_degrees() / 2.0;
         assert!((err.rotational_deg_per_m - expected).abs() < 1e-9);

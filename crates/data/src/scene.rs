@@ -77,10 +77,7 @@ impl Primitive {
                 // Transform the ray into the box frame and run the slab test.
                 let (s, c) = yaw.sin_cos();
                 let to_local = |v: Vec3| Vec3::new(c * v.x + s * v.y, -s * v.x + c * v.y, v.z);
-                let local = Ray {
-                    origin: to_local(ray.origin - center),
-                    dir: to_local(ray.dir),
-                };
+                let local = Ray { origin: to_local(ray.origin - center), dir: to_local(ray.dir) };
                 ray_box(&local, -half_extents, half_extents)
             }
         }
@@ -208,11 +205,7 @@ impl SceneConfig {
 
     /// A highway environment.
     pub fn highway() -> Self {
-        SceneConfig {
-            kind: SceneKind::Highway,
-            road_half_width: 12.0,
-            ..SceneConfig::default()
-        }
+        SceneConfig { kind: SceneKind::Highway, road_half_width: 12.0, ..SceneConfig::default() }
     }
 
     /// A closed-circuit ring road of the given circumference (meters).
@@ -339,11 +332,7 @@ impl Scene {
             let hz = rng.gen_range(0.4..1.2);
             prims.push(Primitive::RotatedBox {
                 center: at(phi, rho.max(0.5), hz),
-                half_extents: Vec3::new(
-                    rng.gen_range(0.4..1.6),
-                    rng.gen_range(0.3..1.1),
-                    hz,
-                ),
+                half_extents: Vec3::new(rng.gen_range(0.4..1.6), rng.gen_range(0.3..1.1), hz),
                 yaw: rng.gen_range(0.0..std::f64::consts::PI),
             });
         }
@@ -380,11 +369,8 @@ impl Scene {
                 let w = rng.gen_range(8.0..config.building_spacing.max(9.0));
                 let depth = rng.gen_range(8.0..20.0);
                 let height = rng.gen_range(h_lo..h_hi);
-                let setback = if side < 0.0 {
-                    rng.gen_range(0.0..2.0)
-                } else {
-                    rng.gen_range(2.0..6.0)
-                };
+                let setback =
+                    if side < 0.0 { rng.gen_range(0.0..2.0) } else { rng.gen_range(2.0..6.0) };
                 let y0 = side * (config.road_half_width + setback);
                 let (y_min, y_max) = if side < 0.0 { (y0 - depth, y0) } else { (y0, y0 + depth) };
                 prims.push(Primitive::Box {
@@ -648,7 +634,8 @@ mod tests {
     #[test]
     fn generated_scene_has_all_primitive_kinds() {
         let scene = Scene::generate(&SceneConfig::default(), 3);
-        let has_ground = scene.primitives().iter().any(|p| matches!(p, Primitive::GroundPlane { .. }));
+        let has_ground =
+            scene.primitives().iter().any(|p| matches!(p, Primitive::GroundPlane { .. }));
         let has_box = scene.primitives().iter().any(|p| matches!(p, Primitive::Box { .. }));
         let has_cyl = scene.primitives().iter().any(|p| matches!(p, Primitive::Cylinder { .. }));
         assert!(has_ground && has_box && has_cyl);
@@ -659,12 +646,10 @@ mod tests {
     fn highway_scene_has_rails_and_gantries() {
         let scene = Scene::generate(&SceneConfig::highway(), 4);
         assert!(matches!(scene.config().kind, SceneKind::Highway));
-        let boxes = scene.primitives().iter().filter(|p| matches!(p, Primitive::Box { .. })).count();
-        let cyls = scene
-            .primitives()
-            .iter()
-            .filter(|p| matches!(p, Primitive::Cylinder { .. }))
-            .count();
+        let boxes =
+            scene.primitives().iter().filter(|p| matches!(p, Primitive::Box { .. })).count();
+        let cyls =
+            scene.primitives().iter().filter(|p| matches!(p, Primitive::Cylinder { .. })).count();
         assert!(boxes > 10, "{boxes} boxes");
         assert!(cyls >= 2, "{cyls} gantry posts");
         // Highway is sparser than urban.
@@ -677,10 +662,7 @@ mod tests {
         let scene = Scene::generate(&SceneConfig::highway(), 7);
         // A low lateral ray from mid-road should meet a guardrail within
         // ~road half width + slack.
-        let ray = Ray {
-            origin: Vec3::new(100.0, 0.0, 0.55),
-            dir: Vec3::new(0.0, 1.0, 0.0),
-        };
+        let ray = Ray { origin: Vec3::new(100.0, 0.0, 0.55), dir: Vec3::new(0.0, 1.0, 0.0) };
         if let Some(t) = scene.cast(&ray, 40.0) {
             assert!(t > 5.0 && t < 20.0, "rail at {t} m");
         }

@@ -79,10 +79,7 @@ impl Trajectory {
     ///
     /// Panics when `circumference` is not strictly positive.
     pub fn generate_loop(config: &TrajectoryConfig, circumference: f64, seed: u64) -> Self {
-        assert!(
-            circumference > 0.0,
-            "loop circumference must be positive, got {circumference}"
-        );
+        assert!(circumference > 0.0, "loop circumference must be positive, got {circumference}");
         let radius = circumference / std::f64::consts::TAU;
         let mut rng = StdRng::seed_from_u64(seed);
         let dt = 1.0 / config.frame_rate;
@@ -130,10 +127,7 @@ impl Trajectory {
 
     /// Total path length (sum of inter-pose translation norms).
     pub fn path_length(&self) -> f64 {
-        self.poses
-            .windows(2)
-            .map(|w| (w[1].translation - w[0].translation).norm())
-            .sum()
+        self.poses.windows(2).map(|w| (w[1].translation - w[0].translation).norm()).sum()
     }
 }
 
@@ -165,7 +159,12 @@ mod tests {
 
     #[test]
     fn moves_forward_at_roughly_speed_over_framerate() {
-        let cfg = TrajectoryConfig { frames: 20, speed_wander: 0.0, yaw_wander: 0.0, ..Default::default() };
+        let cfg = TrajectoryConfig {
+            frames: 20,
+            speed_wander: 0.0,
+            yaw_wander: 0.0,
+            ..Default::default()
+        };
         let t = Trajectory::generate(&cfg, 3);
         let step = (t.poses()[1].translation - t.poses()[0].translation).norm();
         assert!((step - cfg.speed / cfg.frame_rate).abs() < 1e-9, "step = {step}");
@@ -196,7 +195,12 @@ mod tests {
 
     #[test]
     fn path_length_consistency() {
-        let cfg = TrajectoryConfig { frames: 11, speed_wander: 0.0, yaw_wander: 0.0, ..Default::default() };
+        let cfg = TrajectoryConfig {
+            frames: 11,
+            speed_wander: 0.0,
+            yaw_wander: 0.0,
+            ..Default::default()
+        };
         let t = Trajectory::generate(&cfg, 6);
         assert!((t.path_length() - 10.0 * cfg.speed / cfg.frame_rate).abs() < 1e-9);
     }

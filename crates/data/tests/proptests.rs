@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 use tigris_data::kitti_io::{pose_from_line, pose_to_line, velodyne_from_bytes};
 use tigris_data::scene::{Primitive, Ray, Scene};
-use tigris_data::{
-    relative_pose_error, sequence_error, SceneConfig, Trajectory, TrajectoryConfig,
-};
+use tigris_data::{relative_pose_error, sequence_error, SceneConfig, Trajectory, TrajectoryConfig};
 use tigris_geom::{RigidTransform, Vec3};
 
 fn point() -> impl Strategy<Value = Vec3> {
@@ -18,7 +16,8 @@ fn unit() -> impl Strategy<Value = Vec3> {
 }
 
 fn rigid() -> impl Strategy<Value = RigidTransform> {
-    (unit(), -3.0f64..3.0, point()).prop_map(|(a, ang, t)| RigidTransform::from_axis_angle(a, ang, t))
+    (unit(), -3.0f64..3.0, point())
+        .prop_map(|(a, ang, t)| RigidTransform::from_axis_angle(a, ang, t))
 }
 
 proptest! {

@@ -42,10 +42,7 @@ impl Aabb {
 
     /// An "empty" box that any point can extend: `min = +∞`, `max = -∞`.
     pub fn empty() -> Self {
-        Aabb {
-            min: Vec3::splat(f64::INFINITY),
-            max: Vec3::splat(f64::NEG_INFINITY),
-        }
+        Aabb { min: Vec3::splat(f64::INFINITY), max: Vec3::splat(f64::NEG_INFINITY) }
     }
 
     /// The tightest box around a set of points, or `None` when the iterator
@@ -152,11 +149,7 @@ mod tests {
 
     #[test]
     fn from_points_is_tight() {
-        let pts = [
-            Vec3::new(1.0, 5.0, -2.0),
-            Vec3::new(-1.0, 2.0, 0.0),
-            Vec3::new(0.0, 7.0, 3.0),
-        ];
+        let pts = [Vec3::new(1.0, 5.0, -2.0), Vec3::new(-1.0, 2.0, 0.0), Vec3::new(0.0, 7.0, 3.0)];
         let b = Aabb::from_points(pts).unwrap();
         assert_eq!(b.min, Vec3::new(-1.0, 2.0, -2.0));
         assert_eq!(b.max, Vec3::new(1.0, 7.0, 3.0));

@@ -27,9 +27,7 @@ impl Mat3 {
     pub const ZERO: Mat3 = Mat3 { m: [[0.0; 3]; 3] };
 
     /// The identity matrix.
-    pub const IDENTITY: Mat3 = Mat3 {
-        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
-    };
+    pub const IDENTITY: Mat3 = Mat3 { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
 
     /// Creates a matrix from rows.
     #[inline]
@@ -40,13 +38,7 @@ impl Mat3 {
     /// Creates a matrix whose columns are the given vectors.
     #[inline]
     pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
-        Mat3 {
-            m: [
-                [c0.x, c1.x, c2.x],
-                [c0.y, c1.y, c2.y],
-                [c0.z, c1.z, c2.z],
-            ],
-        }
+        Mat3 { m: [[c0.x, c1.x, c2.x], [c0.y, c1.y, c2.y], [c0.z, c1.z, c2.z]] }
     }
 
     /// Returns column `c` as a vector.
@@ -106,27 +98,13 @@ impl Mat3 {
     ///
     /// Panics if `axis` has (near-)zero length.
     pub fn from_axis_angle(axis: Vec3, angle: f64) -> Mat3 {
-        let u = axis
-            .normalized()
-            .expect("rotation axis must have non-zero length");
+        let u = axis.normalized().expect("rotation axis must have non-zero length");
         let (s, c) = angle.sin_cos();
         let t = 1.0 - c;
         Mat3::from_rows(
-            [
-                c + u.x * u.x * t,
-                u.x * u.y * t - u.z * s,
-                u.x * u.z * t + u.y * s,
-            ],
-            [
-                u.y * u.x * t + u.z * s,
-                c + u.y * u.y * t,
-                u.y * u.z * t - u.x * s,
-            ],
-            [
-                u.z * u.x * t - u.y * s,
-                u.z * u.y * t + u.x * s,
-                c + u.z * u.z * t,
-            ],
+            [c + u.x * u.x * t, u.x * u.y * t - u.z * s, u.x * u.z * t + u.y * s],
+            [u.y * u.x * t + u.z * s, c + u.y * u.y * t, u.y * u.z * t - u.x * s],
+            [u.z * u.x * t - u.y * s, u.z * u.y * t + u.x * s, c + u.z * u.z * t],
         )
     }
 
@@ -197,12 +175,7 @@ impl Mat3 {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.m
-            .iter()
-            .flatten()
-            .map(|v| v * v)
-            .sum::<f64>()
-            .sqrt()
+        self.m.iter().flatten().map(|v| v * v).sum::<f64>().sqrt()
     }
 
     /// Scales every entry by `s`.
@@ -296,11 +269,7 @@ impl Sub for Mat3 {
 impl fmt::Display for Mat3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for r in 0..3 {
-            writeln!(
-                f,
-                "[{:.6} {:.6} {:.6}]",
-                self.m[r][0], self.m[r][1], self.m[r][2]
-            )?;
+            writeln!(f, "[{:.6} {:.6} {:.6}]", self.m[r][0], self.m[r][1], self.m[r][2])?;
         }
         Ok(())
     }
@@ -346,16 +315,8 @@ mod tests {
     #[test]
     fn axis_angle_matches_dedicated_constructors() {
         for angle in [-1.0, 0.2, 1.7] {
-            assert_mat_close(
-                Mat3::from_axis_angle(Vec3::Z, angle),
-                Mat3::rotation_z(angle),
-                EPS,
-            );
-            assert_mat_close(
-                Mat3::from_axis_angle(Vec3::X, angle),
-                Mat3::rotation_x(angle),
-                EPS,
-            );
+            assert_mat_close(Mat3::from_axis_angle(Vec3::Z, angle), Mat3::rotation_z(angle), EPS);
+            assert_mat_close(Mat3::from_axis_angle(Vec3::X, angle), Mat3::rotation_x(angle), EPS);
         }
     }
 

@@ -42,11 +42,7 @@ impl PointCloud {
     ///
     /// Panics when `normals.len() != points.len()`.
     pub fn with_normals(points: Vec<Vec3>, normals: Vec<Vec3>) -> Self {
-        assert_eq!(
-            points.len(),
-            normals.len(),
-            "normals must be parallel to points"
-        );
+        assert_eq!(points.len(), normals.len(), "normals must be parallel to points");
         PointCloud { points, normals: Some(normals) }
     }
 
@@ -68,11 +64,7 @@ impl PointCloud {
     ///
     /// Panics when lengths disagree.
     pub fn set_normals(&mut self, normals: Vec<Vec3>) {
-        assert_eq!(
-            self.points.len(),
-            normals.len(),
-            "normals must be parallel to points"
-        );
+        assert_eq!(self.points.len(), normals.len(), "normals must be parallel to points");
         self.normals = Some(normals);
     }
 
@@ -146,10 +138,7 @@ impl PointCloud {
     /// Panics when an index is out of bounds.
     pub fn select(&self, indices: &[usize]) -> PointCloud {
         let points = indices.iter().map(|&i| self.points[i]).collect();
-        let normals = self
-            .normals
-            .as_ref()
-            .map(|ns| indices.iter().map(|&i| ns[i]).collect());
+        let normals = self.normals.as_ref().map(|ns| indices.iter().map(|&i| ns[i]).collect());
         PointCloud { points, normals }
     }
 
@@ -178,10 +167,7 @@ impl PointCloud {
         }
         let mut entries: Vec<_> = cells.into_iter().collect();
         entries.sort_by_key(|(k, _)| *k);
-        let points = entries
-            .into_iter()
-            .map(|(_, (sum, n))| sum / n as f64)
-            .collect();
+        let points = entries.into_iter().map(|(_, (sum, n))| sum / n as f64).collect();
         PointCloud::from_points(points)
     }
 }

@@ -300,7 +300,8 @@ mod tests {
         // loop-closing edge says "you are back at the start".
         let side = 5.0;
         let drift = 1.08;
-        let turn = RigidTransform::from_axis_angle(Vec3::Z, std::f64::consts::FRAC_PI_2, Vec3::ZERO);
+        let turn =
+            RigidTransform::from_axis_angle(Vec3::Z, std::f64::consts::FRAC_PI_2, Vec3::ZERO);
         let odo_step = RigidTransform::from_translation(Vec3::new(side * drift, 0.0, 0.0)) * turn;
         let gt_step = RigidTransform::from_translation(Vec3::new(side, 0.0, 0.0)) * turn;
 
@@ -319,12 +320,18 @@ mod tests {
         let before_end_error = g.nodes()[4].translation.norm();
         let report = g.optimize(25);
         assert!(report.iterations >= 1);
-        assert!(report.final_error < report.initial_error * 0.1,
-            "error {} -> {}", report.initial_error, report.final_error);
+        assert!(
+            report.final_error < report.initial_error * 0.1,
+            "error {} -> {}",
+            report.initial_error,
+            report.final_error
+        );
         // The closing node lands (nearly) back at the origin…
         let after_end_error = g.nodes()[4].translation.norm();
-        assert!(after_end_error < before_end_error * 0.2,
-            "end error {before_end_error} -> {after_end_error}");
+        assert!(
+            after_end_error < before_end_error * 0.2,
+            "end error {before_end_error} -> {after_end_error}"
+        );
         // …and interior nodes move toward the true square's corners
         // (drift redistributed, not dumped on the last node).
         let mut gt_nodes = vec![RigidTransform::IDENTITY];
@@ -334,6 +341,61 @@ mod tests {
         for (i, (est, gt)) in g.nodes().iter().zip(&gt_nodes).enumerate() {
             let err = (est.translation - gt.translation).norm();
             assert!(err < side * drift, "node {i}: {err}");
+        }
+    }
+
+    #[test]
+    fn multi_loop_graph_converges_and_redistributes() {
+        // Two laps of the same 4-side square with 6% odometry overshoot
+        // per side — the multi-loop shape the mapping and serving layers
+        // both depend on. Two independent loop-closure constraints: each
+        // lap's end is pinned back to the start. The solver must satisfy
+        // both closures at once, gauge-fixed at node 0, with the total
+        // residual dropping at least 10x.
+        let side = 4.0;
+        let drift = 1.06;
+        let turn =
+            RigidTransform::from_axis_angle(Vec3::Z, std::f64::consts::FRAC_PI_2, Vec3::ZERO);
+        let odo_step = RigidTransform::from_translation(Vec3::new(side * drift, 0.0, 0.0)) * turn;
+        let gt_step = RigidTransform::from_translation(Vec3::new(side, 0.0, 0.0)) * turn;
+
+        let mut nodes = vec![RigidTransform::IDENTITY];
+        for _ in 0..8 {
+            nodes.push(*nodes.last().unwrap() * odo_step);
+        }
+        let mut g = PoseGraph::new(nodes);
+        for i in 0..8 {
+            g.add_edge(PoseGraphEdge::new(i, i + 1, odo_step));
+        }
+        // Closure 1: lap one returns to the start. Closure 2: lap two
+        // returns there as well.
+        g.add_edge(PoseGraphEdge::new(0, 4, RigidTransform::IDENTITY));
+        g.add_edge(PoseGraphEdge::new(0, 8, RigidTransform::IDENTITY));
+
+        let report = g.optimize(40);
+        assert!(report.iterations >= 1);
+        assert!(
+            report.final_error <= report.initial_error * 0.1,
+            "residual must drop >=10x: {} -> {}",
+            report.initial_error,
+            report.final_error
+        );
+        // The gauge never moves.
+        assert!(g.nodes()[0].is_identity(1e-12));
+        // Both closing nodes land (nearly) back at the origin.
+        for closing in [4usize, 8] {
+            let err = g.nodes()[closing].translation.norm();
+            assert!(err < 0.3, "node {closing} still {err} m from the start");
+        }
+        // Interior nodes approach the true square corners: the drift is
+        // redistributed across both laps, not dumped on the closures.
+        let mut gt_nodes = vec![RigidTransform::IDENTITY];
+        for _ in 0..8 {
+            gt_nodes.push(*gt_nodes.last().unwrap() * gt_step);
+        }
+        for (i, (est, gt)) in g.nodes().iter().zip(&gt_nodes).enumerate() {
+            let err = (est.translation - gt.translation).norm();
+            assert!(err < side * (drift - 1.0) * 2.0, "node {i}: {err} m from truth");
         }
     }
 

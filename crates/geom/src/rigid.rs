@@ -32,10 +32,8 @@ pub struct RigidTransform {
 
 impl RigidTransform {
     /// The identity transform.
-    pub const IDENTITY: RigidTransform = RigidTransform {
-        rotation: Mat3::IDENTITY,
-        translation: Vec3::ZERO,
-    };
+    pub const IDENTITY: RigidTransform =
+        RigidTransform { rotation: Mat3::IDENTITY, translation: Vec3::ZERO };
 
     /// Creates a transform from a rotation and translation.
     #[inline]
@@ -109,8 +107,7 @@ impl RigidTransform {
     /// Returns `true` when rotation and translation are within `tol` of the
     /// identity.
     pub fn is_identity(&self, tol: f64) -> bool {
-        (self.rotation - Mat3::IDENTITY).frobenius_norm() <= tol
-            && self.translation.norm() <= tol
+        (self.rotation - Mat3::IDENTITY).frobenius_norm() <= tol && self.translation.norm() <= tol
     }
 
     /// The rotation angle of the transform in radians (geodesic distance of
@@ -183,11 +180,7 @@ impl RigidTransform {
             (1.0, 0.5, 1.0 / 6.0)
         } else {
             let t2 = theta * theta;
-            (
-                theta.sin() / theta,
-                (1.0 - theta.cos()) / t2,
-                (theta - theta.sin()) / (t2 * theta),
-            )
+            (theta.sin() / theta, (1.0 - theta.cos()) / t2, (theta - theta.sin()) / (t2 * theta))
         };
         let rotation = Mat3::IDENTITY + hat.scale(a) + hat2.scale(b);
         let v = Mat3::IDENTITY + hat.scale(b) + hat2.scale(c);
@@ -204,11 +197,7 @@ fn hat3(w: Vec3) -> Mat3 {
 fn so3_log(r: &Mat3) -> Vec3 {
     let theta = r.rotation_angle();
     // The skew part's vee: 2 sinθ · axis.
-    let vee = Vec3::new(
-        r.m[2][1] - r.m[1][2],
-        r.m[0][2] - r.m[2][0],
-        r.m[1][0] - r.m[0][1],
-    );
+    let vee = Vec3::new(r.m[2][1] - r.m[1][2], r.m[0][2] - r.m[2][0], r.m[1][0] - r.m[0][1]);
     if theta < 1e-10 {
         // First order: R ≈ I + [ω]×.
         return vee * 0.5;
@@ -292,7 +281,11 @@ mod tests {
 
     #[test]
     fn inverse_round_trip() {
-        let t = RigidTransform::from_axis_angle(Vec3::new(1.0, 1.0, 0.2), 1.2, Vec3::new(3.0, -1.0, 0.5));
+        let t = RigidTransform::from_axis_angle(
+            Vec3::new(1.0, 1.0, 0.2),
+            1.2,
+            Vec3::new(3.0, -1.0, 0.5),
+        );
         let p = Vec3::new(0.1, 0.2, 0.3);
         assert!((t.inverse().apply(t.apply(p)) - p).norm() < 1e-12);
         assert!((t * t.inverse()).is_identity(1e-12));
@@ -301,7 +294,11 @@ mod tests {
 
     #[test]
     fn preserves_distances() {
-        let t = RigidTransform::from_axis_angle(Vec3::new(0.3, 0.5, 1.0), 0.9, Vec3::new(5.0, 6.0, 7.0));
+        let t = RigidTransform::from_axis_angle(
+            Vec3::new(0.3, 0.5, 1.0),
+            0.9,
+            Vec3::new(5.0, 6.0, 7.0),
+        );
         let p = Vec3::new(1.0, 2.0, 3.0);
         let q = Vec3::new(-1.0, 0.5, 2.0);
         assert!((t.apply(p).distance(t.apply(q)) - p.distance(q)).abs() < 1e-12);
@@ -362,15 +359,20 @@ mod tests {
             RigidTransform::IDENTITY,
             RigidTransform::from_translation(Vec3::new(3.0, -1.0, 0.5)),
             RigidTransform::from_axis_angle(Vec3::Z, 0.3, Vec3::new(1.0, 2.0, 3.0)),
-            RigidTransform::from_axis_angle(Vec3::new(1.0, -0.4, 0.7), 1.9, Vec3::new(-5.0, 0.1, 2.0)),
-            RigidTransform::from_axis_angle(Vec3::new(0.2, 1.0, 0.1), 3.0, Vec3::new(0.0, -2.0, 4.0)),
+            RigidTransform::from_axis_angle(
+                Vec3::new(1.0, -0.4, 0.7),
+                1.9,
+                Vec3::new(-5.0, 0.1, 2.0),
+            ),
+            RigidTransform::from_axis_angle(
+                Vec3::new(0.2, 1.0, 0.1),
+                3.0,
+                Vec3::new(0.0, -2.0, 4.0),
+            ),
         ];
         for t in cases {
             let back = RigidTransform::exp(t.log());
-            assert!(
-                (back.rotation - t.rotation).frobenius_norm() < 1e-9,
-                "rotation drifted: {t}"
-            );
+            assert!((back.rotation - t.rotation).frobenius_norm() < 1e-9, "rotation drifted: {t}");
             assert!((back.translation - t.translation).norm() < 1e-9, "translation drifted: {t}");
         }
     }

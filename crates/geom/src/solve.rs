@@ -19,7 +19,9 @@ impl std::fmt::Display for SolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SolveError::Singular => write!(f, "matrix is singular to working precision"),
-            SolveError::DimensionMismatch => write!(f, "matrix and right-hand side dimensions disagree"),
+            SolveError::DimensionMismatch => {
+                write!(f, "matrix and right-hand side dimensions disagree")
+            }
         }
     }
 }
@@ -214,9 +216,7 @@ mod tests {
         // 3x3 system with known solution (1, 2, 3).
         let a = [2.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0];
         let x_true = [1.0, 2.0, 3.0];
-        let b: Vec<f64> = (0..3)
-            .map(|i| (0..3).map(|j| a[i * 3 + j] * x_true[j]).sum())
-            .collect();
+        let b: Vec<f64> = (0..3).map(|i| (0..3).map(|j| a[i * 3 + j] * x_true[j]).sum()).collect();
         let x = solve_dense(&a, &b, 3).unwrap();
         for i in 0..3 {
             assert!((x[i] - x_true[i]).abs() < 1e-12);
@@ -242,7 +242,10 @@ mod tests {
     #[test]
     fn dense_rejects_dimension_mismatch() {
         assert_eq!(solve_dense(&[1.0, 2.0], &[1.0], 2), Err(SolveError::DimensionMismatch));
-        assert_eq!(solve_dense(&[1.0, 0.0, 0.0, 1.0], &[1.0], 2), Err(SolveError::DimensionMismatch));
+        assert_eq!(
+            solve_dense(&[1.0, 0.0, 0.0, 1.0], &[1.0], 2),
+            Err(SolveError::DimensionMismatch)
+        );
     }
 
     #[test]

@@ -123,6 +123,45 @@ impl Default for MapperConfig {
     }
 }
 
+impl MapperConfig {
+    /// The serving-oriented mapping profile: denser submaps, denser loop
+    /// closures — for maps destined to be frozen and *localized against*
+    /// (`tigris-serve`), where global pose accuracy and keyframe
+    /// coverage matter more than build cost.
+    ///
+    /// * **Submaps spawn every 6 m** instead of 15. Each anchor retires
+    ///   its full frame preparation as a stored keyframe, and keyframes
+    ///   are what cold-start relocalization geometrically verifies
+    ///   against — so anchor spacing *is* relocalization coverage: a
+    ///   query more than a few meters from every keyframe may retrieve
+    ///   the right submap yet fail verification (too little view
+    ///   overlap for the prior-less match).
+    /// * **Closure gating trades attempt cost for recall**: every
+    ///   eligible submap is retrieval-ranked (exhaustive beyond the
+    ///   two-nearest kernel), the inlier floor drops to 3 (specificity
+    ///   against ring-road aliases comes from the structure-overlap
+    ///   gate, which rejects them at ≤0.5 against genuine ≥0.95), and
+    ///   the post-acceptance cooldown shrinks so a re-driven stretch
+    ///   keeps stitching itself to the first pass every few frames —
+    ///   the continuous re-closure that pins a multi-pass trajectory to
+    ///   sub-meter global consistency.
+    ///
+    /// The default profile remains the cheaper choice for pure
+    /// mapping/odometry workloads.
+    pub fn serving() -> Self {
+        MapperConfig {
+            submap: SubmapConfig { spawn_distance: 6.0, ..SubmapConfig::default() },
+            closure: ClosureConfig {
+                candidates: 16,
+                min_inliers: 3,
+                cooldown_frames: 4,
+                ..ClosureConfig::default()
+            },
+            ..MapperConfig::default()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

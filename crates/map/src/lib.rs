@@ -24,7 +24,9 @@
 //!   feature-space `KdTreeN` machinery KPCE matches descriptors with),
 //!   then verifies geometrically by registering the current frame's
 //!   [`tigris_pipeline::PreparedFrame`] against the candidate's stored
-//!   keyframe — no front-end stage ever reruns.
+//!   keyframe — no front-end stage ever reruns. The retrieval +
+//!   verification machinery lives in [`retrieval`], shared with
+//!   `tigris-serve`'s cold-start relocalization.
 //! * **Pose-graph optimization** — an accepted closure adds a long-range
 //!   constraint and runs `tigris_geom::PoseGraph` (Gauss–Newton over
 //!   SE(3), [`tigris_geom::RigidTransform::log`]/`exp`), redistributing
@@ -59,8 +61,10 @@
 
 pub mod config;
 pub mod mapper;
+pub mod retrieval;
 pub mod submap;
 
 pub use config::{ClosureConfig, MapperConfig, SubmapConfig};
-pub use mapper::{LoopClosure, Mapper, MapperStats, MapperStep};
-pub use submap::{MapNeighbor, Submap};
+pub use mapper::{FrozenMap, LoopClosure, Mapper, MapperStats, MapperStep};
+pub use retrieval::{RetrievalHit, SignatureIndex};
+pub use submap::{descriptor_mean, sort_map_neighbors, MapNeighbor, Submap};

@@ -10,38 +10,24 @@
 //!    the pose graph's odometry edges;
 //! 3. aggregates the frame's prepared points into the current [`Submap`]
 //!    (spawning a new one by travel distance / point budget);
-//! 4. attempts loop closure: descriptor retrieval over past submaps'
-//!    signatures (feature-space `KdTreeN`), geometric verification via
-//!    `register_prepared` against the candidate's keyframe, and — on
-//!    acceptance — Gauss–Newton pose-graph optimization that
+//! 4. attempts loop closure via the shared [`crate::retrieval`] machinery:
+//!    descriptor retrieval over past submaps' signatures
+//!    ([`SignatureIndex`]), geometric verification
+//!    ([`retrieval::verify_geometry`]) against the candidate's keyframe,
+//!    and — on acceptance — Gauss–Newton pose-graph optimization that
 //!    redistributes the accumulated drift.
 
-use tigris_core::KdTreeN;
 use tigris_geom::{OptimizeReport, PointCloud, PoseGraph, PoseGraphEdge, RigidTransform, Vec3};
-use tigris_pipeline::{
-    register_prepared_with_prior, Odometer, RegistrationError, RegistrationResult,
-};
+use tigris_pipeline::{Odometer, RegistrationError, RegistrationResult};
 
 use crate::config::MapperConfig;
-use crate::submap::{descriptor_mean, MapNeighbor, Submap};
+use crate::retrieval::{self, SignatureIndex};
+use crate::submap::{descriptor_mean, sort_map_neighbors, MapNeighbor, Submap};
 
 /// Weight of the weak continuity edge bridging a matching failure: keeps
 /// the pose graph connected without pretending the unmeasured motion is a
 /// real constraint.
 const BREAK_EDGE_WEIGHT: f64 = 1e-3;
-
-/// Height above the candidate submap's *lowest point* (its local ground
-/// level — frames are in sensor coordinates, so absolute z is
-/// sensor-height-relative) from which a point counts as *structure* for
-/// the overlap gate. Ground aligns under almost any in-plane transform,
-/// so it carries no verification signal.
-const OVERLAP_MIN_HEIGHT: f64 = 1.0;
-/// A transformed structure point must land within this distance of a
-/// stored submap point to count as overlapping (meters).
-const OVERLAP_RADIUS: f64 = 0.7;
-/// Minimum structure points for the overlap fraction to be meaningful; a
-/// frame with fewer elevated points cannot be verified at all.
-const OVERLAP_MIN_POINTS: usize = 30;
 
 /// An accepted, verified loop closure.
 #[derive(Debug, Clone, Copy)]
@@ -100,6 +86,32 @@ pub struct MapperStep {
     pub spawned_submap: bool,
     /// The loop closure this frame produced, if any.
     pub closure: Option<LoopClosure>,
+}
+
+/// A finished map, moved out of its [`Mapper`] by [`Mapper::freeze`]:
+/// the submaps (points, indices, stored keyframes), the corrected and
+/// raw trajectories, the accepted closures and the lifetime counters.
+///
+/// Freezing is a *move*, not a copy — no point cloud, index or keyframe
+/// is duplicated. The frozen map is the hand-off between the write side
+/// (one `Mapper` building the map) and the read side (`tigris-serve`'s
+/// `MapSnapshot`, which shares it immutably across many localization
+/// sessions).
+#[derive(Debug)]
+pub struct FrozenMap {
+    /// The configuration the map was built under (its registration
+    /// front-end knobs are what query frames must be prepared with).
+    pub config: MapperConfig,
+    /// The submaps, with their dynamic indices and stored keyframes.
+    pub submaps: Vec<Submap>,
+    /// Corrected world pose per trajectory frame.
+    pub poses: Vec<RigidTransform>,
+    /// Raw odometry world pose per trajectory frame (drift baseline).
+    pub raw_poses: Vec<RigidTransform>,
+    /// Every accepted loop closure, in order.
+    pub closures: Vec<LoopClosure>,
+    /// The mapper's lifetime counters at freeze time.
+    pub stats: MapperStats,
 }
 
 /// The incremental mapping service; see the [module docs](self).
@@ -181,6 +193,21 @@ impl Mapper {
         self.submaps.iter().map(Submap::len).sum()
     }
 
+    /// Freezes the mapper, moving its map out as an immutable
+    /// [`FrozenMap`] (zero point copies). The wrapped odometer — and with
+    /// it the current reference frame's preparation — is dropped: a
+    /// frozen map no longer consumes frames.
+    pub fn freeze(self) -> FrozenMap {
+        FrozenMap {
+            config: self.config,
+            submaps: self.submaps,
+            poses: self.poses,
+            raw_poses: self.raw_poses,
+            closures: self.closures,
+            stats: self.stats,
+        }
+    }
+
     /// Consumes one LiDAR frame (sensor coordinates).
     ///
     /// # Errors
@@ -223,12 +250,7 @@ impl Mapper {
         for submap in &self.submaps {
             out.extend(submap.query(point, radius));
         }
-        out.sort_by(|a, b| {
-            a.distance_squared
-                .total_cmp(&b.distance_squared)
-                .then(a.submap.cmp(&b.submap))
-                .then(a.index.cmp(&b.index))
-        });
+        sort_map_neighbors(&mut out);
         out
     }
 
@@ -394,23 +416,12 @@ impl Mapper {
         }
 
         // Rank candidates in the KPCE feature space: nearest submap
-        // signatures to the current frame's mean descriptor.
-        let dim = query.len();
-        let data: Vec<f64> =
-            eligible.iter().flat_map(|&id| self.submaps[id].descriptor().iter().copied()).collect();
-        let feature_index = KdTreeN::build(&data, dim);
-        let hits = if gate.candidates <= 1 {
-            feature_index.nn(&query).into_iter().collect()
-        } else {
-            feature_index.nn2(&query)
-        };
-
-        for hit in hits {
-            if hit.distance() > gate.max_descriptor_distance {
-                continue;
-            }
-            let submap_id = eligible[hit.index];
-            if let Some(closure) = self.verify_closure(frame, submap_id) {
+        // signatures to the current frame's mean descriptor (the shared
+        // retrieval structure, rebuilt per attempt because eligibility is
+        // pose- and recency-dependent).
+        let feature_index = SignatureIndex::build(&self.submaps, &eligible, query.len());
+        for hit in feature_index.retrieve(&query, gate.candidates, gate.max_descriptor_distance) {
+            if let Some(closure) = self.verify_closure(frame, hit.submap) {
                 return Some(closure);
             }
         }
@@ -431,7 +442,7 @@ impl Mapper {
             let Mapper { odometer, submaps, config, .. } = self;
             let current = odometer.reference_frame_mut()?;
             let keyframe = submaps[submap_id].keyframe.as_mut()?;
-            register_prepared_with_prior(current, keyframe, &config.registration, None).ok()?
+            retrieval::verify_geometry(current, keyframe, &config.registration)?
         };
         self.stats.frames_prepared += result.profile.frames_prepared;
         self.stats.frames_reused += result.profile.frames_reused;
@@ -493,38 +504,14 @@ impl Mapper {
         Some(closure)
     }
 
-    /// Fraction of the current frame's *structure* points (local height ≥
-    /// [`OVERLAP_MIN_HEIGHT`] once placed into `submap_id`'s frame by
-    /// `relative`) that land within [`OVERLAP_RADIUS`] of a stored submap
-    /// point. Returns 0 when the frame offers fewer than
-    /// [`OVERLAP_MIN_POINTS`] structure points (unverifiable).
+    /// The structure-overlap fraction of the current frame against
+    /// `submap_id` under the verified `relative` — see
+    /// [`retrieval::structure_overlap`] for the gate's semantics.
     fn closure_overlap(&self, relative: &RigidTransform, submap_id: usize) -> f64 {
         let Some(prep) = self.odometer.reference_frame() else {
             return 0.0;
         };
-        let submap = &self.submaps[submap_id];
-        let Some(bounds) = submap.local_bounds() else {
-            return 0.0;
-        };
-        let structure_floor = bounds.min.z + OVERLAP_MIN_HEIGHT;
-        let mut structure = 0usize;
-        let mut hits = 0usize;
-        for &p in prep.points() {
-            let local = relative.apply(p);
-            if local.z < structure_floor {
-                continue;
-            }
-            structure += 1;
-            if let Some(n) = submap.index().nn_query(local) {
-                if n.distance_squared <= OVERLAP_RADIUS * OVERLAP_RADIUS {
-                    hits += 1;
-                }
-            }
-        }
-        if structure < OVERLAP_MIN_POINTS {
-            return 0.0;
-        }
-        hits as f64 / structure as f64
+        retrieval::structure_overlap(prep.points(), relative, &self.submaps[submap_id])
     }
 
     /// Runs Gauss–Newton over the whole trajectory and rebases every
@@ -656,8 +643,7 @@ mod tests {
         // submap (all frames see it): the query returns hits from several.
         let hits = mapper.query(Vec3::new(2.0, 2.0, 0.0), 0.5);
         assert!(!hits.is_empty());
-        let distinct: std::collections::BTreeSet<usize> =
-            hits.iter().map(|h| h.submap).collect();
+        let distinct: std::collections::BTreeSet<usize> = hits.iter().map(|h| h.submap).collect();
         assert!(distinct.len() >= 2, "hits from {distinct:?}");
         // Sorted ascending by distance.
         for pair in hits.windows(2) {
@@ -678,11 +664,9 @@ mod tests {
         assert_eq!(mapper.poses().len(), before_frames);
         // The stream continues unharmed.
         let step = mapper
-            .push(
-                &scene_cloud().transformed(
-                    &RigidTransform::from_translation(Vec3::new(0.05, 0.0, 0.0)).inverse(),
-                ),
-            )
+            .push(&scene_cloud().transformed(
+                &RigidTransform::from_translation(Vec3::new(0.05, 0.0, 0.0)).inverse(),
+            ))
             .unwrap();
         assert_eq!(step.frame, 1);
     }

@@ -13,6 +13,21 @@ use tigris_geom::{Aabb, RigidTransform, Vec3};
 use tigris_pipeline::descriptor::Descriptors;
 use tigris_pipeline::PreparedFrame;
 
+/// Sorts map-query results into the canonical order every map consumer
+/// shares: ascending by `(distance, submap, index)`. `Mapper::query`
+/// and the serving snapshot's `query`/`query_batch` all sort through
+/// this one function, so the "snapshot answers exactly like the mapper
+/// it was frozen from" guarantee is structural, not a pair of
+/// hand-copied comparators kept in sync.
+pub fn sort_map_neighbors(neighbors: &mut [MapNeighbor]) {
+    neighbors.sort_by(|a, b| {
+        a.distance_squared
+            .total_cmp(&b.distance_squared)
+            .then(a.submap.cmp(&b.submap))
+            .then(a.index.cmp(&b.index))
+    });
+}
+
 /// One world-frame neighbor returned by a map query, tagged with the
 /// submap that holds it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -143,6 +158,22 @@ impl Submap {
         self.keyframe.is_some()
     }
 
+    /// Moves the stored keyframe preparation out of the submap, leaving
+    /// `None` behind. The serving layer's freeze path uses this to place
+    /// keyframes behind their own locks while the submap's points and
+    /// index stay lock-free for shared reads; a submap stripped this way
+    /// can no longer verify revisits itself.
+    pub fn take_keyframe(&mut self) -> Option<PreparedFrame> {
+        self.keyframe.take()
+    }
+
+    /// Overrides the submap's signature — test-only hook for driving the
+    /// retrieval machinery with hand-built descriptor populations.
+    #[cfg(test)]
+    pub(crate) fn set_descriptor_for_test(&mut self, descriptor: Vec<f64>) {
+        self.descriptor = descriptor;
+    }
+
     /// The submap's bounding box in its local (anchor) frame, or `None`
     /// while empty.
     pub fn local_bounds(&self) -> Option<&Aabb> {
@@ -216,8 +247,12 @@ impl Submap {
     }
 }
 
-/// Column mean of a descriptor matrix, or `None` when it holds no rows.
-pub(crate) fn descriptor_mean(descriptors: &Descriptors) -> Option<Vec<f64>> {
+/// Column mean of a descriptor matrix, or `None` when it holds no rows —
+/// a frame's (or submap's) *signature* in the KPCE feature space, the
+/// quantity [`crate::retrieval::SignatureIndex`] ranks candidates by.
+/// Public because the serving layer computes query-frame signatures with
+/// it for cold-start relocalization.
+pub fn descriptor_mean(descriptors: &Descriptors) -> Option<Vec<f64>> {
     let n = descriptors.len();
     if n == 0 || descriptors.dim == 0 {
         return None;

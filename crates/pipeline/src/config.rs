@@ -475,8 +475,7 @@ impl RegistrationConfig {
                 }
             }
         }
-        for (knob, injection) in
-            [("inject_ne", self.inject_ne), ("inject_rpce", self.inject_rpce)]
+        for (knob, injection) in [("inject_ne", self.inject_ne), ("inject_rpce", self.inject_rpce)]
         {
             match injection {
                 Some(Injection::NnKth(0)) => return Err(ConfigError::ZeroCount { knob }),
@@ -989,10 +988,7 @@ mod tests {
             ConfigError::NotFinite { knob: "normal_radius" }
         );
         // Infinity *is* valid for the motion-prior gates (disables them)…
-        assert!(RegistrationConfig::builder()
-            .max_initial_rotation(f64::INFINITY)
-            .build()
-            .is_ok());
+        assert!(RegistrationConfig::builder().max_initial_rotation(f64::INFINITY).build().is_ok());
         // …but not for radii.
         assert_eq!(
             RegistrationConfig::builder()
@@ -1060,11 +1056,8 @@ mod tests {
         assert_eq!(SearchBackendConfig::Classic.name(), "classic");
         assert_eq!(SearchBackendConfig::TwoStage { top_height: 3 }.name(), "two-stage");
         assert_eq!(
-            SearchBackendConfig::TwoStageApprox {
-                top_height: 3,
-                approx: ApproxConfig::default()
-            }
-            .name(),
+            SearchBackendConfig::TwoStageApprox { top_height: 3, approx: ApproxConfig::default() }
+                .name(),
             "two-stage-approx"
         );
         assert_eq!(SearchBackendConfig::BruteForce.name(), "brute-force");

@@ -63,11 +63,8 @@ pub fn kpce_batched(
         return Vec::new();
     }
     let target_tree = KdTreeN::build(&target.data, target.dim);
-    let source_tree = if reciprocal {
-        Some(KdTreeN::build(&source.data, source.dim))
-    } else {
-        None
-    };
+    let source_tree =
+        if reciprocal { Some(KdTreeN::build(&source.data, source.dim)) } else { None };
 
     parallel_map_indexed(source.len(), parallel, |s| {
         let q = source.row(s);
@@ -123,10 +120,7 @@ pub fn kpce_ratio_batched(
     parallel: &BatchConfig,
 ) -> Vec<Correspondence> {
     assert_eq!(source.dim, target.dim, "descriptor dimensions disagree");
-    assert!(
-        max_ratio > 0.0 && max_ratio <= 1.0,
-        "ratio must be in (0, 1], got {max_ratio}"
-    );
+    assert!(max_ratio > 0.0 && max_ratio <= 1.0, "ratio must be in (0, 1], got {max_ratio}");
     if source.is_empty() || target.is_empty() {
         return Vec::new();
     }
@@ -164,11 +158,8 @@ fn kth_feature_nn(data: &[f64], dim: usize, q: &[f64], k: usize) -> Option<tigri
     }
     let mut all: Vec<tigris_core::Neighbor> = (0..n)
         .map(|i| {
-            let d2 = data[i * dim..(i + 1) * dim]
-                .iter()
-                .zip(q)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let d2 =
+                data[i * dim..(i + 1) * dim].iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum();
             tigris_core::Neighbor::new(i, d2)
         })
         .collect();
@@ -344,15 +335,12 @@ mod tests {
         // Target has an extra cluster source can't see; source points near
         // it map forward onto it, but the cluster's nearest source is a
         // single frontier point → one-sided matches die.
-        let target = vec![
-            Vec3::new(0.0, 0.0, 0.0),
-            Vec3::new(1.0, 0.0, 0.0),
-            Vec3::new(2.0, 0.0, 0.0),
-        ];
+        let target =
+            vec![Vec3::new(0.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0), Vec3::new(2.0, 0.0, 0.0)];
         let source = vec![
             Vec3::new(0.1, 0.0, 0.0),
             Vec3::new(1.4, 0.0, 0.0), // nearest target = 1, but target 1's
-                                       // nearest source is also this → kept
+            // nearest source is also this → kept
             Vec3::new(1.45, 0.0, 0.0), // nearest target = 1 too → dropped
         ];
         let mut ts = Searcher3::classic(&target);

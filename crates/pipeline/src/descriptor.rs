@@ -65,11 +65,7 @@ pub fn compute_descriptors(
     keypoints: &[usize],
     algorithm: DescriptorAlgorithm,
 ) -> Descriptors {
-    assert_eq!(
-        normals.len(),
-        searcher.len(),
-        "descriptors need normals parallel to the cloud"
-    );
+    assert_eq!(normals.len(), searcher.len(), "descriptors need normals parallel to the cloud");
     match algorithm {
         DescriptorAlgorithm::Fpfh { radius } => fpfh(searcher, normals, keypoints, radius),
         DescriptorAlgorithm::Shot { radius } => shot(searcher, normals, keypoints, radius),
@@ -129,8 +125,8 @@ fn spfh(points: &[Vec3], normals: &[Vec3], center: usize, neighbors: &[usize]) -
         {
             hist[bin_index(alpha, -1.0, 1.0)] += 1.0;
             hist[FPFH_BINS + bin_index(phi, -1.0, 1.0)] += 1.0;
-            hist[2 * FPFH_BINS
-                + bin_index(theta, -std::f64::consts::PI, std::f64::consts::PI)] += 1.0;
+            hist[2 * FPFH_BINS + bin_index(theta, -std::f64::consts::PI, std::f64::consts::PI)] +=
+                1.0;
             count += 1.0;
         }
     }
@@ -252,12 +248,7 @@ pub const SHOT_DIM: usize = SHOT_RADIAL * SHOT_ELEVATION * SHOT_AZIMUTH * SHOT_C
 /// Local reference frame from the distance-weighted neighborhood covariance
 /// with SHOT's sign disambiguation (majority of points on the positive
 /// side of each axis).
-fn local_reference_frame(
-    points: &[Vec3],
-    center: Vec3,
-    neighbors: &[usize],
-    radius: f64,
-) -> Mat3 {
+fn local_reference_frame(points: &[Vec3], center: Vec3, neighbors: &[usize], radius: f64) -> Mat3 {
     let mut cov = Mat3::ZERO;
     let mut total = 0.0;
     for &j in neighbors {
@@ -309,11 +300,8 @@ fn shot(
     let points = searcher.points();
     let rows = tigris_core::batch::parallel_map_indexed(keypoints.len(), &parallel, |ki| {
         let k = keypoints[ki];
-        let neighbors: Vec<usize> = neighborhoods[ki]
-            .iter()
-            .map(|n| n.index)
-            .filter(|&j| j != k)
-            .collect();
+        let neighbors: Vec<usize> =
+            neighborhoods[ki].iter().map(|n| n.index).filter(|&j| j != k).collect();
         let mut hist = vec![0.0f64; SHOT_DIM];
         if neighbors.len() >= 5 {
             let lrf = local_reference_frame(points, points[k], &neighbors, radius);
@@ -332,8 +320,8 @@ fn shot(
                     as usize)
                     .min(SHOT_AZIMUTH - 1);
                 let cosine = normals[j].dot(zn).clamp(-1.0, 1.0);
-                let cos_bin = (((cosine + 1.0) / 2.0 * SHOT_COS_BINS as f64) as usize)
-                    .min(SHOT_COS_BINS - 1);
+                let cos_bin =
+                    (((cosine + 1.0) / 2.0 * SHOT_COS_BINS as f64) as usize).min(SHOT_COS_BINS - 1);
                 let sector = ((radial * SHOT_ELEVATION + elevation) * SHOT_AZIMUTH + azimuth)
                     * SHOT_COS_BINS;
                 hist[sector + cos_bin] += 1.0;
@@ -382,11 +370,8 @@ fn sc3d(
     let points = searcher.points();
     let rows = tigris_core::batch::parallel_map_indexed(keypoints.len(), &parallel, |ki| {
         let k = keypoints[ki];
-        let neighbors: Vec<usize> = neighborhoods[ki]
-            .iter()
-            .map(|n| n.index)
-            .filter(|&j| j != k)
-            .collect();
+        let neighbors: Vec<usize> =
+            neighborhoods[ki].iter().map(|n| n.index).filter(|&j| j != k).collect();
         let mut hist = vec![0.0f64; SC3D_DIM];
         if neighbors.len() >= 5 {
             // North pole = the point's normal; azimuth fixed by the LRF.
@@ -409,8 +394,8 @@ fn sc3d(
                 let radial =
                     (((r / r_min).ln() / log_span * SC_RADIAL as f64) as usize).min(SC_RADIAL - 1);
                 let cos_elev = (d.dot(north) / r).clamp(-1.0, 1.0);
-                let elevation = (((cos_elev + 1.0) / 2.0 * SC_ELEVATION as f64) as usize)
-                    .min(SC_ELEVATION - 1);
+                let elevation =
+                    (((cos_elev + 1.0) / 2.0 * SC_ELEVATION as f64) as usize).min(SC_ELEVATION - 1);
                 let az = d.dot(south_east).atan2(d.dot(east)) + std::f64::consts::PI;
                 let azimuth =
                     ((az / std::f64::consts::TAU * SC_AZIMUTH as f64) as usize).min(SC_AZIMUTH - 1);
@@ -465,7 +450,8 @@ mod tests {
         let pts = scene();
         let (mut s, normals) = with_normals(&pts);
         let kps = vec![0, 100, 300];
-        let d = compute_descriptors(&mut s, &normals, &kps, DescriptorAlgorithm::Fpfh { radius: 0.5 });
+        let d =
+            compute_descriptors(&mut s, &normals, &kps, DescriptorAlgorithm::Fpfh { radius: 0.5 });
         assert_eq!(d.dim, FPFH_DIM);
         assert_eq!(d.len(), 3);
         // Each of the 3 sub-histograms of the SPFH sums to ~100 before the
@@ -504,7 +490,12 @@ mod tests {
     fn shot_shape_and_unit_norm() {
         let pts = scene();
         let (mut s, normals) = with_normals(&pts);
-        let d = compute_descriptors(&mut s, &normals, &[100, 200], DescriptorAlgorithm::Shot { radius: 0.5 });
+        let d = compute_descriptors(
+            &mut s,
+            &normals,
+            &[100, 200],
+            DescriptorAlgorithm::Shot { radius: 0.5 },
+        );
         assert_eq!(d.dim, SHOT_DIM);
         for i in 0..2 {
             let norm: f64 = d.row(i).iter().map(|v| v * v).sum::<f64>().sqrt();
@@ -516,7 +507,12 @@ mod tests {
     fn sc3d_shape_and_simplex_normalization() {
         let pts = scene();
         let (mut s, normals) = with_normals(&pts);
-        let d = compute_descriptors(&mut s, &normals, &[100], DescriptorAlgorithm::Sc3d { radius: 0.5 });
+        let d = compute_descriptors(
+            &mut s,
+            &normals,
+            &[100],
+            DescriptorAlgorithm::Sc3d { radius: 0.5 },
+        );
         assert_eq!(d.dim, SC3D_DIM);
         let total: f64 = d.row(0).iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
@@ -527,7 +523,8 @@ mod tests {
         let pts = vec![Vec3::ZERO, Vec3::new(50.0, 0.0, 0.0)];
         let normals = vec![Vec3::Z, Vec3::Z];
         let mut s = Searcher3::classic(&pts);
-        let d = compute_descriptors(&mut s, &normals, &[0], DescriptorAlgorithm::Shot { radius: 0.5 });
+        let d =
+            compute_descriptors(&mut s, &normals, &[0], DescriptorAlgorithm::Shot { radius: 0.5 });
         assert!(d.row(0).iter().all(|&v| v == 0.0));
     }
 
@@ -535,7 +532,8 @@ mod tests {
     fn empty_keypoints() {
         let pts = scene();
         let (mut s, normals) = with_normals(&pts);
-        let d = compute_descriptors(&mut s, &normals, &[], DescriptorAlgorithm::Fpfh { radius: 0.5 });
+        let d =
+            compute_descriptors(&mut s, &normals, &[], DescriptorAlgorithm::Fpfh { radius: 0.5 });
         assert!(d.is_empty());
         assert_eq!(d.len(), 0);
     }

@@ -121,11 +121,10 @@ pub fn icp_with_options(
 
         // --- RPCE: transform source by the current estimate, find dense NNs.
         let t0 = Instant::now();
-        let moved: Vec<Vec3> = tigris_core::batch::parallel_map(
-            source,
-            &target_searcher.parallel(),
-            |&p| transform.apply(p),
-        );
+        let moved: Vec<Vec3> =
+            tigris_core::batch::parallel_map(source, &target_searcher.parallel(), |&p| {
+                transform.apply(p)
+            });
         let correspondences = if reciprocal {
             let mut moved_searcher = crate::search::Searcher3::classic(&moved);
             moved_searcher.set_parallel(target_searcher.parallel());
@@ -284,7 +283,10 @@ mod tests {
             .collect()
     }
 
-    fn run(metric: ErrorMetric, solver: SolverAlgorithm) -> (RigidTransform, RigidTransform, IcpResult) {
+    fn run(
+        metric: ErrorMetric,
+        solver: SolverAlgorithm,
+    ) -> (RigidTransform, RigidTransform, IcpResult) {
         let target = structured_cloud();
         // Keep the displacement well under the 0.2 m grid pitch: larger
         // offsets alias NN correspondences onto the wrong lattice points and
@@ -442,15 +444,34 @@ mod tests {
         let mut s1 = Searcher3::classic(&target);
         let mut p1 = StageProfile::new();
         let cold = icp(
-            &source, &mut s1, &normals, RigidTransform::IDENTITY,
-            ErrorMetric::PointToPoint, SolverAlgorithm::Svd, 1.0, &criteria, &mut p1,
+            &source,
+            &mut s1,
+            &normals,
+            RigidTransform::IDENTITY,
+            ErrorMetric::PointToPoint,
+            SolverAlgorithm::Svd,
+            1.0,
+            &criteria,
+            &mut p1,
         );
         let mut s2 = Searcher3::classic(&target);
         let mut p2 = StageProfile::new();
         let warm = icp(
-            &source, &mut s2, &normals, gt,
-            ErrorMetric::PointToPoint, SolverAlgorithm::Svd, 1.0, &criteria, &mut p2,
+            &source,
+            &mut s2,
+            &normals,
+            gt,
+            ErrorMetric::PointToPoint,
+            SolverAlgorithm::Svd,
+            1.0,
+            &criteria,
+            &mut p2,
         );
-        assert!(warm.iterations <= cold.iterations, "warm {} > cold {}", warm.iterations, cold.iterations);
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} > cold {}",
+            warm.iterations,
+            cold.iterations
+        );
     }
 }

@@ -73,11 +73,7 @@ fn sift3d(searcher: &mut Searcher3, scale: f64) -> Vec<usize> {
 }
 
 fn harris3d(searcher: &mut Searcher3, normals: &[Vec3], radius: f64) -> Vec<usize> {
-    assert_eq!(
-        normals.len(),
-        searcher.len(),
-        "Harris needs normals parallel to the cloud"
-    );
+    assert_eq!(normals.len(), searcher.len(), "Harris needs normals parallel to the cloud");
     let n = searcher.len();
     let mut response = vec![0.0f64; n];
     // Harris k. Note the covariance of *unit* normals has trace 1 and
@@ -186,9 +182,9 @@ fn non_max_suppress(
         }
         let p = searcher.points()[i];
         let neighbors = searcher.radius(p, radius);
-        let is_max = neighbors
-            .iter()
-            .all(|n| n.index == i || response[n.index] < r || (response[n.index] == r && n.index > i));
+        let is_max = neighbors.iter().all(|n| {
+            n.index == i || response[n.index] < r || (response[n.index] == r && n.index > i)
+        });
         if is_max {
             out.push(i);
         }

@@ -64,11 +64,11 @@ pub use config::{
 };
 pub use correspond::Correspondence;
 pub use icp::IcpResult;
+pub use odometry::{Odometer, OdometryStep};
 pub use pipeline::{
     prepare_frame, prepare_frame_from_searcher, register, register_prepared,
     register_prepared_with_prior, register_with_searchers, PreparedFrame, RegistrationError,
     RegistrationResult, PRIOR_ROTATION_SLACK, PRIOR_TRANSLATION_SLACK,
 };
 pub use profile::{Stage, StageProfile};
-pub use odometry::{Odometer, OdometryStep};
 pub use search::{Injection, Searcher3};

@@ -49,24 +49,20 @@ pub fn estimate_normals(
         let chunk: Vec<Vec3> = searcher.points()[start..end].to_vec();
         let neighborhoods = searcher.radius_batch(&chunk, radius);
         let points = searcher.points();
-        normals.extend(tigris_core::batch::parallel_map_indexed(
-            chunk.len(),
-            &parallel,
-            |i| {
-                let p = chunk[i];
-                let neighbors = &neighborhoods[i];
-                let normal = match algorithm {
-                    NormalAlgorithm::PlaneSvd => plane_svd_normal(points, neighbors, p),
-                    NormalAlgorithm::AreaWeighted => area_weighted_normal(points, neighbors, p),
-                };
-                // Orient toward the viewpoint (sensor at the origin).
-                if normal.dot(-p) < 0.0 {
-                    -normal
-                } else {
-                    normal
-                }
-            },
-        ));
+        normals.extend(tigris_core::batch::parallel_map_indexed(chunk.len(), &parallel, |i| {
+            let p = chunk[i];
+            let neighbors = &neighborhoods[i];
+            let normal = match algorithm {
+                NormalAlgorithm::PlaneSvd => plane_svd_normal(points, neighbors, p),
+                NormalAlgorithm::AreaWeighted => area_weighted_normal(points, neighbors, p),
+            };
+            // Orient toward the viewpoint (sensor at the origin).
+            if normal.dot(-p) < 0.0 {
+                -normal
+            } else {
+                normal
+            }
+        }));
         start = end;
     }
     normals
@@ -99,11 +95,7 @@ fn plane_svd_normal(
 /// AreaWeighted: average of the normals of triangles formed by the query
 /// point and consecutive neighbor pairs, each weighted by triangle area
 /// (Klasing et al.'s AreaWeighted variant).
-fn area_weighted_normal(
-    points: &[Vec3],
-    neighbors: &[tigris_core::Neighbor],
-    at: Vec3,
-) -> Vec3 {
+fn area_weighted_normal(points: &[Vec3], neighbors: &[tigris_core::Neighbor], at: Vec3) -> Vec3 {
     if neighbors.len() < 3 {
         return fallback_normal(at);
     }

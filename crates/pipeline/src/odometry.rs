@@ -237,7 +237,11 @@ mod tests {
         // Clutter for distinctiveness.
         for i in 0..8 {
             for k in 0..5 {
-                pts.push(Vec3::new(1.0 + 0.1 * i as f64, 2.0 + 0.07 * k as f64, 0.4 + 0.1 * k as f64));
+                pts.push(Vec3::new(
+                    1.0 + 0.1 * i as f64,
+                    2.0 + 0.07 * k as f64,
+                    0.4 + 0.1 * k as f64,
+                ));
             }
         }
         PointCloud::from_points(pts)
@@ -325,7 +329,9 @@ mod tests {
         let mut odo = Odometer::new(fast_config());
         odo.push(&world).unwrap();
         let step = odo
-            .push(&world.transformed(&RigidTransform::from_translation(Vec3::new(0.05, 0.0, 0.0)).inverse()))
+            .push(&world.transformed(
+                &RigidTransform::from_translation(Vec3::new(0.05, 0.0, 0.0)).inverse(),
+            ))
             .unwrap()
             .unwrap();
         // The pair's profile contains exactly the two trees' build time
@@ -336,10 +342,7 @@ mod tests {
     #[test]
     fn failed_frames_are_not_counted_as_processed() {
         let mut odo = Odometer::new(fast_config());
-        assert_eq!(
-            odo.push(&PointCloud::new()).unwrap_err(),
-            RegistrationError::EmptyCloud
-        );
+        assert_eq!(odo.push(&PointCloud::new()).unwrap_err(), RegistrationError::EmptyCloud);
         assert_eq!(odo.frames_processed(), 0);
         // A good frame afterwards is counted normally.
         odo.push(&scene_cloud()).unwrap();
@@ -354,16 +357,16 @@ mod tests {
         // A translated copy 500 m away: descriptors match, but the gated
         // initial estimate collapses to identity and RPCE finds nothing
         // within range → the pair starves.
-        let far = world
-            .transformed(&RigidTransform::from_translation(Vec3::new(500.0, 0.0, 0.0)));
+        let far = world.transformed(&RigidTransform::from_translation(Vec3::new(500.0, 0.0, 0.0)));
         assert_eq!(odo.push(&far).unwrap_err(), RegistrationError::IcpStarved);
         // The frame prepared fine, so it counts — and becomes the new
         // reference instead of silently resetting the stream.
         assert_eq!(odo.frames_processed(), 2);
         let delta = RigidTransform::from_translation(Vec3::new(0.05, 0.0, 0.0));
-        let step = odo.push(&far.transformed(&delta.inverse())).unwrap().expect(
-            "the push after a failed pair must register against the retained frame",
-        );
+        let step = odo
+            .push(&far.transformed(&delta.inverse()))
+            .unwrap()
+            .expect("the push after a failed pair must register against the retained frame");
         assert!(
             (step.relative.translation - delta.translation).norm() < 0.05,
             "relative {} vs {}",

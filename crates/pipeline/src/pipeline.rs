@@ -691,14 +691,12 @@ mod tests {
     #[test]
     fn profile_covers_all_stages() {
         let target = scene_cloud();
-        let source = target.transformed(&RigidTransform::from_translation(Vec3::new(0.2, 0.0, 0.0)).inverse());
+        let source = target
+            .transformed(&RigidTransform::from_translation(Vec3::new(0.2, 0.0, 0.0)).inverse());
         let result = register(&source, &target, &fast_config()).unwrap();
         let p = &result.profile;
         for stage in Stage::ALL {
-            assert!(
-                p.time(stage) > std::time::Duration::ZERO,
-                "stage {stage} has zero time"
-            );
+            assert!(p.time(stage) > std::time::Duration::ZERO, "stage {stage} has zero time");
         }
         assert!(p.kd_search_time > std::time::Duration::ZERO);
         assert!(p.kd_build_time > std::time::Duration::ZERO);
@@ -711,7 +709,8 @@ mod tests {
         // At our small test scale the exact fraction varies, but search must
         // be a major component.
         let target = scene_cloud();
-        let source = target.transformed(&RigidTransform::from_translation(Vec3::new(0.2, 0.1, 0.0)));
+        let source =
+            target.transformed(&RigidTransform::from_translation(Vec3::new(0.2, 0.1, 0.0)));
         let result = register(&source, &target, &fast_config()).unwrap();
         assert!(
             result.profile.kd_search_fraction() > 0.2,
@@ -751,12 +750,9 @@ mod tests {
         }
         let mut cfg = fast_config();
         cfg.keypoint = KeypointAlgorithm::Iss { radius: 0.6 };
-        let err = register(
-            &PointCloud::from_points(src_pts),
-            &PointCloud::from_points(tgt_pts),
-            &cfg,
-        )
-        .unwrap_err();
+        let err =
+            register(&PointCloud::from_points(src_pts), &PointCloud::from_points(tgt_pts), &cfg)
+                .unwrap_err();
         assert_eq!(err, RegistrationError::IcpStarved);
     }
 
@@ -782,7 +778,8 @@ mod tests {
     #[test]
     fn voxel_downsampling_reduces_work() {
         let target = scene_cloud();
-        let source = target.transformed(&RigidTransform::from_translation(Vec3::new(0.2, 0.0, 0.0)).inverse());
+        let source = target
+            .transformed(&RigidTransform::from_translation(Vec3::new(0.2, 0.0, 0.0)).inverse());
         let mut dense_cfg = fast_config();
         dense_cfg.voxel_size = 0.0;
         let mut coarse_cfg = fast_config();

@@ -71,11 +71,7 @@ fn threshold_reject(correspondences: &[Correspondence], factor: f64) -> Vec<Corr
     dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = dists[dists.len() / 2];
     let cutoff = median * factor * factor;
-    correspondences
-        .iter()
-        .filter(|c| c.distance_squared <= cutoff)
-        .copied()
-        .collect()
+    correspondences.iter().filter(|c| c.distance_squared <= cutoff).copied().collect()
 }
 
 /// Classic RANSAC over rigid transforms: repeatedly fit a transform to a
@@ -113,8 +109,7 @@ fn ransac_reject(
             .iter()
             .enumerate()
             .filter(|(_, cr)| {
-                t.apply(source_keypoints[cr.source])
-                    .distance_squared(target_keypoints[cr.target])
+                t.apply(source_keypoints[cr.source]).distance_squared(target_keypoints[cr.target])
                     <= thr2
             })
             .map(|(i, _)| i)
@@ -197,7 +192,8 @@ mod tests {
     #[test]
     fn ransac_is_deterministic_per_seed() {
         let gt = RigidTransform::from_translation(Vec3::X);
-        let src: Vec<Vec3> = (0..15).map(|i| Vec3::new(i as f64, (i * i % 7) as f64, 0.0)).collect();
+        let src: Vec<Vec3> =
+            (0..15).map(|i| Vec3::new(i as f64, (i * i % 7) as f64, 0.0)).collect();
         let tgt: Vec<Vec3> = src.iter().map(|&p| gt.apply(p)).collect();
         let cs: Vec<Correspondence> = (0..15).map(|i| corr(i, i, 0.1)).collect();
         let a = ransac_reject(&cs, &src, &tgt, 50, 0.1, 7);
@@ -208,9 +204,8 @@ mod tests {
     #[test]
     fn ransac_all_inliers_keeps_everything() {
         let gt = RigidTransform::from_axis_angle(Vec3::Y, 0.2, Vec3::new(0.0, 1.0, 0.0));
-        let src: Vec<Vec3> = (0..12)
-            .map(|i| Vec3::new(i as f64 * 0.5, (i % 4) as f64, (i % 3) as f64))
-            .collect();
+        let src: Vec<Vec3> =
+            (0..12).map(|i| Vec3::new(i as f64 * 0.5, (i % 4) as f64, (i % 3) as f64)).collect();
         let tgt: Vec<Vec3> = src.iter().map(|&p| gt.apply(p)).collect();
         let cs: Vec<Correspondence> = (0..12).map(|i| corr(i, i, 0.0)).collect();
         let kept = ransac_reject(&cs, &src, &tgt, 200, 0.1, 3);

@@ -452,9 +452,10 @@ mod tests {
 
     #[test]
     fn from_config_rejects_unknown_custom_backend() {
-        let err = Searcher3::from_config(&cloud(), &SearchBackendConfig::Custom {
-            name: "no-such-backend",
-        })
+        let err = Searcher3::from_config(
+            &cloud(),
+            &SearchBackendConfig::Custom { name: "no-such-backend" },
+        )
         .unwrap_err();
         assert_eq!(err, ConfigError::UnknownBackend { name: "no-such-backend" });
     }
@@ -541,10 +542,11 @@ mod tests {
     #[test]
     fn reset_index_clears_leader_books() {
         let pts = cloud();
-        let mut s = Searcher3::two_stage_approx(&pts, 3, ApproxConfig {
-            nn_threshold: 5.0,
-            ..Default::default()
-        });
+        let mut s = Searcher3::two_stage_approx(
+            &pts,
+            3,
+            ApproxConfig { nn_threshold: 5.0, ..Default::default() },
+        );
         for i in 0..50 {
             s.nn(Vec3::new(1.0 + 0.01 * i as f64, 2.0, 3.0));
         }

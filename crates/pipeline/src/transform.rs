@@ -193,9 +193,7 @@ mod tests {
     use super::*;
 
     fn make_pairs(n: usize) -> Vec<Correspondence> {
-        (0..n)
-            .map(|i| Correspondence { source: i, target: i, distance_squared: 0.0 })
-            .collect()
+        (0..n).map(|i| Correspondence { source: i, target: i, distance_squared: 0.0 }).collect()
     }
 
     fn sample_points() -> Vec<Vec3> {
@@ -214,7 +212,11 @@ mod tests {
     #[test]
     fn svd_recovers_known_transform() {
         let src = sample_points();
-        let gt = RigidTransform::from_axis_angle(Vec3::new(0.3, 1.0, -0.2), 0.7, Vec3::new(2.0, -1.0, 0.5));
+        let gt = RigidTransform::from_axis_angle(
+            Vec3::new(0.3, 1.0, -0.2),
+            0.7,
+            Vec3::new(2.0, -1.0, 0.5),
+        );
         let tgt: Vec<Vec3> = src.iter().map(|&p| gt.apply(p)).collect();
         let est = estimate_svd(&src, &tgt, &make_pairs(src.len())).unwrap();
         assert!((est.rotation - gt.rotation).frobenius_norm() < 1e-9);

@@ -61,9 +61,8 @@ fn normal_estimation_is_identical_serial_vs_parallel() {
 
 #[test]
 fn batched_searcher_respects_query_log_order() {
-    let pts: Vec<Vec3> = (0..500)
-        .map(|i| Vec3::new((i % 25) as f64, (i / 25) as f64, 0.3))
-        .collect();
+    let pts: Vec<Vec3> =
+        (0..500).map(|i| Vec3::new((i % 25) as f64, (i / 25) as f64, 0.3)).collect();
     let queries: Vec<Vec3> = (0..64).map(|i| Vec3::new(i as f64 * 0.3, 2.0, 0.0)).collect();
 
     let mut s = Searcher3::two_stage(&pts, 4);

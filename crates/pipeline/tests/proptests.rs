@@ -18,15 +18,12 @@ fn point() -> impl Strategy<Value = Vec3> {
 
 fn rigid() -> impl Strategy<Value = RigidTransform> {
     (point(), -2.0f64..2.0, point()).prop_filter_map("axis", |(axis, angle, t)| {
-        axis.normalized()
-            .map(|a| RigidTransform::from_axis_angle(a, angle, t))
+        axis.normalized().map(|a| RigidTransform::from_axis_angle(a, angle, t))
     })
 }
 
 fn identity_pairs(n: usize) -> Vec<Correspondence> {
-    (0..n)
-        .map(|i| Correspondence { source: i, target: i, distance_squared: 0.0 })
-        .collect()
+    (0..n).map(|i| Correspondence { source: i, target: i, distance_squared: 0.0 }).collect()
 }
 
 proptest! {

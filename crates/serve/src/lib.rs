@@ -1,0 +1,88 @@
+//! Tigris serving subsystem: one frozen map, many concurrent
+//! localization clients.
+//!
+//! The mapping subsystem (`tigris-map`) builds a drift-corrected map as
+//! a *single-owner* object: one `Mapper`, one stream, and the map dies
+//! with it. Production localization inverts that shape — a map is built
+//! (or updated) rarely and *read* constantly, by every vehicle, robot or
+//! headset in the area. This crate is that read side:
+//!
+//! * **[`MapSnapshot`]** — [`MapSnapshot::freeze`] consumes a finished
+//!   [`tigris_map::Mapper`] and rearranges it, moving every submap,
+//!   index and keyframe (zero point copies), into an immutable snapshot
+//!   shared behind an `Arc`. Map queries and signature retrieval run
+//!   lock-free through `&self`; stored keyframes (whose searchers meter
+//!   their own queries) each sit behind their own lock, so sessions
+//!   verifying against different submaps never contend.
+//! * **Cold-start relocalization** ([`relocalize_prepared`]) — a client
+//!   submits one raw frame with no history; the service prepares it
+//!   (the standard pipeline front end, run exactly once), retrieves
+//!   candidate submaps by signature ([`tigris_map::retrieval`], the same
+//!   implementation loop closure uses), verifies geometrically against
+//!   stored keyframes, gates on inliers/offset/structure-overlap, and
+//!   returns a world pose with a [`Relocalization`] confidence report.
+//! * **Sessions** ([`Session`]) — after a cold start, a session tracks
+//!   frame-to-frame with the constant-velocity prior (the odometer's
+//!   streaming pattern), chaining poses from the relocalized origin, and
+//!   falls back to relocalization on tracking loss.
+//! * **[`LocalizationService`]** — admits up to a budget of concurrent
+//!   sessions and a budget of in-flight requests, rejecting typed
+//!   ([`ServeError`]) beyond either; meters per-session and
+//!   service-wide [`ServeStats`] including p50/p99 request latency; and
+//!   batches cross-session map probes through the snapshot's shared
+//!   batch path ([`MapSnapshot::query_batch`]).
+//!
+//! Determinism: with an exact search backend (the default), every
+//! answer a snapshot serves — map queries, retrieval, verification —
+//! is bit-identical regardless of how many sessions share it or how
+//! requests interleave: all shared state is immutable, and the only
+//! locked mutation (keyframe search metering) never affects results.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use tigris_data::{Sequence, SequenceConfig};
+//! use tigris_map::{Mapper, MapperConfig};
+//! use tigris_serve::{LocalizationService, MapSnapshot, ServeConfig, StepKind};
+//!
+//! // Build and freeze a map once…
+//! let seq = Sequence::generate(&SequenceConfig::loop_circuit(60.0, 6), 7);
+//! let mut mapper = Mapper::new(MapperConfig::default());
+//! for i in 0..seq.len() {
+//!     mapper.push(seq.frame(i)).unwrap();
+//! }
+//! let snapshot = Arc::new(MapSnapshot::freeze(mapper).unwrap());
+//!
+//! // …then serve it to any number of sessions.
+//! let service = LocalizationService::new(snapshot, ServeConfig::default());
+//! let mut session = service.open_session().unwrap();
+//! for i in [10, 11, 12] {
+//!     let step = session.localize(seq.frame(i)).unwrap();
+//!     match step.kind {
+//!         StepKind::Relocalized(r) => {
+//!             println!("cold start: {} (confidence {:.2})", step.pose, r.confidence)
+//!         }
+//!         StepKind::Tracked { .. } => println!("tracked: {}", step.pose),
+//!     }
+//! }
+//! println!("{:?}", service.stats());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod reloc;
+pub mod service;
+pub mod session;
+pub mod snapshot;
+pub mod stats;
+
+pub use config::{RelocConfig, ServeConfig};
+pub use error::ServeError;
+pub use reloc::{relocalize_prepared, Relocalization};
+pub use service::LocalizationService;
+pub use session::{Session, SessionPhase, SessionStep, StepKind};
+pub use snapshot::MapSnapshot;
+pub use stats::{LatencyRecorder, LatencySummary, ServeStats, SessionStats};

@@ -1,0 +1,138 @@
+//! Cold-start relocalization: "where in this map am I?" from one raw
+//! frame and no history.
+//!
+//! The pipeline mirrors the mapper's loop-closure verification — the two
+//! share their implementation through [`tigris_map::retrieval`] — minus
+//! the drift-relative gates (a cold query has no pose estimate to
+//! deviate from):
+//!
+//! 1. the query frame's mean descriptor is matched against the
+//!    snapshot's submap signatures ([`SignatureIndex`] retrieval);
+//! 2. each candidate is geometrically verified by registering the
+//!    prepared query frame against the candidate's stored keyframe
+//!    (no front-end rerun, keyframe briefly locked);
+//! 3. survivors pass the inlier, offset and structure-overlap gates;
+//! 4. the first acceptance becomes a world pose: the keyframe's frozen
+//!    pose composed with the verified relative transform.
+//!
+//! [`SignatureIndex`]: tigris_map::retrieval::SignatureIndex
+
+use tigris_geom::RigidTransform;
+use tigris_map::descriptor_mean;
+use tigris_pipeline::PreparedFrame;
+
+use crate::config::RelocConfig;
+use crate::error::ServeError;
+use crate::snapshot::MapSnapshot;
+
+/// A successful cold-start relocalization, with the evidence that
+/// backs it — the service's *confidence report*.
+#[derive(Debug, Clone, Copy)]
+pub struct Relocalization {
+    /// Estimated world pose of the query frame (sensor → world).
+    pub pose: RigidTransform,
+    /// The submap whose keyframe the frame verified against.
+    pub submap: usize,
+    /// Trajectory index of that keyframe (the submap's anchor).
+    pub matched_frame: usize,
+    /// Verified relative transform (query coordinates into keyframe
+    /// coordinates).
+    pub relative: RigidTransform,
+    /// KPCE correspondences surviving rejection in the verification.
+    pub inliers: usize,
+    /// Structure-overlap fraction under the verified transform.
+    pub structure_overlap: f64,
+    /// Signature distance of the accepted candidate in the KPCE feature
+    /// space.
+    pub signature_distance: f64,
+    /// Candidates that reached geometric verification (including the
+    /// accepted one).
+    pub candidates_tried: usize,
+    /// Scalar confidence in `[0, 1)`: the structure-overlap fraction
+    /// scaled by inlier saturation `inliers / (inliers + min_inliers)`.
+    /// Monotone in both pieces of evidence; deterministic.
+    pub confidence: f64,
+}
+
+/// Relocalizes a prepared query frame against the snapshot; see the
+/// [module docs](self).
+///
+/// # Errors
+///
+/// [`ServeError::RelocalizationFailed`] when retrieval yields no
+/// candidate or every verified candidate fails a gate. The prepared
+/// frame remains valid — callers retry with the next frame or hand the
+/// preparation to tracking once a later attempt succeeds.
+pub fn relocalize_prepared(
+    snapshot: &MapSnapshot,
+    frame: &mut PreparedFrame,
+    cfg: &RelocConfig,
+) -> Result<Relocalization, ServeError> {
+    let mut candidates_tried = 0usize;
+    let Some(signature) = descriptor_mean(frame.descriptors()) else {
+        return Err(ServeError::RelocalizationFailed { candidates_tried });
+    };
+    if signature.len() != snapshot.signature_dim() {
+        return Err(ServeError::RelocalizationFailed { candidates_tried });
+    }
+
+    let debug = std::env::var("TIGRIS_SERVE_DEBUG").is_ok();
+    let batch = frame.config().parallel;
+    let hits =
+        snapshot.retrieval().retrieve(&signature, cfg.candidates, cfg.max_descriptor_distance);
+    for hit in hits {
+        // Every retrieved candidate reaches geometric verification
+        // (retrieval only indexes keyframed submaps), so it counts
+        // whether or not the registration produces a match.
+        candidates_tried += 1;
+        let Some(result) = snapshot.verify_against(hit.submap, frame) else {
+            if debug {
+                eprintln!(
+                    "DBG reloc: submap {} (sig dist {:.3}): no geometric match",
+                    hit.submap, hit.distance
+                );
+            }
+            continue;
+        };
+
+        // Cheap scalar gates first; the expensive overlap check (one NN
+        // probe per elevated frame point, batched) only runs on frames
+        // the scalars let through.
+        let scalars_pass = result.inlier_correspondences >= cfg.min_inliers
+            && result.transform.translation_norm() <= cfg.max_keyframe_offset;
+        let overlap = if scalars_pass {
+            snapshot.structure_overlap(frame.points(), &result.transform, hit.submap, &batch)
+        } else {
+            0.0
+        };
+        if debug {
+            eprintln!(
+                "DBG reloc: submap {} (sig dist {:.3}): inliers {}, |t| {:.2}, overlap {}",
+                hit.submap,
+                hit.distance,
+                result.inlier_correspondences,
+                result.transform.translation_norm(),
+                if scalars_pass { format!("{overlap:.3}") } else { "skipped".into() },
+            );
+        }
+        if !scalars_pass || overlap < cfg.min_structure_overlap {
+            continue;
+        }
+
+        let anchor_frame = snapshot.submaps()[hit.submap].anchor_frame();
+        let inliers = result.inlier_correspondences;
+        let saturation = inliers as f64 / (inliers + cfg.min_inliers.max(1)) as f64;
+        return Ok(Relocalization {
+            pose: snapshot.poses()[anchor_frame] * result.transform,
+            submap: hit.submap,
+            matched_frame: anchor_frame,
+            relative: result.transform,
+            inliers,
+            structure_overlap: overlap,
+            signature_distance: hit.distance,
+            candidates_tried,
+            confidence: overlap * saturation,
+        });
+    }
+    Err(ServeError::RelocalizationFailed { candidates_tried })
+}

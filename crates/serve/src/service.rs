@@ -1,0 +1,201 @@
+//! The multi-session localization service: admission control, shared
+//! snapshot access and service-wide metering.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use tigris_geom::Vec3;
+use tigris_map::MapNeighbor;
+
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::session::Session;
+use crate::snapshot::MapSnapshot;
+use crate::stats::{LatencyRecorder, LatencySummary, ServeStats, SessionStats};
+
+/// Mutable service-wide state, behind the core's single lock. Sessions
+/// touch it only at request boundaries (admission, completion metering);
+/// all heavy work runs against the lock-free snapshot.
+#[derive(Debug, Default)]
+struct CoreState {
+    sessions_admitted: usize,
+    sessions_rejected: usize,
+    sessions_active: usize,
+    frames_rejected: usize,
+    inflight: usize,
+    totals: SessionStats,
+    latency: LatencyRecorder,
+}
+
+/// The state shared between a [`LocalizationService`] and its sessions.
+#[derive(Debug)]
+pub(crate) struct ServiceCore {
+    pub(crate) snapshot: Arc<MapSnapshot>,
+    pub(crate) config: ServeConfig,
+    state: Mutex<CoreState>,
+}
+
+impl ServiceCore {
+    fn lock(&self) -> std::sync::MutexGuard<'_, CoreState> {
+        self.state.lock().expect("service state lock poisoned")
+    }
+
+    /// Admission control for one localize call: claims an in-flight slot
+    /// or rejects typed, before any work runs.
+    pub(crate) fn begin_request(&self) -> Result<(), ServeError> {
+        let mut state = self.lock();
+        if state.inflight >= self.config.max_inflight {
+            state.frames_rejected += 1;
+            return Err(ServeError::Saturated { limit: self.config.max_inflight });
+        }
+        state.inflight += 1;
+        Ok(())
+    }
+
+    /// Releases the in-flight slot and meters the completed request.
+    pub(crate) fn finish_request(&self, latency: Duration, delta: SessionStats) {
+        let mut state = self.lock();
+        state.inflight -= 1;
+        state.latency.record(latency);
+        let t = &mut state.totals;
+        t.frames += delta.frames;
+        t.relocalizations_attempted += delta.relocalizations_attempted;
+        t.relocalizations_succeeded += delta.relocalizations_succeeded;
+        t.frames_tracked += delta.frames_tracked;
+        t.track_breaks += delta.track_breaks;
+    }
+
+    /// A session closed (dropped).
+    pub(crate) fn close_session(&self) {
+        self.lock().sessions_active -= 1;
+    }
+}
+
+/// Serves one frozen [`MapSnapshot`] to many concurrent localization
+/// sessions.
+///
+/// The service owns no per-frame state — that lives in each
+/// [`Session`] — only the admission budgets and the service-wide
+/// counters. Heavy per-request work (frame preparation, retrieval,
+/// verification, tracking) runs entirely against the `Arc`-shared
+/// snapshot, so sessions on separate threads proceed in parallel;
+/// the service lock is touched only at request boundaries.
+///
+/// # Example
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use tigris_data::{Sequence, SequenceConfig};
+/// use tigris_map::{Mapper, MapperConfig};
+/// use tigris_serve::{LocalizationService, MapSnapshot, ServeConfig};
+///
+/// // Build a map once…
+/// let seq = Sequence::generate(&SequenceConfig::loop_circuit(60.0, 6), 7);
+/// let mut mapper = Mapper::new(MapperConfig::default());
+/// for i in 0..seq.len() {
+///     mapper.push(seq.frame(i)).unwrap();
+/// }
+/// // …freeze it, and serve it.
+/// let snapshot = Arc::new(MapSnapshot::freeze(mapper).unwrap());
+/// let service = LocalizationService::new(snapshot, ServeConfig::default());
+/// let mut session = service.open_session().unwrap();
+/// let step = session.localize(seq.frame(3)).unwrap();
+/// println!("cold start localized to {}", step.pose);
+/// ```
+#[derive(Debug)]
+pub struct LocalizationService {
+    core: Arc<ServiceCore>,
+}
+
+impl LocalizationService {
+    /// A service over the given snapshot and budgets.
+    pub fn new(snapshot: Arc<MapSnapshot>, config: ServeConfig) -> Self {
+        LocalizationService {
+            core: Arc::new(ServiceCore {
+                snapshot,
+                config,
+                state: Mutex::new(CoreState::default()),
+            }),
+        }
+    }
+
+    /// The served snapshot.
+    pub fn snapshot(&self) -> &Arc<MapSnapshot> {
+        &self.core.snapshot
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.core.config
+    }
+
+    /// Admits a new localization session, or rejects it when the session
+    /// budget ([`ServeConfig::max_sessions`]) is fully allocated.
+    ///
+    /// The returned [`Session`] is independent of the service handle: it
+    /// can move to another thread, and dropping it releases its slot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SessionsExhausted`] at the budget.
+    pub fn open_session(&self) -> Result<Session, ServeError> {
+        let id = {
+            let mut state = self.core.lock();
+            if state.sessions_active >= self.core.config.max_sessions {
+                state.sessions_rejected += 1;
+                return Err(ServeError::SessionsExhausted { limit: self.core.config.max_sessions });
+            }
+            state.sessions_active += 1;
+            state.sessions_admitted += 1;
+            state.sessions_admitted - 1
+        };
+        Ok(Session::new(id, Arc::clone(&self.core)))
+    }
+
+    /// Sessions currently open.
+    pub fn active_sessions(&self) -> usize {
+        self.core.lock().sessions_active
+    }
+
+    /// Batched map probes across sessions: many world-frame radius
+    /// queries answered in one call, batched per submap through the
+    /// snapshot's shared read path ([`MapSnapshot::query_batch`]). This
+    /// is the service's cross-session batching entry point — callers
+    /// aggregating probes from several sessions (collision checks,
+    /// map-coverage telemetry) pay one fan-out instead of one per
+    /// session.
+    pub fn query_batch(&self, queries: &[Vec3], radius: f64) -> Vec<Vec<MapNeighbor>> {
+        let batch = self.core.snapshot.registration_config().parallel;
+        self.core.snapshot.query_batch(queries, radius, &batch)
+    }
+
+    /// A consistent point-in-time copy of the service-wide counters and
+    /// the latency distribution.
+    ///
+    /// Only an O(n) copy of the recorded samples happens under the
+    /// service lock; the percentile sort runs after it is released, so
+    /// a stats poll never stalls in-flight admission or completion for
+    /// the sort.
+    pub fn stats(&self) -> ServeStats {
+        let (mut stats, recorder) = {
+            let state = self.core.lock();
+            (
+                ServeStats {
+                    sessions_admitted: state.sessions_admitted,
+                    sessions_rejected: state.sessions_rejected,
+                    sessions_active: state.sessions_active,
+                    frames_rejected: state.frames_rejected,
+                    frames: state.totals.frames,
+                    relocalizations_attempted: state.totals.relocalizations_attempted,
+                    relocalizations_succeeded: state.totals.relocalizations_succeeded,
+                    frames_tracked: state.totals.frames_tracked,
+                    track_breaks: state.totals.track_breaks,
+                    latency: LatencySummary::default(),
+                },
+                state.latency.clone(),
+            )
+        };
+        stats.latency = recorder.summarize();
+        stats
+    }
+}

@@ -1,0 +1,278 @@
+//! One client's localization stream: cold start → tracking → (on loss)
+//! cold start again.
+//!
+//! A [`Session`] is the per-client state machine of the serving layer:
+//!
+//! ```text
+//!             ┌────────────────────────────────────────────┐
+//!             ▼                                            │
+//!        ┌─────────┐  relocalize ok   ┌──────────┐  loss beyond
+//!        │  Cold   │ ───────────────▶ │ Tracking │  budget, reloc
+//!        │  start  │ ◀─────────────── │          │  failed too
+//!        └─────────┘  reloc failed    └──────────┘
+//!                                       │     ▲
+//!                                       └─────┘
+//!                             frame-to-frame match
+//!                             (velocity prior), or loss
+//!                             within the failure budget
+//! ```
+//!
+//! Cold: the next frame runs cold-start relocalization against the
+//! snapshot ([`crate::reloc`]). Tracking: the next frame registers
+//! against the session's previous frame with the constant-velocity
+//! prior — the same prepare-once/reuse streaming pattern as the
+//! odometer, with the pose chained from the relocalized world pose. A
+//! tracking loss beyond [`crate::ServeConfig::max_track_failures`]
+//! falls back to relocalization with the already-prepared frame.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tigris_geom::{PointCloud, RigidTransform};
+use tigris_pipeline::{prepare_frame, register_prepared_with_prior, PreparedFrame};
+
+use crate::error::ServeError;
+use crate::reloc::{relocalize_prepared, Relocalization};
+use crate::service::ServiceCore;
+use crate::stats::SessionStats;
+
+/// Which public phase a session is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionPhase {
+    /// No pose estimate: the next frame cold-starts.
+    ColdStart,
+    /// Tracking frame-to-frame from a relocalized pose.
+    Tracking,
+}
+
+/// Private tracking state (the `Tracking` variant owns the previous
+/// frame's preparation, boxed — it carries a whole prepared frame).
+enum TrackState {
+    Cold,
+    Tracking(Box<Tracking>),
+}
+
+/// The payload of a tracking session.
+struct Tracking {
+    prev: PreparedFrame,
+    pose: RigidTransform,
+    velocity: Option<RigidTransform>,
+    failures: usize,
+}
+
+impl std::fmt::Debug for TrackState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrackState::Cold => write!(f, "Cold"),
+            TrackState::Tracking(t) => {
+                write!(f, "Tracking {{ pose: {}, failures: {} }}", t.pose, t.failures)
+            }
+        }
+    }
+}
+
+/// How one localized frame got its pose.
+#[derive(Debug, Clone, Copy)]
+pub enum StepKind {
+    /// Cold-start relocalization against the snapshot, with its
+    /// confidence report.
+    Relocalized(Relocalization),
+    /// Frame-to-frame tracking from the previous pose.
+    Tracked {
+        /// Relative transform from this frame to the previous one.
+        relative: RigidTransform,
+        /// KPCE correspondences surviving rejection.
+        inliers: usize,
+        /// ICP iterations the fine-tuning ran.
+        icp_iterations: usize,
+    },
+}
+
+/// One successfully localized frame.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionStep {
+    /// Session-local index of the frame (0-based over admitted frames).
+    pub frame: usize,
+    /// Estimated world pose of the frame (sensor → world, in the frozen
+    /// map's frame).
+    pub pose: RigidTransform,
+    /// How the pose was obtained.
+    pub kind: StepKind,
+}
+
+/// One client's localization session; see the [module docs](self).
+///
+/// Obtained from [`crate::LocalizationService::open_session`]; dropping
+/// it releases its admission slot. Sessions are independent and `Send`:
+/// move each to its own thread and localize concurrently — all shared
+/// access goes through the `Arc`-shared snapshot.
+#[derive(Debug)]
+pub struct Session {
+    id: usize,
+    core: Arc<ServiceCore>,
+    state: TrackState,
+    stats: SessionStats,
+}
+
+impl Session {
+    pub(crate) fn new(id: usize, core: Arc<ServiceCore>) -> Self {
+        Session { id, core, state: TrackState::Cold, stats: SessionStats::default() }
+    }
+
+    /// The session's service-assigned id (dense, in admission order).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The session's current phase.
+    pub fn phase(&self) -> SessionPhase {
+        match self.state {
+            TrackState::Cold => SessionPhase::ColdStart,
+            TrackState::Tracking(_) => SessionPhase::Tracking,
+        }
+    }
+
+    /// The current world-pose estimate (`None` while cold).
+    pub fn pose(&self) -> Option<&RigidTransform> {
+        match &self.state {
+            TrackState::Cold => None,
+            TrackState::Tracking(t) => Some(&t.pose),
+        }
+    }
+
+    /// This session's lifetime counters.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Localizes one raw frame (sensor coordinates) against the shared
+    /// map: cold-start relocalization when the session has no pose,
+    /// velocity-prior tracking otherwise. The frame's front end runs
+    /// exactly once either way, and a successful frame's preparation is
+    /// carried as the next step's tracking reference.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Saturated`] when the service's in-flight budget
+    /// rejects the call (no work done);
+    /// [`ServeError::Registration`] when the frame fails to prepare (the
+    /// session state is unchanged) or a within-budget tracking loss
+    /// occurred (the session keeps its previous reference);
+    /// [`ServeError::RelocalizationFailed`] when a cold start (initial
+    /// or after tracking loss) finds no verifiable pose — the session is
+    /// cold afterwards.
+    pub fn localize(&mut self, frame: &PointCloud) -> Result<SessionStep, ServeError> {
+        self.core.begin_request()?;
+        let t0 = Instant::now();
+        let before = self.stats;
+        let result = self.localize_admitted(frame);
+        let after = self.stats;
+        self.core.finish_request(
+            t0.elapsed(),
+            SessionStats {
+                frames: after.frames - before.frames,
+                relocalizations_attempted: after.relocalizations_attempted
+                    - before.relocalizations_attempted,
+                relocalizations_succeeded: after.relocalizations_succeeded
+                    - before.relocalizations_succeeded,
+                frames_tracked: after.frames_tracked - before.frames_tracked,
+                track_breaks: after.track_breaks - before.track_breaks,
+            },
+        );
+        result
+    }
+
+    fn localize_admitted(&mut self, frame: &PointCloud) -> Result<SessionStep, ServeError> {
+        // One preparation per admitted frame — the query front end.
+        let mut prepared = prepare_frame(frame, self.core.snapshot.registration_config())?;
+        let index = self.stats.frames;
+        self.stats.frames += 1;
+
+        match std::mem::replace(&mut self.state, TrackState::Cold) {
+            TrackState::Cold => self.cold_start(prepared, index),
+            TrackState::Tracking(mut tracking) => {
+                let matched = register_prepared_with_prior(
+                    &mut prepared,
+                    &mut tracking.prev,
+                    self.core.snapshot.registration_config(),
+                    tracking.velocity.as_ref(),
+                );
+                match matched {
+                    Ok(result) => {
+                        let new_pose = tracking.pose * result.transform;
+                        let step = SessionStep {
+                            frame: index,
+                            pose: new_pose,
+                            kind: StepKind::Tracked {
+                                relative: result.transform,
+                                inliers: result.inlier_correspondences,
+                                icp_iterations: result.icp_iterations,
+                            },
+                        };
+                        self.stats.frames_tracked += 1;
+                        self.state = TrackState::Tracking(Box::new(Tracking {
+                            prev: prepared,
+                            pose: new_pose,
+                            velocity: Some(result.transform),
+                            failures: 0,
+                        }));
+                        Ok(step)
+                    }
+                    Err(err) => {
+                        self.stats.track_breaks += 1;
+                        if tracking.failures < self.core.config.max_track_failures {
+                            // Within the loss budget: keep the old
+                            // reference and pose, drop the failed frame,
+                            // surface the loss typed.
+                            tracking.velocity = None;
+                            tracking.failures += 1;
+                            self.state = TrackState::Tracking(tracking);
+                            Err(ServeError::Registration(err))
+                        } else {
+                            // Beyond the budget: the pose estimate is
+                            // gone — fall back to cold start with the
+                            // already-prepared frame.
+                            self.cold_start(prepared, index)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cold-start relocalization with an already-prepared frame; on
+    /// success the frame becomes the tracking reference.
+    fn cold_start(
+        &mut self,
+        mut prepared: PreparedFrame,
+        index: usize,
+    ) -> Result<SessionStep, ServeError> {
+        self.stats.relocalizations_attempted += 1;
+        match relocalize_prepared(&self.core.snapshot, &mut prepared, &self.core.config.reloc) {
+            Ok(reloc) => {
+                self.stats.relocalizations_succeeded += 1;
+                self.state = TrackState::Tracking(Box::new(Tracking {
+                    prev: prepared,
+                    pose: reloc.pose,
+                    velocity: None,
+                    failures: 0,
+                }));
+                Ok(SessionStep {
+                    frame: index,
+                    pose: reloc.pose,
+                    kind: StepKind::Relocalized(reloc),
+                })
+            }
+            Err(err) => {
+                self.state = TrackState::Cold;
+                Err(err)
+            }
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.core.close_session();
+    }
+}

@@ -1,0 +1,265 @@
+//! The frozen, shareable read side of a built map.
+//!
+//! [`MapSnapshot::freeze`] consumes a finished [`Mapper`] and rearranges
+//! it — *moving* every submap, index and keyframe, copying no points —
+//! into an immutable snapshot that any number of localization sessions
+//! can query through `&self`:
+//!
+//! * submap points and their [`DynamicMapIndex`]es answer map queries
+//!   lock-free (the index's `*_batch_shared` entry points take `&self`);
+//! * the submap signature retrieval structure ([`SignatureIndex`]) is
+//!   built once at freeze time and shared by every cold start;
+//! * stored keyframes — the geometric-verification targets, whose
+//!   searchers meter their own query work and therefore need `&mut` —
+//!   sit each behind its own [`Mutex`], so two sessions verifying
+//!   against *different* submaps never contend.
+//!
+//! [`DynamicMapIndex`]: tigris_core::DynamicMapIndex
+
+use std::sync::Mutex;
+
+use tigris_core::{BatchConfig, SearchStats};
+use tigris_geom::{RigidTransform, Vec3};
+use tigris_map::retrieval::{self, SignatureIndex};
+use tigris_map::{
+    sort_map_neighbors, FrozenMap, LoopClosure, MapNeighbor, Mapper, MapperConfig, MapperStats,
+    Submap,
+};
+use tigris_pipeline::{PreparedFrame, RegistrationConfig, RegistrationResult};
+
+use crate::error::ServeError;
+
+/// An immutable, `Arc`-shareable snapshot of a finished map; see the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct MapSnapshot {
+    config: MapperConfig,
+    /// The frozen submaps, keyframes stripped (see `keyframes`).
+    submaps: Vec<Submap>,
+    /// Stored keyframe preparations, parallel to `submaps`, each behind
+    /// its own lock (verification meters the keyframe's searcher).
+    keyframes: Vec<Option<Mutex<PreparedFrame>>>,
+    /// Corrected world pose per trajectory frame, as frozen.
+    poses: Vec<RigidTransform>,
+    /// The closures accepted while the map was built.
+    closures: Vec<LoopClosure>,
+    /// The mapper's lifetime counters at freeze time.
+    build_stats: MapperStats,
+    /// Signature retrieval over every verifiable submap, built once.
+    retrieval: SignatureIndex,
+    /// Dimension of the submap signatures (and of valid query
+    /// signatures).
+    signature_dim: usize,
+    total_points: usize,
+}
+
+impl MapSnapshot {
+    /// Freezes a finished mapper into a shareable snapshot — exactly
+    /// [`Mapper::freeze`] followed by [`MapSnapshot::from_frozen`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EmptyMap`] when the map holds no points;
+    /// [`ServeError::UnverifiableMap`] when no submap has both a stored
+    /// keyframe and a signature (cold starts could never verify).
+    pub fn freeze(mapper: Mapper) -> Result<Self, ServeError> {
+        MapSnapshot::from_frozen(mapper.freeze())
+    }
+
+    /// Builds the snapshot from an already-frozen map; see
+    /// [`MapSnapshot::freeze`].
+    ///
+    /// # Errors
+    ///
+    /// As [`MapSnapshot::freeze`].
+    pub fn from_frozen(frozen: FrozenMap) -> Result<Self, ServeError> {
+        let FrozenMap { config, mut submaps, poses, closures, stats, .. } = frozen;
+        let total_points: usize = submaps.iter().map(Submap::len).sum();
+        if total_points == 0 {
+            return Err(ServeError::EmptyMap);
+        }
+
+        // Strip the keyframes out of the submaps and behind locks; the
+        // submaps themselves stay lock-free for shared queries.
+        let keyframes: Vec<Option<Mutex<PreparedFrame>>> =
+            submaps.iter_mut().map(|s| s.take_keyframe().map(Mutex::new)).collect();
+
+        // Verifiable submaps: a stored keyframe plus a signature of the
+        // map's common dimension. The dimension is taken from the first
+        // verifiable submap (one front-end config built the whole map,
+        // so disagreement means an unusable signature, not a second
+        // population).
+        let signature_dim = submaps
+            .iter()
+            .zip(&keyframes)
+            .find(|(s, kf)| kf.is_some() && !s.descriptor().is_empty())
+            .map(|(s, _)| s.descriptor().len())
+            .ok_or(ServeError::UnverifiableMap)?;
+        let eligible: Vec<usize> = submaps
+            .iter()
+            .zip(&keyframes)
+            .filter(|(s, kf)| kf.is_some() && s.descriptor().len() == signature_dim)
+            .map(|(s, _)| s.id())
+            .collect();
+        let retrieval = SignatureIndex::build(&submaps, &eligible, signature_dim);
+
+        Ok(MapSnapshot {
+            config,
+            submaps,
+            keyframes,
+            poses,
+            closures,
+            build_stats: stats,
+            retrieval,
+            signature_dim,
+            total_points,
+        })
+    }
+
+    /// The configuration the map was built under.
+    pub fn config(&self) -> &MapperConfig {
+        &self.config
+    }
+
+    /// The registration configuration query frames must be prepared with
+    /// (the map's own front-end knobs).
+    pub fn registration_config(&self) -> &RegistrationConfig {
+        &self.config.registration
+    }
+
+    /// The frozen submaps (keyframes stripped; see
+    /// [`MapSnapshot::verify_against`] for keyframe access).
+    pub fn submaps(&self) -> &[Submap] {
+        &self.submaps
+    }
+
+    /// Corrected world pose per trajectory frame, as frozen.
+    pub fn poses(&self) -> &[RigidTransform] {
+        &self.poses
+    }
+
+    /// The loop closures accepted while the map was built.
+    pub fn closures(&self) -> &[LoopClosure] {
+        &self.closures
+    }
+
+    /// The mapper's lifetime counters at freeze time.
+    pub fn build_stats(&self) -> &MapperStats {
+        &self.build_stats
+    }
+
+    /// The signature retrieval structure (shared by every cold start).
+    pub fn retrieval(&self) -> &SignatureIndex {
+        &self.retrieval
+    }
+
+    /// Dimension of the submap signatures.
+    pub fn signature_dim(&self) -> usize {
+        self.signature_dim
+    }
+
+    /// Total points across all frozen submaps.
+    pub fn total_points(&self) -> usize {
+        self.total_points
+    }
+
+    /// Submaps a cold start can verify against (stored keyframe plus
+    /// signature).
+    pub fn verifiable_submaps(&self) -> usize {
+        self.retrieval.len()
+    }
+
+    /// All map points within `radius` of the world-frame `point`, fanned
+    /// out across every overlapping submap — the snapshot's serial map
+    /// query, answering exactly like `Mapper::query` on the map that was
+    /// frozen. Results ascend by `(distance, submap, index)`.
+    pub fn query(&self, point: Vec3, radius: f64) -> Vec<MapNeighbor> {
+        let mut out: Vec<MapNeighbor> = Vec::new();
+        for submap in &self.submaps {
+            out.extend(submap.query(point, radius));
+        }
+        sort_map_neighbors(&mut out);
+        out
+    }
+
+    /// Batched [`MapSnapshot::query`]: many world-frame queries answered
+    /// in one call, batched *per submap* through the dynamic index's
+    /// shared read-only batch path ([`DynamicMapIndex::radius_batch_shared`])
+    /// instead of one index probe per (query, submap) pair. This is the
+    /// cross-session batching seam: the service can merge map probes
+    /// from any number of sessions into one call. Results are
+    /// bit-identical to calling [`MapSnapshot::query`] per element.
+    ///
+    /// [`DynamicMapIndex::radius_batch_shared`]: tigris_core::DynamicMapIndex::radius_batch_shared
+    pub fn query_batch(
+        &self,
+        points: &[Vec3],
+        radius: f64,
+        cfg: &BatchConfig,
+    ) -> Vec<Vec<MapNeighbor>> {
+        let mut out: Vec<Vec<MapNeighbor>> = vec![Vec::new(); points.len()];
+        let mut stats = SearchStats::new();
+        for submap in &self.submaps {
+            let Some(bounds) = submap.local_bounds() else {
+                continue;
+            };
+            // Gather the queries whose sphere overlaps this submap, in
+            // the submap's local frame.
+            let inverse = submap.anchor_pose().inverse();
+            let mut hit_ids: Vec<usize> = Vec::new();
+            let mut local_queries: Vec<Vec3> = Vec::new();
+            for (i, &p) in points.iter().enumerate() {
+                let local = inverse.apply(p);
+                if bounds.intersects_sphere(local, radius) {
+                    hit_ids.push(i);
+                    local_queries.push(local);
+                }
+            }
+            if hit_ids.is_empty() {
+                continue;
+            }
+            let answers =
+                submap.index().radius_batch_shared(&local_queries, radius, cfg, &mut stats);
+            let all_points = submap.index().all_points();
+            for (&qi, neighbors) in hit_ids.iter().zip(answers) {
+                out[qi].extend(neighbors.into_iter().map(|n| MapNeighbor {
+                    submap: submap.id(),
+                    index: n.index,
+                    point: submap.anchor_pose().apply(all_points[n.index]),
+                    distance_squared: n.distance_squared,
+                }));
+            }
+        }
+        for neighbors in &mut out {
+            sort_map_neighbors(neighbors);
+        }
+        out
+    }
+
+    /// Registers a prepared query frame against `submap_id`'s stored
+    /// keyframe (locking that keyframe for the duration) — the geometric
+    /// half of relocalization. Returns `None` when the submap stores no
+    /// keyframe or the pair fails to match.
+    pub fn verify_against(
+        &self,
+        submap_id: usize,
+        frame: &mut PreparedFrame,
+    ) -> Option<RegistrationResult> {
+        let keyframe = self.keyframes.get(submap_id)?.as_ref()?;
+        let mut keyframe = keyframe.lock().expect("keyframe lock poisoned");
+        retrieval::verify_geometry(frame, &mut keyframe, &self.config.registration)
+    }
+
+    /// The structure-overlap fraction of `points` against `submap_id`
+    /// under `relative`, NN lookups batched through the shared read path;
+    /// see [`retrieval::structure_overlap_batched`].
+    pub fn structure_overlap(
+        &self,
+        points: &[Vec3],
+        relative: &RigidTransform,
+        submap_id: usize,
+        cfg: &BatchConfig,
+    ) -> f64 {
+        retrieval::structure_overlap_batched(points, relative, &self.submaps[submap_id], cfg)
+    }
+}

@@ -1,0 +1,152 @@
+//! Serving metrics: admission, relocalization and tracking counters plus
+//! request-latency percentiles, per session and service-wide.
+
+use std::time::Duration;
+
+/// Counters for one session's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Frames submitted to [`crate::Session::localize`] (admitted ones;
+    /// saturation rejections are counted service-wide only).
+    pub frames: usize,
+    /// Cold-start relocalizations attempted.
+    pub relocalizations_attempted: usize,
+    /// Cold-start relocalizations that produced a pose.
+    pub relocalizations_succeeded: usize,
+    /// Frames tracked against the previous frame (velocity-prior path).
+    pub frames_tracked: usize,
+    /// Tracking failures that sent the session back toward cold start.
+    pub track_breaks: usize,
+}
+
+/// Service-wide counters and latency summary, as returned by
+/// [`crate::LocalizationService::stats`] (a consistent point-in-time
+/// copy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Sessions admitted over the service's lifetime.
+    pub sessions_admitted: usize,
+    /// Session opens rejected by the session budget.
+    pub sessions_rejected: usize,
+    /// Sessions currently open.
+    pub sessions_active: usize,
+    /// Localize calls rejected by the in-flight budget (no work done).
+    pub frames_rejected: usize,
+    /// Sum of every closed and open session's [`SessionStats::frames`].
+    pub frames: usize,
+    /// Cold-start relocalizations attempted, service-wide.
+    pub relocalizations_attempted: usize,
+    /// Cold-start relocalizations succeeded, service-wide.
+    pub relocalizations_succeeded: usize,
+    /// Frames tracked, service-wide.
+    pub frames_tracked: usize,
+    /// Tracking breaks, service-wide.
+    pub track_breaks: usize,
+    /// Latency distribution over every completed localize call.
+    pub latency: LatencySummary,
+}
+
+/// Percentile summary of recorded request latencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Completed requests recorded.
+    pub count: usize,
+    /// Median latency (nearest-rank).
+    pub p50: Duration,
+    /// 99th-percentile latency (nearest-rank).
+    pub p99: Duration,
+    /// Maximum observed latency.
+    pub max: Duration,
+    /// Mean latency.
+    pub mean: Duration,
+}
+
+/// Accumulates per-request latencies and summarizes them on demand.
+///
+/// Samples are kept raw (one `Duration` per completed request) — at
+/// serving scale a bounded reservoir would replace this, but exact
+/// percentiles keep the tests and benches honest.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<Duration>,
+}
+
+impl LatencyRecorder {
+    /// A recorder with no samples.
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Records one completed request.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples.push(latency);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Summarizes the recorded samples (zeros when empty).
+    ///
+    /// Percentiles are nearest-rank over the sorted samples: `p50` is
+    /// the smallest sample ≥ half the population, `p99` the smallest
+    /// sample ≥ 99% of it.
+    pub fn summarize(&self) -> LatencySummary {
+        if self.samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let nearest_rank = |p: f64| {
+            let rank = (p * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        let total: Duration = sorted.iter().sum();
+        LatencySummary {
+            count: sorted.len(),
+            p50: nearest_rank(0.50),
+            p99: nearest_rank(0.99),
+            max: *sorted.last().expect("non-empty"),
+            mean: total / sorted.len() as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_summarizes_to_zeros() {
+        let summary = LatencyRecorder::new().summarize();
+        assert_eq!(summary, LatencySummary::default());
+        assert_eq!(summary.count, 0);
+    }
+
+    #[test]
+    fn percentiles_follow_nearest_rank() {
+        let mut rec = LatencyRecorder::new();
+        // 1..=100 ms, shuffled order must not matter.
+        for i in (1..=100u64).rev() {
+            rec.record(Duration::from_millis(i));
+        }
+        let s = rec.summarize();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, Duration::from_millis(50));
+        assert_eq!(s.p99, Duration::from_millis(99));
+        assert_eq!(s.max, Duration::from_millis(100));
+        assert_eq!(s.mean, Duration::from_micros(50_500));
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut rec = LatencyRecorder::new();
+        rec.record(Duration::from_millis(7));
+        let s = rec.summarize();
+        assert_eq!(s.p50, Duration::from_millis(7));
+        assert_eq!(s.p99, Duration::from_millis(7));
+        assert_eq!(s.max, Duration::from_millis(7));
+        assert_eq!(s.mean, Duration::from_millis(7));
+    }
+}

@@ -30,9 +30,7 @@ impl Default for Criterion {
     fn default() -> Self {
         // First non-flag CLI argument = substring filter (real criterion
         // behaves the same way for `cargo bench -- <filter>`).
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion { filter }
     }
 }
@@ -40,11 +38,7 @@ impl Default for Criterion {
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            criterion: self,
-            name: name.into(),
-            sample_size: 100,
-        }
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 100 }
     }
 
     /// Runs a single ungrouped benchmark.
@@ -142,7 +136,12 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(filter: &Option<String>, id: &str, sample_size: usize, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    filter: &Option<String>,
+    id: &str,
+    sample_size: usize,
+    mut f: F,
+) {
     if let Some(needle) = filter {
         if !id.contains(needle.as_str()) {
             return;

@@ -61,11 +61,7 @@ pub trait Strategy {
     }
 
     /// Keeps only values for which `f` returns `true`.
-    fn prop_filter<F: Fn(&Self::Value) -> bool>(
-        self,
-        reason: &'static str,
-        f: F,
-    ) -> Filter<Self, F>
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, reason: &'static str, f: F) -> Filter<Self, F>
     where
         Self: Sized,
     {
@@ -457,7 +453,10 @@ macro_rules! prop_assert_ne {
         if *l == *r {
             return Err($crate::test_runner::TestCaseError::fail(format!(
                 "assertion failed: `{:?}` == `{:?}` ({} == {})",
-                l, r, stringify!($left), stringify!($right)
+                l,
+                r,
+                stringify!($left),
+                stringify!($right)
             )));
         }
     }};

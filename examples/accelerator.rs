@@ -7,10 +7,8 @@
 //! cargo run --release --example accelerator
 //! ```
 
-use tigris::accel::{
-    AcceleratorConfig, AcceleratorSim, BaselineModel, SearchKind,
-};
 use tigris::accel::baseline::Workload;
+use tigris::accel::{AcceleratorConfig, AcceleratorSim, BaselineModel, SearchKind};
 use tigris::core::{KdTree, SearchStats, TwoStageKdTree};
 use tigris::data::{Sequence, SequenceConfig};
 
@@ -51,9 +49,21 @@ fn main() {
     assert_eq!(acc.nn_results[0].unwrap().index, sw.index);
 
     println!("\nKD-tree search time (this workload):");
-    println!("  CPU (software, modeled)   {:>10.3} ms @ {:>5.0} W", cpu.seconds * 1e3, cpu.power_watts);
-    println!("  GPU  Base-KD              {:>10.3} ms @ {:>5.0} W", base_kd.seconds * 1e3, base_kd.power_watts);
-    println!("  GPU  Base-2SKD            {:>10.3} ms @ {:>5.0} W", base_2skd.seconds * 1e3, base_2skd.power_watts);
+    println!(
+        "  CPU (software, modeled)   {:>10.3} ms @ {:>5.0} W",
+        cpu.seconds * 1e3,
+        cpu.power_watts
+    );
+    println!(
+        "  GPU  Base-KD              {:>10.3} ms @ {:>5.0} W",
+        base_kd.seconds * 1e3,
+        base_kd.power_watts
+    );
+    println!(
+        "  GPU  Base-2SKD            {:>10.3} ms @ {:>5.0} W",
+        base_2skd.seconds * 1e3,
+        base_2skd.power_watts
+    );
     println!(
         "  Tigris Acc-2SKD           {:>10.3} ms @ {:>5.1} W",
         acc.seconds * 1e3,
@@ -64,14 +74,15 @@ fn main() {
     println!("  Acc-2SKD vs Base-KD     {:>7.1}x", base_kd.seconds / acc.seconds);
     println!("  Acc-2SKD vs Base-2SKD   {:>7.1}x", base_2skd.seconds / acc.seconds);
     println!("  Acc-2SKD vs CPU         {:>7.1}x", cpu.seconds / acc.seconds);
-    println!(
-        "  power reduction vs GPU  {:>7.1}x",
-        base_kd.power_watts / acc.power_watts()
-    );
+    println!("  power reduction vs GPU  {:>7.1}x", base_kd.power_watts / acc.power_watts());
 
     println!("\naccelerator internals:");
-    println!("  FE cycles {} | BE cycles {} | PE utilization {:.0}%",
-        acc.fe_cycles, acc.be_cycles, acc.pe_utilization * 100.0);
+    println!(
+        "  FE cycles {} | BE cycles {} | PE utilization {:.0}%",
+        acc.fe_cycles,
+        acc.be_cycles,
+        acc.pe_utilization * 100.0
+    );
     println!(
         "  top-tree nodes expanded {} / bypassed {} | leaf points scanned {}",
         acc.nodes_expanded, acc.nodes_bypassed, acc.leaf_points_scanned
@@ -79,7 +90,11 @@ fn main() {
     let (pe, rd, wr, leak, dram) = acc.energy.fractions();
     println!(
         "  energy: PE {:.1}% | SRAM read {:.1}% | SRAM write {:.1}% | leakage {:.1}% | DRAM {:.2}%",
-        pe * 100.0, rd * 100.0, wr * 100.0, leak * 100.0, dram * 100.0
+        pe * 100.0,
+        rd * 100.0,
+        wr * 100.0,
+        leak * 100.0,
+        dram * 100.0
     );
 
     // ---- Accelerator as a *backend*: the whole pipeline on the machine --

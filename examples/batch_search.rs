@@ -28,7 +28,8 @@ fn main() {
     let classic = KdTree::build(&target);
     let mut serial_stats = SearchStats::new();
     let t0 = Instant::now();
-    let serial: Vec<_> = queries.iter().map(|&q| classic.nn_with_stats(q, &mut serial_stats)).collect();
+    let serial: Vec<_> =
+        queries.iter().map(|&q| classic.nn_with_stats(q, &mut serial_stats)).collect();
     let serial_time = t0.elapsed();
     println!(
         "classic serial      {serial_time:>10.2?}  ({:.0} visits/query)",

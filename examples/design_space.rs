@@ -24,13 +24,14 @@ fn main() {
     println!("evaluating DP1..DP8 (this takes a minute in release mode)...\n");
     let points = evaluate_design_points(seq.frames(), &gts);
 
-    let tradeoff: Vec<(f64, f64)> = points
-        .iter()
-        .map(|p| (p.translational_percent, p.time_per_pair.as_secs_f64()))
-        .collect();
+    let tradeoff: Vec<(f64, f64)> =
+        points.iter().map(|p| (p.translational_percent, p.time_per_pair.as_secs_f64())).collect();
     let pareto = pareto_frontier(&tradeoff);
 
-    println!("{:<6} {:>12} {:>12} {:>12} {:>8}", "DP", "t-err (%)", "r-err (°/m)", "time (ms)", "Pareto");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>8}",
+        "DP", "t-err (%)", "r-err (°/m)", "time (ms)", "Pareto"
+    );
     for (i, p) in points.iter().enumerate() {
         println!(
             "{:<6} {:>12.2} {:>12.4} {:>12.1} {:>8}",

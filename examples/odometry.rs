@@ -57,11 +57,7 @@ fn main() {
     println!("\nKITTI-style odometry error: {err}");
 
     let gt_end = seq.pose(seq.len() - 1).translation;
-    println!(
-        "\naccumulated position: {} (ground truth {})",
-        odo.pose().translation,
-        gt_end
-    );
+    println!("\naccumulated position: {} (ground truth {})", odo.pose().translation, gt_end);
     println!(
         "end-point drift: {:.3} m over {:.1} m of travel",
         (odo.pose().translation - gt_end).norm(),

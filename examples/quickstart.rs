@@ -18,11 +18,7 @@ fn main() {
     cfg.frames = 2;
     println!("generating synthetic LiDAR frames...");
     let seq = Sequence::generate(&cfg, 42);
-    println!(
-        "frame 0: {} points, frame 1: {} points",
-        seq.frame(0).len(),
-        seq.frame(1).len()
-    );
+    println!("frame 0: {} points, frame 1: {} points", seq.frame(0).len(), seq.frame(1).len());
 
     // Register frame 1 (source) onto frame 0 (target).
     let config = RegistrationConfig::default();
@@ -38,16 +34,15 @@ fn main() {
     println!("rotation error:      {:.4}°", r_err.to_degrees());
     println!(
         "\nkey-points: {} source / {} target, {} inlier correspondences, {} ICP iterations",
-        result.keypoints.0, result.keypoints.1, result.inlier_correspondences, result.icp_iterations
+        result.keypoints.0,
+        result.keypoints.1,
+        result.inlier_correspondences,
+        result.icp_iterations
     );
 
     println!("\nper-stage time (paper Fig. 4a view):");
     for stage in Stage::ALL {
-        println!(
-            "  {:26} {:6.1}%",
-            stage.name(),
-            result.profile.fraction(stage) * 100.0
-        );
+        println!("  {:26} {:6.1}%", stage.name(), result.profile.fraction(stage) * 100.0);
     }
     println!(
         "\nKD-tree search: {:.1}% of total — the paper's acceleration target",

@@ -79,10 +79,7 @@ fn parse_profile(args: &[String]) -> Result<RegistrationConfig, String> {
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 fn positional(args: &[String], n: usize) -> Option<&String> {
@@ -134,9 +131,7 @@ fn cmd_odometry(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("{dir}: {e}"))?
         .filter_map(|e| e.ok())
         .map(|e| e.path())
-        .filter(|p| {
-            matches!(p.extension().and_then(|e| e.to_str()), Some("bin") | Some("xyz"))
-        })
+        .filter(|p| matches!(p.extension().and_then(|e| e.to_str()), Some("bin") | Some("xyz")))
         .collect();
     scans.sort();
     if scans.len() < 2 {
@@ -196,11 +191,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     }
     let poses_path = Path::new(dir).join("poses.txt");
     write_poses(&poses_path, seq.poses()).map_err(|e| format!("{}: {e}", poses_path.display()))?;
-    eprintln!(
-        "wrote {} scans + ground-truth {}",
-        seq.len(),
-        poses_path.display()
-    );
+    eprintln!("wrote {} scans + ground-truth {}", seq.len(), poses_path.display());
     Ok(())
 }
 

@@ -16,6 +16,9 @@
 //!   reconstruction as a long-running service): dynamic map index,
 //!   pose-tagged submaps, descriptor-retrieved loop closure and
 //!   Gauss–Newton pose-graph optimization.
+//! * [`serve`] — the shared-map localization service: frozen
+//!   `Arc`-shared map snapshots, cold-start relocalization and
+//!   multi-session serving with admission control and latency metering.
 //! * [`accel`] — the cycle-level accelerator model (Sec. 5): recursion-unit
 //!   front-end, search-unit back-end, node cache, energy and area models.
 //!
@@ -42,6 +45,7 @@ pub use tigris_data as data;
 pub use tigris_geom as geom;
 pub use tigris_map as map;
 pub use tigris_pipeline as pipeline;
+pub use tigris_serve as serve;
 
 /// The workspace version.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

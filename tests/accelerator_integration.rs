@@ -57,12 +57,7 @@ fn two_stage_beats_classic_tree_on_the_accelerator() {
     let mut sim_deep = AcceleratorSim::new(&deep, AcceleratorConfig::paper());
     let acc_kd = sim_deep.run(&queries, SearchKind::Nn);
 
-    assert!(
-        good.cycles < acc_kd.cycles,
-        "Acc-2SKD {} !< Acc-KD {}",
-        good.cycles,
-        acc_kd.cycles
-    );
+    assert!(good.cycles < acc_kd.cycles, "Acc-2SKD {} !< Acc-KD {}", good.cycles, acc_kd.cycles);
     assert!(acc_kd.fe_cycles >= acc_kd.be_cycles, "Acc-KD must be FE-bound");
 }
 
@@ -75,13 +70,19 @@ fn ru_optimizations_and_backend_policies_order_correctly() {
         sim.run(&queries, SearchKind::Nn)
     };
 
-    let no_opt = run(AcceleratorConfig { forwarding: false, bypassing: false, ..AcceleratorConfig::paper() });
-    let bypass = run(AcceleratorConfig { forwarding: false, bypassing: true, ..AcceleratorConfig::paper() });
+    let no_opt = run(AcceleratorConfig {
+        forwarding: false,
+        bypassing: false,
+        ..AcceleratorConfig::paper()
+    });
+    let bypass =
+        run(AcceleratorConfig { forwarding: false, bypassing: true, ..AcceleratorConfig::paper() });
     let full = run(AcceleratorConfig::paper());
     assert!(bypass.fe_cycles <= no_opt.fe_cycles);
     assert!(full.fe_cycles < bypass.fe_cycles);
 
-    let mqmn = run(AcceleratorConfig { backend: BackendPolicy::Mqmn, ..AcceleratorConfig::paper() });
+    let mqmn =
+        run(AcceleratorConfig { backend: BackendPolicy::Mqmn, ..AcceleratorConfig::paper() });
     assert!(
         mqmn.traffic.points_buffer >= full.traffic.points_buffer,
         "MQMN must stream at least as many node sets"
@@ -96,10 +97,8 @@ fn approximation_reduces_work_and_stays_sound() {
     let mut exact_sim = AcceleratorSim::new(&tree, AcceleratorConfig::paper());
     let exact = exact_sim.run(&queries, SearchKind::Nn);
 
-    let cfg = AcceleratorConfig {
-        approx: Some(ApproxConfig::default()),
-        ..AcceleratorConfig::paper()
-    };
+    let cfg =
+        AcceleratorConfig { approx: Some(ApproxConfig::default()), ..AcceleratorConfig::paper() };
     let mut approx_sim = AcceleratorSim::new(&tree, cfg);
     // Two passes: the second models an ICP iteration re-querying the frame.
     let _first = approx_sim.run(&queries, SearchKind::Nn);

@@ -113,8 +113,7 @@ fn accelerator_searcher_matches_two_stage_searcher_query_by_query() {
     register_accelerator_backend();
     let pts: Vec<Vec3> = scene_cloud().points().to_vec();
     let mut hw =
-        Searcher3::from_config(&pts, &SearchBackendConfig::Custom { name: "accelerator" })
-            .unwrap();
+        Searcher3::from_config(&pts, &SearchBackendConfig::Custom { name: "accelerator" }).unwrap();
     let mut sw = Searcher3::two_stage(&pts, 6);
     assert_eq!(hw.backend_name(), "accelerator");
     for i in 0..60 {
@@ -134,8 +133,7 @@ fn odometer_runs_on_the_accelerator() {
     cfg.backend = SearchBackendConfig::Custom { name: "accelerator" };
     let mut odo = Odometer::new(cfg);
     odo.push(&world).unwrap();
-    let step =
-        odo.push(&world.transformed(&delta.inverse())).unwrap().expect("second frame steps");
+    let step = odo.push(&world.transformed(&delta.inverse())).unwrap().expect("second frame steps");
     assert!(
         (step.relative.translation - delta.translation).norm() < 0.05,
         "accelerator odometry drifted: {}",

@@ -73,12 +73,7 @@ fn generate_info_register_odometry_round_trip() {
     // Odometry over the directory, poses to a file.
     let poses_out = dir.join("est_poses.txt");
     let out = Command::new(tigris_bin())
-        .args([
-            "odometry",
-            dir.to_str().unwrap(),
-            "--out",
-            poses_out.to_str().unwrap(),
-        ])
+        .args(["odometry", dir.to_str().unwrap(), "--out", poses_out.to_str().unwrap()])
         .output()
         .unwrap();
     assert!(out.status.success(), "odometry failed: {}", String::from_utf8_lossy(&out.stderr));
@@ -99,9 +94,6 @@ fn register_rejects_bad_paths() {
         .output()
         .unwrap();
     assert!(!out.status.success());
-    let out = Command::new(tigris_bin())
-        .args(["register", "/tmp", "/tmp"])
-        .output()
-        .unwrap();
+    let out = Command::new(tigris_bin()).args(["register", "/tmp", "/tmp"]).output().unwrap();
     assert!(!out.status.success());
 }

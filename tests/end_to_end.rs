@@ -42,16 +42,8 @@ fn odometry_over_sequence_has_low_drift() {
     }
     let err = sequence_error(&estimates, &gts);
     assert_eq!(err.pairs, 2);
-    assert!(
-        err.translational_percent < 10.0,
-        "translational error {}%",
-        err.translational_percent
-    );
-    assert!(
-        err.rotational_deg_per_m < 0.5,
-        "rotational error {} °/m",
-        err.rotational_deg_per_m
-    );
+    assert!(err.translational_percent < 10.0, "translational error {}%", err.translational_percent);
+    assert!(err.rotational_deg_per_m < 0.5, "rotational error {} °/m", err.rotational_deg_per_m);
 }
 
 #[test]
@@ -97,10 +89,7 @@ fn two_stage_backend_preserves_registration_quality() {
     let (t_classic, _) = relative_pose_error(&classic.transform, &gt);
     let (t_two, _) = relative_pose_error(&two_stage.transform, &gt);
     // Exact two-stage search: equal results up to float noise.
-    assert!(
-        (t_classic - t_two).abs() < 1e-6,
-        "classic {t_classic} vs two-stage {t_two}"
-    );
+    assert!((t_classic - t_two).abs() < 1e-6, "classic {t_classic} vs two-stage {t_two}");
 }
 
 #[test]
@@ -123,10 +112,7 @@ fn approximate_backend_keeps_error_small() {
     // ≤0.05 °/m rotational. Allow a loose envelope.
     assert!(t_err < 0.15, "translation error {t_err} m under approximation");
     assert!(r_err.to_degrees() < 1.0);
-    assert!(
-        result.profile.search_stats.follower_hits > 0,
-        "approximation never engaged"
-    );
+    assert!(result.profile.search_stats.follower_hits > 0, "approximation never engaged");
 }
 
 #[test]

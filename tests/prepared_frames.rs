@@ -126,8 +126,7 @@ fn streaming_odometer_matches_recompute_baseline_bitwise() {
     }
 
     assert_eq!(odo_steps.len(), baseline_poses.len());
-    for (i, (step, (baseline, baseline_pose))) in
-        odo_steps.iter().zip(&baseline_poses).enumerate()
+    for (i, (step, (baseline, baseline_pose))) in odo_steps.iter().zip(&baseline_poses).enumerate()
     {
         assert_same_registration(&step.registration, baseline, &format!("pair {i}"));
         assert_eq!(step.relative, baseline.transform, "pair {i}: relative");
@@ -163,14 +162,8 @@ fn long_sequence_drift_stays_bounded() {
 
     // Relative-pose error (KITTI / RPE): percent of distance traveled.
     let err = sequence_error(&estimates, &gts);
-    assert!(
-        err.translational_percent < 12.0,
-        "translational drift {err} exceeds bound"
-    );
-    assert!(
-        err.rotational_deg_per_m < 1.0,
-        "rotational drift {err} exceeds bound"
-    );
+    assert!(err.translational_percent < 12.0, "translational drift {err} exceeds bound");
+    assert!(err.rotational_deg_per_m < 1.0, "rotational drift {err} exceeds bound");
 
     // Absolute trajectory error (ATE) at the end point, normalized by
     // distance traveled (trajectories start at the origin, so the
@@ -179,8 +172,5 @@ fn long_sequence_drift_stays_bounded() {
     let gt_end = seq.pose(seq.len() - 1).translation;
     let drift = (odo.pose().translation - gt_end).norm();
     let traveled = gt_end.norm().max(0.01);
-    assert!(
-        drift / traveled < 0.15,
-        "end-point drift {drift:.3} m over {traveled:.1} m traveled"
-    );
+    assert!(drift / traveled < 0.15, "end-point drift {drift:.3} m over {traveled:.1} m traveled");
 }

@@ -42,9 +42,8 @@ fn collinear_and_coplanar_clouds() {
         assert!(r.transform.rotation.is_rotation(1e-6));
     }
 
-    let plane: Vec<Vec3> = (0..400)
-        .map(|i| Vec3::new((i % 20) as f64 * 0.2, (i / 20) as f64 * 0.2, 0.0))
-        .collect();
+    let plane: Vec<Vec3> =
+        (0..400).map(|i| Vec3::new((i % 20) as f64 * 0.2, (i / 20) as f64 * 0.2, 0.0)).collect();
     let plane_cloud = PointCloud::from_points(plane);
     let result = register(&plane_cloud, &plane_cloud, &fast_config());
     if let Ok(r) = result {
@@ -64,8 +63,7 @@ fn single_point_and_two_point_clouds() {
             Ok(r) => assert!(r.transform.translation.is_finite()),
             Err(RegistrationError::EmptyCloud | RegistrationError::IcpStarved) => {}
             Err(
-                e @ (RegistrationError::UnknownBackend(_)
-                | RegistrationError::PreparationMismatch),
+                e @ (RegistrationError::UnknownBackend(_) | RegistrationError::PreparationMismatch),
             ) => {
                 // register() prepares both frames under the one config
                 // with a built-in backend; neither error is reachable.
@@ -110,11 +108,7 @@ fn duplicated_frame_registration_is_identity() {
         .collect();
     let cloud = PointCloud::from_points(pts);
     let r = register(&cloud, &cloud, &fast_config()).unwrap();
-    assert!(
-        r.transform.is_identity(1e-3),
-        "self-registration gave {}",
-        r.transform
-    );
+    assert!(r.transform.is_identity(1e-3), "self-registration gave {}", r.transform);
 }
 
 #[test]
@@ -139,10 +133,9 @@ fn tiny_leaf_budget_two_stage() {
 fn accelerator_on_degenerate_trees() {
     use tigris::accel::{AcceleratorConfig, AcceleratorSim, SearchKind};
     // Single-leaf tree (height 0) and single-point tree.
-    for pts in [
-        vec![Vec3::ZERO],
-        (0..64).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect::<Vec<_>>(),
-    ] {
+    for pts in
+        [vec![Vec3::ZERO], (0..64).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect::<Vec<_>>()]
+    {
         let tree = TwoStageKdTree::build(&pts, 0);
         let mut sim = AcceleratorSim::new(&tree, AcceleratorConfig::paper());
         let queries = vec![Vec3::new(0.4, 0.0, 0.0); 8];

@@ -1,0 +1,351 @@
+//! End-to-end serving acceptance: a map built once by the `Mapper` is
+//! frozen into an `Arc`-shared [`MapSnapshot`] and served to several
+//! concurrent localization sessions.
+//!
+//! What must hold:
+//!
+//! * every cold-start relocalization in the drift-corrected region lands
+//!   within **1.0 m / 5° of ground truth** (and a held-out query frame —
+//!   same scene, novel pose, fresh sensor noise — does too);
+//! * cold starts *anywhere* on the map are **map-consistent**: within
+//!   1.0 m / 5° of the frozen map's own pose for that place (a
+//!   localization service cannot beat its map's residual drift, and must
+//!   not add to it);
+//! * results are **bit-identical** no matter how many sessions share the
+//!   snapshot or how requests interleave;
+//! * the snapshot answers map queries exactly like the mapper it was
+//!   frozen from, serially and batched;
+//! * admission control rejects typed beyond the session/in-flight
+//!   budgets, and failures are typed and recoverable.
+
+use std::sync::{Arc, OnceLock};
+
+use tigris::data::{LidarConfig, Sequence, SequenceConfig};
+use tigris::geom::{RigidTransform, Vec3};
+use tigris::map::{MapNeighbor, Mapper, MapperConfig};
+use tigris::serve::{
+    relocalize_prepared, LocalizationService, MapSnapshot, ServeConfig, ServeError, SessionStep,
+    StepKind,
+};
+
+/// The mapping fixture of `mapping_integration.rs`: a ~66-frame, 60 m
+/// closed circuit at the low-resolution scanner, small enough for
+/// debug-mode CI.
+fn fixture_config() -> SequenceConfig {
+    let mut cfg = SequenceConfig::loop_circuit(60.0, 6);
+    cfg.lidar = LidarConfig::tiny();
+    cfg
+}
+
+/// The mapping sequence, the frozen snapshot, and map-query answers
+/// recorded from the mapper *before* freezing (for parity checks) —
+/// built once and shared by every test in this file.
+struct Fixture {
+    seq: Sequence,
+    snapshot: Arc<MapSnapshot>,
+    /// `(probe, radius, answers)` recorded from `Mapper::query`.
+    mapper_answers: Vec<(Vec3, f64, Vec<MapNeighbor>)>,
+    mapper_points: usize,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let seq = Sequence::generate(&fixture_config(), 7);
+        // The serving profile: submap anchors (= stored keyframes, the
+        // verification targets) every 6 m, dense loop closures.
+        let mut mapper = Mapper::new(MapperConfig::serving());
+        for i in 0..seq.len() {
+            mapper.push(seq.frame(i)).unwrap_or_else(|e| panic!("map frame {i} failed: {e}"));
+        }
+        assert!(
+            mapper.stats().closures_accepted >= 1,
+            "fixture must close its loop ({} attempted)",
+            mapper.stats().closures_attempted
+        );
+        // Record map-query answers before the mapper is consumed.
+        let probes: Vec<(Vec3, f64)> = (0..seq.len())
+            .step_by(9)
+            .map(|i| (mapper.poses()[i].translation + Vec3::new(0.0, 0.0, -1.0), 2.0))
+            .collect();
+        let mapper_answers = probes.iter().map(|&(p, r)| (p, r, mapper.query(p, r))).collect();
+        let mapper_points = mapper.total_points();
+        let snapshot = Arc::new(MapSnapshot::freeze(mapper).expect("freeze must succeed"));
+        Fixture { seq, snapshot, mapper_answers, mapper_points }
+    })
+}
+
+/// Tracked frames following each script's cold start.
+const TRACK_STEPS: usize = 2;
+
+/// Session scripts in the drift-corrected region (the loop seam, where
+/// the closures pinned the map to ground truth): each session
+/// cold-starts on its first frame, then tracks the following ones.
+fn session_scripts() -> Vec<Vec<usize>> {
+    [2usize, 58, 61, 63].iter().map(|&start| (start..=start + TRACK_STEPS).collect()).collect()
+}
+
+/// Runs each script in its own session, `workers` scripts concurrently
+/// (each worker thread drives its share of the scripts one session at a
+/// time), returning per-script steps. With `workers == 1` this is fully
+/// serial serving of the same requests — the bit-identity baseline.
+fn run_sessions(
+    snapshot: &Arc<MapSnapshot>,
+    seq: &Sequence,
+    scripts: &[Vec<usize>],
+    workers: usize,
+) -> (Vec<Vec<SessionStep>>, LocalizationService) {
+    let service = LocalizationService::new(Arc::clone(snapshot), ServeConfig::default());
+    let mut results: Vec<Vec<SessionStep>> = vec![Vec::new(); scripts.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for worker in 0..workers {
+            let service = &service;
+            let scripts_for_worker: Vec<(usize, &Vec<usize>)> =
+                scripts.iter().enumerate().filter(|(i, _)| i % workers == worker).collect();
+            handles.push(scope.spawn(move || {
+                let mut out: Vec<(usize, Vec<SessionStep>)> = Vec::new();
+                for (script_id, script) in scripts_for_worker {
+                    let mut session = service.open_session().expect("session admission");
+                    let mut steps = Vec::new();
+                    for &frame in script.iter() {
+                        steps.push(
+                            session
+                                .localize(seq.frame(frame))
+                                .unwrap_or_else(|e| panic!("frame {frame} failed: {e}")),
+                        );
+                    }
+                    out.push((script_id, steps));
+                }
+                out
+            }));
+        }
+        for handle in handles {
+            for (script_id, steps) in handle.join().expect("session thread panicked") {
+                results[script_id] = steps;
+            }
+        }
+    });
+    (results, service)
+}
+
+fn pose_errors(reference: &RigidTransform, est: &RigidTransform) -> (f64, f64) {
+    let delta = reference.inverse() * *est;
+    (delta.translation_norm(), delta.rotation_angle().to_degrees())
+}
+
+#[test]
+fn frozen_map_serves_concurrent_sessions_within_tolerance() {
+    let fx = fixture();
+    let scripts = session_scripts();
+    assert!(fx.snapshot.verifiable_submaps() >= 2);
+
+    // Serve the same scripts with 1 worker and with 4 concurrent ones.
+    let (serial_steps, _service) = run_sessions(&fx.snapshot, &fx.seq, &scripts, 1);
+    let (concurrent_steps, service) = run_sessions(&fx.snapshot, &fx.seq, &scripts, 4);
+
+    for (script, steps) in scripts.iter().zip(&concurrent_steps) {
+        assert_eq!(steps.len(), script.len());
+        // First step of each script is a cold start; the rest track.
+        for (k, (&frame, step)) in script.iter().zip(steps).enumerate() {
+            let (t_err, r_err) = pose_errors(fx.seq.pose(frame), &step.pose);
+            let kind = match step.kind {
+                StepKind::Relocalized(r) => {
+                    assert!(r.confidence > 0.0 && r.confidence < 1.0);
+                    assert!(r.inliers >= ServeConfig::default().reloc.min_inliers);
+                    assert!(
+                        r.structure_overlap >= ServeConfig::default().reloc.min_structure_overlap
+                    );
+                    "reloc"
+                }
+                StepKind::Tracked { .. } => "track",
+            };
+            eprintln!("frame {frame} ({kind}): err {t_err:.3} m / {r_err:.2} deg");
+            if k == 0 {
+                assert!(
+                    matches!(step.kind, StepKind::Relocalized(_)),
+                    "script head must cold-start"
+                );
+                // The acceptance bound: cold starts within 1 m / 5 deg
+                // of ground truth.
+                assert!(t_err <= 1.0, "frame {frame} cold start {t_err:.3} m off");
+                assert!(r_err <= 5.0, "frame {frame} cold start {r_err:.2} deg off");
+            } else {
+                assert!(matches!(step.kind, StepKind::Tracked { .. }), "script tail must track");
+                assert!(t_err <= 1.5, "frame {frame} tracked {t_err:.3} m off");
+            }
+        }
+    }
+
+    // Bit-identical across session counts: same scripts, same answers.
+    for (a, b) in serial_steps.iter().flatten().zip(concurrent_steps.iter().flatten()) {
+        assert_eq!(a.frame, b.frame);
+        assert_eq!(a.pose.translation, b.pose.translation, "poses must be bit-identical");
+        assert_eq!(a.pose.rotation, b.pose.rotation);
+    }
+
+    // Service-wide accounting.
+    let stats = service.stats();
+    eprintln!("{stats:?}");
+    assert_eq!(stats.sessions_admitted, scripts.len());
+    assert_eq!(stats.sessions_active, 0, "sessions release their slots on drop");
+    assert_eq!(stats.frames, scripts.iter().map(Vec::len).sum::<usize>());
+    assert_eq!(stats.relocalizations_succeeded, scripts.len());
+    assert_eq!(stats.frames_tracked, scripts.len() * TRACK_STEPS);
+    assert_eq!(stats.latency.count, stats.frames);
+    assert!(stats.latency.p50 > std::time::Duration::ZERO);
+    assert!(stats.latency.p99 >= stats.latency.p50);
+}
+
+#[test]
+fn held_out_queries_relocalize_within_tolerance() {
+    let fx = fixture();
+    // Novel poses near the corrected region: the mapped pose nudged
+    // sideways and in heading, scanned with a fresh noise stream — a
+    // query the map has never seen, with exact ground truth.
+    let nudge =
+        RigidTransform::from_axis_angle(Vec3::Z, 3.0_f64.to_radians(), Vec3::new(0.25, -0.2, 0.0));
+    let poses: Vec<RigidTransform> =
+        [3usize, 60].iter().map(|&i| *fx.seq.pose(i) * nudge).collect();
+    let queries = Sequence::scan_at(&fixture_config(), 7, &poses);
+
+    let service = LocalizationService::new(Arc::clone(&fx.snapshot), ServeConfig::default());
+    for i in 0..queries.len() {
+        let mut session = service.open_session().unwrap();
+        let step = session
+            .localize(queries.frame(i))
+            .unwrap_or_else(|e| panic!("held-out query {i} failed: {e}"));
+        assert!(matches!(step.kind, StepKind::Relocalized(_)));
+        let (t_err, r_err) = pose_errors(queries.pose(i), &step.pose);
+        eprintln!("held-out query {i}: err {t_err:.3} m / {r_err:.2} deg");
+        assert!(t_err <= 1.0, "held-out query {i}: {t_err:.3} m off");
+        assert!(r_err <= 5.0, "held-out query {i}: {r_err:.2} deg off");
+    }
+}
+
+#[test]
+fn mid_loop_cold_starts_are_map_consistent() {
+    let fx = fixture();
+    // Queries right next to mid-loop keyframes, where the frozen map
+    // still carries meters of residual odometry drift relative to ground
+    // truth. A localization service cannot beat its map — but it must
+    // agree with it: the relocalized pose must match the map's own pose
+    // chain for that frame to within the verification tolerance.
+    let reloc_cfg = ServeConfig::default().reloc;
+    let mut verified = 0usize;
+    for submap in fx.snapshot.submaps() {
+        let query_frame = submap.anchor_frame() + 1;
+        if query_frame >= fx.seq.len() {
+            continue;
+        }
+        let mut prepared = tigris::pipeline::prepare_frame(
+            fx.seq.frame(query_frame),
+            fx.snapshot.registration_config(),
+        )
+        .unwrap();
+        let Ok(reloc) = relocalize_prepared(&fx.snapshot, &mut prepared, &reloc_cfg) else {
+            // Not every mid-loop frame must relocalize (retrieval is
+            // single-frame); the ones that do must be map-consistent.
+            continue;
+        };
+        let map_pose = fx.snapshot.poses()[query_frame];
+        let (t_err, r_err) = pose_errors(&map_pose, &reloc.pose);
+        eprintln!(
+            "frame {query_frame} via submap {}: map-relative err {t_err:.3} m / {r_err:.2} deg",
+            reloc.submap
+        );
+        assert!(t_err <= 1.0, "frame {query_frame}: {t_err:.3} m from the map's own pose");
+        assert!(r_err <= 5.0, "frame {query_frame}: {r_err:.2} deg from the map's own pose");
+        verified += 1;
+    }
+    assert!(verified >= 3, "only {verified} mid-loop cold starts verified");
+}
+
+#[test]
+fn snapshot_queries_match_the_mapper_and_batch_bitwise() {
+    let fx = fixture();
+    // Zero-copy freeze: every mapped point is served.
+    assert_eq!(fx.snapshot.total_points(), fx.mapper_points);
+
+    // The snapshot answers map queries exactly like the live mapper did…
+    for (probe, radius, expected) in &fx.mapper_answers {
+        let got = fx.snapshot.query(*probe, *radius);
+        assert_eq!(&got, expected, "snapshot disagrees with mapper at {probe}");
+    }
+
+    // …and the cross-session batched path answers exactly like the
+    // serial one.
+    let service = LocalizationService::new(Arc::clone(&fx.snapshot), ServeConfig::default());
+    let queries: Vec<Vec3> = fx.mapper_answers.iter().map(|&(p, _, _)| p).collect();
+    let batched = service.query_batch(&queries, 2.0);
+    for ((_, _, expected), got) in fx.mapper_answers.iter().zip(&batched) {
+        assert_eq!(got, expected, "batched map query diverged");
+    }
+}
+
+#[test]
+fn admission_control_rejects_typed_beyond_budgets() {
+    let fx = fixture();
+    let config = ServeConfig { max_sessions: 2, max_inflight: 0, ..ServeConfig::default() };
+    let service = LocalizationService::new(Arc::clone(&fx.snapshot), config);
+
+    let s1 = service.open_session().unwrap();
+    let mut s2 = service.open_session().unwrap();
+    assert_eq!(
+        service.open_session().unwrap_err(),
+        ServeError::SessionsExhausted { limit: 2 },
+        "third session must be rejected"
+    );
+    assert_eq!(service.active_sessions(), 2);
+
+    // Zero in-flight budget: every localize is shed before any work.
+    assert_eq!(s2.localize(fx.seq.frame(0)).unwrap_err(), ServeError::Saturated { limit: 0 });
+
+    // Dropping a session frees its slot.
+    drop(s1);
+    assert_eq!(service.active_sessions(), 1);
+    let _s3 = service.open_session().expect("slot must be reusable after drop");
+
+    let stats = service.stats();
+    assert_eq!(stats.sessions_rejected, 1);
+    assert_eq!(stats.frames_rejected, 1);
+    assert_eq!(stats.frames, 0, "rejected frames never count as served");
+}
+
+#[test]
+fn relocalization_failure_is_typed_and_recoverable() {
+    let fx = fixture();
+    let service = LocalizationService::new(Arc::clone(&fx.snapshot), ServeConfig::default());
+    let mut session = service.open_session().unwrap();
+
+    // A structured frame that matches nothing in the map: far-away box.
+    let mut pts = Vec::new();
+    for i in 0..30 {
+        for k in 0..12 {
+            pts.push(Vec3::new(500.0 + i as f64 * 0.3, 500.0, k as f64 * 0.3));
+            pts.push(Vec3::new(500.0, 500.0 + i as f64 * 0.3, k as f64 * 0.3));
+        }
+    }
+    let alien = tigris::geom::PointCloud::from_points(pts);
+    let err = session.localize(&alien).unwrap_err();
+    assert!(
+        matches!(err, ServeError::RelocalizationFailed { .. }),
+        "expected typed relocalization failure, got {err}"
+    );
+    assert_eq!(session.phase(), tigris::serve::SessionPhase::ColdStart);
+
+    // An empty frame is a typed registration error, not a crash.
+    assert!(matches!(
+        session.localize(&tigris::geom::PointCloud::new()).unwrap_err(),
+        ServeError::Registration(_)
+    ));
+
+    // The session recovers: a real frame cold-starts fine afterwards.
+    let step = session.localize(fx.seq.frame(2)).expect("recovery cold start");
+    assert!(matches!(step.kind, StepKind::Relocalized(_)));
+    assert_eq!(session.phase(), tigris::serve::SessionPhase::Tracking);
+    assert!(session.pose().is_some());
+    let stats = session.stats();
+    assert_eq!(stats.relocalizations_attempted, 2);
+    assert_eq!(stats.relocalizations_succeeded, 1);
+}
