@@ -1,0 +1,85 @@
+//! SoA + SIMD kernel layout vs. the frozen pre-SoA pointer-chasing
+//! KD-tree: nearest-neighbor and radius throughput on the shared
+//! city-block scene.
+//!
+//! Besides the human-readable comparison, the run emits a
+//! machine-readable baseline (`BENCH_kernels.json` by default, or the
+//! path in `$BENCH_KERNELS_JSON`) that CI archives per commit, so
+//! memory-layout regressions show up as a diffable number. The
+//! acceptance gate on the same comparison is
+//! `tests/kernel_speedup.rs` (≥2x on batched radius).
+//!
+//! ```text
+//! cargo bench -p tigris-bench --bench kernels
+//! TIGRIS_KERNEL_POINTS=60000 cargo bench -p tigris-bench --bench kernels
+//! ```
+
+use std::time::Instant;
+
+use tigris_bench::env_usize;
+use tigris_bench::reference::ReferenceKdTree;
+use tigris_bench::report::BenchReport;
+use tigris_bench::workload::huge_frame_pair;
+use tigris_core::simd::wide_kernels_selected;
+use tigris_core::KdTree;
+
+fn best_seconds(runs: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
+    let mut hits = f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        hits = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, hits)
+}
+
+fn main() {
+    let n_points = env_usize("TIGRIS_KERNEL_POINTS", 120_000);
+    let n_queries = env_usize("TIGRIS_KERNEL_QUERIES", 20_000);
+    let runs = env_usize("TIGRIS_KERNEL_RUNS", 3);
+    let radius = 0.8;
+
+    println!(
+        "== kernel layouts: {n_points} points, {n_queries} queries, best of {runs} \
+         (wide kernels: {}) ==",
+        wide_kernels_selected()
+    );
+    let (points, queries) = huge_frame_pair(n_points, 42);
+    let queries: Vec<_> = queries.into_iter().take(n_queries).collect();
+
+    let soa = KdTree::build(&points);
+    let reference = ReferenceKdTree::build(&points);
+
+    let (soa_nn, _) = best_seconds(runs, || queries.iter().filter_map(|&q| soa.nn(q)).count());
+    let (ref_nn, _) =
+        best_seconds(runs, || queries.iter().filter_map(|&q| reference.nn(q)).count());
+    let (soa_radius, soa_hits) =
+        best_seconds(runs, || queries.iter().map(|&q| soa.radius(q, radius).len()).sum());
+    let (ref_radius, ref_hits) =
+        best_seconds(runs, || queries.iter().map(|&q| reference.radius(q, radius).len()).sum());
+    assert_eq!(soa_hits, ref_hits, "layouts disagree on radius hit counts");
+
+    let nn_speedup = ref_nn / soa_nn;
+    let radius_speedup = ref_radius / soa_radius;
+    println!("nn     pointer-chasing {ref_nn:>9.4}s | SoA+SIMD {soa_nn:>9.4}s  ({nn_speedup:.2}x)");
+    println!(
+        "radius pointer-chasing {ref_radius:>9.4}s | SoA+SIMD {soa_radius:>9.4}s  \
+         ({radius_speedup:.2}x, {soa_hits} hits)"
+    );
+
+    let report = BenchReport::new("kernels")
+        .config_int("points", points.len())
+        .config_int("queries", queries.len())
+        .config_int("runs", runs)
+        .config_str("wide_kernels", if wide_kernels_selected() { "on" } else { "off" })
+        .samples("soa_nn_seconds", &[soa_nn])
+        .samples("reference_nn_seconds", &[ref_nn])
+        .samples("soa_radius_seconds", &[soa_radius])
+        .samples("reference_radius_seconds", &[ref_radius])
+        .derived_f64("nn_speedup", nn_speedup)
+        .derived_f64("radius_speedup", radius_speedup)
+        .derived_int("radius_hits", soa_hits);
+    let path = report.write_env("BENCH_KERNELS_JSON", "BENCH_kernels.json");
+    println!("baseline written to {}", path.display());
+}

@@ -18,6 +18,7 @@ pub mod figures;
 pub mod mapping;
 pub mod odometry;
 pub mod plot;
+pub mod reference;
 pub mod report;
 pub mod serve;
 pub mod workload;

@@ -1,0 +1,208 @@
+//! The pre-SoA pointer-chasing KD-tree, frozen as a benchmark baseline.
+//!
+//! This is the canonical `tigris_core::KdTree` as it existed *before* the
+//! structure-of-arrays migration: one heap node per point, child links as
+//! explicit indices, every visit a dependent load of a `Vec3` out of the
+//! point array. It is deliberately kept here, verbatim in spirit, so the
+//! kernel-speedup acceptance test (`tests/kernel_speedup.rs`) and the
+//! `kernels` bench always measure the SoA + SIMD layout against the real
+//! historical layout rather than against a guess.
+//!
+//! Do not "improve" this code: its value is that it stays exactly as slow
+//! as the seed implementation. Search results remain bit-identical to the
+//! current tree (same split rule, same tie-breaks, same ordering), which
+//! the speedup test asserts before it times anything.
+
+use tigris_core::Neighbor;
+use tigris_geom::Vec3;
+
+const NONE: u32 = u32::MAX;
+
+/// One tree node: a point index, a split axis, and two optional children.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    point: u32,
+    axis: u8,
+    left: u32,
+    right: u32,
+}
+
+/// The frozen pointer-chasing KD-tree (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct ReferenceKdTree {
+    points: Vec<Vec3>,
+    nodes: Vec<Node>,
+    root: u32,
+}
+
+impl ReferenceKdTree {
+    /// Builds the tree by recursive median splits on the largest-extent
+    /// axis — the same split rule as the current `KdTree`, so results are
+    /// comparable point for point.
+    pub fn build(points: &[Vec3]) -> Self {
+        let mut indices: Vec<u32> = (0..points.len() as u32).collect();
+        let mut nodes = Vec::with_capacity(points.len());
+        let root = build_recursive(points, &mut indices[..], &mut nodes);
+        ReferenceKdTree { points: points.to_vec(), nodes, root }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the tree indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Nearest neighbor of `query`, or `None` for an empty tree.
+    pub fn nn(&self, query: Vec3) -> Option<Neighbor> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let mut best = Neighbor::new(usize::MAX, f64::INFINITY);
+        self.nn_recurse(self.root, query, &mut best);
+        (best.index != usize::MAX).then_some(best)
+    }
+
+    fn nn_recurse(&self, node_idx: u32, query: Vec3, best: &mut Neighbor) {
+        let node = &self.nodes[node_idx as usize];
+        let p = self.points[node.point as usize];
+        let d2 = query.distance_squared(p);
+        if d2 < best.distance_squared
+            || (d2 == best.distance_squared && (node.point as usize) < best.index)
+        {
+            *best = Neighbor::new(node.point as usize, d2);
+        }
+
+        let axis = node.axis as usize;
+        let delta = query.axis(axis) - p.axis(axis);
+        let (near, far) =
+            if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        if near != NONE {
+            self.nn_recurse(near, query, best);
+        }
+        if far != NONE && delta * delta <= best.distance_squared {
+            self.nn_recurse(far, query, best);
+        }
+    }
+
+    /// All points within `radius` of `query`, sorted ascending by
+    /// distance (ties by index) — the same output contract as the
+    /// current tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `radius` is negative.
+    pub fn radius(&self, query: Vec3, radius: f64) -> Vec<Neighbor> {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let mut out = Vec::new();
+        if self.nodes.is_empty() {
+            return out;
+        }
+        self.radius_recurse(self.root, query, radius * radius, radius, &mut out);
+        out.sort();
+        out
+    }
+
+    fn radius_recurse(&self, node_idx: u32, query: Vec3, r2: f64, r: f64, out: &mut Vec<Neighbor>) {
+        let node = &self.nodes[node_idx as usize];
+        let p = self.points[node.point as usize];
+        let d2 = query.distance_squared(p);
+        if d2 <= r2 {
+            out.push(Neighbor::new(node.point as usize, d2));
+        }
+
+        let axis = node.axis as usize;
+        let delta = query.axis(axis) - p.axis(axis);
+        let (near, far) =
+            if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        if near != NONE {
+            self.radius_recurse(near, query, r2, r, out);
+        }
+        if far != NONE && delta.abs() <= r {
+            self.radius_recurse(far, query, r2, r, out);
+        }
+    }
+}
+
+fn build_recursive(points: &[Vec3], indices: &mut [u32], nodes: &mut Vec<Node>) -> u32 {
+    if indices.is_empty() {
+        return NONE;
+    }
+    let mut lo = Vec3::splat(f64::INFINITY);
+    let mut hi = Vec3::splat(f64::NEG_INFINITY);
+    for &i in indices.iter() {
+        lo = lo.min(points[i as usize]);
+        hi = hi.max(points[i as usize]);
+    }
+    let ext = hi - lo;
+    let axis = if ext.x >= ext.y && ext.x >= ext.z {
+        0
+    } else if ext.y >= ext.z {
+        1
+    } else {
+        2
+    };
+
+    let mid = indices.len() / 2;
+    indices.select_nth_unstable_by(mid, |&a, &b| {
+        let va = points[a as usize].axis(axis);
+        let vb = points[b as usize].axis(axis);
+        va.partial_cmp(&vb).unwrap().then(a.cmp(&b))
+    });
+    let point = indices[mid];
+
+    let node_idx = nodes.len() as u32;
+    nodes.push(Node { point, axis: axis as u8, left: NONE, right: NONE });
+
+    let (left_slice, rest) = indices.split_at_mut(mid);
+    let right_slice = &mut rest[1..];
+    let left = build_recursive(points, left_slice, nodes);
+    let right = build_recursive(points, right_slice, nodes);
+    nodes[node_idx as usize].left = left;
+    nodes[node_idx as usize].right = right;
+    node_idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tigris_core::{nn_brute_force, radius_brute_force, KdTree};
+
+    fn cloud(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 20.0 - 10.0
+        };
+        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+    }
+
+    #[test]
+    fn frozen_tree_matches_brute_force_and_current_tree() {
+        let pts = cloud(700, 5);
+        let reference = ReferenceKdTree::build(&pts);
+        let current = KdTree::build(&pts);
+        for q in cloud(60, 6) {
+            let nn = reference.nn(q).unwrap();
+            let oracle = nn_brute_force(&pts, q).unwrap();
+            assert_eq!((nn.index, nn.distance_squared), (oracle.index, oracle.distance_squared));
+            assert_eq!(reference.nn(q), current.nn(q));
+            for r in [0.0, 1.5, 6.0] {
+                assert_eq!(reference.radius(q, r), radius_brute_force(&pts, q, r));
+                assert_eq!(reference.radius(q, r), current.radius(q, r));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tree_is_well_behaved() {
+        let t = ReferenceKdTree::build(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.nn(Vec3::ZERO).is_none());
+        assert!(t.radius(Vec3::ZERO, 1.0).is_empty());
+    }
+}

@@ -16,6 +16,13 @@
 //! Once a leaf's leader book is full, later non-follower queries take the
 //! precise path without being recorded — which, as the paper notes, only
 //! *improves* accuracy.
+//!
+//! The precise path is the exact two-stage search, so it inherits the
+//! [`crate::soa`] leaf banking and [`crate::simd`] kernels for free: a
+//! leader's recorded result set is produced by the same SoA scans as any
+//! other exact query. Follower replays stay scalar — they touch only the
+//! handful of leader-result points (`L + R ≪ N`), far below the width
+//! where banked kernels pay off.
 
 use crate::{Neighbor, SearchStats, TwoStageKdTree};
 use tigris_geom::Vec3;

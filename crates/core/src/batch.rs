@@ -444,14 +444,15 @@ impl BatchSearcher for [Vec3] {
     }
 }
 
-/// The owning oracle delegates to the point-slice implementation above.
+/// The owning oracle serves batches through its SoA kernel scans,
+/// fanned out over shared borrows like the trees.
 impl BatchSearcher for crate::bruteforce::BruteForceIndex {
     fn nn_single(&mut self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
-        self.points_mut().nn_single(query, stats)
+        self.nn_with_stats(query, stats)
     }
 
     fn knn_single(&mut self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
-        self.points_mut().knn_single(query, k, stats)
+        self.knn_with_stats(query, k, stats)
     }
 
     fn radius_single(
@@ -460,7 +461,7 @@ impl BatchSearcher for crate::bruteforce::BruteForceIndex {
         radius: f64,
         stats: &mut SearchStats,
     ) -> Vec<Neighbor> {
-        self.points_mut().radius_single(query, radius, stats)
+        self.radius_with_stats(query, radius, stats)
     }
 
     fn nn_batch(
@@ -469,7 +470,8 @@ impl BatchSearcher for crate::bruteforce::BruteForceIndex {
         cfg: &BatchConfig,
         stats: &mut SearchStats,
     ) -> Vec<Option<Neighbor>> {
-        self.points_mut().nn_batch(queries, cfg, stats)
+        let index = &*self;
+        parallel_queries(queries, cfg, stats, |q, s| index.nn_with_stats(q, s))
     }
 
     fn knn_batch(
@@ -479,7 +481,8 @@ impl BatchSearcher for crate::bruteforce::BruteForceIndex {
         cfg: &BatchConfig,
         stats: &mut SearchStats,
     ) -> Vec<Vec<Neighbor>> {
-        self.points_mut().knn_batch(queries, k, cfg, stats)
+        let index = &*self;
+        parallel_queries(queries, cfg, stats, |q, s| index.knn_with_stats(q, k, s))
     }
 
     fn radius_batch(
@@ -489,7 +492,8 @@ impl BatchSearcher for crate::bruteforce::BruteForceIndex {
         cfg: &BatchConfig,
         stats: &mut SearchStats,
     ) -> Vec<Vec<Neighbor>> {
-        self.points_mut().radius_batch(queries, radius, cfg, stats)
+        let index = &*self;
+        parallel_queries(queries, cfg, stats, |q, s| index.radius_with_stats(q, radius, s))
     }
 }
 

@@ -5,7 +5,8 @@
 //! unordered set (paper Sec. 4.1: "the two-stage KD-tree enables exhaustive
 //! searches in certain sub-trees").
 
-use crate::{Neighbor, SearchStats};
+use crate::soa::PointSoA;
+use crate::{simd, Neighbor, SearchStats};
 use tigris_geom::Vec3;
 
 /// Exhaustive nearest-neighbor search over `points`, or `None` when empty.
@@ -106,6 +107,11 @@ pub fn knn_brute_force_with_stats(
 /// pipeline) like any other backend — the `"brute-force"` entry of the
 /// backend registry.
 ///
+/// Unlike the free functions above (which stay the plain scalar
+/// reference), the owned index mirrors its points into a [`PointSoA`] and
+/// serves queries through the [`crate::simd`] kernels — bit-identical
+/// results, one full-width exhaustive scan per query.
+///
 /// # Example
 ///
 /// ```
@@ -123,12 +129,16 @@ pub fn knn_brute_force_with_stats(
 #[derive(Debug, Clone, Default)]
 pub struct BruteForceIndex {
     points: Vec<Vec3>,
+    soa: PointSoA,
+    ids: Vec<u32>,
 }
 
 impl BruteForceIndex {
-    /// Wraps a point set, taking ownership.
+    /// Wraps a point set, taking ownership and building the SoA mirror.
     pub fn new(points: Vec<Vec3>) -> Self {
-        BruteForceIndex { points }
+        let soa = PointSoA::from_points(&points);
+        let ids = (0..points.len() as u32).collect();
+        BruteForceIndex { points, soa, ids }
     }
 
     /// The indexed points.
@@ -136,10 +146,48 @@ impl BruteForceIndex {
         &self.points
     }
 
-    /// Mutable view, for the slice-level [`crate::batch::BatchSearcher`]
-    /// delegation.
-    pub(crate) fn points_mut(&mut self) -> &mut [Vec3] {
-        &mut self.points
+    /// Nearest neighbor by one full-width kernel scan, with visit
+    /// accounting. Bit-identical to [`nn_brute_force`].
+    pub fn nn_with_stats(&self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
+        stats.queries += 1;
+        stats.leaf_points_scanned += self.points.len() as u64;
+        simd::nn_reduce(query, self.soa.view(), &self.ids)
+            .map(|(d2, id)| Neighbor::new(id as usize, d2))
+    }
+
+    /// Exhaustive k-NN via the distance kernel, with visit accounting.
+    /// Bit-identical to [`knn_brute_force`].
+    pub fn knn_with_stats(&self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        stats.queries += 1;
+        stats.leaf_points_scanned += self.points.len() as u64;
+        let mut d2s = vec![0.0_f64; self.points.len()];
+        simd::squared_distances(query, self.soa.view(), &mut d2s);
+        let mut all: Vec<Neighbor> =
+            d2s.iter().enumerate().map(|(i, &d2)| Neighbor::new(i, d2)).collect();
+        all.sort();
+        all.truncate(k);
+        all
+    }
+
+    /// Exhaustive radius search via the masked-compare kernel, with visit
+    /// accounting. Bit-identical to [`radius_brute_force`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `radius` is negative.
+    pub fn radius_with_stats(
+        &self,
+        query: Vec3,
+        radius: f64,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        stats.queries += 1;
+        stats.leaf_points_scanned += self.points.len() as u64;
+        let mut out = Vec::new();
+        simd::radius_collect(query, self.soa.view(), &self.ids, radius * radius, &mut out);
+        out.sort();
+        out
     }
 }
 
@@ -230,5 +278,33 @@ mod tests {
         let pts = [Vec3::X];
         assert_eq!(knn_brute_force(&pts, Vec3::ZERO, 10).len(), 1);
         assert!(knn_brute_force(&[], Vec3::ZERO, 3).is_empty());
+    }
+
+    #[test]
+    fn index_kernels_match_scalar_oracle_bitwise() {
+        // The owned index serves through the SIMD kernels; the free
+        // functions are the scalar reference. They must agree bit for bit.
+        let pts = grid();
+        let index = BruteForceIndex::new(pts.clone());
+        let queries = [
+            Vec3::ZERO,
+            Vec3::new(1.1, 0.9, 0.1),
+            Vec3::new(2.0, 2.0, 2.0),
+            Vec3::new(-3.0, 0.5, 7.0),
+        ];
+        let mut stats = SearchStats::new();
+        for q in queries {
+            assert_eq!(index.nn_with_stats(q, &mut stats), nn_brute_force(&pts, q));
+            for k in [1, 5, 30] {
+                assert_eq!(index.knn_with_stats(q, k, &mut stats), knn_brute_force(&pts, q, k));
+            }
+            for r in [0.0, 1.25, 10.0] {
+                assert_eq!(
+                    index.radius_with_stats(q, r, &mut stats),
+                    radius_brute_force(&pts, q, r)
+                );
+            }
+        }
+        assert_eq!(stats.leaf_points_scanned, 27 * stats.queries);
     }
 }

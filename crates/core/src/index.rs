@@ -193,7 +193,11 @@ impl SearchIndex for KdTree {
     }
 
     fn size(&self) -> IndexSize {
-        IndexSize { points: KdTree::len(self), interior_nodes: KdTree::len(self), leaf_sets: 0 }
+        IndexSize {
+            points: KdTree::len(self),
+            interior_nodes: self.interior_count(),
+            leaf_sets: self.leaf_count(),
+        }
     }
 
     fn nn(&mut self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
@@ -388,25 +392,15 @@ impl SearchIndex for BruteForceIndex {
     }
 
     fn nn(&mut self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
-        crate::bruteforce::nn_brute_force_with_stats(BruteForceIndex::points(self), query, stats)
+        BruteForceIndex::nn_with_stats(self, query, stats)
     }
 
     fn knn(&mut self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
-        crate::bruteforce::knn_brute_force_with_stats(
-            BruteForceIndex::points(self),
-            query,
-            k,
-            stats,
-        )
+        BruteForceIndex::knn_with_stats(self, query, k, stats)
     }
 
     fn radius(&mut self, query: Vec3, radius: f64, stats: &mut SearchStats) -> Vec<Neighbor> {
-        crate::bruteforce::radius_brute_force_with_stats(
-            BruteForceIndex::points(self),
-            query,
-            radius,
-            stats,
-        )
+        BruteForceIndex::radius_with_stats(self, query, radius, stats)
     }
 
     fn nn_batch(

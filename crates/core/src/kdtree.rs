@@ -1,31 +1,61 @@
-//! The canonical KD-tree (paper Fig. 5a).
+//! The canonical KD-tree (paper Fig. 5a), stored cache-compact.
 //!
-//! Every node stores one point; the point's coordinate along the node's
-//! split axis defines a hyperplane partitioning the node's children. Median
-//! splits keep the tree balanced, giving `O(log n)` expected search. Search
-//! prunes any sub-tree whose half-space cannot contain a result closer than
-//! the current best — the pruning that makes KD-trees efficient but also
+//! Interior nodes carry only a split axis and plane; all points live in
+//! leaf buckets of at most [`LEAF_SIZE`] points. Median splits keep the
+//! tree balanced, giving `O(log n)` expected search; search prunes any
+//! sub-tree whose half-space cannot contain a result closer than the
+//! current best — the pruning that makes KD-trees efficient but also
 //! *serializes* the search, which is the paper's motivation for the
 //! two-stage variant.
+//!
+//! # Memory layout
+//!
+//! The structure is tuned for the cache, not for pointer elegance:
+//!
+//! * **Implicit (Eytzinger) node array** — interior nodes live in a flat
+//!   `Vec` at heap positions (children of slot `e` at `2e+1` / `2e+2`),
+//!   so descending a level is index arithmetic on a contiguous array
+//!   instead of chasing child pointers, and the hot top levels of the
+//!   tree share a handful of cache lines.
+//! * **SoA leaf buckets** — leaf points are gathered into one
+//!   [`PointSoA`] arena in depth-first leaf order; each leaf owns a
+//!   contiguous lane slice sized to the SIMD width ([`LEAF_SIZE`] = 2×8
+//!   lanes), which the [`crate::simd`] kernels scan without touching the
+//!   original `Vec3` array.
+//!
+//! All results still refer to indices in the original build-order point
+//! slice, and remain bit-identical to the previous one-point-per-node
+//! layout: results are globally ordered by `(distance², index)`, which is
+//! independent of traversal and bucket order.
 
 use std::collections::BinaryHeap;
 
-use crate::{Neighbor, SearchStats};
+use crate::soa::PointSoA;
+use crate::{simd, Neighbor, SearchStats};
 use tigris_geom::Vec3;
 
-const NONE: u32 = u32::MAX;
+/// Maximum points per leaf bucket: two full 8-lane SIMD blocks.
+pub const LEAF_SIZE: usize = 2 * simd::LANES;
 
-/// One tree node: a point index, a split axis, and two optional children.
+/// One implicit-array slot.
 #[derive(Debug, Clone, Copy)]
-struct Node {
-    /// Index into the tree's point array.
-    point: u32,
-    /// Split axis: 0, 1 or 2.
-    axis: u8,
-    /// Left child node index, or `NONE`.
-    left: u32,
-    /// Right child node index, or `NONE`.
-    right: u32,
+enum Slot {
+    /// Padding for heap positions no subtree reached.
+    Empty,
+    /// An interior node: a splitting plane only, no point.
+    Interior {
+        /// Split axis: 0, 1 or 2.
+        axis: u8,
+        /// Split plane coordinate along `axis`.
+        split: f64,
+    },
+    /// A leaf bucket: a contiguous range of the SoA arena.
+    Leaf {
+        /// First arena slot of this leaf.
+        start: u32,
+        /// Number of points in this leaf.
+        len: u32,
+    },
 }
 
 /// A canonical 3D KD-tree over a point set.
@@ -47,8 +77,12 @@ struct Node {
 #[derive(Debug, Clone)]
 pub struct KdTree {
     points: Vec<Vec3>,
-    nodes: Vec<Node>,
-    root: u32,
+    /// Implicit node array: children of slot `e` at `2e+1` / `2e+2`.
+    nodes: Vec<Slot>,
+    /// Leaf point coordinates, SoA, in depth-first leaf order.
+    arena: PointSoA,
+    /// Arena slot → index in `points` (build order).
+    ids: Vec<u32>,
     height: usize,
 }
 
@@ -59,11 +93,30 @@ impl KdTree {
     /// node's point subset (the classic surface-area heuristic simplified
     /// for points). Construction is `O(n log² n)`.
     pub fn build(points: &[Vec3]) -> Self {
+        let mut tree = KdTree {
+            points: points.to_vec(),
+            nodes: Vec::new(),
+            arena: PointSoA::with_capacity(points.len()),
+            ids: Vec::with_capacity(points.len()),
+            height: 0,
+        };
+        if points.is_empty() {
+            return tree;
+        }
         let mut indices: Vec<u32> = (0..points.len() as u32).collect();
-        let mut nodes = Vec::with_capacity(points.len());
-        let root = build_recursive(points, &mut indices[..], &mut nodes, 0);
-        let height = if nodes.is_empty() { 0 } else { subtree_height(&nodes, root) };
-        KdTree { points: points.to_vec(), nodes, root, height }
+        let mut height = 0;
+        build_into(
+            points,
+            &mut indices[..],
+            0,
+            &mut tree.nodes,
+            &mut tree.arena,
+            &mut tree.ids,
+            1,
+            &mut height,
+        );
+        tree.height = height;
+        tree
     }
 
     /// Number of indexed points.
@@ -76,7 +129,8 @@ impl KdTree {
         self.points.is_empty()
     }
 
-    /// Height of the tree (number of levels; 0 for an empty tree).
+    /// Height of the tree (number of levels, counting the leaf level;
+    /// 0 for an empty tree).
     pub fn height(&self) -> usize {
         self.height
     }
@@ -86,6 +140,16 @@ impl KdTree {
         &self.points
     }
 
+    /// Number of interior (splitting-plane) nodes.
+    pub fn interior_count(&self) -> usize {
+        self.nodes.iter().filter(|s| matches!(s, Slot::Interior { .. })).count()
+    }
+
+    /// Number of leaf buckets.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|s| matches!(s, Slot::Leaf { .. })).count()
+    }
+
     /// Nearest neighbor of `query`, or `None` for an empty tree.
     pub fn nn(&self, query: Vec3) -> Option<Neighbor> {
         let mut stats = SearchStats::new();
@@ -93,43 +157,61 @@ impl KdTree {
     }
 
     /// Nearest neighbor, accumulating visit counters into `stats`.
+    ///
+    /// Interior visits bill `tree_nodes_visited`; leaf buckets bill
+    /// `leaves_scanned` / `leaf_points_scanned` (they are exhaustive SIMD
+    /// scans, not per-point traversal).
     pub fn nn_with_stats(&self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
         if self.nodes.is_empty() {
             return None;
         }
         stats.queries += 1;
-        let mut best = Neighbor::new(usize::MAX, f64::INFINITY);
-        self.nn_recurse(self.root, query, &mut best, stats);
-        (best.index != usize::MAX).then_some(best)
+        let mut best_d2 = f64::INFINITY;
+        let mut best_id = u32::MAX;
+        self.nn_recurse(0, query, &mut best_d2, &mut best_id, stats);
+        (best_id != u32::MAX).then(|| Neighbor::new(best_id as usize, best_d2))
     }
 
-    fn nn_recurse(&self, node_idx: u32, query: Vec3, best: &mut Neighbor, stats: &mut SearchStats) {
-        let node = &self.nodes[node_idx as usize];
-        let p = self.points[node.point as usize];
-        stats.tree_nodes_visited += 1;
-        let d2 = query.distance_squared(p);
-        if d2 < best.distance_squared
-            || (d2 == best.distance_squared && (node.point as usize) < best.index)
-        {
-            *best = Neighbor::new(node.point as usize, d2);
-        }
-
-        let axis = node.axis as usize;
-        let delta = query.axis(axis) - p.axis(axis);
-        let (near, far) =
-            if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
-
-        if near != NONE {
-            self.nn_recurse(near, query, best, stats);
-        }
-        if far != NONE {
-            // The far half-space can only contain a better result when the
-            // sphere around the query with the current best radius crosses
-            // the splitting plane.
-            if delta * delta <= best.distance_squared {
-                self.nn_recurse(far, query, best, stats);
-            } else {
-                stats.subtrees_pruned += 1;
+    fn nn_recurse(
+        &self,
+        slot: usize,
+        query: Vec3,
+        best_d2: &mut f64,
+        best_id: &mut u32,
+        stats: &mut SearchStats,
+    ) {
+        match self.nodes[slot] {
+            Slot::Empty => unreachable!("traversal never reaches padding slots"),
+            Slot::Leaf { start, len } => {
+                let (start, len) = (start as usize, len as usize);
+                stats.leaves_scanned += 1;
+                stats.leaf_points_scanned += len as u64;
+                let view = self.arena.range(start, len);
+                if let Some((d2, id)) = simd::nn_reduce(query, view, &self.ids[start..start + len])
+                {
+                    if d2 < *best_d2 || (d2 == *best_d2 && id < *best_id) {
+                        *best_d2 = d2;
+                        *best_id = id;
+                    }
+                }
+            }
+            Slot::Interior { axis, split } => {
+                stats.tree_nodes_visited += 1;
+                let delta = query.axis(axis as usize) - split;
+                let (near, far) = if delta < 0.0 {
+                    (2 * slot + 1, 2 * slot + 2)
+                } else {
+                    (2 * slot + 2, 2 * slot + 1)
+                };
+                self.nn_recurse(near, query, best_d2, best_id, stats);
+                // The far half-space can only contain a better result when
+                // the sphere around the query with the current best radius
+                // crosses the splitting plane.
+                if delta * delta <= *best_d2 {
+                    self.nn_recurse(far, query, best_d2, best_id, stats);
+                } else {
+                    stats.subtrees_pruned += 1;
+                }
             }
         }
     }
@@ -151,7 +233,7 @@ impl KdTree {
         // Max-heap on distance keeps the current k best; the root is the
         // worst of the k and is the pruning bound.
         let mut heap: BinaryHeap<Neighbor> = BinaryHeap::with_capacity(k + 1);
-        self.knn_recurse(self.root, query, k, &mut heap, stats);
+        self.knn_recurse(0, query, k, &mut heap, stats);
         let mut out = heap.into_sorted_vec();
         out.truncate(k);
         out
@@ -159,45 +241,54 @@ impl KdTree {
 
     fn knn_recurse(
         &self,
-        node_idx: u32,
+        slot: usize,
         query: Vec3,
         k: usize,
         heap: &mut BinaryHeap<Neighbor>,
         stats: &mut SearchStats,
     ) {
-        let node = &self.nodes[node_idx as usize];
-        let p = self.points[node.point as usize];
-        stats.tree_nodes_visited += 1;
-        let d2 = query.distance_squared(p);
-        let cand = Neighbor::new(node.point as usize, d2);
-        if heap.len() < k {
-            heap.push(cand);
-        } else if let Some(worst) = heap.peek() {
-            // Full (distance, index) order so boundary ties break to the
-            // lower index — the brute-force (and cross-backend) contract.
-            if cand < *worst {
-                heap.pop();
-                heap.push(cand);
+        match self.nodes[slot] {
+            Slot::Empty => unreachable!("traversal never reaches padding slots"),
+            Slot::Leaf { start, len } => {
+                let (start, len) = (start as usize, len as usize);
+                stats.leaves_scanned += 1;
+                stats.leaf_points_scanned += len as u64;
+                let mut d2s = [0.0_f64; LEAF_SIZE];
+                simd::squared_distances(query, self.arena.range(start, len), &mut d2s[..len]);
+                for (l, &d2) in d2s[..len].iter().enumerate() {
+                    let cand = Neighbor::new(self.ids[start + l] as usize, d2);
+                    if heap.len() < k {
+                        heap.push(cand);
+                    } else if let Some(worst) = heap.peek() {
+                        // Full (distance, index) order so boundary ties
+                        // break to the lower index — the brute-force (and
+                        // cross-backend) contract.
+                        if cand < *worst {
+                            heap.pop();
+                            heap.push(cand);
+                        }
+                    }
+                }
             }
-        }
-
-        let axis = node.axis as usize;
-        let delta = query.axis(axis) - p.axis(axis);
-        let (near, far) =
-            if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
-        if near != NONE {
-            self.knn_recurse(near, query, k, heap, stats);
-        }
-        if far != NONE {
-            let bound = if heap.len() < k {
-                f64::INFINITY
-            } else {
-                heap.peek().map_or(f64::INFINITY, |w| w.distance_squared)
-            };
-            if delta * delta <= bound {
-                self.knn_recurse(far, query, k, heap, stats);
-            } else {
-                stats.subtrees_pruned += 1;
+            Slot::Interior { axis, split } => {
+                stats.tree_nodes_visited += 1;
+                let delta = query.axis(axis as usize) - split;
+                let (near, far) = if delta < 0.0 {
+                    (2 * slot + 1, 2 * slot + 2)
+                } else {
+                    (2 * slot + 2, 2 * slot + 1)
+                };
+                self.knn_recurse(near, query, k, heap, stats);
+                let bound = if heap.len() < k {
+                    f64::INFINITY
+                } else {
+                    heap.peek().map_or(f64::INFINITY, |w| w.distance_squared)
+                };
+                if delta * delta <= bound {
+                    self.knn_recurse(far, query, k, heap, stats);
+                } else {
+                    stats.subtrees_pruned += 1;
+                }
             }
         }
     }
@@ -224,61 +315,105 @@ impl KdTree {
         stats: &mut SearchStats,
     ) -> Vec<Neighbor> {
         assert!(radius >= 0.0, "radius must be non-negative");
-        let mut out = Vec::new();
         if self.nodes.is_empty() {
-            return out;
+            return Vec::new();
         }
         stats.queries += 1;
-        self.radius_recurse(self.root, query, radius * radius, radius, &mut out, stats);
-        out.sort();
+        // One leaf's worth of headroom skips the 4→8→16 realloc chain for
+        // the common "a handful of hits" query.
+        let mut out = Vec::with_capacity(LEAF_SIZE);
+        self.radius_scan(query, radius * radius, radius, &mut out, stats);
+        // `Neighbor` is totally ordered by (d², index) and indices are
+        // unique, so the sorted result is independent of both traversal
+        // order and sort stability.
+        out.sort_unstable();
         out
     }
 
-    fn radius_recurse(
+    /// Iterative radius traversal: descends near children inline and
+    /// parks far children on an explicit stack. Unlike NN search, the
+    /// `|Δ| ≤ r` prune does not depend on results found so far, so this
+    /// visits exactly the nodes the recursive formulation would.
+    fn radius_scan(
         &self,
-        node_idx: u32,
         query: Vec3,
         r2: f64,
         r: f64,
         out: &mut Vec<Neighbor>,
         stats: &mut SearchStats,
     ) {
-        let node = &self.nodes[node_idx as usize];
-        let p = self.points[node.point as usize];
-        stats.tree_nodes_visited += 1;
-        let d2 = query.distance_squared(p);
-        if d2 <= r2 {
-            out.push(Neighbor::new(node.point as usize, d2));
-        }
-
-        let axis = node.axis as usize;
-        let delta = query.axis(axis) - p.axis(axis);
-        let (near, far) =
-            if delta < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
-        if near != NONE {
-            self.radius_recurse(near, query, r2, r, out, stats);
-        }
-        if far != NONE {
-            if delta.abs() <= r {
-                self.radius_recurse(far, query, r2, r, out, stats);
-            } else {
-                stats.subtrees_pruned += 1;
+        // One deferred far child per interior level: median splits keep
+        // height ≤ ~log₂(n/8), far below this with u32 point ids.
+        let mut stack = [0_usize; 64];
+        let mut top = 1;
+        while top > 0 {
+            top -= 1;
+            let mut slot = stack[top];
+            loop {
+                match self.nodes[slot] {
+                    Slot::Empty => unreachable!("traversal never reaches padding slots"),
+                    Slot::Leaf { start, len } => {
+                        let (start, len) = (start as usize, len as usize);
+                        stats.leaves_scanned += 1;
+                        stats.leaf_points_scanned += len as u64;
+                        simd::radius_collect(
+                            query,
+                            self.arena.range(start, len),
+                            &self.ids[start..start + len],
+                            r2,
+                            out,
+                        );
+                        break;
+                    }
+                    Slot::Interior { axis, split } => {
+                        stats.tree_nodes_visited += 1;
+                        let delta = query.axis(axis as usize) - split;
+                        let (near, far) = if delta < 0.0 {
+                            (2 * slot + 1, 2 * slot + 2)
+                        } else {
+                            (2 * slot + 2, 2 * slot + 1)
+                        };
+                        if delta.abs() <= r {
+                            stack[top] = far;
+                            top += 1;
+                        } else {
+                            stats.subtrees_pruned += 1;
+                        }
+                        slot = near;
+                    }
+                }
             }
         }
     }
 }
 
-/// Recursively builds the subtree over `indices`, appending nodes to
-/// `nodes` and returning the subtree root index (or `NONE` when empty).
-fn build_recursive(
+/// Recursively builds the subtree over `indices` into implicit slot
+/// `slot`, appending leaf points to the SoA arena in depth-first order.
+#[allow(clippy::too_many_arguments)]
+fn build_into(
     points: &[Vec3],
     indices: &mut [u32],
-    nodes: &mut Vec<Node>,
-    _depth: usize,
-) -> u32 {
-    if indices.is_empty() {
-        return NONE;
+    slot: usize,
+    nodes: &mut Vec<Slot>,
+    arena: &mut PointSoA,
+    ids: &mut Vec<u32>,
+    depth: usize,
+    height: &mut usize,
+) {
+    if nodes.len() <= slot {
+        nodes.resize(slot + 1, Slot::Empty);
     }
+    if indices.len() <= LEAF_SIZE {
+        *height = (*height).max(depth);
+        let start = ids.len() as u32;
+        for &i in indices.iter() {
+            arena.push(points[i as usize]);
+            ids.push(i);
+        }
+        nodes[slot] = Slot::Leaf { start, len: indices.len() as u32 };
+        return;
+    }
+
     // Split on the axis with the largest extent of this subset.
     let mut lo = Vec3::splat(f64::INFINITY);
     let mut hi = Vec3::splat(f64::NEG_INFINITY);
@@ -295,34 +430,22 @@ fn build_recursive(
         2
     };
 
+    // Median partition: left coords ≤ split ≤ right coords, which is what
+    // makes |query − split| a sound pruning bound for the far half.
     let mid = indices.len() / 2;
     indices.select_nth_unstable_by(mid, |&a, &b| {
         let va = points[a as usize].axis(axis);
         let vb = points[b as usize].axis(axis);
         va.partial_cmp(&vb).unwrap().then(a.cmp(&b))
     });
-    let point = indices[mid];
+    let split = points[indices[mid] as usize].axis(axis);
+    nodes[slot] = Slot::Interior { axis: axis as u8, split };
 
-    let node_idx = nodes.len() as u32;
-    nodes.push(Node { point, axis: axis as u8, left: NONE, right: NONE });
-
-    // Split the slice around the median; recursion order fills `nodes`
-    // depth-first, which is also the layout the accelerator model assumes.
-    let (left_slice, rest) = indices.split_at_mut(mid);
-    let right_slice = &mut rest[1..];
-    let left = build_recursive(points, left_slice, nodes, _depth + 1);
-    let right = build_recursive(points, right_slice, nodes, _depth + 1);
-    nodes[node_idx as usize].left = left;
-    nodes[node_idx as usize].right = right;
-    node_idx
-}
-
-fn subtree_height(nodes: &[Node], root: u32) -> usize {
-    if root == NONE {
-        return 0;
-    }
-    let n = &nodes[root as usize];
-    1 + subtree_height(nodes, n.left).max(subtree_height(nodes, n.right))
+    // Both halves are non-empty (len > LEAF_SIZE ≥ 1), so an interior
+    // slot always has both children built.
+    let (left_slice, right_slice) = indices.split_at_mut(mid);
+    build_into(points, left_slice, 2 * slot + 1, nodes, arena, ids, depth + 1, height);
+    build_into(points, right_slice, 2 * slot + 2, nodes, arena, ids, depth + 1, height);
 }
 
 #[cfg(test)]
@@ -352,6 +475,8 @@ mod tests {
         let t = KdTree::build(&[Vec3::X]);
         assert_eq!(t.len(), 1);
         assert_eq!(t.height(), 1);
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.interior_count(), 0);
         assert_eq!(t.nn(Vec3::ZERO).unwrap().index, 0);
     }
 
@@ -359,8 +484,32 @@ mod tests {
     fn height_is_logarithmic() {
         let pts = lcg_cloud(1024, 7);
         let t = KdTree::build(&pts);
-        // A median-split tree over 1024 points has height ≈ 10–11.
-        assert!(t.height() >= 10 && t.height() <= 12, "height = {}", t.height());
+        // Median splits over 1024 points with 16-point buckets reach the
+        // leaf level after 6 halvings: height = 7 (interior levels + leaf
+        // level).
+        assert!(t.height() >= 6 && t.height() <= 8, "height = {}", t.height());
+    }
+
+    #[test]
+    fn every_point_lands_in_exactly_one_leaf() {
+        for n in [1, 15, 16, 17, 100, 1023] {
+            let pts = lcg_cloud(n, n as u64);
+            let t = KdTree::build(&pts);
+            // The arena is a permutation of the input: ids cover 0..n once.
+            let mut seen = vec![false; n];
+            for slot in &t.nodes {
+                if let Slot::Leaf { start, len } = *slot {
+                    assert!(len as usize <= LEAF_SIZE);
+                    for s in start..start + len {
+                        let id = t.ids[s as usize] as usize;
+                        assert!(!seen[id], "point {id} in two leaves (n = {n})");
+                        seen[id] = true;
+                        assert_eq!(t.arena.get(s as usize), pts[id]);
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "missing points (n = {n})");
+        }
     }
 
     #[test]
@@ -432,9 +581,12 @@ mod tests {
         let tree = KdTree::build(&pts);
         let mut stats = SearchStats::new();
         tree.nn_with_stats(Vec3::new(0.1, 0.2, 0.3), &mut stats).unwrap();
-        // NN on a balanced 4096-point tree should visit far fewer than all
-        // nodes (typically a few dozen), and must prune something.
-        assert!(stats.tree_nodes_visited < 1000, "visited {}", stats.tree_nodes_visited);
+        // NN on a balanced 4096-point bucket tree visits a handful of
+        // interior nodes and leaf buckets, not the whole structure, and
+        // must prune something.
+        assert!(stats.tree_nodes_visited < 255, "visited {}", stats.tree_nodes_visited);
+        assert!(stats.leaves_scanned > 0);
+        assert!(stats.leaf_points_scanned < 4096);
         assert!(stats.subtrees_pruned > 0);
         assert_eq!(stats.queries, 1);
     }

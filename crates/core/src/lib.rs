@@ -59,6 +59,8 @@ pub mod inject;
 pub mod kdtree;
 pub mod kdtree_nd;
 pub mod record;
+pub mod simd;
+pub mod soa;
 pub mod stats;
 pub mod twostage;
 
@@ -70,6 +72,7 @@ pub use index::{backend_names, build_backend, register_backend, IndexSize, Searc
 pub use kdtree::KdTree;
 pub use kdtree_nd::KdTreeN;
 pub use record::{segment_by_kind, QueryKind, QueryRecord};
+pub use soa::{PointSoA, SoaView};
 pub use stats::SearchStats;
 pub use twostage::{default_top_height, LeafSet, TopChild, TopNode, TwoStageKdTree};
 

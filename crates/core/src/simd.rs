@@ -1,0 +1,415 @@
+//! Explicit distance + reduction kernels over [`SoaView`] lanes — the
+//! software stand-in for the accelerator's distance datapath.
+//!
+//! Three kernels cover every exhaustive scan in the crate:
+//!
+//! * [`squared_distances`] — one squared distance per candidate, written
+//!   to an output slice (the "distance array" stage of the paper's
+//!   pipeline).
+//! * [`nn_reduce`] — squared distances fused with a horizontal
+//!   `(distance, id)` min reduction: the 1-NN kernel.
+//! * [`radius_collect`] — squared distances fused with a masked
+//!   `d² ≤ r²` compare that appends hits in scan order: the radius-search
+//!   kernel.
+//!
+//! Two implementations exist side by side and are **always both
+//! compiled**:
+//!
+//! * [`scalar`] — the one-point-per-iteration reference, written to be
+//!   obviously correct.
+//! * [`wide`] — cache-blocked lane kernels: candidates are processed in
+//!   8-wide then 4-wide `f64` blocks (`[f64; 8]` / `[f64; 4]` — the
+//!   portable-SIMD shape LLVM turns into AVX/NEON vector code), with a
+//!   scalar remainder loop for the final `n mod 4` lanes.
+//!
+//! The crate-level re-exports select the implementation at build time:
+//! [`wide`] by default, [`scalar`] when the `scalar-kernels` cargo
+//! feature is enabled (for targets where auto-vectorization misbehaves or
+//! when bisecting a numeric regression). The two are **bit-identical**,
+//! not merely close: every lane evaluates
+//! `(dx·dx + dy·dy) + dz·dz` in exactly
+//! [`Vec3::distance_squared`](tigris_geom::Vec3::distance_squared)'s
+//! association, Rust never contracts to FMA, and the `(d², id)`
+//! lexicographic min is associative and commutative (ids are unique), so
+//! blocked reduction order cannot change the winner.
+//! `core/tests/kernel_equivalence.rs` enforces this differentially on
+//! adversarial inputs.
+
+use crate::soa::SoaView;
+use crate::Neighbor;
+
+/// Widest block the [`wide`] kernels process per step (points per
+/// iteration). KD-tree leaves are sized in multiples of this.
+pub const LANES: usize = 8;
+
+/// Half-width block used to drain most of an `n mod 8` remainder before
+/// falling back to the scalar tail.
+pub const LANES_HALF: usize = 4;
+
+#[cfg(not(feature = "scalar-kernels"))]
+pub use wide::{nn_reduce, radius_collect, squared_distances};
+
+#[cfg(feature = "scalar-kernels")]
+pub use scalar::{nn_reduce, radius_collect, squared_distances};
+
+/// `true` when the build-time selected kernels are the blocked [`wide`]
+/// ones (i.e. the `scalar-kernels` fallback feature is off).
+pub const fn wide_kernels_selected() -> bool {
+    !cfg!(feature = "scalar-kernels")
+}
+
+#[inline(always)]
+fn lex_min(d2: f64, id: u32, best_d2: &mut f64, best_id: &mut u32) {
+    if d2 < *best_d2 || (d2 == *best_d2 && id < *best_id) {
+        *best_d2 = d2;
+        *best_id = id;
+    }
+}
+
+/// One-point-per-iteration reference kernels.
+///
+/// These define the semantics the [`wide`] kernels must reproduce bit for
+/// bit. They are also the build-time fallback behind the `scalar-kernels`
+/// feature.
+pub mod scalar {
+    // Every kernel walks several parallel slices (coordinate lanes, ids,
+    // output) in lockstep; a shared index is the clearest form.
+    #![allow(clippy::needless_range_loop)]
+
+    use super::*;
+
+    /// Writes `‖query − pts[i]‖²` to `out[i]` for every candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `out`, the coordinate lanes of `pts`, all have the
+    /// same length.
+    pub fn squared_distances(query: tigris_geom::Vec3, pts: SoaView<'_>, out: &mut [f64]) {
+        let n = pts.len();
+        assert_eq!(out.len(), n, "one output slot per candidate point");
+        for i in 0..n {
+            let dx = query.x - pts.xs[i];
+            let dy = query.y - pts.ys[i];
+            let dz = query.z - pts.zs[i];
+            out[i] = (dx * dx + dy * dy) + dz * dz;
+        }
+    }
+
+    /// Returns the `(d², id)` lexicographic minimum over all candidates
+    /// (nearest neighbor, ties broken to the smaller id), or `None` for an
+    /// empty view.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ids.len() == pts.len()`.
+    pub fn nn_reduce(
+        query: tigris_geom::Vec3,
+        pts: SoaView<'_>,
+        ids: &[u32],
+    ) -> Option<(f64, u32)> {
+        let n = pts.len();
+        assert_eq!(ids.len(), n, "one id per candidate point");
+        if n == 0 {
+            return None;
+        }
+        let mut best_d2 = f64::INFINITY;
+        let mut best_id = u32::MAX;
+        for i in 0..n {
+            let dx = query.x - pts.xs[i];
+            let dy = query.y - pts.ys[i];
+            let dz = query.z - pts.zs[i];
+            let d2 = (dx * dx + dy * dy) + dz * dz;
+            lex_min(d2, ids[i], &mut best_d2, &mut best_id);
+        }
+        Some((best_d2, best_id))
+    }
+
+    /// Appends a [`Neighbor`] for every candidate with `d² ≤ r²`, in scan
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ids.len() == pts.len()`.
+    pub fn radius_collect(
+        query: tigris_geom::Vec3,
+        pts: SoaView<'_>,
+        ids: &[u32],
+        r2: f64,
+        out: &mut Vec<Neighbor>,
+    ) {
+        let n = pts.len();
+        assert_eq!(ids.len(), n, "one id per candidate point");
+        for i in 0..n {
+            let dx = query.x - pts.xs[i];
+            let dy = query.y - pts.ys[i];
+            let dz = query.z - pts.zs[i];
+            let d2 = (dx * dx + dy * dy) + dz * dz;
+            if d2 <= r2 {
+                out.push(Neighbor::new(ids[i] as usize, d2));
+            }
+        }
+    }
+}
+
+/// Cache-blocked lane kernels: 8-wide blocks, a 4-wide half block, then a
+/// scalar tail.
+///
+/// Each block loads `N` candidates per coordinate lane into a fixed
+/// `[f64; N]` register block and evaluates all lanes with straight-line
+/// arithmetic — the shape LLVM auto-vectorizes into packed `f64`
+/// instructions on every SIMD target without `unsafe` or intrinsics.
+pub mod wide {
+    // The scalar remainder tails walk the same parallel slices as
+    // `scalar`; see the note there.
+    #![allow(clippy::needless_range_loop)]
+
+    use super::*;
+
+    /// Computes one block of `N` squared distances starting at `base`.
+    #[inline(always)]
+    fn d2_block<const N: usize>(
+        qx: f64,
+        qy: f64,
+        qz: f64,
+        pts: SoaView<'_>,
+        base: usize,
+    ) -> [f64; N] {
+        let xs = &pts.xs[base..base + N];
+        let ys = &pts.ys[base..base + N];
+        let zs = &pts.zs[base..base + N];
+        let mut d2 = [0.0_f64; N];
+        for l in 0..N {
+            let dx = qx - xs[l];
+            let dy = qy - ys[l];
+            let dz = qz - zs[l];
+            d2[l] = (dx * dx + dy * dy) + dz * dz;
+        }
+        d2
+    }
+
+    /// Writes `‖query − pts[i]‖²` to `out[i]` for every candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `out`, the coordinate lanes of `pts`, all have the
+    /// same length.
+    pub fn squared_distances(query: tigris_geom::Vec3, pts: SoaView<'_>, out: &mut [f64]) {
+        let n = pts.len();
+        assert_eq!(out.len(), n, "one output slot per candidate point");
+        let (qx, qy, qz) = (query.x, query.y, query.z);
+        let mut base = 0;
+        while base + LANES <= n {
+            let d2 = d2_block::<LANES>(qx, qy, qz, pts, base);
+            out[base..base + LANES].copy_from_slice(&d2);
+            base += LANES;
+        }
+        if base + LANES_HALF <= n {
+            let d2 = d2_block::<LANES_HALF>(qx, qy, qz, pts, base);
+            out[base..base + LANES_HALF].copy_from_slice(&d2);
+            base += LANES_HALF;
+        }
+        for i in base..n {
+            let dx = qx - pts.xs[i];
+            let dy = qy - pts.ys[i];
+            let dz = qz - pts.zs[i];
+            out[i] = (dx * dx + dy * dy) + dz * dz;
+        }
+    }
+
+    /// Folds one `N`-lane block into the per-lane running minima
+    /// (lanes `0..N` of the accumulators).
+    #[inline(always)]
+    fn fold_block<const N: usize>(
+        d2: &[f64; N],
+        ids: &[u32],
+        best_d2: &mut [f64; LANES],
+        best_id: &mut [u32; LANES],
+    ) {
+        for l in 0..N {
+            if d2[l] < best_d2[l] || (d2[l] == best_d2[l] && ids[l] < best_id[l]) {
+                best_d2[l] = d2[l];
+                best_id[l] = ids[l];
+            }
+        }
+    }
+
+    /// Returns the `(d², id)` lexicographic minimum over all candidates
+    /// (nearest neighbor, ties broken to the smaller id), or `None` for an
+    /// empty view.
+    ///
+    /// Per-lane running minima are folded by a final horizontal reduction;
+    /// because lexicographic min over unique ids is associative and
+    /// commutative, the result is identical to [`scalar::nn_reduce`]'s
+    /// left-to-right fold.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ids.len() == pts.len()`.
+    pub fn nn_reduce(
+        query: tigris_geom::Vec3,
+        pts: SoaView<'_>,
+        ids: &[u32],
+    ) -> Option<(f64, u32)> {
+        let n = pts.len();
+        assert_eq!(ids.len(), n, "one id per candidate point");
+        if n == 0 {
+            return None;
+        }
+        let (qx, qy, qz) = (query.x, query.y, query.z);
+        let mut lane_d2 = [f64::INFINITY; LANES];
+        let mut lane_id = [u32::MAX; LANES];
+        let mut base = 0;
+        while base + LANES <= n {
+            let d2 = d2_block::<LANES>(qx, qy, qz, pts, base);
+            fold_block::<LANES>(&d2, &ids[base..base + LANES], &mut lane_d2, &mut lane_id);
+            base += LANES;
+        }
+        if base + LANES_HALF <= n {
+            let d2 = d2_block::<LANES_HALF>(qx, qy, qz, pts, base);
+            fold_block::<LANES_HALF>(
+                &d2,
+                &ids[base..base + LANES_HALF],
+                &mut lane_d2,
+                &mut lane_id,
+            );
+            base += LANES_HALF;
+        }
+        // Horizontal reduction of the lane minima, then the scalar tail.
+        let mut best_d2 = f64::INFINITY;
+        let mut best_id = u32::MAX;
+        for l in 0..LANES {
+            lex_min(lane_d2[l], lane_id[l], &mut best_d2, &mut best_id);
+        }
+        for i in base..n {
+            let dx = qx - pts.xs[i];
+            let dy = qy - pts.ys[i];
+            let dz = qz - pts.zs[i];
+            let d2 = (dx * dx + dy * dy) + dz * dz;
+            lex_min(d2, ids[i], &mut best_d2, &mut best_id);
+        }
+        Some((best_d2, best_id))
+    }
+
+    /// Appends a [`Neighbor`] for every candidate with `d² ≤ r²`, in scan
+    /// order.
+    ///
+    /// Distances are evaluated blockwise; the masked compare then emits
+    /// hits lane by lane, preserving the scalar kernel's output order
+    /// exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ids.len() == pts.len()`.
+    pub fn radius_collect(
+        query: tigris_geom::Vec3,
+        pts: SoaView<'_>,
+        ids: &[u32],
+        r2: f64,
+        out: &mut Vec<Neighbor>,
+    ) {
+        let n = pts.len();
+        assert_eq!(ids.len(), n, "one id per candidate point");
+        let (qx, qy, qz) = (query.x, query.y, query.z);
+        let mut base = 0;
+        while base + LANES <= n {
+            let d2 = d2_block::<LANES>(qx, qy, qz, pts, base);
+            for l in 0..LANES {
+                if d2[l] <= r2 {
+                    out.push(Neighbor::new(ids[base + l] as usize, d2[l]));
+                }
+            }
+            base += LANES;
+        }
+        if base + LANES_HALF <= n {
+            let d2 = d2_block::<LANES_HALF>(qx, qy, qz, pts, base);
+            for l in 0..LANES_HALF {
+                if d2[l] <= r2 {
+                    out.push(Neighbor::new(ids[base + l] as usize, d2[l]));
+                }
+            }
+            base += LANES_HALF;
+        }
+        for i in base..n {
+            let dx = qx - pts.xs[i];
+            let dy = qy - pts.ys[i];
+            let dz = qz - pts.zs[i];
+            let d2 = (dx * dx + dy * dy) + dz * dz;
+            if d2 <= r2 {
+                out.push(Neighbor::new(ids[i] as usize, d2));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soa::PointSoA;
+    use tigris_geom::Vec3;
+
+    fn cloud(n: usize) -> (PointSoA, Vec<u32>) {
+        let pts: Vec<Vec3> = (0..n)
+            .map(|i| {
+                let f = i as f64;
+                Vec3::new((f * 0.37).sin() * 5.0, (f * 0.11).cos() * 5.0, f * 0.05)
+            })
+            .collect();
+        (PointSoA::from_points(&pts), (0..n as u32).collect())
+    }
+
+    #[test]
+    fn wide_matches_scalar_on_all_remainders() {
+        // 0..=19 covers n % 8 ∈ {0..7} with and without a half block.
+        for n in 0..20 {
+            let (soa, ids) = cloud(n);
+            let q = Vec3::new(0.3, -1.2, 0.7);
+
+            let mut a = vec![0.0; n];
+            let mut b = vec![0.0; n];
+            scalar::squared_distances(q, soa.view(), &mut a);
+            wide::squared_distances(q, soa.view(), &mut b);
+            assert_eq!(a, b, "n = {n}");
+
+            assert_eq!(
+                scalar::nn_reduce(q, soa.view(), &ids),
+                wide::nn_reduce(q, soa.view(), &ids),
+                "n = {n}"
+            );
+
+            let r2 = 9.0;
+            let mut ha = Vec::new();
+            let mut hb = Vec::new();
+            scalar::radius_collect(q, soa.view(), &ids, r2, &mut ha);
+            wide::radius_collect(q, soa.view(), &ids, r2, &mut hb);
+            assert_eq!(ha, hb, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn nn_reduce_breaks_ties_to_smaller_id_regardless_of_order() {
+        // Two copies of the same point, ids deliberately out of order.
+        let soa = PointSoA::from_points(&[Vec3::X; 9]);
+        let ids: Vec<u32> = vec![8, 7, 6, 5, 4, 3, 2, 1, 0];
+        let q = Vec3::new(2.0, 0.0, 0.0);
+        assert_eq!(scalar::nn_reduce(q, soa.view(), &ids), Some((1.0, 0)));
+        assert_eq!(wide::nn_reduce(q, soa.view(), &ids), Some((1.0, 0)));
+    }
+
+    #[test]
+    fn empty_view_has_no_nearest() {
+        let soa = PointSoA::new();
+        assert_eq!(nn_reduce(Vec3::ZERO, soa.view(), &[]), None);
+        let mut out = Vec::new();
+        radius_collect(Vec3::ZERO, soa.view(), &[], 1.0, &mut out);
+        assert!(out.is_empty());
+        squared_distances(Vec3::ZERO, soa.view(), &mut []);
+    }
+
+    #[test]
+    fn radius_boundary_is_inclusive() {
+        let soa = PointSoA::from_points(&[Vec3::new(3.0, 0.0, 0.0)]);
+        let mut out = Vec::new();
+        radius_collect(Vec3::ZERO, soa.view(), &[0], 9.0, &mut out);
+        assert_eq!(out, vec![Neighbor::new(0, 9.0)]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Structure-of-arrays point storage — the memory layout of the query hot
+//! path.
+//!
+//! Every search backend ultimately reduces to "compute the squared
+//! distance from one query to many candidate points". With points stored
+//! as an array of `Vec3` (AoS), each candidate load fetches x, y and z
+//! interleaved, so a vector unit can process one point per iteration at
+//! best. [`PointSoA`] stores the three coordinates in separate, contiguous
+//! lanes (`xs`, `ys`, `zs`), so the kernels in [`crate::simd`] can load 4
+//! or 8 candidates per lane per step and keep every cache line fully
+//! utilized — the same `<x…><y…><z…>` banking the paper's accelerator
+//! gives its distance datapath on-chip.
+//!
+//! The layout is purely an execution detail: all public results still
+//! refer to indices in the original build-order point slice, and every
+//! kernel is bit-identical to the scalar reference (enforced by
+//! `core/tests/kernel_equivalence.rs`).
+
+use tigris_geom::Vec3;
+
+/// A point set stored as three coordinate lanes (structure of arrays).
+///
+/// # Example
+///
+/// ```
+/// use tigris_core::soa::PointSoA;
+/// use tigris_geom::Vec3;
+///
+/// let soa = PointSoA::from_points(&[Vec3::X, Vec3::Y]);
+/// assert_eq!(soa.len(), 2);
+/// assert_eq!(soa.get(1), Vec3::Y);
+/// assert_eq!(soa.view().xs, &[1.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PointSoA {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    zs: Vec<f64>,
+}
+
+/// A borrowed view of (a contiguous range of) a [`PointSoA`]: three
+/// equal-length coordinate slices, the unit the [`crate::simd`] kernels
+/// consume.
+#[derive(Debug, Clone, Copy)]
+pub struct SoaView<'a> {
+    /// X coordinates.
+    pub xs: &'a [f64],
+    /// Y coordinates.
+    pub ys: &'a [f64],
+    /// Z coordinates.
+    pub zs: &'a [f64],
+}
+
+impl<'a> SoaView<'a> {
+    /// Number of points in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// `true` when the view holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The point at `i`, re-assembled from its lanes.
+    #[inline]
+    pub fn get(&self, i: usize) -> Vec3 {
+        Vec3::new(self.xs[i], self.ys[i], self.zs[i])
+    }
+
+    /// The sub-view covering `start..start + len`.
+    #[inline]
+    pub fn range(&self, start: usize, len: usize) -> SoaView<'a> {
+        SoaView {
+            xs: &self.xs[start..start + len],
+            ys: &self.ys[start..start + len],
+            zs: &self.zs[start..start + len],
+        }
+    }
+}
+
+impl PointSoA {
+    /// An empty point set.
+    pub fn new() -> Self {
+        PointSoA::default()
+    }
+
+    /// An empty point set with room for `n` points per lane.
+    pub fn with_capacity(n: usize) -> Self {
+        PointSoA { xs: Vec::with_capacity(n), ys: Vec::with_capacity(n), zs: Vec::with_capacity(n) }
+    }
+
+    /// Splits a point slice into coordinate lanes.
+    pub fn from_points(points: &[Vec3]) -> Self {
+        let mut soa = PointSoA::with_capacity(points.len());
+        for &p in points {
+            soa.push(p);
+        }
+        soa
+    }
+
+    /// Appends one point to the lanes.
+    #[inline]
+    pub fn push(&mut self, p: Vec3) {
+        self.xs.push(p.x);
+        self.ys.push(p.y);
+        self.zs.push(p.z);
+    }
+
+    /// Removes all points, keeping the lane allocations.
+    pub fn clear(&mut self) {
+        self.xs.clear();
+        self.ys.clear();
+        self.zs.clear();
+    }
+
+    /// Number of stored points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// `true` when no points are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The point at `i`, re-assembled from its lanes.
+    #[inline]
+    pub fn get(&self, i: usize) -> Vec3 {
+        Vec3::new(self.xs[i], self.ys[i], self.zs[i])
+    }
+
+    /// A view of all points.
+    #[inline]
+    pub fn view(&self) -> SoaView<'_> {
+        SoaView { xs: &self.xs, ys: &self.ys, zs: &self.zs }
+    }
+
+    /// A view of the contiguous range `start..start + len`.
+    #[inline]
+    pub fn range(&self, start: usize, len: usize) -> SoaView<'_> {
+        self.view().range(start, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_views_round_trip() {
+        let pts = vec![Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0), Vec3::X];
+        let soa = PointSoA::from_points(&pts);
+        assert_eq!(soa.len(), 3);
+        assert!(!soa.is_empty());
+        for (i, &p) in pts.iter().enumerate() {
+            assert_eq!(soa.get(i), p);
+            assert_eq!(soa.view().get(i), p);
+        }
+        let mid = soa.range(1, 2);
+        assert_eq!(mid.len(), 2);
+        assert_eq!(mid.get(0), pts[1]);
+        assert_eq!(mid.range(1, 1).get(0), pts[2]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut soa = PointSoA::from_points(&[Vec3::X; 10]);
+        soa.clear();
+        assert!(soa.is_empty());
+        assert_eq!(soa.len(), 0);
+        soa.push(Vec3::Z);
+        assert_eq!(soa.get(0), Vec3::Z);
+    }
+
+    #[test]
+    fn empty_views() {
+        let soa = PointSoA::new();
+        assert!(soa.view().is_empty());
+        assert_eq!(soa.range(0, 0).len(), 0);
+    }
+}

@@ -13,9 +13,23 @@
 //!
 //! With `h_top = 0` the structure degenerates to a single unordered set —
 //! pure exhaustive search, the extreme the paper notes.
+//!
+//! Leaf sets keep their public index form ([`LeafSet::points`], which the
+//! accelerator model replays), but the scan hot path works on a private
+//! structure-of-arrays arena: every leaf's coordinates are banked
+//! contiguously ([`crate::soa::PointSoA`]) in leaf order, and exhaustive
+//! scans run through the [`crate::simd`] kernels — the software analogue
+//! of the paper's search units streaming a leaf's unordered set through
+//! the distance datapath.
 
-use crate::{Neighbor, SearchStats};
+use crate::soa::PointSoA;
+use crate::{simd, Neighbor, SearchStats};
 use tigris_geom::Vec3;
+
+/// Points per [`crate::simd::squared_distances`] block in the k-NN leaf
+/// scan (leaf sets can be arbitrarily large, so the scratch buffer is
+/// fixed and the scan is chunked).
+const KNN_SCAN_BLOCK: usize = 64;
 
 /// The default top-tree height for `n_points`: targets leaf sets of ~128
 /// points (the paper's configuration: ~130k points at height 10 ⇒
@@ -96,6 +110,12 @@ pub struct TwoStageKdTree {
     leaves: Vec<LeafSet>,
     root: TopChild,
     top_height: usize,
+    /// Leaf point coordinates, SoA, concatenated in leaf order.
+    arena: PointSoA,
+    /// Arena slot → index in `points`; mirrors `leaves[*].points` exactly.
+    arena_ids: Vec<u32>,
+    /// Per-leaf `(start, len)` ranges into the arena.
+    spans: Vec<(u32, u32)>,
 }
 
 impl TwoStageKdTree {
@@ -111,7 +131,29 @@ impl TwoStageKdTree {
         let mut top_nodes = Vec::new();
         let mut leaves = Vec::new();
         let root = build_top(points, &mut indices[..], top_height, &mut top_nodes, &mut leaves);
-        TwoStageKdTree { points: points.to_vec(), top_nodes, leaves, root, top_height }
+        // Bank every leaf's coordinates contiguously for the SIMD scans.
+        let total: usize = leaves.iter().map(|l| l.points.len()).sum();
+        let mut arena = PointSoA::with_capacity(total);
+        let mut arena_ids = Vec::with_capacity(total);
+        let mut spans = Vec::with_capacity(leaves.len());
+        for leaf in &leaves {
+            let start = arena_ids.len() as u32;
+            for &i in &leaf.points {
+                arena.push(points[i as usize]);
+                arena_ids.push(i);
+            }
+            spans.push((start, leaf.points.len() as u32));
+        }
+        TwoStageKdTree {
+            points: points.to_vec(),
+            top_nodes,
+            leaves,
+            root,
+            top_height,
+            arena,
+            arena_ids,
+            spans,
+        }
     }
 
     /// Number of indexed points.
@@ -235,7 +277,8 @@ impl TwoStageKdTree {
     }
 
     /// Exhaustively scans one leaf set for the NN candidate, the back-end
-    /// search-unit operation.
+    /// search-unit operation: one fused distance + horizontal-min kernel
+    /// pass over the leaf's SoA slice.
     pub(crate) fn scan_leaf_nn(
         &self,
         leaf: usize,
@@ -243,15 +286,16 @@ impl TwoStageKdTree {
         best: &mut Neighbor,
         stats: &mut SearchStats,
     ) {
-        let set = &self.leaves[leaf];
+        let (start, len) = self.spans[leaf];
+        let (start, len) = (start as usize, len as usize);
         stats.leaves_scanned += 1;
-        stats.leaf_points_scanned += set.points.len() as u64;
-        for &i in &set.points {
-            let d2 = query.distance_squared(self.points[i as usize]);
+        stats.leaf_points_scanned += len as u64;
+        let view = self.arena.range(start, len);
+        if let Some((d2, id)) = simd::nn_reduce(query, view, &self.arena_ids[start..start + len]) {
             if d2 < best.distance_squared
-                || (d2 == best.distance_squared && (i as usize) < best.index)
+                || (d2 == best.distance_squared && (id as usize) < best.index)
             {
-                *best = Neighbor::new(i as usize, d2);
+                *best = Neighbor::new(id as usize, d2);
             }
         }
     }
@@ -305,12 +349,21 @@ impl TwoStageKdTree {
         match child {
             TopChild::None => {}
             TopChild::Leaf(l) => {
-                let set = &self.leaves[l as usize];
+                let (start, len) = self.spans[l as usize];
+                let (start, len) = (start as usize, len as usize);
                 stats.leaves_scanned += 1;
-                stats.leaf_points_scanned += set.points.len() as u64;
-                for &i in &set.points {
-                    let d2 = query.distance_squared(self.points[i as usize]);
-                    offer(i as usize, d2, heap);
+                stats.leaf_points_scanned += len as u64;
+                // Blockwise distance kernel; candidates offered in scan
+                // order, so heap evolution matches the scalar loop.
+                let mut d2s = [0.0_f64; KNN_SCAN_BLOCK];
+                let mut off = 0;
+                while off < len {
+                    let n = (len - off).min(KNN_SCAN_BLOCK);
+                    simd::squared_distances(query, self.arena.range(start + off, n), &mut d2s[..n]);
+                    for (j, &d2) in d2s[..n].iter().enumerate() {
+                        offer(self.arena_ids[start + off + j] as usize, d2, heap);
+                    }
+                    off += n;
                 }
             }
             TopChild::Node(n) => {
@@ -473,7 +526,9 @@ impl TwoStageKdTree {
         }
     }
 
-    /// Exhaustively scans one leaf set for radius results.
+    /// Exhaustively scans one leaf set for radius results: one masked
+    /// radius-compare kernel pass over the leaf's SoA slice, appending
+    /// hits in scan order.
     pub(crate) fn scan_leaf_radius(
         &self,
         leaf: usize,
@@ -482,15 +537,17 @@ impl TwoStageKdTree {
         out: &mut Vec<Neighbor>,
         stats: &mut SearchStats,
     ) {
-        let set = &self.leaves[leaf];
+        let (start, len) = self.spans[leaf];
+        let (start, len) = (start as usize, len as usize);
         stats.leaves_scanned += 1;
-        stats.leaf_points_scanned += set.points.len() as u64;
-        for &i in &set.points {
-            let d2 = query.distance_squared(self.points[i as usize]);
-            if d2 <= r2 {
-                out.push(Neighbor::new(i as usize, d2));
-            }
-        }
+        stats.leaf_points_scanned += len as u64;
+        simd::radius_collect(
+            query,
+            self.arena.range(start, len),
+            &self.arena_ids[start..start + len],
+            r2,
+            out,
+        );
     }
 }
 
@@ -702,6 +759,29 @@ mod tests {
         // Every point becomes a top node or a tiny/empty leaf; searches stay exact.
         let q = Vec3::new(1.0, 1.0, 1.0);
         assert_eq!(tree.nn(q).unwrap().index, nn_brute_force(&pts, q).unwrap().index);
+    }
+
+    #[test]
+    fn arena_mirrors_leaf_sets_exactly() {
+        // The public LeafSet index lists and the private SoA arena must
+        // stay two views of the same layout: same ids, same order, same
+        // coordinates.
+        for h in [0usize, 2, 4, 7] {
+            let pts = lcg_cloud(700, 61);
+            let tree = TwoStageKdTree::build(&pts, h);
+            assert_eq!(tree.spans.len(), tree.leaves().len());
+            let mut cursor = 0u32;
+            for (leaf, &(start, len)) in tree.leaves().iter().zip(&tree.spans) {
+                assert_eq!(start, cursor, "h = {h}");
+                assert_eq!(len as usize, leaf.points.len());
+                for (slot, &i) in leaf.points.iter().enumerate() {
+                    assert_eq!(tree.arena_ids[start as usize + slot], i);
+                    assert_eq!(tree.arena.get(start as usize + slot), pts[i as usize]);
+                }
+                cursor += len;
+            }
+            assert_eq!(cursor as usize, tree.arena.len());
+        }
     }
 
     #[test]

@@ -6,7 +6,10 @@
 
 use proptest::prelude::*;
 use tigris_core::batch::{BatchConfig, BatchSearcher};
-use tigris_core::{ApproxConfig, ApproxSearcher, KdTree, SearchStats, TwoStageKdTree};
+use tigris_core::simd::{LANES, LANES_HALF};
+use tigris_core::{
+    ApproxConfig, ApproxSearcher, BruteForceIndex, KdTree, SearchStats, TwoStageKdTree,
+};
 use tigris_geom::Vec3;
 
 fn point() -> impl Strategy<Value = Vec3> {
@@ -157,6 +160,72 @@ proptest! {
         prop_assert_eq!(serial_radius, batch_radius);
         prop_assert_eq!(serial_stats, batch_stats);
         prop_assert_eq!(serial.leader_count(), batched.leader_count());
+    }
+
+    /// The SoA scan path under worker splits that straddle the SIMD block
+    /// widths: every combination of a work-chunk size and a query count one
+    /// step around 4 / 8 / 16 forces remainder lanes inside the kernels
+    /// while the batch engine splits the stream at awkward offsets.
+    #[test]
+    fn soa_chunks_straddling_simd_widths_equal_serial(
+        pts in cloud(), r in 0.0f64..30.0, threads in 0usize..5,
+    ) {
+        for min_chunk in [LANES_HALF - 1, LANES_HALF, LANES_HALF + 1,
+                          LANES - 1, LANES, LANES + 1,
+                          2 * LANES - 1, 2 * LANES, 2 * LANES + 1] {
+            let cfg = BatchConfig { threads, min_chunk };
+            for n_queries in [LANES - 1, LANES, LANES + 1, 2 * LANES + 1] {
+                let qs: Vec<Vec3> = (0..n_queries)
+                    .map(|i| Vec3::new(i as f64 * 1.7 - 10.0, (i % 5) as f64, -2.0))
+                    .collect();
+                assert_batch_equals_serial!(
+                    KdTree::build(&pts),
+                    qs,
+                    cfg,
+                    |t: &mut KdTree, q, s: &mut SearchStats| t.radius_single(q, r, s),
+                    |t: &mut KdTree, qs: &[Vec3], c: &BatchConfig, s: &mut SearchStats| {
+                        t.radius_batch(qs, r, c, s)
+                    }
+                );
+                assert_batch_equals_serial!(
+                    BruteForceIndex::new(pts.clone()),
+                    qs,
+                    cfg,
+                    |t: &mut BruteForceIndex, q, s: &mut SearchStats| t.nn_single(q, s),
+                    |t: &mut BruteForceIndex, qs: &[Vec3], c: &BatchConfig, s: &mut SearchStats| {
+                        t.nn_batch(qs, c, s)
+                    }
+                );
+            }
+        }
+    }
+
+    /// Cloud sizes one step around the SoA leaf capacity (2 × LANES) and
+    /// the block widths: the tree build emits leaves with every remainder
+    /// occupancy, and batched queries must stay bit-identical to serial.
+    #[test]
+    fn clouds_straddling_leaf_capacity_equal_serial(
+        qs in queries(), k in 1usize..6, cfg in batch_cfg(), seed in 0u64..1000,
+    ) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 40.0 - 20.0
+        };
+        for n in [LANES_HALF, LANES - 1, LANES, LANES + 1,
+                  2 * LANES - 1, 2 * LANES, 2 * LANES + 1,
+                  4 * LANES - 1, 4 * LANES + 1] {
+            let pts: Vec<Vec3> = (0..n).map(|_| Vec3::new(next(), next(), next())).collect();
+            assert_batch_equals_serial!(
+                KdTree::build(&pts),
+                qs,
+                cfg,
+                |t: &mut KdTree, q, s: &mut SearchStats| t.knn_single(q, k, s),
+                |t: &mut KdTree, qs: &[Vec3], c: &BatchConfig, s: &mut SearchStats| {
+                    t.knn_batch(qs, k, c, s)
+                }
+            );
+        }
     }
 
     /// Per-thread stats merge losslessly: summing arbitrary partitions of

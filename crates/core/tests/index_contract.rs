@@ -99,6 +99,113 @@ fn knn_boundary_ties_break_to_lower_index_on_every_exact_backend() {
     }
 }
 
+/// Degenerate geometries that collapse one or more split dimensions: the
+/// median-split build must still terminate, partition soundly, and answer
+/// exactly. Each fixture pairs a cloud with probe queries on and off the
+/// degenerate subspace.
+fn degenerate_fixtures() -> Vec<(&'static str, Vec<Vec3>, Vec<Vec3>)> {
+    let collinear: Vec<Vec3> = (0..97).map(|i| Vec3::new(i as f64 * 0.25, 3.0, -1.0)).collect();
+    let coincident = vec![Vec3::new(0.5, -0.5, 2.0); 64];
+    let single = vec![Vec3::new(-7.0, 0.0, 1.0)];
+    let plane_xy: Vec<Vec3> =
+        (0..144).map(|i| Vec3::new((i % 12) as f64, (i / 12) as f64, 4.0)).collect();
+    let plane_yz: Vec<Vec3> =
+        (0..100).map(|i| Vec3::new(-2.0, (i % 10) as f64 * 0.5, (i / 10) as f64 * 0.5)).collect();
+    let two_planes: Vec<Vec3> = (0..80)
+        .map(|i| {
+            Vec3::new((i % 8) as f64, ((i / 8) % 5) as f64, if i % 2 == 0 { 0.0 } else { 9.0 })
+        })
+        .collect();
+    vec![
+        (
+            "all-collinear",
+            collinear,
+            vec![
+                Vec3::new(5.1, 3.0, -1.0),
+                Vec3::new(12.0, 10.0, 10.0),
+                Vec3::new(-1.0, 3.0, -1.0),
+            ],
+        ),
+        (
+            "all-coincident",
+            coincident,
+            vec![Vec3::new(0.5, -0.5, 2.0), Vec3::new(1.5, -0.5, 2.0), Vec3::ZERO],
+        ),
+        ("single-point", single, vec![Vec3::new(-7.0, 0.0, 1.0), Vec3::ZERO]),
+        (
+            "axis-aligned-plane-xy",
+            plane_xy,
+            vec![Vec3::new(5.5, 5.5, 4.0), Vec3::new(5.5, 5.5, -30.0), Vec3::new(0.0, 11.0, 4.5)],
+        ),
+        (
+            "axis-aligned-plane-yz",
+            plane_yz,
+            vec![Vec3::new(-2.0, 2.2, 2.2), Vec3::new(40.0, 0.0, 0.0)],
+        ),
+        (
+            "two-parallel-planes",
+            two_planes,
+            vec![Vec3::new(3.0, 2.0, 4.5), Vec3::new(3.0, 2.0, 4.6), Vec3::new(7.0, 4.0, 9.0)],
+        ),
+    ]
+}
+
+#[test]
+fn exact_backends_survive_degenerate_geometry_bit_for_bit() {
+    for (fixture, pts, probes) in degenerate_fixtures() {
+        for name in EXACT_BACKENDS {
+            let mut index = build_backend(name, &pts).unwrap();
+            let mut stats = SearchStats::new();
+            for &q in &probes {
+                let nn = index.nn(q, &mut stats).unwrap();
+                let oracle = nn_brute_force(&pts, q).unwrap();
+                assert_eq!(
+                    (nn.index, nn.distance_squared),
+                    (oracle.index, oracle.distance_squared),
+                    "{name} on {fixture}: nn mismatch"
+                );
+                // k at, below and beyond the cloud size; coincident clouds
+                // make every candidate an exact tie.
+                for k in [1, 2, pts.len(), pts.len() + 5] {
+                    assert_eq!(
+                        index.knn(q, k, &mut stats),
+                        knn_brute_force(&pts, q, k),
+                        "{name} on {fixture}: knn mismatch at k={k}"
+                    );
+                }
+                // Radii from zero through "covers everything".
+                for r in [0.0, 0.5, 3.0, 1000.0] {
+                    assert_eq!(
+                        index.radius(q, r, &mut stats),
+                        radius_brute_force(&pts, q, r),
+                        "{name} on {fixture}: radius mismatch at r={r}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_geometry_batches_match_serial() {
+    // The SoA leaf arenas see pathological layouts here (every point in
+    // one leaf chain, duplicated coordinates across all lanes); batched
+    // execution must still be a pure reordering of the serial scan.
+    let cfg = BatchConfig { threads: 3, min_chunk: 2 };
+    for (fixture, pts, probes) in degenerate_fixtures() {
+        for name in EXACT_BACKENDS {
+            let mut serial = build_backend(name, &pts).unwrap();
+            let mut batched = build_backend(name, &pts).unwrap();
+            let mut s_stats = SearchStats::new();
+            let mut b_stats = SearchStats::new();
+            let s_nn: Vec<_> = probes.iter().map(|&q| serial.nn(q, &mut s_stats)).collect();
+            let b_nn = batched.nn_batch(&probes, &cfg, &mut b_stats);
+            assert_eq!(s_nn, b_nn, "{name} on {fixture}: batched nn differs");
+            assert_eq!(s_stats, b_stats, "{name} on {fixture}: stats merge");
+        }
+    }
+}
+
 #[test]
 fn approx_backend_stays_within_algorithm1_bound() {
     let pts = lcg_cloud(4000, 4);

@@ -73,22 +73,27 @@ proptest! {
     }
 
     #[test]
-    fn two_stage_never_visits_fewer_nodes_than_classic(
+    fn two_stage_never_visits_fewer_nodes_than_fully_split(
         pts in prop::collection::vec(point(), 64..400),
         queries in prop::collection::vec(point(), 1..20),
         h in 0usize..6,
     ) {
-        // The redundancy ratio of Fig. 6a is ≥ 1 by construction: the
-        // two-stage structure can only add work relative to the classic tree.
-        let classic = KdTree::build(&pts);
+        // The redundancy ratio of Fig. 6a is ≥ 1 by construction: shrinking
+        // the top tree can only add work relative to the fully split tree.
+        // The baseline is a two-stage tree whose top tree is deep enough to
+        // isolate every point (one point per node) — the classic layout the
+        // paper compares against. The bucketized `KdTree` is no longer that
+        // baseline: it bills whole SoA leaf scans, so its totals are not
+        // comparable node-for-node.
+        let deep = TwoStageKdTree::build(&pts, 12);
         let two = TwoStageKdTree::build(&pts, h);
         let mut sc = SearchStats::new();
         let mut st = SearchStats::new();
         for &q in &queries {
-            classic.nn_with_stats(q, &mut sc);
+            deep.nn_with_stats(q, &mut sc);
             two.nn_with_stats(q, &mut st);
         }
-        // Allow equality (deep top-trees degenerate to the classic tree).
+        // Allow equality (deep top-trees degenerate to the baseline).
         prop_assert!(st.total_nodes_visited() + 8 >= sc.total_nodes_visited());
     }
 

@@ -6,8 +6,10 @@
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
 //! * strategies: numeric ranges, tuples of strategies, [`Just`],
 //!   [`any`]`::<bool>()`, `prop::bool::ANY`, `prop::collection::vec`
-//!   (with a fixed size or a size range), and the [`Strategy::prop_map`] /
-//!   [`Strategy::prop_filter_map`] combinators,
+//!   (with a fixed size or a size range), the weighted [`prop_oneof!`]
+//!   union, and the [`Strategy::prop_map`] / [`Strategy::prop_filter_map`]
+//!   / [`Strategy::prop_flat_map`] / [`Strategy::prop_shuffle`]
+//!   combinators,
 //! * [`prop_assert!`] / [`prop_assert_eq!`], with optional format messages.
 //!
 //! Differences from the real crate (intentional; this shim exists so the
@@ -67,6 +69,23 @@ pub trait Strategy {
     {
         Filter { inner: self, reason, f }
     }
+
+    /// Derives a second strategy from each generated value and draws the
+    /// final value from it (dependent generation).
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Randomly permutes generated `Vec` values (Fisher–Yates).
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+    {
+        Shuffle { inner: self }
+    }
 }
 
 /// See [`Strategy::prop_map`].
@@ -112,6 +131,82 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
     type Value = S::Value;
     fn try_generate(&self, rng: &mut StdRng) -> Option<S::Value> {
         self.inner.try_generate(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn try_generate(&self, rng: &mut StdRng) -> Option<S2::Value> {
+        let seed = self.inner.try_generate(rng)?;
+        (self.f)(seed).try_generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_shuffle`].
+#[derive(Debug, Clone)]
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<T, S: Strategy<Value = Vec<T>>> Strategy for Shuffle<S> {
+    type Value = Vec<T>;
+    fn try_generate(&self, rng: &mut StdRng) -> Option<Vec<T>> {
+        let mut v = self.inner.try_generate(rng)?;
+        for i in (1..v.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            v.swap(i, j);
+        }
+        Some(v)
+    }
+}
+
+/// A weighted union of strategies over one value type; build with
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+}
+
+impl<T> Union<T> {
+    /// An empty union. Generating from it panics; add arms with
+    /// [`Union::or`].
+    pub fn empty() -> Self {
+        Union { arms: Vec::new() }
+    }
+
+    /// Adds an arm drawn with probability `weight / total_weight`.
+    pub fn or(mut self, weight: u32, strategy: impl Strategy<Value = T> + 'static) -> Self {
+        assert!(weight > 0, "prop_oneof weights must be positive");
+        self.arms.push((weight, Box::new(strategy)));
+        self
+    }
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union").field("arms", &self.arms.len()).finish()
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn try_generate(&self, rng: &mut StdRng) -> Option<T> {
+        let total: u32 = self.arms.iter().map(|(w, _)| w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one arm");
+        let mut pick = rng.gen_range(0..total);
+        for (w, arm) in &self.arms {
+            if pick < *w {
+                return arm.try_generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick out of range")
     }
 }
 
@@ -353,8 +448,28 @@ pub mod test_runner {
 pub mod prelude {
     pub use super::test_runner::Config as ProptestConfig;
     pub use super::test_runner::TestCaseError;
-    pub use super::{any, prop, Any, Arbitrary, Just, Strategy};
-    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use super::{any, prop, Any, Arbitrary, Just, Strategy, Union};
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Draws from one of several strategies, optionally weighted. Mirrors
+/// `proptest::prop_oneof!`:
+///
+/// ```ignore
+/// prop_oneof![Just(0.0), Just(1.0)]            // uniform
+/// prop_oneof![9 => -1.0f64..1.0, 1 => Just(0.0)] // weighted 9:1
+/// ```
+///
+/// All arms must yield the same value type; each arm is boxed into a
+/// [`Union`].
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::empty()$(.or($weight as u32, $strat))+
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::empty()$(.or(1u32, $strat))+
+    };
 }
 
 /// Defines property tests. Mirrors `proptest::proptest!`:
@@ -488,6 +603,29 @@ mod tests {
             y in (0.0f64..1.0).prop_filter_map("upper half", |y| (y > 0.5).then_some(y)),
         ) {
             prop_assert!(y > 0.5, "got {y}");
+        }
+
+        #[test]
+        fn flat_map_generates_dependently(
+            v in (1usize..6).prop_flat_map(|n| prop::collection::vec(0u64..10, n)),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+        }
+
+        #[test]
+        fn shuffle_permutes_without_loss(
+            v in Just((0u64..20).collect::<Vec<u64>>()).prop_shuffle(),
+        ) {
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0u64..20).collect::<Vec<u64>>());
+        }
+
+        #[test]
+        fn oneof_draws_only_listed_arms(
+            x in prop_oneof![2 => Just(1u64), 1 => Just(7u64), 1 => 100u64..103],
+        ) {
+            prop_assert!(x == 1 || x == 7 || (100..103).contains(&x), "got {x}");
         }
     }
 

@@ -140,6 +140,50 @@ fn streaming_odometer_matches_recompute_baseline_bitwise() {
 }
 
 #[test]
+fn velocity_prior_slack_constants_are_pinned() {
+    // The odometer's velocity-prior gate and the recompute baseline above
+    // must widen their search windows by the *same* slack, or the streams
+    // silently diverge while each looks individually plausible. These are
+    // re-exported from one definition site (`pipeline.rs`); pin the values
+    // so a "harmless" retune screams here instead of as a one-ULP pose
+    // drift three tests away.
+    use tigris::pipeline::{PRIOR_ROTATION_SLACK, PRIOR_TRANSLATION_SLACK};
+    assert_eq!(PRIOR_TRANSLATION_SLACK, 2.0, "translation slack (meters)");
+    assert_eq!(PRIOR_ROTATION_SLACK, 0.2, "rotation slack (radians)");
+}
+
+#[test]
+fn recompute_baseline_survives_the_soa_layout_swap() {
+    // The search backends now bank leaf points as structure-of-arrays and
+    // scan them with SIMD kernels. The kernels are bit-identical to the
+    // scalar reference, so a freshly prepared frame must still register
+    // bit-identically against itself under a motion prior — the exact
+    // computation `streaming_odometer_matches_recompute_baseline_bitwise`
+    // assumes when it compares reuse against recompute.
+    let seq = test_sequence();
+    let cfg = RegistrationConfig::default();
+
+    let mut s1 = prepare_frame(seq.frame(2), &cfg).unwrap();
+    let mut t1 = prepare_frame(seq.frame(1), &cfg).unwrap();
+    let first = register_prepared(&mut s1, &mut t1, &cfg).unwrap();
+
+    let prior = first.transform;
+    let mut s2 = prepare_frame(seq.frame(2), &cfg).unwrap();
+    let mut t2 = prepare_frame(seq.frame(1), &cfg).unwrap();
+    let with_prior = register_prepared_with_prior(&mut s2, &mut t2, &cfg, Some(&prior)).unwrap();
+    let mut s3 = prepare_frame(seq.frame(2), &cfg).unwrap();
+    let mut t3 = prepare_frame(seq.frame(1), &cfg).unwrap();
+    let again = register_prepared_with_prior(&mut s3, &mut t3, &cfg, Some(&prior)).unwrap();
+
+    // Same artifacts, same prior → bitwise-identical everything.
+    assert_same_registration(&with_prior, &again, "prior-gated recompute determinism");
+    assert_eq!(
+        with_prior.profile.search_stats, again.profile.search_stats,
+        "search accounting must be deterministic under the SoA layout"
+    );
+}
+
+#[test]
 fn long_sequence_drift_stays_bounded() {
     // A longer, lower-resolution stream: the odometer must stay within
     // KITTI-style error bounds over the whole trajectory, proving reuse
