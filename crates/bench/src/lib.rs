@@ -21,6 +21,7 @@ pub mod plot;
 pub mod reference;
 pub mod report;
 pub mod serve;
+pub mod shard;
 pub mod workload;
 
 /// Reads a `usize` knob from the environment, falling back to `default`

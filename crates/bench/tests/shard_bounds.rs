@@ -1,0 +1,226 @@
+//! Release-scale acceptance for sharded serving: on a 10× map, tile
+//! routing must be genuinely selective, concurrent sessions under a
+//! tile budget far below the whole map must localize bit-identically to
+//! the whole-snapshot service, an epoch hot-swap mid-stream must drop
+//! no session and diverge no pose, and peak resident bytes must stay
+//! bounded below the everything-resident baseline. Run explicitly:
+//!
+//! ```text
+//! cargo test -p tigris-bench --release --test shard_bounds -- --ignored --nocapture
+//! ```
+
+use std::sync::{Arc, Barrier};
+
+use tigris_bench::shard::{fixture_config, publish_and_freeze, trajectory_probes, PROBE_RADIUS};
+use tigris_data::Sequence;
+use tigris_map::{Mapper, MapperConfig};
+use tigris_serve::shard::{EpochPublisher, EpochView, ShardConfig, ShardService, TilingConfig};
+use tigris_serve::{LocalizationService, ServeConfig, SessionStep};
+
+/// The 10× floor the acceptance criteria name: a 600 m circuit vs. the
+/// 60 m serving fixture.
+const SCALE: usize = 10;
+
+/// Concurrent localization sessions served under the tile budget.
+const SESSIONS: usize = 4;
+
+/// Frames held back from the first publish, mapped afterwards to make
+/// the hot-swapped epoch a genuine content change.
+const EPOCH2_FRAMES: usize = 3;
+
+/// Frames each session localizes: one cold start, then tracking.
+const SCRIPT_LEN: usize = 3;
+
+/// Cold-start frames spread around the circuit, proven to verify on
+/// this fixture (drifted stretches of the 600 m map reject their own
+/// queries at the verification gates, as they should).
+const COLD_STARTS: [usize; SESSIONS] = [2, 151, 250, 449];
+
+fn session_scripts() -> Vec<Vec<usize>> {
+    COLD_STARTS.iter().map(|&start| (start..start + SCRIPT_LEN).collect()).collect()
+}
+
+fn run_scripts_sequentially(
+    service: &ShardService,
+    seq: &Sequence,
+    scripts: &[Vec<usize>],
+) -> Vec<Vec<SessionStep>> {
+    scripts
+        .iter()
+        .map(|script| {
+            let mut session = service.open_session().expect("control admission");
+            script
+                .iter()
+                .map(|&f| session.localize(seq.frame(f)).expect("control localize"))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+#[ignore = "release-scale acceptance benchmark; run with --ignored"]
+fn sharded_serving_is_selective_bounded_and_swap_safe_at_scale() {
+    let seq = Sequence::generate(&fixture_config(SCALE), 7);
+    let prefix = seq.len() - EPOCH2_FRAMES;
+
+    // The live mapper: publish epoch 1 mid-stream, keep mapping,
+    // publish epoch 2 copy-on-write.
+    let mut live = Mapper::new(MapperConfig::serving());
+    for i in 0..prefix {
+        live.push(seq.frame(i)).expect("mapping frame failed");
+    }
+    let mut publisher = EpochPublisher::new();
+    let epoch1 = publisher.publish(&live).expect("epoch 1 publish");
+    for i in prefix..seq.len() {
+        live.push(seq.frame(i)).expect("mapping frame failed");
+    }
+    let shared_before = publisher.payloads_shared();
+    let copied_before = publisher.payloads_copied();
+    let epoch2 = publisher.publish(&live).expect("epoch 2 publish");
+    let shared = publisher.payloads_shared() - shared_before;
+    let copied = publisher.payloads_copied() - copied_before;
+    assert!(
+        shared > copied,
+        "CoW re-publish must share most submaps at scale ({shared} shared, {copied} copied)"
+    );
+    drop(live);
+
+    // The whole-snapshot oracle: an identical prefix build, frozen whole.
+    let mut oracle = Mapper::new(MapperConfig::serving());
+    let oracle_seq = Sequence::generate(&fixture_config(SCALE), 7);
+    for i in 0..prefix {
+        oracle.push(oracle_seq.frame(i)).expect("mapping frame failed");
+    }
+    let whole_map_bytes: usize = oracle.submaps().iter().map(|s| s.memory_bytes()).sum();
+    let poses = oracle.poses().to_vec();
+    let (oracle_epoch, snapshot) = publish_and_freeze(oracle);
+    assert_eq!(oracle_epoch.total_points(), epoch1.total_points(), "prefix builds must agree");
+
+    // Selectivity: at this scale the map outgrows the scanner, so
+    // probes must route to strict subsets of the tiles.
+    let view = EpochView::new(Arc::clone(&epoch1), &TilingConfig::default());
+    let tiles = view.router().tiles().len();
+    let probes = trajectory_probes(&poses, 3);
+    let coverings: Vec<usize> =
+        probes.iter().map(|&p| view.router().covering(p, PROBE_RADIUS).len()).collect();
+    assert!(tiles >= 10, "the 10x map must cut into many tiles, got {tiles}");
+    assert!(
+        coverings.iter().all(|&c| c < tiles),
+        "every on-trajectory probe must route to a strict subset of {tiles} tiles"
+    );
+    let mean_fraction = coverings.iter().sum::<usize>() as f64 / (coverings.len() * tiles) as f64;
+    eprintln!("routing: {tiles} tiles, mean covering fraction {mean_fraction:.3}");
+    assert!(mean_fraction < 0.8, "routing must exclude a real share of the map");
+
+    // The budgeted service: a quarter of the everything-resident
+    // baseline.
+    let budget = whole_map_bytes / 4;
+    let config = ShardConfig {
+        serve: ServeConfig { max_sessions: SESSIONS + 1, ..ServeConfig::default() },
+        tile_budget_bytes: budget,
+        ..ShardConfig::default()
+    };
+    let service = ShardService::with_epoch(Arc::clone(&epoch1), config.clone());
+
+    // Tile-routed answers under the budget are bit-identical to the
+    // whole snapshot's.
+    let batch = snapshot.registration_config().parallel;
+    let expected = snapshot.query_batch(&probes, PROBE_RADIUS, &batch);
+    let tiled = service.query_batch(&probes, PROBE_RADIUS).expect("tiled batch");
+    for (i, (a, b)) in expected.iter().zip(&tiled).enumerate() {
+        assert_eq!(a, b, "probe {i}: budgeted tile routing diverged from the whole snapshot");
+    }
+
+    // Control pose streams: the same scripts served start-to-finish by a
+    // service that never swaps epochs.
+    let scripts = session_scripts();
+    let control_service = ShardService::with_epoch(Arc::clone(&epoch1), config);
+    let control = run_scripts_sequentially(&control_service, &seq, &scripts);
+    let frozen_service = LocalizationService::new(Arc::clone(&snapshot), ServeConfig::default());
+    let mut frozen_session = frozen_service.open_session().expect("frozen admission");
+    let frozen_steps: Vec<SessionStep> = scripts[0]
+        .iter()
+        .map(|&f| frozen_session.localize(seq.frame(f)).expect("frozen localize"))
+        .collect();
+
+    // The swap run: four threads localize concurrently under the
+    // budget; between their first and second frames the main thread
+    // hot-swaps in epoch 2. Every session must finish on its pinned
+    // epoch with the control's exact poses — zero drops, zero
+    // divergence.
+    let barrier = Barrier::new(SESSIONS + 1);
+    let swapped: Vec<Vec<SessionStep>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = scripts
+            .iter()
+            .map(|script| {
+                let service = &service;
+                let seq = &seq;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut session = service.open_session().expect("swap-run admission");
+                    assert_eq!(session.epoch_version(), 1);
+                    let mut steps = Vec::with_capacity(script.len());
+                    steps.push(session.localize(seq.frame(script[0])).expect("cold start"));
+                    barrier.wait(); // all sessions live, first frame done
+                    barrier.wait(); // main thread has installed epoch 2
+                    for &f in &script[1..] {
+                        steps.push(session.localize(seq.frame(f)).expect("post-swap localize"));
+                    }
+                    assert_eq!(session.epoch_version(), 1, "sessions drain on their pinned epoch");
+                    steps
+                })
+            })
+            .collect();
+        barrier.wait();
+        service.install_epoch(Arc::clone(&epoch2));
+        assert_eq!(service.current_epoch().expect("current").version(), 2);
+        barrier.wait();
+        handles.into_iter().map(|h| h.join().expect("no session thread may die")).collect()
+    });
+
+    // Zero pose divergence: swap run vs. never-swapped control, and the
+    // first script vs. the frozen whole-snapshot service.
+    for (s, (got, want)) in swapped.iter().zip(&control).enumerate() {
+        for (f, (a, b)) in got.iter().zip(want).enumerate() {
+            assert!(
+                a.pose.translation == b.pose.translation && a.pose.rotation == b.pose.rotation,
+                "session {s} frame {f}: hot swap diverged a pose"
+            );
+        }
+    }
+    for (f, (a, b)) in swapped[0].iter().zip(&frozen_steps).enumerate() {
+        assert!(
+            a.pose.translation == b.pose.translation && a.pose.rotation == b.pose.rotation,
+            "frame {f}: sharded pose diverged from the frozen snapshot service"
+        );
+    }
+
+    // New sessions pin the swapped-in epoch; the bounded-residency
+    // claim holds over the whole run.
+    let mut post = service.open_session().expect("post-swap admission");
+    assert_eq!(post.epoch_version(), 2);
+    post.localize(seq.frame(2)).expect("cold start on epoch 2");
+    drop(post);
+
+    let stats = service.stats();
+    eprintln!(
+        "budget {budget} B of {whole_map_bytes} B whole-map: peak {} B, {} loads, {} evictions, {} hits",
+        stats.tiles.peak_resident_bytes, stats.tiles.loads, stats.tiles.evictions, stats.tiles.hits
+    );
+    assert_eq!(stats.frames, SESSIONS * SCRIPT_LEN + 1);
+    assert_eq!(stats.sessions_admitted, SESSIONS + 1);
+    assert_eq!(stats.sessions_active, 0, "every session released its slot");
+    assert!(stats.tiles.loads > 0 && stats.tiles.hits > 0);
+    assert!(
+        stats.tiles.peak_resident_bytes < whole_map_bytes / 2,
+        "peak residency {} must stay well below the everything-resident baseline {}",
+        stats.tiles.peak_resident_bytes,
+        whole_map_bytes
+    );
+    let end = service.stats().tiles;
+    assert!(
+        end.resident_bytes <= budget || end.resident_tiles == 1,
+        "the budget must hold at rest ({} B resident over {budget} B)",
+        end.resident_bytes
+    );
+}

@@ -173,6 +173,16 @@ impl DynamicMapIndex {
         self.fresh_capacity
     }
 
+    /// Heap bytes held by the index: the insertion-order point array, the
+    /// settled tree and the fresh buffer (capacities, i.e. what the
+    /// allocator charges). Feeds the serving layer's residency budget.
+    pub fn memory_bytes(&self) -> usize {
+        self.points.capacity() * std::mem::size_of::<Vec3>()
+            + self.tree.memory_bytes()
+            + self.fresh.memory_bytes()
+            + self.fresh_ids.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// Meters one merged query: the tree half's traversal counters are
     /// folded in without double-counting the query itself, and the fresh
     /// scan bills one distance computation per buffered point.
@@ -569,6 +579,28 @@ mod tests {
             );
             assert_eq!(batch_stats, serial_stats, "stats must merge losslessly");
         }
+    }
+
+    #[test]
+    fn memory_bytes_tracks_insertions_across_rebuilds() {
+        let mut idx = DynamicMapIndex::with_fresh_capacity(64);
+        assert_eq!(idx.memory_bytes(), 0);
+        let mut at_prev_milestone = 0;
+        for (i, p) in lcg_points(1000, 9).into_iter().enumerate() {
+            idx.insert(p);
+            // Live data is always charged, whether a point currently sits
+            // in the fresh buffer or the settled tree.
+            assert!(idx.memory_bytes() >= (i + 1) * std::mem::size_of::<Vec3>());
+            if (i + 1) % 250 == 0 {
+                let now = idx.memory_bytes();
+                assert!(now > at_prev_milestone, "{now} at {} points", i + 1);
+                at_prev_milestone = now;
+            }
+        }
+        // A rebuild folds the fresh buffer into the tree; the settled tree
+        // (two point copies + ids) still dominates the accounting.
+        idx.rebuild();
+        assert!(idx.memory_bytes() >= idx.tree.memory_bytes());
     }
 
     #[test]

@@ -150,6 +150,16 @@ impl KdTree {
         self.nodes.iter().filter(|s| matches!(s, Slot::Leaf { .. })).count()
     }
 
+    /// Heap bytes held by the tree: the point copy, the implicit node
+    /// array, the SoA leaf arena and the id map (capacities, i.e. what
+    /// the allocator charges).
+    pub fn memory_bytes(&self) -> usize {
+        self.points.capacity() * std::mem::size_of::<Vec3>()
+            + self.nodes.capacity() * std::mem::size_of::<Slot>()
+            + self.arena.memory_bytes()
+            + self.ids.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// Nearest neighbor of `query`, or `None` for an empty tree.
     pub fn nn(&self, query: Vec3) -> Option<Neighbor> {
         let mut stats = SearchStats::new();
@@ -613,6 +623,22 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn radius_rejects_negative() {
         KdTree::build(&[Vec3::ZERO]).radius(Vec3::ZERO, -0.1);
+    }
+
+    #[test]
+    fn memory_bytes_grows_with_the_point_set() {
+        assert_eq!(KdTree::build(&[]).memory_bytes(), 0);
+        let mut last = 0;
+        for n in [16, 256, 4096] {
+            let tree = KdTree::build(&lcg_cloud(n, 5));
+            let bytes = tree.memory_bytes();
+            // The tree stores the points twice (build-order copy + SoA
+            // arena) plus ids, so the floor is easy to state exactly.
+            let floor = n * (2 * std::mem::size_of::<Vec3>() + std::mem::size_of::<u32>());
+            assert!(bytes >= floor, "n = {n}: {bytes} < {floor}");
+            assert!(bytes > last, "n = {n}: accounting must grow with the point set");
+            last = bytes;
+        }
     }
 
     #[test]

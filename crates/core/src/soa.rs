@@ -145,6 +145,13 @@ impl PointSoA {
     pub fn range(&self, start: usize, len: usize) -> SoaView<'_> {
         self.view().range(start, len)
     }
+
+    /// Heap bytes held by the three coordinate lanes (capacity, not
+    /// length — what the allocator actually charges us for). The basis
+    /// of the serving layer's residency accounting.
+    pub fn memory_bytes(&self) -> usize {
+        (self.xs.capacity() + self.ys.capacity() + self.zs.capacity()) * std::mem::size_of::<f64>()
+    }
 }
 
 #[cfg(test)]
@@ -182,5 +189,24 @@ mod tests {
         let soa = PointSoA::new();
         assert!(soa.view().is_empty());
         assert_eq!(soa.range(0, 0).len(), 0);
+    }
+
+    #[test]
+    fn memory_bytes_tracks_insertions() {
+        let mut soa = PointSoA::new();
+        assert_eq!(soa.memory_bytes(), 0);
+        let mut last = 0;
+        for i in 0..2000 {
+            soa.push(Vec3::splat(i as f64));
+            let now = soa.memory_bytes();
+            assert!(now >= last, "accounting must be monotone under push");
+            // At least the live data must be charged.
+            assert!(now >= soa.len() * 3 * std::mem::size_of::<f64>());
+            last = now;
+        }
+        // with_capacity charges up front, before any push.
+        assert!(
+            PointSoA::with_capacity(512).memory_bytes() >= 512 * 3 * std::mem::size_of::<f64>()
+        );
     }
 }

@@ -233,7 +233,7 @@ impl Mapper {
                 // The displaced reference retires into the map layer: if
                 // it anchors a submap, it becomes that submap's keyframe.
                 if let (Some(prep), Some(submap)) = (retired, self.pending_keyframe.take()) {
-                    self.submaps[submap].keyframe = Some(prep);
+                    self.submaps[submap].set_keyframe(prep);
                 }
                 Ok(self.accept_step(&step.relative, &step.registration))
             }
@@ -437,12 +437,14 @@ impl Mapper {
         let expected = self.poses[anchor_frame].inverse() * self.poses[frame];
 
         let result = {
-            // Disjoint field borrows: the odometer's reference frame is
-            // registered against the submap's stored keyframe.
-            let Mapper { odometer, submaps, config, .. } = self;
-            let current = odometer.reference_frame_mut()?;
-            let keyframe = submaps[submap_id].keyframe.as_mut()?;
-            retrieval::verify_geometry(current, keyframe, &config.registration)?
+            // Clone the keyframe's Arc first so the submap borrow ends
+            // before the odometer's reference frame is borrowed mutably;
+            // the lock serializes against any serving epoch verifying
+            // through the same shared preparation.
+            let keyframe = self.submaps[submap_id].keyframe()?.clone();
+            let current = self.odometer.reference_frame_mut()?;
+            let mut keyframe = keyframe.lock().expect("keyframe lock poisoned");
+            retrieval::verify_geometry(current, &mut keyframe, &self.config.registration)?
         };
         self.stats.frames_prepared += result.profile.frames_prepared;
         self.stats.frames_reused += result.profile.frames_reused;

@@ -80,15 +80,33 @@ impl SignatureIndex {
     /// Panics when an eligible submap's signature dimension differs from
     /// `dim` (the caller's eligibility filter must have enforced it).
     pub fn build(submaps: &[Submap], eligible: &[usize], dim: usize) -> Self {
-        let data: Vec<f64> = eligible
-            .iter()
-            .flat_map(|&id| {
-                let sig = submaps[id].descriptor();
-                assert_eq!(sig.len(), dim, "submap {id} signature dimension mismatch");
-                sig.iter().copied()
-            })
-            .collect();
-        SignatureIndex { ids: eligible.to_vec(), index: KdTreeN::build(&data, dim) }
+        SignatureIndex::from_signatures(
+            eligible.iter().map(|&id| (id, submaps[id].descriptor())),
+            dim,
+        )
+    }
+
+    /// Builds the index from bare `(submap id, signature)` pairs — the
+    /// form consumers that hold signatures outside a `Submap` use (the
+    /// sharded serving layer's epochs keep compact payload archives, not
+    /// live submaps). [`SignatureIndex::build`] delegates here, so both
+    /// construction paths rank identically by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a signature's dimension differs from `dim`.
+    pub fn from_signatures<'a, I>(entries: I, dim: usize) -> Self
+    where
+        I: IntoIterator<Item = (usize, &'a [f64])>,
+    {
+        let mut ids = Vec::new();
+        let mut data = Vec::new();
+        for (id, sig) in entries {
+            assert_eq!(sig.len(), dim, "submap {id} signature dimension mismatch");
+            ids.push(id);
+            data.extend_from_slice(sig);
+        }
+        SignatureIndex { ids, index: KdTreeN::build(&data, dim) }
     }
 
     /// Number of indexed submap signatures.
@@ -227,6 +245,21 @@ pub fn structure_overlap_batched(
     let Some(bounds) = submap.local_bounds() else {
         return 0.0;
     };
+    structure_overlap_indexed(points, relative, submap.index(), bounds, cfg)
+}
+
+/// [`structure_overlap_batched`] over a bare index and its local bounds
+/// instead of a [`Submap`] — the form consumers that rebuilt the index
+/// from an archived payload use (the sharded serving layer's resident
+/// tiles). [`structure_overlap_batched`] delegates here, so the two entry
+/// points cannot drift.
+pub fn structure_overlap_indexed(
+    points: &[Vec3],
+    relative: &RigidTransform,
+    index: &tigris_core::DynamicMapIndex,
+    bounds: &tigris_geom::Aabb,
+    cfg: &BatchConfig,
+) -> f64 {
     let structure_floor = bounds.min.z + OVERLAP_MIN_HEIGHT;
     let transformed: Vec<Vec3> = points
         .iter()
@@ -237,7 +270,7 @@ pub fn structure_overlap_batched(
         return 0.0;
     }
     let mut stats = SearchStats::new();
-    let answers = submap.index().nn_batch_shared(&transformed, cfg, &mut stats);
+    let answers = index.nn_batch_shared(&transformed, cfg, &mut stats);
     let hits = answers
         .iter()
         .filter(|n| matches!(n, Some(n) if n.distance_squared <= OVERLAP_RADIUS * OVERLAP_RADIUS))

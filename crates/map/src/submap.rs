@@ -8,6 +8,8 @@
 //! no index is rebuilt. Queries transform into each submap's frame on the
 //! way in and back to world coordinates on the way out.
 
+use std::sync::{Arc, Mutex};
+
 use tigris_core::DynamicMapIndex;
 use tigris_geom::{Aabb, RigidTransform, Vec3};
 use tigris_pipeline::descriptor::Descriptors;
@@ -61,7 +63,17 @@ pub struct Submap {
     /// the geometric-verification target for loop closures against this
     /// submap. `None` until the anchor frame retires (and permanently for
     /// a submap whose anchor was displaced by a matching failure).
-    pub(crate) keyframe: Option<PreparedFrame>,
+    ///
+    /// Shared `Arc<Mutex<_>>` so serving epochs can reference the same
+    /// preparation the live mapper keeps verifying closures against
+    /// (`PreparedFrame` is not `Clone` — its searcher meters itself and
+    /// therefore needs `&mut` behind a lock).
+    keyframe: Option<Arc<Mutex<PreparedFrame>>>,
+    /// Content revision: bumped whenever the submap's *payload* changes
+    /// (points, signature or keyframe — not the anchor pose, which moves
+    /// the submap rigidly without rewriting it). Copy-on-write epoch
+    /// publishing diffs on this to re-copy only changed submaps.
+    revision: u64,
 }
 
 impl std::fmt::Debug for Submap {
@@ -97,6 +109,7 @@ impl Submap {
             frames: Vec::new(),
             travel: 0.0,
             keyframe: None,
+            revision: 0,
         }
     }
 
@@ -158,13 +171,37 @@ impl Submap {
         self.keyframe.is_some()
     }
 
+    /// The stored keyframe preparation, shared. Epoch publishers clone
+    /// the `Arc` so a serving snapshot verifies against the very same
+    /// preparation the live mapper keeps using; both sides lock per
+    /// verification.
+    pub fn keyframe(&self) -> Option<&Arc<Mutex<PreparedFrame>>> {
+        self.keyframe.as_ref()
+    }
+
+    /// Stores the anchor frame's retired preparation (a content change:
+    /// the submap becomes verifiable).
+    pub(crate) fn set_keyframe(&mut self, keyframe: PreparedFrame) {
+        self.keyframe = Some(Arc::new(Mutex::new(keyframe)));
+        self.revision += 1;
+    }
+
     /// Moves the stored keyframe preparation out of the submap, leaving
     /// `None` behind. The serving layer's freeze path uses this to place
     /// keyframes behind their own locks while the submap's points and
     /// index stay lock-free for shared reads; a submap stripped this way
     /// can no longer verify revisits itself.
-    pub fn take_keyframe(&mut self) -> Option<PreparedFrame> {
+    pub fn take_keyframe(&mut self) -> Option<Arc<Mutex<PreparedFrame>>> {
         self.keyframe.take()
+    }
+
+    /// Content revision: bumped on every payload change (frame insert,
+    /// descriptor absorb, keyframe attach) but *not* on anchor-pose
+    /// corrections. Two reads of the same submap with equal revisions
+    /// hold identical points, signature and keyframe, so copy-on-write
+    /// epoch publishing shares unchanged submaps by revision equality.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Overrides the submap's signature — test-only hook for driving the
@@ -178,6 +215,26 @@ impl Submap {
     /// while empty.
     pub fn local_bounds(&self) -> Option<&Aabb> {
         self.bounds.as_ref()
+    }
+
+    /// The world-frame bounding box of the submap under its current
+    /// anchor pose: the axis-aligned box of the local box's eight rotated
+    /// corners. A superset of the points' true world AABB, which makes it
+    /// a *conservative* spatial-routing bound — any query sphere that
+    /// could reach a point of this submap intersects this box.
+    pub fn world_bounds(&self) -> Option<Aabb> {
+        Some(self.bounds.as_ref()?.transformed(&self.anchor_pose))
+    }
+
+    /// Heap bytes of the submap's *point payload*: the dynamic index plus
+    /// the signature and frame list. The stored keyframe is deliberately
+    /// excluded — it is `Arc`-shared with the mapper/epoch and not freed
+    /// by tile eviction, so charging it to a tile would make the
+    /// residency budget double-count memory eviction cannot reclaim.
+    pub fn memory_bytes(&self) -> usize {
+        self.index.memory_bytes()
+            + self.descriptor.capacity() * std::mem::size_of::<f64>()
+            + self.frames.capacity() * std::mem::size_of::<usize>()
     }
 
     /// The underlying dynamic index (points in the anchor-local frame).
@@ -198,6 +255,7 @@ impl Submap {
         }
         self.index.extend(&transformed);
         self.frames.push(frame);
+        self.revision += 1;
     }
 
     /// Folds one frame's key-point descriptors into the submap's running
@@ -215,6 +273,7 @@ impl Submap {
             }
         }
         self.descriptor_frames += 1;
+        self.revision += 1;
     }
 
     /// All points within `radius` of the world-frame `point`, as
@@ -338,6 +397,60 @@ mod tests {
         assert!(submap.is_empty());
         assert!(submap.query(Vec3::ZERO, 10.0).is_empty());
         assert!(submap.local_bounds().is_none());
+        assert!(submap.world_bounds().is_none());
         assert!(!submap.has_keyframe());
+        assert_eq!(submap.revision(), 0);
+        assert_eq!(submap.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn revision_tracks_content_but_not_pose() {
+        let mut submap = Submap::new(0, 0, RigidTransform::IDENTITY, 64);
+        submap.insert_frame(0, &[Vec3::X, Vec3::Y], &RigidTransform::IDENTITY);
+        assert_eq!(submap.revision(), 1);
+        submap.absorb_descriptors(&Descriptors { dim: 2, data: vec![1.0, 2.0] });
+        assert_eq!(submap.revision(), 2);
+        // An empty descriptor set changes nothing — and bumps nothing.
+        submap.absorb_descriptors(&Descriptors { dim: 2, data: vec![] });
+        assert_eq!(submap.revision(), 2);
+        // Pose-graph corrections move the submap rigidly: no payload
+        // change, no revision bump.
+        submap.set_anchor_pose(RigidTransform::from_translation(Vec3::Z));
+        assert_eq!(submap.revision(), 2);
+    }
+
+    #[test]
+    fn world_bounds_cover_the_points_under_any_anchor() {
+        let anchor = RigidTransform::from_axis_angle(Vec3::Z, 0.7, Vec3::new(-4.0, 2.5, 1.0));
+        let mut submap = Submap::new(0, 0, anchor, 64);
+        let pts: Vec<Vec3> =
+            (0..40).map(|i| Vec3::new((i % 8) as f64, (i / 8) as f64, 0.3 * i as f64)).collect();
+        submap.insert_frame(0, &pts, &RigidTransform::IDENTITY);
+        let world = submap.world_bounds().unwrap();
+        for p in submap.world_points() {
+            assert!(world.contains(p), "{p} outside world bounds");
+        }
+        // Moving the anchor moves the bounds with the points.
+        submap.set_anchor_pose(RigidTransform::from_translation(Vec3::new(100.0, 0.0, 0.0)));
+        let moved = submap.world_bounds().unwrap();
+        for p in submap.world_points() {
+            assert!(moved.contains(p), "{p} outside moved world bounds");
+        }
+        assert!(moved.min.x > world.max.x);
+    }
+
+    #[test]
+    fn memory_bytes_grows_with_inserted_frames() {
+        let mut submap = Submap::new(0, 0, RigidTransform::IDENTITY, 64);
+        let mut last = 0;
+        for f in 0..8 {
+            let pts: Vec<Vec3> =
+                (0..200).map(|i| Vec3::new(i as f64 * 0.1, f as f64, 0.0)).collect();
+            submap.insert_frame(f, &pts, &RigidTransform::IDENTITY);
+            let now = submap.memory_bytes();
+            assert!(now > last, "accounting must grow with inserted frames");
+            assert!(now >= submap.len() * std::mem::size_of::<Vec3>());
+            last = now;
+        }
     }
 }

@@ -40,6 +40,9 @@ pub enum ServeError {
     /// keyframe and a signature — nothing could ever verify a cold-start
     /// query against it.
     UnverifiableMap,
+    /// The sharded service has no published epoch installed yet: there
+    /// is no map version to pin a session or a query to.
+    NoEpoch,
 }
 
 impl std::fmt::Display for ServeError {
@@ -61,6 +64,9 @@ impl std::fmt::Display for ServeError {
             ServeError::EmptyMap => write!(f, "cannot freeze an empty map"),
             ServeError::UnverifiableMap => {
                 write!(f, "cannot freeze a map with no verifiable (keyframed, signed) submap")
+            }
+            ServeError::NoEpoch => {
+                write!(f, "no epoch installed: the sharded service has nothing to serve yet")
             }
         }
     }
@@ -94,6 +100,7 @@ mod tests {
             ServeError::Registration(RegistrationError::EmptyCloud),
             ServeError::EmptyMap,
             ServeError::UnverifiableMap,
+            ServeError::NoEpoch,
         ] {
             assert!(!err.to_string().is_empty());
         }

@@ -31,6 +31,10 @@
 //!   service-wide [`ServeStats`] including p50/p99 request latency; and
 //!   batches cross-session map probes through the snapshot's shared
 //!   batch path ([`MapSnapshot::query_batch`]).
+//! * **Sharded serving** ([`shard`]) — the same serving contract over a
+//!   *live, growing* map: spatially tiled queries, lazy tile residency
+//!   under a byte budget, and versioned copy-on-write epoch hot-swap
+//!   ([`shard::ShardService`]).
 //!
 //! Determinism: with an exact search backend (the default), every
 //! answer a snapshot serves — map queries, retrieval, verification —
@@ -76,13 +80,14 @@ pub mod error;
 pub mod reloc;
 pub mod service;
 pub mod session;
+pub mod shard;
 pub mod snapshot;
 pub mod stats;
 
 pub use config::{RelocConfig, ServeConfig};
 pub use error::ServeError;
-pub use reloc::{relocalize_prepared, Relocalization};
+pub use reloc::{relocalize_prepared, RelocTarget, Relocalization};
 pub use service::LocalizationService;
 pub use session::{Session, SessionPhase, SessionStep, StepKind};
 pub use snapshot::MapSnapshot;
-pub use stats::{LatencyRecorder, LatencySummary, ServeStats, SessionStats};
+pub use stats::{LatencyRecorder, LatencySummary, ServeStats, SessionStats, TileStats};

@@ -17,13 +17,94 @@
 //!
 //! [`SignatureIndex`]: tigris_map::retrieval::SignatureIndex
 
+use tigris_core::BatchConfig;
 use tigris_geom::RigidTransform;
 use tigris_map::descriptor_mean;
-use tigris_pipeline::PreparedFrame;
+use tigris_map::retrieval::RetrievalHit;
+use tigris_pipeline::{PreparedFrame, RegistrationResult};
 
 use crate::config::RelocConfig;
 use crate::error::ServeError;
 use crate::snapshot::MapSnapshot;
+
+/// A map a cold start can relocalize against: signature retrieval,
+/// keyframe verification, structure overlap and frozen poses.
+///
+/// Two backings implement it — the whole-snapshot [`MapSnapshot`] and
+/// the sharded `shard` epoch view — so [`relocalize_prepared`] is *one*
+/// gate pipeline however the map is stored, and "sharded relocalization
+/// answers exactly like whole-snapshot relocalization" is structural.
+pub trait RelocTarget {
+    /// Dimension of the indexed submap signatures.
+    fn signature_dim(&self) -> usize;
+    /// Ranks candidate submaps by signature distance (best first).
+    fn retrieve(
+        &self,
+        signature: &[f64],
+        candidates: usize,
+        max_distance: f64,
+    ) -> Vec<RetrievalHit>;
+    /// Registers the prepared frame against `submap`'s stored keyframe.
+    fn verify_against(
+        &self,
+        submap: usize,
+        frame: &mut PreparedFrame,
+    ) -> Option<RegistrationResult>;
+    /// Structure-overlap fraction of `points` against `submap` under
+    /// `relative`.
+    fn structure_overlap(
+        &self,
+        points: &[tigris_geom::Vec3],
+        relative: &RigidTransform,
+        submap: usize,
+        cfg: &BatchConfig,
+    ) -> f64;
+    /// Trajectory index of `submap`'s anchor keyframe.
+    fn anchor_frame(&self, submap: usize) -> usize;
+    /// Frozen world pose of trajectory frame `frame`.
+    fn frame_pose(&self, frame: usize) -> RigidTransform;
+}
+
+impl RelocTarget for MapSnapshot {
+    fn signature_dim(&self) -> usize {
+        MapSnapshot::signature_dim(self)
+    }
+
+    fn retrieve(
+        &self,
+        signature: &[f64],
+        candidates: usize,
+        max_distance: f64,
+    ) -> Vec<RetrievalHit> {
+        self.retrieval().retrieve(signature, candidates, max_distance)
+    }
+
+    fn verify_against(
+        &self,
+        submap: usize,
+        frame: &mut PreparedFrame,
+    ) -> Option<RegistrationResult> {
+        MapSnapshot::verify_against(self, submap, frame)
+    }
+
+    fn structure_overlap(
+        &self,
+        points: &[tigris_geom::Vec3],
+        relative: &RigidTransform,
+        submap: usize,
+        cfg: &BatchConfig,
+    ) -> f64 {
+        MapSnapshot::structure_overlap(self, points, relative, submap, cfg)
+    }
+
+    fn anchor_frame(&self, submap: usize) -> usize {
+        self.submaps()[submap].anchor_frame()
+    }
+
+    fn frame_pose(&self, frame: usize) -> RigidTransform {
+        self.poses()[frame]
+    }
+}
 
 /// A successful cold-start relocalization, with the evidence that
 /// backs it — the service's *confidence report*.
@@ -54,8 +135,8 @@ pub struct Relocalization {
     pub confidence: f64,
 }
 
-/// Relocalizes a prepared query frame against the snapshot; see the
-/// [module docs](self).
+/// Relocalizes a prepared query frame against any [`RelocTarget`]; see
+/// the [module docs](self).
 ///
 /// # Errors
 ///
@@ -63,8 +144,8 @@ pub struct Relocalization {
 /// candidate or every verified candidate fails a gate. The prepared
 /// frame remains valid — callers retry with the next frame or hand the
 /// preparation to tracking once a later attempt succeeds.
-pub fn relocalize_prepared(
-    snapshot: &MapSnapshot,
+pub fn relocalize_prepared<T: RelocTarget + ?Sized>(
+    snapshot: &T,
     frame: &mut PreparedFrame,
     cfg: &RelocConfig,
 ) -> Result<Relocalization, ServeError> {
@@ -78,8 +159,7 @@ pub fn relocalize_prepared(
 
     let debug = std::env::var("TIGRIS_SERVE_DEBUG").is_ok();
     let batch = frame.config().parallel;
-    let hits =
-        snapshot.retrieval().retrieve(&signature, cfg.candidates, cfg.max_descriptor_distance);
+    let hits = snapshot.retrieve(&signature, cfg.candidates, cfg.max_descriptor_distance);
     for hit in hits {
         // Every retrieved candidate reaches geometric verification
         // (retrieval only indexes keyframed submaps), so it counts
@@ -119,11 +199,11 @@ pub fn relocalize_prepared(
             continue;
         }
 
-        let anchor_frame = snapshot.submaps()[hit.submap].anchor_frame();
+        let anchor_frame = snapshot.anchor_frame(hit.submap);
         let inliers = result.inlier_correspondences;
         let saturation = inliers as f64 / (inliers + cfg.min_inliers.max(1)) as f64;
         return Ok(Relocalization {
-            pose: snapshot.poses()[anchor_frame] * result.transform,
+            pose: snapshot.frame_pose(anchor_frame) * result.transform,
             submap: hit.submap,
             matched_frame: anchor_frame,
             relative: result.transform,

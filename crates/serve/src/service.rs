@@ -11,13 +11,16 @@ use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::session::Session;
 use crate::snapshot::MapSnapshot;
-use crate::stats::{LatencyRecorder, LatencySummary, ServeStats, SessionStats};
+use crate::stats::{LatencyRecorder, LatencySummary, ServeStats, SessionStats, TileStats};
 
-/// Mutable service-wide state, behind the core's single lock. Sessions
-/// touch it only at request boundaries (admission, completion metering);
-/// all heavy work runs against the lock-free snapshot.
+/// Admission control and request metering, shared by the whole-snapshot
+/// [`LocalizationService`] and the sharded `shard::ShardService` — one
+/// implementation of the session/in-flight budgets and the service-wide
+/// counters, so both serving front ends reject, release and meter
+/// identically. Callers hold it behind one service lock and touch it
+/// only at request boundaries; all heavy work runs lock-free.
 #[derive(Debug, Default)]
-struct CoreState {
+pub(crate) struct RequestGate {
     sessions_admitted: usize,
     sessions_rejected: usize,
     sessions_active: usize,
@@ -27,37 +30,45 @@ struct CoreState {
     latency: LatencyRecorder,
 }
 
-/// The state shared between a [`LocalizationService`] and its sessions.
-#[derive(Debug)]
-pub(crate) struct ServiceCore {
-    pub(crate) snapshot: Arc<MapSnapshot>,
-    pub(crate) config: ServeConfig,
-    state: Mutex<CoreState>,
-}
-
-impl ServiceCore {
-    fn lock(&self) -> std::sync::MutexGuard<'_, CoreState> {
-        self.state.lock().expect("service state lock poisoned")
+impl RequestGate {
+    /// Admits one session (returning its dense id in admission order) or
+    /// rejects typed at the budget.
+    pub(crate) fn admit_session(&mut self, max_sessions: usize) -> Result<usize, ServeError> {
+        if self.sessions_active >= max_sessions {
+            self.sessions_rejected += 1;
+            return Err(ServeError::SessionsExhausted { limit: max_sessions });
+        }
+        self.sessions_active += 1;
+        self.sessions_admitted += 1;
+        Ok(self.sessions_admitted - 1)
     }
 
-    /// Admission control for one localize call: claims an in-flight slot
-    /// or rejects typed, before any work runs.
-    pub(crate) fn begin_request(&self) -> Result<(), ServeError> {
-        let mut state = self.lock();
-        if state.inflight >= self.config.max_inflight {
-            state.frames_rejected += 1;
-            return Err(ServeError::Saturated { limit: self.config.max_inflight });
+    /// A session closed (dropped): its slot becomes re-admittable.
+    pub(crate) fn close_session(&mut self) {
+        self.sessions_active -= 1;
+    }
+
+    /// Sessions currently open.
+    pub(crate) fn active_sessions(&self) -> usize {
+        self.sessions_active
+    }
+
+    /// Claims an in-flight slot for one localize call, or rejects typed
+    /// before any work runs.
+    pub(crate) fn begin_request(&mut self, max_inflight: usize) -> Result<(), ServeError> {
+        if self.inflight >= max_inflight {
+            self.frames_rejected += 1;
+            return Err(ServeError::Saturated { limit: max_inflight });
         }
-        state.inflight += 1;
+        self.inflight += 1;
         Ok(())
     }
 
     /// Releases the in-flight slot and meters the completed request.
-    pub(crate) fn finish_request(&self, latency: Duration, delta: SessionStats) {
-        let mut state = self.lock();
-        state.inflight -= 1;
-        state.latency.record(latency);
-        let t = &mut state.totals;
+    pub(crate) fn finish_request(&mut self, latency: Duration, delta: SessionStats) {
+        self.inflight -= 1;
+        self.latency.record(latency);
+        let t = &mut self.totals;
         t.frames += delta.frames;
         t.relocalizations_attempted += delta.relocalizations_attempted;
         t.relocalizations_succeeded += delta.relocalizations_succeeded;
@@ -65,9 +76,56 @@ impl ServiceCore {
         t.track_breaks += delta.track_breaks;
     }
 
+    /// The gate's counters as a [`ServeStats`] (latency summary and tile
+    /// counters left default) plus a clone of the latency recorder, so
+    /// the caller can run the percentile sort outside its service lock.
+    pub(crate) fn stats_and_recorder(&self) -> (ServeStats, LatencyRecorder) {
+        (
+            ServeStats {
+                sessions_admitted: self.sessions_admitted,
+                sessions_rejected: self.sessions_rejected,
+                sessions_active: self.sessions_active,
+                frames_rejected: self.frames_rejected,
+                frames: self.totals.frames,
+                relocalizations_attempted: self.totals.relocalizations_attempted,
+                relocalizations_succeeded: self.totals.relocalizations_succeeded,
+                frames_tracked: self.totals.frames_tracked,
+                track_breaks: self.totals.track_breaks,
+                latency: LatencySummary::default(),
+                tiles: TileStats::default(),
+            },
+            self.latency.clone(),
+        )
+    }
+}
+
+/// The state shared between a [`LocalizationService`] and its sessions.
+#[derive(Debug)]
+pub(crate) struct ServiceCore {
+    pub(crate) snapshot: Arc<MapSnapshot>,
+    pub(crate) config: ServeConfig,
+    state: Mutex<RequestGate>,
+}
+
+impl ServiceCore {
+    fn lock(&self) -> std::sync::MutexGuard<'_, RequestGate> {
+        self.state.lock().expect("service state lock poisoned")
+    }
+
+    /// Admission control for one localize call: claims an in-flight slot
+    /// or rejects typed, before any work runs.
+    pub(crate) fn begin_request(&self) -> Result<(), ServeError> {
+        self.lock().begin_request(self.config.max_inflight)
+    }
+
+    /// Releases the in-flight slot and meters the completed request.
+    pub(crate) fn finish_request(&self, latency: Duration, delta: SessionStats) {
+        self.lock().finish_request(latency, delta);
+    }
+
     /// A session closed (dropped).
     pub(crate) fn close_session(&self) {
-        self.lock().sessions_active -= 1;
+        self.lock().close_session();
     }
 }
 
@@ -114,7 +172,7 @@ impl LocalizationService {
             core: Arc::new(ServiceCore {
                 snapshot,
                 config,
-                state: Mutex::new(CoreState::default()),
+                state: Mutex::new(RequestGate::default()),
             }),
         }
     }
@@ -139,22 +197,13 @@ impl LocalizationService {
     ///
     /// [`ServeError::SessionsExhausted`] at the budget.
     pub fn open_session(&self) -> Result<Session, ServeError> {
-        let id = {
-            let mut state = self.core.lock();
-            if state.sessions_active >= self.core.config.max_sessions {
-                state.sessions_rejected += 1;
-                return Err(ServeError::SessionsExhausted { limit: self.core.config.max_sessions });
-            }
-            state.sessions_active += 1;
-            state.sessions_admitted += 1;
-            state.sessions_admitted - 1
-        };
+        let id = self.core.lock().admit_session(self.core.config.max_sessions)?;
         Ok(Session::new(id, Arc::clone(&self.core)))
     }
 
     /// Sessions currently open.
     pub fn active_sessions(&self) -> usize {
-        self.core.lock().sessions_active
+        self.core.lock().active_sessions()
     }
 
     /// Batched map probes across sessions: many world-frame radius
@@ -177,25 +226,51 @@ impl LocalizationService {
     /// a stats poll never stalls in-flight admission or completion for
     /// the sort.
     pub fn stats(&self) -> ServeStats {
-        let (mut stats, recorder) = {
-            let state = self.core.lock();
-            (
-                ServeStats {
-                    sessions_admitted: state.sessions_admitted,
-                    sessions_rejected: state.sessions_rejected,
-                    sessions_active: state.sessions_active,
-                    frames_rejected: state.frames_rejected,
-                    frames: state.totals.frames,
-                    relocalizations_attempted: state.totals.relocalizations_attempted,
-                    relocalizations_succeeded: state.totals.relocalizations_succeeded,
-                    frames_tracked: state.totals.frames_tracked,
-                    track_breaks: state.totals.track_breaks,
-                    latency: LatencySummary::default(),
-                },
-                state.latency.clone(),
-            )
-        };
+        let (mut stats, recorder) = self.core.lock().stats_and_recorder();
         stats.latency = recorder.summarize();
         stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_admits_to_the_limit_and_reuses_released_slots() {
+        let mut gate = RequestGate::default();
+        assert_eq!(gate.admit_session(2), Ok(0));
+        assert_eq!(gate.admit_session(2), Ok(1));
+        assert_eq!(gate.admit_session(2), Err(ServeError::SessionsExhausted { limit: 2 }));
+        assert_eq!(gate.active_sessions(), 2);
+
+        // A closed session's slot is re-admittable — this is the
+        // invariant `Session`'s `Drop` impl relies on for abnormal
+        // teardown (a panicking session thread still runs `Drop`).
+        gate.close_session();
+        assert_eq!(gate.active_sessions(), 1);
+        assert_eq!(gate.admit_session(2), Ok(2), "ids stay dense across releases");
+
+        let (stats, _) = gate.stats_and_recorder();
+        assert_eq!(stats.sessions_admitted, 3);
+        assert_eq!(stats.sessions_rejected, 1);
+        assert_eq!(stats.sessions_active, 2);
+    }
+
+    #[test]
+    fn gate_meters_inflight_requests_and_totals() {
+        let mut gate = RequestGate::default();
+        gate.begin_request(1).expect("first request fits");
+        assert_eq!(gate.begin_request(1), Err(ServeError::Saturated { limit: 1 }));
+        let delta = SessionStats { frames: 1, frames_tracked: 1, ..SessionStats::default() };
+        gate.finish_request(Duration::from_millis(3), delta);
+        gate.begin_request(1).expect("slot freed by completion");
+        gate.finish_request(Duration::from_millis(5), SessionStats::default());
+
+        let (stats, recorder) = gate.stats_and_recorder();
+        assert_eq!(stats.frames_rejected, 1);
+        assert_eq!(stats.frames, 1);
+        assert_eq!(stats.frames_tracked, 1);
+        assert_eq!(recorder.count(), 2, "every completion records a latency sample");
     }
 }

@@ -100,101 +100,68 @@ pub struct SessionStep {
     pub kind: StepKind,
 }
 
-/// One client's localization session; see the [module docs](self).
-///
-/// Obtained from [`crate::LocalizationService::open_session`]; dropping
-/// it releases its admission slot. Sessions are independent and `Send`:
-/// move each to its own thread and localize concurrently — all shared
-/// access goes through the `Arc`-shared snapshot.
+/// The session state machine itself — cold start, velocity-prior
+/// tracking, loss budgets and per-session counters — detached from any
+/// particular map backing. The whole-snapshot [`Session`] and the
+/// sharded `shard::ShardSession` both drive this one implementation,
+/// supplying only their own relocalization closure; "the two serving
+/// front ends track identically" is therefore structural, not a pair of
+/// hand-copied state machines kept in sync.
 #[derive(Debug)]
-pub struct Session {
-    id: usize,
-    core: Arc<ServiceCore>,
+pub(crate) struct TrackCore {
     state: TrackState,
     stats: SessionStats,
 }
 
-impl Session {
-    pub(crate) fn new(id: usize, core: Arc<ServiceCore>) -> Self {
-        Session { id, core, state: TrackState::Cold, stats: SessionStats::default() }
+impl TrackCore {
+    pub(crate) fn new() -> Self {
+        TrackCore { state: TrackState::Cold, stats: SessionStats::default() }
     }
 
-    /// The session's service-assigned id (dense, in admission order).
-    pub fn id(&self) -> usize {
-        self.id
-    }
-
-    /// The session's current phase.
-    pub fn phase(&self) -> SessionPhase {
+    pub(crate) fn phase(&self) -> SessionPhase {
         match self.state {
             TrackState::Cold => SessionPhase::ColdStart,
             TrackState::Tracking(_) => SessionPhase::Tracking,
         }
     }
 
-    /// The current world-pose estimate (`None` while cold).
-    pub fn pose(&self) -> Option<&RigidTransform> {
+    pub(crate) fn pose(&self) -> Option<&RigidTransform> {
         match &self.state {
             TrackState::Cold => None,
             TrackState::Tracking(t) => Some(&t.pose),
         }
     }
 
-    /// This session's lifetime counters.
-    pub fn stats(&self) -> &SessionStats {
+    pub(crate) fn stats(&self) -> &SessionStats {
         &self.stats
     }
 
-    /// Localizes one raw frame (sensor coordinates) against the shared
-    /// map: cold-start relocalization when the session has no pose,
-    /// velocity-prior tracking otherwise. The frame's front end runs
-    /// exactly once either way, and a successful frame's preparation is
-    /// carried as the next step's tracking reference.
-    ///
-    /// # Errors
-    ///
-    /// [`ServeError::Saturated`] when the service's in-flight budget
-    /// rejects the call (no work done);
-    /// [`ServeError::Registration`] when the frame fails to prepare (the
-    /// session state is unchanged) or a within-budget tracking loss
-    /// occurred (the session keeps its previous reference);
-    /// [`ServeError::RelocalizationFailed`] when a cold start (initial
-    /// or after tracking loss) finds no verifiable pose — the session is
-    /// cold afterwards.
-    pub fn localize(&mut self, frame: &PointCloud) -> Result<SessionStep, ServeError> {
-        self.core.begin_request()?;
-        let t0 = Instant::now();
-        let before = self.stats;
-        let result = self.localize_admitted(frame);
-        let after = self.stats;
-        self.core.finish_request(
-            t0.elapsed(),
-            SessionStats {
-                frames: after.frames - before.frames,
-                relocalizations_attempted: after.relocalizations_attempted
-                    - before.relocalizations_attempted,
-                relocalizations_succeeded: after.relocalizations_succeeded
-                    - before.relocalizations_succeeded,
-                frames_tracked: after.frames_tracked - before.frames_tracked,
-                track_breaks: after.track_breaks - before.track_breaks,
-            },
-        );
-        result
-    }
-
-    fn localize_admitted(&mut self, frame: &PointCloud) -> Result<SessionStep, ServeError> {
+    /// Localizes one raw frame: prepare exactly once, then cold-start
+    /// through `reloc` or track against the previous frame with the
+    /// constant-velocity prior. `reloc` is the only map access — it is
+    /// what distinguishes whole-snapshot from sharded serving.
+    pub(crate) fn localize_with<R>(
+        &mut self,
+        frame: &PointCloud,
+        registration: &tigris_pipeline::RegistrationConfig,
+        max_track_failures: usize,
+        mut reloc: R,
+    ) -> Result<SessionStep, ServeError>
+    where
+        R: FnMut(&mut PreparedFrame) -> Result<Relocalization, ServeError>,
+    {
         // One preparation per admitted frame — the query front end.
-        let mut prepared = prepare_frame(frame, self.core.snapshot.registration_config())?;
+        let mut prepared = prepare_frame(frame, registration)?;
         let index = self.stats.frames;
         self.stats.frames += 1;
 
         match std::mem::replace(&mut self.state, TrackState::Cold) {
-            TrackState::Cold => self.cold_start(prepared, index),
+            TrackState::Cold => self.cold_start(prepared, index, &mut reloc),
             TrackState::Tracking(mut tracking) => {
                 let matched = register_prepared_with_prior(
                     &mut prepared,
                     &mut tracking.prev,
-                    self.core.snapshot.registration_config(),
+                    registration,
                     tracking.velocity.as_ref(),
                 );
                 match matched {
@@ -220,7 +187,7 @@ impl Session {
                     }
                     Err(err) => {
                         self.stats.track_breaks += 1;
-                        if tracking.failures < self.core.config.max_track_failures {
+                        if tracking.failures < max_track_failures {
                             // Within the loss budget: keep the old
                             // reference and pose, drop the failed frame,
                             // surface the loss typed.
@@ -232,7 +199,7 @@ impl Session {
                             // Beyond the budget: the pose estimate is
                             // gone — fall back to cold start with the
                             // already-prepared frame.
-                            self.cold_start(prepared, index)
+                            self.cold_start(prepared, index, &mut reloc)
                         }
                     }
                 }
@@ -242,13 +209,17 @@ impl Session {
 
     /// Cold-start relocalization with an already-prepared frame; on
     /// success the frame becomes the tracking reference.
-    fn cold_start(
+    fn cold_start<R>(
         &mut self,
         mut prepared: PreparedFrame,
         index: usize,
-    ) -> Result<SessionStep, ServeError> {
+        reloc: &mut R,
+    ) -> Result<SessionStep, ServeError>
+    where
+        R: FnMut(&mut PreparedFrame) -> Result<Relocalization, ServeError>,
+    {
         self.stats.relocalizations_attempted += 1;
-        match relocalize_prepared(&self.core.snapshot, &mut prepared, &self.core.config.reloc) {
+        match reloc(&mut prepared) {
             Ok(reloc) => {
                 self.stats.relocalizations_succeeded += 1;
                 self.state = TrackState::Tracking(Box::new(Tracking {
@@ -268,6 +239,77 @@ impl Session {
                 Err(err)
             }
         }
+    }
+}
+
+/// One client's localization session; see the [module docs](self).
+///
+/// Obtained from [`crate::LocalizationService::open_session`]; dropping
+/// it releases its admission slot. Sessions are independent and `Send`:
+/// move each to its own thread and localize concurrently — all shared
+/// access goes through the `Arc`-shared snapshot.
+#[derive(Debug)]
+pub struct Session {
+    id: usize,
+    core: Arc<ServiceCore>,
+    track: TrackCore,
+}
+
+impl Session {
+    pub(crate) fn new(id: usize, core: Arc<ServiceCore>) -> Self {
+        Session { id, core, track: TrackCore::new() }
+    }
+
+    /// The session's service-assigned id (dense, in admission order).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The session's current phase.
+    pub fn phase(&self) -> SessionPhase {
+        self.track.phase()
+    }
+
+    /// The current world-pose estimate (`None` while cold).
+    pub fn pose(&self) -> Option<&RigidTransform> {
+        self.track.pose()
+    }
+
+    /// This session's lifetime counters.
+    pub fn stats(&self) -> &SessionStats {
+        self.track.stats()
+    }
+
+    /// Localizes one raw frame (sensor coordinates) against the shared
+    /// map: cold-start relocalization when the session has no pose,
+    /// velocity-prior tracking otherwise. The frame's front end runs
+    /// exactly once either way, and a successful frame's preparation is
+    /// carried as the next step's tracking reference.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Saturated`] when the service's in-flight budget
+    /// rejects the call (no work done);
+    /// [`ServeError::Registration`] when the frame fails to prepare (the
+    /// session state is unchanged) or a within-budget tracking loss
+    /// occurred (the session keeps its previous reference);
+    /// [`ServeError::RelocalizationFailed`] when a cold start (initial
+    /// or after tracking loss) finds no verifiable pose — the session is
+    /// cold afterwards.
+    pub fn localize(&mut self, frame: &PointCloud) -> Result<SessionStep, ServeError> {
+        self.core.begin_request()?;
+        let t0 = Instant::now();
+        let before = *self.track.stats();
+        let core = &self.core;
+        let result = self.track.localize_with(
+            frame,
+            core.snapshot.registration_config(),
+            core.config.max_track_failures,
+            |prepared| relocalize_prepared(&*core.snapshot, prepared, &core.config.reloc),
+        );
+        let delta = self.track.stats().delta_since(&before);
+        self.core.finish_request(t0.elapsed(), delta);
+        result
     }
 }
 

@@ -1,0 +1,44 @@
+//! tigris-shard: spatially tiled snapshot serving with versioned epoch
+//! hot-swap.
+//!
+//! The whole-snapshot serving layer ([`crate::LocalizationService`])
+//! answers one question well — *serve a finished map, forever* — at two
+//! costs that grow with the map: every session holds the entire map
+//! resident, and picking up new mapping work means freezing a whole new
+//! snapshot and restarting every session. This module removes both:
+//!
+//! * **Spatial tiling** ([`tile`], [`router`]) — an epoch's submaps are
+//!   partitioned into grid tiles; a query fans out only to the tiles
+//!   whose conservative world bounds its sphere intersects. Routing is
+//!   provably conservative, so tile-routed answers are bit-identical to
+//!   whole-map fan-out.
+//! * **Lazy residency** ([`residency`]) — a tile's search indices are
+//!   rebuilt on first session demand and evicted least-recently-touched
+//!   under an explicit byte budget; correctness never depends on what is
+//!   resident, only latency does.
+//! * **Versioned epochs** ([`epoch`]) — a live, still-mapping
+//!   [`tigris_map::Mapper`] is published copy-on-write at submap
+//!   granularity: unchanged submaps are shared by `Arc` across epochs,
+//!   and only changed ones are re-archived. [`ShardService::install_epoch`]
+//!   hot-swaps the served version: new sessions pin the newest epoch,
+//!   in-flight sessions drain on the epoch they started with, and a
+//!   superseded epoch frees when its last session unpins.
+//!
+//! Sessions ([`ShardSession`]) drive the exact state machine and
+//! relocalization gates of the whole-snapshot [`crate::Session`] — the
+//! implementations are shared, not parallel — so a sharded session's
+//! pose stream over epoch N is bit-identical to a frozen-snapshot
+//! session over the same map.
+
+pub mod epoch;
+pub mod residency;
+pub mod router;
+pub mod service;
+pub mod session;
+pub mod tile;
+
+pub use epoch::{EpochPublisher, SnapshotEpoch, SubmapPayload};
+pub use router::{EpochView, TileRouter};
+pub use service::{ShardConfig, ShardService};
+pub use session::ShardSession;
+pub use tile::{TileMeta, TilingConfig};

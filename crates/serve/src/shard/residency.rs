@@ -1,0 +1,148 @@
+//! Lazy tile residency: rebuild-on-demand search indices under an
+//! explicit byte budget.
+//!
+//! An epoch's payload archives are compact (bare point arrays); what
+//! costs real memory per *servable* tile is the rebuilt per-submap
+//! search index. The (crate-internal) `TileCache` loads a tile's indices on first
+//! session demand, keyed by `(epoch version, tile index)`, and evicts
+//! least-recently-touched tiles when the resident rebuilt-index bytes
+//! exceed the budget. Only reclaimable bytes are charged: the payload
+//! archives (and `Arc`-shared keyframes) survive eviction by design, so
+//! charging them would make the budget double-count memory eviction
+//! cannot free.
+//!
+//! Loaded tiles are handed out as `Arc`s — eviction drops the cache's
+//! reference while in-flight queries keep theirs, so a query never
+//! observes a half-freed tile. Correctness does not depend on residency:
+//! a rebuilt index answers bit-identically to the live submap's index
+//! (the `DynamicMapIndex` rebuild contract), so load/evict churn can
+//! change only latency, never results.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tigris_core::DynamicMapIndex;
+
+use super::epoch::{SnapshotEpoch, SubmapPayload};
+use super::router::EpochView;
+use super::tile::TileMeta;
+use crate::stats::TileStats;
+
+/// One member submap of a resident tile: its archived payload plus the
+/// rebuilt search index over it.
+#[derive(Debug)]
+pub(crate) struct LoadedSubmap {
+    pub(crate) payload: Arc<SubmapPayload>,
+    pub(crate) index: DynamicMapIndex,
+}
+
+/// A resident tile: rebuilt indices for every member submap.
+#[derive(Debug)]
+pub(crate) struct LoadedTile {
+    pub(crate) submaps: Vec<LoadedSubmap>,
+    /// Reclaimable bytes: the rebuilt indices only.
+    bytes: usize,
+}
+
+impl LoadedTile {
+    fn load(epoch: &SnapshotEpoch, tile: &TileMeta) -> Self {
+        let submaps: Vec<LoadedSubmap> = tile
+            .members()
+            .iter()
+            .map(|&id| {
+                let payload = Arc::clone(&epoch.payloads()[id]);
+                let index = DynamicMapIndex::build(payload.points());
+                LoadedSubmap { payload, index }
+            })
+            .collect();
+        let bytes = submaps.iter().map(|s| s.index.memory_bytes()).sum();
+        LoadedTile { submaps, bytes }
+    }
+
+    /// The member entry for submap `id`, when this tile serves it.
+    pub(crate) fn submap(&self, id: usize) -> Option<&LoadedSubmap> {
+        self.submaps.iter().find(|s| s.payload.id() == id)
+    }
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    tile: Arc<LoadedTile>,
+    last_touch: u64,
+}
+
+/// The LRU-by-touch tile cache; see the [module docs](self).
+#[derive(Debug)]
+pub(crate) struct TileCache {
+    budget_bytes: usize,
+    entries: HashMap<(u64, usize), CacheEntry>,
+    /// Logical clock: bumped per lookup, stamped on the touched entry.
+    clock: u64,
+    stats: TileStats,
+}
+
+impl TileCache {
+    pub(crate) fn new(budget_bytes: usize) -> Self {
+        TileCache { budget_bytes, entries: HashMap::new(), clock: 0, stats: TileStats::default() }
+    }
+
+    /// The tile at `tile_idx` of the view's epoch, resident: returns the
+    /// cached load (a hit refreshes its LRU stamp) or rebuilds it, then
+    /// evicts least-recently-touched tiles while over budget. The tile
+    /// just fetched is never evicted by its own fetch, so a single tile
+    /// larger than the whole budget still serves (the budget bounds
+    /// *steady-state* residency).
+    pub(crate) fn fetch(&mut self, view: &EpochView, tile_idx: usize) -> Arc<LoadedTile> {
+        self.clock += 1;
+        let key = (view.epoch().version(), tile_idx);
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.last_touch = self.clock;
+            self.stats.hits += 1;
+            return Arc::clone(&entry.tile);
+        }
+        self.stats.misses += 1;
+        let tile = Arc::new(LoadedTile::load(view.epoch(), &view.router().tiles()[tile_idx]));
+        self.stats.loads += 1;
+        self.stats.resident_tiles += 1;
+        self.stats.resident_bytes += tile.bytes;
+        self.stats.peak_resident_bytes =
+            self.stats.peak_resident_bytes.max(self.stats.resident_bytes);
+        self.entries.insert(key, CacheEntry { tile: Arc::clone(&tile), last_touch: self.clock });
+        self.evict_over_budget(key);
+        tile
+    }
+
+    fn evict_over_budget(&mut self, keep: (u64, usize)) {
+        while self.stats.resident_bytes > self.budget_bytes {
+            let Some((&victim, _)) =
+                self.entries.iter().filter(|(&k, _)| k != keep).min_by_key(|(_, e)| e.last_touch)
+            else {
+                break;
+            };
+            let entry = self.entries.remove(&victim).expect("victim was just found");
+            self.stats.evictions += 1;
+            self.stats.resident_tiles -= 1;
+            self.stats.resident_bytes -= entry.tile.bytes;
+        }
+    }
+
+    /// Drops every resident tile of a retired epoch version (the last
+    /// session unpinned it and it is not current). Not counted as
+    /// budget evictions.
+    pub(crate) fn purge_version(&mut self, version: u64) {
+        self.entries.retain(|&(v, _), entry| {
+            if v == version {
+                self.stats.resident_tiles -= 1;
+                self.stats.resident_bytes -= entry.tile.bytes;
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// A point-in-time copy of the residency counters.
+    pub(crate) fn stats(&self) -> TileStats {
+        self.stats
+    }
+}

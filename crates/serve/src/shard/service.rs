@@ -1,0 +1,418 @@
+//! The sharded localization service: tile-routed queries, lazy
+//! residency and versioned epoch hot-swap over one live map.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use tigris_core::{BatchConfig, SearchStats};
+use tigris_geom::{RigidTransform, Vec3};
+use tigris_map::retrieval::{self, RetrievalHit};
+use tigris_map::{sort_map_neighbors, MapNeighbor};
+use tigris_pipeline::{PreparedFrame, RegistrationResult};
+
+use super::epoch::SnapshotEpoch;
+use super::residency::TileCache;
+use super::router::EpochView;
+use super::session::ShardSession;
+use super::tile::TilingConfig;
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::reloc::RelocTarget;
+use crate::service::RequestGate;
+use crate::stats::{ServeStats, SessionStats};
+
+/// Configuration of a [`ShardService`]: the serving budgets, the
+/// tiling, and the residency byte budget.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Session/in-flight budgets and relocalization gates — shared with
+    /// the whole-snapshot service, so both front ends admit and gate
+    /// identically.
+    pub serve: ServeConfig,
+    /// How published epochs are cut into tiles.
+    pub tiling: TilingConfig,
+    /// Byte budget for resident rebuilt tile indices (reclaimable bytes
+    /// only; see [`crate::stats::TileStats`]). `usize::MAX` — the
+    /// default — keeps every touched tile resident.
+    pub tile_budget_bytes: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            serve: ServeConfig::default(),
+            tiling: TilingConfig::default(),
+            tile_budget_bytes: usize::MAX,
+        }
+    }
+}
+
+/// Epoch bookkeeping behind the service's state lock: the current view
+/// plus the pin count of every epoch still draining sessions.
+#[derive(Debug, Default)]
+struct EpochState {
+    current: Option<Arc<EpochView>>,
+    /// Epoch version → sessions pinned on it.
+    pins: HashMap<u64, usize>,
+}
+
+/// The state shared between a [`ShardService`] and its sessions.
+#[derive(Debug)]
+pub(crate) struct ShardCore {
+    pub(crate) config: ShardConfig,
+    /// Admission gate + epoch bookkeeping; touched only at request and
+    /// session boundaries.
+    state: Mutex<(RequestGate, EpochState)>,
+    /// Tile residency; touched per tile lookup, never while holding the
+    /// state lock.
+    cache: Mutex<TileCache>,
+}
+
+impl ShardCore {
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, (RequestGate, EpochState)> {
+        self.state.lock().expect("shard state lock poisoned")
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, TileCache> {
+        self.cache.lock().expect("tile cache lock poisoned")
+    }
+
+    /// The tile at `tile_idx` of the view's epoch, resident (loading it
+    /// now when cold). The load runs under the cache lock; queries on
+    /// already-resident tiles only pay the lookup.
+    pub(crate) fn resident(
+        &self,
+        view: &EpochView,
+        tile_idx: usize,
+    ) -> Arc<super::residency::LoadedTile> {
+        self.lock_cache().fetch(view, tile_idx)
+    }
+
+    pub(crate) fn begin_request(&self) -> Result<(), ServeError> {
+        self.lock_state().0.begin_request(self.config.serve.max_inflight)
+    }
+
+    pub(crate) fn finish_request(&self, latency: Duration, delta: SessionStats) {
+        self.lock_state().0.finish_request(latency, delta);
+    }
+
+    /// A session closed: release its admission slot and unpin its epoch.
+    /// When the last session of a superseded epoch unpins, that epoch's
+    /// resident tiles are purged (its payload archives free with the
+    /// session's `Arc`).
+    pub(crate) fn release_session(&self, version: u64) {
+        let purge = {
+            let mut state = self.lock_state();
+            state.0.close_session();
+            let pinned =
+                state.1.pins.get_mut(&version).expect("session unpinned an epoch it never pinned");
+            *pinned -= 1;
+            if *pinned == 0 {
+                state.1.pins.remove(&version);
+                state.1.current.as_ref().map(|v| v.epoch().version()) != Some(version)
+            } else {
+                false
+            }
+        };
+        if purge {
+            self.lock_cache().purge_version(version);
+        }
+    }
+}
+
+/// Serves a live, growing map to many concurrent localization sessions
+/// through spatial tiles and versioned copy-on-write epochs.
+///
+/// Where [`crate::LocalizationService`] serves one frozen
+/// [`crate::MapSnapshot`] forever, a `ShardService` serves whatever
+/// epoch was last [installed](ShardService::install_epoch):
+///
+/// * **sessions pin their epoch** — a session admitted on epoch N
+///   drains on N however many newer epochs arrive, so its pose stream
+///   is exactly what a frozen-snapshot session over the same map would
+///   produce; new sessions pin the newest epoch;
+/// * **queries route by tile** — the router fans a query sphere out to
+///   only the covering tiles (bit-identical to whole-map fan-out by the
+///   conservative-bounds argument in the [tiling docs](super::tile));
+/// * **tiles load lazily and evict under a byte budget** — see the
+///   [residency docs](super::residency).
+#[derive(Debug)]
+pub struct ShardService {
+    core: Arc<ShardCore>,
+}
+
+impl ShardService {
+    /// A service with no epoch installed yet (sessions are rejected
+    /// until the first [`ShardService::install_epoch`]).
+    pub fn new(config: ShardConfig) -> Self {
+        let cache = TileCache::new(config.tile_budget_bytes);
+        ShardService {
+            core: Arc::new(ShardCore {
+                config,
+                state: Mutex::new((RequestGate::default(), EpochState::default())),
+                cache: Mutex::new(cache),
+            }),
+        }
+    }
+
+    /// A service already serving `epoch`.
+    pub fn with_epoch(epoch: Arc<SnapshotEpoch>, config: ShardConfig) -> Self {
+        let service = ShardService::new(config);
+        service.install_epoch(epoch);
+        service
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ShardConfig {
+        &self.core.config
+    }
+
+    /// Hot-swaps the served epoch: sessions opened after this call pin
+    /// `epoch`; sessions already open keep draining on theirs. A
+    /// superseded epoch with no pinned sessions has its resident tiles
+    /// purged immediately.
+    pub fn install_epoch(&self, epoch: Arc<SnapshotEpoch>) {
+        let view = Arc::new(EpochView::new(epoch, &self.core.config.tiling));
+        let retired = {
+            let mut state = self.core.lock_state();
+            let old = state.1.current.replace(view);
+            old.map(|v| v.epoch().version()).filter(|version| !state.1.pins.contains_key(version))
+        };
+        if let Some(version) = retired {
+            self.core.lock_cache().purge_version(version);
+        }
+    }
+
+    /// The currently served epoch, or `None` before the first install.
+    pub fn current_epoch(&self) -> Option<Arc<SnapshotEpoch>> {
+        self.core.lock_state().1.current.as_ref().map(|v| Arc::clone(v.epoch()))
+    }
+
+    /// Admits a new localization session pinned to the current epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoEpoch`] before the first
+    /// [`ShardService::install_epoch`];
+    /// [`ServeError::SessionsExhausted`] at the session budget.
+    pub fn open_session(&self) -> Result<ShardSession, ServeError> {
+        let (id, view) = {
+            let mut state = self.core.lock_state();
+            let view = Arc::clone(state.1.current.as_ref().ok_or(ServeError::NoEpoch)?);
+            let id = state.0.admit_session(self.core.config.serve.max_sessions)?;
+            *state.1.pins.entry(view.epoch().version()).or_insert(0) += 1;
+            (id, view)
+        };
+        Ok(ShardSession::new(id, Arc::clone(&self.core), view))
+    }
+
+    /// Sessions currently open.
+    pub fn active_sessions(&self) -> usize {
+        self.core.lock_state().0.active_sessions()
+    }
+
+    /// A tile-routed map query against the *current* epoch; answers
+    /// exactly like [`crate::MapSnapshot::query`] over the same map.
+    /// Session-pinned queries live on [`ShardSession::query`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoEpoch`] before the first epoch install.
+    pub fn query(&self, point: Vec3, radius: f64) -> Result<Vec<MapNeighbor>, ServeError> {
+        let view = self.current_view()?;
+        Ok(query_view(&self.core, &view, point, radius))
+    }
+
+    /// Batched tile-routed map queries against the current epoch,
+    /// batched per submap through the shared read path — bit-identical
+    /// to calling [`ShardService::query`] per element.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoEpoch`] before the first epoch install.
+    pub fn query_batch(
+        &self,
+        points: &[Vec3],
+        radius: f64,
+    ) -> Result<Vec<Vec<MapNeighbor>>, ServeError> {
+        let view = self.current_view()?;
+        let batch = view.epoch().registration_config().parallel;
+        Ok(query_batch_view(&self.core, &view, points, radius, &batch))
+    }
+
+    fn current_view(&self) -> Result<Arc<EpochView>, ServeError> {
+        self.core.lock_state().1.current.as_ref().map(Arc::clone).ok_or(ServeError::NoEpoch)
+    }
+
+    /// A consistent point-in-time copy of the service-wide counters,
+    /// the latency distribution and the tile residency counters. The
+    /// percentile sort runs outside both service locks.
+    pub fn stats(&self) -> ServeStats {
+        let (mut stats, recorder) = self.core.lock_state().0.stats_and_recorder();
+        stats.tiles = self.core.lock_cache().stats();
+        stats.latency = recorder.summarize();
+        stats
+    }
+}
+
+/// The [`RelocTarget`] over a pinned epoch view: retrieval and keyframe
+/// verification read the epoch directly; structure overlap touches the
+/// candidate submap's tile (loading it when cold). Driving the *same*
+/// `relocalize_prepared` gate pipeline as the whole-snapshot service is
+/// what makes sharded cold starts structurally identical to frozen ones.
+pub(crate) struct EpochTarget<'a> {
+    pub(crate) core: &'a ShardCore,
+    pub(crate) view: &'a EpochView,
+}
+
+impl RelocTarget for EpochTarget<'_> {
+    fn signature_dim(&self) -> usize {
+        self.view.epoch().signature_dim()
+    }
+
+    fn retrieve(
+        &self,
+        signature: &[f64],
+        candidates: usize,
+        max_distance: f64,
+    ) -> Vec<RetrievalHit> {
+        self.view.epoch().retrieval().retrieve(signature, candidates, max_distance)
+    }
+
+    fn verify_against(
+        &self,
+        submap: usize,
+        frame: &mut PreparedFrame,
+    ) -> Option<RegistrationResult> {
+        let epoch = self.view.epoch();
+        let keyframe = epoch.payloads().get(submap)?.keyframe()?;
+        let mut keyframe = keyframe.lock().expect("keyframe lock poisoned");
+        retrieval::verify_geometry(frame, &mut keyframe, epoch.registration_config())
+    }
+
+    fn structure_overlap(
+        &self,
+        points: &[Vec3],
+        relative: &RigidTransform,
+        submap: usize,
+        cfg: &BatchConfig,
+    ) -> f64 {
+        let Some(tile_idx) = self.view.router().tile_of(submap) else {
+            return 0.0; // empty submap: nothing to overlap with
+        };
+        let tile = self.core.resident(self.view, tile_idx);
+        let Some(loaded) = tile.submap(submap) else {
+            return 0.0;
+        };
+        let Some(bounds) = loaded.payload.local_bounds() else {
+            return 0.0;
+        };
+        retrieval::structure_overlap_indexed(points, relative, &loaded.index, bounds, cfg)
+    }
+
+    fn anchor_frame(&self, submap: usize) -> usize {
+        self.view.epoch().payloads()[submap].anchor_frame()
+    }
+
+    fn frame_pose(&self, frame: usize) -> RigidTransform {
+        self.view.epoch().poses()[frame]
+    }
+}
+
+/// Tile-routed serial map query over a pinned view: fan out to the
+/// covering tiles, apply each member submap's own local-bounds gate,
+/// and merge in the canonical order. Bit-identical to
+/// [`crate::MapSnapshot::query`] over the same map (conservative
+/// routing + the rebuild-identical index contract + the one shared
+/// [`sort_map_neighbors`] comparator).
+pub(crate) fn query_view(
+    core: &ShardCore,
+    view: &EpochView,
+    point: Vec3,
+    radius: f64,
+) -> Vec<MapNeighbor> {
+    let mut out: Vec<MapNeighbor> = Vec::new();
+    for tile_idx in view.router().covering(point, radius) {
+        let tile = core.resident(view, tile_idx);
+        for loaded in &tile.submaps {
+            let Some(bounds) = loaded.payload.local_bounds() else {
+                continue;
+            };
+            let anchor = view.epoch().anchor_pose(loaded.payload.id());
+            let local_q = anchor.inverse().apply(point);
+            if !bounds.intersects_sphere(local_q, radius) {
+                continue;
+            }
+            out.extend(loaded.index.radius_query(local_q, radius).into_iter().map(|n| {
+                MapNeighbor {
+                    submap: loaded.payload.id(),
+                    index: n.index,
+                    point: anchor.apply(loaded.index.all_points()[n.index]),
+                    distance_squared: n.distance_squared,
+                }
+            }));
+        }
+    }
+    sort_map_neighbors(&mut out);
+    out
+}
+
+/// Batched [`query_view`]: queries grouped per covering tile, then
+/// batched per member submap through the shared read path — the sharded
+/// analogue of [`crate::MapSnapshot::query_batch`], bit-identical to
+/// per-element [`query_view`].
+pub(crate) fn query_batch_view(
+    core: &ShardCore,
+    view: &EpochView,
+    points: &[Vec3],
+    radius: f64,
+    cfg: &BatchConfig,
+) -> Vec<Vec<MapNeighbor>> {
+    let mut out: Vec<Vec<MapNeighbor>> = vec![Vec::new(); points.len()];
+    // Queries per covering tile (each submap belongs to exactly one
+    // tile, so no query meets a submap twice).
+    let mut per_tile: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (qi, &p) in points.iter().enumerate() {
+        for tile_idx in view.router().covering(p, radius) {
+            per_tile.entry(tile_idx).or_default().push(qi);
+        }
+    }
+    let mut stats = SearchStats::new();
+    for (tile_idx, query_ids) in per_tile {
+        let tile = core.resident(view, tile_idx);
+        for loaded in &tile.submaps {
+            let Some(bounds) = loaded.payload.local_bounds() else {
+                continue;
+            };
+            let anchor = view.epoch().anchor_pose(loaded.payload.id());
+            let inverse = anchor.inverse();
+            let mut hit_ids: Vec<usize> = Vec::new();
+            let mut local_queries: Vec<Vec3> = Vec::new();
+            for &qi in &query_ids {
+                let local = inverse.apply(points[qi]);
+                if bounds.intersects_sphere(local, radius) {
+                    hit_ids.push(qi);
+                    local_queries.push(local);
+                }
+            }
+            if hit_ids.is_empty() {
+                continue;
+            }
+            let answers = loaded.index.radius_batch_shared(&local_queries, radius, cfg, &mut stats);
+            for (&qi, neighbors) in hit_ids.iter().zip(answers) {
+                out[qi].extend(neighbors.into_iter().map(|n| MapNeighbor {
+                    submap: loaded.payload.id(),
+                    index: n.index,
+                    point: anchor.apply(loaded.index.all_points()[n.index]),
+                    distance_squared: n.distance_squared,
+                }));
+            }
+        }
+    }
+    for neighbors in &mut out {
+        sort_map_neighbors(neighbors);
+    }
+    out
+}

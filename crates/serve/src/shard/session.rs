@@ -1,0 +1,112 @@
+//! A sharded localization session: the whole-snapshot session's state
+//! machine, pinned to one epoch and relocalizing through tiles.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tigris_geom::{PointCloud, RigidTransform, Vec3};
+use tigris_map::MapNeighbor;
+
+use super::router::EpochView;
+use super::service::{query_batch_view, query_view, EpochTarget, ShardCore};
+use crate::error::ServeError;
+use crate::reloc::relocalize_prepared;
+use crate::session::{SessionPhase, SessionStep, TrackCore};
+use crate::stats::SessionStats;
+
+/// One client's localization session against a [`super::ShardService`].
+///
+/// Behaviorally a [`crate::Session`] — both drive the *same* internal
+/// state machine (cold start → velocity-prior tracking → loss budget →
+/// cold start) and the same relocalization gate pipeline — but pinned
+/// to the epoch that was current at admission: the session's answers
+/// are those of that epoch however many newer epochs are installed
+/// while it runs. Dropping the session releases its admission slot and
+/// its epoch pin.
+#[derive(Debug)]
+pub struct ShardSession {
+    id: usize,
+    core: Arc<ShardCore>,
+    view: Arc<EpochView>,
+    track: TrackCore,
+}
+
+impl ShardSession {
+    pub(crate) fn new(id: usize, core: Arc<ShardCore>, view: Arc<EpochView>) -> Self {
+        ShardSession { id, core, view, track: TrackCore::new() }
+    }
+
+    /// The session's service-assigned id (dense, in admission order).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Version of the epoch this session is pinned to.
+    pub fn epoch_version(&self) -> u64 {
+        self.view.epoch().version()
+    }
+
+    /// The session's current phase.
+    pub fn phase(&self) -> SessionPhase {
+        self.track.phase()
+    }
+
+    /// The current world-pose estimate (`None` while cold).
+    pub fn pose(&self) -> Option<&RigidTransform> {
+        self.track.pose()
+    }
+
+    /// This session's lifetime counters.
+    pub fn stats(&self) -> &SessionStats {
+        self.track.stats()
+    }
+
+    /// Localizes one raw frame against the pinned epoch — the sharded
+    /// counterpart of [`crate::Session::localize`]: cold-start
+    /// relocalization when the session has no pose (retrieval over the
+    /// epoch, verification against shared keyframes, structure overlap
+    /// through the candidate's tile), velocity-prior tracking otherwise
+    /// (tracking registers against the session's own previous frame and
+    /// touches no tile at all).
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::Session::localize`].
+    pub fn localize(&mut self, frame: &PointCloud) -> Result<SessionStep, ServeError> {
+        self.core.begin_request()?;
+        let t0 = Instant::now();
+        let before = *self.track.stats();
+        let core = &self.core;
+        let view = &self.view;
+        let result = self.track.localize_with(
+            frame,
+            view.epoch().registration_config(),
+            core.config.serve.max_track_failures,
+            |prepared| {
+                relocalize_prepared(&EpochTarget { core, view }, prepared, &core.config.serve.reloc)
+            },
+        );
+        let delta = self.track.stats().delta_since(&before);
+        self.core.finish_request(t0.elapsed(), delta);
+        result
+    }
+
+    /// A tile-routed map query against the *pinned* epoch; answers
+    /// exactly like [`crate::MapSnapshot::query`] over the same map.
+    pub fn query(&self, point: Vec3, radius: f64) -> Vec<MapNeighbor> {
+        query_view(&self.core, &self.view, point, radius)
+    }
+
+    /// Batched [`ShardSession::query`], batched per submap through the
+    /// shared read path — bit-identical to per-element queries.
+    pub fn query_batch(&self, points: &[Vec3], radius: f64) -> Vec<Vec<MapNeighbor>> {
+        let batch = self.view.epoch().registration_config().parallel;
+        query_batch_view(&self.core, &self.view, points, radius, &batch)
+    }
+}
+
+impl Drop for ShardSession {
+    fn drop(&mut self) {
+        self.core.release_session(self.view.epoch().version());
+    }
+}

@@ -16,7 +16,7 @@
 //!
 //! [`DynamicMapIndex`]: tigris_core::DynamicMapIndex
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use tigris_core::{BatchConfig, SearchStats};
 use tigris_geom::{RigidTransform, Vec3};
@@ -38,7 +38,7 @@ pub struct MapSnapshot {
     submaps: Vec<Submap>,
     /// Stored keyframe preparations, parallel to `submaps`, each behind
     /// its own lock (verification meters the keyframe's searcher).
-    keyframes: Vec<Option<Mutex<PreparedFrame>>>,
+    keyframes: Vec<Option<Arc<Mutex<PreparedFrame>>>>,
     /// Corrected world pose per trajectory frame, as frozen.
     poses: Vec<RigidTransform>,
     /// The closures accepted while the map was built.
@@ -79,10 +79,11 @@ impl MapSnapshot {
             return Err(ServeError::EmptyMap);
         }
 
-        // Strip the keyframes out of the submaps and behind locks; the
-        // submaps themselves stay lock-free for shared queries.
-        let keyframes: Vec<Option<Mutex<PreparedFrame>>> =
-            submaps.iter_mut().map(|s| s.take_keyframe().map(Mutex::new)).collect();
+        // Strip the keyframes out of the submaps (they are already each
+        // behind their own lock); the submaps themselves stay lock-free
+        // for shared queries.
+        let keyframes: Vec<Option<Arc<Mutex<PreparedFrame>>>> =
+            submaps.iter_mut().map(|s| s.take_keyframe()).collect();
 
         // Verifiable submaps: a stored keyframe plus a signature of the
         // map's common dimension. The dimension is taken from the first

@@ -19,6 +19,22 @@ pub struct SessionStats {
     pub track_breaks: usize,
 }
 
+impl SessionStats {
+    /// The per-counter increments between `before` and `self` — what one
+    /// request contributed, for service-wide metering.
+    pub fn delta_since(&self, before: &SessionStats) -> SessionStats {
+        SessionStats {
+            frames: self.frames - before.frames,
+            relocalizations_attempted: self.relocalizations_attempted
+                - before.relocalizations_attempted,
+            relocalizations_succeeded: self.relocalizations_succeeded
+                - before.relocalizations_succeeded,
+            frames_tracked: self.frames_tracked - before.frames_tracked,
+            track_breaks: self.track_breaks - before.track_breaks,
+        }
+    }
+}
+
 /// Service-wide counters and latency summary, as returned by
 /// [`crate::LocalizationService::stats`] (a consistent point-in-time
 /// copy).
@@ -44,6 +60,33 @@ pub struct ServeStats {
     pub track_breaks: usize,
     /// Latency distribution over every completed localize call.
     pub latency: LatencySummary,
+    /// Tile residency counters — all zero for the whole-snapshot
+    /// [`crate::LocalizationService`], live for the sharded
+    /// [`crate::shard::ShardService`].
+    pub tiles: TileStats,
+}
+
+/// Tile residency counters for the sharded serving layer: how often the
+/// router's covering tiles were already resident, how much load/evict
+/// churn the byte budget caused, and the resident footprint itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TileStats {
+    /// Tile lookups answered by an already-resident tile.
+    pub hits: usize,
+    /// Tile lookups that had to load the tile first.
+    pub misses: usize,
+    /// Tiles loaded (indices rebuilt) over the service's lifetime.
+    pub loads: usize,
+    /// Tiles evicted by the byte budget over the service's lifetime.
+    pub evictions: usize,
+    /// Tiles currently resident.
+    pub resident_tiles: usize,
+    /// Reclaimable bytes currently resident (the rebuilt per-submap
+    /// indices; epoch payload archives are not charged — eviction cannot
+    /// free them).
+    pub resident_bytes: usize,
+    /// High-water mark of [`TileStats::resident_bytes`].
+    pub peak_resident_bytes: usize,
 }
 
 /// Percentile summary of recorded request latencies.
@@ -87,30 +130,55 @@ impl LatencyRecorder {
         self.samples.len()
     }
 
+    /// The nearest-rank percentile of the recorded samples: the smallest
+    /// sample ≥ `p` of the population (`None` when no sample was
+    /// recorded). `p` outside `(0, 1]` is clamped — `p <= 0` answers the
+    /// minimum, `p >= 1` (and a NaN `p`) the maximum, so a caller can
+    /// never index out of the sample range on a tiny count.
+    pub fn percentile(&self, p: f64) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        Some(nearest_rank(&sorted, p))
+    }
+
     /// Summarizes the recorded samples (zeros when empty).
     ///
     /// Percentiles are nearest-rank over the sorted samples: `p50` is
     /// the smallest sample ≥ half the population, `p99` the smallest
-    /// sample ≥ 99% of it.
+    /// sample ≥ 99% of it. On tiny counts the rank degenerates safely:
+    /// with one sample every percentile is that sample, and p99 equals
+    /// the maximum for any count below 100.
     pub fn summarize(&self) -> LatencySummary {
         if self.samples.is_empty() {
             return LatencySummary::default();
         }
         let mut sorted = self.samples.clone();
         sorted.sort();
-        let nearest_rank = |p: f64| {
-            let rank = (p * sorted.len() as f64).ceil() as usize;
-            sorted[rank.clamp(1, sorted.len()) - 1]
-        };
         let total: Duration = sorted.iter().sum();
         LatencySummary {
             count: sorted.len(),
-            p50: nearest_rank(0.50),
-            p99: nearest_rank(0.99),
+            p50: nearest_rank(&sorted, 0.50),
+            p99: nearest_rank(&sorted, 0.99),
             max: *sorted.last().expect("non-empty"),
-            mean: total / sorted.len() as u32,
+            mean: total / u32::try_from(sorted.len()).unwrap_or(u32::MAX).max(1),
         }
     }
+}
+
+/// Nearest-rank selection over an already-sorted, non-empty sample set:
+/// `ceil(p * n)` computed with the rank clamped into `[1, n]` so a
+/// pathological `p` (negative, above one, NaN — whose float product and
+/// ceil are unordered) can never index outside the samples.
+fn nearest_rank(sorted: &[Duration], p: f64) -> Duration {
+    debug_assert!(!sorted.is_empty());
+    let rank = (p * sorted.len() as f64).ceil();
+    // NaN compares false to everything: treat it as the maximum rank
+    // rather than letting `as usize` saturate it to 0.
+    let rank = if rank.is_nan() { sorted.len() } else { rank as usize };
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 #[cfg(test)]
@@ -148,5 +216,80 @@ mod tests {
         assert_eq!(s.p99, Duration::from_millis(7));
         assert_eq!(s.max, Duration::from_millis(7));
         assert_eq!(s.mean, Duration::from_millis(7));
+        // The percentile API agrees, at every p — including clamped ones.
+        for p in [-1.0, 0.0, 0.01, 0.5, 0.99, 1.0, 2.0, f64::NAN] {
+            assert_eq!(rec.percentile(p), Some(Duration::from_millis(7)), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn empty_recorder_has_no_percentile() {
+        let rec = LatencyRecorder::new();
+        assert_eq!(rec.count(), 0);
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(rec.percentile(p), None, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn tiny_counts_degenerate_to_the_extremes() {
+        // Two samples: nearest-rank p50 is the *lower* one (rank
+        // ceil(0.5·2) = 1), p99 the upper (rank ceil(0.99·2) = 2).
+        let mut rec = LatencyRecorder::new();
+        rec.record(Duration::from_millis(30));
+        rec.record(Duration::from_millis(10));
+        let s = rec.summarize();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.p50, Duration::from_millis(10));
+        assert_eq!(s.p99, Duration::from_millis(30));
+        assert_eq!(s.max, Duration::from_millis(30));
+        assert_eq!(s.mean, Duration::from_millis(20));
+
+        // Three samples: p50 is the median (rank 2), p99 still the max.
+        rec.record(Duration::from_millis(20));
+        let s = rec.summarize();
+        assert_eq!(s.p50, Duration::from_millis(20));
+        assert_eq!(s.p99, Duration::from_millis(30));
+
+        // p99 equals the maximum for ANY count below 100: rank
+        // ceil(0.99·n) = n exactly when n < 100.
+        let mut rec = LatencyRecorder::new();
+        for n in 1..=99u64 {
+            rec.record(Duration::from_millis(n));
+            assert_eq!(
+                rec.percentile(0.99),
+                Some(Duration::from_millis(n)),
+                "p99 of {n} ascending samples"
+            );
+        }
+        // …and at exactly 100 samples p99 is the 99th, not the max.
+        rec.record(Duration::from_millis(100));
+        assert_eq!(rec.summarize().p99, Duration::from_millis(99));
+    }
+
+    #[test]
+    fn pathological_percentile_arguments_clamp_to_the_sample_range() {
+        let mut rec = LatencyRecorder::new();
+        for ms in [5u64, 15, 25] {
+            rec.record(Duration::from_millis(ms));
+        }
+        assert_eq!(rec.percentile(-3.0), Some(Duration::from_millis(5)));
+        assert_eq!(rec.percentile(0.0), Some(Duration::from_millis(5)));
+        assert_eq!(rec.percentile(1.0), Some(Duration::from_millis(25)));
+        assert_eq!(rec.percentile(7.5), Some(Duration::from_millis(25)));
+        assert_eq!(rec.percentile(f64::NAN), Some(Duration::from_millis(25)));
+    }
+
+    #[test]
+    fn duplicate_samples_keep_percentiles_well_defined() {
+        let mut rec = LatencyRecorder::new();
+        for _ in 0..8 {
+            rec.record(Duration::from_millis(4));
+        }
+        let s = rec.summarize();
+        assert_eq!(s.p50, Duration::from_millis(4));
+        assert_eq!(s.p99, Duration::from_millis(4));
+        assert_eq!(s.max, Duration::from_millis(4));
+        assert_eq!(s.mean, Duration::from_millis(4));
     }
 }

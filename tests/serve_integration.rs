@@ -243,7 +243,7 @@ fn mid_loop_cold_starts_are_map_consistent() {
             fx.snapshot.registration_config(),
         )
         .unwrap();
-        let Ok(reloc) = relocalize_prepared(&fx.snapshot, &mut prepared, &reloc_cfg) else {
+        let Ok(reloc) = relocalize_prepared(&*fx.snapshot, &mut prepared, &reloc_cfg) else {
             // Not every mid-loop frame must relocalize (retrieval is
             // single-frame); the ones that do must be map-consistent.
             continue;
@@ -310,6 +310,37 @@ fn admission_control_rejects_typed_beyond_budgets() {
     assert_eq!(stats.sessions_rejected, 1);
     assert_eq!(stats.frames_rejected, 1);
     assert_eq!(stats.frames, 0, "rejected frames never count as served");
+}
+
+#[test]
+fn session_slots_release_on_abnormal_teardown() {
+    let fx = fixture();
+    let config = ServeConfig { max_sessions: 1, ..ServeConfig::default() };
+    let service = LocalizationService::new(Arc::clone(&fx.snapshot), config);
+
+    // A session thread that dies mid-stream: the unwind still runs the
+    // session's `Drop`, so the only slot must come back.
+    let result = std::thread::scope(|scope| {
+        scope
+            .spawn(|| {
+                let mut session = service.open_session().expect("first admission");
+                session.localize(fx.seq.frame(2)).expect("cold start");
+                panic!("session thread dies with the session live");
+            })
+            .join()
+    });
+    assert!(result.is_err(), "the session thread must have panicked");
+    assert_eq!(service.active_sessions(), 0, "panic teardown must release the slot");
+
+    // Re-admission succeeds and the service still serves.
+    let mut session = service.open_session().expect("slot must be re-admittable after a panic");
+    let step = session.localize(fx.seq.frame(2)).expect("service must still localize");
+    assert!(matches!(step.kind, StepKind::Relocalized(_)));
+
+    let stats = service.stats();
+    assert_eq!(stats.sessions_admitted, 2);
+    assert_eq!(stats.sessions_active, 1);
+    assert_eq!(stats.frames, 2, "the pre-panic frame still counts as served");
 }
 
 #[test]
