@@ -1,0 +1,52 @@
+//! Front-end generations: rewritten SIMD + dense-scratch normal
+//! estimation / FPFH vs. the frozen pre-refactor implementations, on
+//! the shared city-block scene, with bit-identity asserted before any
+//! timing.
+//!
+//! Besides the human-readable comparison, the run emits a
+//! machine-readable baseline (`BENCH_frontend.json` by default, or the
+//! path in `$BENCH_FRONTEND_JSON`) that CI archives per commit. The
+//! acceptance gate on the same comparison is
+//! `tests/frontend_speedup.rs` (≥2x on NE + FPFH combined).
+//!
+//! ```text
+//! cargo bench -p tigris-bench --bench frontend
+//! TIGRIS_FRONTEND_POINTS=60000 cargo bench -p tigris-bench --bench frontend
+//! ```
+
+use tigris_bench::env_usize;
+use tigris_bench::frontend::{run_frontend_comparison, FPFH_RADIUS, NE_RADIUS};
+use tigris_core::simd::wide_kernels_selected;
+
+fn main() {
+    let n_points = env_usize("TIGRIS_FRONTEND_POINTS", 120_000);
+    let runs = env_usize("TIGRIS_FRONTEND_RUNS", 3);
+
+    println!(
+        "== front-end generations: {n_points} points, best of {runs}, \
+         r_ne = {NE_RADIUS}, r_fpfh = {FPFH_RADIUS} (wide kernels: {}) ==",
+        wide_kernels_selected()
+    );
+    let cmp = run_frontend_comparison(n_points, runs);
+    println!(
+        "normal estimation  frozen {:>9.4}s | rewritten {:>9.4}s  ({:.2}x)",
+        cmp.frozen_ne_seconds,
+        cmp.new_ne_seconds,
+        cmp.ne_speedup()
+    );
+    println!(
+        "fpfh ({} keypoints) frozen {:>9.4}s | rewritten {:>9.4}s  ({:.2}x)",
+        cmp.n_keypoints,
+        cmp.frozen_fpfh_seconds,
+        cmp.new_fpfh_seconds,
+        cmp.fpfh_speedup()
+    );
+    println!(
+        "combined {:.2}x; warm-run scratch growth: {} bytes",
+        cmp.combined_speedup(),
+        cmp.warm_scratch_bytes_grown
+    );
+
+    let path = cmp.report(runs).write_env("BENCH_FRONTEND_JSON", "BENCH_frontend.json");
+    println!("baseline written to {}", path.display());
+}

@@ -29,6 +29,15 @@ fn main() {
         result.rebuild_fps, result.rebuild_time, result.sessions
     );
     println!("speedup           {:>8.3}x  (poses verified bit-identical)", result.speedup);
+    println!(
+        "cold start        {:>8.4}s best of {} relocalizations  (front end: NE {:.4}s + descriptors {:.4}s per run, {} alloc-free preparations, {} scratch bytes grown)",
+        result.cold_start_best(),
+        result.cold_start_samples.len(),
+        result.ne_seconds,
+        result.descriptor_seconds,
+        result.scratch_reuses,
+        result.scratch_bytes_grown,
+    );
 
     let path = result.report().write_env("BENCH_SERVE_JSON", "BENCH_serve.json");
     println!("baseline written to {}", path.display());

@@ -1,0 +1,408 @@
+//! Front-end raw-speed comparison: the SIMD + dense-scratch rewrite of
+//! normal estimation and FPFH vs. verbatim frozen copies of the
+//! pre-refactor implementations, on the shared city-block scene.
+//!
+//! The comparison asserts bit-identical outputs *before* any timing —
+//! a speedup over code that computes something else is not a speedup —
+//! then times both generations (best-of-`runs`, serial, warm scratch
+//! for the new path so it measures the allocation-free steady state).
+
+use std::time::Instant;
+
+use tigris_geom::Vec3;
+use tigris_pipeline::descriptor::{compute_descriptors_with, Descriptors};
+use tigris_pipeline::normal::estimate_normals_with;
+use tigris_pipeline::{DescriptorAlgorithm, NormalAlgorithm, PrepareScratch, Searcher3};
+
+use crate::report::BenchReport;
+use crate::workload::huge_frame_pair;
+
+/// Normal-estimation radius on the city-block scene (~0.45 m ground
+/// spacing). The default pipeline runs NE at `normal_radius / voxel =
+/// 0.6 / 0.25` — 2.4 spacings, ~18 ground neighbors — so the bench uses
+/// the same ratio: `2.4 × 0.45 ≈ 1.1`.
+pub const NE_RADIUS: f64 = 1.1;
+/// FPFH radius at the default pipeline's neighborhood density:
+/// `descriptor radius / voxel = 1.8 / 0.25` — 7.2 spacings, ~160 ground
+/// neighbors — mapped to the bench scene's spacing: `7.2 × 0.45 ≈ 3.2`.
+pub const FPFH_RADIUS: f64 = 3.2;
+/// Every `KEYPOINT_STRIDE`-th point is a key-point.
+pub const KEYPOINT_STRIDE: usize = 16;
+
+/// Frozen pre-refactor front end, verbatim (modulo import paths) from
+/// the revision preceding the SIMD/dense rewrite. Kept here — not in
+/// `tigris-pipeline` — so the production crate carries exactly one
+/// implementation.
+pub mod frozen {
+    use std::collections::{HashMap, HashSet};
+
+    use tigris_geom::{symmetric_eigen3, Mat3, Vec3};
+    use tigris_pipeline::descriptor::{Descriptors, FPFH_DIM};
+    use tigris_pipeline::{NormalAlgorithm, Searcher3};
+
+    /// The pre-refactor `estimate_normals`: chunked `to_vec` query
+    /// copies, per-neighborhood `Vec3` accumulation loops.
+    pub fn estimate_normals(
+        searcher: &mut Searcher3,
+        radius: f64,
+        algorithm: NormalAlgorithm,
+    ) -> Vec<Vec3> {
+        assert!(radius > 0.0, "normal-estimation radius must be positive");
+        let n = searcher.len();
+        let parallel = searcher.parallel();
+        const CHUNK: usize = 16 * 1024;
+        let mut normals = Vec::with_capacity(n);
+        let mut start = 0;
+        while start < n {
+            let end = (start + CHUNK).min(n);
+            let chunk: Vec<Vec3> = searcher.points()[start..end].to_vec();
+            let neighborhoods = searcher.radius_batch(&chunk, radius);
+            let points = searcher.points();
+            normals.extend(tigris_core::batch::parallel_map_indexed(chunk.len(), &parallel, |i| {
+                let p = chunk[i];
+                let neighbors = &neighborhoods[i];
+                let normal = match algorithm {
+                    NormalAlgorithm::PlaneSvd => plane_svd_normal(points, neighbors, p),
+                    NormalAlgorithm::AreaWeighted => unimplemented!("not benched"),
+                };
+                if normal.dot(-p) < 0.0 {
+                    -normal
+                } else {
+                    normal
+                }
+            }));
+            start = end;
+        }
+        normals
+    }
+
+    fn plane_svd_normal(
+        points: &[Vec3],
+        neighbors: &[tigris_core::Neighbor],
+        _fallback_at: Vec3,
+    ) -> Vec3 {
+        if neighbors.len() < 3 {
+            return Vec3::Z;
+        }
+        let mut centroid = Vec3::ZERO;
+        for n in neighbors {
+            centroid += points[n.index];
+        }
+        centroid = centroid / neighbors.len() as f64;
+        let mut cov = Mat3::ZERO;
+        for n in neighbors {
+            let d = points[n.index] - centroid;
+            cov = cov + Mat3::outer(d, d);
+        }
+        let eig = symmetric_eigen3(&cov);
+        eig.smallest_vector().normalized().unwrap_or(Vec3::Z)
+    }
+
+    const FPFH_BINS: usize = 11;
+
+    fn pair_features(ps: Vec3, ns: Vec3, pt: Vec3, nt: Vec3) -> Option<(f64, f64, f64)> {
+        let d = pt - ps;
+        let dist = d.norm();
+        if dist < 1e-9 {
+            return None;
+        }
+        let du = d / dist;
+        let (n1, n2, du) =
+            if ns.dot(du).abs() >= nt.dot(-du).abs() { (ns, nt, du) } else { (nt, ns, -du) };
+        let u = n1;
+        let v = du.cross(u).normalized()?;
+        let w = u.cross(v);
+        Some((v.dot(n2), u.dot(du), w.dot(n2).atan2(u.dot(n2))))
+    }
+
+    fn bin_index(value: f64, lo: f64, hi: f64) -> usize {
+        let t = ((value - lo) / (hi - lo)).clamp(0.0, 1.0);
+        ((t * FPFH_BINS as f64) as usize).min(FPFH_BINS - 1)
+    }
+
+    fn spfh(
+        points: &[Vec3],
+        normals: &[Vec3],
+        center: usize,
+        neighbors: &[usize],
+    ) -> [f64; FPFH_DIM] {
+        let mut hist = [0.0f64; FPFH_DIM];
+        let mut count = 0.0;
+        for &j in neighbors {
+            if j == center {
+                continue;
+            }
+            if let Some((alpha, phi, theta)) =
+                pair_features(points[center], normals[center], points[j], normals[j])
+            {
+                hist[bin_index(alpha, -1.0, 1.0)] += 1.0;
+                hist[FPFH_BINS + bin_index(phi, -1.0, 1.0)] += 1.0;
+                hist[2 * FPFH_BINS
+                    + bin_index(theta, -std::f64::consts::PI, std::f64::consts::PI)] += 1.0;
+                count += 1.0;
+            }
+        }
+        if count > 0.0 {
+            for h in &mut hist {
+                *h *= 100.0 / count;
+            }
+        }
+        hist
+    }
+
+    /// The pre-refactor `fpfh`: `HashMap`/`HashSet` SPFH plumbing, every
+    /// SPFH pair evaluated from both endpoints.
+    pub fn fpfh(
+        searcher: &mut Searcher3,
+        normals: &[Vec3],
+        keypoints: &[usize],
+        radius: f64,
+    ) -> Descriptors {
+        let parallel = searcher.parallel();
+
+        let kp_pts: Vec<Vec3> = {
+            let pts = searcher.points();
+            keypoints.iter().map(|&k| pts[k]).collect()
+        };
+        let kp_neigh: Vec<Vec<usize>> = searcher
+            .radius_batch(&kp_pts, radius)
+            .into_iter()
+            .map(|ns| ns.into_iter().map(|n| n.index).collect())
+            .collect();
+
+        let mut needed: Vec<usize> = Vec::new();
+        let mut seen: HashSet<usize> = HashSet::new();
+        for (&k, neigh) in keypoints.iter().zip(&kp_neigh) {
+            if seen.insert(k) {
+                needed.push(k);
+            }
+            for &j in neigh {
+                if seen.insert(j) {
+                    needed.push(j);
+                }
+            }
+        }
+        let mut neigh_of: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (&k, neigh) in keypoints.iter().zip(&kp_neigh) {
+            neigh_of.entry(k).or_insert_with(|| neigh.clone());
+        }
+        let missing: Vec<usize> =
+            needed.iter().copied().filter(|i| !neigh_of.contains_key(i)).collect();
+        let missing_pts: Vec<Vec3> = {
+            let pts = searcher.points();
+            missing.iter().map(|&i| pts[i]).collect()
+        };
+        let missing_neigh = searcher.radius_batch(&missing_pts, radius);
+        for (&i, ns) in missing.iter().zip(missing_neigh) {
+            neigh_of.insert(i, ns.into_iter().map(|n| n.index).collect());
+        }
+
+        let points = searcher.points();
+        let spfh_rows = tigris_core::batch::parallel_map(&needed, &parallel, |&i| {
+            spfh(points, normals, i, &neigh_of[&i])
+        });
+        let spfh_of: HashMap<usize, &[f64; FPFH_DIM]> =
+            needed.iter().zip(spfh_rows.iter()).map(|(&i, h)| (i, h)).collect();
+
+        let rows = tigris_core::batch::parallel_map_indexed(keypoints.len(), &parallel, |ki| {
+            let k = keypoints[ki];
+            let neighbors = &kp_neigh[ki];
+            let mut out = *spfh_of[&k];
+            let mut weight_total = 0.0;
+            let mut acc = [0.0f64; FPFH_DIM];
+            for &j in neighbors {
+                if j == k {
+                    continue;
+                }
+                let d = points[k].distance(points[j]);
+                if d < 1e-9 {
+                    continue;
+                }
+                let h = spfh_of[&j];
+                let w = 1.0 / d;
+                for (a, v) in acc.iter_mut().zip(h.iter()) {
+                    *a += w * v;
+                }
+                weight_total += w;
+            }
+            if weight_total > 0.0 {
+                for (o, a) in out.iter_mut().zip(acc.iter()) {
+                    *o += a / weight_total;
+                }
+            }
+            out
+        });
+
+        let mut data = Vec::with_capacity(keypoints.len() * FPFH_DIM);
+        for row in rows {
+            data.extend_from_slice(&row);
+        }
+        Descriptors { dim: FPFH_DIM, data }
+    }
+}
+
+/// Results of one front-end generation comparison.
+#[derive(Debug, Clone)]
+pub struct FrontendComparison {
+    /// Scene size.
+    pub n_points: usize,
+    /// Key-points descriptors were computed for.
+    pub n_keypoints: usize,
+    /// Best-of-`runs` seconds, frozen normal estimation.
+    pub frozen_ne_seconds: f64,
+    /// Best-of-`runs` seconds, rewritten normal estimation.
+    pub new_ne_seconds: f64,
+    /// Best-of-`runs` seconds, frozen FPFH.
+    pub frozen_fpfh_seconds: f64,
+    /// Best-of-`runs` seconds, rewritten FPFH (warm scratch).
+    pub new_fpfh_seconds: f64,
+    /// Scratch bytes grown during the *timed* (post-warm-up) runs —
+    /// non-zero would falsify the allocation-free steady-state claim.
+    pub warm_scratch_bytes_grown: u64,
+}
+
+impl FrontendComparison {
+    /// Frozen NE time over new NE time.
+    pub fn ne_speedup(&self) -> f64 {
+        self.frozen_ne_seconds / self.new_ne_seconds
+    }
+
+    /// Frozen FPFH time over new FPFH time.
+    pub fn fpfh_speedup(&self) -> f64 {
+        self.frozen_fpfh_seconds / self.new_fpfh_seconds
+    }
+
+    /// Combined NE + FPFH speedup — the tentpole's ≥2x acceptance gate.
+    pub fn combined_speedup(&self) -> f64 {
+        (self.frozen_ne_seconds + self.frozen_fpfh_seconds)
+            / (self.new_ne_seconds + self.new_fpfh_seconds)
+    }
+
+    /// The comparison as a machine-readable [`BenchReport`].
+    pub fn report(&self, runs: usize) -> BenchReport {
+        BenchReport::new("frontend")
+            .config_int("points", self.n_points)
+            .config_int("keypoints", self.n_keypoints)
+            .config_int("runs", runs)
+            .config_str(
+                "wide_kernels",
+                if tigris_core::simd::wide_kernels_selected() { "on" } else { "off" },
+            )
+            .samples("frozen_ne_seconds", &[self.frozen_ne_seconds])
+            .samples("new_ne_seconds", &[self.new_ne_seconds])
+            .samples("frozen_fpfh_seconds", &[self.frozen_fpfh_seconds])
+            .samples("new_fpfh_seconds", &[self.new_fpfh_seconds])
+            .derived_f64("ne_speedup", self.ne_speedup())
+            .derived_f64("fpfh_speedup", self.fpfh_speedup())
+            .derived_f64("combined_speedup", self.combined_speedup())
+            .derived_int("warm_scratch_bytes_grown", self.warm_scratch_bytes_grown as usize)
+    }
+}
+
+fn best_seconds<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let result = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        drop(result);
+    }
+    best
+}
+
+/// Builds the `min_points` city-block scene, proves the rewritten front
+/// end bit-identical to the frozen one on it, then times both
+/// generations' NE and FPFH (serial, best of `runs`).
+///
+/// # Panics
+///
+/// Panics when any rewritten output differs from the frozen one by even
+/// one bit — the timing never runs against divergent code.
+pub fn run_frontend_comparison(min_points: usize, runs: usize) -> FrontendComparison {
+    let (points, _) = huge_frame_pair(min_points, 42);
+    let keypoints: Vec<usize> = (0..points.len()).step_by(KEYPOINT_STRIDE).collect();
+    let mut searcher = Searcher3::classic(&points);
+    let mut scratch = PrepareScratch::new();
+
+    // -- Correctness before speed: bit-identity on the full scene. --
+    let frozen_normals =
+        frozen::estimate_normals(&mut searcher, NE_RADIUS, NormalAlgorithm::PlaneSvd);
+    let new_normals =
+        estimate_normals_with(&mut searcher, NE_RADIUS, NormalAlgorithm::PlaneSvd, &mut scratch);
+    assert_eq!(frozen_normals.len(), new_normals.len());
+    for (i, (a, b)) in new_normals.iter().zip(&frozen_normals).enumerate() {
+        assert!(
+            a.x.to_bits() == b.x.to_bits()
+                && a.y.to_bits() == b.y.to_bits()
+                && a.z.to_bits() == b.z.to_bits(),
+            "normal {i} diverged: new {a} vs frozen {b}"
+        );
+    }
+    let frozen_desc = frozen::fpfh(&mut searcher, &frozen_normals, &keypoints, FPFH_RADIUS);
+    let new_desc = fpfh_with(&mut searcher, &new_normals, &keypoints, &mut scratch);
+    assert_eq!(frozen_desc.data.len(), new_desc.data.len());
+    for (i, (a, b)) in new_desc.data.iter().zip(&frozen_desc.data).enumerate() {
+        assert!(a.to_bits() == b.to_bits(), "fpfh value {i} diverged: new {a} vs frozen {b}");
+    }
+
+    // -- Timing: the scratch is warm from the identity pass, so the new
+    //    path's timed runs measure the allocation-free steady state. --
+    let bytes_before = scratch.capacity_bytes();
+    let new_ne_seconds = best_seconds(runs, || {
+        estimate_normals_with(&mut searcher, NE_RADIUS, NormalAlgorithm::PlaneSvd, &mut scratch)
+    });
+    let new_fpfh_seconds =
+        best_seconds(runs, || fpfh_with(&mut searcher, &new_normals, &keypoints, &mut scratch));
+    let warm_scratch_bytes_grown = (scratch.capacity_bytes() - bytes_before) as u64;
+
+    let frozen_ne_seconds = best_seconds(runs, || {
+        frozen::estimate_normals(&mut searcher, NE_RADIUS, NormalAlgorithm::PlaneSvd)
+    });
+    let frozen_fpfh_seconds = best_seconds(runs, || {
+        frozen::fpfh(&mut searcher, &frozen_normals, &keypoints, FPFH_RADIUS)
+    });
+
+    FrontendComparison {
+        n_points: points.len(),
+        n_keypoints: keypoints.len(),
+        frozen_ne_seconds,
+        new_ne_seconds,
+        frozen_fpfh_seconds,
+        new_fpfh_seconds,
+        warm_scratch_bytes_grown,
+    }
+}
+
+fn fpfh_with(
+    searcher: &mut Searcher3,
+    normals: &[Vec3],
+    keypoints: &[usize],
+    scratch: &mut PrepareScratch,
+) -> Descriptors {
+    compute_descriptors_with(
+        searcher,
+        normals,
+        keypoints,
+        DescriptorAlgorithm::Fpfh { radius: FPFH_RADIUS },
+        scratch,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_comparison_is_bit_identical_and_reports() {
+        // Debug-scale smoke: the identity assertions inside the run are
+        // the test; release-scale speedups are gated in
+        // `tests/frontend_speedup.rs`.
+        let cmp = run_frontend_comparison(2_000, 1);
+        assert!(cmp.n_points >= 2_000);
+        assert!(cmp.n_keypoints > 0);
+        assert_eq!(cmp.warm_scratch_bytes_grown, 0, "warm runs must not grow scratch");
+        let json = cmp.report(1).to_json();
+        assert!(json.contains("combined_speedup"));
+    }
+}

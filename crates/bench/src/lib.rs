@@ -15,6 +15,7 @@
 //! simulator itself).
 
 pub mod figures;
+pub mod frontend;
 pub mod mapping;
 pub mod odometry;
 pub mod plot;

@@ -54,6 +54,20 @@ pub struct ServeBenchResult {
     pub rebuild_fps: f64,
     /// `rebuild_time / shared_time`.
     pub speedup: f64,
+    /// Per-session cold-start relocalization latencies (seconds) from
+    /// the timed shared-path runs — the "how long until a new client
+    /// has a pose" number the front-end raw-speed pass targets.
+    pub cold_start_samples: Vec<f64>,
+    /// Wall-clock in the normal-estimation stage across one shared-path
+    /// run's front ends (query-frame preparations).
+    pub ne_seconds: f64,
+    /// Wall-clock in the descriptor stage across the same run.
+    pub descriptor_seconds: f64,
+    /// Front-end scratch growth (bytes) across the same run — flat once
+    /// each session's scratch is warm.
+    pub scratch_bytes_grown: u64,
+    /// Allocation-free frame preparations across the same run.
+    pub scratch_reuses: u64,
 }
 
 impl ServeBenchResult {
@@ -66,11 +80,26 @@ impl ServeBenchResult {
             .config_int("map_frames", self.map_frames)
             .samples("shared_seconds", &self.shared_samples)
             .samples("rebuild_seconds", &self.rebuild_samples)
+            .samples("cold_start_seconds", &self.cold_start_samples)
             .derived_f64("shared_seconds_best", self.shared_time.as_secs_f64())
             .derived_f64("rebuild_seconds_best", self.rebuild_time.as_secs_f64())
             .derived_f64("shared_fps", self.shared_fps)
             .derived_f64("rebuild_fps", self.rebuild_fps)
             .derived_f64("speedup", self.speedup)
+            .derived_f64("cold_start_seconds_best", self.cold_start_best())
+            .derived_f64("frontend_ne_seconds", self.ne_seconds)
+            .derived_f64("frontend_descriptor_seconds", self.descriptor_seconds)
+            .derived_int("frontend_scratch_bytes_grown", self.scratch_bytes_grown as usize)
+            .derived_int("frontend_scratch_reuses", self.scratch_reuses as usize)
+    }
+
+    /// Fastest observed cold-start relocalization (seconds), `0.0` when
+    /// no samples were recorded.
+    pub fn cold_start_best(&self) -> f64 {
+        if self.cold_start_samples.is_empty() {
+            return 0.0;
+        }
+        self.cold_start_samples.iter().copied().fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -102,32 +131,50 @@ fn build_mapper(seq: &Sequence) -> Mapper {
     mapper
 }
 
+/// What one pass over the localization scripts observed beyond its
+/// poses: per-session cold-start latencies and the service's stats.
+struct ServeObservations {
+    cold_start_seconds: Vec<f64>,
+    stats: tigris_serve::ServeStats,
+}
+
 /// Serves every script against one snapshot, returning the localized
-/// poses in script order.
+/// poses in script order plus the per-session cold-start latencies
+/// (each script's first `localize` — the relocalization request) and
+/// the service-wide stats.
 fn serve_scripts(
     snapshot: &Arc<MapSnapshot>,
     seq: &Sequence,
     scripts: &[Vec<usize>],
-) -> Vec<RigidTransform> {
+) -> (Vec<RigidTransform>, ServeObservations) {
     let service = LocalizationService::new(Arc::clone(snapshot), ServeConfig::default());
     let mut poses = Vec::new();
+    let mut cold_start_seconds = Vec::with_capacity(scripts.len());
     for script in scripts {
         let mut session = service.open_session().expect("session admission");
-        for &frame in script {
+        for (i, &frame) in script.iter().enumerate() {
+            let t0 = Instant::now();
             let step = session.localize(seq.frame(frame)).expect("localization failed");
+            if i == 0 {
+                cold_start_seconds.push(t0.elapsed().as_secs_f64());
+            }
             poses.push(step.pose);
         }
     }
-    poses
+    let stats = service.stats();
+    (poses, ServeObservations { cold_start_seconds, stats })
 }
 
 /// Shared path: build the map once, freeze once, serve every session
 /// from the `Arc`-shared snapshot.
-fn run_shared(seq: &Sequence, scripts: &[Vec<usize>]) -> (Duration, Vec<RigidTransform>) {
+fn run_shared(
+    seq: &Sequence,
+    scripts: &[Vec<usize>],
+) -> (Duration, Vec<RigidTransform>, ServeObservations) {
     let t0 = Instant::now();
     let snapshot = Arc::new(MapSnapshot::freeze(build_mapper(seq)).expect("freeze failed"));
-    let poses = serve_scripts(&snapshot, seq, scripts);
-    (t0.elapsed(), poses)
+    let (poses, obs) = serve_scripts(&snapshot, seq, scripts);
+    (t0.elapsed(), poses, obs)
 }
 
 /// Rebuild path: every session constructs its own map from the same
@@ -137,7 +184,7 @@ fn run_rebuild(seq: &Sequence, scripts: &[Vec<usize>]) -> (Duration, Vec<RigidTr
     let mut poses = Vec::new();
     for script in scripts {
         let snapshot = Arc::new(MapSnapshot::freeze(build_mapper(seq)).expect("freeze failed"));
-        poses.extend(serve_scripts(&snapshot, seq, std::slice::from_ref(script)));
+        poses.extend(serve_scripts(&snapshot, seq, std::slice::from_ref(script)).0);
     }
     (t0.elapsed(), poses)
 }
@@ -158,7 +205,7 @@ pub fn run_shared_vs_rebuild_comparison(
     // Correctness first: the shared snapshot and every per-session
     // rebuild are deterministic images of the same stream, so both
     // paths must localize every frame to the bit-identical pose.
-    let (_, shared_poses) = run_shared(&seq, &scripts);
+    let (_, shared_poses, _) = run_shared(&seq, &scripts);
     let (_, rebuild_poses) = run_rebuild(&seq, &scripts);
     assert_eq!(shared_poses.len(), rebuild_poses.len());
     for (i, (a, b)) in shared_poses.iter().zip(&rebuild_poses).enumerate() {
@@ -168,10 +215,20 @@ pub fn run_shared_vs_rebuild_comparison(
         );
     }
 
-    let shared_runs: Vec<Duration> = (0..runs).map(|_| run_shared(&seq, &scripts).0).collect();
+    let mut cold_start_samples = Vec::with_capacity(runs * sessions);
+    let mut last_stats = None;
+    let shared_runs: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let (t, _, obs) = run_shared(&seq, &scripts);
+            cold_start_samples.extend(obs.cold_start_seconds);
+            last_stats = Some(obs.stats);
+            t
+        })
+        .collect();
     let rebuild_runs: Vec<Duration> = (0..runs).map(|_| run_rebuild(&seq, &scripts).0).collect();
     let shared_time = *shared_runs.iter().min().expect("runs >= 1");
     let rebuild_time = *rebuild_runs.iter().min().expect("runs >= 1");
+    let stats = last_stats.expect("runs >= 1");
 
     let total_queries = (sessions * queries_per_session) as f64;
     ServeBenchResult {
@@ -185,5 +242,10 @@ pub fn run_shared_vs_rebuild_comparison(
         shared_fps: total_queries / shared_time.as_secs_f64(),
         rebuild_fps: total_queries / rebuild_time.as_secs_f64(),
         speedup: rebuild_time.as_secs_f64() / shared_time.as_secs_f64(),
+        cold_start_samples,
+        ne_seconds: stats.normal_estimation_time.as_secs_f64(),
+        descriptor_seconds: stats.descriptor_time.as_secs_f64(),
+        scratch_bytes_grown: stats.prepare_scratch_bytes_grown,
+        scratch_reuses: stats.prepare_scratch_reuses,
     }
 }

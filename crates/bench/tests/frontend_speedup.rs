@@ -1,0 +1,48 @@
+//! Release-scale acceptance test for the front-end raw-speed pass: on a
+//! 120k-point city-block scene, the rewritten normal-estimation + FPFH
+//! stages must together be at least 2× faster than verbatim frozen
+//! copies of the pre-refactor implementations
+//! (`tigris_bench::frontend::frozen`), with bit-identical outputs
+//! (asserted inside the comparison before any timing) and zero scratch
+//! growth during the warm timed runs.
+//!
+//! ```text
+//! cargo test -p tigris-bench --release -- --ignored frontend_speedup
+//! ```
+//!
+//! Skipped when `tigris-core` was built with the `scalar-kernels`
+//! fallback feature: without the wide kernels the comparison measures
+//! only the dense-scratch restructuring, not the claim under test.
+
+use tigris_bench::frontend::run_frontend_comparison;
+use tigris_core::simd::wide_kernels_selected;
+
+#[test]
+#[ignore = "release-scale workload"]
+fn frontend_speedup_ne_plus_fpfh_beats_frozen_2x() {
+    if !wide_kernels_selected() {
+        eprintln!("skipping front-end speedup assertion: scalar-kernels fallback build");
+        return;
+    }
+
+    let cmp = run_frontend_comparison(120_000, 3);
+    eprintln!(
+        "ne {:.4}s -> {:.4}s ({:.2}x) | fpfh {:.4}s -> {:.4}s ({:.2}x) | combined {:.2}x",
+        cmp.frozen_ne_seconds,
+        cmp.new_ne_seconds,
+        cmp.ne_speedup(),
+        cmp.frozen_fpfh_seconds,
+        cmp.new_fpfh_seconds,
+        cmp.fpfh_speedup(),
+        cmp.combined_speedup()
+    );
+    assert_eq!(
+        cmp.warm_scratch_bytes_grown, 0,
+        "warm timed runs must not grow the preparation scratch"
+    );
+    assert!(
+        cmp.combined_speedup() >= 2.0,
+        "rewritten NE + FPFH must be ≥2x the frozen front end, got {:.2}x",
+        cmp.combined_speedup()
+    );
+}

@@ -38,7 +38,7 @@
 //! ```
 
 use crate::batch::{parallel_queries, BatchConfig, BatchSearcher};
-use crate::index::{IndexSize, SearchIndex};
+use crate::index::{IndexSize, SearchIndex, SharedIndex};
 use crate::soa::PointSoA;
 use crate::{simd, KdTree, Neighbor, SearchStats};
 use tigris_geom::Vec3;
@@ -450,6 +450,10 @@ impl SearchIndex for DynamicMapIndex {
         stats: &mut SearchStats,
     ) -> Vec<Vec<Neighbor>> {
         BatchSearcher::radius_batch(self, queries, radius, cfg, stats)
+    }
+
+    fn as_shared(&self) -> Option<&dyn SharedIndex> {
+        Some(self)
     }
 }
 

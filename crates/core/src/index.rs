@@ -12,6 +12,12 @@
 //!   backend (including stateful approximate ones) implements it, so the
 //!   pipeline's `Searcher3` can hold a `Box<dyn SearchIndex>` and new
 //!   backends plug in without touching the pipeline.
+//! * [`SharedIndex`] — the `&self` query view of the stateless exact
+//!   backends, reachable through [`SearchIndex::as_shared`]. Callers that
+//!   hold the index borrowed shared (the pipeline's front end querying
+//!   the searcher's own point slice, parallel fan-out without cloning)
+//!   downcast to it; stateful backends simply return `None` and keep the
+//!   exclusive path.
 //! * [`register_backend`]/[`build_backend`]/[`backend_names`] — a
 //!   process-wide registry of named backend factories. The five built-in
 //!   backends are pre-registered; external crates (e.g. `tigris-accel`'s
@@ -177,6 +183,104 @@ pub trait SearchIndex: Send + Sync {
     /// books, leader buffers) — call between frames. No-op for exact
     /// backends.
     fn reset(&mut self) {}
+
+    /// The shared-read (`&self`) query view of this backend, when it has
+    /// one.
+    ///
+    /// Exact stateless backends (`"classic"`, `"two-stage"`,
+    /// `"brute-force"`, `"dynamic"`) return `Some`; stateful backends
+    /// whose queries mutate (approximate leader books, accelerator
+    /// buffers) return the default `None` and callers fall back to the
+    /// exclusive `&mut self` entry points.
+    fn as_shared(&self) -> Option<&dyn SharedIndex> {
+        None
+    }
+}
+
+/// Shared-read (`&self`) queries over an exact backend.
+///
+/// [`SearchIndex`] queries take `&mut self` so stateful backends can
+/// evolve, which forces callers that query an index *about its own
+/// points* to copy those points out first (the borrow checker will not
+/// split "read the point slice" from "query the index"). This trait is
+/// the escape hatch: backends with genuinely immutable queries expose
+/// them at `&self`, reached via [`SearchIndex::as_shared`]. Results and
+/// [`SearchStats`] metering are bit-identical to the `&mut` entry
+/// points — the contract suite compares them directly.
+pub trait SharedIndex: Sync {
+    /// Nearest neighbor of `query`, or `None` on an empty index.
+    fn nn_shared(&self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor>;
+
+    /// The `k` nearest neighbors of `query`, ascending by distance.
+    fn knn_shared(&self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor>;
+
+    /// All neighbors within `radius` of `query`, ascending by distance.
+    fn radius_shared(&self, query: Vec3, radius: f64, stats: &mut SearchStats) -> Vec<Neighbor>;
+
+    /// Radius search appending into a caller-owned buffer: hits are
+    /// pushed onto `out` (existing contents untouched) with the appended
+    /// range sorted ascending — bit-identical per query to
+    /// [`SharedIndex::radius_shared`], allocation-free once the buffer
+    /// is warm.
+    fn radius_into_shared(
+        &self,
+        query: Vec3,
+        radius: f64,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        out.extend(self.radius_shared(query, radius, stats));
+    }
+
+    /// Radius search for a group of co-located queries, one output row
+    /// per query: `rows[i]` is cleared and then receives exactly the
+    /// hits [`SharedIndex::radius_shared`] would return for
+    /// `queries[i]`, in the same canonical `(d², index)` order.
+    /// Backends that can amortize one traversal across the whole group
+    /// override this; the default simply loops. Callers get the best
+    /// results from groups whose spatial extent is at most a radius or
+    /// so — a loose group drags every member through subtrees only its
+    /// farthest peer can reach.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rows.len() != queries.len()`.
+    fn radius_group_into_shared(
+        &self,
+        queries: &[Vec3],
+        radius: f64,
+        rows: &mut [Vec<Neighbor>],
+        stats: &mut SearchStats,
+    ) {
+        assert_eq!(queries.len(), rows.len(), "one output row per query");
+        for (q, row) in queries.iter().zip(rows.iter_mut()) {
+            row.clear();
+            self.radius_into_shared(*q, radius, row, stats);
+        }
+    }
+
+    /// [`SharedIndex::radius_group_into_shared`] minus the ordering
+    /// guarantee: `rows[i]` receives exactly the hit *set* of
+    /// `queries[i]` — same neighbors, same bits — in an unspecified
+    /// order. Backends whose grouped traversal produces rows in
+    /// traversal order override this to skip the canonical `(d²,
+    /// index)` re-sort, the dominant per-row cost on dense
+    /// neighborhoods; the default just returns sorted rows, a valid
+    /// instance of "unspecified". Only consumers whose accumulation is
+    /// order-independent may use this.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rows.len() != queries.len()`.
+    fn radius_group_unsorted_into_shared(
+        &self,
+        queries: &[Vec3],
+        radius: f64,
+        rows: &mut [Vec<Neighbor>],
+        stats: &mut SearchStats,
+    ) {
+        self.radius_group_into_shared(queries, radius, rows, stats);
+    }
 }
 
 impl SearchIndex for KdTree {
@@ -240,6 +344,54 @@ impl SearchIndex for KdTree {
     ) -> Vec<Vec<Neighbor>> {
         BatchSearcher::radius_batch(self, queries, radius, cfg, stats)
     }
+
+    fn as_shared(&self) -> Option<&dyn SharedIndex> {
+        Some(self)
+    }
+}
+
+impl SharedIndex for KdTree {
+    fn nn_shared(&self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
+        self.nn_with_stats(query, stats)
+    }
+
+    fn knn_shared(&self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        self.knn_with_stats(query, k, stats)
+    }
+
+    fn radius_shared(&self, query: Vec3, radius: f64, stats: &mut SearchStats) -> Vec<Neighbor> {
+        self.radius_with_stats(query, radius, stats)
+    }
+
+    fn radius_into_shared(
+        &self,
+        query: Vec3,
+        radius: f64,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        self.radius_into_with_stats(query, radius, out, stats);
+    }
+
+    fn radius_group_into_shared(
+        &self,
+        queries: &[Vec3],
+        radius: f64,
+        rows: &mut [Vec<Neighbor>],
+        stats: &mut SearchStats,
+    ) {
+        self.radius_group_into_with_stats(queries, radius, rows, stats);
+    }
+
+    fn radius_group_unsorted_into_shared(
+        &self,
+        queries: &[Vec3],
+        radius: f64,
+        rows: &mut [Vec<Neighbor>],
+        stats: &mut SearchStats,
+    ) {
+        self.radius_group_unsorted_into_with_stats(queries, radius, rows, stats);
+    }
 }
 
 impl SearchIndex for TwoStageKdTree {
@@ -302,6 +454,24 @@ impl SearchIndex for TwoStageKdTree {
         stats: &mut SearchStats,
     ) -> Vec<Vec<Neighbor>> {
         BatchSearcher::radius_batch(self, queries, radius, cfg, stats)
+    }
+
+    fn as_shared(&self) -> Option<&dyn SharedIndex> {
+        Some(self)
+    }
+}
+
+impl SharedIndex for TwoStageKdTree {
+    fn nn_shared(&self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
+        self.nn_with_stats(query, stats)
+    }
+
+    fn knn_shared(&self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        self.knn_with_stats(query, k, stats)
+    }
+
+    fn radius_shared(&self, query: Vec3, radius: f64, stats: &mut SearchStats) -> Vec<Neighbor> {
+        self.radius_with_stats(query, radius, stats)
     }
 }
 
@@ -430,6 +600,38 @@ impl SearchIndex for BruteForceIndex {
         stats: &mut SearchStats,
     ) -> Vec<Vec<Neighbor>> {
         BatchSearcher::radius_batch(self, queries, radius, cfg, stats)
+    }
+
+    fn as_shared(&self) -> Option<&dyn SharedIndex> {
+        Some(self)
+    }
+}
+
+impl SharedIndex for BruteForceIndex {
+    fn nn_shared(&self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
+        BruteForceIndex::nn_with_stats(self, query, stats)
+    }
+
+    fn knn_shared(&self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        BruteForceIndex::knn_with_stats(self, query, k, stats)
+    }
+
+    fn radius_shared(&self, query: Vec3, radius: f64, stats: &mut SearchStats) -> Vec<Neighbor> {
+        BruteForceIndex::radius_with_stats(self, query, radius, stats)
+    }
+}
+
+impl SharedIndex for DynamicMapIndex {
+    fn nn_shared(&self, query: Vec3, stats: &mut SearchStats) -> Option<Neighbor> {
+        self.nn_query_with_stats(query, stats)
+    }
+
+    fn knn_shared(&self, query: Vec3, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        self.knn_query_with_stats(query, k, stats)
+    }
+
+    fn radius_shared(&self, query: Vec3, radius: f64, stats: &mut SearchStats) -> Vec<Neighbor> {
+        self.radius_query_with_stats(query, radius, stats)
     }
 }
 
@@ -579,6 +781,46 @@ mod tests {
         assert_eq!(knn[0].index, nn.index);
         assert!(ball.iter().any(|n| n.index == nn.index));
         assert_eq!(stats.queries, 3);
+    }
+
+    #[test]
+    fn shared_view_matches_exclusive_queries() {
+        let pts = grid(300);
+        let queries = grid(40);
+        for name in ["classic", "two-stage", "brute-force", "dynamic"] {
+            let mut index = build_backend(name, &pts).unwrap();
+            let mut exclusive = SearchStats::new();
+            let expected: Vec<_> = queries
+                .iter()
+                .map(|&q| {
+                    (
+                        index.nn(q, &mut exclusive),
+                        index.knn(q, 4, &mut exclusive),
+                        index.radius(q, 2.0, &mut exclusive),
+                    )
+                })
+                .collect();
+            let shared = index.as_shared().unwrap_or_else(|| panic!("{name} must be shared"));
+            let mut stats = SearchStats::new();
+            let mut into_stats = SearchStats::new();
+            let mut appended = Vec::new();
+            for (&q, want) in queries.iter().zip(&expected) {
+                assert_eq!(shared.nn_shared(q, &mut stats), want.0, "{name} nn");
+                assert_eq!(shared.knn_shared(q, 4, &mut stats), want.1, "{name} knn");
+                assert_eq!(shared.radius_shared(q, 2.0, &mut stats), want.2, "{name} radius");
+                let start = appended.len();
+                shared.radius_into_shared(q, 2.0, &mut appended, &mut into_stats);
+                assert_eq!(&appended[start..], want.2.as_slice(), "{name} radius_into");
+            }
+            assert_eq!(stats, exclusive, "{name} metering must match");
+            assert_eq!(into_stats.queries, queries.len() as u64, "{name} radius_into metering");
+        }
+    }
+
+    #[test]
+    fn stateful_backends_have_no_shared_view() {
+        let index = build_backend("two-stage-approx", &grid(100)).unwrap();
+        assert!(index.as_shared().is_none());
     }
 
     #[test]

@@ -340,6 +340,218 @@ impl KdTree {
         out
     }
 
+    /// Radius search appending into a caller-owned buffer: the hits are
+    /// pushed onto `out` (existing contents untouched) and only the
+    /// appended range is sorted, so the results for this query are
+    /// bit-identical to [`KdTree::radius_with_stats`] while a warm
+    /// buffer makes the query allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `radius` is negative.
+    pub fn radius_into_with_stats(
+        &self,
+        query: Vec3,
+        radius: f64,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        if self.nodes.is_empty() {
+            return;
+        }
+        stats.queries += 1;
+        let start = out.len();
+        self.radius_scan(query, radius * radius, radius, out, stats);
+        out[start..].sort_unstable();
+    }
+
+    /// Radius search for a whole group of (ideally co-located) queries
+    /// in one traversal, filling `rows[i]` with the hits of
+    /// `queries[i]`.
+    ///
+    /// The traversal descends into every subtree that at least one
+    /// member's search ball could reach — the union of the members'
+    /// individual traversals — so each member scans a superset of the
+    /// leaves its own query would visit. All points within a member's
+    /// radius live inside that member's own traversal region, the `d² ≤
+    /// r²` filter rejects everything else, and the final per-row sort
+    /// restores the canonical `(d², index)` order, so every row is
+    /// bit-identical to [`KdTree::radius_with_stats`] on its query. The
+    /// win is amortization: interior nodes are dispatched once per
+    /// group instead of once per member, and each visited leaf's SoA
+    /// lanes stream through the SIMD filter for all members while still
+    /// cache-hot.
+    ///
+    /// Rows are cleared first. Visit accounting stays truthful to the
+    /// shared work: `leaves_scanned` / `tree_nodes_visited` /
+    /// `subtrees_pruned` count the single group traversal, while
+    /// `queries` and `leaf_points_scanned` (every point-vs-member
+    /// distance test) keep per-member totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `radius` is negative or `rows.len() !=
+    /// queries.len()`.
+    pub fn radius_group_into_with_stats(
+        &self,
+        queries: &[Vec3],
+        radius: f64,
+        rows: &mut [Vec<Neighbor>],
+        stats: &mut SearchStats,
+    ) {
+        self.radius_group_unsorted_into_with_stats(queries, radius, rows, stats);
+        for row in rows.iter_mut() {
+            // Canonical (d², index) order — identical to the per-query
+            // sort, but keyed on raw bits: d² is never negative, so its
+            // IEEE bit pattern orders exactly like the float and a
+            // single integer compare replaces the two-field `Ord`
+            // chain. The unstable sort leaves equal-d² runs (rare in
+            // real clouds) in arbitrary member order; the linear finish
+            // below restores the index tie-break, making the result
+            // independent of traversal order and sort stability.
+            row.sort_unstable_by_key(|n| n.distance_squared.to_bits());
+            let mut i = 1;
+            while i < row.len() {
+                let bits = row[i - 1].distance_squared.to_bits();
+                if bits == row[i].distance_squared.to_bits() {
+                    let start = i - 1;
+                    let mut end = i + 1;
+                    while end < row.len() && row[end].distance_squared.to_bits() == bits {
+                        end += 1;
+                    }
+                    row[start..end].sort_unstable_by_key(|n| n.index);
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// [`KdTree::radius_group_into_with_stats`] without the final
+    /// canonical per-row sort: `rows[i]` receives exactly the hit *set*
+    /// of `queries[i]` — same neighbors, same bits — but in traversal
+    /// (ascending arena) order rather than `(d², index)` order.
+    ///
+    /// The sort is the dominant per-row cost of the grouped path on
+    /// dense neighborhoods, and consumers whose accumulation is
+    /// order-independent (exact `+= 1.0` histogram adds, for example)
+    /// don't need it. Order-sensitive consumers must use the sorted
+    /// entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `radius` is negative or `rows.len() !=
+    /// queries.len()`.
+    pub fn radius_group_unsorted_into_with_stats(
+        &self,
+        queries: &[Vec3],
+        radius: f64,
+        rows: &mut [Vec<Neighbor>],
+        stats: &mut SearchStats,
+    ) {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        assert_eq!(queries.len(), rows.len(), "one output row per query");
+        for row in rows.iter_mut() {
+            row.clear();
+        }
+        if self.nodes.is_empty() || queries.is_empty() {
+            return;
+        }
+        stats.queries += queries.len() as u64;
+        let (mut lo, mut hi) = (queries[0], queries[0]);
+        for q in &queries[1..] {
+            lo.x = lo.x.min(q.x);
+            lo.y = lo.y.min(q.y);
+            lo.z = lo.z.min(q.z);
+            hi.x = hi.x.max(q.x);
+            hi.y = hi.y.max(q.y);
+            hi.z = hi.z.max(q.z);
+        }
+        let r2 = radius * radius;
+        // The DFS below visits leaves left to right, which is ascending
+        // arena order, so reachable leaves coalesce into a few long
+        // contiguous spans. Hits are collected per merged span instead
+        // of per leaf: one kernel dispatch covers what would otherwise
+        // be dozens of calls on sub-SIMD-width slices, and each
+        // member's query stays register-resident across a whole span.
+        const MAX_SPANS: usize = 128;
+        let mut spans = [(0_usize, 0_usize); MAX_SPANS];
+        let mut nspans = 0_usize;
+        let mut stack = [0_usize; 64];
+        let mut top = 1;
+        while top > 0 {
+            top -= 1;
+            let mut slot = stack[top];
+            loop {
+                match self.nodes[slot] {
+                    Slot::Empty => unreachable!("traversal never reaches padding slots"),
+                    Slot::Leaf { start, len } => {
+                        let (start, len) = (start as usize, len as usize);
+                        stats.leaves_scanned += 1;
+                        stats.leaf_points_scanned += (len * queries.len()) as u64;
+                        if nspans > 0 && spans[nspans - 1].0 + spans[nspans - 1].1 == start {
+                            spans[nspans - 1].1 += len;
+                        } else {
+                            if nspans == MAX_SPANS {
+                                self.scan_spans(&spans, queries, r2, rows);
+                                nspans = 0;
+                            }
+                            spans[nspans] = (start, len);
+                            nspans += 1;
+                        }
+                        break;
+                    }
+                    Slot::Interior { axis, split } => {
+                        stats.tree_nodes_visited += 1;
+                        // A side is reachable iff some member's ball
+                        // crosses onto it — interval tests against the
+                        // group's bounding box. `lo ≤ hi` keeps at
+                        // least one side reachable.
+                        let a = axis as usize;
+                        let visit_left = lo.axis(a) - radius <= split;
+                        let visit_right = hi.axis(a) + radius >= split;
+                        if visit_left && visit_right {
+                            stack[top] = 2 * slot + 2;
+                            top += 1;
+                            slot = 2 * slot + 1;
+                        } else {
+                            stats.subtrees_pruned += 1;
+                            slot = if visit_left { 2 * slot + 1 } else { 2 * slot + 2 };
+                        }
+                    }
+                }
+            }
+        }
+        self.scan_spans(&spans[..nspans], queries, r2, rows);
+    }
+
+    /// Streams every `(start, len)` arena span through the SIMD radius
+    /// filter for each group member, appending hits to the member's
+    /// row. Span order per member is ascending arena order — the row
+    /// order the unsorted entry point exposes; the sorted entry point
+    /// re-sorts rows afterwards.
+    fn scan_spans(
+        &self,
+        spans: &[(usize, usize)],
+        queries: &[Vec3],
+        r2: f64,
+        rows: &mut [Vec<Neighbor>],
+    ) {
+        for (q, row) in queries.iter().zip(rows.iter_mut()) {
+            for &(start, len) in spans {
+                simd::radius_collect(
+                    *q,
+                    self.arena.range(start, len),
+                    &self.ids[start..start + len],
+                    r2,
+                    row,
+                );
+            }
+        }
+    }
+
     /// Iterative radius traversal: descends near children inline and
     /// parks far children on an explicit stack. Unlike NN search, the
     /// `|Δ| ≤ r` prune does not depend on results found so far, so this
@@ -488,6 +700,80 @@ mod tests {
         assert_eq!(t.leaf_count(), 1);
         assert_eq!(t.interior_count(), 0);
         assert_eq!(t.nn(Vec3::ZERO).unwrap().index, 0);
+    }
+
+    #[test]
+    fn grouped_radius_rows_are_bit_identical_to_per_query_search() {
+        let pts = lcg_cloud(700, 11);
+        let t = KdTree::build(&pts);
+        // Groups of every size 1..=17 (straddling leaf and SIMD widths),
+        // mixing co-located runs with scattered members, duplicate
+        // queries, and off-cloud queries with no hits.
+        let mut queries: Vec<Vec3> = pts.iter().step_by(9).copied().collect();
+        queries.push(pts[3]);
+        queries.push(pts[3]);
+        queries.push(Vec3::new(500.0, -500.0, 0.0));
+        let mut start = 0;
+        let mut size = 1;
+        while start < queries.len() {
+            let end = (start + size).min(queries.len());
+            let group = &queries[start..end];
+            let mut rows = vec![vec![Neighbor::new(9, 9.0)]; group.len()];
+            let mut gstats = SearchStats::new();
+            t.radius_group_into_with_stats(group, 1.7, &mut rows, &mut gstats);
+            assert_eq!(gstats.queries, group.len() as u64);
+            for (q, row) in group.iter().zip(&rows) {
+                let mut stats = SearchStats::new();
+                let expected = t.radius_with_stats(*q, 1.7, &mut stats);
+                assert_eq!(row.len(), expected.len());
+                for (a, b) in row.iter().zip(&expected) {
+                    assert_eq!(a.index, b.index);
+                    assert_eq!(a.distance_squared.to_bits(), b.distance_squared.to_bits());
+                }
+            }
+            start = end;
+            size = size % 17 + 1;
+        }
+        // Radius zero returns exactly the coincident points.
+        let mut rows = vec![Vec::new(); 2];
+        let mut stats = SearchStats::new();
+        t.radius_group_into_with_stats(
+            &[pts[5], Vec3::new(99.0, 99.0, 99.0)],
+            0.0,
+            &mut rows,
+            &mut stats,
+        );
+        assert!(rows[0].iter().any(|n| n.index == 5 && n.distance_squared == 0.0));
+        assert!(rows[1].is_empty());
+        // Empty tree and empty group are no-ops.
+        let empty = KdTree::build(&[]);
+        let mut rows = vec![vec![Neighbor::new(1, 1.0)]];
+        empty.radius_group_into_with_stats(&[Vec3::ZERO], 1.0, &mut rows, &mut stats);
+        assert!(rows[0].is_empty(), "rows are cleared even on an empty tree");
+        t.radius_group_into_with_stats(&[], 1.0, &mut [], &mut stats);
+    }
+
+    #[test]
+    fn unsorted_grouped_radius_rows_hold_the_same_hit_set() {
+        let pts = lcg_cloud(700, 23);
+        let t = KdTree::build(&pts);
+        let queries: Vec<Vec3> = pts.iter().step_by(31).copied().collect();
+        for group in queries.chunks(7) {
+            let mut rows = vec![vec![Neighbor::new(9, 9.0)]; group.len()];
+            let mut stats = SearchStats::new();
+            t.radius_group_unsorted_into_with_stats(group, 1.7, &mut rows, &mut stats);
+            for (q, row) in group.iter().zip(&mut rows) {
+                let expected = t.radius_with_stats(*q, 1.7, &mut SearchStats::new());
+                // Canonically sorting the unsorted row must reproduce the
+                // per-query result exactly — same hits, same bits.
+                row.sort_unstable();
+                assert_eq!(row.len(), expected.len());
+                for (a, b) in row.iter().zip(&expected) {
+                    assert_eq!(a.index, b.index);
+                    assert_eq!(a.distance_squared.to_bits(), b.distance_squared.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

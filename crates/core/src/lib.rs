@@ -68,7 +68,9 @@ pub use approx::{ApproxConfig, ApproxIndex, ApproxSearcher};
 pub use batch::{BatchConfig, BatchSearcher};
 pub use bruteforce::{knn_brute_force, nn_brute_force, radius_brute_force, BruteForceIndex};
 pub use dynamic::DynamicMapIndex;
-pub use index::{backend_names, build_backend, register_backend, IndexSize, SearchIndex};
+pub use index::{
+    backend_names, build_backend, register_backend, IndexSize, SearchIndex, SharedIndex,
+};
 pub use kdtree::KdTree;
 pub use kdtree_nd::KdTreeN;
 pub use record::{segment_by_kind, QueryKind, QueryRecord};

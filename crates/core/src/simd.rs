@@ -12,6 +12,29 @@
 //!   `d² ≤ r²` compare that appends hits in scan order: the radius-search
 //!   kernel.
 //!
+//! Six more kernels cover the registration *front end* (normal
+//! estimation and SPFH/FPFH descriptor histograms), which gathers each
+//! point's neighborhood into scratch lanes and reduces over it:
+//!
+//! * [`lane_sums`] — per-lane coordinate sums (the centroid numerators of
+//!   a plane fit), each lane a single left-to-right chain.
+//! * [`cov_upper`] — the six unique entries of a neighborhood covariance
+//!   `Σ (p−c)(p−c)ᵀ`, products evaluated blockwise, each entry's sum a
+//!   single left-to-right chain.
+//! * [`distances`] — Euclidean (non-squared) distances, the pair-distance
+//!   stage of SPFH; `sqrt` is correctly rounded, so the blocked variant
+//!   stays exact.
+//! * [`axpy`] — `acc[i] += w·v[i]` across a descriptor row, the FPFH
+//!   weighted-neighbor accumulate (each element an independent chain).
+//! * [`bin11`] — the 11-bucket clamp-scale-truncate histogram binning of
+//!   SPFH features, elementwise.
+//! * [`pair_features_batch`] — the full Darboux-frame evaluation
+//!   (distance, canonical source/target ordering, frame axes, the three
+//!   angle dot products) for a block of point pairs, with degenerate
+//!   lanes reported through flag bytes instead of early returns; only
+//!   the final `atan2` stays scalar per lane (libm, no vector
+//!   counterpart with identical rounding).
+//!
 //! Two implementations exist side by side and are **always both
 //! compiled**:
 //!
@@ -47,10 +70,27 @@ pub const LANES: usize = 8;
 pub const LANES_HALF: usize = 4;
 
 #[cfg(not(feature = "scalar-kernels"))]
-pub use wide::{nn_reduce, radius_collect, squared_distances};
+pub use wide::{
+    axpy, bin11, cov_upper, distances, lane_sums, nn_reduce, pair_features_batch, radius_collect,
+    squared_distances,
+};
 
 #[cfg(feature = "scalar-kernels")]
-pub use scalar::{nn_reduce, radius_collect, squared_distances};
+pub use scalar::{
+    axpy, bin11, cov_upper, distances, lane_sums, nn_reduce, pair_features_batch, radius_collect,
+    squared_distances,
+};
+
+/// [`pair_features_batch`] flag: the lane passed the `dist < 1e-9`
+/// coincident-points guard; lanes without it carry no usable feature.
+pub const PAIR_DIST_OK: u8 = 1;
+/// [`pair_features_batch`] flag: the Darboux frame is well-defined (the
+/// `v` axis normalization did not reject the lane).
+pub const PAIR_FRAME_OK: u8 = 2;
+/// [`pair_features_batch`] flag: the two canonical-ordering magnitudes
+/// tied exactly (`a == b`), so a symmetric consumer must evaluate the
+/// reverse direction separately.
+pub const PAIR_TIE: u8 = 4;
 
 /// `true` when the build-time selected kernels are the blocked [`wide`]
 /// ones (i.e. the `scalar-kernels` fallback feature is off).
@@ -147,6 +187,147 @@ pub mod scalar {
             if d2 <= r2 {
                 out.push(Neighbor::new(ids[i] as usize, d2));
             }
+        }
+    }
+
+    /// Per-lane coordinate sums `[Σx, Σy, Σz]`, each lane one
+    /// left-to-right chain — the centroid numerators of a plane fit,
+    /// summed exactly as the scalar `centroid += p` loop it replaces.
+    pub fn lane_sums(pts: SoaView<'_>) -> [f64; 3] {
+        let (mut sx, mut sy, mut sz) = (0.0_f64, 0.0_f64, 0.0_f64);
+        for i in 0..pts.len() {
+            sx += pts.xs[i];
+            sy += pts.ys[i];
+            sz += pts.zs[i];
+        }
+        [sx, sy, sz]
+    }
+
+    /// The six unique entries `[xx, xy, xz, yy, yz, zz]` of the
+    /// neighborhood covariance `Σ (p − c)(p − c)ᵀ`, each entry one
+    /// left-to-right chain of `d_r · d_c` products in scan order — the
+    /// association of the entrywise `cov = cov + outer(d, d)` loop it
+    /// replaces (the mirrored lower-triangle entries are bit-equal
+    /// because IEEE multiplication commutes).
+    pub fn cov_upper(pts: SoaView<'_>, centroid: [f64; 3]) -> [f64; 6] {
+        let [cx, cy, cz] = centroid;
+        let mut acc = [0.0_f64; 6];
+        for i in 0..pts.len() {
+            let dx = pts.xs[i] - cx;
+            let dy = pts.ys[i] - cy;
+            let dz = pts.zs[i] - cz;
+            acc[0] += dx * dx;
+            acc[1] += dx * dy;
+            acc[2] += dx * dz;
+            acc[3] += dy * dy;
+            acc[4] += dy * dz;
+            acc[5] += dz * dz;
+        }
+        acc
+    }
+
+    /// Writes `‖query − pts[i]‖` (the non-squared distance) to `out[i]`
+    /// for every candidate — the pair-distance stage of SPFH/FPFH.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `out` and the coordinate lanes of `pts` have the
+    /// same length.
+    pub fn distances(query: tigris_geom::Vec3, pts: SoaView<'_>, out: &mut [f64]) {
+        let n = pts.len();
+        assert_eq!(out.len(), n, "one output slot per candidate point");
+        for i in 0..n {
+            let dx = query.x - pts.xs[i];
+            let dy = query.y - pts.ys[i];
+            let dz = query.z - pts.zs[i];
+            out[i] = ((dx * dx + dy * dy) + dz * dz).sqrt();
+        }
+    }
+
+    /// `acc[i] += w · v[i]` across a descriptor row — the FPFH
+    /// weighted-neighbor accumulate. Each element is an independent
+    /// chain, so blocking cannot reassociate anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `acc.len() == v.len()`.
+    pub fn axpy(acc: &mut [f64], w: f64, v: &[f64]) {
+        let n = acc.len();
+        assert_eq!(v.len(), n, "accumulator and row must have the same length");
+        for i in 0..n {
+            acc[i] += w * v[i];
+        }
+    }
+
+    /// The SPFH 11-bucket binning `min(⌊clamp((v−lo)/(hi−lo), 0, 1)·11⌋,
+    /// 10)`, elementwise into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `out.len() == values.len()`.
+    pub fn bin11(values: &[f64], lo: f64, hi: f64, out: &mut [u32]) {
+        let n = values.len();
+        assert_eq!(out.len(), n, "one output bin per value");
+        for i in 0..n {
+            let t = ((values[i] - lo) / (hi - lo)).clamp(0.0, 1.0);
+            out[i] = ((t * 11.0) as u32).min(10);
+        }
+    }
+
+    /// Canonically-ordered Darboux pair features (Rusu et al., Eq. 1–3)
+    /// for a batch of SPFH source/target pairs: lane `i` relates source
+    /// point/normal `(ps[i], ns[i])` to target `(pt[i], nt[i])` and
+    /// yields the three angles `(alpha[i], phi[i], theta[i])` plus a
+    /// [`PAIR_DIST_OK`]`/`[`PAIR_FRAME_OK`]`/`[`PAIR_TIE`] flag byte.
+    /// Guards are reported, not branched on: every lane's outputs are
+    /// written unconditionally and are garbage unless both `_OK` flags
+    /// are set.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all input and output slices share one length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pair_features_batch(
+        ps: &[tigris_geom::Vec3],
+        ns: &[tigris_geom::Vec3],
+        pt: &[tigris_geom::Vec3],
+        nt: &[tigris_geom::Vec3],
+        alpha: &mut [f64],
+        phi: &mut [f64],
+        theta: &mut [f64],
+        flags: &mut [u8],
+    ) {
+        let n = ps.len();
+        assert!(
+            [ns.len(), pt.len(), nt.len(), alpha.len(), phi.len(), theta.len(), flags.len()]
+                .iter()
+                .all(|&l| l == n),
+            "one lane per pair across all slices"
+        );
+        for i in 0..n {
+            let d = pt[i] - ps[i];
+            let dist = d.norm();
+            let du = d / dist;
+            let a = ns[i].dot(du).abs();
+            let b = nt[i].dot(-du).abs();
+            // The canonical source/target ordering of `pair_features`:
+            // the side whose normal leans into the connecting line
+            // becomes the frame origin.
+            let swap = a >= b;
+            let (u, n2, dd) = if swap { (ns[i], nt[i], du) } else { (nt[i], ns[i], -du) };
+            let v = dd.cross(u);
+            let vn = v.norm();
+            let nv = v / vn;
+            let w = u.cross(nv);
+            alpha[i] = nv.dot(n2);
+            phi[i] = u.dot(dd);
+            theta[i] = w.dot(n2).atan2(u.dot(n2));
+            // `if x < eps` (not `x >= eps`) so NaN distances keep the
+            // frozen scalar path's "valid" classification bit-for-bit.
+            let dist_ok = if dist < 1e-9 { 0 } else { PAIR_DIST_OK };
+            let frame_ok = if vn < 1e-12 { 0 } else { PAIR_FRAME_OK };
+            let tie = if a == b { PAIR_TIE } else { 0 };
+            flags[i] = dist_ok | frame_ok | tie;
         }
     }
 }
@@ -339,6 +520,337 @@ pub mod wide {
             }
         }
     }
+
+    /// Per-lane coordinate sums `[Σx, Σy, Σz]`.
+    ///
+    /// The three running sums are the contract (one left-to-right chain
+    /// per lane, exactly [`scalar::lane_sums`]); blocking only batches
+    /// the loads, so the adds stay in scan order and the chains stay
+    /// bit-identical while still overlapping as three independent
+    /// dependency chains.
+    pub fn lane_sums(pts: SoaView<'_>) -> [f64; 3] {
+        let n = pts.len();
+        let (mut sx, mut sy, mut sz) = (0.0_f64, 0.0_f64, 0.0_f64);
+        let mut base = 0;
+        while base + LANES <= n {
+            let xs = &pts.xs[base..base + LANES];
+            let ys = &pts.ys[base..base + LANES];
+            let zs = &pts.zs[base..base + LANES];
+            for l in 0..LANES {
+                sx += xs[l];
+                sy += ys[l];
+                sz += zs[l];
+            }
+            base += LANES;
+        }
+        for i in base..n {
+            sx += pts.xs[i];
+            sy += pts.ys[i];
+            sz += pts.zs[i];
+        }
+        [sx, sy, sz]
+    }
+
+    /// Computes one block of `N` centered-difference products
+    /// `[dx·dx, dx·dy, dx·dz, dy·dy, dy·dz, dz·dz]` starting at `base` —
+    /// pure elementwise arithmetic, the vectorizable half of the
+    /// covariance accumulation.
+    #[inline(always)]
+    fn cov_block<const N: usize>(
+        cx: f64,
+        cy: f64,
+        cz: f64,
+        pts: SoaView<'_>,
+        base: usize,
+    ) -> [[f64; N]; 6] {
+        let xs = &pts.xs[base..base + N];
+        let ys = &pts.ys[base..base + N];
+        let zs = &pts.zs[base..base + N];
+        let mut p = [[0.0_f64; N]; 6];
+        for l in 0..N {
+            let dx = xs[l] - cx;
+            let dy = ys[l] - cy;
+            let dz = zs[l] - cz;
+            p[0][l] = dx * dx;
+            p[1][l] = dx * dy;
+            p[2][l] = dx * dz;
+            p[3][l] = dy * dy;
+            p[4][l] = dy * dz;
+            p[5][l] = dz * dz;
+        }
+        p
+    }
+
+    /// The six unique entries `[xx, xy, xz, yy, yz, zz]` of the
+    /// neighborhood covariance `Σ (p − c)(p − c)ᵀ`.
+    ///
+    /// Products are evaluated blockwise (elementwise — safe to
+    /// vectorize); the six accumulation chains then fold each block in
+    /// scan order, so every chain reproduces [`scalar::cov_upper`]'s
+    /// left-to-right association bit for bit while the six independent
+    /// chains overlap in the pipeline.
+    pub fn cov_upper(pts: SoaView<'_>, centroid: [f64; 3]) -> [f64; 6] {
+        let [cx, cy, cz] = centroid;
+        let n = pts.len();
+        let mut acc = [0.0_f64; 6];
+        let mut base = 0;
+        while base + LANES <= n {
+            let p = cov_block::<LANES>(cx, cy, cz, pts, base);
+            for l in 0..LANES {
+                for c in 0..6 {
+                    acc[c] += p[c][l];
+                }
+            }
+            base += LANES;
+        }
+        if base + LANES_HALF <= n {
+            let p = cov_block::<LANES_HALF>(cx, cy, cz, pts, base);
+            for l in 0..LANES_HALF {
+                for c in 0..6 {
+                    acc[c] += p[c][l];
+                }
+            }
+            base += LANES_HALF;
+        }
+        for i in base..n {
+            let dx = pts.xs[i] - cx;
+            let dy = pts.ys[i] - cy;
+            let dz = pts.zs[i] - cz;
+            acc[0] += dx * dx;
+            acc[1] += dx * dy;
+            acc[2] += dx * dz;
+            acc[3] += dy * dy;
+            acc[4] += dy * dz;
+            acc[5] += dz * dz;
+        }
+        acc
+    }
+
+    /// Writes `‖query − pts[i]‖` (the non-squared distance) to `out[i]`
+    /// for every candidate.
+    ///
+    /// Blockwise squared distances followed by an elementwise `sqrt`;
+    /// IEEE square root is correctly rounded, so the blocked variant is
+    /// bit-identical to [`scalar::distances`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `out` and the coordinate lanes of `pts` have the
+    /// same length.
+    pub fn distances(query: tigris_geom::Vec3, pts: SoaView<'_>, out: &mut [f64]) {
+        let n = pts.len();
+        assert_eq!(out.len(), n, "one output slot per candidate point");
+        let (qx, qy, qz) = (query.x, query.y, query.z);
+        let mut base = 0;
+        while base + LANES <= n {
+            let d2 = d2_block::<LANES>(qx, qy, qz, pts, base);
+            for l in 0..LANES {
+                out[base + l] = d2[l].sqrt();
+            }
+            base += LANES;
+        }
+        if base + LANES_HALF <= n {
+            let d2 = d2_block::<LANES_HALF>(qx, qy, qz, pts, base);
+            for l in 0..LANES_HALF {
+                out[base + l] = d2[l].sqrt();
+            }
+            base += LANES_HALF;
+        }
+        for i in base..n {
+            let dx = qx - pts.xs[i];
+            let dy = qy - pts.ys[i];
+            let dz = qz - pts.zs[i];
+            out[i] = ((dx * dx + dy * dy) + dz * dz).sqrt();
+        }
+    }
+
+    /// `acc[i] += w · v[i]` across a descriptor row, in 8-wide blocks.
+    /// Each element is an independent chain, so blocking cannot
+    /// reassociate anything; no FMA is emitted (Rust never contracts).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `acc.len() == v.len()`.
+    pub fn axpy(acc: &mut [f64], w: f64, v: &[f64]) {
+        let n = acc.len();
+        assert_eq!(v.len(), n, "accumulator and row must have the same length");
+        let mut base = 0;
+        while base + LANES <= n {
+            let a = &mut acc[base..base + LANES];
+            let b = &v[base..base + LANES];
+            for l in 0..LANES {
+                a[l] += w * b[l];
+            }
+            base += LANES;
+        }
+        for i in base..n {
+            acc[i] += w * v[i];
+        }
+    }
+
+    /// The SPFH 11-bucket binning, elementwise into `out`: the
+    /// clamp-and-scale runs blockwise, the float→lane-index cast per
+    /// element.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `out.len() == values.len()`.
+    pub fn bin11(values: &[f64], lo: f64, hi: f64, out: &mut [u32]) {
+        let n = values.len();
+        assert_eq!(out.len(), n, "one output bin per value");
+        let span = hi - lo;
+        let mut base = 0;
+        while base + LANES <= n {
+            let vs = &values[base..base + LANES];
+            let mut scaled = [0.0_f64; LANES];
+            for l in 0..LANES {
+                scaled[l] = ((vs[l] - lo) / span).clamp(0.0, 1.0) * 11.0;
+            }
+            for l in 0..LANES {
+                out[base + l] = (scaled[l] as u32).min(10);
+            }
+            base += LANES;
+        }
+        for i in base..n {
+            let t = ((values[i] - lo) / (hi - lo)).clamp(0.0, 1.0);
+            out[i] = ((t * 11.0) as u32).min(10);
+        }
+    }
+
+    /// Batch width of the blocked [`pair_features_batch`]: the
+    /// non-transcendental arithmetic runs through stack blocks this
+    /// wide, the `atan2` evaluation stays one libm call per lane.
+    const PAIR_BLOCK: usize = 64;
+
+    /// Canonically-ordered Darboux pair features — see the [`scalar`]
+    /// reference for the semantics. The whole chain (distance,
+    /// direction, ordering select, frame axes, dot products) is
+    /// branch-free elementwise arithmetic over fixed-width blocks;
+    /// subtraction/multiplication/addition orders copy the `Vec3`
+    /// operator sequences and division and square root are correctly
+    /// rounded, so every lane is bit-identical to the scalar kernel.
+    /// Only the final `theta = atan2(y, x)` runs per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all input and output slices share one length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pair_features_batch(
+        ps: &[tigris_geom::Vec3],
+        ns: &[tigris_geom::Vec3],
+        pt: &[tigris_geom::Vec3],
+        nt: &[tigris_geom::Vec3],
+        alpha: &mut [f64],
+        phi: &mut [f64],
+        theta: &mut [f64],
+        flags: &mut [u8],
+    ) {
+        let n = ps.len();
+        assert!(
+            [ns.len(), pt.len(), nt.len(), alpha.len(), phi.len(), theta.len(), flags.len()]
+                .iter()
+                .all(|&l| l == n),
+            "one lane per pair across all slices"
+        );
+        const B: usize = PAIR_BLOCK;
+        let mut base = 0;
+        while base < n {
+            let m = (n - base).min(B);
+            // Stage 0 — transpose the AoS lanes into SoA blocks; every
+            // later stage is a plain elementwise loop over these.
+            let (mut psx, mut psy, mut psz) = ([0.0_f64; B], [0.0_f64; B], [0.0_f64; B]);
+            let (mut nsx, mut nsy, mut nsz) = ([0.0_f64; B], [0.0_f64; B], [0.0_f64; B]);
+            let (mut ptx, mut pty, mut ptz) = ([0.0_f64; B], [0.0_f64; B], [0.0_f64; B]);
+            let (mut ntx, mut nty, mut ntz) = ([0.0_f64; B], [0.0_f64; B], [0.0_f64; B]);
+            for k in 0..m {
+                let i = base + k;
+                (psx[k], psy[k], psz[k]) = (ps[i].x, ps[i].y, ps[i].z);
+                (nsx[k], nsy[k], nsz[k]) = (ns[i].x, ns[i].y, ns[i].z);
+                (ptx[k], pty[k], ptz[k]) = (pt[i].x, pt[i].y, pt[i].z);
+                (ntx[k], nty[k], ntz[k]) = (nt[i].x, nt[i].y, nt[i].z);
+            }
+            // Stage 1 — connecting line: distance and unit direction.
+            // Stages 1–4 run all `B` lanes — a fixed trip count with no
+            // bounds checks is what the auto-vectorizer turns into
+            // packed code — and the zero-initialized padding lanes
+            // produce NaNs that stage 5 never reads.
+            let mut dist = [0.0_f64; B];
+            let (mut dux, mut duy, mut duz) = ([0.0_f64; B], [0.0_f64; B], [0.0_f64; B]);
+            for k in 0..B {
+                let dx = ptx[k] - psx[k];
+                let dy = pty[k] - psy[k];
+                let dz = ptz[k] - psz[k];
+                let d = ((dx * dx + dy * dy) + dz * dz).sqrt();
+                dist[k] = d;
+                dux[k] = dx / d;
+                duy[k] = dy / d;
+                duz[k] = dz / d;
+            }
+            // Stage 2 — canonical ordering magnitudes and the select
+            // mask (the side whose normal leans into the line wins).
+            let mut swap = [false; B];
+            let mut tie = [false; B];
+            for k in 0..B {
+                let a = ((nsx[k] * dux[k] + nsy[k] * duy[k]) + nsz[k] * duz[k]).abs();
+                let b = ((ntx[k] * -dux[k] + nty[k] * -duy[k]) + ntz[k] * -duz[k]).abs();
+                swap[k] = a >= b;
+                tie[k] = a == b;
+            }
+            // Stage 3 — frame operands after the select.
+            let (mut ux, mut uy, mut uz) = ([0.0_f64; B], [0.0_f64; B], [0.0_f64; B]);
+            let (mut mx, mut my, mut mz) = ([0.0_f64; B], [0.0_f64; B], [0.0_f64; B]);
+            let (mut ex, mut ey, mut ez) = ([0.0_f64; B], [0.0_f64; B], [0.0_f64; B]);
+            for k in 0..B {
+                let s = swap[k];
+                ux[k] = if s { nsx[k] } else { ntx[k] };
+                uy[k] = if s { nsy[k] } else { nty[k] };
+                uz[k] = if s { nsz[k] } else { ntz[k] };
+                mx[k] = if s { ntx[k] } else { nsx[k] };
+                my[k] = if s { nty[k] } else { nsy[k] };
+                mz[k] = if s { ntz[k] } else { nsz[k] };
+                ex[k] = if s { dux[k] } else { -dux[k] };
+                ey[k] = if s { duy[k] } else { -duy[k] };
+                ez[k] = if s { duz[k] } else { -duz[k] };
+            }
+            // Stage 4 — v = dd × u normalized (`Vec3::cross` order), w =
+            // u × v̂, and the four dot products.
+            let mut vn = [0.0_f64; B];
+            let mut ty = [0.0_f64; B];
+            let mut tx = [0.0_f64; B];
+            let mut aout = [0.0_f64; B];
+            let mut pout = [0.0_f64; B];
+            for k in 0..B {
+                let vx = ey[k] * uz[k] - ez[k] * uy[k];
+                let vy = ez[k] * ux[k] - ex[k] * uz[k];
+                let vz = ex[k] * uy[k] - ey[k] * ux[k];
+                let d = ((vx * vx + vy * vy) + vz * vz).sqrt();
+                vn[k] = d;
+                let qx = vx / d;
+                let qy = vy / d;
+                let qz = vz / d;
+                let wx = uy[k] * qz - uz[k] * qy;
+                let wy = uz[k] * qx - ux[k] * qz;
+                let wz = ux[k] * qy - uy[k] * qx;
+                aout[k] = (qx * mx[k] + qy * my[k]) + qz * mz[k];
+                pout[k] = (ux[k] * ex[k] + uy[k] * ey[k]) + uz[k] * ez[k];
+                ty[k] = (wx * mx[k] + wy * my[k]) + wz * mz[k];
+                tx[k] = (ux[k] * mx[k] + uy[k] * my[k]) + uz[k] * mz[k];
+            }
+            // Stage 5 — per-lane transcendental and flag assembly.
+            for k in 0..m {
+                alpha[base + k] = aout[k];
+                phi[base + k] = pout[k];
+                theta[base + k] = ty[k].atan2(tx[k]);
+                // Same NaN-preserving `if x < eps` tests as the scalar
+                // variant — the classifications must agree bit-for-bit.
+                let dist_ok = if dist[k] < 1e-9 { 0 } else { PAIR_DIST_OK };
+                let frame_ok = if vn[k] < 1e-12 { 0 } else { PAIR_FRAME_OK };
+                let tie_flag = if tie[k] { PAIR_TIE } else { 0 };
+                flags[base + k] = dist_ok | frame_ok | tie_flag;
+            }
+            base += m;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -383,6 +895,133 @@ mod tests {
             wide::radius_collect(q, soa.view(), &ids, r2, &mut hb);
             assert_eq!(ha, hb, "n = {n}");
         }
+    }
+
+    #[test]
+    fn frontend_kernels_match_scalar_on_all_remainders() {
+        for n in 0..20 {
+            let (soa, _) = cloud(n);
+            let q = Vec3::new(0.3, -1.2, 0.7);
+
+            assert_eq!(scalar::lane_sums(soa.view()), wide::lane_sums(soa.view()), "n = {n}");
+
+            let c = [0.4, -0.7, 1.3];
+            assert_eq!(scalar::cov_upper(soa.view(), c), wide::cov_upper(soa.view(), c), "n = {n}");
+
+            let mut a = vec![0.0; n];
+            let mut b = vec![0.0; n];
+            scalar::distances(q, soa.view(), &mut a);
+            wide::distances(q, soa.view(), &mut b);
+            assert_eq!(a, b, "n = {n}");
+
+            // axpy over an n-length row, seeded with distinct accumulators.
+            let row: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).sin()).collect();
+            let mut acc_a: Vec<f64> = (0..n).map(|i| i as f64 * 0.1).collect();
+            let mut acc_b = acc_a.clone();
+            scalar::axpy(&mut acc_a, 0.37, &row);
+            wide::axpy(&mut acc_b, 0.37, &row);
+            assert_eq!(acc_a, acc_b, "n = {n}");
+
+            let vals: Vec<f64> = (0..n).map(|i| -1.4 + 0.31 * i as f64).collect();
+            let mut ba = vec![0u32; n];
+            let mut bb = vec![0u32; n];
+            scalar::bin11(&vals, -1.0, 1.0, &mut ba);
+            wide::bin11(&vals, -1.0, 1.0, &mut bb);
+            assert_eq!(ba, bb, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn pair_features_batch_matches_scalar_lanewise() {
+        // Pairs spanning generic geometry, an exact canonical-ordering
+        // tie (mirrored normals), coincident points (dist guard), and a
+        // degenerate frame (direction parallel to both normals).
+        for n in 0..70 {
+            let mut ps = Vec::new();
+            let mut ns = Vec::new();
+            let mut pt = Vec::new();
+            let mut nt = Vec::new();
+            for i in 0..n {
+                let f = i as f64;
+                match i % 4 {
+                    0 => {
+                        ps.push(Vec3::new((f * 0.37).sin(), (f * 0.11).cos(), f * 0.05));
+                        ns.push(Vec3::new(0.0, 0.6, 0.8));
+                        pt.push(Vec3::new((f * 0.19).cos(), (f * 0.29).sin(), 1.0 - f * 0.02));
+                        nt.push(Vec3::new(0.48, 0.6, 0.64));
+                    }
+                    1 => {
+                        // Tie: both normals orthogonal to the line.
+                        ps.push(Vec3::new(f, 0.0, 0.0));
+                        ns.push(Vec3::new(0.0, 1.0, 0.0));
+                        pt.push(Vec3::new(f + 1.0, 0.0, 0.0));
+                        nt.push(Vec3::new(0.0, 0.0, 1.0));
+                    }
+                    2 => {
+                        // Coincident points: dist guard fires.
+                        ps.push(Vec3::new(f, f, f));
+                        ns.push(Vec3::new(1.0, 0.0, 0.0));
+                        pt.push(Vec3::new(f, f, f));
+                        nt.push(Vec3::new(0.0, 1.0, 0.0));
+                    }
+                    _ => {
+                        // Degenerate frame: du ∥ ns, cross ≈ 0.
+                        ps.push(Vec3::new(0.0, 0.0, f));
+                        ns.push(Vec3::new(0.0, 0.0, 1.0));
+                        pt.push(Vec3::new(0.0, 0.0, f + 2.0));
+                        nt.push(Vec3::new(0.0, 0.0, 1.0));
+                    }
+                }
+            }
+            let (mut aa, mut pa, mut ta, mut fa) =
+                (vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0u8; n]);
+            let (mut ab, mut pb, mut tb, mut fb) =
+                (vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0u8; n]);
+            scalar::pair_features_batch(&ps, &ns, &pt, &nt, &mut aa, &mut pa, &mut ta, &mut fa);
+            wide::pair_features_batch(&ps, &ns, &pt, &nt, &mut ab, &mut pb, &mut tb, &mut fb);
+            assert_eq!(fa, fb, "n = {n}");
+            for i in 0..n {
+                if fa[i] & (PAIR_DIST_OK | PAIR_FRAME_OK) == PAIR_DIST_OK | PAIR_FRAME_OK {
+                    assert_eq!(aa[i].to_bits(), ab[i].to_bits(), "alpha lane {i}, n = {n}");
+                    assert_eq!(pa[i].to_bits(), pb[i].to_bits(), "phi lane {i}, n = {n}");
+                    assert_eq!(ta[i].to_bits(), tb[i].to_bits(), "theta lane {i}, n = {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cov_upper_matches_outer_product_sums() {
+        let (soa, _) = cloud(13);
+        let c = [0.25, -0.5, 0.75];
+        let acc = cov_upper(soa.view(), c);
+        // Reference: the entrywise scan-order accumulation the plane fit
+        // used before the kernel split.
+        let mut want = [0.0f64; 6];
+        for i in 0..13 {
+            let d = soa.get(i) - Vec3::new(c[0], c[1], c[2]);
+            want[0] += d.x * d.x;
+            want[1] += d.x * d.y;
+            want[2] += d.x * d.z;
+            want[3] += d.y * d.y;
+            want[4] += d.y * d.z;
+            want[5] += d.z * d.z;
+        }
+        assert_eq!(acc, want);
+    }
+
+    #[test]
+    fn bin11_clamps_and_saturates() {
+        let vals = [-5.0, -1.0, 0.0, 0.999, 1.0, 5.0, f64::NAN];
+        let mut bins = vec![0u32; vals.len()];
+        bin11(&vals, -1.0, 1.0, &mut bins);
+        assert_eq!(bins[0], 0);
+        assert_eq!(bins[1], 0);
+        assert_eq!(bins[2], 5);
+        assert_eq!(bins[4], 10);
+        assert_eq!(bins[5], 10);
+        // clamp propagates NaN, and `NaN as u32` saturates to 0.
+        assert_eq!(bins[6], 0);
     }
 
     #[test]

@@ -13,10 +13,28 @@
 //! * **3DSC** (Frome et al.) — 4 log-radial shells × 3 elevation × 6 azimuth
 //!   = 72-D, azimuth fixed by the SHOT-style reference frame instead of the
 //!   original's multiple rotations (documented simplification).
+//!
+//! The FPFH path runs on dense index-space scratch instead of hash maps:
+//! epoch-stamped `seen` vectors and a compact remap give every SPFH
+//! source a dense row id, neighborhoods live in flat
+//! [`crate::NeighborTable`]s, and the serial path evaluates each
+//! symmetric point pair **once**, scattering the Darboux angles into both
+//! endpoint histograms through the blocked `tigris_core::simd::bin11`
+//! kernel. All of it is bit-identical to the straightforward per-point
+//! evaluation (`pipeline/tests/frontend_equivalence.rs` pins this against
+//! a frozen copy of the old code): histogram increments are exact
+//! `+= 1.0` adds, so accumulation order cannot change the bits, and the
+//! canonical source/target ordering of a pair is exactly symmetric except
+//! on exact ties — which the shared-pair walk detects and evaluates from
+//! both sides, just like two independent SPFH passes would.
 
+use std::f64::consts::PI;
+
+use tigris_core::{simd, Neighbor};
 use tigris_geom::{symmetric_eigen3, Mat3, Vec3};
 
 use crate::config::DescriptorAlgorithm;
+use crate::scratch::{NeighborTable, PrepareScratch};
 use crate::search::Searcher3;
 
 /// A dense matrix of descriptors: one row of `dim` values per key-point.
@@ -55,6 +73,9 @@ impl Descriptors {
 /// `normals` must be parallel to the cloud. Rows come back in key-point
 /// order.
 ///
+/// Allocates its working buffers fresh; streaming callers should hold a
+/// [`PrepareScratch`] and use [`compute_descriptors_with`].
+///
 /// # Panics
 ///
 /// Panics when `normals.len() != searcher.len()` or a key-point index is
@@ -65,9 +86,28 @@ pub fn compute_descriptors(
     keypoints: &[usize],
     algorithm: DescriptorAlgorithm,
 ) -> Descriptors {
+    compute_descriptors_with(searcher, normals, keypoints, algorithm, &mut PrepareScratch::new())
+}
+
+/// [`compute_descriptors`] with caller-owned scratch: the FPFH phases run
+/// entirely in the scratch's dense tables and stamp vectors, so a warm
+/// steady-state caller allocates nothing transient beyond the returned
+/// [`Descriptors`].
+///
+/// # Panics
+///
+/// Panics when `normals.len() != searcher.len()` or a key-point index is
+/// out of range.
+pub fn compute_descriptors_with(
+    searcher: &mut Searcher3,
+    normals: &[Vec3],
+    keypoints: &[usize],
+    algorithm: DescriptorAlgorithm,
+    scratch: &mut PrepareScratch,
+) -> Descriptors {
     assert_eq!(normals.len(), searcher.len(), "descriptors need normals parallel to the cloud");
     match algorithm {
-        DescriptorAlgorithm::Fpfh { radius } => fpfh(searcher, normals, keypoints, radius),
+        DescriptorAlgorithm::Fpfh { radius } => fpfh(searcher, normals, keypoints, radius, scratch),
         DescriptorAlgorithm::Shot { radius } => shot(searcher, normals, keypoints, radius),
         DescriptorAlgorithm::Sc3d { radius } => sc3d(searcher, normals, keypoints, radius),
     }
@@ -81,6 +121,19 @@ const FPFH_BINS: usize = 11;
 /// FPFH dimension: 3 angles × 11 bins.
 pub const FPFH_DIM: usize = 3 * FPFH_BINS;
 
+/// The Darboux-frame angles (α, φ, θ) for an already-canonicalized pair:
+/// `n1` is the source normal, `n2` the target normal, `du` the unit
+/// source→target direction.
+fn darboux(n1: Vec3, n2: Vec3, du: Vec3) -> Option<(f64, f64, f64)> {
+    let u = n1;
+    let v = du.cross(u).normalized()?;
+    let w = u.cross(v);
+    let alpha = v.dot(n2); // ∈ [-1, 1]
+    let phi = u.dot(du); // ∈ [-1, 1]
+    let theta = w.dot(n2).atan2(u.dot(n2)); // ∈ [-π, π]
+    Some((alpha, phi, theta))
+}
+
 /// The three Darboux-frame angles (α, φ, θ) between a source point/normal
 /// and a target point/normal (Rusu et al., Eq. 1–3).
 fn pair_features(ps: Vec3, ns: Vec3, pt: Vec3, nt: Vec3) -> Option<(f64, f64, f64)> {
@@ -92,19 +145,11 @@ fn pair_features(ps: Vec3, ns: Vec3, pt: Vec3, nt: Vec3) -> Option<(f64, f64, f6
     let du = d / dist;
     // Choose source/target so the angle between the source normal and the
     // line is not larger than for the target (the canonical ordering).
-    let (p1, n1, _p2, n2, du) = if ns.dot(du).abs() >= nt.dot(-du).abs() {
-        (ps, ns, pt, nt, du)
+    if ns.dot(du).abs() >= nt.dot(-du).abs() {
+        darboux(ns, nt, du)
     } else {
-        (pt, nt, ps, ns, -du)
-    };
-    let _ = p1;
-    let u = n1;
-    let v = du.cross(u).normalized()?;
-    let w = u.cross(v);
-    let alpha = v.dot(n2); // ∈ [-1, 1]
-    let phi = u.dot(du); // ∈ [-1, 1]
-    let theta = w.dot(n2).atan2(u.dot(n2)); // ∈ [-π, π]
-    Some((alpha, phi, theta))
+        darboux(nt, ns, -du)
+    }
 }
 
 fn bin_index(value: f64, lo: f64, hi: f64) -> usize {
@@ -112,11 +157,18 @@ fn bin_index(value: f64, lo: f64, hi: f64) -> usize {
     ((t * FPFH_BINS as f64) as usize).min(FPFH_BINS - 1)
 }
 
-/// Simplified Point Feature Histogram of one point over its neighbors.
-fn spfh(points: &[Vec3], normals: &[Vec3], center: usize, neighbors: &[usize]) -> [f64; FPFH_DIM] {
+/// Simplified Point Feature Histogram of one point over a neighbor row —
+/// the row-independent evaluation the parallel fallback uses.
+fn spfh_row(
+    points: &[Vec3],
+    normals: &[Vec3],
+    center: usize,
+    neighbors: &[Neighbor],
+) -> [f64; FPFH_DIM] {
     let mut hist = [0.0f64; FPFH_DIM];
     let mut count = 0.0;
-    for &j in neighbors {
+    for nb in neighbors {
+        let j = nb.index;
         if j == center {
             continue;
         }
@@ -125,8 +177,7 @@ fn spfh(points: &[Vec3], normals: &[Vec3], center: usize, neighbors: &[usize]) -
         {
             hist[bin_index(alpha, -1.0, 1.0)] += 1.0;
             hist[FPFH_BINS + bin_index(phi, -1.0, 1.0)] += 1.0;
-            hist[2 * FPFH_BINS + bin_index(theta, -std::f64::consts::PI, std::f64::consts::PI)] +=
-                1.0;
+            hist[2 * FPFH_BINS + bin_index(theta, -PI, PI)] += 1.0;
             count += 1.0;
         }
     }
@@ -138,98 +189,476 @@ fn spfh(points: &[Vec3], normals: &[Vec3], center: usize, neighbors: &[usize]) -
     hist
 }
 
+/// `needed_src` tag: the neighborhood lives in `missing_table` (row in the
+/// low bits) rather than `kp_table`.
+const MISSING_BIT: u32 = 1 << 31;
+/// `needed_src` placeholder during discovery, resolved before use.
+const PENDING: u32 = u32::MAX;
+/// "No second target row" marker for single-sided scatters.
+const NO_ROW: u32 = u32::MAX;
+
+/// Buffered Darboux-angle scatter: features queue up in blocks so the
+/// three bin computations run through the blocked `simd::bin11` kernel
+/// instead of one scalar conversion per angle.
+struct BinScatter {
+    alphas: [f64; Self::BLOCK],
+    phis: [f64; Self::BLOCK],
+    thetas: [f64; Self::BLOCK],
+    /// First target row per feature.
+    rows_a: [u32; Self::BLOCK],
+    /// Second target row ([`NO_ROW`] when the feature is single-sided).
+    rows_b: [u32; Self::BLOCK],
+    len: usize,
+}
+
+impl BinScatter {
+    const BLOCK: usize = 64;
+
+    fn new() -> Self {
+        BinScatter {
+            alphas: [0.0; Self::BLOCK],
+            phis: [0.0; Self::BLOCK],
+            thetas: [0.0; Self::BLOCK],
+            rows_a: [NO_ROW; Self::BLOCK],
+            rows_b: [NO_ROW; Self::BLOCK],
+            len: 0,
+        }
+    }
+
+    fn push(
+        &mut self,
+        feat: (f64, f64, f64),
+        row_a: u32,
+        row_b: u32,
+        hist: &mut [f64],
+        counts: &mut [f64],
+    ) {
+        if self.len == Self::BLOCK {
+            self.flush(hist, counts);
+        }
+        let i = self.len;
+        (self.alphas[i], self.phis[i], self.thetas[i]) = feat;
+        self.rows_a[i] = row_a;
+        self.rows_b[i] = row_b;
+        self.len = i + 1;
+    }
+
+    fn flush(&mut self, hist: &mut [f64], counts: &mut [f64]) {
+        let n = self.len;
+        if n == 0 {
+            return;
+        }
+        let mut ba = [0u32; Self::BLOCK];
+        let mut bp = [0u32; Self::BLOCK];
+        let mut bt = [0u32; Self::BLOCK];
+        simd::bin11(&self.alphas[..n], -1.0, 1.0, &mut ba[..n]);
+        simd::bin11(&self.phis[..n], -1.0, 1.0, &mut bp[..n]);
+        simd::bin11(&self.thetas[..n], -PI, PI, &mut bt[..n]);
+        for i in 0..n {
+            for r in [self.rows_a[i], self.rows_b[i]] {
+                if r == NO_ROW {
+                    continue;
+                }
+                let h = &mut hist[r as usize * FPFH_DIM..][..FPFH_DIM];
+                h[ba[i] as usize] += 1.0;
+                h[FPFH_BINS + bp[i] as usize] += 1.0;
+                h[2 * FPFH_BINS + bt[i] as usize] += 1.0;
+                counts[r as usize] += 1.0;
+            }
+        }
+        self.len = 0;
+    }
+}
+
+/// The neighborhood row `src` points at (see [`MISSING_BIT`]).
+fn source_row<'t>(kp: &'t NeighborTable, missing: &'t NeighborTable, src: u32) -> &'t [Neighbor] {
+    if src & MISSING_BIT != 0 {
+        missing.row((src & !MISSING_BIT) as usize)
+    } else {
+        kp.row(src as usize)
+    }
+}
+
+/// Buffered pair pipeline feeding [`BinScatter`]: candidate pairs queue
+/// up in blocks so the Darboux-frame arithmetic runs through the blocked
+/// [`simd::pair_features_batch`] kernel (distance, canonical ordering,
+/// frame axes and dot products in SIMD lanes, `atan2` per lane) instead
+/// of one fully scalar evaluation per pair.
+struct PairQueue {
+    ps: [Vec3; Self::BLOCK],
+    ns: [Vec3; Self::BLOCK],
+    pt: [Vec3; Self::BLOCK],
+    nt: [Vec3; Self::BLOCK],
+    /// First target row per pair.
+    rows_a: [u32; Self::BLOCK],
+    /// Second target row ([`NO_ROW`] for one-sided pairs).
+    rows_b: [u32; Self::BLOCK],
+    len: usize,
+}
+
+impl PairQueue {
+    const BLOCK: usize = 64;
+
+    fn new() -> Self {
+        PairQueue {
+            ps: [Vec3::ZERO; Self::BLOCK],
+            ns: [Vec3::ZERO; Self::BLOCK],
+            pt: [Vec3::ZERO; Self::BLOCK],
+            nt: [Vec3::ZERO; Self::BLOCK],
+            rows_a: [NO_ROW; Self::BLOCK],
+            rows_b: [NO_ROW; Self::BLOCK],
+            len: 0,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        ps: Vec3,
+        ns: Vec3,
+        pt: Vec3,
+        nt: Vec3,
+        row_a: u32,
+        row_b: u32,
+        scatter: &mut BinScatter,
+        hist: &mut [f64],
+        counts: &mut [f64],
+    ) {
+        if self.len == Self::BLOCK {
+            self.flush(scatter, hist, counts);
+        }
+        let i = self.len;
+        self.ps[i] = ps;
+        self.ns[i] = ns;
+        self.pt[i] = pt;
+        self.nt[i] = nt;
+        self.rows_a[i] = row_a;
+        self.rows_b[i] = row_b;
+        self.len = i + 1;
+    }
+
+    fn flush(&mut self, scatter: &mut BinScatter, hist: &mut [f64], counts: &mut [f64]) {
+        let n = self.len;
+        if n == 0 {
+            return;
+        }
+        let mut alpha = [0.0_f64; Self::BLOCK];
+        let mut phi = [0.0_f64; Self::BLOCK];
+        let mut theta = [0.0_f64; Self::BLOCK];
+        let mut flags = [0_u8; Self::BLOCK];
+        simd::pair_features_batch(
+            &self.ps[..n],
+            &self.ns[..n],
+            &self.pt[..n],
+            &self.nt[..n],
+            &mut alpha[..n],
+            &mut phi[..n],
+            &mut theta[..n],
+            &mut flags[..n],
+        );
+        for i in 0..n {
+            let f = flags[i];
+            if f & simd::PAIR_DIST_OK == 0 {
+                continue;
+            }
+            let feat = (alpha[i], phi[i], theta[i]);
+            if f & simd::PAIR_TIE != 0 && self.rows_b[i] != NO_ROW {
+                // Exact canonical-ordering tie on a shared pair: the
+                // kernel's result is the source-side evaluation; the
+                // target side keeps its own ordering and is evaluated
+                // separately (both may be frame-degenerate on their
+                // own).
+                if f & simd::PAIR_FRAME_OK != 0 {
+                    scatter.push(feat, self.rows_a[i], NO_ROW, hist, counts);
+                }
+                let d = self.pt[i] - self.ps[i];
+                let du = d / d.norm();
+                if let Some(rev) = darboux(self.nt[i], self.ns[i], -du) {
+                    scatter.push(rev, self.rows_b[i], NO_ROW, hist, counts);
+                }
+            } else if f & simd::PAIR_FRAME_OK != 0 {
+                scatter.push(feat, self.rows_a[i], self.rows_b[i], hist, counts);
+            }
+        }
+        self.len = 0;
+    }
+}
+
+/// Serial SPFH evaluation over the dense rows, visiting each symmetric
+/// pair of SPFH sources once.
+///
+/// For a pair whose endpoints both need an SPFH, the canonical ordering
+/// inside [`pair_features`] is the same seen from either endpoint except
+/// on an exact tie of the two angle magnitudes — so one Darboux
+/// evaluation serves both histograms, and the tie falls back to the two
+/// per-side evaluations. Histogram increments are exact `+= 1.0` adds,
+/// so the changed accumulation order leaves the bits untouched.
+fn spfh_shared_pairs(points: &[Vec3], normals: &[Vec3], scratch: &mut PrepareScratch, epoch: u32) {
+    let needed = &scratch.needed;
+    let needed_src = &scratch.needed_src;
+    let stamp = &scratch.stamp;
+    let remap = &scratch.remap;
+    let kp_table = &scratch.kp_table;
+    let missing_table = &scratch.missing_table;
+    let hist = &mut scratch.spfh_rows;
+    let counts = &mut scratch.counts;
+    let mut scatter = BinScatter::new();
+    let mut pairs = PairQueue::new();
+    for di in 0..needed.len() {
+        let c = needed[di] as usize;
+        let row = source_row(kp_table, missing_table, needed_src[di]);
+        let pc = points[c];
+        let nc = normals[c];
+        for nb in row {
+            let j = nb.index;
+            if j == c {
+                continue;
+            }
+            if stamp[j] == epoch {
+                // Both endpoints need an SPFH: handle the pair once, from
+                // the lower dense id.
+                let dj = remap[j] as usize;
+                if dj < di {
+                    continue;
+                }
+                pairs.push(
+                    pc,
+                    nc,
+                    points[j],
+                    normals[j],
+                    di as u32,
+                    dj as u32,
+                    &mut scatter,
+                    hist,
+                    counts,
+                );
+            } else {
+                pairs.push(
+                    pc,
+                    nc,
+                    points[j],
+                    normals[j],
+                    di as u32,
+                    NO_ROW,
+                    &mut scatter,
+                    hist,
+                    counts,
+                );
+            }
+        }
+    }
+    pairs.flush(&mut scatter, hist, counts);
+    scatter.flush(hist, counts);
+    for (r, &count) in counts.iter().enumerate() {
+        if count > 0.0 {
+            for h in &mut hist[r * FPFH_DIM..(r + 1) * FPFH_DIM] {
+                *h *= 100.0 / count; // percentage normalization, as in PCL
+            }
+        }
+    }
+}
+
 fn fpfh(
     searcher: &mut Searcher3,
     normals: &[Vec3],
     keypoints: &[usize],
     radius: f64,
+    scratch: &mut PrepareScratch,
 ) -> Descriptors {
-    use std::collections::{HashMap, HashSet};
     let parallel = searcher.parallel();
+    let n = searcher.len();
 
-    // Phase 1 — neighborhoods of the key-points, one batched fan-out.
-    // (Only query points are copied out; the searcher is mutably borrowed
-    // while a batch runs, so the cloud itself is read in place later.)
-    let kp_pts: Vec<Vec3> = {
+    // Phase 1 — neighborhoods of the key-points, one batched fan-out over
+    // the *unique* key-points: duplicates share their first occurrence's
+    // table row instead of paying a second search.
+    let epoch = scratch.next_epoch(n);
+    scratch.queries.clear();
+    scratch.kp_rows.clear();
+    {
         let pts = searcher.points();
-        keypoints.iter().map(|&k| pts[k]).collect()
-    };
-    let kp_neigh: Vec<Vec<usize>> = searcher
-        .radius_batch(&kp_pts, radius)
-        .into_iter()
-        .map(|ns| ns.into_iter().map(|n| n.index).collect())
-        .collect();
-
-    // Phase 2 — SPFH is needed at every key-point and every neighbor of
-    // one; fetch the not-yet-known neighborhoods as a second batch.
-    let mut needed: Vec<usize> = Vec::new();
-    let mut seen: HashSet<usize> = HashSet::new();
-    for (&k, neigh) in keypoints.iter().zip(&kp_neigh) {
-        if seen.insert(k) {
-            needed.push(k);
-        }
-        for &j in neigh {
-            if seen.insert(j) {
-                needed.push(j);
+        for &k in keypoints {
+            if scratch.stamp[k] == epoch {
+                scratch.kp_rows.push(scratch.remap[k]);
+            } else {
+                scratch.stamp[k] = epoch;
+                let row = scratch.queries.len() as u32;
+                scratch.remap[k] = row;
+                scratch.kp_rows.push(row);
+                scratch.queries.push(pts[k]);
             }
         }
     }
-    let mut neigh_of: HashMap<usize, Vec<usize>> = HashMap::new();
-    for (&k, neigh) in keypoints.iter().zip(&kp_neigh) {
-        neigh_of.entry(k).or_insert_with(|| neigh.clone());
-    }
-    let missing: Vec<usize> =
-        needed.iter().copied().filter(|i| !neigh_of.contains_key(i)).collect();
-    let missing_pts: Vec<Vec3> = {
-        let pts = searcher.points();
-        missing.iter().map(|&i| pts[i]).collect()
-    };
-    let missing_neigh = searcher.radius_batch(&missing_pts, radius);
-    for (&i, ns) in missing.iter().zip(missing_neigh) {
-        neigh_of.insert(i, ns.into_iter().map(|n| n.index).collect());
+    scratch.kp_table.clear();
+    searcher.radius_batch_into(
+        &scratch.queries,
+        radius,
+        &mut scratch.kp_table,
+        &mut scratch.groups,
+    );
+    // The grouped search lays rows out in traversal order; point each
+    // key-point at the table row its query's hits landed in.
+    for r in &mut scratch.kp_rows {
+        *r = scratch.groups.inv[*r as usize];
     }
 
-    // Phase 3 — SPFH histograms, pure per-point math in parallel.
+    // Phase 2 — an SPFH is needed at every key-point and every neighbor
+    // of one. A fresh stamp epoch assigns each such point a dense id
+    // (its row in `spfh_rows`) and records where its neighborhood lives;
+    // the not-yet-known neighborhoods come from a second batched search.
+    let epoch = scratch.next_epoch(n);
+    scratch.needed.clear();
+    scratch.needed_src.clear();
+    for (&k, &krow) in keypoints.iter().zip(&scratch.kp_rows) {
+        if scratch.stamp[k] == epoch {
+            // Already discovered (as an earlier key-point's neighbor, or
+            // a duplicate key-point): its neighborhood is the key-point
+            // row, no second search needed.
+            let dk = scratch.remap[k] as usize;
+            if scratch.needed_src[dk] == PENDING {
+                scratch.needed_src[dk] = krow;
+            }
+        } else {
+            scratch.stamp[k] = epoch;
+            scratch.remap[k] = scratch.needed.len() as u32;
+            scratch.needed.push(k as u32);
+            scratch.needed_src.push(krow);
+        }
+        for nb in scratch.kp_table.row(krow as usize) {
+            let j = nb.index;
+            if scratch.stamp[j] != epoch {
+                scratch.stamp[j] = epoch;
+                scratch.remap[j] = scratch.needed.len() as u32;
+                scratch.needed.push(j as u32);
+                scratch.needed_src.push(PENDING);
+            }
+        }
+    }
+    scratch.queries.clear();
+    {
+        let pts = searcher.points();
+        for (di, src) in scratch.needed_src.iter_mut().enumerate() {
+            if *src == PENDING {
+                *src = MISSING_BIT | scratch.queries.len() as u32;
+                scratch.queries.push(pts[scratch.needed[di] as usize]);
+            }
+        }
+    }
+    scratch.missing_table.clear();
+    // These rows feed *only* the SPFH accumulation (phase 3), which is
+    // order-independent: histogram increments are exact `+= 1.0` adds
+    // and the evaluation side of a shared pair is picked by dense id,
+    // not row position. Skipping the canonical within-row sort — the
+    // dominant per-row cost of the grouped search on these ~radius³
+    // neighborhoods — changes no output bit. The key-point rows of
+    // phase 1 stay sorted: phase 4's weighted combine walks them in
+    // canonical order.
+    searcher.radius_batch_into_unsorted(
+        &scratch.queries,
+        radius,
+        &mut scratch.missing_table,
+        &mut scratch.groups,
+    );
+    // Same row remap as phase 1, for the just-searched missing rows.
+    for src in &mut scratch.needed_src {
+        if *src & MISSING_BIT != 0 {
+            *src = MISSING_BIT | scratch.groups.inv[(*src & !MISSING_BIT) as usize];
+        }
+    }
+
+    // Phase 3 — SPFH histograms into the dense rows.
+    let needed_len = scratch.needed.len();
+    scratch.spfh_rows.clear();
+    scratch.spfh_rows.resize(needed_len * FPFH_DIM, 0.0);
+    scratch.counts.clear();
+    scratch.counts.resize(needed_len, 0.0);
     let points = searcher.points();
-    let spfh_rows = tigris_core::batch::parallel_map(&needed, &parallel, |&i| {
-        spfh(points, normals, i, &neigh_of[&i])
-    });
-    let spfh_of: HashMap<usize, &[f64; FPFH_DIM]> =
-        needed.iter().zip(spfh_rows.iter()).map(|(&i, h)| (i, h)).collect();
-
-    // Phase 4 — distance-weighted combination per key-point, in parallel.
-    let rows = tigris_core::batch::parallel_map_indexed(keypoints.len(), &parallel, |ki| {
-        let k = keypoints[ki];
-        let neighbors = &kp_neigh[ki];
-        let mut out = *spfh_of[&k];
-        let mut weight_total = 0.0;
-        let mut acc = [0.0f64; FPFH_DIM];
-        for &j in neighbors {
-            if j == k {
-                continue;
-            }
-            let d = points[k].distance(points[j]);
-            if d < 1e-9 {
-                continue;
-            }
-            let h = spfh_of[&j];
-            let w = 1.0 / d;
-            for (a, v) in acc.iter_mut().zip(h.iter()) {
-                *a += w * v;
-            }
-            weight_total += w;
+    if parallel.resolve_threads(needed_len) <= 1 {
+        spfh_shared_pairs(points, normals, scratch, epoch);
+    } else {
+        // Parallel fallback: rows are independent, so evaluate each from
+        // its own side (same bits, each pair computed twice).
+        let needed = &scratch.needed;
+        let needed_src = &scratch.needed_src;
+        let kp_table = &scratch.kp_table;
+        let missing_table = &scratch.missing_table;
+        let rows = tigris_core::batch::parallel_map_indexed(needed_len, &parallel, |di| {
+            let row = source_row(kp_table, missing_table, needed_src[di]);
+            spfh_row(points, normals, needed[di] as usize, row)
+        });
+        for (di, row) in rows.iter().enumerate() {
+            scratch.spfh_rows[di * FPFH_DIM..][..FPFH_DIM].copy_from_slice(row);
         }
-        if weight_total > 0.0 {
-            for (o, a) in out.iter_mut().zip(acc.iter()) {
-                *o += a / weight_total;
-            }
-        }
-        out
-    });
+    }
 
+    // Phase 4 — distance-weighted combination per key-point. The
+    // neighbor distance is recovered from the stored squared distance
+    // (`sqrt` of an exact square — same bits as recomputing the norm).
     let mut data = Vec::with_capacity(keypoints.len() * FPFH_DIM);
-    for row in rows {
-        data.extend_from_slice(&row);
+    if parallel.resolve_threads(keypoints.len()) <= 1 {
+        let mut acc = [0.0f64; FPFH_DIM];
+        for (ki, &k) in keypoints.iter().enumerate() {
+            let krow = scratch.kp_rows[ki] as usize;
+            let dk = scratch.remap[k] as usize;
+            let start = data.len();
+            data.extend_from_slice(&scratch.spfh_rows[dk * FPFH_DIM..][..FPFH_DIM]);
+            acc.fill(0.0);
+            let mut weight_total = 0.0;
+            for nb in scratch.kp_table.row(krow) {
+                let j = nb.index;
+                if j == k {
+                    continue;
+                }
+                let d = nb.distance_squared.sqrt();
+                if d < 1e-9 {
+                    continue;
+                }
+                let w = 1.0 / d;
+                let h = &scratch.spfh_rows[scratch.remap[j] as usize * FPFH_DIM..][..FPFH_DIM];
+                simd::axpy(&mut acc, w, h);
+                weight_total += w;
+            }
+            if weight_total > 0.0 {
+                for (o, a) in data[start..].iter_mut().zip(acc.iter()) {
+                    *o += a / weight_total;
+                }
+            }
+        }
+    } else {
+        let kp_rows = &scratch.kp_rows;
+        let remap = &scratch.remap;
+        let kp_table = &scratch.kp_table;
+        let spfh_rows = &scratch.spfh_rows;
+        let rows = tigris_core::batch::parallel_map_indexed(keypoints.len(), &parallel, |ki| {
+            let k = keypoints[ki];
+            let krow = kp_rows[ki] as usize;
+            let mut out = [0.0f64; FPFH_DIM];
+            out.copy_from_slice(&spfh_rows[remap[k] as usize * FPFH_DIM..][..FPFH_DIM]);
+            let mut acc = [0.0f64; FPFH_DIM];
+            let mut weight_total = 0.0;
+            for nb in kp_table.row(krow) {
+                let j = nb.index;
+                if j == k {
+                    continue;
+                }
+                let d = nb.distance_squared.sqrt();
+                if d < 1e-9 {
+                    continue;
+                }
+                let w = 1.0 / d;
+                let h = &spfh_rows[remap[j] as usize * FPFH_DIM..][..FPFH_DIM];
+                simd::axpy(&mut acc, w, h);
+                weight_total += w;
+            }
+            if weight_total > 0.0 {
+                for (o, a) in out.iter_mut().zip(acc.iter()) {
+                    *o += a / weight_total;
+                }
+            }
+            out
+        });
+        for row in rows {
+            data.extend_from_slice(&row);
+        }
     }
     Descriptors { dim: FPFH_DIM, data }
 }
@@ -422,6 +851,7 @@ mod tests {
     use super::*;
     use crate::config::NormalAlgorithm;
     use crate::normal::estimate_normals;
+    use tigris_core::BatchConfig;
 
     /// Corner + plane scene with distinctive local geometry.
     fn scene() -> Vec<Vec3> {
@@ -484,6 +914,65 @@ mod tests {
         let same = dist(d.row(0), d.row(1));
         let diff = dist(d.row(0), d.row(2));
         assert!(same < diff, "same-geometry distance {same} should be < {diff}");
+    }
+
+    #[test]
+    fn fpfh_parallel_matches_serial_bitwise() {
+        let pts = scene();
+        let (mut s, normals) = with_normals(&pts);
+        let kps = vec![0, 100, 300, 412, 700];
+        let serial =
+            compute_descriptors(&mut s, &normals, &kps, DescriptorAlgorithm::Fpfh { radius: 0.5 });
+        let mut sp = Searcher3::classic(&pts);
+        sp.set_parallel(BatchConfig { threads: 4, min_chunk: 2 });
+        let parallel =
+            compute_descriptors(&mut sp, &normals, &kps, DescriptorAlgorithm::Fpfh { radius: 0.5 });
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn duplicate_keypoints_share_rows() {
+        // Duplicates are fetched once but still get their own (identical)
+        // output rows.
+        let pts = scene();
+        let (mut s, normals) = with_normals(&pts);
+        let d = compute_descriptors(
+            &mut s,
+            &normals,
+            &[100, 100, 300],
+            DescriptorAlgorithm::Fpfh { radius: 0.5 },
+        );
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.row(0), d.row(1));
+        assert_ne!(d.row(0), d.row(2));
+    }
+
+    #[test]
+    fn warm_scratch_fpfh_reuses_buffers() {
+        let pts = scene();
+        let (mut s, normals) = with_normals(&pts);
+        let kps = vec![0, 100, 300];
+        let mut scratch = PrepareScratch::new();
+        let first = compute_descriptors_with(
+            &mut s,
+            &normals,
+            &kps,
+            DescriptorAlgorithm::Fpfh { radius: 0.5 },
+            &mut scratch,
+        );
+        scratch.note_frame_end();
+        let grown = scratch.bytes_grown();
+        let second = compute_descriptors_with(
+            &mut s,
+            &normals,
+            &kps,
+            DescriptorAlgorithm::Fpfh { radius: 0.5 },
+            &mut scratch,
+        );
+        scratch.note_frame_end();
+        assert_eq!(first, second);
+        assert_eq!(scratch.bytes_grown(), grown, "warm frame must not grow scratch");
+        assert_eq!(scratch.reuses(), 1);
     }
 
     #[test]

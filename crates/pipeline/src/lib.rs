@@ -54,6 +54,7 @@ pub mod odometry;
 pub mod pipeline;
 pub mod profile;
 pub mod reject;
+pub mod scratch;
 pub mod search;
 pub mod transform;
 
@@ -65,10 +66,12 @@ pub use config::{
 pub use correspond::Correspondence;
 pub use icp::IcpResult;
 pub use odometry::{Odometer, OdometryStep};
+pub use pipeline::prepare_frame_with;
 pub use pipeline::{
     prepare_frame, prepare_frame_from_searcher, register, register_prepared,
     register_prepared_with_prior, register_with_searchers, PreparedFrame, RegistrationError,
     RegistrationResult, PRIOR_ROTATION_SLACK, PRIOR_TRANSLATION_SLACK,
 };
 pub use profile::{Stage, StageProfile};
+pub use scratch::{GroupScratch, NeighborTable, PrepareScratch};
 pub use search::{Injection, Searcher3};

@@ -4,10 +4,22 @@
 //! A point's normal is the direction perpendicular to the local tangent
 //! plane, estimated from the point's neighborhood (a radius search — the
 //! dominant KD-tree consumer of the front-end).
+//!
+//! The plane fits run on the SoA front-end kernels
+//! (`tigris_core::simd::lane_sums` / `cov_upper`): each neighborhood is
+//! gathered into coordinate lanes once, then the centroid and the six
+//! unique covariance entries come out of blocked kernels that keep the
+//! scalar reference's accumulation order — so the fitted normals are
+//! bit-identical to the naive `Vec3`/`Mat3` loop they replaced
+//! (`pipeline/tests/frontend_equivalence.rs` pins this against a frozen
+//! copy of the old code).
 
+use tigris_core::soa::SoaView;
+use tigris_core::{simd, Neighbor};
 use tigris_geom::{symmetric_eigen3, Mat3, Vec3};
 
 use crate::config::NormalAlgorithm;
+use crate::scratch::{GatherLanes, PrepareScratch};
 use crate::search::Searcher3;
 
 /// Estimates per-point surface normals for every point in `searcher`'s
@@ -21,6 +33,9 @@ use crate::search::Searcher3;
 /// viewpoint), the standard disambiguation for LiDAR frames centered on the
 /// scanner.
 ///
+/// Allocates its working buffers fresh; streaming callers should hold a
+/// [`PrepareScratch`] and use [`estimate_normals_with`].
+///
 /// # Panics
 ///
 /// Panics when `radius` is not strictly positive.
@@ -29,79 +44,158 @@ pub fn estimate_normals(
     radius: f64,
     algorithm: NormalAlgorithm,
 ) -> Vec<Vec3> {
+    estimate_normals_with(searcher, radius, algorithm, &mut PrepareScratch::new())
+}
+
+/// [`estimate_normals`] with caller-owned scratch: neighborhoods land in
+/// the scratch's reusable table and the plane fits gather through its
+/// warm coordinate lanes, so a steady-state caller allocates nothing
+/// transient (the returned normals are the only fresh allocation).
+///
+/// # Panics
+///
+/// Panics when `radius` is not strictly positive.
+pub fn estimate_normals_with(
+    searcher: &mut Searcher3,
+    radius: f64,
+    algorithm: NormalAlgorithm,
+    scratch: &mut PrepareScratch,
+) -> Vec<Vec3> {
     assert!(radius > 0.0, "normal-estimation radius must be positive");
     let n = searcher.len();
     let parallel = searcher.parallel();
     // One radius query per point — the front-end's dominant KD-tree
-    // fan-out, issued batched so the searcher's configured parallelism
-    // applies. Batches run per fixed-size chunk: dense scenes have
+    // fan-out. Batches run per fixed-size chunk: dense scenes have
     // hundreds of neighbors per point, and holding every neighborhood of
     // a 100k-point frame at once would cost O(total neighbors) peak
-    // memory for no extra parallelism. Only the current chunk's queries
-    // are copied out (the searcher is mutably borrowed during the batch);
-    // the plane fits that follow read the cloud in place and parallelize
-    // with the same knob.
+    // memory for no extra parallelism. The queries are the searcher's own
+    // points, read in place through the shared-read entry point — no
+    // per-chunk staging copy.
     const CHUNK: usize = 16 * 1024;
     let mut normals = Vec::with_capacity(n);
     let mut start = 0;
     while start < n {
         let end = (start + CHUNK).min(n);
-        let chunk: Vec<Vec3> = searcher.points()[start..end].to_vec();
-        let neighborhoods = searcher.radius_batch(&chunk, radius);
+        scratch.ne_table.clear();
+        searcher.self_radius_range_into(
+            start..end,
+            radius,
+            &mut scratch.ne_table,
+            &mut scratch.groups,
+        );
         let points = searcher.points();
-        normals.extend(tigris_core::batch::parallel_map_indexed(chunk.len(), &parallel, |i| {
-            let p = chunk[i];
-            let neighbors = &neighborhoods[i];
-            let normal = match algorithm {
-                NormalAlgorithm::PlaneSvd => plane_svd_normal(points, neighbors, p),
-                NormalAlgorithm::AreaWeighted => area_weighted_normal(points, neighbors, p),
-            };
-            // Orient toward the viewpoint (sensor at the origin).
-            if normal.dot(-p) < 0.0 {
-                -normal
-            } else {
-                normal
+        // The grouped search lays rows out in traversal order — each
+        // point finds its own through the recorded mapping.
+        let table = &scratch.ne_table;
+        let rows = &scratch.groups;
+        if parallel.resolve_threads(end - start) <= 1 {
+            // Serial: fits reuse the scratch's gather lanes.
+            let lanes = &mut scratch.lanes;
+            for i in 0..end - start {
+                let p = points[start + i];
+                let neighbors = table.row(rows.table_row(i));
+                let normal = match algorithm {
+                    NormalAlgorithm::PlaneSvd => plane_svd_normal_with(points, neighbors, lanes),
+                    NormalAlgorithm::AreaWeighted => area_weighted_normal(points, neighbors, p),
+                };
+                normals.push(orient_toward_sensor(normal, p));
             }
-        }));
+        } else {
+            // Parallel: per-fit stack gathers (workers cannot share the
+            // scratch lanes), same kernels, same bits.
+            normals.extend(tigris_core::batch::parallel_map_indexed(end - start, &parallel, |i| {
+                let p = points[start + i];
+                let neighbors = table.row(rows.table_row(i));
+                let normal = match algorithm {
+                    NormalAlgorithm::PlaneSvd => plane_svd_normal(points, neighbors),
+                    NormalAlgorithm::AreaWeighted => area_weighted_normal(points, neighbors, p),
+                };
+                orient_toward_sensor(normal, p)
+            }));
+        }
         start = end;
     }
     normals
 }
 
-/// PlaneSVD: the eigenvector of the smallest eigenvalue of the neighborhood
-/// covariance (total least squares plane fit).
-fn plane_svd_normal(
-    points: &[Vec3],
-    neighbors: &[tigris_core::Neighbor],
-    fallback_at: Vec3,
-) -> Vec3 {
-    if neighbors.len() < 3 {
-        return fallback_normal(fallback_at);
+/// Orients `normal` toward the viewpoint (sensor at the origin).
+#[inline]
+fn orient_toward_sensor(normal: Vec3, p: Vec3) -> Vec3 {
+    if normal.dot(-p) < 0.0 {
+        -normal
+    } else {
+        normal
     }
-    let mut centroid = Vec3::ZERO;
-    for n in neighbors {
-        centroid += points[n.index];
-    }
-    centroid = centroid / neighbors.len() as f64;
-    let mut cov = Mat3::ZERO;
-    for n in neighbors {
-        let d = points[n.index] - centroid;
-        cov = cov + Mat3::outer(d, d);
-    }
+}
+
+/// Total-least-squares plane fit over gathered coordinate lanes: centroid
+/// and the six unique covariance entries from the blocked kernels, then
+/// the smallest eigenvector. The kernels keep the scalar scan-order
+/// accumulation chains, so this is bit-identical to summing
+/// `Mat3::outer(p - centroid, p - centroid)` point by point.
+fn fit_plane_normal(xs: &[f64], ys: &[f64], zs: &[f64]) -> Vec3 {
+    let view = SoaView { xs, ys, zs };
+    let len = xs.len() as f64;
+    let sums = simd::lane_sums(view);
+    let centroid = [sums[0] / len, sums[1] / len, sums[2] / len];
+    let c = simd::cov_upper(view, centroid);
+    // Mirror the upper triangle; the mirrored products are bitwise equal
+    // by IEEE multiply commutativity.
+    let cov = Mat3 { m: [[c[0], c[1], c[2]], [c[1], c[3], c[4]], [c[2], c[4], c[5]]] };
     let eig = symmetric_eigen3(&cov);
     eig.smallest_vector().normalized().unwrap_or(Vec3::Z)
+}
+
+/// Neighborhoods at most this large gather into stack lanes on the
+/// parallel path; larger ones (rare at front-end radii) fall back to a
+/// heap gather.
+const GATHER_STACK: usize = 256;
+
+/// PlaneSVD: the eigenvector of the smallest eigenvalue of the neighborhood
+/// covariance (total least squares plane fit).
+fn plane_svd_normal(points: &[Vec3], neighbors: &[Neighbor]) -> Vec3 {
+    let len = neighbors.len();
+    if len < 3 {
+        return fallback_normal();
+    }
+    if len <= GATHER_STACK {
+        let mut xs = [0.0f64; GATHER_STACK];
+        let mut ys = [0.0f64; GATHER_STACK];
+        let mut zs = [0.0f64; GATHER_STACK];
+        for (i, nb) in neighbors.iter().enumerate() {
+            let p = points[nb.index];
+            xs[i] = p.x;
+            ys[i] = p.y;
+            zs[i] = p.z;
+        }
+        fit_plane_normal(&xs[..len], &ys[..len], &zs[..len])
+    } else {
+        let mut lanes = GatherLanes::default();
+        lanes.gather(points, neighbors);
+        fit_plane_normal(&lanes.xs, &lanes.ys, &lanes.zs)
+    }
+}
+
+/// [`plane_svd_normal`] gathering through caller-owned lanes (the serial
+/// path's allocation-free variant).
+fn plane_svd_normal_with(points: &[Vec3], neighbors: &[Neighbor], lanes: &mut GatherLanes) -> Vec3 {
+    if neighbors.len() < 3 {
+        return fallback_normal();
+    }
+    lanes.gather(points, neighbors);
+    fit_plane_normal(&lanes.xs, &lanes.ys, &lanes.zs)
 }
 
 /// AreaWeighted: average of the normals of triangles formed by the query
 /// point and consecutive neighbor pairs, each weighted by triangle area
 /// (Klasing et al.'s AreaWeighted variant).
-fn area_weighted_normal(points: &[Vec3], neighbors: &[tigris_core::Neighbor], at: Vec3) -> Vec3 {
+fn area_weighted_normal(points: &[Vec3], neighbors: &[Neighbor], at: Vec3) -> Vec3 {
     if neighbors.len() < 3 {
-        return fallback_normal(at);
+        return fallback_normal();
     }
     // Order neighbors by angle in the tangent plane of a rough PlaneSVD
     // estimate so consecutive pairs form a fan around the point.
-    let rough = plane_svd_normal(points, neighbors, at);
+    let rough = plane_svd_normal(points, neighbors);
     let u = pick_perpendicular(rough);
     let v = rough.cross(u);
     let mut ordered: Vec<Vec3> = neighbors.iter().map(|n| points[n.index]).collect();
@@ -125,7 +219,7 @@ fn area_weighted_normal(points: &[Vec3], neighbors: &[tigris_core::Neighbor], at
     acc.normalized().unwrap_or(rough)
 }
 
-fn fallback_normal(_at: Vec3) -> Vec3 {
+fn fallback_normal() -> Vec3 {
     Vec3::Z
 }
 
@@ -138,6 +232,7 @@ fn pick_perpendicular(n: Vec3) -> Vec3 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tigris_core::BatchConfig;
 
     /// A flat grid on z = 5 (away from origin so viewpoint orientation is
     /// meaningful).
@@ -243,5 +338,33 @@ mod tests {
         estimate_normals(&mut s, 0.35, NormalAlgorithm::PlaneSvd);
         assert!(s.search_time() > std::time::Duration::ZERO);
         assert_eq!(s.stats().queries as usize, pts.len());
+    }
+
+    #[test]
+    fn serial_and_parallel_paths_are_bit_identical() {
+        // The serial path fits through the scratch lanes, the parallel
+        // path through stack gathers — same kernels, same bits.
+        let pts = plane_cloud();
+        for algorithm in [NormalAlgorithm::PlaneSvd, NormalAlgorithm::AreaWeighted] {
+            let mut serial = Searcher3::classic(&pts);
+            let a = estimate_normals(&mut serial, 0.35, algorithm);
+            let mut parallel = Searcher3::classic(&pts);
+            parallel.set_parallel(BatchConfig { threads: 4, min_chunk: 16 });
+            let b = estimate_normals(&mut parallel, 0.35, algorithm);
+            assert_eq!(a, b, "{algorithm:?}");
+        }
+    }
+
+    #[test]
+    fn warm_scratch_runs_allocation_free() {
+        let pts = plane_cloud();
+        let mut scratch = PrepareScratch::new();
+        let mut s = Searcher3::classic(&pts);
+        let first = estimate_normals_with(&mut s, 0.35, NormalAlgorithm::PlaneSvd, &mut scratch);
+        let warm_bytes = scratch.capacity_bytes();
+        let mut s = Searcher3::classic(&pts);
+        let second = estimate_normals_with(&mut s, 0.35, NormalAlgorithm::PlaneSvd, &mut scratch);
+        assert_eq!(first, second);
+        assert_eq!(scratch.capacity_bytes(), warm_bytes, "second frame must not grow scratch");
     }
 }

@@ -12,7 +12,7 @@
 //!
 //! Streaming is where the pipeline's prepare/match split pays off: every
 //! frame is first a registration *source* and one step later the
-//! *target*, so the odometer runs [`prepare_frame`] exactly once per
+//! *target*, so the odometer runs [`prepare_frame`](crate::prepare_frame) exactly once per
 //! frame and hands the [`PreparedFrame`] forward — normals, key-points,
 //! descriptors and the KD-tree are all computed once, and each step pays
 //! only one frame preparation plus the pairwise match
@@ -22,9 +22,10 @@ use tigris_geom::{PointCloud, RigidTransform};
 
 use crate::config::RegistrationConfig;
 use crate::pipeline::{
-    prepare_frame, register_prepared_with_prior, PreparedFrame, RegistrationError,
+    prepare_frame_with, register_prepared_with_prior, PreparedFrame, RegistrationError,
     RegistrationResult,
 };
+use crate::scratch::PrepareScratch;
 
 /// Per-frame odometry output.
 #[derive(Debug, Clone)]
@@ -66,6 +67,9 @@ pub struct Odometer {
     /// Constant-velocity prior: the last estimated relative motion.
     velocity: Option<RigidTransform>,
     frames_processed: usize,
+    /// Front-end working buffers, reused across every streamed frame so
+    /// steady-state preparation allocates nothing transient.
+    scratch: PrepareScratch,
 }
 
 impl Odometer {
@@ -77,6 +81,7 @@ impl Odometer {
             pose: RigidTransform::IDENTITY,
             velocity: None,
             frames_processed: 0,
+            scratch: PrepareScratch::new(),
         }
     }
 
@@ -166,7 +171,7 @@ impl Odometer {
         &mut self,
         frame: &PointCloud,
     ) -> Result<(Option<OdometryStep>, Option<PreparedFrame>), RegistrationError> {
-        let mut source = prepare_frame(frame, &self.config)?;
+        let mut source = prepare_frame_with(frame, &self.config, &mut self.scratch)?;
         // Count the frame only once it actually prepared — an empty or
         // backend-less frame must not inflate the processed tally.
         self.frames_processed += 1;
@@ -432,5 +437,26 @@ mod tests {
         // and every interior frame served a second registration for free.
         assert_eq!(prepared, frames);
         assert_eq!(reused, frames - 2);
+    }
+
+    #[test]
+    fn steady_state_preparation_is_allocation_free() {
+        // The odometer owns one PrepareScratch across all frames: once the
+        // buffers warmed up on the first frames, later preparations must
+        // complete without growing anything.
+        let world = scene_cloud();
+        let delta = RigidTransform::from_translation(Vec3::new(0.04, 0.01, 0.0));
+        let mut odo = Odometer::new(fast_config());
+        let mut motion = RigidTransform::IDENTITY;
+        let mut last = None;
+        for _ in 0..5 {
+            if let Some(step) = odo.push(&world.transformed(&motion.inverse())).unwrap() {
+                last = Some(step);
+            }
+            motion = motion * delta;
+        }
+        let p = &last.unwrap().registration.profile;
+        assert_eq!(p.scratch_bytes_grown, 0, "warm frames must not grow the scratch");
+        assert_eq!(p.scratch_reuses, 1, "the warm preparation must count as a scratch reuse");
     }
 }

@@ -24,12 +24,13 @@ use tigris_geom::{PointCloud, RigidTransform, Vec3};
 
 use crate::config::{ConfigError, RegistrationConfig, SearchBackendConfig};
 use crate::correspond::{kpce_batched, kpce_ratio_batched};
-use crate::descriptor::{compute_descriptors, Descriptors};
+use crate::descriptor::{compute_descriptors_with, Descriptors};
 use crate::icp::{IcpResult, IcpTermination};
 use crate::keypoint::detect_keypoints;
-use crate::normal::estimate_normals;
+use crate::normal::estimate_normals_with;
 use crate::profile::{Stage, StageProfile};
 use crate::reject::reject_correspondences;
+use crate::scratch::PrepareScratch;
 use crate::search::Searcher3;
 use crate::transform::estimate_svd;
 
@@ -256,16 +257,19 @@ fn run_front_end(
     searcher: &mut Searcher3,
     cfg: &RegistrationConfig,
     profile: &mut StageProfile,
+    scratch: &mut PrepareScratch,
 ) -> FrontEndArtifacts {
     // The config's parallelism knob governs every batched fan-out below.
     searcher.set_parallel(cfg.parallel);
     let search_time0 = searcher.search_time();
     let stats0 = *searcher.stats();
+    let bytes_grown0 = scratch.bytes_grown();
+    let reuses0 = scratch.reuses();
 
     // ---- Stage 1: Normal Estimation --------------------------------------
     let t0 = Instant::now();
     searcher.set_injection(cfg.inject_ne);
-    let normals = estimate_normals(searcher, cfg.normal_radius, cfg.normal_algorithm);
+    let normals = estimate_normals_with(searcher, cfg.normal_radius, cfg.normal_algorithm, scratch);
     searcher.set_injection(None);
     profile.add(Stage::NormalEstimation, t0.elapsed());
 
@@ -276,7 +280,8 @@ fn run_front_end(
 
     // ---- Stage 3: Descriptor Calculation ---------------------------------
     let t0 = Instant::now();
-    let descriptors = compute_descriptors(searcher, &normals, &keypoints, cfg.descriptor);
+    let descriptors =
+        compute_descriptors_with(searcher, &normals, &keypoints, cfg.descriptor, scratch);
     profile.add(Stage::DescriptorCalculation, t0.elapsed());
 
     let keypoint_points = {
@@ -288,6 +293,11 @@ fn run_front_end(
     // a searcher reused across registrations never double-bills.
     profile.kd_search_time += searcher.search_time().saturating_sub(search_time0);
     profile.search_stats += *searcher.stats() - stats0;
+    // Close out the scratch frame and attribute its growth/reuse the same
+    // way (deltas: a scratch reused across frames never double-bills).
+    scratch.note_frame_end();
+    profile.scratch_bytes_grown += scratch.bytes_grown() - bytes_grown0;
+    profile.scratch_reuses += scratch.reuses() - reuses0;
 
     FrontEndArtifacts { normals, keypoints, keypoint_points, descriptors }
 }
@@ -306,6 +316,24 @@ pub fn prepare_frame(
     cloud: &PointCloud,
     cfg: &RegistrationConfig,
 ) -> Result<PreparedFrame, RegistrationError> {
+    prepare_frame_with(cloud, cfg, &mut PrepareScratch::new())
+}
+
+/// [`prepare_frame`] with caller-owned front-end scratch: the normal and
+/// descriptor stages run in the scratch's reusable buffers, so a caller
+/// streaming frames through one scratch (the [`crate::Odometer`]'s
+/// pattern) prepares steady-state frames without transient heap
+/// allocation. The scratch's growth/reuse counters land in the frame's
+/// [`StageProfile`].
+///
+/// # Errors
+///
+/// As [`prepare_frame`].
+pub fn prepare_frame_with(
+    cloud: &PointCloud,
+    cfg: &RegistrationConfig,
+    scratch: &mut PrepareScratch,
+) -> Result<PreparedFrame, RegistrationError> {
     let t0 = Instant::now();
     // Downsample when configured; otherwise index the cloud's points
     // directly (no intermediate copy on the no-downsample path).
@@ -321,7 +349,7 @@ pub fn prepare_frame(
         }
         build_searcher(cloud.points(), &cfg.backend)?
     };
-    finish_preparation(searcher, cfg, t0, std::time::Duration::ZERO)
+    finish_preparation(searcher, cfg, t0, std::time::Duration::ZERO, scratch)
 }
 
 /// Prepares a frame over a caller-built searcher — the entry point for
@@ -343,7 +371,7 @@ pub fn prepare_frame_from_searcher(
     // the layer total explicitly (prepare_frame's clock covers the build
     // because it starts before construction).
     let build_time = searcher.build_time();
-    finish_preparation(searcher, cfg, Instant::now(), build_time)
+    finish_preparation(searcher, cfg, Instant::now(), build_time, &mut PrepareScratch::new())
 }
 
 fn finish_preparation(
@@ -351,10 +379,11 @@ fn finish_preparation(
     cfg: &RegistrationConfig,
     t0: Instant,
     prior_prepare_time: std::time::Duration,
+    scratch: &mut PrepareScratch,
 ) -> Result<PreparedFrame, RegistrationError> {
     let mut profile = StageProfile::new();
     profile.kd_build_time += searcher.build_time();
-    let artifacts = run_front_end(&mut searcher, cfg, &mut profile);
+    let artifacts = run_front_end(&mut searcher, cfg, &mut profile, scratch);
     profile.frames_prepared = 1;
     profile.prepare_time = prior_prepare_time + t0.elapsed();
     Ok(PreparedFrame { searcher, artifacts, config: cfg.clone(), profile, billed: false })
@@ -612,8 +641,9 @@ pub fn register_with_searchers(
     profile.kd_build_time += src_searcher.build_time() + tgt_searcher.build_time();
 
     let t0 = Instant::now();
-    let src_art = run_front_end(src_searcher, cfg, &mut profile);
-    let tgt_art = run_front_end(tgt_searcher, cfg, &mut profile);
+    let mut scratch = PrepareScratch::new();
+    let src_art = run_front_end(src_searcher, cfg, &mut profile, &mut scratch);
+    let tgt_art = run_front_end(tgt_searcher, cfg, &mut profile, &mut scratch);
     profile.frames_prepared += 2;
     // Index builds happened before this call but belong to the
     // preparation layer, same as on the PreparedFrame path.

@@ -85,6 +85,14 @@ pub struct StageProfile {
     /// artifacts, so their front end did **not** run again — the streaming
     /// odometer's reuse counter.
     pub frames_reused: usize,
+    /// Heap capacity (bytes) the front-end scratch buffers grew by during
+    /// the preparations billed to this result. Zero once a reused
+    /// [`crate::PrepareScratch`] is warm.
+    pub scratch_bytes_grown: u64,
+    /// Preparations billed to this result that completed without growing
+    /// any scratch buffer — the proof of allocation-free steady-state
+    /// frame preparation.
+    pub scratch_reuses: u64,
 }
 
 impl StageProfile {
@@ -156,6 +164,8 @@ impl StageProfile {
         self.match_time += other.match_time;
         self.frames_prepared += other.frames_prepared;
         self.frames_reused += other.frames_reused;
+        self.scratch_bytes_grown += other.scratch_bytes_grown;
+        self.scratch_reuses += other.scratch_reuses;
     }
 
     /// Fraction of prepare + match wall-clock spent preparing frames
@@ -201,6 +211,11 @@ impl fmt::Display for StageProfile {
             self.match_time,
             self.frames_prepared,
             self.frames_reused
+        )?;
+        writeln!(
+            f,
+            "  scratch: {} bytes grown, {} allocation-free preparations",
+            self.scratch_bytes_grown, self.scratch_reuses
         )
     }
 }
@@ -263,6 +278,8 @@ mod tests {
         b.match_time = Duration::from_millis(3);
         b.frames_prepared = 1;
         b.frames_reused = 2;
+        b.scratch_bytes_grown = 64;
+        b.scratch_reuses = 5;
         a.merge(&b);
         assert_eq!(a.time(Stage::Kpce), Duration::from_millis(12));
         assert_eq!(a.kd_search_time, Duration::from_millis(2));
@@ -271,6 +288,8 @@ mod tests {
         assert_eq!(a.match_time, Duration::from_millis(3));
         assert_eq!(a.frames_prepared, 2);
         assert_eq!(a.frames_reused, 2);
+        assert_eq!(a.scratch_bytes_grown, 64);
+        assert_eq!(a.scratch_reuses, 5);
     }
 
     #[test]

@@ -26,16 +26,19 @@
 //! [`Searcher3::stats`]), which is why `tigris_core::SearchStats`
 //! implements `Sub`.
 
+use std::ops::Range;
 use std::time::{Duration, Instant};
 
+use tigris_core::batch::parallel_queries;
 use tigris_core::index::build_backend;
 use tigris_core::{
     ApproxConfig, ApproxIndex, BatchConfig, BruteForceIndex, KdTree, Neighbor, QueryRecord,
-    SearchIndex, SearchStats, TwoStageKdTree,
+    SearchIndex, SearchStats, SharedIndex, TwoStageKdTree,
 };
 use tigris_geom::Vec3;
 
 use crate::config::{ConfigError, SearchBackendConfig};
+use crate::scratch::{GroupScratch, NeighborTable};
 
 /// Error injected into searches (paper Sec. 4.2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -375,6 +378,277 @@ impl Searcher3 {
         self.search_time += t0.elapsed();
         result
     }
+
+    // ---- Shared-read table entry points ---------------------------------
+    //
+    // Like the batched methods, but results land as rows of a reusable
+    // `NeighborTable` instead of a fresh `Vec<Vec<Neighbor>>` — query
+    // `i`'s row (found through `groups.table_row(i)`) is bit-identical
+    // to what `radius_batch` would have returned for it, and the
+    // per-query metering (queries counted, log entries, batch
+    // wall-clock in `search_time`) is the same. On a backend with a
+    // shared-read view the serial path orders the batch along a Morton
+    // curve and dispatches runs of co-located queries as one shared
+    // tree traversal (`SharedIndex::radius_group_into_shared`), writing
+    // through warm buffers of the caller's `GroupScratch` — a
+    // steady-state caller allocates nothing, and interior-node work is
+    // amortized across each group. Rows consequently land in curve
+    // order, and the traversal-visit counters (`leaves_scanned`,
+    // `tree_nodes_visited`, `subtrees_pruned`) reflect the shared walk,
+    // not per-query walks. Injected or stateful-backend searches fall
+    // back to the serial metered path, which injection semantics are
+    // defined on (rows then land in query order, and the mapping says
+    // so).
+
+    /// All neighbors within `radius` of every query, appended as table
+    /// rows with co-located queries grouped into shared traversals
+    /// through `groups` — query `i`'s row is
+    /// `groups.table_row(i)`, valid until the next batched search
+    /// through the same scratch.
+    pub fn radius_batch_into(
+        &mut self,
+        queries: &[Vec3],
+        radius: f64,
+        table: &mut NeighborTable,
+        groups: &mut GroupScratch,
+    ) {
+        self.radius_batch_into_ordered(queries, radius, table, groups, RowOrder::Canonical);
+    }
+
+    /// [`Searcher3::radius_batch_into`] minus the within-row ordering
+    /// guarantee: each row holds exactly the hit *set* a per-query
+    /// search would return — same neighbors, same bits — in an
+    /// unspecified order, skipping the canonical `(d², index)` re-sort
+    /// that dominates the grouped path's per-row cost on dense
+    /// neighborhoods. Only for consumers whose accumulation is
+    /// order-independent (exact `+= 1.0` histogram adds, for example);
+    /// order-sensitive consumers must use [`Searcher3::radius_batch_into`].
+    pub fn radius_batch_into_unsorted(
+        &mut self,
+        queries: &[Vec3],
+        radius: f64,
+        table: &mut NeighborTable,
+        groups: &mut GroupScratch,
+    ) {
+        self.radius_batch_into_ordered(queries, radius, table, groups, RowOrder::Unsorted);
+    }
+
+    fn radius_batch_into_ordered(
+        &mut self,
+        queries: &[Vec3],
+        radius: f64,
+        table: &mut NeighborTable,
+        groups: &mut GroupScratch,
+        order: RowOrder,
+    ) {
+        if self.injection.is_some() || self.index.as_shared().is_none() {
+            let base = table.rows() as u32;
+            groups.inv.clear();
+            groups.inv.extend(base..base + queries.len() as u32);
+            for &q in queries {
+                let row = self.radius(q, radius);
+                table.push_row_from(&row);
+            }
+            return;
+        }
+        if let Some(log) = &mut self.query_log {
+            log.extend(queries.iter().map(|&q| QueryRecord::radius(q, radius)));
+        }
+        let t0 = Instant::now();
+        let cfg = self.parallel;
+        let mut stats = SearchStats::new();
+        let shared = self.index.as_shared().expect("checked above");
+        radius_rows_into(shared, queries, radius, &cfg, &mut stats, table, groups, order);
+        self.stats += stats;
+        self.search_time += t0.elapsed();
+    }
+
+    /// All neighbors within `radius` of the searcher's *own* points
+    /// `range`, appended as table rows — point `start + i`'s row is
+    /// `groups.table_row(i)`, valid until the next batched search
+    /// through the same scratch.
+    ///
+    /// This is the front end's "query the cloud about itself" shape
+    /// (normal estimation runs it over every chunk). Going through the
+    /// shared-read view lets the queries borrow the indexed points
+    /// directly — no `points()[start..end].to_vec()` staging copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range` is out of bounds of [`Searcher3::points`].
+    pub fn self_radius_range_into(
+        &mut self,
+        range: Range<usize>,
+        radius: f64,
+        table: &mut NeighborTable,
+        groups: &mut GroupScratch,
+    ) {
+        if self.injection.is_some() || self.index.as_shared().is_none() {
+            let base = table.rows() as u32;
+            groups.inv.clear();
+            groups.inv.extend(base..base + range.len() as u32);
+            for i in range {
+                let q = self.index.points()[i];
+                let row = self.radius(q, radius);
+                table.push_row_from(&row);
+            }
+            return;
+        }
+        let queries = &self.index.points()[range];
+        if let Some(log) = &mut self.query_log {
+            log.extend(queries.iter().map(|&q| QueryRecord::radius(q, radius)));
+        }
+        let t0 = Instant::now();
+        let cfg = self.parallel;
+        let mut stats = SearchStats::new();
+        let shared = self.index.as_shared().expect("checked above");
+        radius_rows_into(
+            shared,
+            queries,
+            radius,
+            &cfg,
+            &mut stats,
+            table,
+            groups,
+            RowOrder::Canonical,
+        );
+        self.stats += stats;
+        self.search_time += t0.elapsed();
+    }
+}
+
+/// Within-row ordering a batched radius fan-out guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RowOrder {
+    /// Rows in canonical `(d², index)` order — bit-identical to the
+    /// per-query search, including element order.
+    Canonical,
+    /// Same hit set per row, unspecified order — the grouped traversal
+    /// skips its canonical re-sort.
+    Unsorted,
+}
+
+/// Maximum queries dispatched as one shared traversal. Groups are also
+/// capped in spatial extent, so on sparse data they stay small and the
+/// dispatch degrades toward the per-query walk it replaces.
+const MAX_GROUP: usize = 32;
+
+/// Spreads the low 21 bits of `v` so consecutive bits land three apart —
+/// one coordinate's contribution to a 63-bit 3D Morton code.
+fn spread21(v: u64) -> u64 {
+    let mut x = v & 0x1f_ffff;
+    x = (x | x << 32) & 0x001f_0000_0000_ffff;
+    x = (x | x << 16) & 0x001f_0000_ff00_00ff;
+    x = (x | x << 8) & 0x100f_00f0_0f00_f00f;
+    x = (x | x << 4) & 0x10c3_0c30_c30c_30c3;
+    (x | x << 2) & 0x1249_2492_4924_9249
+}
+
+/// Morton (Z-order) key of `q` on a grid of `1 / inv_cell`-sized voxels:
+/// consecutive keys are usually spatially adjacent, which is what makes
+/// sorted runs good traversal groups. The offset keeps in-range
+/// coordinates non-negative for 21-bit packing; beyond ±2²⁰ cells keys
+/// wrap, which only loosens grouping (caught by the extent cap), never
+/// correctness.
+fn morton_key(q: Vec3, inv_cell: f64) -> u64 {
+    const OFFSET: i64 = 1 << 20;
+    let ix = ((q.x * inv_cell).floor() as i64).wrapping_add(OFFSET) as u64;
+    let iy = ((q.y * inv_cell).floor() as i64).wrapping_add(OFFSET) as u64;
+    let iz = ((q.z * inv_cell).floor() as i64).wrapping_add(OFFSET) as u64;
+    spread21(ix) << 2 | spread21(iy) << 1 | spread21(iz)
+}
+
+/// Serial-or-parallel radius fan-out over a shared-read index, appending
+/// one table row per query and recording each query's table row in
+/// `groups` (readable through `GroupScratch::table_row`).
+///
+/// The serial path orders the whole batch along a Morton curve and
+/// dispatches runs of co-located queries (capped in population and in
+/// spatial extent — a loose group would drag every member through
+/// subtrees only its farthest peer can reach) as single shared
+/// traversals. Each row holds exactly the hits a per-query search would
+/// return, bit for bit, but rows land in curve order rather than query
+/// order — hence the recorded mapping — while interior nodes are
+/// dispatched once per group and leaf points stream through the SIMD
+/// filter cache-hot. With [`RowOrder::Unsorted`] the within-row
+/// canonical sort is skipped too: same hit set per row, unspecified
+/// element order. The parallel path collects per-query rows on the
+/// workers and copies them in in query order (always canonically
+/// sorted — a valid instance of either ordering).
+#[allow(clippy::too_many_arguments)]
+fn radius_rows_into(
+    shared: &dyn SharedIndex,
+    queries: &[Vec3],
+    radius: f64,
+    cfg: &BatchConfig,
+    stats: &mut SearchStats,
+    table: &mut NeighborTable,
+    groups: &mut GroupScratch,
+    order: RowOrder,
+) {
+    let base = table.rows() as u32;
+    groups.inv.clear();
+    if cfg.resolve_threads(queries.len()) > 1 {
+        let rows =
+            parallel_queries(queries, cfg, stats, |q, st| shared.radius_shared(q, radius, st));
+        for row in &rows {
+            table.push_row_from(row);
+        }
+        groups.inv.extend(base..base + queries.len() as u32);
+        return;
+    }
+    let max_extent = radius.max(f64::MIN_POSITIVE);
+    let inv_cell = 2.0 / max_extent;
+    groups.keys.clear();
+    groups.keys.extend(queries.iter().map(|&q| morton_key(q, inv_cell)));
+    groups.order.clear();
+    groups.order.extend(0..queries.len() as u32);
+    let keys = &groups.keys;
+    groups.order.sort_unstable_by_key(|&i| keys[i as usize]);
+    groups.inv.resize(queries.len(), 0);
+    if groups.rows.len() < MAX_GROUP {
+        groups.rows.resize_with(MAX_GROUP, Vec::new);
+    }
+    let mut qbuf = [Vec3::ZERO; MAX_GROUP];
+    let mut pos = 0;
+    while pos < queries.len() {
+        qbuf[0] = queries[groups.order[pos] as usize];
+        let (mut lo, mut hi) = (qbuf[0], qbuf[0]);
+        let mut len = 1;
+        while len < MAX_GROUP && pos + len < queries.len() {
+            let q = queries[groups.order[pos + len] as usize];
+            let nlo = Vec3::new(lo.x.min(q.x), lo.y.min(q.y), lo.z.min(q.z));
+            let nhi = Vec3::new(hi.x.max(q.x), hi.y.max(q.y), hi.z.max(q.z));
+            if nhi.x - nlo.x > max_extent
+                || nhi.y - nlo.y > max_extent
+                || nhi.z - nlo.z > max_extent
+            {
+                break;
+            }
+            qbuf[len] = q;
+            (lo, hi) = (nlo, nhi);
+            len += 1;
+        }
+        match order {
+            RowOrder::Canonical => shared.radius_group_into_shared(
+                &qbuf[..len],
+                radius,
+                &mut groups.rows[..len],
+                stats,
+            ),
+            RowOrder::Unsorted => shared.radius_group_unsorted_into_shared(
+                &qbuf[..len],
+                radius,
+                &mut groups.rows[..len],
+                stats,
+            ),
+        }
+        for (j, row) in groups.rows[..len].iter().enumerate() {
+            groups.inv[groups.order[pos + j] as usize] = base + (pos + j) as u32;
+            table.push_row_from(row);
+        }
+        pos += len;
+    }
 }
 
 #[cfg(test)]
@@ -564,5 +838,94 @@ mod tests {
         assert!(s.is_empty());
         assert!(s.nn(Vec3::ZERO).is_none());
         assert!(s.radius(Vec3::ZERO, 1.0).is_empty());
+    }
+
+    #[test]
+    fn table_entry_points_match_radius_batch() {
+        let pts = cloud();
+        let queries: Vec<Vec3> = pts.iter().step_by(7).copied().collect();
+        for cfg in [BatchConfig::serial(), BatchConfig { threads: 4, min_chunk: 4 }] {
+            let mut a = Searcher3::classic(&pts);
+            let mut b = Searcher3::classic(&pts);
+            a.set_parallel(cfg);
+            b.set_parallel(cfg);
+            let expected = a.radius_batch(&queries, 1.5);
+            let mut table = NeighborTable::new();
+            let mut groups = GroupScratch::default();
+            b.radius_batch_into(&queries, 1.5, &mut table, &mut groups);
+            assert_eq!(table.rows(), expected.len());
+            for (i, row) in expected.iter().enumerate() {
+                assert_eq!(
+                    table.row(groups.table_row(i)),
+                    row.as_slice(),
+                    "row of query {i} under {cfg:?}"
+                );
+            }
+            // Visit counters reflect the grouped traversal; the
+            // per-query metering contract is on `queries`.
+            assert_eq!(a.stats().queries, b.stats().queries, "metering under {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn self_range_rows_match_batched_point_copies() {
+        let pts = cloud();
+        for cfg in [BatchConfig::serial(), BatchConfig { threads: 3, min_chunk: 8 }] {
+            let mut a = Searcher3::two_stage(&pts, 4);
+            let mut b = Searcher3::two_stage(&pts, 4);
+            a.set_parallel(cfg);
+            b.set_parallel(cfg);
+            let copied: Vec<Vec3> = pts[100..400].to_vec();
+            let expected = a.radius_batch(&copied, 1.2);
+            let mut table = NeighborTable::new();
+            let mut groups = GroupScratch::default();
+            b.self_radius_range_into(100..400, 1.2, &mut table, &mut groups);
+            assert_eq!(table.rows(), 300);
+            for (i, row) in expected.iter().enumerate() {
+                assert_eq!(
+                    table.row(groups.table_row(i)),
+                    row.as_slice(),
+                    "row of query {i} under {cfg:?}"
+                );
+            }
+            assert_eq!(a.stats().queries, b.stats().queries, "metering under {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn table_entry_points_respect_injection_fallback() {
+        let pts: Vec<Vec3> = (0..20).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+        let mut s = Searcher3::classic(&pts);
+        s.set_injection(Some(Injection::RadiusShell { inner_frac: 0.5, outer_frac: 1.25 }));
+        let mut table = NeighborTable::new();
+        let mut groups = GroupScratch::default();
+        s.radius_batch_into(&[Vec3::ZERO], 4.0, &mut table, &mut groups);
+        let xs: Vec<f64> = table.row(0).iter().map(|n| pts[n.index].x).collect();
+        assert_eq!(xs, vec![2.0, 3.0, 4.0, 5.0]);
+        let mut table = NeighborTable::new();
+        s.self_radius_range_into(0..1, 4.0, &mut table, &mut groups);
+        let xs: Vec<f64> = table.row(0).iter().map(|n| pts[n.index].x).collect();
+        assert_eq!(xs, vec![2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn table_entry_points_are_logged_and_warm_reuse_is_allocation_free() {
+        let pts = cloud();
+        let mut s = Searcher3::classic(&pts);
+        s.enable_query_logging();
+        let mut table = NeighborTable::new();
+        let mut groups = GroupScratch::default();
+        s.self_radius_range_into(0..10, 1.0, &mut table, &mut groups);
+        s.radius_batch_into(&pts[..5], 1.0, &mut table, &mut groups);
+        assert_eq!(s.take_query_log().unwrap().len(), 15);
+        assert_eq!(s.stats().queries, 15);
+        // Warm buffers re-running the same workload must not grow.
+        let bytes = table.capacity_bytes();
+        let group_bytes = groups.capacity_bytes();
+        table.clear();
+        s.self_radius_range_into(0..10, 1.0, &mut table, &mut groups);
+        s.radius_batch_into(&pts[..5], 1.0, &mut table, &mut groups);
+        assert_eq!(table.capacity_bytes(), bytes);
+        assert_eq!(groups.capacity_bytes(), group_bytes);
     }
 }

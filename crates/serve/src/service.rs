@@ -74,6 +74,10 @@ impl RequestGate {
         t.relocalizations_succeeded += delta.relocalizations_succeeded;
         t.frames_tracked += delta.frames_tracked;
         t.track_breaks += delta.track_breaks;
+        t.normal_estimation_time += delta.normal_estimation_time;
+        t.descriptor_time += delta.descriptor_time;
+        t.prepare_scratch_bytes_grown += delta.prepare_scratch_bytes_grown;
+        t.prepare_scratch_reuses += delta.prepare_scratch_reuses;
     }
 
     /// The gate's counters as a [`ServeStats`] (latency summary and tile
@@ -91,6 +95,10 @@ impl RequestGate {
                 relocalizations_succeeded: self.totals.relocalizations_succeeded,
                 frames_tracked: self.totals.frames_tracked,
                 track_breaks: self.totals.track_breaks,
+                normal_estimation_time: self.totals.normal_estimation_time,
+                descriptor_time: self.totals.descriptor_time,
+                prepare_scratch_bytes_grown: self.totals.prepare_scratch_bytes_grown,
+                prepare_scratch_reuses: self.totals.prepare_scratch_reuses,
                 latency: LatencySummary::default(),
                 tiles: TileStats::default(),
             },
@@ -262,7 +270,15 @@ mod tests {
         let mut gate = RequestGate::default();
         gate.begin_request(1).expect("first request fits");
         assert_eq!(gate.begin_request(1), Err(ServeError::Saturated { limit: 1 }));
-        let delta = SessionStats { frames: 1, frames_tracked: 1, ..SessionStats::default() };
+        let delta = SessionStats {
+            frames: 1,
+            frames_tracked: 1,
+            normal_estimation_time: Duration::from_millis(4),
+            descriptor_time: Duration::from_millis(6),
+            prepare_scratch_bytes_grown: 256,
+            prepare_scratch_reuses: 1,
+            ..SessionStats::default()
+        };
         gate.finish_request(Duration::from_millis(3), delta);
         gate.begin_request(1).expect("slot freed by completion");
         gate.finish_request(Duration::from_millis(5), SessionStats::default());
@@ -271,6 +287,10 @@ mod tests {
         assert_eq!(stats.frames_rejected, 1);
         assert_eq!(stats.frames, 1);
         assert_eq!(stats.frames_tracked, 1);
+        assert_eq!(stats.normal_estimation_time, Duration::from_millis(4));
+        assert_eq!(stats.descriptor_time, Duration::from_millis(6));
+        assert_eq!(stats.prepare_scratch_bytes_grown, 256);
+        assert_eq!(stats.prepare_scratch_reuses, 1);
         assert_eq!(recorder.count(), 2, "every completion records a latency sample");
     }
 }

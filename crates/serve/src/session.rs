@@ -29,7 +29,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use tigris_geom::{PointCloud, RigidTransform};
-use tigris_pipeline::{prepare_frame, register_prepared_with_prior, PreparedFrame};
+use tigris_pipeline::{
+    prepare_frame_with, register_prepared_with_prior, PrepareScratch, PreparedFrame, Stage,
+};
 
 use crate::error::ServeError;
 use crate::reloc::{relocalize_prepared, Relocalization};
@@ -111,11 +113,18 @@ pub struct SessionStep {
 pub(crate) struct TrackCore {
     state: TrackState,
     stats: SessionStats,
+    /// Front-end scratch reused across every frame this session
+    /// prepares, so steady-state preparation allocates nothing.
+    scratch: PrepareScratch,
 }
 
 impl TrackCore {
     pub(crate) fn new() -> Self {
-        TrackCore { state: TrackState::Cold, stats: SessionStats::default() }
+        TrackCore {
+            state: TrackState::Cold,
+            stats: SessionStats::default(),
+            scratch: PrepareScratch::new(),
+        }
     }
 
     pub(crate) fn phase(&self) -> SessionPhase {
@@ -150,8 +159,15 @@ impl TrackCore {
     where
         R: FnMut(&mut PreparedFrame) -> Result<Relocalization, ServeError>,
     {
-        // One preparation per admitted frame — the query front end.
-        let mut prepared = prepare_frame(frame, registration)?;
+        // One preparation per admitted frame — the query front end —
+        // through the session-owned scratch, so a warm session prepares
+        // without transient allocation.
+        let mut prepared = prepare_frame_with(frame, registration, &mut self.scratch)?;
+        let prof = prepared.prepare_profile();
+        self.stats.normal_estimation_time += prof.time(Stage::NormalEstimation);
+        self.stats.descriptor_time += prof.time(Stage::DescriptorCalculation);
+        self.stats.prepare_scratch_bytes_grown += prof.scratch_bytes_grown;
+        self.stats.prepare_scratch_reuses += prof.scratch_reuses;
         let index = self.stats.frames;
         self.stats.frames += 1;
 

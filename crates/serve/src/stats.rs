@@ -17,6 +17,18 @@ pub struct SessionStats {
     pub frames_tracked: usize,
     /// Tracking failures that sent the session back toward cold start.
     pub track_breaks: usize,
+    /// Wall-clock spent in the normal-estimation stage of this session's
+    /// frame preparations.
+    pub normal_estimation_time: Duration,
+    /// Wall-clock spent in the descriptor stage of this session's frame
+    /// preparations.
+    pub descriptor_time: Duration,
+    /// Heap capacity (bytes) the session's reused front-end scratch grew
+    /// by. Stops growing once the scratch is warm.
+    pub prepare_scratch_bytes_grown: u64,
+    /// Frame preparations that completed without growing any scratch
+    /// buffer — allocation-free steady state.
+    pub prepare_scratch_reuses: u64,
 }
 
 impl SessionStats {
@@ -31,6 +43,11 @@ impl SessionStats {
                 - before.relocalizations_succeeded,
             frames_tracked: self.frames_tracked - before.frames_tracked,
             track_breaks: self.track_breaks - before.track_breaks,
+            normal_estimation_time: self.normal_estimation_time - before.normal_estimation_time,
+            descriptor_time: self.descriptor_time - before.descriptor_time,
+            prepare_scratch_bytes_grown: self.prepare_scratch_bytes_grown
+                - before.prepare_scratch_bytes_grown,
+            prepare_scratch_reuses: self.prepare_scratch_reuses - before.prepare_scratch_reuses,
         }
     }
 }
@@ -58,6 +75,19 @@ pub struct ServeStats {
     pub frames_tracked: usize,
     /// Tracking breaks, service-wide.
     pub track_breaks: usize,
+    /// Wall-clock in the normal-estimation stage of admitted frames'
+    /// front ends, service-wide — with [`ServeStats::descriptor_time`]
+    /// it attributes how much of the cold-start p50/p99 is the query
+    /// front end rather than retrieval or verification.
+    pub normal_estimation_time: Duration,
+    /// Wall-clock in the descriptor stage of admitted frames' front
+    /// ends, service-wide.
+    pub descriptor_time: Duration,
+    /// Bytes of front-end scratch growth across all sessions — flat once
+    /// every session's scratch is warm.
+    pub prepare_scratch_bytes_grown: u64,
+    /// Allocation-free frame preparations across all sessions.
+    pub prepare_scratch_reuses: u64,
     /// Latency distribution over every completed localize call.
     pub latency: LatencySummary,
     /// Tile residency counters — all zero for the whole-snapshot
