@@ -70,6 +70,30 @@ impl AccelMeter {
     }
 }
 
+/// Cached handles into the global obs registry for the accelerator's
+/// cycle accounting, resolved once per process.
+struct AccelMetrics {
+    batches: std::sync::Arc<tigris_obs::Counter>,
+    queries: std::sync::Arc<tigris_obs::Counter>,
+    cycles: std::sync::Arc<tigris_obs::Counter>,
+    energy_uj: std::sync::Arc<tigris_obs::Counter>,
+    follower_hits: std::sync::Arc<tigris_obs::Counter>,
+}
+
+fn accel_metrics() -> &'static AccelMetrics {
+    static METRICS: std::sync::OnceLock<AccelMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = tigris_obs::global();
+        AccelMetrics {
+            batches: registry.counter("accel.batches"),
+            queries: registry.counter("accel.queries"),
+            cycles: registry.counter("accel.cycles"),
+            energy_uj: registry.counter("accel.energy_uj"),
+            follower_hits: registry.counter("accel.follower_hits"),
+        }
+    })
+}
+
 /// The simulated Tigris accelerator as a pluggable search backend.
 ///
 /// Owns its two-stage tree and per-leaf leader buffers (no borrowed tree,
@@ -132,8 +156,11 @@ impl AccelBackend {
     }
 
     /// Runs one batch through the cycle-level engine, folds its hardware
-    /// cost into the meter, and returns the report (with results).
+    /// cost into the meter — and, when tracing is enabled, mirrors the
+    /// cycle accounting into the global obs registry (`accel.*`) with a
+    /// span per batch — and returns the report (with results).
     fn run(&mut self, queries: &[Vec3], kind: SearchKind, collect: bool) -> SimReport {
+        let span = tigris_obs::span!("accel.batch", queries = queries.len());
         let report = Engine {
             tree: &self.tree,
             config: &self.config,
@@ -142,12 +169,27 @@ impl AccelBackend {
             collect_radius_results: collect,
         }
         .run(queries, kind);
+        drop(span);
         self.meter.batches += 1;
         self.meter.queries += queries.len() as u64;
         self.meter.cycles += report.cycles;
         self.meter.seconds += report.seconds;
         self.meter.energy_joules += report.energy.total_joules();
         self.meter.follower_hits += report.follower_hits;
+        if tigris_obs::enabled() {
+            tigris_obs::event!(
+                "accel.cycles",
+                cycles = report.cycles,
+                energy_uj = report.energy.total_joules() * 1e6,
+                follower_hits = report.follower_hits,
+            );
+            let m = accel_metrics();
+            m.batches.inc();
+            m.queries.add(queries.len() as u64);
+            m.cycles.add(report.cycles);
+            m.energy_uj.add((report.energy.total_joules() * 1e6) as u64);
+            m.follower_hits.add(report.follower_hits);
+        }
         report
     }
 

@@ -1,0 +1,41 @@
+//! Observability overhead: the streaming-odometry workload with tracing
+//! off vs. on, plus the disabled span-site microbenchmark backing the
+//! ≤2% disabled-overhead acceptance bound.
+//!
+//! Besides the human-readable comparison, the run emits a
+//! machine-readable baseline (`BENCH_obs.json` by default, or the path
+//! in `$BENCH_OBS_JSON`) that CI archives per commit, so tracing-cost
+//! regressions show up as a diffable number.
+//!
+//! ```text
+//! cargo bench -p tigris-bench --bench obs
+//! TIGRIS_OBS_FRAMES=10 cargo bench -p tigris-bench --bench obs
+//! ```
+
+use tigris_bench::env_usize;
+use tigris_bench::obs::run_overhead_comparison;
+
+fn main() {
+    let frames = env_usize("TIGRIS_OBS_FRAMES", 6);
+    let runs = env_usize("TIGRIS_OBS_RUNS", 3);
+    println!("== observability overhead: {frames} frames, best of {runs} runs ==");
+
+    let result = run_overhead_comparison(frames, 42, runs);
+    println!("tracing off  {:>10.3?}  (workload wall-clock)", result.disabled_time);
+    println!(
+        "tracing on   {:>10.3?}  ({} records, {} dropped, +{:.2}%)",
+        result.enabled_time,
+        result.records_per_run,
+        result.records_dropped,
+        result.enabled_overhead * 100.0
+    );
+    println!(
+        "disabled site {:>8.2} ns  → {:.4}% of the disabled run (bound: 2%)",
+        result.site_ns,
+        result.disabled_overhead * 100.0
+    );
+    println!("poses identical: {}", result.poses_identical);
+
+    let path = result.report().write_env("BENCH_OBS_JSON", "BENCH_obs.json");
+    println!("baseline written to {}", path.display());
+}

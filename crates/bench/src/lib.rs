@@ -17,6 +17,7 @@
 pub mod figures;
 pub mod frontend;
 pub mod mapping;
+pub mod obs;
 pub mod odometry;
 pub mod plot;
 pub mod reference;

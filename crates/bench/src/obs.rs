@@ -1,0 +1,177 @@
+//! Observability overhead measurement: the streaming-odometry workload
+//! with tracing disabled vs. enabled, plus a microbenchmark of the
+//! disabled span site itself.
+//!
+//! The observability layer's contract is that it is free when off: a
+//! disabled `span!`/`event!` site costs one relaxed atomic load and a
+//! branch, and results are bit-identical with tracing on or off. This
+//! module quantifies both halves:
+//!
+//! * **site cost** — a tight loop over a disabled span site gives
+//!   nanoseconds per site; multiplied by the records one traced run
+//!   emits (every record maps to an instrumentation site the disabled
+//!   run also passes) and divided by the run's wall-clock, that bounds
+//!   the disabled-path overhead fraction the ≤2% acceptance gates on;
+//! * **macro timing** — best-of-N wall-clock for the whole stream with
+//!   tracing off and on, and the pose streams of both, which must be
+//!   equal to the last bit.
+//!
+//! The same logic backs `benches/obs.rs` (which also emits the
+//! machine-readable `BENCH_obs.json` baseline in CI) and the
+//! release-scale acceptance test `tests/obs_overhead.rs`.
+
+use std::time::{Duration, Instant};
+
+use tigris_data::Sequence;
+use tigris_geom::RigidTransform;
+use tigris_pipeline::{Odometer, RegistrationConfig};
+
+use crate::report::BenchReport;
+use crate::workload::short_sequence;
+
+/// One tracing-off vs. tracing-on comparison over the same frames.
+#[derive(Debug, Clone)]
+pub struct ObsBenchResult {
+    /// Frames streamed per run.
+    pub frames: usize,
+    /// Best-of-N wall-clock with tracing disabled.
+    pub disabled_time: Duration,
+    /// Best-of-N wall-clock with tracing enabled (spans + metrics live).
+    pub enabled_time: Duration,
+    /// Per-run wall-clock samples (seconds), tracing disabled.
+    pub disabled_samples: Vec<f64>,
+    /// Per-run wall-clock samples (seconds), tracing enabled.
+    pub enabled_samples: Vec<f64>,
+    /// Span-boundary/event records one traced run emits.
+    pub records_per_run: usize,
+    /// Records lost to ring overflow in the traced runs (must be 0).
+    pub records_dropped: u64,
+    /// Measured cost of one disabled span site (nanoseconds).
+    pub site_ns: f64,
+    /// `site_ns × records_per_run / disabled_time` — the disabled-path
+    /// overhead fraction the ≤2% acceptance bound gates on. Counting
+    /// every record (Begin, End and Instant each as a full site check)
+    /// overstates the true cost, so the bound is conservative.
+    pub disabled_overhead: f64,
+    /// `enabled_time / disabled_time − 1` — what turning tracing on
+    /// costs. Informational: the acceptance bound is on the disabled
+    /// path, which every production run pays.
+    pub enabled_overhead: f64,
+    /// Whether the disabled and enabled pose streams are bit-identical.
+    pub poses_identical: bool,
+}
+
+impl ObsBenchResult {
+    /// The machine-readable baseline emitted by CI (`BENCH_obs.json`),
+    /// in the shared [`BenchReport`] schema.
+    pub fn report(&self) -> BenchReport {
+        BenchReport::new("obs_overhead")
+            .config_int("frames", self.frames)
+            .samples("disabled_seconds", &self.disabled_samples)
+            .samples("enabled_seconds", &self.enabled_samples)
+            .derived_f64("disabled_seconds_best", self.disabled_time.as_secs_f64())
+            .derived_f64("enabled_seconds_best", self.enabled_time.as_secs_f64())
+            .derived_int("records_per_run", self.records_per_run)
+            .derived_int("records_dropped", self.records_dropped as usize)
+            .derived_f64("site_ns", self.site_ns)
+            .derived_f64("disabled_overhead", self.disabled_overhead)
+            .derived_f64("enabled_overhead", self.enabled_overhead)
+            .derived_int("poses_identical", self.poses_identical as usize)
+    }
+}
+
+/// Streams the sequence through an [`Odometer`], returning the elapsed
+/// time and the pose estimated for every registered frame.
+fn stream(seq: &Sequence, cfg: &RegistrationConfig) -> (Duration, Vec<RigidTransform>) {
+    let mut odo = Odometer::new(cfg.clone());
+    let mut poses = Vec::with_capacity(seq.len());
+    let t0 = Instant::now();
+    for i in 0..seq.len() {
+        if let Some(step) = odo.push(seq.frame(i)).expect("odometry step failed") {
+            poses.push(step.pose);
+        }
+    }
+    (t0.elapsed(), poses)
+}
+
+/// Times one disabled span site: open + drop a `span!` guard with
+/// tracing off, in a loop long enough to resolve sub-nanosecond costs.
+fn disabled_site_ns() -> f64 {
+    assert!(!tigris_obs::enabled(), "site microbench needs tracing off");
+    const ITERS: u64 = 4_000_000;
+    let t0 = Instant::now();
+    for i in 0..ITERS {
+        let guard = tigris_obs::span!("bench.site", iter = i);
+        std::hint::black_box(&guard);
+    }
+    t0.elapsed().as_nanos() as f64 / ITERS as f64
+}
+
+/// Runs the tracing-off vs. tracing-on comparison on the default
+/// synthetic scene: `frames` streamed frames, best-of-`runs` timing per
+/// path, bit-identity of the two pose streams.
+///
+/// Toggles the **process-global** tracing switch; callers sharing a
+/// process with other traced work must serialize around it. The switch
+/// is always left disabled on return.
+pub fn run_overhead_comparison(frames: usize, seed: u64, runs: usize) -> ObsBenchResult {
+    assert!(frames >= 2, "need at least 2 frames to register anything");
+    assert!(runs >= 1);
+    tigris_obs::set_enabled(false);
+    let seq = short_sequence(frames, seed);
+    let cfg = RegistrationConfig::default();
+
+    // Warm up (page in the scene, stabilize the allocator), then take
+    // the best of `runs` with tracing off.
+    let (_, poses_off) = stream(&seq, &cfg);
+    let disabled_runs: Vec<Duration> = (0..runs).map(|_| stream(&seq, &cfg).0).collect();
+    let site_ns = disabled_site_ns();
+
+    // The traced side: drain between runs so the rings never overflow,
+    // and count one run's records — every record is a site the disabled
+    // path also passed through.
+    tigris_obs::set_enabled(true);
+    tigris_obs::drain();
+    let (_, poses_on) = stream(&seq, &cfg);
+    let trace = tigris_obs::drain();
+    let enabled_runs: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let t = stream(&seq, &cfg).0;
+            tigris_obs::drain();
+            t
+        })
+        .collect();
+    tigris_obs::set_enabled(false);
+
+    let disabled_time = *disabled_runs.iter().min().expect("runs >= 1");
+    let enabled_time = *enabled_runs.iter().min().expect("runs >= 1");
+    let disabled_overhead = site_ns * trace.records.len() as f64 / disabled_time.as_nanos() as f64;
+    ObsBenchResult {
+        frames,
+        disabled_time,
+        enabled_time,
+        disabled_samples: disabled_runs.iter().map(Duration::as_secs_f64).collect(),
+        enabled_samples: enabled_runs.iter().map(Duration::as_secs_f64).collect(),
+        records_per_run: trace.records.len(),
+        records_dropped: trace.dropped,
+        site_ns,
+        disabled_overhead,
+        enabled_overhead: enabled_time.as_secs_f64() / disabled_time.as_secs_f64() - 1.0,
+        poses_identical: poses_off == poses_on,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_comparison_traces_and_matches_poses() {
+        let result = run_overhead_comparison(3, 42, 1);
+        assert!(result.records_per_run > 0, "the traced run must record spans");
+        assert_eq!(result.records_dropped, 0, "rings must not overflow");
+        assert!(result.poses_identical, "tracing must not change poses");
+        assert!(result.site_ns > 0.0 && result.site_ns < 1_000.0);
+        assert!(!tigris_obs::enabled(), "the switch must be left disabled");
+    }
+}

@@ -101,6 +101,7 @@ impl DynamicMapIndex {
     /// Builds an index over `points` with everything settled (no fresh
     /// buffer) — equivalent to inserting all points and forcing a rebuild.
     pub fn build(points: &[Vec3]) -> Self {
+        let _span = tigris_obs::span!("core.index_build", points = points.len());
         DynamicMapIndex {
             points: points.to_vec(),
             tree: KdTree::build(points),
@@ -334,6 +335,7 @@ impl DynamicMapIndex {
         cfg: &BatchConfig,
         stats: &mut SearchStats,
     ) -> Vec<Vec<Neighbor>> {
+        let _span = tigris_obs::span!("core.radius_batch", queries = queries.len());
         parallel_queries(queries, cfg, stats, |q, s| self.radius_query_with_stats(q, radius, s))
     }
 }

@@ -17,7 +17,10 @@
 //!    and — on acceptance — Gauss–Newton pose-graph optimization that
 //!    redistributes the accumulated drift.
 
+use std::sync::Arc;
+
 use tigris_geom::{OptimizeReport, PointCloud, PoseGraph, PoseGraphEdge, RigidTransform, Vec3};
+use tigris_obs::{Counter, Registry};
 use tigris_pipeline::{Odometer, RegistrationError, RegistrationResult};
 
 use crate::config::MapperConfig;
@@ -69,6 +72,52 @@ pub struct MapperStats {
     pub optimizations: usize,
     /// Matching failures bridged with a weak continuity edge.
     pub breaks: usize,
+}
+
+/// The mapper's lifetime counters as handles into its per-mapper obs
+/// [`Registry`] (`map.*` names): the registry is the single backing
+/// store, and [`Mapper::stats`] snapshots a [`MapperStats`] from it.
+#[derive(Debug)]
+struct MapMetrics {
+    registry: Arc<Registry>,
+    frames: Arc<Counter>,
+    steps: Arc<Counter>,
+    frames_prepared: Arc<Counter>,
+    frames_reused: Arc<Counter>,
+    closures_attempted: Arc<Counter>,
+    closures_accepted: Arc<Counter>,
+    optimizations: Arc<Counter>,
+    breaks: Arc<Counter>,
+}
+
+impl MapMetrics {
+    fn new() -> Self {
+        let registry = Arc::new(Registry::new());
+        MapMetrics {
+            frames: registry.counter("map.frames"),
+            steps: registry.counter("map.steps"),
+            frames_prepared: registry.counter("map.frames_prepared"),
+            frames_reused: registry.counter("map.frames_reused"),
+            closures_attempted: registry.counter("map.closures_attempted"),
+            closures_accepted: registry.counter("map.closures_accepted"),
+            optimizations: registry.counter("map.optimizations"),
+            breaks: registry.counter("map.breaks"),
+            registry,
+        }
+    }
+
+    fn snapshot(&self) -> MapperStats {
+        MapperStats {
+            frames: self.frames.get() as usize,
+            steps: self.steps.get() as usize,
+            frames_prepared: self.frames_prepared.get() as usize,
+            frames_reused: self.frames_reused.get() as usize,
+            closures_attempted: self.closures_attempted.get() as usize,
+            closures_accepted: self.closures_accepted.get() as usize,
+            optimizations: self.optimizations.get() as usize,
+            breaks: self.breaks.get() as usize,
+        }
+    }
 }
 
 /// What one [`Mapper::push`] did.
@@ -131,7 +180,7 @@ pub struct Mapper {
     /// All pose-graph constraint edges (odometry, break bridges, loops).
     edges: Vec<PoseGraphEdge>,
     closures: Vec<LoopClosure>,
-    stats: MapperStats,
+    metrics: MapMetrics,
     /// Submap whose anchor is the odometer's current reference frame;
     /// its preparation is stored as the keyframe when it retires.
     pending_keyframe: Option<usize>,
@@ -141,6 +190,7 @@ pub struct Mapper {
 impl Mapper {
     /// A fresh mapper over the given configuration.
     pub fn new(config: MapperConfig) -> Self {
+        tigris_obs::init_from_env();
         let odometer = Odometer::new(config.registration.clone());
         Mapper {
             config,
@@ -152,7 +202,7 @@ impl Mapper {
             travel: Vec::new(),
             edges: Vec::new(),
             closures: Vec::new(),
-            stats: MapperStats::default(),
+            metrics: MapMetrics::new(),
             pending_keyframe: None,
             last_closure_frame: None,
         }
@@ -183,9 +233,16 @@ impl Mapper {
         &self.closures
     }
 
-    /// Lifetime counters.
-    pub fn stats(&self) -> &MapperStats {
-        &self.stats
+    /// Lifetime counters, snapshotted from the mapper's metrics registry.
+    pub fn stats(&self) -> MapperStats {
+        self.metrics.snapshot()
+    }
+
+    /// This mapper's obs metrics registry: every lifetime counter under
+    /// `map.*` names — the backing store [`Mapper::stats`] snapshots
+    /// from. Exporters read it without touching the mapper.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.metrics.registry
     }
 
     /// Total points aggregated across all submaps.
@@ -204,7 +261,7 @@ impl Mapper {
             poses: self.poses,
             raw_poses: self.raw_poses,
             closures: self.closures,
-            stats: self.stats,
+            stats: self.metrics.snapshot(),
         }
     }
 
@@ -218,6 +275,8 @@ impl Mapper {
     /// corrected pose, bridged by a weak continuity edge (its points are
     /// not aggregated — the pose is a guess, not a measurement).
     pub fn push(&mut self, frame: &PointCloud) -> Result<MapperStep, RegistrationError> {
+        let _span =
+            tigris_obs::span!("map.insert_frame", frame = self.poses.len(), points = frame.len());
         let processed_before = self.odometer.frames_processed();
         match self.odometer.push_retiring(frame) {
             Err(err) => {
@@ -272,7 +331,7 @@ impl Mapper {
         self.poses.push(RigidTransform::IDENTITY);
         self.raw_poses.push(RigidTransform::IDENTITY);
         self.travel.push(0.0);
-        self.stats.frames += 1;
+        self.metrics.frames.inc();
         self.spawn_submap(0);
         self.aggregate_frame(0);
         MapperStep {
@@ -297,10 +356,10 @@ impl Mapper {
         self.raw_poses.push(raw_pose);
         self.travel.push(self.travel.last().unwrap() + relative.translation_norm());
         self.edges.push(PoseGraphEdge::new(frame - 1, frame, *relative));
-        self.stats.frames += 1;
-        self.stats.steps += 1;
-        self.stats.frames_prepared += registration.profile.frames_prepared;
-        self.stats.frames_reused += registration.profile.frames_reused;
+        self.metrics.frames.inc();
+        self.metrics.steps.inc();
+        self.metrics.frames_prepared.add(registration.profile.frames_prepared as u64);
+        self.metrics.frames_reused.add(registration.profile.frames_reused as u64);
 
         let spawned = self.maybe_spawn_submap(frame, relative.translation_norm());
         self.aggregate_frame(frame);
@@ -336,8 +395,9 @@ impl Mapper {
             RigidTransform::IDENTITY,
             BREAK_EDGE_WEIGHT,
         ));
-        self.stats.frames += 1;
-        self.stats.breaks += 1;
+        self.metrics.frames.inc();
+        self.metrics.breaks.inc();
+        tigris_obs::event!("map.break", frame = frame);
     }
 
     fn spawn_submap(&mut self, frame: usize) {
@@ -394,6 +454,7 @@ impl Mapper {
                 return None;
             }
         }
+        let _span = tigris_obs::span!("map.closure", frame = frame, candidates = gate.candidates);
         let query = descriptor_mean(self.odometer.reference_frame()?.descriptors())?;
 
         // Eligible past submaps: old enough, keyframe present, signature
@@ -431,7 +492,7 @@ impl Mapper {
     /// Registers the current frame against `submap_id`'s keyframe and
     /// accepts the closure when every geometric gate passes.
     fn verify_closure(&mut self, frame: usize, submap_id: usize) -> Option<LoopClosure> {
-        self.stats.closures_attempted += 1;
+        self.metrics.closures_attempted.inc();
         let gate = self.config.closure;
         let anchor_frame = self.submaps[submap_id].anchor_frame();
         let expected = self.poses[anchor_frame].inverse() * self.poses[frame];
@@ -446,8 +507,8 @@ impl Mapper {
             let mut keyframe = keyframe.lock().expect("keyframe lock poisoned");
             retrieval::verify_geometry(current, &mut keyframe, &self.config.registration)?
         };
-        self.stats.frames_prepared += result.profile.frames_prepared;
-        self.stats.frames_reused += result.profile.frames_reused;
+        self.metrics.frames_prepared.add(result.profile.frames_prepared as u64);
+        self.metrics.frames_reused.add(result.profile.frames_reused as u64);
 
         // Cheap scalar gates first: enough consensus, a physically-nearby
         // revisit, and agreement with the drift-estimated relative, whose
@@ -475,17 +536,23 @@ impl Mapper {
         // drifted poses.
         let overlap =
             if scalars_pass { self.closure_overlap(&result.transform, submap_id) } else { 0.0 };
-        if std::env::var("TIGRIS_MAP_DEBUG").is_ok() {
-            eprintln!(
-                "DBG verify frame {frame} vs submap {submap_id}: inliers {}, |t| {:.2}, dev_t {:.2}, dev_r {:.1}deg, overlap {}",
-                result.inlier_correspondences,
-                result.transform.translation_norm(),
-                deviation.translation_norm(),
-                deviation.rotation_angle().to_degrees(),
-                if scalars_pass { format!("{overlap:.2}") } else { "skipped".into() },
-            );
-        }
-        if !scalars_pass || overlap < gate.min_structure_overlap {
+        let pass = scalars_pass && overlap >= gate.min_structure_overlap;
+        // The gate values as one structured event per verified candidate
+        // (this replaced the TIGRIS_MAP_DEBUG eprintln path; enable with
+        // TIGRIS_TRACE and read it in any exporter).
+        tigris_obs::event!(
+            "closure.candidate",
+            frame = frame,
+            submap = submap_id,
+            inliers = result.inlier_correspondences,
+            offset = result.transform.translation_norm(),
+            deviation = deviation.translation_norm(),
+            deviation_deg = deviation.rotation_angle().to_degrees(),
+            overlap = overlap,
+            overlap_checked = scalars_pass,
+            pass = pass,
+        );
+        if !pass {
             return None;
         }
 
@@ -502,7 +569,15 @@ impl Mapper {
         };
         self.closures.push(closure);
         self.last_closure_frame = Some(frame);
-        self.stats.closures_accepted += 1;
+        self.metrics.closures_accepted.inc();
+        tigris_obs::event!(
+            "closure.accept",
+            frame = frame,
+            submap = submap_id,
+            anchor_frame = anchor_frame,
+            inliers = result.inlier_correspondences,
+            overlap = overlap,
+        );
         Some(closure)
     }
 
@@ -519,6 +594,8 @@ impl Mapper {
     /// Runs Gauss–Newton over the whole trajectory and rebases every
     /// submap on its corrected anchor pose.
     fn optimize(&mut self) -> OptimizeReport {
+        let _span =
+            tigris_obs::span!("map.optimize", nodes = self.poses.len(), edges = self.edges.len(),);
         let mut graph = PoseGraph::new(self.poses.clone());
         for edge in &self.edges {
             graph.add_edge(*edge);
@@ -529,7 +606,7 @@ impl Mapper {
             let pose = self.poses[submap.anchor_frame()];
             submap.set_anchor_pose(pose);
         }
-        self.stats.optimizations += 1;
+        self.metrics.optimizations.inc();
         report
     }
 }

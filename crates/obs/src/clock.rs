@@ -1,0 +1,15 @@
+//! The process-wide monotonic clock every span and event timestamps
+//! against: a single [`Instant`] epoch captured on first use, so
+//! timestamps from every thread share one origin and subtract safely.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process trace epoch (the first call to any
+/// obs timestamping function). Monotonic, shared across threads.
+#[inline]
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}

@@ -1,0 +1,318 @@
+//! Per-thread ring-buffer span/event collectors and the lossless drain
+//! that merges them.
+//!
+//! Every thread that records gets its own fixed-capacity buffer (no
+//! cross-thread contention on the hot path beyond one uncontended
+//! mutex); [`drain`] gathers every thread's records — including those
+//! of threads that have since exited — and merges them into one
+//! timestamp-ordered [`Trace`], the same merge discipline the
+//! pipeline's `SearchStats` uses: per-thread accumulation, exact
+//! summation at the join point, nothing sampled or lost short of an
+//! explicit, counted ring-buffer overflow.
+
+use std::cell::{Cell, OnceCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::clock;
+
+/// A typed field value attached to a span or event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (counts, byte sizes, ids).
+    U64(u64),
+    /// Floating point (distances, fractions, seconds).
+    F64(f64),
+    /// Boolean (gate outcomes).
+    Bool(bool),
+    /// Static string (names, enum-like tags).
+    Str(&'static str),
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(v as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F64(v as f64)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// What a [`Record`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A span opened.
+    Begin,
+    /// A span closed (guard dropped).
+    End,
+    /// A point-in-time event.
+    Instant,
+}
+
+/// One collected span boundary or event.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Nanoseconds since the process trace epoch ([`clock::now_ns`]).
+    pub ts_ns: u64,
+    /// Dense obs-assigned id of the recording thread (not the OS tid).
+    pub tid: u32,
+    /// Per-thread monotonic sequence number — the merge tie-breaker
+    /// that keeps a thread's records in recording order at equal
+    /// timestamps.
+    pub seq: u64,
+    /// Process-unique id of the span (or event) this record belongs to.
+    pub id: u64,
+    /// Id of the enclosing span on the recording thread (0 = root).
+    pub parent: u64,
+    /// Boundary kind.
+    pub kind: RecordKind,
+    /// Static name, dot-namespaced by subsystem (`"serve.localize"`).
+    pub name: &'static str,
+    /// Typed key/value fields evaluated at the recording site.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+/// Ring contents: a bounded record vector plus the overflow count.
+struct Ring {
+    records: Vec<Record>,
+    seq: u64,
+    dropped: u64,
+}
+
+/// One thread's collector, kept alive by the global registry even
+/// after its thread exits, so a drain after `thread::join` still sees
+/// every record (losslessness).
+struct ThreadBuf {
+    tid: u32,
+    ring: Mutex<Ring>,
+}
+
+fn collectors() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static COLLECTORS: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    COLLECTORS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_BUFFER_CAPACITY);
+
+/// Default per-thread ring capacity, in records.
+pub const DEFAULT_BUFFER_CAPACITY: usize = 65_536;
+
+/// Overrides the per-thread ring-buffer capacity (records per thread).
+/// Applies to records pushed after the call; existing buffers keep
+/// their contents. `TIGRIS_TRACE_BUF` sets this at
+/// [`crate::init_from_env`] time.
+pub fn set_buffer_capacity(records: usize) {
+    CAPACITY.store(records.max(1), Ordering::Relaxed);
+}
+
+thread_local! {
+    static LOCAL: OnceCell<Arc<ThreadBuf>> = const { OnceCell::new() };
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+}
+
+fn with_local<R>(f: impl FnOnce(&ThreadBuf) -> R) -> R {
+    LOCAL.with(|cell| {
+        let buf = cell.get_or_init(|| {
+            let buf = Arc::new(ThreadBuf {
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                ring: Mutex::new(Ring { records: Vec::new(), seq: 0, dropped: 0 }),
+            });
+            collectors().lock().expect("obs collector registry poisoned").push(Arc::clone(&buf));
+            buf
+        });
+        f(buf)
+    })
+}
+
+fn push_record(
+    kind: RecordKind,
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    fields: &[(&'static str, Value)],
+) {
+    with_local(|buf| {
+        let mut ring = buf.ring.lock().expect("obs ring lock poisoned");
+        if ring.records.len() >= CAPACITY.load(Ordering::Relaxed) {
+            ring.dropped += 1;
+            return;
+        }
+        ring.seq += 1;
+        let seq = ring.seq;
+        ring.records.push(Record {
+            ts_ns: clock::now_ns(),
+            tid: buf.tid,
+            seq,
+            id,
+            parent,
+            kind,
+            name,
+            fields: fields.to_vec(),
+        });
+    });
+}
+
+/// Records a point-in-time event under the current span. Callers go
+/// through the [`crate::event!`] macro, which guards on
+/// [`crate::enabled`] before any field is evaluated.
+pub fn record_event(name: &'static str, fields: &[(&'static str, Value)]) {
+    if !crate::enabled() {
+        return;
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = CURRENT_SPAN.with(Cell::get);
+    push_record(RecordKind::Instant, name, id, parent, fields);
+}
+
+/// RAII span guard: records `Begin` on construction and `End` on drop,
+/// maintaining the thread's current-span stack so nested guards parent
+/// correctly. Construct through the [`crate::span!`] macro — its
+/// disabled path is a single relaxed-atomic branch that builds nothing.
+#[derive(Debug)]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+#[derive(Debug)]
+struct ActiveSpan {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+}
+
+impl SpanGuard {
+    /// Opens a span (unconditionally records; the enabled check lives
+    /// in [`crate::span!`]).
+    pub fn begin(name: &'static str, fields: &[(&'static str, Value)]) -> SpanGuard {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = CURRENT_SPAN.with(|c| {
+            let parent = c.get();
+            c.set(id);
+            parent
+        });
+        push_record(RecordKind::Begin, name, id, parent, fields);
+        SpanGuard(Some(ActiveSpan { id, parent, name }))
+    }
+
+    /// The no-op guard the disabled path returns: drops without
+    /// recording or allocating.
+    pub fn disabled() -> SpanGuard {
+        SpanGuard(None)
+    }
+
+    /// The span's process-unique id (`None` for a disabled guard).
+    pub fn id(&self) -> Option<u64> {
+        self.0.as_ref().map(|s| s.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(span) = self.0.take() {
+            CURRENT_SPAN.with(|c| c.set(span.parent));
+            push_record(RecordKind::End, span.name, span.id, span.parent, &[]);
+        }
+    }
+}
+
+/// The merged output of [`drain`]: every thread's records in one
+/// globally timestamp-ordered vector, plus the total overflow count.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// All records, sorted by `(ts_ns, tid, seq)` — per-thread order is
+    /// exactly recording order.
+    pub records: Vec<Record>,
+    /// Records discarded at full ring buffers (0 = lossless).
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Records of the given kind and name.
+    pub fn find(&self, kind: RecordKind, name: &str) -> Vec<&Record> {
+        self.records.iter().filter(|r| r.kind == kind && r.name == name).collect()
+    }
+
+    /// The parent chain of a span id, innermost first, from the `Begin`
+    /// records in this trace (empty for an unknown or root-orphaned id).
+    pub fn ancestors(&self, id: u64) -> Vec<u64> {
+        let parents: HashMap<u64, u64> = self
+            .records
+            .iter()
+            .filter(|r| r.kind != RecordKind::End)
+            .map(|r| (r.id, r.parent))
+            .collect();
+        let mut chain = Vec::new();
+        let mut cur = id;
+        while let Some(&p) = parents.get(&cur) {
+            if p == 0 || chain.len() > self.records.len() {
+                break;
+            }
+            chain.push(p);
+            cur = p;
+        }
+        chain
+    }
+
+    /// Whether `ancestor` appears in the parent chain of `id`.
+    pub fn has_ancestor(&self, id: u64, ancestor: u64) -> bool {
+        self.ancestors(id).contains(&ancestor)
+    }
+}
+
+/// Drains every thread's ring buffer (including exited threads') into
+/// one merged, timestamp-ordered [`Trace`], resetting the buffers. The
+/// merge is lossless: the merged record count equals the sum of the
+/// per-thread counts, with `dropped` accounting exactly for overflow.
+pub fn drain() -> Trace {
+    let bufs: Vec<Arc<ThreadBuf>> =
+        collectors().lock().expect("obs collector registry poisoned").clone();
+    let mut records = Vec::new();
+    let mut dropped = 0;
+    for buf in bufs {
+        let mut ring = buf.ring.lock().expect("obs ring lock poisoned");
+        records.append(&mut ring.records);
+        dropped += std::mem::take(&mut ring.dropped);
+    }
+    records.sort_by_key(|r| (r.ts_ns, r.tid, r.seq));
+    Trace { records, dropped }
+}

@@ -1,0 +1,281 @@
+//! Exporters over a drained [`Trace`]: Chrome trace-event JSON
+//! (Perfetto / `chrome://tracing`), a JSONL record stream, and a
+//! human-readable summary.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+
+use crate::collector::{Record, RecordKind, Trace, Value};
+use crate::registry::{MetricSnapshot, Registry};
+
+/// Escapes a string into the body of a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    escape_into(out, s);
+    out.push('"');
+}
+
+fn push_value(out: &mut String, value: &Value) {
+    match value {
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) if v.is_finite() => out.push_str(&format!("{v}")),
+        Value::F64(v) => push_json_str(out, &format!("{v}")),
+        Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        Value::Str(v) => push_json_str(out, v),
+    }
+}
+
+fn push_fields_object(out: &mut String, fields: &[(&'static str, Value)], extra: &[(&str, u64)]) {
+    out.push('{');
+    let mut first = true;
+    for (key, value) in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        push_json_str(out, key);
+        out.push(':');
+        push_value(out, value);
+    }
+    for (key, value) in extra {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        push_json_str(out, key);
+        out.push(':');
+        out.push_str(&value.to_string());
+    }
+    out.push('}');
+}
+
+/// The optional `args` of one Chrome event: the record's typed fields
+/// plus exporter-synthesized numeric extras (span/parent ids).
+type ChromeArgs<'a> = (&'a [(&'static str, Value)], &'a [(&'a str, u64)]);
+
+fn push_chrome_event(
+    out: &mut String,
+    name: &str,
+    ph: char,
+    ts_ns: u64,
+    tid: u32,
+    args: Option<ChromeArgs<'_>>,
+) {
+    out.push_str("{\"name\":");
+    push_json_str(out, name);
+    out.push_str(",\"cat\":\"tigris\",\"ph\":\"");
+    out.push(ph);
+    out.push('"');
+    if ph == 'i' {
+        // Instant events need a scope; thread scope renders as a tick
+        // on the emitting thread's track.
+        out.push_str(",\"s\":\"t\"");
+    }
+    out.push_str(&format!(",\"ts\":{:.3},\"pid\":1,\"tid\":{tid}", ts_ns as f64 / 1000.0));
+    if let Some((fields, extra)) = args {
+        out.push_str(",\"args\":");
+        push_fields_object(out, fields, extra);
+    }
+    out.push('}');
+}
+
+/// Renders a trace as a Chrome trace-event JSON array. Spans become
+/// `B`/`E` duration events nested per thread; events become thread-
+/// scoped instants. Span guards still open at drain time get a
+/// synthesized `E` at the trace's final timestamp, and an `E` whose
+/// `B` was lost to ring-buffer overflow is skipped — every emitted `B`
+/// therefore has exactly one matching `E`.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.records.len() * 96 + 128);
+    out.push_str("[\n");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"tigris\"}}",
+    );
+    let mut open: HashMap<u32, Vec<(u64, &'static str)>> = HashMap::new();
+    let mut last_ts = 0u64;
+    for record in &trace.records {
+        last_ts = last_ts.max(record.ts_ns);
+        match record.kind {
+            RecordKind::Begin => {
+                out.push_str(",\n");
+                let extra = [("span_id", record.id), ("parent", record.parent)];
+                push_chrome_event(
+                    &mut out,
+                    record.name,
+                    'B',
+                    record.ts_ns,
+                    record.tid,
+                    Some((&record.fields, &extra)),
+                );
+                open.entry(record.tid).or_default().push((record.id, record.name));
+            }
+            RecordKind::End => {
+                let stack = open.entry(record.tid).or_default();
+                if stack.last().map(|&(id, _)| id) == Some(record.id) {
+                    stack.pop();
+                    out.push_str(",\n");
+                    push_chrome_event(&mut out, record.name, 'E', record.ts_ns, record.tid, None);
+                }
+                // Otherwise the matching `B` overflowed out of the ring:
+                // dropping the `E` keeps the stream balanced.
+            }
+            RecordKind::Instant => {
+                out.push_str(",\n");
+                let extra = [("event_id", record.id), ("parent", record.parent)];
+                push_chrome_event(
+                    &mut out,
+                    record.name,
+                    'i',
+                    record.ts_ns,
+                    record.tid,
+                    Some((&record.fields, &extra)),
+                );
+            }
+        }
+    }
+    // Close spans still open at drain time (guards alive on some
+    // thread), innermost first so per-thread nesting stays balanced.
+    let mut open: Vec<(u32, Vec<(u64, &'static str)>)> = open.into_iter().collect();
+    open.sort_by_key(|&(tid, _)| tid);
+    for (tid, stack) in open {
+        for (_, name) in stack.into_iter().rev() {
+            out.push_str(",\n");
+            push_chrome_event(&mut out, name, 'E', last_ts, tid, None);
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Writes [`chrome_trace_json`] to `writer`.
+pub fn write_chrome_trace<W: Write>(writer: &mut W, trace: &Trace) -> io::Result<()> {
+    writer.write_all(chrome_trace_json(trace).as_bytes())
+}
+
+fn kind_tag(kind: RecordKind) -> &'static str {
+    match kind {
+        RecordKind::Begin => "B",
+        RecordKind::End => "E",
+        RecordKind::Instant => "i",
+    }
+}
+
+fn jsonl_line(out: &mut String, record: &Record) {
+    out.push_str(&format!(
+        "{{\"ts_ns\":{},\"tid\":{},\"seq\":{},\"kind\":\"{}\",\"name\":",
+        record.ts_ns,
+        record.tid,
+        record.seq,
+        kind_tag(record.kind)
+    ));
+    push_json_str(out, record.name);
+    out.push_str(&format!(",\"id\":{},\"parent\":{},\"fields\":", record.id, record.parent));
+    push_fields_object(out, &record.fields, &[]);
+    out.push_str("}\n");
+}
+
+/// Renders a trace as JSONL: one JSON object per record, in merged
+/// timestamp order.
+pub fn jsonl(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.records.len() * 96);
+    for record in &trace.records {
+        jsonl_line(&mut out, record);
+    }
+    out
+}
+
+/// Writes [`jsonl`] to `writer`.
+pub fn write_jsonl<W: Write>(writer: &mut W, trace: &Trace) -> io::Result<()> {
+    writer.write_all(jsonl(trace).as_bytes())
+}
+
+/// Renders a human-readable roll-up: per-span-name counts and total
+/// self-inclusive time, per-event-name counts, the overflow count, and
+/// (when given) a registry snapshot.
+pub fn summary(trace: &Trace, registry: Option<&Registry>) -> String {
+    let mut begins: HashMap<u64, u64> = HashMap::new();
+    let mut spans: HashMap<&'static str, (u64, u64)> = HashMap::new();
+    let mut events: HashMap<&'static str, u64> = HashMap::new();
+    for record in &trace.records {
+        match record.kind {
+            RecordKind::Begin => {
+                begins.insert(record.id, record.ts_ns);
+            }
+            RecordKind::End => {
+                if let Some(start) = begins.remove(&record.id) {
+                    let entry = spans.entry(record.name).or_default();
+                    entry.0 += 1;
+                    entry.1 += record.ts_ns.saturating_sub(start);
+                }
+            }
+            RecordKind::Instant => *events.entry(record.name).or_default() += 1,
+        }
+    }
+    let mut out = String::new();
+    out.push_str("== tigris-obs summary ==\n");
+    out.push_str(&format!(
+        "records: {} ({} dropped at ring-buffer capacity)\n",
+        trace.records.len(),
+        trace.dropped
+    ));
+    let mut spans: Vec<_> = spans.into_iter().collect();
+    spans.sort_by_key(|&(name, _)| name);
+    if !spans.is_empty() {
+        out.push_str("spans:\n");
+        for (name, (count, total_ns)) in spans {
+            out.push_str(&format!(
+                "  {name:<28} x{count:<6} total {:.3} ms\n",
+                total_ns as f64 / 1e6
+            ));
+        }
+    }
+    let mut events: Vec<_> = events.into_iter().collect();
+    events.sort_by_key(|&(name, _)| name);
+    if !events.is_empty() {
+        out.push_str("events:\n");
+        for (name, count) in events {
+            out.push_str(&format!("  {name:<28} x{count}\n"));
+        }
+    }
+    if let Some(registry) = registry {
+        let snapshot = registry.snapshot();
+        if !snapshot.is_empty() {
+            out.push_str("metrics:\n");
+            for (name, value) in snapshot {
+                match value {
+                    MetricSnapshot::Counter(v) => {
+                        out.push_str(&format!("  {name:<28} counter   {v}\n"));
+                    }
+                    MetricSnapshot::Gauge(v) => {
+                        out.push_str(&format!("  {name:<28} gauge     {v}\n"));
+                    }
+                    MetricSnapshot::Histogram(h) => {
+                        out.push_str(&format!(
+                            "  {name:<28} histogram count {} p50 {} p99 {} max {}\n",
+                            h.count, h.p50, h.p99, h.max
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,369 @@
+//! A lock-free, log-bucketed (HDR-style) histogram over `u64` ticks.
+//!
+//! # Bucket layout and the error bound
+//!
+//! With `n = sub_bucket_bits`:
+//!
+//! * **Group 0** covers `[0, 2^n)` with one slot per tick — every value
+//!   below `2^n` is stored **exactly**.
+//! * **Group g ≥ 1** covers `[2^(n+g-1), 2^(n+g))` with `2^(n-1)` slots
+//!   of width `2^g` — a recorded value is attributed to its slot's
+//!   lower bound, so the quantization error is `< 2^g`, i.e. a
+//!   **relative error below `2^-(n-1)`** everywhere above the exact
+//!   region.
+//!
+//! Percentiles are nearest-rank over the slot counts and return slot
+//! lower bounds, which makes them *exact on bucket boundaries*: a
+//! value that is itself a slot lower bound (in particular any value in
+//! the exact region) is reported back bit-for-bit. `count`, `sum`,
+//! `min` and `max` are tracked exactly (atomics on the raw values), so
+//! the mean has no quantization error at all.
+//!
+//! Groups allocate lazily on first touch, so a histogram whose values
+//! stay in one region costs only that region's slots.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Histogram shape: how many low-order bits are exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramConfig {
+    /// `n` in the layout above: values below `2^n` ticks are exact;
+    /// above, relative error stays below `2^-(n-1)`. Must be in
+    /// `1..=32`.
+    pub sub_bucket_bits: u32,
+}
+
+impl Default for HistogramConfig {
+    /// 7 sub-bucket bits: exact below 128 ticks, relative error below
+    /// `2^-6` (≈1.6%) above — the registry's general-purpose shape.
+    fn default() -> Self {
+        HistogramConfig { sub_bucket_bits: 7 }
+    }
+}
+
+/// The histogram itself; see the module docs above for the layout
+/// and error bound. All operations are `&self` and lock-free.
+pub struct Histogram {
+    bits: u32,
+    groups: Box<[OnceLock<Box<[AtomicU32]>>]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("sub_bucket_bits", &self.bits)
+            .field("count", &self.count())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram with the given shape.
+    pub fn new(config: HistogramConfig) -> Self {
+        let bits = config.sub_bucket_bits.clamp(1, 32);
+        let groups = (0..=(64 - bits)).map(|_| OnceLock::new()).collect::<Vec<_>>();
+        Histogram {
+            bits,
+            groups: groups.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn slots_in_group(&self, group: usize) -> usize {
+        if group == 0 {
+            1usize << self.bits
+        } else {
+            1usize << (self.bits - 1)
+        }
+    }
+
+    /// `(group, slot)` for a value.
+    fn locate(&self, value: u64) -> (usize, usize) {
+        if value < (1u64 << self.bits) {
+            (0, value as usize)
+        } else {
+            let top = 63 - value.leading_zeros();
+            let group = (top - self.bits + 1) as usize;
+            let slot = ((value >> group) - (1u64 << (self.bits - 1))) as usize;
+            (group, slot)
+        }
+    }
+
+    /// Lower bound of a `(group, slot)` — the value percentiles report.
+    fn lower_bound(&self, group: usize, slot: usize) -> u64 {
+        if group == 0 {
+            slot as u64
+        } else {
+            ((slot as u64) + (1u64 << (self.bits - 1))) << group
+        }
+    }
+
+    /// Records one value (in ticks).
+    pub fn record(&self, value: u64) {
+        let (group, slot) = self.locate(value);
+        let slots = self.groups[group]
+            .get_or_init(|| (0..self.slots_in_group(group)).map(|_| AtomicU32::new(0)).collect());
+        slots[slot].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of recorded values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        let min = self.min.load(Ordering::Relaxed);
+        if min == u64::MAX {
+            0
+        } else {
+            min
+        }
+    }
+
+    /// Exact largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Exact mean of recorded values (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        let count = self.count();
+        if count == 0 {
+            None
+        } else {
+            Some(self.sum() as f64 / count as f64)
+        }
+    }
+
+    /// Nearest-rank percentile, reported as the holding slot's lower
+    /// bound (exact for values in the exact region or on a bucket
+    /// boundary; otherwise low by less than the relative error bound).
+    ///
+    /// `p` outside `[0, 1]` clamps to the extremes; `NaN` reports the
+    /// maximum — the same conventions the serving layer's recorder has
+    /// always used.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = if p.is_nan() {
+            count
+        } else {
+            let raw = (p * count as f64).ceil();
+            if raw.is_nan() || raw >= count as f64 {
+                count
+            } else if raw <= 1.0 {
+                1
+            } else {
+                raw as u64
+            }
+        };
+        let mut cumulative = 0u64;
+        for group in 0..self.groups.len() {
+            let Some(slots) = self.groups[group].get() else { continue };
+            for (slot, c) in slots.iter().enumerate() {
+                let c = c.load(Ordering::Relaxed) as u64;
+                if c == 0 {
+                    continue;
+                }
+                cumulative += c;
+                if cumulative >= rank {
+                    return Some(self.lower_bound(group, slot));
+                }
+            }
+        }
+        // A concurrent recorder bumped `count` before its slot write
+        // landed; the max is the best consistent answer.
+        Some(self.max())
+    }
+
+    /// A point-in-time copy of the distribution's headline numbers.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.percentile(0.50).unwrap_or(0),
+            p90: self.percentile(0.90).unwrap_or(0),
+            p99: self.percentile(0.99).unwrap_or(0),
+        }
+    }
+}
+
+impl Clone for Histogram {
+    /// Deep copy of the slot counts (a point-in-time snapshot under
+    /// concurrent recording).
+    fn clone(&self) -> Self {
+        let copy = Histogram::new(HistogramConfig { sub_bucket_bits: self.bits });
+        for (group, lock) in self.groups.iter().enumerate() {
+            if let Some(slots) = lock.get() {
+                let dst = copy.groups[group].get_or_init(|| {
+                    (0..self.slots_in_group(group)).map(|_| AtomicU32::new(0)).collect()
+                });
+                for (slot, c) in slots.iter().enumerate() {
+                    dst[slot].store(c.load(Ordering::Relaxed), Ordering::Relaxed);
+                }
+            }
+        }
+        copy.count.store(self.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        copy.sum.store(self.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        copy.min.store(self.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        copy.max.store(self.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        copy
+    }
+}
+
+/// Headline numbers of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Values recorded.
+    pub count: u64,
+    /// Exact sum of values.
+    pub sum: u64,
+    /// Exact minimum (0 when empty).
+    pub min: u64,
+    /// Exact maximum (0 when empty).
+    pub max: u64,
+    /// 50th-percentile slot lower bound.
+    pub p50: u64,
+    /// 90th-percentile slot lower bound.
+    pub p90: u64,
+    /// 99th-percentile slot lower bound.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_region_round_trips_every_value() {
+        let h = Histogram::new(HistogramConfig { sub_bucket_bits: 7 });
+        for v in [0u64, 1, 2, 63, 64, 126, 127] {
+            let (g, s) = h.locate(v);
+            assert_eq!(g, 0);
+            assert_eq!(h.lower_bound(g, s), v);
+        }
+    }
+
+    #[test]
+    fn log_region_error_stays_below_the_bound() {
+        let h = Histogram::new(HistogramConfig { sub_bucket_bits: 7 });
+        for v in [128u64, 129, 200, 1000, 123_456, u64::MAX / 3, u64::MAX] {
+            let (g, s) = h.locate(v);
+            let lo = h.lower_bound(g, s);
+            assert!(lo <= v, "lower bound {lo} above value {v}");
+            let err = (v - lo) as f64 / v as f64;
+            assert!(err < 1.0 / 64.0, "value {v}: relative error {err} above 2^-6");
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact_above_the_exact_region() {
+        let h = Histogram::new(HistogramConfig { sub_bucket_bits: 7 });
+        // Powers of two (every group's first slot) and exact slot
+        // starts must come back bit-for-bit.
+        for v in [128u64, 256, 1 << 20, (1 << 20) + (1 << 14), 1 << 40] {
+            h.record(v);
+            let (g, s) = h.locate(v);
+            assert_eq!(h.lower_bound(g, s), v, "boundary {v} not exact");
+        }
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_match_the_sorted_oracle_in_the_exact_region() {
+        let h = Histogram::new(HistogramConfig { sub_bucket_bits: 7 });
+        let samples = [5u64, 1, 9, 9, 3, 2, 7, 100, 42, 11];
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        for p in [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            assert_eq!(h.percentile(p), Some(sorted[rank - 1]), "p={p}");
+        }
+        assert_eq!(h.percentile(-1.0), Some(sorted[0]));
+        assert_eq!(h.percentile(2.0), Some(*sorted.last().unwrap()));
+        assert_eq!(h.percentile(f64::NAN), Some(*sorted.last().unwrap()));
+    }
+
+    #[test]
+    fn count_sum_min_max_mean_are_exact() {
+        let h = Histogram::new(HistogramConfig::default());
+        for v in [1_000_000u64, 3, 999] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1_001_002);
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(h.mean(), Some(1_001_002.0 / 3.0));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new(HistogramConfig::default());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new(HistogramConfig::default()));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        let total: u64 = (0..40_000u64).sum();
+        assert_eq!(h.sum(), total);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 39_999);
+    }
+
+    #[test]
+    fn clone_is_a_deep_snapshot() {
+        let h = Histogram::new(HistogramConfig::default());
+        h.record(10);
+        let copy = h.clone();
+        h.record(20);
+        assert_eq!(copy.count(), 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(copy.percentile(1.0), Some(10));
+    }
+}

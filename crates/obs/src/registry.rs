@@ -1,0 +1,245 @@
+//! The metrics registry: named counters, gauges and histograms,
+//! get-or-registered by dot-namespaced name and snapshotted in sorted
+//! order.
+//!
+//! Two scopes exist deliberately:
+//!
+//! * [`global()`] — one process-wide registry for subsystems that are
+//!   themselves process-wide (the pipeline's stage timings, the
+//!   accelerator model's cycle accounting).
+//! * [`Registry::new`] — instantiable registries owned by a service or
+//!   mapper instance, so many services in one process (the normal case
+//!   in tests and multi-tenant serving) meter independently.
+//!
+//! Handles are `Arc`s: register once, cache the handle, update with a
+//! single atomic op on the hot path — name lookup never happens per
+//! frame.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::hist::{Histogram, HistogramConfig, HistogramSnapshot};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1; returns the new total.
+    pub fn inc(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Adds `v`.
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (resident bytes, active sessions).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `v` (negative to decrease); returns the new value.
+    pub fn add(&self, v: i64) -> i64 {
+        self.0.fetch_add(v, Ordering::Relaxed) + v
+    }
+
+    /// Raises the value to at least `v` (peak tracking).
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A metric's value at one instant, as produced by
+/// [`Registry::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricSnapshot {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram headline numbers.
+    Histogram(HistogramSnapshot),
+}
+
+/// A named collection of metrics; see the module docs above for the
+/// global-vs-instance scoping.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut metrics = self.metrics.lock().expect("obs registry lock poisoned");
+        metrics.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, || Metric::Counter(Arc::new(Counter::default()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric '{name}' is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, || Metric::Gauge(Arc::new(Gauge::default()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric '{name}' is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram registered under `name` with the default shape
+    /// ([`HistogramConfig::default`]), creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, HistogramConfig::default())
+    }
+
+    /// The histogram registered under `name`, creating it with `config`
+    /// on first use (an existing histogram keeps its original shape).
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram_with(&self, name: &str, config: HistogramConfig) -> Arc<Histogram> {
+        match self.get_or_insert(name, || Metric::Histogram(Arc::new(Histogram::new(config)))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric '{name}' is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Every metric's value at one instant, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
+        let metrics = self.metrics.lock().expect("obs registry lock poisoned");
+        metrics
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricSnapshot::Histogram(h.snapshot()),
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+}
+
+/// The process-wide registry; see the module docs above for when to
+/// use it versus an instance registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_the_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("x.count");
+        let b = r.counter("x.count");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x");
+        let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_typed() {
+        let r = Registry::new();
+        r.counter("b.count").add(5);
+        r.gauge("a.level").set(-2);
+        r.histogram("c.dist").record(7);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.level", "b.count", "c.dist"]);
+        assert_eq!(snap[0].1, MetricSnapshot::Gauge(-2));
+        assert_eq!(snap[1].1, MetricSnapshot::Counter(5));
+        match snap[2].1 {
+            MetricSnapshot::Histogram(h) => assert_eq!((h.count, h.p50), (1, 7)),
+            ref other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        let r = std::sync::Arc::new(Registry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let r = std::sync::Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let c = r.counter("shared");
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(r.counter("shared").get(), 80_000);
+    }
+}

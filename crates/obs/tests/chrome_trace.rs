@@ -1,0 +1,111 @@
+//! Chrome-trace exporter validity: the output must parse as JSON,
+//! every `B` must have a matching `E` (same name, same thread, LIFO
+//! order — the nesting invariant Perfetto relies on), and instants
+//! must be thread-scoped.
+
+use std::sync::Mutex;
+
+use tigris_obs::json::Json;
+use tigris_obs::{drain, event, export, set_enabled, span};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Walks a parsed Chrome trace and asserts the B/E stream is balanced
+/// per thread with matching names; returns per-kind counts.
+fn check_balanced(doc: &Json) -> (usize, usize, usize) {
+    let events = doc.as_arr().expect("top level is a JSON array");
+    let mut stacks: std::collections::HashMap<i64, Vec<String>> = std::collections::HashMap::new();
+    let mut last_ts: std::collections::HashMap<i64, f64> = std::collections::HashMap::new();
+    let (mut begins, mut ends, mut instants) = (0, 0, 0);
+    for entry in events {
+        let ph = entry.get("ph").and_then(Json::as_str).expect("every event has ph");
+        if ph == "M" {
+            continue;
+        }
+        let tid = entry.get("tid").and_then(Json::as_f64).expect("every event has tid") as i64;
+        let ts = entry.get("ts").and_then(Json::as_f64).expect("every event has ts");
+        let name = entry.get("name").and_then(Json::as_str).expect("every event has name");
+        let prev = last_ts.entry(tid).or_insert(ts);
+        assert!(*prev <= ts, "per-thread timestamps are non-decreasing");
+        *prev = ts;
+        match ph {
+            "B" => {
+                begins += 1;
+                stacks.entry(tid).or_default().push(name.to_string());
+            }
+            "E" => {
+                ends += 1;
+                let open = stacks.entry(tid).or_default().pop();
+                assert_eq!(open.as_deref(), Some(name), "E matches the innermost open B");
+            }
+            "i" => {
+                instants += 1;
+                assert_eq!(entry.get("s").and_then(Json::as_str), Some("t"));
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "thread {tid} has unclosed spans: {stack:?}");
+    }
+    (begins, ends, instants)
+}
+
+#[test]
+fn exporter_emits_valid_nested_chrome_json() {
+    let _serial = SERIAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    set_enabled(true);
+    let _ = drain();
+
+    let worker = std::thread::spawn(|| {
+        for i in 0..3u64 {
+            let _outer = span!("chrome.outer", i = i);
+            let _inner = span!("chrome.inner", detail = "nested", ratio = 0.5_f64);
+            event!("chrome.tick", i = i);
+        }
+    });
+    {
+        let _main = span!("chrome.main");
+        event!("chrome.note", ok = true);
+    }
+    worker.join().unwrap();
+
+    // A guard deliberately leaked: its End never records, so the
+    // exporter must synthesize the close to keep the stream balanced.
+    let leaked = span!("chrome.leaked");
+    std::mem::forget(leaked);
+
+    set_enabled(false);
+    let trace = drain();
+
+    let rendered = export::chrome_trace_json(&trace);
+    let doc = Json::parse(&rendered).expect("chrome trace parses as JSON");
+    let (begins, ends, instants) = check_balanced(&doc);
+    assert_eq!(begins, 3 + 3 + 1 + 1, "outer x3, inner x3, main, leaked");
+    assert_eq!(begins, ends, "every B has a matching E (leaked span synthesized)");
+    assert_eq!(instants, 3 + 1);
+
+    // Span args carry the structured fields.
+    let events = doc.as_arr().unwrap();
+    let inner = events
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("chrome.inner"))
+        .expect("inner span exported");
+    let args = inner.get("args").expect("B events carry args");
+    assert_eq!(args.get("detail").and_then(Json::as_str), Some("nested"));
+    assert_eq!(args.get("ratio").and_then(Json::as_f64), Some(0.5));
+
+    // The JSONL exporter agrees record-for-record and parses per line.
+    let jsonl = export::jsonl(&trace);
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), trace.records.len());
+    for line in lines {
+        let record = Json::parse(line).expect("every JSONL line parses");
+        assert!(record.get("ts_ns").is_some() && record.get("name").is_some());
+    }
+
+    // The summary names every span and reports the drop count.
+    let summary = export::summary(&trace, None);
+    assert!(summary.contains("chrome.outer"));
+    assert!(summary.contains("0 dropped"));
+}

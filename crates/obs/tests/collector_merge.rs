@@ -1,0 +1,103 @@
+//! Concurrent-collector losslessness: N threads × M spans must merge
+//! into exactly N×M begin/end/event records, with per-thread order and
+//! parentage intact, and ring-buffer overflow must be counted, never
+//! silent.
+//!
+//! The tests share the process-wide enable flag and collectors, so
+//! they serialize on one mutex.
+
+use std::sync::Mutex;
+
+use tigris_obs::{drain, event, set_buffer_capacity, set_enabled, span, RecordKind};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[test]
+fn n_threads_times_m_spans_merge_losslessly() {
+    let _serial = lock();
+    const THREADS: u64 = 8;
+    const SPANS: u64 = 250;
+
+    set_enabled(true);
+    let _ = drain();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|thread| {
+            std::thread::spawn(move || {
+                for i in 0..SPANS {
+                    let guard = span!("merge.worker", thread = thread, i = i);
+                    assert!(guard.id().is_some(), "tracing is enabled");
+                    event!("merge.tick", i = i);
+                    drop(guard);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    set_enabled(false);
+    let trace = drain();
+
+    assert_eq!(trace.dropped, 0, "no overflow at default capacity");
+    let begins = trace.find(RecordKind::Begin, "merge.worker");
+    let ends = trace.find(RecordKind::End, "merge.worker");
+    let events = trace.find(RecordKind::Instant, "merge.tick");
+    assert_eq!(begins.len() as u64, THREADS * SPANS, "every begin survives the merge");
+    assert_eq!(ends.len() as u64, THREADS * SPANS, "every end survives the merge");
+    assert_eq!(events.len() as u64, THREADS * SPANS, "every event survives the merge");
+
+    // Ids are process-unique across threads.
+    let mut ids: Vec<u64> = begins.iter().map(|r| r.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len() as u64, THREADS * SPANS, "span ids are unique");
+
+    // Per-thread structure: exactly SPANS spans per worker thread, in
+    // recording order (timestamps and sequence numbers monotone), and
+    // every event parented under the span open at its recording site.
+    let mut tids: Vec<u32> = begins.iter().map(|r| r.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert_eq!(tids.len() as u64, THREADS, "one collector per worker thread");
+    for &tid in &tids {
+        let thread_records: Vec<_> = trace.records.iter().filter(|r| r.tid == tid).collect();
+        assert_eq!(thread_records.len() as u64, SPANS * 3);
+        for pair in thread_records.windows(2) {
+            assert!(pair[0].ts_ns <= pair[1].ts_ns, "per-thread timestamps are monotone");
+            assert!(pair[0].seq < pair[1].seq, "per-thread sequence numbers are monotone");
+        }
+    }
+    for event in &events {
+        assert_ne!(event.parent, 0, "events record inside an open span");
+        assert!(
+            begins.iter().any(|b| b.id == event.parent),
+            "event parent is a recorded span begin"
+        );
+    }
+}
+
+#[test]
+fn overflow_is_counted_not_silent() {
+    let _serial = lock();
+    set_buffer_capacity(8);
+    set_enabled(true);
+    let _ = drain();
+    std::thread::spawn(|| {
+        for i in 0..100u64 {
+            event!("overflow.tick", i = i);
+        }
+    })
+    .join()
+    .unwrap();
+    set_enabled(false);
+    let trace = drain();
+    set_buffer_capacity(tigris_obs::DEFAULT_BUFFER_CAPACITY);
+
+    let kept = trace.find(RecordKind::Instant, "overflow.tick").len() as u64;
+    assert_eq!(kept, 8, "ring keeps exactly its capacity");
+    assert_eq!(trace.dropped, 92, "every dropped record is counted");
+}

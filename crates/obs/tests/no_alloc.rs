@@ -1,0 +1,59 @@
+//! The disabled-path contract: with tracing off, `span!`/`event!`
+//! sites must not allocate at all — the whole cost is one relaxed
+//! atomic load and a branch. Asserted with a counting global
+//! allocator; this lives in its own test binary so no other test's
+//! allocations interleave.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_spans_and_events_allocate_nothing() {
+    tigris_obs::set_enabled(false);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        let _guard = tigris_obs::span!("noalloc.span", i = i, half = 0.5_f64, tag = "quiet");
+        tigris_obs::event!("noalloc.event", i = i, ok = true);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "disabled instrumentation sites must not allocate");
+}
+
+#[test]
+fn disabled_field_expressions_are_not_evaluated() {
+    tigris_obs::set_enabled(false);
+    let mut evaluated = false;
+    {
+        let _guard = tigris_obs::span!(
+            "noalloc.lazy",
+            cost = {
+                evaluated = true;
+                1_u64
+            }
+        );
+    }
+    assert!(!evaluated, "field expressions must stay unevaluated while tracing is off");
+}

@@ -203,6 +203,12 @@ pub fn icp_with_options(
         };
         transform = delta * transform;
         final_mse = mse;
+        tigris_obs::event!(
+            "icp.iter",
+            iteration = iterations,
+            mse = mse,
+            correspondences = correspondences.len(),
+        );
 
         // LM damping schedule: error went down → trust the model more.
         if mse < prev_mse {

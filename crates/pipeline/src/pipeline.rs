@@ -268,20 +268,26 @@ fn run_front_end(
 
     // ---- Stage 1: Normal Estimation --------------------------------------
     let t0 = Instant::now();
+    let span = tigris_obs::span!("prepare.normals", points = searcher.len());
     searcher.set_injection(cfg.inject_ne);
     let normals = estimate_normals_with(searcher, cfg.normal_radius, cfg.normal_algorithm, scratch);
     searcher.set_injection(None);
+    drop(span);
     profile.add(Stage::NormalEstimation, t0.elapsed());
 
     // ---- Stage 2: Key-point Detection ------------------------------------
     let t0 = Instant::now();
+    let span = tigris_obs::span!("prepare.keypoints");
     let keypoints = detect_keypoints(searcher, &normals, cfg.keypoint);
+    drop(span);
     profile.add(Stage::KeypointDetection, t0.elapsed());
 
     // ---- Stage 3: Descriptor Calculation ---------------------------------
     let t0 = Instant::now();
+    let span = tigris_obs::span!("prepare.descriptors", keypoints = keypoints.len());
     let descriptors =
         compute_descriptors_with(searcher, &normals, &keypoints, cfg.descriptor, scratch);
+    drop(span);
     profile.add(Stage::DescriptorCalculation, t0.elapsed());
 
     let keypoint_points = {
@@ -334,19 +340,25 @@ pub fn prepare_frame_with(
     cfg: &RegistrationConfig,
     scratch: &mut PrepareScratch,
 ) -> Result<PreparedFrame, RegistrationError> {
+    let _span = tigris_obs::span!("pipeline.prepare", points = cloud.len());
     let t0 = Instant::now();
     // Downsample when configured; otherwise index the cloud's points
     // directly (no intermediate copy on the no-downsample path).
     let searcher = if cfg.voxel_size > 0.0 {
-        let down = cloud.voxel_downsample(cfg.voxel_size);
+        let down = {
+            let _s = tigris_obs::span!("prepare.downsample", voxel = cfg.voxel_size);
+            cloud.voxel_downsample(cfg.voxel_size)
+        };
         if down.points().is_empty() {
             return Err(RegistrationError::EmptyCloud);
         }
+        let _s = tigris_obs::span!("prepare.index_build", points = down.points().len());
         build_searcher(down.points(), &cfg.backend)?
     } else {
         if cloud.points().is_empty() {
             return Err(RegistrationError::EmptyCloud);
         }
+        let _s = tigris_obs::span!("prepare.index_build", points = cloud.points().len());
         build_searcher(cloud.points(), &cfg.backend)?
     };
     finish_preparation(searcher, cfg, t0, std::time::Duration::ZERO, scratch)
@@ -410,6 +422,11 @@ fn run_match(
     prior: Option<&RigidTransform>,
     profile: &mut StageProfile,
 ) -> Result<MatchSummary, RegistrationError> {
+    let _span = tigris_obs::span!(
+        "pipeline.match",
+        src_keypoints = src.keypoints.len(),
+        tgt_keypoints = tgt.keypoints.len(),
+    );
     src_searcher.set_parallel(cfg.parallel);
     tgt_searcher.set_parallel(cfg.parallel);
     let src_search_time0 = src_searcher.search_time();
@@ -419,6 +436,7 @@ fn run_match(
 
     // ---- Stage 4: KPCE ----------------------------------------------------
     let t0 = Instant::now();
+    let kpce_span = tigris_obs::span!("match.kpce");
     let matches = match cfg.kpce_ratio {
         // The ratio test replaces plain NN matching (injection is an
         // NN-path experiment and does not combine with it).
@@ -433,10 +451,12 @@ fn run_match(
             &cfg.parallel,
         ),
     };
+    drop(kpce_span);
     profile.add(Stage::Kpce, t0.elapsed());
 
     // ---- Stage 5: Correspondence Rejection --------------------------------
     let t0 = Instant::now();
+    let reject_span = tigris_obs::span!("match.reject", matches = matches.len());
     let inliers = reject_correspondences(
         &matches,
         &src.keypoint_points,
@@ -444,6 +464,7 @@ fn run_match(
         cfg.rejection,
         0x7161,
     );
+    drop(reject_span);
     profile.add(Stage::CorrespondenceRejection, t0.elapsed());
 
     // ---- Initial transform -------------------------------------------------
@@ -464,6 +485,7 @@ fn run_match(
     }
 
     // ---- Fine-tuning: ICP ---------------------------------------------------
+    let icp_span = tigris_obs::span!("match.icp", inliers = inliers.len());
     tgt_searcher.set_injection(cfg.inject_rpce);
     let icp_result = crate::icp::icp_with_options(
         src_searcher.points(),
@@ -478,6 +500,7 @@ fn run_match(
         profile,
     );
     tgt_searcher.set_injection(None);
+    drop(icp_span);
 
     if icp_result.termination == IcpTermination::Starved && icp_result.iterations <= 1 {
         return Err(RegistrationError::IcpStarved);
@@ -499,6 +522,9 @@ fn run_match(
 }
 
 fn assemble_result(summary: MatchSummary, profile: StageProfile) -> RegistrationResult {
+    // Mirror the completed registration's accounting into the global
+    // metrics registry (no-op with tracing disabled).
+    profile.publish_to_obs();
     RegistrationResult {
         transform: summary.icp.transform,
         initial_transform: summary.initial,

@@ -157,7 +157,11 @@ pub fn relocalize_prepared<T: RelocTarget + ?Sized>(
         return Err(ServeError::RelocalizationFailed { candidates_tried });
     }
 
-    let debug = std::env::var("TIGRIS_SERVE_DEBUG").is_ok();
+    // The gate pipeline traces structured: one span per attempt, one
+    // event per candidate carrying the gate values (inliers, keyframe
+    // offset, structure overlap) that the old TIGRIS_SERVE_DEBUG
+    // eprintln path printed as text. Enable with TIGRIS_TRACE=chrome.
+    let _span = tigris_obs::span!("serve.reloc", candidates = cfg.candidates);
     let batch = frame.config().parallel;
     let hits = snapshot.retrieve(&signature, cfg.candidates, cfg.max_descriptor_distance);
     for hit in hits {
@@ -166,12 +170,12 @@ pub fn relocalize_prepared<T: RelocTarget + ?Sized>(
         // whether or not the registration produces a match.
         candidates_tried += 1;
         let Some(result) = snapshot.verify_against(hit.submap, frame) else {
-            if debug {
-                eprintln!(
-                    "DBG reloc: submap {} (sig dist {:.3}): no geometric match",
-                    hit.submap, hit.distance
-                );
-            }
+            tigris_obs::event!(
+                "reloc.candidate",
+                submap = hit.submap,
+                sig_dist = hit.distance,
+                matched = false,
+            );
             continue;
         };
 
@@ -185,23 +189,34 @@ pub fn relocalize_prepared<T: RelocTarget + ?Sized>(
         } else {
             0.0
         };
-        if debug {
-            eprintln!(
-                "DBG reloc: submap {} (sig dist {:.3}): inliers {}, |t| {:.2}, overlap {}",
-                hit.submap,
-                hit.distance,
-                result.inlier_correspondences,
-                result.transform.translation_norm(),
-                if scalars_pass { format!("{overlap:.3}") } else { "skipped".into() },
-            );
-        }
-        if !scalars_pass || overlap < cfg.min_structure_overlap {
+        let pass = scalars_pass && overlap >= cfg.min_structure_overlap;
+        tigris_obs::event!(
+            "reloc.candidate",
+            submap = hit.submap,
+            sig_dist = hit.distance,
+            matched = true,
+            inliers = result.inlier_correspondences,
+            offset = result.transform.translation_norm(),
+            overlap = overlap,
+            overlap_checked = scalars_pass,
+            pass = pass,
+        );
+        if !pass {
             continue;
         }
 
         let anchor_frame = snapshot.anchor_frame(hit.submap);
         let inliers = result.inlier_correspondences;
         let saturation = inliers as f64 / (inliers + cfg.min_inliers.max(1)) as f64;
+        tigris_obs::event!(
+            "reloc.accept",
+            submap = hit.submap,
+            anchor_frame = anchor_frame,
+            inliers = inliers,
+            overlap = overlap,
+            confidence = overlap * saturation,
+            candidates_tried = candidates_tried,
+        );
         return Ok(Relocalization {
             pose: snapshot.frame_pose(anchor_frame) * result.transform,
             submap: hit.submap,
@@ -214,5 +229,6 @@ pub fn relocalize_prepared<T: RelocTarget + ?Sized>(
             confidence: overlap * saturation,
         });
     }
+    tigris_obs::event!("reloc.fail", candidates_tried = candidates_tried);
     Err(ServeError::RelocalizationFailed { candidates_tried })
 }

@@ -6,11 +6,13 @@ use std::time::Duration;
 
 use tigris_geom::Vec3;
 use tigris_map::MapNeighbor;
+use tigris_obs::{Counter, Gauge, Registry};
 
 use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::session::Session;
 use crate::snapshot::MapSnapshot;
+use crate::stats::LATENCY_HISTOGRAM;
 use crate::stats::{LatencyRecorder, LatencySummary, ServeStats, SessionStats, TileStats};
 
 /// Admission control and request metering, shared by the whole-snapshot
@@ -19,45 +21,87 @@ use crate::stats::{LatencyRecorder, LatencySummary, ServeStats, SessionStats, Ti
 /// counters, so both serving front ends reject, release and meter
 /// identically. Callers hold it behind one service lock and touch it
 /// only at request boundaries; all heavy work runs lock-free.
-#[derive(Debug, Default)]
+///
+/// Every counter is a handle into the owning service's obs
+/// [`Registry`] (names under `serve.`): [`ServeStats`] is assembled
+/// *from* the registry, so a registry snapshot or trace summary reports
+/// exactly what `stats()` reports — one backing store, two views.
+#[derive(Debug)]
 pub(crate) struct RequestGate {
-    sessions_admitted: usize,
-    sessions_rejected: usize,
-    sessions_active: usize,
-    frames_rejected: usize,
+    sessions_admitted: Arc<Counter>,
+    sessions_rejected: Arc<Counter>,
+    sessions_active: Arc<Gauge>,
+    frames_rejected: Arc<Counter>,
     inflight: usize,
-    totals: SessionStats,
+    frames: Arc<Counter>,
+    reloc_attempted: Arc<Counter>,
+    reloc_succeeded: Arc<Counter>,
+    frames_tracked: Arc<Counter>,
+    track_breaks: Arc<Counter>,
+    normal_estimation_ns: Arc<Counter>,
+    descriptor_ns: Arc<Counter>,
+    scratch_bytes_grown: Arc<Counter>,
+    scratch_reuses: Arc<Counter>,
     latency: LatencyRecorder,
 }
 
+impl Default for RequestGate {
+    fn default() -> Self {
+        RequestGate::new(Arc::new(Registry::new()))
+    }
+}
+
 impl RequestGate {
+    /// A gate metering into `registry` (one registry per service).
+    pub(crate) fn new(registry: Arc<Registry>) -> Self {
+        let latency = LatencyRecorder::from_histogram(
+            registry.histogram_with("serve.latency_us", LATENCY_HISTOGRAM),
+        );
+        RequestGate {
+            sessions_admitted: registry.counter("serve.sessions_admitted"),
+            sessions_rejected: registry.counter("serve.sessions_rejected"),
+            sessions_active: registry.gauge("serve.sessions_active"),
+            frames_rejected: registry.counter("serve.frames_rejected"),
+            inflight: 0,
+            frames: registry.counter("serve.frames"),
+            reloc_attempted: registry.counter("serve.relocalizations_attempted"),
+            reloc_succeeded: registry.counter("serve.relocalizations_succeeded"),
+            frames_tracked: registry.counter("serve.frames_tracked"),
+            track_breaks: registry.counter("serve.track_breaks"),
+            normal_estimation_ns: registry.counter("serve.normal_estimation_ns"),
+            descriptor_ns: registry.counter("serve.descriptor_ns"),
+            scratch_bytes_grown: registry.counter("serve.prepare_scratch_bytes_grown"),
+            scratch_reuses: registry.counter("serve.prepare_scratch_reuses"),
+            latency,
+        }
+    }
+
     /// Admits one session (returning its dense id in admission order) or
     /// rejects typed at the budget.
     pub(crate) fn admit_session(&mut self, max_sessions: usize) -> Result<usize, ServeError> {
-        if self.sessions_active >= max_sessions {
-            self.sessions_rejected += 1;
+        if self.sessions_active.get() >= max_sessions as i64 {
+            self.sessions_rejected.inc();
             return Err(ServeError::SessionsExhausted { limit: max_sessions });
         }
-        self.sessions_active += 1;
-        self.sessions_admitted += 1;
-        Ok(self.sessions_admitted - 1)
+        self.sessions_active.add(1);
+        Ok(self.sessions_admitted.inc() as usize - 1)
     }
 
     /// A session closed (dropped): its slot becomes re-admittable.
     pub(crate) fn close_session(&mut self) {
-        self.sessions_active -= 1;
+        self.sessions_active.add(-1);
     }
 
     /// Sessions currently open.
     pub(crate) fn active_sessions(&self) -> usize {
-        self.sessions_active
+        self.sessions_active.get().max(0) as usize
     }
 
     /// Claims an in-flight slot for one localize call, or rejects typed
     /// before any work runs.
     pub(crate) fn begin_request(&mut self, max_inflight: usize) -> Result<(), ServeError> {
         if self.inflight >= max_inflight {
-            self.frames_rejected += 1;
+            self.frames_rejected.inc();
             return Err(ServeError::Saturated { limit: max_inflight });
         }
         self.inflight += 1;
@@ -68,37 +112,37 @@ impl RequestGate {
     pub(crate) fn finish_request(&mut self, latency: Duration, delta: SessionStats) {
         self.inflight -= 1;
         self.latency.record(latency);
-        let t = &mut self.totals;
-        t.frames += delta.frames;
-        t.relocalizations_attempted += delta.relocalizations_attempted;
-        t.relocalizations_succeeded += delta.relocalizations_succeeded;
-        t.frames_tracked += delta.frames_tracked;
-        t.track_breaks += delta.track_breaks;
-        t.normal_estimation_time += delta.normal_estimation_time;
-        t.descriptor_time += delta.descriptor_time;
-        t.prepare_scratch_bytes_grown += delta.prepare_scratch_bytes_grown;
-        t.prepare_scratch_reuses += delta.prepare_scratch_reuses;
+        self.frames.add(delta.frames as u64);
+        self.reloc_attempted.add(delta.relocalizations_attempted as u64);
+        self.reloc_succeeded.add(delta.relocalizations_succeeded as u64);
+        self.frames_tracked.add(delta.frames_tracked as u64);
+        self.track_breaks.add(delta.track_breaks as u64);
+        self.normal_estimation_ns.add(delta.normal_estimation_time.as_nanos() as u64);
+        self.descriptor_ns.add(delta.descriptor_time.as_nanos() as u64);
+        self.scratch_bytes_grown.add(delta.prepare_scratch_bytes_grown);
+        self.scratch_reuses.add(delta.prepare_scratch_reuses);
     }
 
-    /// The gate's counters as a [`ServeStats`] (latency summary and tile
-    /// counters left default) plus a clone of the latency recorder, so
-    /// the caller can run the percentile sort outside its service lock.
+    /// The gate's registry-backed counters as a [`ServeStats`] (latency
+    /// summary and tile counters left default) plus a clone of the
+    /// latency recorder — a cheap shared handle, so the caller can run
+    /// the percentile walk outside its service lock.
     pub(crate) fn stats_and_recorder(&self) -> (ServeStats, LatencyRecorder) {
         (
             ServeStats {
-                sessions_admitted: self.sessions_admitted,
-                sessions_rejected: self.sessions_rejected,
-                sessions_active: self.sessions_active,
-                frames_rejected: self.frames_rejected,
-                frames: self.totals.frames,
-                relocalizations_attempted: self.totals.relocalizations_attempted,
-                relocalizations_succeeded: self.totals.relocalizations_succeeded,
-                frames_tracked: self.totals.frames_tracked,
-                track_breaks: self.totals.track_breaks,
-                normal_estimation_time: self.totals.normal_estimation_time,
-                descriptor_time: self.totals.descriptor_time,
-                prepare_scratch_bytes_grown: self.totals.prepare_scratch_bytes_grown,
-                prepare_scratch_reuses: self.totals.prepare_scratch_reuses,
+                sessions_admitted: self.sessions_admitted.get() as usize,
+                sessions_rejected: self.sessions_rejected.get() as usize,
+                sessions_active: self.active_sessions(),
+                frames_rejected: self.frames_rejected.get() as usize,
+                frames: self.frames.get() as usize,
+                relocalizations_attempted: self.reloc_attempted.get() as usize,
+                relocalizations_succeeded: self.reloc_succeeded.get() as usize,
+                frames_tracked: self.frames_tracked.get() as usize,
+                track_breaks: self.track_breaks.get() as usize,
+                normal_estimation_time: Duration::from_nanos(self.normal_estimation_ns.get()),
+                descriptor_time: Duration::from_nanos(self.descriptor_ns.get()),
+                prepare_scratch_bytes_grown: self.scratch_bytes_grown.get(),
+                prepare_scratch_reuses: self.scratch_reuses.get(),
                 latency: LatencySummary::default(),
                 tiles: TileStats::default(),
             },
@@ -112,6 +156,7 @@ impl RequestGate {
 pub(crate) struct ServiceCore {
     pub(crate) snapshot: Arc<MapSnapshot>,
     pub(crate) config: ServeConfig,
+    pub(crate) registry: Arc<Registry>,
     state: Mutex<RequestGate>,
 }
 
@@ -176,18 +221,26 @@ pub struct LocalizationService {
 impl LocalizationService {
     /// A service over the given snapshot and budgets.
     pub fn new(snapshot: Arc<MapSnapshot>, config: ServeConfig) -> Self {
+        tigris_obs::init_from_env();
+        let registry = Arc::new(Registry::new());
+        let gate = RequestGate::new(Arc::clone(&registry));
         LocalizationService {
-            core: Arc::new(ServiceCore {
-                snapshot,
-                config,
-                state: Mutex::new(RequestGate::default()),
-            }),
+            core: Arc::new(ServiceCore { snapshot, config, registry, state: Mutex::new(gate) }),
         }
     }
 
     /// The served snapshot.
     pub fn snapshot(&self) -> &Arc<MapSnapshot> {
         &self.core.snapshot
+    }
+
+    /// This service's obs metrics registry — the backing store
+    /// [`LocalizationService::stats`] snapshots from. Every counter the
+    /// service meters (admissions, rejections, tracking, the
+    /// `serve.latency_us` histogram) lives here under `serve.*` names;
+    /// exporters and dashboards read it without a service lock.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.core.registry
     }
 
     /// The serving configuration.

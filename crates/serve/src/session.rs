@@ -174,12 +174,14 @@ impl TrackCore {
         match std::mem::replace(&mut self.state, TrackState::Cold) {
             TrackState::Cold => self.cold_start(prepared, index, &mut reloc),
             TrackState::Tracking(mut tracking) => {
+                let track_span = tigris_obs::span!("serve.track", frame = index);
                 let matched = register_prepared_with_prior(
                     &mut prepared,
                     &mut tracking.prev,
                     registration,
                     tracking.velocity.as_ref(),
                 );
+                drop(track_span);
                 match matched {
                     Ok(result) => {
                         let new_pose = tracking.pose * result.transform;
@@ -234,6 +236,7 @@ impl TrackCore {
     where
         R: FnMut(&mut PreparedFrame) -> Result<Relocalization, ServeError>,
     {
+        let _span = tigris_obs::span!("serve.cold_start", frame = index);
         self.stats.relocalizations_attempted += 1;
         match reloc(&mut prepared) {
             Ok(reloc) => {
@@ -314,6 +317,10 @@ impl Session {
     /// cold afterwards.
     pub fn localize(&mut self, frame: &PointCloud) -> Result<SessionStep, ServeError> {
         self.core.begin_request()?;
+        // The root of the request's trace tree: everything the frame
+        // touches — preparation, relocalization gates, tracking, map
+        // search — nests under this span.
+        let _span = tigris_obs::span!("serve.localize", session = self.id, points = frame.len());
         let t0 = Instant::now();
         let before = *self.track.stats();
         let core = &self.core;

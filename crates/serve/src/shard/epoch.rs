@@ -244,12 +244,15 @@ impl EpochPublisher {
     /// [`ServeError::UnverifiableMap`] when no submap has both a stored
     /// keyframe and a signature (cold starts could never verify).
     pub fn publish(&mut self, mapper: &Mapper) -> Result<Arc<SnapshotEpoch>, ServeError> {
+        let _span = tigris_obs::span!("epoch.publish", version = self.next_version + 1);
         let submaps = mapper.submaps();
         let total_points: usize = submaps.iter().map(Submap::len).sum();
         if total_points == 0 {
             return Err(ServeError::EmptyMap);
         }
 
+        let shared_before = self.payloads_shared;
+        let copied_before = self.payloads_copied;
         let payloads: Vec<Arc<SubmapPayload>> = submaps
             .iter()
             .map(|submap| {
@@ -283,6 +286,13 @@ impl EpochPublisher {
         );
 
         self.next_version += 1;
+        tigris_obs::event!(
+            "epoch.published",
+            version = self.next_version,
+            shared = self.payloads_shared - shared_before,
+            copied = self.payloads_copied - copied_before,
+            total_points = total_points,
+        );
         Ok(Arc::new(SnapshotEpoch {
             version: self.next_version,
             config: mapper.config().clone(),

@@ -22,6 +22,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use tigris_core::DynamicMapIndex;
+use tigris_obs::{Counter, Gauge, Registry};
 
 use super::epoch::{SnapshotEpoch, SubmapPayload};
 use super::router::EpochView;
@@ -71,19 +72,39 @@ struct CacheEntry {
     last_touch: u64,
 }
 
-/// The LRU-by-touch tile cache; see the [module docs](self).
+/// The LRU-by-touch tile cache; see the [module docs](self). The
+/// residency counters are handles into the owning service's obs
+/// registry (`serve.tiles.*` names), so [`TileCache::stats`] and a
+/// registry snapshot report the same numbers.
 #[derive(Debug)]
 pub(crate) struct TileCache {
     budget_bytes: usize,
     entries: HashMap<(u64, usize), CacheEntry>,
     /// Logical clock: bumped per lookup, stamped on the touched entry.
     clock: u64,
-    stats: TileStats,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    loads: Arc<Counter>,
+    evictions: Arc<Counter>,
+    resident_tiles: Arc<Gauge>,
+    resident_bytes: Arc<Gauge>,
+    peak_resident_bytes: Arc<Gauge>,
 }
 
 impl TileCache {
-    pub(crate) fn new(budget_bytes: usize) -> Self {
-        TileCache { budget_bytes, entries: HashMap::new(), clock: 0, stats: TileStats::default() }
+    pub(crate) fn new(budget_bytes: usize, registry: &Registry) -> Self {
+        TileCache {
+            budget_bytes,
+            entries: HashMap::new(),
+            clock: 0,
+            hits: registry.counter("serve.tiles.hits"),
+            misses: registry.counter("serve.tiles.misses"),
+            loads: registry.counter("serve.tiles.loads"),
+            evictions: registry.counter("serve.tiles.evictions"),
+            resident_tiles: registry.gauge("serve.tiles.resident_tiles"),
+            resident_bytes: registry.gauge("serve.tiles.resident_bytes"),
+            peak_resident_bytes: registry.gauge("serve.tiles.peak_resident_bytes"),
+        }
     }
 
     /// The tile at `tile_idx` of the view's epoch, resident: returns the
@@ -97,32 +118,44 @@ impl TileCache {
         let key = (view.epoch().version(), tile_idx);
         if let Some(entry) = self.entries.get_mut(&key) {
             entry.last_touch = self.clock;
-            self.stats.hits += 1;
+            self.hits.inc();
             return Arc::clone(&entry.tile);
         }
-        self.stats.misses += 1;
+        self.misses.inc();
+        let span = tigris_obs::span!(
+            "tile.load",
+            epoch = key.0,
+            tile = tile_idx,
+            members = view.router().tiles()[tile_idx].members().len(),
+        );
         let tile = Arc::new(LoadedTile::load(view.epoch(), &view.router().tiles()[tile_idx]));
-        self.stats.loads += 1;
-        self.stats.resident_tiles += 1;
-        self.stats.resident_bytes += tile.bytes;
-        self.stats.peak_resident_bytes =
-            self.stats.peak_resident_bytes.max(self.stats.resident_bytes);
+        drop(span);
+        self.loads.inc();
+        self.resident_tiles.add(1);
+        let resident = self.resident_bytes.add(tile.bytes as i64);
+        self.peak_resident_bytes.set_max(resident);
         self.entries.insert(key, CacheEntry { tile: Arc::clone(&tile), last_touch: self.clock });
         self.evict_over_budget(key);
         tile
     }
 
     fn evict_over_budget(&mut self, keep: (u64, usize)) {
-        while self.stats.resident_bytes > self.budget_bytes {
+        while self.resident_bytes.get().max(0) as usize > self.budget_bytes {
             let Some((&victim, _)) =
                 self.entries.iter().filter(|(&k, _)| k != keep).min_by_key(|(_, e)| e.last_touch)
             else {
                 break;
             };
             let entry = self.entries.remove(&victim).expect("victim was just found");
-            self.stats.evictions += 1;
-            self.stats.resident_tiles -= 1;
-            self.stats.resident_bytes -= entry.tile.bytes;
+            self.evictions.inc();
+            self.resident_tiles.add(-1);
+            self.resident_bytes.add(-(entry.tile.bytes as i64));
+            tigris_obs::event!(
+                "tile.evict",
+                epoch = victim.0,
+                tile = victim.1,
+                bytes = entry.tile.bytes,
+            );
         }
     }
 
@@ -130,19 +163,35 @@ impl TileCache {
     /// session unpinned it and it is not current). Not counted as
     /// budget evictions.
     pub(crate) fn purge_version(&mut self, version: u64) {
+        let (resident_tiles, resident_bytes) =
+            (Arc::clone(&self.resident_tiles), Arc::clone(&self.resident_bytes));
+        let mut purged = 0usize;
         self.entries.retain(|&(v, _), entry| {
             if v == version {
-                self.stats.resident_tiles -= 1;
-                self.stats.resident_bytes -= entry.tile.bytes;
+                resident_tiles.add(-1);
+                resident_bytes.add(-(entry.tile.bytes as i64));
+                purged += 1;
                 false
             } else {
                 true
             }
         });
+        if purged > 0 {
+            tigris_obs::event!("tile.purge", epoch = version, tiles = purged);
+        }
     }
 
-    /// A point-in-time copy of the residency counters.
+    /// A point-in-time copy of the residency counters, assembled from
+    /// the registry handles.
     pub(crate) fn stats(&self) -> TileStats {
-        self.stats
+        TileStats {
+            hits: self.hits.get() as usize,
+            misses: self.misses.get() as usize,
+            loads: self.loads.get() as usize,
+            evictions: self.evictions.get() as usize,
+            resident_tiles: self.resident_tiles.get().max(0) as usize,
+            resident_bytes: self.resident_bytes.get().max(0) as usize,
+            peak_resident_bytes: self.peak_resident_bytes.get().max(0) as usize,
+        }
     }
 }

@@ -10,6 +10,7 @@ use tigris_core::{BatchConfig, SearchStats};
 use tigris_geom::{RigidTransform, Vec3};
 use tigris_map::retrieval::{self, RetrievalHit};
 use tigris_map::{sort_map_neighbors, MapNeighbor};
+use tigris_obs::Registry;
 use tigris_pipeline::{PreparedFrame, RegistrationResult};
 
 use super::epoch::SnapshotEpoch;
@@ -62,6 +63,9 @@ struct EpochState {
 #[derive(Debug)]
 pub(crate) struct ShardCore {
     pub(crate) config: ShardConfig,
+    /// This service's metrics registry: the request gate and the tile
+    /// cache both write into it, so one snapshot covers the service.
+    pub(crate) registry: Arc<Registry>,
     /// Admission gate + epoch bookkeeping; touched only at request and
     /// session boundaries.
     state: Mutex<(RequestGate, EpochState)>,
@@ -147,11 +151,15 @@ impl ShardService {
     /// A service with no epoch installed yet (sessions are rejected
     /// until the first [`ShardService::install_epoch`]).
     pub fn new(config: ShardConfig) -> Self {
-        let cache = TileCache::new(config.tile_budget_bytes);
+        tigris_obs::init_from_env();
+        let registry = Arc::new(Registry::new());
+        let gate = RequestGate::new(Arc::clone(&registry));
+        let cache = TileCache::new(config.tile_budget_bytes, &registry);
         ShardService {
             core: Arc::new(ShardCore {
                 config,
-                state: Mutex::new((RequestGate::default(), EpochState::default())),
+                registry,
+                state: Mutex::new((gate, EpochState::default())),
                 cache: Mutex::new(cache),
             }),
         }
@@ -169,12 +177,26 @@ impl ShardService {
         &self.core.config
     }
 
+    /// This service's metrics registry: every `serve.*` counter, gauge
+    /// and latency histogram the service maintains, including the
+    /// `serve.tiles.*` residency counters. Snapshot it at any time for
+    /// export; the same atomics back [`ShardService::stats`].
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.core.registry
+    }
+
     /// Hot-swaps the served epoch: sessions opened after this call pin
     /// `epoch`; sessions already open keep draining on theirs. A
     /// superseded epoch with no pinned sessions has its resident tiles
     /// purged immediately.
     pub fn install_epoch(&self, epoch: Arc<SnapshotEpoch>) {
         let view = Arc::new(EpochView::new(epoch, &self.core.config.tiling));
+        tigris_obs::event!(
+            "epoch.install",
+            version = view.epoch().version(),
+            submaps = view.epoch().payloads().len(),
+            tiles = view.router().tiles().len(),
+        );
         let retired = {
             let mut state = self.core.lock_state();
             let old = state.1.current.replace(view);

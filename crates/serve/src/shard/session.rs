@@ -74,6 +74,14 @@ impl ShardSession {
     /// As [`crate::Session::localize`].
     pub fn localize(&mut self, frame: &PointCloud) -> Result<SessionStep, ServeError> {
         self.core.begin_request()?;
+        // Root of the request's trace tree, as in the whole-snapshot
+        // session; the pinned epoch version rides along as a field.
+        let _span = tigris_obs::span!(
+            "serve.localize",
+            session = self.id,
+            points = frame.len(),
+            epoch = self.view.epoch().version(),
+        );
         let t0 = Instant::now();
         let before = *self.track.stats();
         let core = &self.core;

@@ -1,7 +1,10 @@
 //! Serving metrics: admission, relocalization and tracking counters plus
 //! request-latency percentiles, per session and service-wide.
 
+use std::sync::Arc;
 use std::time::Duration;
+
+use tigris_obs::{Histogram, HistogramConfig};
 
 /// Counters for one session's lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -134,30 +137,58 @@ pub struct LatencySummary {
     pub mean: Duration,
 }
 
+/// The latency histogram's shape: microsecond ticks with 17 sub-bucket
+/// bits — every latency below 2^17 µs (≈131 ms) lands in a width-1
+/// bucket and is reported back **exactly**; above that, buckets widen
+/// geometrically and a reported percentile is the bucket's lower bound,
+/// low by a relative error below 2^-16 (≈0.0015%). Resolution is 1 µs
+/// throughout (sub-microsecond latency detail truncates).
+pub(crate) const LATENCY_HISTOGRAM: HistogramConfig = HistogramConfig { sub_bucket_bits: 17 };
+
 /// Accumulates per-request latencies and summarizes them on demand.
 ///
-/// Samples are kept raw (one `Duration` per completed request) — at
-/// serving scale a bounded reservoir would replace this, but exact
-/// percentiles keep the tests and benches honest.
-#[derive(Debug, Clone, Default)]
+/// Backed by the obs layer's lock-free, log-bucketed [`Histogram`]
+/// in microsecond ticks (see `LATENCY_HISTOGRAM` in this module for
+/// the exactness/error bound), registered in
+/// the owning service's metrics registry as `serve.latency_us` — the
+/// same distribution a registry snapshot or trace summary reports.
+///
+/// Cloning is cheap and **shares** the underlying histogram: the
+/// service hands out clones so percentile walks can run outside its
+/// request lock.
+#[derive(Debug, Clone)]
 pub struct LatencyRecorder {
-    samples: Vec<Duration>,
+    hist: Arc<Histogram>,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        LatencyRecorder::new()
+    }
 }
 
 impl LatencyRecorder {
-    /// A recorder with no samples.
+    /// A recorder with no samples (standalone — not registered in any
+    /// metrics registry).
     pub fn new() -> Self {
-        LatencyRecorder::default()
+        LatencyRecorder { hist: Arc::new(Histogram::new(LATENCY_HISTOGRAM)) }
     }
 
-    /// Records one completed request.
+    /// A recorder over an existing (typically registry-owned)
+    /// histogram; must be shaped by [`LATENCY_HISTOGRAM`] for the
+    /// documented exactness bound to hold.
+    pub(crate) fn from_histogram(hist: Arc<Histogram>) -> Self {
+        LatencyRecorder { hist }
+    }
+
+    /// Records one completed request (at microsecond resolution).
     pub fn record(&mut self, latency: Duration) {
-        self.samples.push(latency);
+        self.hist.record(latency.as_micros().min(u64::MAX as u128) as u64);
     }
 
     /// Samples recorded so far.
     pub fn count(&self) -> usize {
-        self.samples.len()
+        self.hist.count() as usize
     }
 
     /// The nearest-rank percentile of the recorded samples: the smallest
@@ -165,50 +196,36 @@ impl LatencyRecorder {
     /// recorded). `p` outside `(0, 1]` is clamped — `p <= 0` answers the
     /// minimum, `p >= 1` (and a NaN `p`) the maximum, so a caller can
     /// never index out of the sample range on a tiny count.
+    ///
+    /// Exact for samples below ≈131 ms; above, the answer is the
+    /// holding bucket's lower bound (see `LATENCY_HISTOGRAM`).
     pub fn percentile(&self, p: f64) -> Option<Duration> {
-        if self.samples.is_empty() {
-            return None;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort();
-        Some(nearest_rank(&sorted, p))
+        self.hist.percentile(p).map(Duration::from_micros)
     }
 
     /// Summarizes the recorded samples (zeros when empty).
     ///
-    /// Percentiles are nearest-rank over the sorted samples: `p50` is
-    /// the smallest sample ≥ half the population, `p99` the smallest
+    /// Percentiles are nearest-rank over the histogram: `p50` is the
+    /// smallest sample ≥ half the population, `p99` the smallest
     /// sample ≥ 99% of it. On tiny counts the rank degenerates safely:
     /// with one sample every percentile is that sample, and p99 equals
-    /// the maximum for any count below 100.
+    /// the maximum for any count below 100. The maximum and mean are
+    /// tracked exactly (to the recorder's 1 µs resolution) regardless
+    /// of bucketing.
     pub fn summarize(&self) -> LatencySummary {
-        if self.samples.is_empty() {
+        let count = self.hist.count();
+        if count == 0 {
             return LatencySummary::default();
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort();
-        let total: Duration = sorted.iter().sum();
         LatencySummary {
-            count: sorted.len(),
-            p50: nearest_rank(&sorted, 0.50),
-            p99: nearest_rank(&sorted, 0.99),
-            max: *sorted.last().expect("non-empty"),
-            mean: total / u32::try_from(sorted.len()).unwrap_or(u32::MAX).max(1),
+            count: count as usize,
+            p50: self.percentile(0.50).unwrap_or_default(),
+            p99: self.percentile(0.99).unwrap_or_default(),
+            max: Duration::from_micros(self.hist.max()),
+            mean: Duration::from_micros(self.hist.sum())
+                / u32::try_from(count).unwrap_or(u32::MAX).max(1),
         }
     }
-}
-
-/// Nearest-rank selection over an already-sorted, non-empty sample set:
-/// `ceil(p * n)` computed with the rank clamped into `[1, n]` so a
-/// pathological `p` (negative, above one, NaN — whose float product and
-/// ceil are unordered) can never index outside the samples.
-fn nearest_rank(sorted: &[Duration], p: f64) -> Duration {
-    debug_assert!(!sorted.is_empty());
-    let rank = (p * sorted.len() as f64).ceil();
-    // NaN compares false to everything: treat it as the maximum rank
-    // rather than letting `as usize` saturate it to 0.
-    let rank = if rank.is_nan() { sorted.len() } else { rank as usize };
-    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 #[cfg(test)]
@@ -308,6 +325,38 @@ mod tests {
         assert_eq!(rec.percentile(1.0), Some(Duration::from_millis(25)));
         assert_eq!(rec.percentile(7.5), Some(Duration::from_millis(25)));
         assert_eq!(rec.percentile(f64::NAN), Some(Duration::from_millis(25)));
+    }
+
+    #[test]
+    fn percentiles_are_exact_on_bucket_boundaries_above_the_exact_region() {
+        // Above the 2^17 µs exact region the histogram's buckets widen,
+        // but a sample sitting exactly on a bucket boundary must come
+        // back bit-for-bit: 2^18 µs and 2^18 + 2^2 µs are both slot
+        // lower bounds of the second log group (width 4 µs).
+        let mut rec = LatencyRecorder::new();
+        for us in [1u64 << 18, (1 << 18) + 4, 1 << 20] {
+            rec.record(Duration::from_micros(us));
+        }
+        assert_eq!(rec.percentile(0.0), Some(Duration::from_micros(1 << 18)));
+        assert_eq!(rec.percentile(0.5), Some(Duration::from_micros((1 << 18) + 4)));
+        assert_eq!(rec.percentile(1.0), Some(Duration::from_micros(1 << 20)));
+        // Max and mean stay exact regardless of bucketing.
+        let s = rec.summarize();
+        assert_eq!(s.max, Duration::from_micros(1 << 20));
+        assert_eq!(s.mean, Duration::from_micros((1 << 18) + ((1 << 18) + 4) + (1 << 20)) / 3);
+    }
+
+    #[test]
+    fn off_boundary_samples_stay_within_the_documented_error_bound() {
+        // An arbitrary (non-boundary) sample above the exact region is
+        // reported as its bucket's lower bound: never above the true
+        // value, and low by a relative error below 2^-16.
+        let us = 300_007u64; // ≈300 ms, above the 131 ms exact region
+        let mut rec = LatencyRecorder::new();
+        rec.record(Duration::from_micros(us));
+        let got = rec.percentile(0.5).unwrap().as_micros() as u64;
+        assert!(got <= us);
+        assert!((us - got) as f64 / us as f64 <= 1.0 / 65_536.0, "got {got} for {us}");
     }
 
     #[test]

@@ -20,6 +20,8 @@ use tigris::geom::{PointCloud, RigidTransform};
 use tigris::pipeline::{DesignPoint, Odometer, RegistrationConfig};
 
 fn main() -> ExitCode {
+    // TIGRIS_TRACE=chrome|jsonl|summary turns tracing on for any command.
+    tigris::obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!("{USAGE}");
@@ -37,6 +39,11 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
     };
+    match tigris::obs::flush() {
+        Ok(Some(path)) => eprintln!("trace written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: failed to write trace: {e}"),
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

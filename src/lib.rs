@@ -21,6 +21,10 @@
 //!   multi-session serving with admission control and latency metering.
 //! * [`accel`] — the cycle-level accelerator model (Sec. 5): recursion-unit
 //!   front-end, search-unit back-end, node cache, energy and area models.
+//! * [`obs`] — the observability layer: hierarchical spans and structured
+//!   events, a counters/gauges/histograms metrics registry, and Chrome
+//!   trace-event / JSONL / summary exporters. Enable with
+//!   `TIGRIS_TRACE=chrome` and load the written file in Perfetto.
 //!
 //! # Quickstart
 //!
@@ -44,6 +48,7 @@ pub use tigris_core as core;
 pub use tigris_data as data;
 pub use tigris_geom as geom;
 pub use tigris_map as map;
+pub use tigris_obs as obs;
 pub use tigris_pipeline as pipeline;
 pub use tigris_serve as serve;
 

@@ -37,7 +37,7 @@ fn loop_closure_halves_the_trajectory_error() {
         }
     }
 
-    let stats = *mapper.stats();
+    let stats = mapper.stats();
     eprintln!("stats: {stats:?}");
     // Every streamed frame's front end ran exactly once (failure-free
     // stream: preparations billed == frames pushed).
