@@ -30,11 +30,27 @@ fn main() {
         result.enabled_overhead * 100.0
     );
     println!(
+        "recorder     {:>10.3?}  (flight ring only, site {:.2} ns)",
+        result.recorder_time, result.recorder_site_ns
+    );
+    println!(
         "disabled site {:>8.2} ns  → {:.4}% of the disabled run (bound: 2%)",
         result.site_ns,
         result.disabled_overhead * 100.0
     );
-    println!("poses identical: {}", result.poses_identical);
+    println!(
+        "recorder site {:>8.2} ns  → {:.4}% of the disabled run (bound: 3%)",
+        result.recorder_site_ns,
+        result.recorder_overhead * 100.0
+    );
+    println!(
+        "sampler observe {:>6.1} ns  (drop-fast path, per completed request)",
+        result.sampler_observe_ns
+    );
+    println!(
+        "poses identical: traced {} / recorder {}",
+        result.poses_identical, result.recorder_poses_identical
+    );
 
     let path = result.report().write_env("BENCH_OBS_JSON", "BENCH_obs.json");
     println!("baseline written to {}", path.display());

@@ -16,6 +16,18 @@
 //!   tracing off and on, and the pose streams of both, which must be
 //!   equal to the last bit.
 //!
+//! The operational tier gets the same treatment:
+//!
+//! * **recorder site cost** — the per-site cost with only the always-on
+//!   flight recorder live (circular overwrite, no drain), bounding the
+//!   production-posture overhead the ≤3% acceptance gates on — again
+//!   structurally (`ns/site × sites ÷ wall-clock`), so the bound holds
+//!   on loaded CI hosts;
+//! * **sampler fast path** — nanoseconds per
+//!   [`tigris_obs::sampler::TailSampler::observe`] call on the
+//!   drop-fast path, the per-request cost every completed request pays
+//!   whether or not it is retained.
+//!
 //! The same logic backs `benches/obs.rs` (which also emits the
 //! machine-readable `BENCH_obs.json` baseline in CI) and the
 //! release-scale acceptance test `tests/obs_overhead.rs`.
@@ -57,8 +69,25 @@ pub struct ObsBenchResult {
     /// costs. Informational: the acceptance bound is on the disabled
     /// path, which every production run pays.
     pub enabled_overhead: f64,
+    /// Best-of-N wall-clock with only the flight recorder live (the
+    /// production posture: no drain sink, circular overwrite).
+    pub recorder_time: Duration,
+    /// Per-run wall-clock samples (seconds), recorder only.
+    pub recorder_samples: Vec<f64>,
+    /// Measured cost of one span site with only the recorder live
+    /// (nanoseconds).
+    pub recorder_site_ns: f64,
+    /// `recorder_site_ns × records_per_run / disabled_time` — the
+    /// always-on-recorder overhead fraction the ≤3% acceptance bound
+    /// gates on, computed structurally like `disabled_overhead`.
+    pub recorder_overhead: f64,
+    /// Nanoseconds per [`tigris_obs::sampler::TailSampler::observe`]
+    /// call on the drop-fast path (threshold check + counter bumps).
+    pub sampler_observe_ns: f64,
     /// Whether the disabled and enabled pose streams are bit-identical.
     pub poses_identical: bool,
+    /// Whether the recorder-only pose stream matches the disabled one.
+    pub recorder_poses_identical: bool,
 }
 
 impl ObsBenchResult {
@@ -76,7 +105,13 @@ impl ObsBenchResult {
             .derived_f64("site_ns", self.site_ns)
             .derived_f64("disabled_overhead", self.disabled_overhead)
             .derived_f64("enabled_overhead", self.enabled_overhead)
+            .samples("recorder_seconds", &self.recorder_samples)
+            .derived_f64("recorder_seconds_best", self.recorder_time.as_secs_f64())
+            .derived_f64("recorder_site_ns", self.recorder_site_ns)
+            .derived_f64("recorder_overhead", self.recorder_overhead)
+            .derived_f64("sampler_observe_ns", self.sampler_observe_ns)
             .derived_int("poses_identical", self.poses_identical as usize)
+            .derived_int("recorder_poses_identical", self.recorder_poses_identical as usize)
     }
 }
 
@@ -107,25 +142,70 @@ fn disabled_site_ns() -> f64 {
     t0.elapsed().as_nanos() as f64 / ITERS as f64
 }
 
-/// Runs the tracing-off vs. tracing-on comparison on the default
-/// synthetic scene: `frames` streamed frames, best-of-`runs` timing per
-/// path, bit-identity of the two pose streams.
+/// Times one span site with only the flight recorder live: open + drop
+/// pays two circular-ring pushes (overwrite-oldest, no allocation once
+/// the ring is full).
+fn recorder_site_ns() -> f64 {
+    assert!(tigris_obs::recorder_on(), "recorder microbench needs the recorder on");
+    assert!(!tigris_obs::trace_on(), "recorder microbench must not pay the drain sink");
+    const ITERS: u64 = 1_000_000;
+    let t0 = Instant::now();
+    for i in 0..ITERS {
+        let guard = tigris_obs::span!("bench.recorder_site", iter = i);
+        std::hint::black_box(&guard);
+    }
+    t0.elapsed().as_nanos() as f64 / ITERS as f64
+}
+
+/// Times the tail sampler's drop-fast path: a fixed cutoff no request
+/// reaches, so every `observe` is a threshold check plus counter bumps
+/// — the per-request cost sampling adds to *every* completed request.
+fn sampler_observe_ns() -> f64 {
+    use tigris_obs::sampler::{RequestOutcome, TailConfig, TailSampler};
+    let sampler = TailSampler::new(TailConfig::absolute(Duration::from_secs(3600)));
+    const ITERS: u64 = 1_000_000;
+    let latency = Duration::from_micros(50);
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        let decision = sampler.observe(None, latency, RequestOutcome::Completed, false);
+        std::hint::black_box(&decision);
+    }
+    let per_call = t0.elapsed().as_nanos() as f64 / ITERS as f64;
+    assert_eq!(sampler.stats().retained, 0, "fast-path bench must never retain");
+    per_call
+}
+
+/// Runs the tracing-off vs. recorder-only vs. tracing-on comparison on
+/// the default synthetic scene: `frames` streamed frames,
+/// best-of-`runs` timing per path, bit-identity of the three pose
+/// streams, plus the sampler fast-path microbenchmark.
 ///
-/// Toggles the **process-global** tracing switch; callers sharing a
-/// process with other traced work must serialize around it. The switch
-/// is always left disabled on return.
+/// Toggles the **process-global** sink switches; callers sharing a
+/// process with other traced work must serialize around it. All sinks
+/// are always left disabled on return.
 pub fn run_overhead_comparison(frames: usize, seed: u64, runs: usize) -> ObsBenchResult {
     assert!(frames >= 2, "need at least 2 frames to register anything");
     assert!(runs >= 1);
     tigris_obs::set_enabled(false);
+    tigris_obs::set_recorder(false);
     let seq = short_sequence(frames, seed);
     let cfg = RegistrationConfig::default();
 
     // Warm up (page in the scene, stabilize the allocator), then take
-    // the best of `runs` with tracing off.
+    // the best of `runs` with every sink off.
     let (_, poses_off) = stream(&seq, &cfg);
     let disabled_runs: Vec<Duration> = (0..runs).map(|_| stream(&seq, &cfg).0).collect();
     let site_ns = disabled_site_ns();
+    let sampler_ns = sampler_observe_ns();
+
+    // The production posture: flight recorder on, drain sink off. The
+    // circular ring absorbs every record with no drain between runs.
+    tigris_obs::set_recorder(true);
+    let recorder_site = recorder_site_ns();
+    let (_, poses_rec) = stream(&seq, &cfg);
+    let recorder_runs: Vec<Duration> = (0..runs).map(|_| stream(&seq, &cfg).0).collect();
+    tigris_obs::set_recorder(false);
+    tigris_obs::recorder::reset();
 
     // The traced side: drain between runs so the rings never overflow,
     // and count one run's records — every record is a site the disabled
@@ -145,7 +225,10 @@ pub fn run_overhead_comparison(frames: usize, seed: u64, runs: usize) -> ObsBenc
 
     let disabled_time = *disabled_runs.iter().min().expect("runs >= 1");
     let enabled_time = *enabled_runs.iter().min().expect("runs >= 1");
+    let recorder_time = *recorder_runs.iter().min().expect("runs >= 1");
     let disabled_overhead = site_ns * trace.records.len() as f64 / disabled_time.as_nanos() as f64;
+    let recorder_overhead =
+        recorder_site * trace.records.len() as f64 / disabled_time.as_nanos() as f64;
     ObsBenchResult {
         frames,
         disabled_time,
@@ -157,7 +240,13 @@ pub fn run_overhead_comparison(frames: usize, seed: u64, runs: usize) -> ObsBenc
         site_ns,
         disabled_overhead,
         enabled_overhead: enabled_time.as_secs_f64() / disabled_time.as_secs_f64() - 1.0,
+        recorder_time,
+        recorder_samples: recorder_runs.iter().map(Duration::as_secs_f64).collect(),
+        recorder_site_ns: recorder_site,
+        recorder_overhead,
+        sampler_observe_ns: sampler_ns,
         poses_identical: poses_off == poses_on,
+        recorder_poses_identical: poses_off == poses_rec,
     }
 }
 
@@ -171,7 +260,10 @@ mod tests {
         assert!(result.records_per_run > 0, "the traced run must record spans");
         assert_eq!(result.records_dropped, 0, "rings must not overflow");
         assert!(result.poses_identical, "tracing must not change poses");
+        assert!(result.recorder_poses_identical, "the recorder must not change poses");
         assert!(result.site_ns > 0.0 && result.site_ns < 1_000.0);
-        assert!(!tigris_obs::enabled(), "the switch must be left disabled");
+        assert!(result.recorder_site_ns > 0.0);
+        assert!(result.sampler_observe_ns > 0.0 && result.sampler_observe_ns < 10_000.0);
+        assert!(!tigris_obs::enabled(), "every sink must be left disabled");
     }
 }

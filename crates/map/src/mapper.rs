@@ -18,9 +18,10 @@
 //!    redistributes the accumulated drift.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use tigris_geom::{OptimizeReport, PointCloud, PoseGraph, PoseGraphEdge, RigidTransform, Vec3};
-use tigris_obs::{Counter, Registry};
+use tigris_obs::{Counter, Histogram, Registry};
 use tigris_pipeline::{Odometer, RegistrationError, RegistrationResult};
 
 use crate::config::MapperConfig;
@@ -80,6 +81,10 @@ pub struct MapperStats {
 #[derive(Debug)]
 struct MapMetrics {
     registry: Arc<Registry>,
+    /// Wall time of each [`Mapper::push`] in microseconds — the
+    /// mapper-side latency distribution the SLO engine and ops exporter
+    /// watch (`map.frame_us`).
+    frame_us: Arc<Histogram>,
     frames: Arc<Counter>,
     steps: Arc<Counter>,
     frames_prepared: Arc<Counter>,
@@ -94,6 +99,7 @@ impl MapMetrics {
     fn new() -> Self {
         let registry = Arc::new(Registry::new());
         MapMetrics {
+            frame_us: registry.histogram("map.frame_us"),
             frames: registry.counter("map.frames"),
             steps: registry.counter("map.steps"),
             frames_prepared: registry.counter("map.frames_prepared"),
@@ -192,6 +198,8 @@ impl Mapper {
     pub fn new(config: MapperConfig) -> Self {
         tigris_obs::init_from_env();
         let odometer = Odometer::new(config.registration.clone());
+        let metrics = MapMetrics::new();
+        tigris_obs::ops::register_service("map", &metrics.registry, None);
         Mapper {
             config,
             odometer,
@@ -202,7 +210,7 @@ impl Mapper {
             travel: Vec::new(),
             edges: Vec::new(),
             closures: Vec::new(),
-            metrics: MapMetrics::new(),
+            metrics,
             pending_keyframe: None,
             last_closure_frame: None,
         }
@@ -277,8 +285,9 @@ impl Mapper {
     pub fn push(&mut self, frame: &PointCloud) -> Result<MapperStep, RegistrationError> {
         let _span =
             tigris_obs::span!("map.insert_frame", frame = self.poses.len(), points = frame.len());
+        let t0 = Instant::now();
         let processed_before = self.odometer.frames_processed();
-        match self.odometer.push_retiring(frame) {
+        let result = match self.odometer.push_retiring(frame) {
             Err(err) => {
                 if self.odometer.frames_processed() > processed_before {
                     // Prepared fine, failed to match: the odometer kept
@@ -296,7 +305,9 @@ impl Mapper {
                 }
                 Ok(self.accept_step(&step.relative, &step.registration))
             }
-        }
+        };
+        self.metrics.frame_us.record(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        result
     }
 
     /// All map points within `radius` of the world-frame `point`, fanned

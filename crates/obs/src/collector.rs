@@ -119,12 +119,28 @@ struct Ring {
     dropped: u64,
 }
 
+/// Flight-recorder ring contents: a bounded *circular* record vector.
+/// Where the drain ring drops **newest** on overflow (a drained trace
+/// keeps its oldest records so span trees stay rooted), the flight ring
+/// overwrites **oldest** — a flight recorder's value is the most recent
+/// window before an anomaly.
+struct FlightRing {
+    records: Vec<Record>,
+    /// Index of the oldest record once the ring has wrapped.
+    head: usize,
+    /// Records overwritten since the last reset (the flight analogue of
+    /// `dropped`).
+    overwritten: u64,
+    seq: u64,
+}
+
 /// One thread's collector, kept alive by the global registry even
 /// after its thread exits, so a drain after `thread::join` still sees
 /// every record (losslessness).
 struct ThreadBuf {
     tid: u32,
     ring: Mutex<Ring>,
+    flight: Mutex<FlightRing>,
 }
 
 fn collectors() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
@@ -135,6 +151,11 @@ fn collectors() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
 static NEXT_TID: AtomicU32 = AtomicU32::new(1);
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_BUFFER_CAPACITY);
+static FLIGHT_CAPACITY: AtomicUsize = AtomicUsize::new(crate::recorder::DEFAULT_FLIGHT_CAPACITY);
+/// Lifetime total of drain-ring records dropped at capacity, across
+/// every drain — the counter the summary exporter and the operational
+/// snapshot surface so overflow is never invisible.
+static DROPPED_TOTAL: AtomicU64 = AtomicU64::new(0);
 
 /// Default per-thread ring capacity, in records.
 pub const DEFAULT_BUFFER_CAPACITY: usize = 65_536;
@@ -145,6 +166,21 @@ pub const DEFAULT_BUFFER_CAPACITY: usize = 65_536;
 /// [`crate::init_from_env`] time.
 pub fn set_buffer_capacity(records: usize) {
     CAPACITY.store(records.max(1), Ordering::Relaxed);
+}
+
+/// Overrides the per-thread *flight-recorder* ring capacity (records
+/// per thread); see [`crate::recorder::set_flight_capacity`].
+pub(crate) fn set_flight_capacity_raw(records: usize) {
+    FLIGHT_CAPACITY.store(records.max(1), Ordering::Relaxed);
+}
+
+/// Lifetime total of drain-ring records dropped at full capacity
+/// (drop-newest), across every thread and every [`drain`]. Unlike
+/// [`Trace::dropped`] — which resets with each drain — this total only
+/// grows, so a single end-of-run report can state whether the process
+/// ever overflowed.
+pub fn dropped_total() -> u64 {
+    DROPPED_TOTAL.load(Ordering::Relaxed)
 }
 
 thread_local! {
@@ -158,6 +194,12 @@ fn with_local<R>(f: impl FnOnce(&ThreadBuf) -> R) -> R {
             let buf = Arc::new(ThreadBuf {
                 tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
                 ring: Mutex::new(Ring { records: Vec::new(), seq: 0, dropped: 0 }),
+                flight: Mutex::new(FlightRing {
+                    records: Vec::new(),
+                    head: 0,
+                    overwritten: 0,
+                    seq: 0,
+                }),
             });
             collectors().lock().expect("obs collector registry poisoned").push(Arc::clone(&buf));
             buf
@@ -173,25 +215,62 @@ fn push_record(
     parent: u64,
     fields: &[(&'static str, Value)],
 ) {
+    let sinks = crate::sinks();
+    if sinks == 0 {
+        return;
+    }
+    let ts_ns = clock::now_ns();
     with_local(|buf| {
-        let mut ring = buf.ring.lock().expect("obs ring lock poisoned");
+        // seq is filled in per sink: each ring keeps its own monotonic
+        // sequence, so merge ordering is well-defined per sink even when
+        // one sink started recording later than the other.
+        let record =
+            Record { ts_ns, tid: buf.tid, seq: 0, id, parent, kind, name, fields: fields.to_vec() };
+        match (sinks & crate::TRACE_SINK != 0, sinks & crate::RECORDER_SINK != 0) {
+            (true, true) => {
+                buf.push_flight(record.clone());
+                buf.push_drain(record);
+            }
+            (true, false) => buf.push_drain(record),
+            (false, true) => buf.push_flight(record),
+            (false, false) => {} // raced a sink shutdown: drop the record
+        }
+    });
+}
+
+impl ThreadBuf {
+    /// Appends to the drain ring, dropping **newest** at capacity (a
+    /// drained trace keeps its oldest records so span trees stay
+    /// rooted).
+    fn push_drain(&self, mut record: Record) {
+        let mut ring = self.ring.lock().expect("obs ring lock poisoned");
         if ring.records.len() >= CAPACITY.load(Ordering::Relaxed) {
             ring.dropped += 1;
+            DROPPED_TOTAL.fetch_add(1, Ordering::Relaxed);
             return;
         }
         ring.seq += 1;
-        let seq = ring.seq;
-        ring.records.push(Record {
-            ts_ns: clock::now_ns(),
-            tid: buf.tid,
-            seq,
-            id,
-            parent,
-            kind,
-            name,
-            fields: fields.to_vec(),
-        });
-    });
+        record.seq = ring.seq;
+        ring.records.push(record);
+    }
+
+    /// Appends to the flight ring, overwriting **oldest** at capacity —
+    /// the flight recorder keeps the most recent window.
+    fn push_flight(&self, mut record: Record) {
+        let mut flight = self.flight.lock().expect("obs flight ring lock poisoned");
+        flight.seq += 1;
+        record.seq = flight.seq;
+        let capacity = FLIGHT_CAPACITY.load(Ordering::Relaxed);
+        if flight.records.len() < capacity {
+            flight.records.push(record);
+        } else {
+            let len = flight.records.len();
+            let head = flight.head;
+            flight.records[head] = record;
+            flight.head = (head + 1) % len;
+            flight.overwritten += 1;
+        }
+    }
 }
 
 /// Records a point-in-time event under the current span. Callers go
@@ -297,6 +376,49 @@ impl Trace {
     pub fn has_ancestor(&self, id: u64, ancestor: u64) -> bool {
         self.ancestors(id).contains(&ancestor)
     }
+
+    /// The connected span tree rooted at `root`: every record whose id
+    /// is `root` or descends from it (plus each such span's `End`).
+    /// This is what the tail sampler retains per request — one complete
+    /// request tree cut out of a mixed multi-request window. Linear in
+    /// the trace size (memoized connectivity walk, built once), so
+    /// extraction from a full flight-ring snapshot stays cheap.
+    pub fn subtree(&self, root: u64) -> Trace {
+        let parents: HashMap<u64, u64> = self
+            .records
+            .iter()
+            .filter(|r| r.kind != RecordKind::End)
+            .map(|r| (r.id, r.parent))
+            .collect();
+        let mut connected: HashMap<u64, bool> = HashMap::new();
+        connected.insert(root, true);
+        let mut path = Vec::new();
+        for r in &self.records {
+            let mut cur = r.id;
+            // Walk up until a memoized id (or a dead end), then memoize
+            // the whole walked path with the answer.
+            let verdict = loop {
+                if let Some(&known) = connected.get(&cur) {
+                    break known;
+                }
+                path.push(cur);
+                match parents.get(&cur) {
+                    Some(&p) if p != 0 && path.len() <= self.records.len() => cur = p,
+                    _ => break false,
+                }
+            };
+            for id in path.drain(..) {
+                connected.insert(id, verdict);
+            }
+        }
+        let records = self
+            .records
+            .iter()
+            .filter(|r| connected.get(&r.id).copied().unwrap_or(false))
+            .cloned()
+            .collect();
+        Trace { records, dropped: self.dropped }
+    }
 }
 
 /// Drains every thread's ring buffer (including exited threads') into
@@ -315,4 +437,37 @@ pub fn drain() -> Trace {
     }
     records.sort_by_key(|r| (r.ts_ns, r.tid, r.seq));
     Trace { records, dropped }
+}
+
+/// **Copies** every thread's flight ring (including exited threads')
+/// into one merged, timestamp-ordered [`Trace`] *without* resetting the
+/// rings — the recorder keeps flying while the snapshot is exported.
+/// `dropped` reports the total records overwritten since the last
+/// [`flight_reset`].
+pub(crate) fn flight_snapshot() -> Trace {
+    let bufs: Vec<Arc<ThreadBuf>> =
+        collectors().lock().expect("obs collector registry poisoned").clone();
+    let mut records = Vec::new();
+    let mut dropped = 0;
+    for buf in bufs {
+        let flight = buf.flight.lock().expect("obs flight ring lock poisoned");
+        records.extend_from_slice(&flight.records);
+        dropped += flight.overwritten;
+    }
+    records.sort_by_key(|r| (r.ts_ns, r.tid, r.seq));
+    Trace { records, dropped }
+}
+
+/// Clears every thread's flight ring and overwrite count (tests and
+/// post-incident resets).
+pub(crate) fn flight_reset() {
+    let bufs: Vec<Arc<ThreadBuf>> =
+        collectors().lock().expect("obs collector registry poisoned").clone();
+    for buf in bufs {
+        let mut flight = buf.flight.lock().expect("obs flight ring lock poisoned");
+        flight.records.clear();
+        flight.head = 0;
+        flight.overwritten = 0;
+        flight.seq = 0;
+    }
 }

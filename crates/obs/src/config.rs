@@ -3,6 +3,12 @@
 //! overrides the output path, `TIGRIS_TRACE_BUF` sizes the per-thread
 //! ring buffers. This replaces the old ad-hoc `TIGRIS_SERVE_DEBUG`
 //! eprintln switch.
+//!
+//! The always-on flight recorder ([`crate::recorder`]) is switched
+//! here too: it defaults **on** whenever [`init_from_env`] runs (every
+//! service, the CLI and the examples call it at startup) — that is the
+//! production posture — and `TIGRIS_RECORDER=off` opts out;
+//! `TIGRIS_RECORDER_BUF` sizes its per-thread window in records.
 
 use std::path::PathBuf;
 use std::sync::OnceLock;
@@ -44,17 +50,32 @@ impl TraceMode {
 
 static MODE: OnceLock<TraceMode> = OnceLock::new();
 
-/// Reads `TIGRIS_TRACE`/`TIGRIS_TRACE_BUF` once, enables recording when
-/// a mode is selected, and returns the mode. Idempotent: the first call
-/// wins; later calls return the cached mode without re-reading the
-/// environment. Entry points (services, the CLI, examples) call this at
-/// startup and [`crate::flush`] at exit.
+/// Reads `TIGRIS_TRACE`/`TIGRIS_TRACE_BUF` (and the flight recorder's
+/// `TIGRIS_RECORDER`/`TIGRIS_RECORDER_BUF`) once, enables recording
+/// when a mode is selected, turns the flight recorder on unless opted
+/// out, and returns the mode. Idempotent: the first call wins; later
+/// calls return the cached mode without re-reading the environment.
+/// Entry points (services, the CLI, examples) call this at startup and
+/// [`crate::flush`] at exit.
 pub fn init_from_env() -> TraceMode {
     *MODE.get_or_init(|| {
         if let Ok(raw) = std::env::var("TIGRIS_TRACE_BUF") {
             if let Ok(records) = raw.trim().parse::<usize>() {
                 crate::set_buffer_capacity(records);
             }
+        }
+        if let Ok(raw) = std::env::var("TIGRIS_RECORDER_BUF") {
+            if let Ok(records) = raw.trim().parse::<usize>() {
+                crate::recorder::set_flight_capacity(records);
+            }
+        }
+        // The flight recorder is the always-on tier: default on, with
+        // an explicit opt-out for overhead-sensitive comparisons.
+        let recorder = std::env::var("TIGRIS_RECORDER")
+            .map(|raw| !matches!(raw.trim().to_ascii_lowercase().as_str(), "off" | "0" | "false"))
+            .unwrap_or(true);
+        if recorder {
+            crate::set_recorder(true);
         }
         let mode =
             std::env::var("TIGRIS_TRACE").map(|raw| TraceMode::parse(&raw)).unwrap_or_default();

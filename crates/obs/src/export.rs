@@ -25,7 +25,7 @@ fn escape_into(out: &mut String, s: &str) {
     }
 }
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     escape_into(out, s);
     out.push('"');
@@ -94,6 +94,79 @@ fn push_chrome_event(
         push_fields_object(out, fields, extra);
     }
     out.push('}');
+}
+
+/// One sampled metric value for Chrome `"C"` (counter) export — a
+/// point on a named timeline. Histograms sample as several series
+/// (`name.count`, `name.p50`, `name.p99`); see [`metric_samples`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Sample instant ([`crate::now_ns`]).
+    pub ts_ns: u64,
+    /// Timeline name (Perfetto groups samples by it).
+    pub name: String,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// Samples every metric of `registry` at `ts_ns` into [`MetricSample`]s
+/// — counters and gauges one series each, histograms as `.count`,
+/// `.p50` and `.p99` series. Output order follows the registry's
+/// sorted-by-name snapshot. Feed accumulated samples to
+/// [`chrome_trace_json_with_counters`] for metric timelines alongside
+/// the spans.
+pub fn metric_samples(registry: &Registry, ts_ns: u64) -> Vec<MetricSample> {
+    let mut samples = Vec::new();
+    for (name, value) in registry.snapshot() {
+        match value {
+            MetricSnapshot::Counter(v) => {
+                samples.push(MetricSample { ts_ns, name, value: v as f64 });
+            }
+            MetricSnapshot::Gauge(v) => {
+                samples.push(MetricSample { ts_ns, name, value: v as f64 });
+            }
+            MetricSnapshot::Histogram(h) => {
+                for (suffix, v) in [("count", h.count), ("p50", h.p50), ("p99", h.p99)] {
+                    samples.push(MetricSample {
+                        ts_ns,
+                        name: format!("{name}.{suffix}"),
+                        value: v as f64,
+                    });
+                }
+            }
+        }
+    }
+    samples
+}
+
+fn push_counter_event(out: &mut String, sample: &MetricSample) {
+    out.push_str("{\"name\":");
+    push_json_str(out, &sample.name);
+    out.push_str(&format!(
+        ",\"cat\":\"tigris\",\"ph\":\"C\",\"ts\":{:.3},\"pid\":1,\"args\":{{\"value\":{}}}}}",
+        sample.ts_ns as f64 / 1000.0,
+        if sample.value.is_finite() { sample.value } else { 0.0 }
+    ));
+}
+
+/// [`chrome_trace_json`] plus Chrome `"C"` (counter) events for the
+/// given metric samples, so Perfetto renders metric timelines alongside
+/// the span tracks. Counter events carry no `tid` (they are
+/// process-scoped) and cannot unbalance the `B`/`E` stream.
+pub fn chrome_trace_json_with_counters(trace: &Trace, samples: &[MetricSample]) -> String {
+    let mut out = chrome_trace_json(trace);
+    if samples.is_empty() {
+        return out;
+    }
+    // Re-open the closed array and append the counter events.
+    let body_end = out.rfind("\n]").expect("chrome trace ends with its array close");
+    out.truncate(body_end);
+    for sample in samples {
+        out.push_str(",\n");
+        push_counter_event(&mut out, sample);
+    }
+    out.push_str("\n]\n");
+    out
 }
 
 /// Renders a trace as a Chrome trace-event JSON array. Spans become
@@ -232,9 +305,10 @@ pub fn summary(trace: &Trace, registry: Option<&Registry>) -> String {
     let mut out = String::new();
     out.push_str("== tigris-obs summary ==\n");
     out.push_str(&format!(
-        "records: {} ({} dropped at ring-buffer capacity)\n",
+        "records: {} ({} dropped at ring-buffer capacity; {} dropped over process lifetime)\n",
         trace.records.len(),
-        trace.dropped
+        trace.dropped,
+        crate::dropped_total()
     ));
     let mut spans: Vec<_> = spans.into_iter().collect();
     spans.sort_by_key(|&(name, _)| name);
@@ -278,4 +352,88 @@ pub fn summary(trace: &Trace, registry: Option<&Registry>) -> String {
         }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::testsync::serial;
+
+    /// Walks a parsed Chrome trace asserting per-tid `B`/`E` balance;
+    /// returns the count of events with phase `ph`.
+    fn assert_balanced_and_count(doc: &Json, ph: &str) -> usize {
+        let events = doc.as_arr().expect("chrome trace is a JSON array");
+        let mut depth: HashMap<i64, i64> = HashMap::new();
+        let mut matched = 0;
+        for ev in events {
+            let phase = ev.get("ph").and_then(Json::as_str).expect("event has ph");
+            if phase == ph {
+                matched += 1;
+            }
+            let tid = ev.get("tid").and_then(Json::as_f64).unwrap_or(-1.0) as i64;
+            match phase {
+                "B" => *depth.entry(tid).or_default() += 1,
+                "E" => {
+                    let d = depth.entry(tid).or_default();
+                    *d -= 1;
+                    assert!(*d >= 0, "E without B on tid {tid}");
+                }
+                _ => {}
+            }
+        }
+        assert!(depth.values().all(|&d| d == 0), "unclosed spans: {depth:?}");
+        matched
+    }
+
+    #[test]
+    fn counter_events_interleave_without_unbalancing_the_trace() {
+        let _guard = serial();
+        crate::drain();
+        crate::set_enabled(true);
+        {
+            let _span = crate::span!("export.counter_test", step = 1_u64);
+            crate::event!("export.counter_tick");
+        }
+        crate::set_enabled(false);
+        let trace = crate::drain();
+        let registry = Registry::new();
+        registry.counter("export.requests").add(7);
+        registry.gauge("export.resident").set(-3);
+        registry.histogram("export.lat").record(42);
+        let t = crate::now_ns();
+        let mut samples = metric_samples(&registry, t);
+        samples.extend(metric_samples(&registry, t + 1_000_000));
+        let json = chrome_trace_json_with_counters(&trace, &samples);
+        let doc = Json::parse(&json).expect("counter-augmented trace must stay valid JSON");
+        assert_balanced_and_count(&doc, "B");
+        let c_events = assert_balanced_and_count(&doc, "C");
+        // 1 counter + 1 gauge + 3 histogram series, sampled twice.
+        assert_eq!(c_events, 10, "every sample must become one C event");
+        let events = doc.as_arr().unwrap();
+        let sample = events
+            .iter()
+            .find(|ev| {
+                ev.get("ph").and_then(Json::as_str) == Some("C")
+                    && ev.get("name").and_then(Json::as_str) == Some("export.requests")
+            })
+            .expect("counter series present");
+        assert_eq!(
+            sample.get("args").and_then(|a| a.get("value")).and_then(Json::as_f64),
+            Some(7.0)
+        );
+        // Without samples the output is byte-identical to the plain export.
+        assert_eq!(chrome_trace_json_with_counters(&trace, &[]), chrome_trace_json(&trace));
+    }
+
+    #[test]
+    fn metric_samples_follow_snapshot_order_and_expand_histograms() {
+        let registry = Registry::new();
+        registry.histogram("b.hist").record(5);
+        registry.counter("a.count").inc();
+        let samples = metric_samples(&registry, 123);
+        let names: Vec<&str> = samples.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["a.count", "b.hist.count", "b.hist.p50", "b.hist.p99"]);
+        assert!(samples.iter().all(|s| s.ts_ns == 123));
+    }
 }

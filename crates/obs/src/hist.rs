@@ -198,6 +198,84 @@ impl Histogram {
         Some(self.max())
     }
 
+    /// Adds every value recorded in `other` into `self`, slot-wise —
+    /// the per-thread-shard merge: recording into N thread-local
+    /// histograms and merging equals recording into one (exactly, for
+    /// count/sum/min/max; slot-for-slot for percentiles).
+    ///
+    /// # Panics
+    ///
+    /// If the shapes (`sub_bucket_bits`) differ.
+    pub fn merge_from(&self, other: &Histogram) {
+        assert_eq!(self.bits, other.bits, "histogram shapes must match to merge");
+        for (group, lock) in other.groups.iter().enumerate() {
+            let Some(src) = lock.get() else { continue };
+            let dst = self.groups[group].get_or_init(|| {
+                (0..self.slots_in_group(group)).map(|_| AtomicU32::new(0)).collect()
+            });
+            for (slot, c) in src.iter().enumerate() {
+                let c = c.load(Ordering::Relaxed);
+                if c != 0 {
+                    dst[slot].fetch_add(c, Ordering::Relaxed);
+                }
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min.fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// The distribution recorded **since** `baseline` (an earlier
+    /// [`Clone`] of this histogram): slot-wise saturating subtraction.
+    /// This is how the SLO engine turns a cumulative histogram into a
+    /// sliding-window one — clone at window start, `delta_since` at
+    /// evaluation time, take percentiles of the delta.
+    ///
+    /// `count` and `sum` subtract exactly. `min`/`max` of the delta are
+    /// reconstructed from the surviving slots' lower bounds, so above
+    /// the exact region they carry the histogram's usual quantization
+    /// (low by less than the relative error bound) rather than the
+    /// exact extremes — percentiles of the delta are unaffected.
+    ///
+    /// # Panics
+    ///
+    /// If the shapes (`sub_bucket_bits`) differ.
+    pub fn delta_since(&self, baseline: &Histogram) -> Histogram {
+        assert_eq!(self.bits, baseline.bits, "histogram shapes must match to delta");
+        let delta = Histogram::new(HistogramConfig { sub_bucket_bits: self.bits });
+        let mut count = 0u64;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for (group, lock) in self.groups.iter().enumerate() {
+            let Some(now) = lock.get() else { continue };
+            let base = baseline.groups[group].get();
+            for (slot, c) in now.iter().enumerate() {
+                let was = base.map_or(0, |b| b[slot].load(Ordering::Relaxed));
+                let n = c.load(Ordering::Relaxed).saturating_sub(was);
+                if n == 0 {
+                    continue;
+                }
+                let dst = delta.groups[group].get_or_init(|| {
+                    (0..self.slots_in_group(group)).map(|_| AtomicU32::new(0)).collect()
+                });
+                dst[slot].store(n, Ordering::Relaxed);
+                let lo = self.lower_bound(group, slot);
+                min = min.min(lo);
+                max = max.max(lo);
+                count += n as u64;
+            }
+        }
+        delta.count.store(count, Ordering::Relaxed);
+        delta.sum.store(
+            self.sum().wrapping_sub(baseline.sum.load(Ordering::Relaxed)),
+            Ordering::Relaxed,
+        );
+        delta.min.store(min, Ordering::Relaxed);
+        delta.max.store(max, Ordering::Relaxed);
+        delta
+    }
+
     /// A point-in-time copy of the distribution's headline numbers.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -354,6 +432,103 @@ mod tests {
         assert_eq!(h.sum(), total);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 39_999);
+    }
+
+    #[test]
+    fn empty_window_delta_has_no_quantiles() {
+        // The SLO engine's "no data in this window" case: cumulative
+        // histogram unchanged since the baseline clone.
+        let h = Histogram::new(HistogramConfig::default());
+        h.record(42);
+        let baseline = h.clone();
+        let window = h.delta_since(&baseline);
+        assert_eq!(window.count(), 0);
+        assert_eq!(window.percentile(0.99), None);
+        assert_eq!(window.mean(), None);
+        assert_eq!(window.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn single_bucket_saturation_reports_that_bucket_at_every_quantile() {
+        // A service pinned at one latency: every percentile must be that
+        // value, and the slot counter must absorb heavy traffic.
+        let h = Histogram::new(HistogramConfig { sub_bucket_bits: 7 });
+        for _ in 0..100_000 {
+            h.record(64);
+        }
+        for p in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.percentile(p), Some(64), "p={p}");
+        }
+        assert_eq!(h.count(), 100_000);
+        assert_eq!((h.min(), h.max()), (64, 64));
+    }
+
+    #[test]
+    fn sliding_window_deltas_partition_at_reset_boundaries() {
+        // Three windows cut from one cumulative histogram: each delta
+        // must see exactly its own window's values, and re-baselining at
+        // a boundary must not leak a value into both adjacent windows.
+        let h = Histogram::new(HistogramConfig { sub_bucket_bits: 7 });
+        let b0 = h.clone();
+        h.record(10);
+        h.record(20);
+        let b1 = h.clone();
+        h.record(30);
+        let b2 = h.clone();
+        let w0 = h.delta_since(&b0);
+        let w1 = h.delta_since(&b1);
+        let w2 = h.delta_since(&b2);
+        assert_eq!((w0.count(), w0.sum()), (3, 60), "since start: everything");
+        assert_eq!((w1.count(), w1.sum()), (1, 30), "middle window: only the 30");
+        assert_eq!(w1.percentile(1.0), Some(30));
+        assert_eq!((w1.min(), w1.max()), (30, 30));
+        assert_eq!(w2.count(), 0, "fresh boundary: empty window");
+        // The boundary value 30 appears in exactly one of the two
+        // windows it borders.
+        assert_eq!(w1.count() + w2.count(), 1);
+    }
+
+    #[test]
+    fn merging_per_thread_shards_equals_one_histogram() {
+        use std::sync::Arc;
+        let merged = Histogram::new(HistogramConfig { sub_bucket_bits: 7 });
+        let oracle = Histogram::new(HistogramConfig { sub_bucket_bits: 7 });
+        let shards: Vec<_> = (0..4)
+            .map(|t| {
+                let shard = Arc::new(Histogram::new(HistogramConfig { sub_bucket_bits: 7 }));
+                let worker = Arc::clone(&shard);
+                let handle = std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        worker.record(t * 37 + i % 211);
+                    }
+                });
+                (shard, handle)
+            })
+            .collect();
+        for (shard, handle) in shards {
+            handle.join().unwrap();
+            merged.merge_from(&shard);
+        }
+        for t in 0..4u64 {
+            for i in 0..5_000u64 {
+                oracle.record(t * 37 + i % 211);
+            }
+        }
+        assert_eq!(merged.count(), oracle.count());
+        assert_eq!(merged.sum(), oracle.sum());
+        assert_eq!(merged.min(), oracle.min());
+        assert_eq!(merged.max(), oracle.max());
+        for p in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.percentile(p), oracle.percentile(p), "p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes must match")]
+    fn merging_mismatched_shapes_panics() {
+        let a = Histogram::new(HistogramConfig { sub_bucket_bits: 7 });
+        let b = Histogram::new(HistogramConfig { sub_bucket_bits: 9 });
+        a.merge_from(&b);
     }
 
     #[test]

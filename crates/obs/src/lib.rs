@@ -22,10 +22,24 @@
 //!   human-readable summary, selected by `TIGRIS_TRACE` /
 //!   `TIGRIS_TRACE_FILE` ([`init_from_env`], [`flush`]).
 //!
+//! # The operational tier
+//!
+//! On top of that substrate sits the tier a production fleet runs all
+//! day: the **always-on [`recorder`]** (bounded per-thread flight rings
+//! of the most recent spans/events, dumpable on demand), the
+//! **[`sampler`]** (tail-based retention of complete span trees for
+//! slow/failed/marked requests only), the **[`slo`]** engine
+//! (declarative [`slo::SloSpec`]s evaluated over sliding registry
+//! windows into burn-rate verdicts), and **[`ops`]** (operational
+//! snapshots and SLO-triggered post-mortem bundles).
+//!
 //! # Overhead discipline
 //!
-//! Recording is off by default. The disabled path of every [`span!`]
-//! and [`event!`] site is a single relaxed atomic load and branch —
+//! Full-trace recording is off by default; the flight recorder is on
+//! whenever [`init_from_env`] ran (opt out with `TIGRIS_RECORDER=off`)
+//! and is CI-bounded to ≤3% of the streaming workload. The disabled
+//! path of every [`span!`] and [`event!`] site is a single relaxed
+//! atomic load and branch —
 //! field expressions are not evaluated, nothing allocates (asserted by
 //! test), and results are bit-identical with tracing on or off because
 //! instrumentation only observes. The enabled path appends to a
@@ -51,36 +65,83 @@ mod config;
 pub mod export;
 mod hist;
 pub mod json;
+pub mod ops;
+pub mod recorder;
 mod registry;
+pub mod sampler;
+pub mod slo;
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 
 pub use clock::now_ns;
 pub use collector::{
-    drain, record_event, set_buffer_capacity, Record, RecordKind, SpanGuard, Trace, Value,
-    DEFAULT_BUFFER_CAPACITY,
+    drain, dropped_total, record_event, set_buffer_capacity, Record, RecordKind, SpanGuard, Trace,
+    Value, DEFAULT_BUFFER_CAPACITY,
 };
 pub use config::{init_from_env, trace_file, trace_mode, TraceMode};
 pub use hist::{Histogram, HistogramConfig, HistogramSnapshot};
 pub use registry::{global, Counter, Gauge, MetricSnapshot, Registry};
 
-/// The master switch every instrumentation site branches on.
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// The sink mask every instrumentation site branches on. Bit 0 is the
+/// drain-trace sink (`TIGRIS_TRACE`, [`drain`]); bit 1 is the always-on
+/// flight recorder ([`recorder`]). One byte, one relaxed load: the
+/// disabled-site cost is identical to the old single-switch design
+/// however many sinks exist.
+static STATE: AtomicU8 = AtomicU8::new(0);
 
-/// Whether span/event recording is enabled. A relaxed atomic load —
-/// this is the *entire* cost of a disabled instrumentation site (plus
-/// one branch).
+pub(crate) const TRACE_SINK: u8 = 1 << 0;
+pub(crate) const RECORDER_SINK: u8 = 1 << 1;
+
+/// Whether *any* span/event sink is live. A relaxed atomic load — this
+/// is the *entire* cost of a disabled instrumentation site (plus one
+/// branch). When it returns `false`, no field expression is evaluated
+/// and nothing is recorded anywhere.
 #[inline(always)]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    STATE.load(Ordering::Relaxed) != 0
 }
 
-/// Turns span/event recording on or off (metrics registries are always
+/// The active sink mask (see [`TRACE_SINK`] / [`RECORDER_SINK`] bits).
+#[inline(always)]
+pub(crate) fn sinks() -> u8 {
+    STATE.load(Ordering::Relaxed)
+}
+
+/// Whether the drain-trace sink is on (the sink [`drain`] empties and
+/// [`flush`] exports).
+#[inline(always)]
+pub fn trace_on() -> bool {
+    STATE.load(Ordering::Relaxed) & TRACE_SINK != 0
+}
+
+/// Whether the always-on flight recorder is on (see [`recorder`]).
+#[inline(always)]
+pub fn recorder_on() -> bool {
+    STATE.load(Ordering::Relaxed) & RECORDER_SINK != 0
+}
+
+/// Turns the drain-trace sink on or off (metrics registries are always
 /// live — a counter add is cheaper than the branch would be worth).
 /// [`init_from_env`] calls this when `TIGRIS_TRACE` selects a mode;
-/// tests and benches drive it directly.
+/// tests and benches drive it directly. The flight recorder is switched
+/// independently by [`set_recorder`].
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::Relaxed);
+    set_sink(TRACE_SINK, on);
+}
+
+/// Turns the always-on flight recorder on or off. [`init_from_env`]
+/// turns it on by default (`TIGRIS_RECORDER=off` opts out); tests and
+/// benches drive it directly.
+pub fn set_recorder(on: bool) {
+    set_sink(RECORDER_SINK, on);
+}
+
+fn set_sink(bit: u8, on: bool) {
+    if on {
+        STATE.fetch_or(bit, Ordering::Relaxed);
+    } else {
+        STATE.fetch_and(!bit, Ordering::Relaxed);
+    }
 }
 
 /// Opens a hierarchical span, returning its RAII guard: the span ends
@@ -148,5 +209,19 @@ pub fn flush() -> std::io::Result<Option<std::path::PathBuf>> {
             eprint!("{}", export::summary(&trace, Some(global())));
             Ok(None)
         }
+    }
+}
+
+/// Unit tests across this crate's modules toggle the process-global
+/// sink mask and share the process-wide rings; one crate-wide lock
+/// keeps them from interleaving.
+#[cfg(test)]
+pub(crate) mod testsync {
+    use std::sync::{Mutex, MutexGuard};
+
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn serial() -> MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 }

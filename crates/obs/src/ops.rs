@@ -1,0 +1,564 @@
+//! The operational surface: service registration, periodic SLO
+//! evaluation, unified snapshots, and SLO-triggered post-mortem
+//! bundles.
+//!
+//! Services ([`crate::Registry`] owners — the localization service, the
+//! shard service, the mapper) register themselves with the process-wide
+//! [`OpsMonitor`] via [`register_service`]. Each [`OpsMonitor::tick`]
+//! then, per live service:
+//!
+//! 1. samples the registry into metric timelines (for Chrome `"C"`
+//!    counter export, [`crate::export::metric_samples`]),
+//! 2. evaluates the service's [`crate::slo::SloEngine`] over its
+//!    sliding window, and
+//! 3. on any [`crate::slo::SloStatus::Breached`] verdict fires the
+//!    **anomaly trigger**: the flight-recorder window, the registry,
+//!    the verdicts and the tail-sampler's retained slow/failed traces
+//!    are written out as a **post-mortem bundle** directory.
+//!
+//! A bundle `postmortem-<seq>-<label>/` contains:
+//!
+//! * `trace.json` — Chrome trace of the flight-recorder window with
+//!   metric-timeline `"C"` events interleaved,
+//! * `records.jsonl` — the same window as one JSON record per line,
+//! * `verdicts.json` — every spec's verdict at trigger time,
+//! * `retained.json` — the tail sampler's retained request trees
+//!   (root id, latency, outcome, reason), and
+//! * `summary.txt` — the human-readable roll-up.
+//!
+//! [`OpsMonitor::snapshot_text`] / [`snapshot_json`](OpsMonitor::snapshot_json)
+//! render the unified operational snapshot (all registries, sampler
+//! stats, SLO status, ring-overflow counts) for humans and machines;
+//! [`spawn_periodic`] runs `tick` + snapshot export on a background
+//! cadence.
+//!
+//! Environment: `TIGRIS_SLO` declares the specs (see
+//! [`crate::slo::parse_specs`]), `TIGRIS_SLO_WINDOW_MS` the window,
+//! `TIGRIS_OPS_DIR` the bundle/snapshot directory (default
+//! `<tmp>/tigris-ops`).
+
+use std::collections::VecDeque;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::time::Duration;
+
+use crate::export::{self, MetricSample};
+use crate::registry::{MetricSnapshot, Registry};
+use crate::sampler::TailSampler;
+use crate::slo::{SloEngine, SloStatus, SloVerdict};
+
+/// Retained metric-timeline samples (process-wide, oldest evicted).
+const SERIES_CAPACITY: usize = 8_192;
+
+/// Lifetime cap on written post-mortem bundles — a breach storm must
+/// not fill the disk.
+const MAX_BUNDLES: u64 = 16;
+
+/// Monitor configuration.
+#[derive(Debug, Clone)]
+pub struct OpsConfig {
+    /// Where bundles and snapshots are written.
+    pub dir: PathBuf,
+    /// The SLO specs every registered service is evaluated against.
+    pub specs: Vec<crate::slo::SloSpec>,
+    /// The SLO sliding window.
+    pub window: Duration,
+}
+
+impl OpsConfig {
+    /// Configuration from the environment (see the module docs).
+    pub fn from_env() -> Self {
+        let dir = std::env::var_os("TIGRIS_OPS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| std::env::temp_dir().join("tigris-ops"));
+        let engine = SloEngine::from_env();
+        OpsConfig { dir, specs: engine.specs().to_vec(), window: engine.window() }
+    }
+}
+
+struct Service {
+    label: String,
+    registry: Weak<Registry>,
+    sampler: Option<Weak<TailSampler>>,
+    engine: SloEngine,
+}
+
+/// The process-wide operational monitor; see the module docs for the
+/// tick/trigger model. Obtain it via [`global`] (services) or construct
+/// one directly (tests).
+pub struct OpsMonitor {
+    config: OpsConfig,
+    services: Mutex<Vec<Service>>,
+    series: Mutex<VecDeque<MetricSample>>,
+    bundle_seq: AtomicU64,
+    ticks: AtomicU64,
+}
+
+impl OpsMonitor {
+    /// A monitor with the given configuration.
+    pub fn new(config: OpsConfig) -> Self {
+        OpsMonitor {
+            config,
+            services: Mutex::new(Vec::new()),
+            series: Mutex::new(VecDeque::new()),
+            bundle_seq: AtomicU64::new(0),
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> &OpsConfig {
+        &self.config
+    }
+
+    /// Registers a service's registry (and optionally its tail sampler)
+    /// under a dense generated label (`"serve/0"`, `"map/1"`, ...),
+    /// returned for correlation. Only weak references are held: a
+    /// dropped service disappears from future ticks and snapshots.
+    /// Re-registering the same registry returns its existing label.
+    pub fn register(
+        &self,
+        kind: &str,
+        registry: &Arc<Registry>,
+        sampler: Option<&Arc<TailSampler>>,
+    ) -> String {
+        let mut services = self.services.lock().expect("ops services lock poisoned");
+        for service in services.iter() {
+            if let Some(existing) = service.registry.upgrade() {
+                if Arc::ptr_eq(&existing, registry) {
+                    return service.label.clone();
+                }
+            }
+        }
+        let index = services.iter().filter(|s| s.label.starts_with(kind)).count();
+        let label = format!("{kind}/{index}");
+        services.push(Service {
+            label: label.clone(),
+            registry: Arc::downgrade(registry),
+            sampler: sampler.map(Arc::downgrade),
+            engine: SloEngine::new(self.config.specs.clone(), self.config.window),
+        });
+        label
+    }
+
+    /// One monitor cycle: prune dead services, sample every live
+    /// registry into the metric timelines, evaluate every SLO engine,
+    /// and write a post-mortem bundle per service with a breached
+    /// verdict. Returns the bundle paths written this tick (empty when
+    /// healthy; write failures are swallowed — monitoring must never
+    /// take down serving).
+    pub fn tick(&self) -> Vec<PathBuf> {
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+        let now = crate::now_ns();
+        let mut bundles = Vec::new();
+        let mut services = self.services.lock().expect("ops services lock poisoned");
+        services.retain(|s| s.registry.strong_count() > 0);
+        for service in services.iter() {
+            let Some(registry) = service.registry.upgrade() else { continue };
+            let mut samples = export::metric_samples(&registry, now);
+            for sample in &mut samples {
+                sample.name = format!("{}:{}", service.label, sample.name);
+            }
+            {
+                let mut series = self.series.lock().expect("ops series lock poisoned");
+                series.extend(samples);
+                while series.len() > SERIES_CAPACITY {
+                    series.pop_front();
+                }
+            }
+            let verdicts = service.engine.evaluate(&registry);
+            if verdicts.iter().any(SloVerdict::breached)
+                && self.bundle_seq.load(Ordering::Relaxed) < MAX_BUNDLES
+            {
+                let sampler = service.sampler.as_ref().and_then(Weak::upgrade);
+                if let Ok(path) =
+                    self.write_bundle(&service.label, &registry, sampler.as_deref(), &verdicts)
+                {
+                    bundles.push(path);
+                }
+            }
+        }
+        bundles
+    }
+
+    /// Writes the post-mortem bundle for one breached service; see the
+    /// module docs for the directory layout.
+    fn write_bundle(
+        &self,
+        label: &str,
+        registry: &Registry,
+        sampler: Option<&TailSampler>,
+        verdicts: &[SloVerdict],
+    ) -> io::Result<PathBuf> {
+        let seq = self.bundle_seq.fetch_add(1, Ordering::Relaxed);
+        let sanitized: String =
+            label.chars().map(|c| if c.is_alphanumeric() { c } else { '-' }).collect();
+        let dir = self.config.dir.join(format!("postmortem-{seq}-{sanitized}"));
+        std::fs::create_dir_all(&dir)?;
+        let window = crate::recorder::snapshot();
+        let series: Vec<MetricSample> =
+            self.series.lock().expect("ops series lock poisoned").iter().cloned().collect();
+        std::fs::write(
+            dir.join("trace.json"),
+            export::chrome_trace_json_with_counters(&window, &series),
+        )?;
+        std::fs::write(dir.join("records.jsonl"), export::jsonl(&window))?;
+        std::fs::write(dir.join("verdicts.json"), verdicts_json(verdicts))?;
+        std::fs::write(
+            dir.join("retained.json"),
+            retained_json(sampler.map(|s| s.retained()).unwrap_or_default()),
+        )?;
+        std::fs::write(dir.join("summary.txt"), export::summary(&window, Some(registry)))?;
+        Ok(dir)
+    }
+
+    /// The unified operational snapshot as a human-readable table.
+    pub fn snapshot_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== tigris ops snapshot ==\n");
+        out.push_str(&format!(
+            "recorder: {}  trace-sink: {}  ring drops (lifetime): {}  ticks: {}\n",
+            onoff(crate::recorder_on()),
+            onoff(crate::trace_on()),
+            crate::dropped_total(),
+            self.ticks.load(Ordering::Relaxed),
+        ));
+        let services = self.services.lock().expect("ops services lock poisoned");
+        for service in services.iter() {
+            let Some(registry) = service.registry.upgrade() else { continue };
+            out.push_str(&format!("-- {} --\n", service.label));
+            for verdict in service.engine.evaluate(&registry) {
+                out.push_str(&format!("  slo: {verdict}\n"));
+            }
+            if let Some(sampler) = service.sampler.as_ref().and_then(Weak::upgrade) {
+                let s = sampler.stats();
+                out.push_str(&format!(
+                    "  tail: observed {} retained {} fast-dropped {} evicted {}\n",
+                    s.observed, s.retained, s.dropped_fast, s.evicted
+                ));
+            }
+            for (name, value) in registry.snapshot() {
+                match value {
+                    MetricSnapshot::Counter(v) => {
+                        out.push_str(&format!("  {name:<32} counter   {v}\n"));
+                    }
+                    MetricSnapshot::Gauge(v) => {
+                        out.push_str(&format!("  {name:<32} gauge     {v}\n"));
+                    }
+                    MetricSnapshot::Histogram(h) => {
+                        out.push_str(&format!(
+                            "  {name:<32} histogram count {} p50 {} p99 {} max {}\n",
+                            h.count, h.p50, h.p99, h.max
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The unified operational snapshot as machine-readable JSON
+    /// (stable member order within each service: the registry's
+    /// sorted-by-name guarantee).
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        out.push_str(&format!("\"ts_ns\":{}", crate::now_ns()));
+        out.push_str(&format!(",\"recorder_on\":{}", crate::recorder_on()));
+        out.push_str(&format!(",\"trace_on\":{}", crate::trace_on()));
+        out.push_str(&format!(",\"ring_dropped_total\":{}", crate::dropped_total()));
+        out.push_str(",\"services\":[");
+        let services = self.services.lock().expect("ops services lock poisoned");
+        let mut first_service = true;
+        for service in services.iter() {
+            let Some(registry) = service.registry.upgrade() else { continue };
+            if !first_service {
+                out.push(',');
+            }
+            first_service = false;
+            out.push_str("{\"label\":");
+            export::push_json_str(&mut out, &service.label);
+            out.push_str(",\"slo\":[");
+            for (i, verdict) in service.engine.evaluate(&registry).iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_verdict_json(&mut out, verdict);
+            }
+            out.push(']');
+            if let Some(sampler) = service.sampler.as_ref().and_then(Weak::upgrade) {
+                let s = sampler.stats();
+                out.push_str(&format!(
+                    ",\"tail\":{{\"observed\":{},\"retained\":{},\"dropped_fast\":{},\
+                     \"evicted\":{}}}",
+                    s.observed, s.retained, s.dropped_fast, s.evicted
+                ));
+            }
+            out.push_str(",\"metrics\":{");
+            for (i, (name, value)) in registry.snapshot().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                export::push_json_str(&mut out, name);
+                out.push(':');
+                match value {
+                    MetricSnapshot::Counter(v) => out.push_str(&v.to_string()),
+                    MetricSnapshot::Gauge(v) => out.push_str(&v.to_string()),
+                    MetricSnapshot::Histogram(h) => out.push_str(&format!(
+                        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\
+                         \"p90\":{},\"p99\":{}}}",
+                        h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99
+                    )),
+                }
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn onoff(on: bool) -> &'static str {
+    if on {
+        "on"
+    } else {
+        "off"
+    }
+}
+
+fn push_f64_or_null(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_verdict_json(out: &mut String, v: &SloVerdict) {
+    out.push_str("{\"spec\":");
+    export::push_json_str(out, &v.spec);
+    out.push_str(",\"status\":");
+    export::push_json_str(
+        out,
+        match v.status {
+            SloStatus::Ok => "ok",
+            SloStatus::Breached => "breached",
+            SloStatus::NoData => "no-data",
+        },
+    );
+    out.push_str(",\"observed\":");
+    push_f64_or_null(out, v.observed);
+    out.push_str(",\"threshold\":");
+    push_f64_or_null(out, v.threshold);
+    out.push_str(",\"burn_rate\":");
+    push_f64_or_null(out, v.burn_rate);
+    out.push_str(&format!(",\"window_ns\":{}}}", v.window_ns));
+}
+
+fn verdicts_json(verdicts: &[SloVerdict]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in verdicts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_verdict_json(&mut out, v);
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn retained_json(retained: Vec<crate::sampler::RetainedTrace>) -> String {
+    let mut out = String::from("[");
+    for (i, r) in retained.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"root\":{},\"latency_us\":{},\"outcome\":\"{}\",\"reason\":\"{}\",\
+             \"records\":{},\"trace\":",
+            r.root,
+            r.latency.as_micros(),
+            match r.outcome {
+                crate::sampler::RequestOutcome::Completed => "completed",
+                crate::sampler::RequestOutcome::Failed => "failed",
+            },
+            r.decision.reason(),
+            r.trace.records.len(),
+        ));
+        out.push_str(&export::chrome_trace_json(&r.trace));
+        out.push('}');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// The process-wide monitor, configured from the environment on first
+/// use. Services register here.
+pub fn global() -> &'static OpsMonitor {
+    static GLOBAL: OnceLock<OpsMonitor> = OnceLock::new();
+    GLOBAL.get_or_init(|| OpsMonitor::new(OpsConfig::from_env()))
+}
+
+/// Registers a service with the [`global`] monitor; see
+/// [`OpsMonitor::register`].
+pub fn register_service(
+    kind: &str,
+    registry: &Arc<Registry>,
+    sampler: Option<&Arc<TailSampler>>,
+) -> String {
+    global().register(kind, registry, sampler)
+}
+
+/// A handle to the periodic ops thread; dropping it stops the thread.
+pub struct OpsTicker {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for OpsTicker {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Spawns the periodic operational exporter over the [`global`]
+/// monitor: every `period` it runs [`OpsMonitor::tick`] (evaluating
+/// SLOs and writing post-mortem bundles on breach) and rewrites
+/// `<dir>/ops-snapshot.json` with the current unified snapshot. The
+/// returned handle stops the thread when dropped.
+pub fn spawn_periodic(period: Duration) -> OpsTicker {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stopped = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("tigris-ops".to_string())
+        .spawn(move || {
+            let monitor = global();
+            let snapshot_path = monitor.config.dir.join("ops-snapshot.json");
+            while !stopped.load(Ordering::Relaxed) {
+                monitor.tick();
+                if std::fs::create_dir_all(&monitor.config.dir).is_ok() {
+                    let _ = std::fs::write(&snapshot_path, monitor.snapshot_json());
+                }
+                // Sleep in short slices so drop-stop stays responsive.
+                let mut remaining = period;
+                while !stopped.load(Ordering::Relaxed) && remaining > Duration::ZERO {
+                    let slice = remaining.min(Duration::from_millis(20));
+                    std::thread::sleep(slice);
+                    remaining = remaining.saturating_sub(slice);
+                }
+            }
+        })
+        .expect("failed to spawn tigris-ops thread");
+    OpsTicker { stop, handle: Some(handle) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::HistogramConfig;
+    use crate::json::Json;
+    use crate::sampler::{RequestOutcome, TailConfig};
+    use crate::slo::parse_specs;
+    use crate::testsync::serial;
+
+    fn test_config(tag: &str, specs: &str) -> OpsConfig {
+        let dir = std::env::temp_dir().join("tigris-ops-test").join(format!(
+            "{}-{}",
+            tag,
+            crate::now_ns()
+        ));
+        OpsConfig { dir, specs: parse_specs(specs).unwrap(), window: Duration::ZERO }
+    }
+
+    #[test]
+    fn breach_writes_a_complete_bundle() {
+        let _guard = serial();
+        crate::recorder::reset();
+        crate::set_recorder(true);
+        let monitor = OpsMonitor::new(test_config("bundle", "lat:p50<=10us"));
+        let registry = Arc::new(Registry::new());
+        let hist = registry.histogram_with("lat", HistogramConfig { sub_bucket_bits: 17 });
+        let sampler = Arc::new(TailSampler::new(TailConfig::absolute(Duration::ZERO)));
+        let label = monitor.register("serve", &registry, Some(&sampler));
+        assert_eq!(label, "serve/0");
+        {
+            let _span = crate::span!("ops.breach_request");
+            crate::event!("ops.breach_work");
+        }
+        for _ in 0..10 {
+            hist.record(50_000);
+        }
+        sampler.observe(None, Duration::from_millis(50), RequestOutcome::Completed, false);
+        let bundles = monitor.tick();
+        crate::set_recorder(false);
+        crate::recorder::reset();
+        assert_eq!(bundles.len(), 1, "one breached service, one bundle");
+        let dir = &bundles[0];
+        let trace = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        let doc = Json::parse(&trace).expect("bundle trace must be valid JSON");
+        let events = doc.as_arr().unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(Json::as_str) == Some("ops.breach_request")),
+            "flight-recorder window must land in the bundle"
+        );
+        assert!(
+            events.iter().any(|e| e.get("ph").and_then(Json::as_str) == Some("C")),
+            "metric timelines must land in the bundle"
+        );
+        let verdicts = std::fs::read_to_string(dir.join("verdicts.json")).unwrap();
+        let verdicts = Json::parse(&verdicts).unwrap();
+        assert_eq!(
+            verdicts.as_arr().unwrap()[0].get("status").and_then(Json::as_str),
+            Some("breached")
+        );
+        let retained = std::fs::read_to_string(dir.join("retained.json")).unwrap();
+        let retained = Json::parse(&retained).unwrap();
+        assert_eq!(retained.as_arr().unwrap().len(), 1, "retained tail trace must be bundled");
+        assert!(dir.join("records.jsonl").exists());
+        assert!(std::fs::read_to_string(dir.join("summary.txt")).unwrap().contains("lat"));
+        let _ = std::fs::remove_dir_all(&monitor.config.dir);
+    }
+
+    #[test]
+    fn healthy_services_write_no_bundles_and_snapshots_parse() {
+        let _guard = serial();
+        let monitor = OpsMonitor::new(test_config("healthy", "lat:p99<=1s; drops==0"));
+        let registry = Arc::new(Registry::new());
+        registry.histogram_with("lat", HistogramConfig { sub_bucket_bits: 17 }).record(100);
+        registry.counter("drops");
+        monitor.register("serve", &registry, None);
+        assert!(monitor.tick().is_empty(), "no breach, no bundle");
+        let json = monitor.snapshot_json();
+        let doc = Json::parse(&json).expect("ops snapshot must be valid JSON");
+        let services = doc.get("services").and_then(Json::as_arr).unwrap();
+        assert_eq!(services[0].get("label").and_then(Json::as_str), Some("serve/0"));
+        let slo = services[0].get("slo").and_then(Json::as_arr).unwrap();
+        assert_eq!(slo.len(), 2);
+        assert!(doc.get("ring_dropped_total").is_some());
+        let text = monitor.snapshot_text();
+        assert!(text.contains("serve/0") && text.contains("ring drops (lifetime)"));
+        let _ = std::fs::remove_dir_all(&monitor.config.dir);
+    }
+
+    #[test]
+    fn dropped_services_are_pruned_and_labels_stay_dense() {
+        let monitor = OpsMonitor::new(test_config("prune", ""));
+        let keep = Arc::new(Registry::new());
+        let label0 = monitor.register("serve", &keep, None);
+        {
+            let transient = Arc::new(Registry::new());
+            assert_eq!(monitor.register("serve", &transient, None), "serve/1");
+            assert_eq!(monitor.register("serve", &transient, None), "serve/1", "idempotent");
+        }
+        monitor.tick();
+        assert_eq!(monitor.register("serve", &keep, None), label0, "survivor keeps its label");
+        assert!(!monitor.snapshot_text().contains("serve/1"), "dead service pruned");
+    }
+}

@@ -1,0 +1,177 @@
+//! The always-on flight recorder: bounded per-thread rings of the most
+//! recent spans and events, running continuously and dumpable on demand
+//! or on an SLO trigger.
+//!
+//! Where the drain-trace sink (`TIGRIS_TRACE`, [`crate::drain`]) is a
+//! debugging aid you opt into per run, the flight recorder is the
+//! production posture: it records into fixed-capacity circular buffers
+//! (overwrite-oldest, one ring per thread, no cross-thread contention)
+//! **whether or not** tracing is enabled, so when an anomaly fires the
+//! last seconds of every thread's activity are already in memory. Its
+//! cost is CI-gated (`bench/tests/obs_overhead.rs`): at most 3% of the
+//! streaming workload's wall-clock versus the recorder disabled.
+//!
+//! [`crate::init_from_env`] turns the recorder on by default; set
+//! `TIGRIS_RECORDER=off` to opt out and `TIGRIS_RECORDER_BUF` to size
+//! the per-thread window (records per thread).
+//!
+//! Snapshots are **non-destructive**: [`snapshot`] copies the rings and
+//! the recorder keeps flying, so an export never loses the window that
+//! follows it. Because the ring drops *oldest*, a snapshot can contain
+//! `End` records whose `Begin` was overwritten; the Chrome exporter
+//! already skips those, keeping the dump balanced.
+//!
+//! ```
+//! tigris_obs::set_recorder(true);
+//! {
+//!     let _guard = tigris_obs::span!("serve.localize", frame = 1_u64);
+//! }
+//! let window = tigris_obs::recorder::snapshot();
+//! assert!(!window.records.is_empty());
+//! tigris_obs::set_recorder(false);
+//! ```
+
+use std::time::Duration;
+
+use crate::collector::{self, Trace};
+
+/// Default per-thread flight-ring capacity, in records. Sized so a busy
+/// serving thread retains several seconds of span history while the
+/// whole-process footprint stays a few megabytes.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 16_384;
+
+/// Overrides the per-thread flight-ring capacity (records per thread).
+/// Applies to records pushed after the call; rings that already grew
+/// larger overwrite in place. `TIGRIS_RECORDER_BUF` sets this at
+/// [`crate::init_from_env`] time.
+pub fn set_flight_capacity(records: usize) {
+    collector::set_flight_capacity_raw(records);
+}
+
+/// A merged, timestamp-ordered copy of every thread's flight ring —
+/// the full retained window. Non-destructive: the recorder keeps
+/// recording. [`Trace::dropped`] reports records overwritten (oldest
+/// lost) since the last [`reset`].
+pub fn snapshot() -> Trace {
+    collector::flight_snapshot()
+}
+
+/// [`snapshot`] restricted to records from the last `window` — "the
+/// Chrome trace of the last N seconds". The cut is on the shared
+/// monotonic trace clock ([`crate::now_ns`]), so all threads trim at
+/// the same instant.
+pub fn snapshot_last(window: Duration) -> Trace {
+    let mut trace = collector::flight_snapshot();
+    let now = crate::now_ns();
+    let horizon = now.saturating_sub(window.as_nanos().min(u64::MAX as u128) as u64);
+    trace.records.retain(|r| r.ts_ns >= horizon);
+    trace
+}
+
+/// Clears every thread's flight ring and overwrite count. Tests and
+/// post-incident handling use this to start a fresh window.
+pub fn reset() {
+    collector::flight_reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsync::serial;
+    use crate::{RecordKind, Value};
+
+    #[test]
+    fn records_without_tracing_and_snapshots_non_destructively() {
+        let _guard = serial();
+        reset();
+        assert!(!crate::trace_on(), "test assumes tracing off");
+        crate::set_recorder(true);
+        {
+            let _span = crate::span!("flight.test_span", x = 1_u64);
+            crate::event!("flight.test_event");
+        }
+        let first = snapshot();
+        let second = snapshot();
+        crate::set_recorder(false);
+        assert_eq!(first.find(RecordKind::Begin, "flight.test_span").len(), 1);
+        assert_eq!(first.find(RecordKind::Instant, "flight.test_event").len(), 1);
+        assert_eq!(
+            first.records.len(),
+            second.records.len(),
+            "snapshot must not consume the rings"
+        );
+        // Nothing leaked into the drain sink.
+        let drained = crate::drain();
+        assert!(
+            drained.find(RecordKind::Begin, "flight.test_span").is_empty(),
+            "recorder-only records must not reach the drain rings"
+        );
+        reset();
+    }
+
+    #[test]
+    fn overwrites_oldest_and_counts_it() {
+        let _guard = serial();
+        reset();
+        set_flight_capacity(4);
+        crate::set_recorder(true);
+        for i in 0..6_u64 {
+            crate::event!("flight.overflow_probe", i = i);
+        }
+        crate::set_recorder(false);
+        let window = snapshot();
+        set_flight_capacity(DEFAULT_FLIGHT_CAPACITY);
+        let mut kept: Vec<Value> = window
+            .find(RecordKind::Instant, "flight.overflow_probe")
+            .iter()
+            .map(|r| r.fields[0].1)
+            .collect();
+        kept.sort_by_key(|v| match v {
+            Value::U64(i) => *i,
+            _ => u64::MAX,
+        });
+        // Drop-oldest: exactly the *latest* 4 of the 6 events survive.
+        let expect: Vec<Value> = (2..6_u64).map(Value::U64).collect();
+        assert_eq!(kept, expect, "newest records must survive");
+        assert!(window.dropped >= 2, "overwrites must be counted");
+        reset();
+    }
+
+    #[test]
+    fn both_sinks_receive_when_tracing_is_also_on() {
+        let _guard = serial();
+        reset();
+        crate::drain();
+        crate::set_recorder(true);
+        crate::set_enabled(true);
+        crate::event!("flight.dual_sink", tag = "x");
+        crate::set_enabled(false);
+        crate::set_recorder(false);
+        let drained = crate::drain();
+        let window = snapshot();
+        reset();
+        let in_drain = drained.find(RecordKind::Instant, "flight.dual_sink");
+        let in_flight = window.find(RecordKind::Instant, "flight.dual_sink");
+        assert_eq!(in_drain.len(), 1);
+        assert_eq!(in_flight.len(), 1);
+        assert_eq!(in_drain[0].fields, vec![("tag", Value::Str("x"))]);
+        assert_eq!(in_drain[0].id, in_flight[0].id, "both sinks see the same span ids");
+    }
+
+    #[test]
+    fn snapshot_last_trims_to_the_window() {
+        let _guard = serial();
+        reset();
+        crate::set_recorder(true);
+        crate::event!("flight.window_old");
+        std::thread::sleep(Duration::from_millis(30));
+        crate::event!("flight.window_new");
+        crate::set_recorder(false);
+        let recent = snapshot_last(Duration::from_millis(15));
+        let all = snapshot_last(Duration::from_secs(3600));
+        reset();
+        assert!(recent.find(RecordKind::Instant, "flight.window_old").is_empty());
+        assert_eq!(recent.find(RecordKind::Instant, "flight.window_new").len(), 1);
+        assert_eq!(all.find(RecordKind::Instant, "flight.window_old").len(), 1);
+    }
+}

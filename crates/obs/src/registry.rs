@@ -159,7 +159,40 @@ impl Registry {
         }
     }
 
-    /// Every metric's value at one instant, sorted by name.
+    /// The counter registered under `name`, **without** creating it —
+    /// `None` if absent or of another kind. Watchers (the SLO engine)
+    /// use these lookups so observing a metric never brings it into
+    /// existence.
+    pub fn lookup_counter(&self, name: &str) -> Option<Arc<Counter>> {
+        match self.metrics.lock().expect("obs registry lock poisoned").get(name) {
+            Some(Metric::Counter(c)) => Some(Arc::clone(c)),
+            _ => None,
+        }
+    }
+
+    /// The gauge registered under `name`, without creating it (see
+    /// [`Registry::lookup_counter`]).
+    pub fn lookup_gauge(&self, name: &str) -> Option<Arc<Gauge>> {
+        match self.metrics.lock().expect("obs registry lock poisoned").get(name) {
+            Some(Metric::Gauge(g)) => Some(Arc::clone(g)),
+            _ => None,
+        }
+    }
+
+    /// The histogram registered under `name`, without creating it (see
+    /// [`Registry::lookup_counter`]).
+    pub fn lookup_histogram(&self, name: &str) -> Option<Arc<Histogram>> {
+        match self.metrics.lock().expect("obs registry lock poisoned").get(name) {
+            Some(Metric::Histogram(h)) => Some(Arc::clone(h)),
+            _ => None,
+        }
+    }
+
+    /// Every metric's value at one instant, **sorted by name** — a
+    /// guarantee, not an accident: snapshot order is deterministic
+    /// across runs and processes (names sort lexicographically), so
+    /// snapshot diffs, the ops exporter's tables and golden tests are
+    /// stable. Guarded by a regression test.
     pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
         let metrics = self.metrics.lock().expect("obs registry lock poisoned");
         metrics
@@ -221,6 +254,39 @@ mod tests {
             MetricSnapshot::Histogram(h) => assert_eq!((h.count, h.p50), (1, 7)),
             ref other => panic!("expected histogram, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn snapshot_order_is_deterministic_regardless_of_registration_order() {
+        // The documented guarantee: sorted by name, stable across runs.
+        // Register in two different orders and require identical
+        // snapshot shapes.
+        let names = ["z.last", "a.first", "m.middle", "a.second", "z.apex"];
+        let forward = Registry::new();
+        for n in &names {
+            forward.counter(n).inc();
+        }
+        let backward = Registry::new();
+        for n in names.iter().rev() {
+            backward.counter(n).inc();
+        }
+        let f: Vec<String> = forward.snapshot().into_iter().map(|(n, _)| n).collect();
+        let b: Vec<String> = backward.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(f, b, "snapshot order must not depend on registration order");
+        let mut sorted = f.clone();
+        sorted.sort();
+        assert_eq!(f, sorted, "snapshot must be sorted by name");
+    }
+
+    #[test]
+    fn lookups_do_not_create_and_respect_kinds() {
+        let r = Registry::new();
+        assert!(r.lookup_counter("ghost").is_none());
+        assert!(r.snapshot().is_empty(), "lookup must not create the metric");
+        r.counter("real").add(3);
+        assert_eq!(r.lookup_counter("real").unwrap().get(), 3);
+        assert!(r.lookup_gauge("real").is_none(), "kind mismatch yields None, not a panic");
+        assert!(r.lookup_histogram("real").is_none());
     }
 
     #[test]

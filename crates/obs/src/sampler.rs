@@ -1,0 +1,454 @@
+//! Tail-based trace sampling: keep the interesting 1%, drop the rest.
+//!
+//! Head sampling (decide *before* the request runs) cannot know which
+//! requests will matter. The [`TailSampler`] decides **after** the
+//! outcome is known: every request's complete span tree is sitting in
+//! the flight recorder anyway ([`crate::recorder`]), so when a request
+//! finishes the service reports `(root span, latency, outcome)` and the
+//! sampler either extracts that request's connected subtree from the
+//! recorder window and retains it, or does nothing. Retention fires
+//! when the request was
+//!
+//! * **slow** — latency at or above a [`SlowThreshold`] (a fixed cutoff
+//!   or a live percentile of the service's own latency histogram),
+//! * **failed** — the request returned an error, or
+//! * **marked** — the caller explicitly flagged it.
+//!
+//! The boring majority costs one threshold comparison and a handful of
+//! counter bumps — no allocation, no ring traffic. Retained traces live
+//! in a bounded FIFO (oldest evicted first) until someone collects them
+//! via [`TailSampler::take_retained`] — the ops layer folds them into
+//! post-mortem bundles ([`crate::ops`]).
+//!
+//! Environment knobs (read by [`TailConfig::from_env`], which the
+//! serving layer uses): `TIGRIS_TAIL_SLOW_US` forces a fixed slow
+//! cutoff in microseconds; `TIGRIS_TAIL_RETAIN` caps the retained-trace
+//! FIFO.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::collector::Trace;
+use crate::hist::Histogram;
+
+/// Default capacity of the retained-trace FIFO.
+pub const DEFAULT_RETAIN_CAPACITY: usize = 32;
+
+/// Default percentile used by [`TailConfig::percentile_of`].
+pub const DEFAULT_SLOW_PERCENTILE: f64 = 0.99;
+
+/// Samples a live percentile needs before it is trusted; below this the
+/// percentile threshold abstains (nothing is "slow" yet).
+pub const DEFAULT_MIN_SAMPLES: u64 = 100;
+
+/// When is a request "slow"?
+#[derive(Clone)]
+pub enum SlowThreshold {
+    /// Latency at or above a fixed cutoff is slow.
+    Absolute(Duration),
+    /// Latency at or above the live `p`-th percentile of a latency
+    /// histogram (in **microsecond ticks**, the serving layer's unit)
+    /// is slow. Self-calibrating: the cutoff tracks the service's own
+    /// distribution, so "slow" always means "slow *for this service*".
+    /// Abstains (nothing is slow) until the histogram holds at least
+    /// `min_samples` values, so a cold service doesn't retain its first
+    /// requests just because the distribution is still empty.
+    Percentile {
+        /// The latency histogram consulted, in microsecond ticks.
+        of: Arc<Histogram>,
+        /// The percentile in `[0, 1]` (e.g. `0.99`).
+        p: f64,
+        /// Minimum histogram count before the threshold activates.
+        min_samples: u64,
+    },
+    /// Nothing is slow; only failed or marked requests are retained.
+    Never,
+}
+
+impl std::fmt::Debug for SlowThreshold {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlowThreshold::Absolute(d) => f.debug_tuple("Absolute").field(d).finish(),
+            SlowThreshold::Percentile { p, min_samples, .. } => f
+                .debug_struct("Percentile")
+                .field("p", p)
+                .field("min_samples", min_samples)
+                .finish(),
+            SlowThreshold::Never => write!(f, "Never"),
+        }
+    }
+}
+
+impl SlowThreshold {
+    fn is_slow(&self, latency: Duration) -> bool {
+        match self {
+            SlowThreshold::Absolute(cutoff) => latency >= *cutoff,
+            SlowThreshold::Percentile { of, p, min_samples } => {
+                if of.count() < *min_samples {
+                    return false;
+                }
+                match of.percentile(*p) {
+                    Some(cutoff_us) => latency.as_micros() as u64 >= cutoff_us,
+                    None => false,
+                }
+            }
+            SlowThreshold::Never => false,
+        }
+    }
+}
+
+/// Tail-sampler configuration.
+#[derive(Debug, Clone)]
+pub struct TailConfig {
+    /// The slow-request threshold.
+    pub slow: SlowThreshold,
+    /// Retained-trace FIFO capacity; the oldest trace is evicted when
+    /// a new one would exceed it.
+    pub max_retained: usize,
+}
+
+impl TailConfig {
+    /// A fixed latency cutoff.
+    pub fn absolute(cutoff: Duration) -> Self {
+        TailConfig { slow: SlowThreshold::Absolute(cutoff), max_retained: DEFAULT_RETAIN_CAPACITY }
+    }
+
+    /// The default self-calibrating threshold: slow means at or above
+    /// the live p99 of `latency_us` (microsecond ticks), active once
+    /// [`DEFAULT_MIN_SAMPLES`] values are in.
+    pub fn percentile_of(latency_us: Arc<Histogram>) -> Self {
+        TailConfig {
+            slow: SlowThreshold::Percentile {
+                of: latency_us,
+                p: DEFAULT_SLOW_PERCENTILE,
+                min_samples: DEFAULT_MIN_SAMPLES,
+            },
+            max_retained: DEFAULT_RETAIN_CAPACITY,
+        }
+    }
+
+    /// [`TailConfig::percentile_of`] with the environment applied on
+    /// top: `TIGRIS_TAIL_SLOW_US` replaces the threshold with a fixed
+    /// cutoff in microseconds, `TIGRIS_TAIL_RETAIN` resizes the FIFO.
+    pub fn from_env(latency_us: Arc<Histogram>) -> Self {
+        let mut config = TailConfig::percentile_of(latency_us);
+        if let Some(us) = env_u64("TIGRIS_TAIL_SLOW_US") {
+            config.slow = SlowThreshold::Absolute(Duration::from_micros(us));
+        }
+        if let Some(cap) = env_u64("TIGRIS_TAIL_RETAIN") {
+            config.max_retained = (cap as usize).max(1);
+        }
+        config
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|raw| raw.trim().parse::<u64>().ok())
+}
+
+/// How a sampled request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// The request returned a result.
+    Completed,
+    /// The request returned an error.
+    Failed,
+}
+
+/// The sampler's verdict for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailDecision {
+    /// Fast and healthy: nothing kept.
+    DroppedFast,
+    /// Retained because latency met the slow threshold.
+    RetainedSlow,
+    /// Retained because the request failed.
+    RetainedFailed,
+    /// Retained because the caller marked it.
+    RetainedMarked,
+}
+
+impl TailDecision {
+    /// Whether the trace was kept.
+    pub fn retained(self) -> bool {
+        self != TailDecision::DroppedFast
+    }
+
+    /// A short reason string for exports ("slow" / "failed" / ...).
+    pub fn reason(self) -> &'static str {
+        match self {
+            TailDecision::DroppedFast => "fast",
+            TailDecision::RetainedSlow => "slow",
+            TailDecision::RetainedFailed => "failed",
+            TailDecision::RetainedMarked => "marked",
+        }
+    }
+}
+
+/// One retained request: its metadata plus the connected span tree
+/// extracted from the flight-recorder window at decision time. The
+/// trace is empty when the request's root span id was unavailable
+/// (all sinks off) — the metadata is still worth keeping.
+#[derive(Debug, Clone)]
+pub struct RetainedTrace {
+    /// The request's root span id (0 when unavailable).
+    pub root: u64,
+    /// End-to-end latency the service reported.
+    pub latency: Duration,
+    /// How the request ended.
+    pub outcome: RequestOutcome,
+    /// Why it was kept.
+    pub decision: TailDecision,
+    /// The complete connected span tree of this request.
+    pub trace: Trace,
+}
+
+/// Lifetime counters for one sampler, for the ops snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TailStats {
+    /// Requests observed.
+    pub observed: u64,
+    /// Requests retained (slow + failed + marked).
+    pub retained: u64,
+    /// Requests dropped as fast.
+    pub dropped_fast: u64,
+    /// Retained traces evicted from the FIFO before collection.
+    pub evicted: u64,
+}
+
+/// The tail sampler; see the module docs above for the decision flow.
+/// All methods are `&self`; one sampler is shared per service.
+#[derive(Debug)]
+pub struct TailSampler {
+    config: TailConfig,
+    retained: Mutex<VecDeque<RetainedTrace>>,
+    observed: AtomicU64,
+    kept: AtomicU64,
+    dropped_fast: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl TailSampler {
+    /// A sampler with the given configuration.
+    pub fn new(config: TailConfig) -> Self {
+        TailSampler {
+            config,
+            retained: Mutex::new(VecDeque::new()),
+            observed: AtomicU64::new(0),
+            kept: AtomicU64::new(0),
+            dropped_fast: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Reports one finished request and returns the verdict. `root` is
+    /// the request's root span id ([`crate::SpanGuard::id`]); when the
+    /// verdict retains and a root is known, the request's connected
+    /// subtree is cut out of the flight-recorder window and stored.
+    ///
+    /// The drop path (the common case) performs the threshold check and
+    /// two counter bumps — no locking, no allocation.
+    pub fn observe(
+        &self,
+        root: Option<u64>,
+        latency: Duration,
+        outcome: RequestOutcome,
+        marked: bool,
+    ) -> TailDecision {
+        self.observed.fetch_add(1, Ordering::Relaxed);
+        let decision = if outcome == RequestOutcome::Failed {
+            TailDecision::RetainedFailed
+        } else if marked {
+            TailDecision::RetainedMarked
+        } else if self.config.slow.is_slow(latency) {
+            TailDecision::RetainedSlow
+        } else {
+            TailDecision::DroppedFast
+        };
+        if !decision.retained() {
+            self.dropped_fast.fetch_add(1, Ordering::Relaxed);
+            return decision;
+        }
+        self.kept.fetch_add(1, Ordering::Relaxed);
+        let trace = match root {
+            Some(root) if crate::recorder_on() => crate::recorder::snapshot().subtree(root),
+            _ => Trace::default(),
+        };
+        let kept = RetainedTrace { root: root.unwrap_or(0), latency, outcome, decision, trace };
+        let mut fifo = self.retained.lock().expect("tail sampler lock poisoned");
+        fifo.push_back(kept);
+        while fifo.len() > self.config.max_retained {
+            fifo.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        decision
+    }
+
+    /// Removes and returns every retained trace, oldest first.
+    pub fn take_retained(&self) -> Vec<RetainedTrace> {
+        self.retained.lock().expect("tail sampler lock poisoned").drain(..).collect()
+    }
+
+    /// Clones the currently retained traces, oldest first, leaving them
+    /// in place (the post-mortem path must not steal traces a later
+    /// collection expects).
+    pub fn retained(&self) -> Vec<RetainedTrace> {
+        self.retained.lock().expect("tail sampler lock poisoned").iter().cloned().collect()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> TailStats {
+        TailStats {
+            observed: self.observed.load(Ordering::Relaxed),
+            retained: self.kept.load(Ordering::Relaxed),
+            dropped_fast: self.dropped_fast.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::HistogramConfig;
+    use crate::testsync::serial;
+    use crate::RecordKind;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn absolute_threshold_splits_slow_from_fast() {
+        let s = TailSampler::new(TailConfig::absolute(ms(10)));
+        assert_eq!(
+            s.observe(None, ms(2), RequestOutcome::Completed, false),
+            TailDecision::DroppedFast
+        );
+        assert_eq!(
+            s.observe(None, ms(10), RequestOutcome::Completed, false),
+            TailDecision::RetainedSlow
+        );
+        assert_eq!(
+            s.observe(None, ms(50), RequestOutcome::Completed, false),
+            TailDecision::RetainedSlow
+        );
+        let stats = s.stats();
+        assert_eq!((stats.observed, stats.retained, stats.dropped_fast), (3, 2, 1));
+    }
+
+    #[test]
+    fn failed_and_marked_are_retained_even_when_fast() {
+        let s = TailSampler::new(TailConfig::absolute(ms(1000)));
+        assert_eq!(
+            s.observe(None, ms(1), RequestOutcome::Failed, false),
+            TailDecision::RetainedFailed
+        );
+        assert_eq!(
+            s.observe(None, ms(1), RequestOutcome::Completed, true),
+            TailDecision::RetainedMarked
+        );
+        assert_eq!(s.retained().len(), 2);
+    }
+
+    #[test]
+    fn percentile_threshold_abstains_until_warm_then_tracks_the_distribution() {
+        let hist = Arc::new(Histogram::new(HistogramConfig { sub_bucket_bits: 17 }));
+        let config = TailConfig {
+            slow: SlowThreshold::Percentile { of: Arc::clone(&hist), p: 0.99, min_samples: 10 },
+            max_retained: DEFAULT_RETAIN_CAPACITY,
+        };
+        let s = TailSampler::new(config);
+        // Cold: even an extreme latency is not "slow" yet.
+        assert_eq!(
+            s.observe(None, Duration::from_secs(5), RequestOutcome::Completed, false),
+            TailDecision::DroppedFast
+        );
+        // Warm the distribution: 1000µs typical.
+        for _ in 0..100 {
+            hist.record(1000);
+        }
+        assert_eq!(
+            s.observe(None, Duration::from_micros(900), RequestOutcome::Completed, false),
+            TailDecision::DroppedFast
+        );
+        assert_eq!(
+            s.observe(None, Duration::from_micros(5000), RequestOutcome::Completed, false),
+            TailDecision::RetainedSlow
+        );
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_beyond_capacity() {
+        let mut config = TailConfig::absolute(Duration::ZERO);
+        config.max_retained = 2;
+        let s = TailSampler::new(config);
+        for i in 0..4_u64 {
+            s.observe(None, ms(i), RequestOutcome::Completed, false);
+        }
+        let kept = s.take_retained();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].latency, ms(2));
+        assert_eq!(kept[1].latency, ms(3));
+        assert_eq!(s.stats().evicted, 2);
+        assert!(s.take_retained().is_empty(), "take drains the FIFO");
+    }
+
+    #[test]
+    fn retained_trace_is_the_connected_subtree_of_the_request() {
+        let _guard = serial();
+        crate::recorder::reset();
+        crate::set_recorder(true);
+        // A foreign request that must NOT leak into the retained trace.
+        {
+            let _other = crate::span!("sampler.other_request", id = 99_u64);
+            crate::event!("sampler.other_event");
+        }
+        let root_id = {
+            let root = crate::span!("sampler.request", id = 1_u64);
+            let id = root.id().expect("recorder on yields ids");
+            {
+                let _child = crate::span!("sampler.child");
+                crate::event!("sampler.leaf", depth = 2_u64);
+            }
+            id
+        };
+        let s = TailSampler::new(TailConfig::absolute(Duration::ZERO));
+        let decision = s.observe(Some(root_id), ms(1), RequestOutcome::Completed, false);
+        crate::set_recorder(false);
+        crate::recorder::reset();
+        assert_eq!(decision, TailDecision::RetainedSlow);
+        let kept = s.take_retained();
+        assert_eq!(kept.len(), 1);
+        let trace = &kept[0].trace;
+        assert_eq!(trace.find(RecordKind::Begin, "sampler.request").len(), 1);
+        assert_eq!(trace.find(RecordKind::Begin, "sampler.child").len(), 1);
+        let leaf = trace.find(RecordKind::Instant, "sampler.leaf");
+        assert_eq!(leaf.len(), 1);
+        assert!(trace.has_ancestor(leaf[0].id, root_id), "leaf must descend from the root");
+        assert!(
+            trace.find(RecordKind::Begin, "sampler.other_request").is_empty()
+                && trace.find(RecordKind::Instant, "sampler.other_event").is_empty(),
+            "foreign request must not be retained"
+        );
+        // Every span that began also ended inside the subtree.
+        for begin in trace.find(RecordKind::Begin, "sampler.child") {
+            assert!(
+                trace.records.iter().any(|r| r.kind == RecordKind::End && r.id == begin.id),
+                "subtree must carry the End records of its spans"
+            );
+        }
+    }
+
+    #[test]
+    fn no_root_retains_metadata_with_an_empty_trace() {
+        let s = TailSampler::new(TailConfig::absolute(Duration::ZERO));
+        s.observe(None, ms(7), RequestOutcome::Completed, false);
+        let kept = s.take_retained();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].root, 0);
+        assert!(kept[0].trace.records.is_empty());
+    }
+}

@@ -1,0 +1,617 @@
+//! The declarative SLO engine: objectives over registry metrics,
+//! evaluated on sliding windows into burn-rate verdicts.
+//!
+//! An [`SloSpec`] names a metric and an objective; the [`SloEngine`]
+//! holds a list of them plus a window, and each [`SloEngine::evaluate`]
+//! call checks every spec against what the registry recorded **inside
+//! the window** — cumulative counters and histograms are converted to
+//! windowed ones by baselining ([`crate::Histogram::delta_since`]),
+//! gauges are read instantaneously. Three objective shapes cover the
+//! serving stack's SLOs:
+//!
+//! * **Quantile** — `serve.latency_us:p99<=250ms`: the windowed p99 of
+//!   a latency histogram must stay at or below a cutoff.
+//! * **Ratio** — `serve.relocalizations_succeeded/serve.relocalizations_attempted>=0.9`:
+//!   a windowed success/attempt counter ratio must stay at or above a
+//!   floor (with a minimum-attempts guard so an idle service is not
+//!   judged on one unlucky request).
+//! * **Ceiling** — `serve.sessions_dropped==0` (windowed counter delta)
+//!   or `serve.tiles.resident_bytes<=268435456` (instantaneous gauge):
+//!   a value must stay at or below a cap.
+//!
+//! Each verdict carries a **burn rate**: how fast the objective's
+//! budget is being consumed, normalized so `1.0` is exactly at the
+//! threshold and anything above is a breach — the number an alerting
+//! policy pages on. Verdicts with no window data report
+//! [`SloStatus::NoData`] instead of a fake pass or fail.
+//!
+//! Specs are written in a tiny DSL (the `TIGRIS_SLO` environment
+//! variable, semicolon-separated — see [`parse_specs`]); the ops layer
+//! ([`crate::ops`]) evaluates an engine per service and snapshots the
+//! flight recorder into a post-mortem bundle when a verdict breaches.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::hist::Histogram;
+use crate::registry::Registry;
+
+/// Default sliding-window length when `TIGRIS_SLO_WINDOW_MS` is unset.
+pub const DEFAULT_WINDOW: Duration = Duration::from_secs(10);
+
+/// Minimum windowed attempts before a [`Objective::Ratio`] is judged.
+pub const DEFAULT_MIN_ATTEMPTS: u64 = 10;
+
+/// What an [`SloSpec`] requires of its metric(s).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Objective {
+    /// The windowed `p`-quantile of histogram `metric` must be ≤
+    /// `max_ticks` (in the histogram's own tick unit; the serving
+    /// layer's latency histograms tick in microseconds).
+    Quantile {
+        /// Histogram name.
+        metric: String,
+        /// Quantile in `[0, 1]`.
+        p: f64,
+        /// Inclusive ceiling, in histogram ticks.
+        max_ticks: u64,
+    },
+    /// Windowed `success / attempts` (both counters) must be ≥
+    /// `min_ratio`, judged only once the window holds at least
+    /// `min_attempts` attempts.
+    Ratio {
+        /// Numerator counter name.
+        success: String,
+        /// Denominator counter name.
+        attempts: String,
+        /// Inclusive floor in `[0, 1]`.
+        min_ratio: f64,
+        /// Windowed-attempts guard below which the verdict is NoData.
+        min_attempts: u64,
+    },
+    /// The metric must stay ≤ `max`: windowed delta for a counter
+    /// (e.g. zero dropped sessions), instantaneous value for a gauge
+    /// (e.g. resident bytes under budget).
+    Ceiling {
+        /// Counter or gauge name.
+        metric: String,
+        /// Inclusive cap.
+        max: i64,
+    },
+}
+
+/// One declared service-level objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// The spec in DSL form — the stable display name in verdicts,
+    /// snapshots and bundles.
+    pub text: String,
+    /// The parsed objective.
+    pub objective: Objective,
+}
+
+impl std::fmt::Display for SloSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl SloSpec {
+    /// Parses one DSL spec; see [`parse_specs`] for the grammar.
+    pub fn parse(raw: &str) -> Result<SloSpec, String> {
+        let text = raw.trim().to_string();
+        if text.is_empty() {
+            return Err("empty SLO spec".to_string());
+        }
+        let objective = parse_objective(&text)?;
+        Ok(SloSpec { text, objective })
+    }
+}
+
+/// Parses a semicolon-separated spec list — the `TIGRIS_SLO` format.
+/// Empty segments are skipped. The grammar, one spec per segment:
+///
+/// ```text
+/// histogram:pNN<=BOUND      quantile   serve.latency_us:p99<=250ms
+/// success/attempts>=RATIO   ratio      a.ok/a.tried>=0.9@100   (@N = min attempts)
+/// metric<=N  |  metric==0   ceiling    serve.sessions_dropped==0
+/// ```
+///
+/// `BOUND` is a number with an optional `us`/`ms`/`s` suffix, converted
+/// to **microsecond** ticks (bare numbers are raw ticks).
+pub fn parse_specs(raw: &str) -> Result<Vec<SloSpec>, String> {
+    raw.split(';').map(str::trim).filter(|s| !s.is_empty()).map(SloSpec::parse).collect()
+}
+
+fn parse_objective(text: &str) -> Result<Objective, String> {
+    if let Some((lhs, rhs)) = text.split_once(">=") {
+        // Ratio: success/attempts>=0.9[@min_attempts]
+        let (success, attempts) = lhs
+            .split_once('/')
+            .ok_or_else(|| format!("'{text}': expected success/attempts before >="))?;
+        let (ratio_raw, min_attempts) = match rhs.split_once('@') {
+            Some((r, n)) => {
+                (r, n.trim().parse::<u64>().map_err(|_| format!("'{text}': bad @min_attempts"))?)
+            }
+            None => (rhs, DEFAULT_MIN_ATTEMPTS),
+        };
+        let min_ratio = ratio_raw
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| format!("'{text}': bad ratio '{ratio_raw}'"))?;
+        if !(0.0..=1.0).contains(&min_ratio) {
+            return Err(format!("'{text}': ratio must be in [0, 1]"));
+        }
+        return Ok(Objective::Ratio {
+            success: success.trim().to_string(),
+            attempts: attempts.trim().to_string(),
+            min_ratio,
+            min_attempts,
+        });
+    }
+    if let Some((lhs, rhs)) = text.split_once("<=") {
+        if let Some((metric, quantile)) = lhs.split_once(':') {
+            // Quantile: metric:p99<=250ms
+            let quantile = quantile.trim();
+            let digits = quantile
+                .strip_prefix('p')
+                .ok_or_else(|| format!("'{text}': expected pNN after ':'"))?;
+            let pct =
+                digits.parse::<f64>().map_err(|_| format!("'{text}': bad quantile 'p{digits}'"))?;
+            if !(0.0..=100.0).contains(&pct) {
+                return Err(format!("'{text}': quantile must be p0..p100"));
+            }
+            return Ok(Objective::Quantile {
+                metric: metric.trim().to_string(),
+                p: pct / 100.0,
+                max_ticks: parse_ticks(rhs)
+                    .ok_or_else(|| format!("'{text}': bad bound '{rhs}'"))?,
+            });
+        }
+        // Ceiling: metric<=N
+        let max =
+            rhs.trim().parse::<i64>().map_err(|_| format!("'{text}': bad ceiling '{rhs}'"))?;
+        return Ok(Objective::Ceiling { metric: lhs.trim().to_string(), max });
+    }
+    if let Some((lhs, rhs)) = text.split_once("==") {
+        let max = rhs.trim().parse::<i64>().map_err(|_| format!("'{text}': bad value '{rhs}'"))?;
+        if max != 0 {
+            return Err(format!("'{text}': only ==0 is supported (use <= for other caps)"));
+        }
+        return Ok(Objective::Ceiling { metric: lhs.trim().to_string(), max: 0 });
+    }
+    Err(format!("'{text}': no recognized operator (>=, <=, ==0)"))
+}
+
+/// `"250ms"` / `"80us"` / `"2s"` / `"5000"` → microsecond ticks.
+fn parse_ticks(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    let (digits, scale) = if let Some(d) = raw.strip_suffix("us") {
+        (d, 1)
+    } else if let Some(d) = raw.strip_suffix("ms") {
+        (d, 1_000)
+    } else if let Some(d) = raw.strip_suffix('s') {
+        (d, 1_000_000)
+    } else {
+        (raw, 1)
+    };
+    digits.trim().parse::<u64>().ok().map(|n| n.saturating_mul(scale))
+}
+
+/// One spec's verdict at one evaluation instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloStatus {
+    /// Inside the objective.
+    Ok,
+    /// Outside the objective — an anomaly trigger.
+    Breached,
+    /// The window held nothing to judge (absent metric, empty window,
+    /// or below the min-attempts guard).
+    NoData,
+}
+
+/// The outcome of evaluating one [`SloSpec`] over one window.
+#[derive(Debug, Clone)]
+pub struct SloVerdict {
+    /// The spec's DSL text.
+    pub spec: String,
+    /// Pass / breach / no data.
+    pub status: SloStatus,
+    /// What the window showed (quantile ticks, ratio, or value).
+    pub observed: f64,
+    /// The objective's threshold in the same unit.
+    pub threshold: f64,
+    /// Budget consumption normalized to the threshold: `1.0` is exactly
+    /// at the objective, above is breaching. For quantile and ceiling
+    /// objectives this is `observed / threshold`; for ratios it is the
+    /// error-budget burn `(1 - observed) / (1 - min_ratio)`. Infinite
+    /// when any violation of a zero-budget objective occurs.
+    pub burn_rate: f64,
+    /// The window actually evaluated, in nanoseconds (shorter than the
+    /// configured window during warmup).
+    pub window_ns: u64,
+}
+
+impl SloVerdict {
+    /// Whether this verdict should fire an anomaly trigger.
+    pub fn breached(&self) -> bool {
+        self.status == SloStatus::Breached
+    }
+}
+
+impl std::fmt::Display for SloVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let status = match self.status {
+            SloStatus::Ok => "ok",
+            SloStatus::Breached => "BREACHED",
+            SloStatus::NoData => "no-data",
+        };
+        write!(
+            f,
+            "{status:8} {}  observed={:.3} threshold={:.3} burn={:.2} window={}ms",
+            self.spec,
+            self.observed,
+            self.threshold,
+            self.burn_rate,
+            self.window_ns / 1_000_000
+        )
+    }
+}
+
+/// A baselined copy of the windowed metrics at one instant.
+struct Baseline {
+    ts_ns: u64,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Evaluates a fixed list of [`SloSpec`]s against one registry over a
+/// sliding window; see the module docs above for the model. One engine
+/// per watched registry — baselines are captured from the registry each
+/// [`SloEngine::evaluate`] call, so windows slide with evaluation
+/// cadence.
+pub struct SloEngine {
+    specs: Vec<SloSpec>,
+    window: Duration,
+    baselines: Mutex<VecDeque<Baseline>>,
+}
+
+impl SloEngine {
+    /// An engine over `specs` with the given sliding window.
+    pub fn new(specs: Vec<SloSpec>, window: Duration) -> Self {
+        SloEngine { specs, window, baselines: Mutex::new(VecDeque::new()) }
+    }
+
+    /// An engine configured from the environment: specs from
+    /// `TIGRIS_SLO` (unparsable specs are discarded), window from
+    /// `TIGRIS_SLO_WINDOW_MS` (default [`DEFAULT_WINDOW`]).
+    pub fn from_env() -> Self {
+        let specs = std::env::var("TIGRIS_SLO")
+            .ok()
+            .map(|raw| {
+                raw.split(';')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .filter_map(|s| SloSpec::parse(s).ok())
+                    .collect()
+            })
+            .unwrap_or_default();
+        let window = std::env::var("TIGRIS_SLO_WINDOW_MS")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(DEFAULT_WINDOW);
+        SloEngine::new(specs, window)
+    }
+
+    /// The declared objectives.
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// The configured sliding window.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Evaluates every spec against `registry` over the sliding window
+    /// ending now. Cumulative metrics are compared against the newest
+    /// baseline at least one window old (or the oldest available during
+    /// warmup; the first call sees everything since process start).
+    /// Also captures a fresh baseline for future windows and prunes
+    /// expired ones.
+    pub fn evaluate(&self, registry: &Registry) -> Vec<SloVerdict> {
+        let now = crate::now_ns();
+        let window_ns = self.window.as_nanos().min(u64::MAX as u128) as u64;
+        let mut baselines = self.baselines.lock().expect("slo baseline lock poisoned");
+        // Anchor: newest baseline old enough to span the full window;
+        // else the oldest we have; else the process epoch (ts 0, empty).
+        let anchor_idx = baselines
+            .iter()
+            .rposition(|b| now.saturating_sub(b.ts_ns) >= window_ns)
+            .or(if baselines.is_empty() { None } else { Some(0) });
+        let verdicts = self
+            .specs
+            .iter()
+            .map(|spec| {
+                let anchor = anchor_idx.map(|i| &baselines[i]);
+                evaluate_spec(spec, registry, anchor, now)
+            })
+            .collect();
+        // Drop baselines older than the anchor — never again needed.
+        if let Some(keep_from) = anchor_idx {
+            baselines.drain(..keep_from);
+        }
+        baselines.push_back(capture_baseline(&self.specs, registry, now));
+        verdicts
+    }
+}
+
+fn capture_baseline(specs: &[SloSpec], registry: &Registry, ts_ns: u64) -> Baseline {
+    let mut counters = BTreeMap::new();
+    let mut histograms = BTreeMap::new();
+    for spec in specs {
+        match &spec.objective {
+            Objective::Quantile { metric, .. } => {
+                if let Some(h) = registry.lookup_histogram(metric) {
+                    histograms.entry(metric.clone()).or_insert_with(|| (*h).clone());
+                }
+            }
+            Objective::Ratio { success, attempts, .. } => {
+                for name in [success, attempts] {
+                    if let Some(c) = registry.lookup_counter(name) {
+                        counters.insert(name.clone(), c.get());
+                    }
+                }
+            }
+            Objective::Ceiling { metric, .. } => {
+                if let Some(c) = registry.lookup_counter(metric) {
+                    counters.insert(metric.clone(), c.get());
+                }
+            }
+        }
+    }
+    Baseline { ts_ns, counters, histograms }
+}
+
+fn evaluate_spec(
+    spec: &SloSpec,
+    registry: &Registry,
+    anchor: Option<&Baseline>,
+    now: u64,
+) -> SloVerdict {
+    let window_ns = now.saturating_sub(anchor.map_or(0, |b| b.ts_ns));
+    let verdict = |status, observed, threshold, burn_rate| SloVerdict {
+        spec: spec.text.clone(),
+        status,
+        observed,
+        threshold,
+        burn_rate,
+        window_ns,
+    };
+    let windowed_counter = |name: &str| -> Option<u64> {
+        let total = registry.lookup_counter(name)?.get();
+        Some(total.saturating_sub(anchor.and_then(|b| b.counters.get(name)).copied().unwrap_or(0)))
+    };
+    match &spec.objective {
+        Objective::Quantile { metric, p, max_ticks } => {
+            let threshold = *max_ticks as f64;
+            let Some(hist) = registry.lookup_histogram(metric) else {
+                return verdict(SloStatus::NoData, 0.0, threshold, 0.0);
+            };
+            let windowed = match anchor.and_then(|b| b.histograms.get(metric)) {
+                Some(baseline) => hist.delta_since(baseline),
+                None => (*hist).clone(),
+            };
+            match windowed.percentile(*p) {
+                Some(observed) => {
+                    let burn = if *max_ticks == 0 {
+                        if observed > 0 {
+                            f64::INFINITY
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        observed as f64 / threshold
+                    };
+                    let status =
+                        if observed <= *max_ticks { SloStatus::Ok } else { SloStatus::Breached };
+                    verdict(status, observed as f64, threshold, burn)
+                }
+                None => verdict(SloStatus::NoData, 0.0, threshold, 0.0),
+            }
+        }
+        Objective::Ratio { success, attempts, min_ratio, min_attempts } => {
+            let (Some(ok), Some(tried)) = (windowed_counter(success), windowed_counter(attempts))
+            else {
+                return verdict(SloStatus::NoData, 0.0, *min_ratio, 0.0);
+            };
+            if tried < (*min_attempts).max(1) {
+                return verdict(SloStatus::NoData, 0.0, *min_ratio, 0.0);
+            }
+            let observed = ok as f64 / tried as f64;
+            let budget = 1.0 - *min_ratio;
+            let burn = if budget <= 0.0 {
+                if observed < 1.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                }
+            } else {
+                (1.0 - observed) / budget
+            };
+            let status = if observed >= *min_ratio { SloStatus::Ok } else { SloStatus::Breached };
+            verdict(status, observed, *min_ratio, burn)
+        }
+        Objective::Ceiling { metric, max } => {
+            let threshold = *max as f64;
+            // Instantaneous for gauges, windowed delta for counters.
+            let observed = if let Some(g) = registry.lookup_gauge(metric) {
+                g.get() as f64
+            } else if let Some(delta) = windowed_counter(metric) {
+                delta as f64
+            } else {
+                return verdict(SloStatus::NoData, 0.0, threshold, 0.0);
+            };
+            let burn = if *max <= 0 {
+                if observed > 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                }
+            } else {
+                observed / threshold
+            };
+            let status = if observed <= threshold { SloStatus::Ok } else { SloStatus::Breached };
+            verdict(status, observed, threshold, burn)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::HistogramConfig;
+
+    fn spec(text: &str) -> SloSpec {
+        SloSpec::parse(text).unwrap()
+    }
+
+    #[test]
+    fn dsl_parses_every_objective_shape() {
+        assert_eq!(
+            spec("serve.latency_us:p99<=250ms").objective,
+            Objective::Quantile {
+                metric: "serve.latency_us".to_string(),
+                p: 0.99,
+                max_ticks: 250_000
+            }
+        );
+        assert_eq!(
+            spec("serve.latency_us:p50<=80us").objective,
+            Objective::Quantile { metric: "serve.latency_us".to_string(), p: 0.50, max_ticks: 80 }
+        );
+        assert_eq!(
+            spec("a.ok/a.tried>=0.9@100").objective,
+            Objective::Ratio {
+                success: "a.ok".to_string(),
+                attempts: "a.tried".to_string(),
+                min_ratio: 0.9,
+                min_attempts: 100
+            }
+        );
+        assert_eq!(
+            spec("serve.sessions_dropped==0").objective,
+            Objective::Ceiling { metric: "serve.sessions_dropped".to_string(), max: 0 }
+        );
+        assert_eq!(
+            spec("serve.tiles.resident_bytes<=1048576").objective,
+            Objective::Ceiling { metric: "serve.tiles.resident_bytes".to_string(), max: 1_048_576 }
+        );
+        let list = parse_specs("a:p99<=1ms; ; b==0;").unwrap();
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn dsl_rejects_malformed_specs() {
+        for bad in
+            ["", "a.latency:p999x<=1ms", "a/b>=1.5", "a==3", "nonsense", "a:p99<=fast", "a<=abc"]
+        {
+            assert!(SloSpec::parse(bad).is_err(), "'{bad}' must not parse");
+        }
+    }
+
+    #[test]
+    fn quantile_objective_breaches_and_recovers_with_the_window() {
+        let r = Registry::new();
+        let h = r.histogram_with("lat", HistogramConfig { sub_bucket_bits: 17 });
+        let engine = SloEngine::new(vec![spec("lat:p99<=1000us")], Duration::ZERO);
+        // First window: all fast.
+        for _ in 0..100 {
+            h.record(100);
+        }
+        let v = &engine.evaluate(&r)[0];
+        assert_eq!(v.status, SloStatus::Ok);
+        assert!(v.burn_rate < 1.0);
+        // Second window: slow burst. Window ZERO anchors at the previous
+        // evaluate, so only the burst is judged.
+        for _ in 0..100 {
+            h.record(50_000);
+        }
+        let v = &engine.evaluate(&r)[0];
+        assert_eq!(v.status, SloStatus::Breached);
+        assert!(v.observed >= 49_000.0, "windowed p99 must see the burst, got {}", v.observed);
+        assert!(v.burn_rate > 1.0);
+        // Third window: quiet again — the breach must age out.
+        h.record(100);
+        let v = &engine.evaluate(&r)[0];
+        assert_eq!(v.status, SloStatus::Ok, "old burst must slide out of the window");
+    }
+
+    #[test]
+    fn ratio_objective_guards_on_min_attempts() {
+        let r = Registry::new();
+        let ok = r.counter("reloc.ok");
+        let tried = r.counter("reloc.tried");
+        let engine = SloEngine::new(vec![spec("reloc.ok/reloc.tried>=0.9@10")], Duration::ZERO);
+        ok.add(1);
+        tried.add(2);
+        assert_eq!(engine.evaluate(&r)[0].status, SloStatus::NoData, "below min attempts");
+        ok.add(5);
+        tried.add(10);
+        let v = &engine.evaluate(&r)[0];
+        assert_eq!(v.status, SloStatus::Breached, "windowed 5/10 < 0.9");
+        assert!(v.burn_rate > 1.0);
+        ok.add(20);
+        tried.add(20);
+        assert_eq!(engine.evaluate(&r)[0].status, SloStatus::Ok, "windowed 20/20 passes");
+    }
+
+    #[test]
+    fn ceiling_objective_is_windowed_for_counters_and_instant_for_gauges() {
+        let r = Registry::new();
+        let drops = r.counter("drops");
+        let resident = r.gauge("resident");
+        let engine = SloEngine::new(vec![spec("drops==0"), spec("resident<=100")], Duration::ZERO);
+        drops.inc();
+        resident.set(50);
+        let verdicts = engine.evaluate(&r);
+        assert_eq!(verdicts[0].status, SloStatus::Breached);
+        assert!(verdicts[0].burn_rate.is_infinite(), "zero-budget breach burns infinitely");
+        assert_eq!(verdicts[1].status, SloStatus::Ok);
+        // No new drops: the counter ceiling recovers because it is
+        // windowed; the gauge follows its instantaneous value.
+        resident.set(200);
+        let verdicts = engine.evaluate(&r);
+        assert_eq!(verdicts[0].status, SloStatus::Ok, "old drop must slide out");
+        assert_eq!(verdicts[1].status, SloStatus::Breached);
+    }
+
+    #[test]
+    fn missing_metrics_and_empty_windows_report_no_data() {
+        let r = Registry::new();
+        let engine = SloEngine::new(
+            vec![spec("ghost:p99<=1ms"), spec("ghost.ok/ghost.tried>=0.5"), spec("ghost==0")],
+            Duration::ZERO,
+        );
+        for v in engine.evaluate(&r) {
+            assert_eq!(v.status, SloStatus::NoData, "{}", v.spec);
+        }
+        // Histogram exists but the window is empty.
+        r.histogram("lat").record(5);
+        let engine = SloEngine::new(vec![spec("lat:p99<=1ms")], Duration::ZERO);
+        assert_ne!(engine.evaluate(&r)[0].status, SloStatus::NoData, "first window sees history");
+        assert_eq!(engine.evaluate(&r)[0].status, SloStatus::NoData, "second window is empty");
+    }
+
+    #[test]
+    fn verdicts_render_for_the_ops_table() {
+        let r = Registry::new();
+        r.histogram("lat").record(500);
+        let engine = SloEngine::new(vec![spec("lat:p50<=1000us")], Duration::from_secs(3600));
+        let line = engine.evaluate(&r)[0].to_string();
+        assert!(line.starts_with("ok"), "got: {line}");
+        assert!(line.contains("lat:p50<=1000us"));
+    }
+}

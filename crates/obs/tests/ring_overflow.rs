@@ -1,0 +1,63 @@
+//! Ring-buffer overflow accounting, end to end through the environment
+//! path: a deliberately tiny `TIGRIS_TRACE_BUF` must drop records
+//! (drop-newest) and the loss must be *reported* — in the drained
+//! trace, in the process-lifetime total, and in the human summary —
+//! never silent.
+//!
+//! This lives in its own integration-test binary so `init_from_env`
+//! (first call wins, process-wide) reads exactly the variables set
+//! here.
+
+use tigris_obs::export::summary;
+use tigris_obs::{drain, dropped_total, init_from_env, span, TraceMode};
+
+#[test]
+fn overflowing_a_tiny_trace_buffer_reports_every_dropped_record() {
+    const CAPACITY: u64 = 8;
+    const SPANS: u64 = 100;
+
+    std::env::set_var("TIGRIS_TRACE_BUF", CAPACITY.to_string());
+    std::env::set_var("TIGRIS_TRACE", "summary");
+    std::env::set_var("TIGRIS_RECORDER", "off");
+    let mode = init_from_env();
+    assert_eq!(mode, TraceMode::Summary, "TIGRIS_TRACE=summary must select the summary exporter");
+    assert!(tigris_obs::enabled(), "selecting a mode enables recording");
+
+    let _ = drain();
+    let dropped_before = dropped_total();
+    // 100 spans on one thread = 200 records (begin + end each) against
+    // an 8-record ring: the first 8 stick, the remaining 192 drop.
+    for i in 0..SPANS {
+        let _span = span!("overflow.request", i = i);
+    }
+    let trace = drain();
+
+    let expected_dropped = 2 * SPANS - CAPACITY;
+    assert_eq!(trace.records.len() as u64, CAPACITY, "ring keeps exactly its capacity");
+    assert_eq!(
+        trace.dropped, expected_dropped,
+        "every record beyond capacity is counted, none silently lost"
+    );
+    assert!(
+        dropped_total() >= dropped_before + expected_dropped,
+        "the lifetime total grows by at least this drain's losses"
+    );
+
+    // The human summary surfaces both figures — the per-drain drop
+    // count and the process-lifetime total.
+    let text = summary(&trace, None);
+    assert!(
+        text.contains(&format!("({expected_dropped} dropped at ring-buffer capacity")),
+        "summary must state the drop count, got:\n{text}"
+    );
+    assert!(
+        text.contains("dropped over process lifetime"),
+        "summary must state the lifetime total, got:\n{text}"
+    );
+
+    // A second drain starts a fresh window: no new records, no new
+    // drops carried over.
+    let empty = drain();
+    assert_eq!(empty.records.len(), 0);
+    assert_eq!(empty.dropped, 0, "per-drain drop counts reset; only the lifetime total persists");
+}

@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use tigris_geom::Vec3;
 use tigris_map::MapNeighbor;
+use tigris_obs::sampler::{RequestOutcome, TailConfig, TailSampler};
 use tigris_obs::{Counter, Gauge, Registry};
 
 use crate::config::ServeConfig;
@@ -157,6 +158,7 @@ pub(crate) struct ServiceCore {
     pub(crate) snapshot: Arc<MapSnapshot>,
     pub(crate) config: ServeConfig,
     pub(crate) registry: Arc<Registry>,
+    pub(crate) sampler: Arc<TailSampler>,
     state: Mutex<RequestGate>,
 }
 
@@ -174,6 +176,18 @@ impl ServiceCore {
     /// Releases the in-flight slot and meters the completed request.
     pub(crate) fn finish_request(&self, latency: Duration, delta: SessionStats) {
         self.lock().finish_request(latency, delta);
+    }
+
+    /// Feeds one finished request to the tail sampler: retained (with
+    /// its span subtree, if the flight recorder is on) when slow against
+    /// the service's own `serve.latency_us` percentile history or when
+    /// it failed; dropped otherwise. Runs after [`finish_request`]
+    /// (`Self::finish_request`) so the percentile baseline already
+    /// includes this request, and outside the service lock — the
+    /// sampler synchronizes internally.
+    pub(crate) fn observe_tail(&self, root: Option<u64>, latency: Duration, failed: bool) {
+        let outcome = if failed { RequestOutcome::Failed } else { RequestOutcome::Completed };
+        self.sampler.observe(root, latency, outcome, false);
     }
 
     /// A session closed (dropped).
@@ -224,8 +238,17 @@ impl LocalizationService {
         tigris_obs::init_from_env();
         let registry = Arc::new(Registry::new());
         let gate = RequestGate::new(Arc::clone(&registry));
+        let latency = registry.histogram_with("serve.latency_us", LATENCY_HISTOGRAM);
+        let sampler = Arc::new(TailSampler::new(TailConfig::from_env(latency)));
+        tigris_obs::ops::register_service("serve", &registry, Some(&sampler));
         LocalizationService {
-            core: Arc::new(ServiceCore { snapshot, config, registry, state: Mutex::new(gate) }),
+            core: Arc::new(ServiceCore {
+                snapshot,
+                config,
+                registry,
+                sampler,
+                state: Mutex::new(gate),
+            }),
         }
     }
 
@@ -241,6 +264,16 @@ impl LocalizationService {
     /// exporters and dashboards read it without a service lock.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.core.registry
+    }
+
+    /// This service's tail-based trace sampler: every finished localize
+    /// call is offered to it, and it retains (bounded, FIFO) the span
+    /// trees of requests that were slow against the service's own
+    /// latency history or that failed. Inspect or drain the retained
+    /// set for debugging; the ops monitor snapshots it into post-mortem
+    /// bundles automatically.
+    pub fn sampler(&self) -> &Arc<TailSampler> {
+        &self.core.sampler
     }
 
     /// The serving configuration.

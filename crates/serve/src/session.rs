@@ -331,7 +331,14 @@ impl Session {
             |prepared| relocalize_prepared(&*core.snapshot, prepared, &core.config.reloc),
         );
         let delta = self.track.stats().delta_since(&before);
-        self.core.finish_request(t0.elapsed(), delta);
+        let latency = t0.elapsed();
+        self.core.finish_request(latency, delta);
+        // Tail sampling runs after metering (so the percentile baseline
+        // includes this request) and after the root span is closed (so
+        // its End record is in the flight ring when the subtree is cut).
+        let root = _span.id();
+        drop(_span);
+        self.core.observe_tail(root, latency, result.is_err());
         result
     }
 }

@@ -10,6 +10,7 @@ use tigris_core::{BatchConfig, SearchStats};
 use tigris_geom::{RigidTransform, Vec3};
 use tigris_map::retrieval::{self, RetrievalHit};
 use tigris_map::{sort_map_neighbors, MapNeighbor};
+use tigris_obs::sampler::{RequestOutcome, TailConfig, TailSampler};
 use tigris_obs::Registry;
 use tigris_pipeline::{PreparedFrame, RegistrationResult};
 
@@ -66,6 +67,10 @@ pub(crate) struct ShardCore {
     /// This service's metrics registry: the request gate and the tile
     /// cache both write into it, so one snapshot covers the service.
     pub(crate) registry: Arc<Registry>,
+    /// Tail-based trace sampler: retains the span trees of slow or
+    /// failed requests, judged against this service's own latency
+    /// history.
+    pub(crate) sampler: Arc<TailSampler>,
     /// Admission gate + epoch bookkeeping; touched only at request and
     /// session boundaries.
     state: Mutex<(RequestGate, EpochState)>,
@@ -100,6 +105,14 @@ impl ShardCore {
 
     pub(crate) fn finish_request(&self, latency: Duration, delta: SessionStats) {
         self.lock_state().0.finish_request(latency, delta);
+    }
+
+    /// Feeds one finished request to the tail sampler (same contract as
+    /// `ServiceCore::observe_tail` in the whole-snapshot service): runs
+    /// after `finish_request`, outside the service lock.
+    pub(crate) fn observe_tail(&self, root: Option<u64>, latency: Duration, failed: bool) {
+        let outcome = if failed { RequestOutcome::Failed } else { RequestOutcome::Completed };
+        self.sampler.observe(root, latency, outcome, false);
     }
 
     /// A session closed: release its admission slot and unpin its epoch.
@@ -155,10 +168,14 @@ impl ShardService {
         let registry = Arc::new(Registry::new());
         let gate = RequestGate::new(Arc::clone(&registry));
         let cache = TileCache::new(config.tile_budget_bytes, &registry);
+        let latency = registry.histogram_with("serve.latency_us", crate::stats::LATENCY_HISTOGRAM);
+        let sampler = Arc::new(TailSampler::new(TailConfig::from_env(latency)));
+        tigris_obs::ops::register_service("shard", &registry, Some(&sampler));
         ShardService {
             core: Arc::new(ShardCore {
                 config,
                 registry,
+                sampler,
                 state: Mutex::new((gate, EpochState::default())),
                 cache: Mutex::new(cache),
             }),
@@ -183,6 +200,13 @@ impl ShardService {
     /// export; the same atomics back [`ShardService::stats`].
     pub fn registry(&self) -> &Arc<Registry> {
         &self.core.registry
+    }
+
+    /// This service's tail-based trace sampler (see
+    /// [`crate::LocalizationService::sampler`] — the sharded front end
+    /// samples identically).
+    pub fn sampler(&self) -> &Arc<TailSampler> {
+        &self.core.sampler
     }
 
     /// Hot-swaps the served epoch: sessions opened after this call pin

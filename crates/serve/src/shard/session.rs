@@ -95,7 +95,13 @@ impl ShardSession {
             },
         );
         let delta = self.track.stats().delta_since(&before);
-        self.core.finish_request(t0.elapsed(), delta);
+        let latency = t0.elapsed();
+        self.core.finish_request(latency, delta);
+        // Tail sampling after metering and after the root span closes,
+        // as in the whole-snapshot session.
+        let root = _span.id();
+        drop(_span);
+        self.core.observe_tail(root, latency, result.is_err());
         result
     }
 
